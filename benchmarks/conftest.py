@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The expensive
+part — training the evaluator, the baselines and IRN — is shared through a
+session-scoped :class:`~repro.experiments.pipeline.ExperimentPipeline`, so the
+whole harness trains each model exactly once.
+
+Environment knobs:
+
+``REPRO_BENCH_PROFILE``
+    ``default`` (the standard reproduction scale, minutes of NumPy training)
+    or ``fast`` (a seconds-scale smoke profile).  Default: ``default``.
+``REPRO_BENCH_DATASET``
+    ``movielens`` (default) or ``lastfm``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pipeline import ExperimentPipeline
+
+
+def _bench_config() -> ExperimentConfig:
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "default")
+    dataset = os.environ.get("REPRO_BENCH_DATASET", "movielens")
+    if profile == "fast":
+        return ExperimentConfig.fast(dataset)
+    config = ExperimentConfig.default(dataset)
+    # Keep the full-harness wall clock reasonable: fewer evaluation users than
+    # the standalone calibration runs, same training budgets.
+    config.max_eval_instances = 60
+    return config
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration used by every benchmark."""
+    return _bench_config()
+
+
+@pytest.fixture(scope="session")
+def pipeline(bench_config) -> ExperimentPipeline:
+    """The shared experiment pipeline (models are trained lazily, once)."""
+    return ExperimentPipeline(bench_config)
+
+
+@pytest.fixture(scope="session")
+def fast_mode(bench_config) -> bool:
+    """True when running the smoke profile (assertions are relaxed)."""
+    return bench_config.use_markov_evaluator
+
+
+def print_report(title: str, body: str) -> None:
+    """Print a benchmark report block (shown with pytest -s / captured otherwise)."""
+    print(f"\n{'=' * 70}\n{title}\n{'=' * 70}\n{body}\n")

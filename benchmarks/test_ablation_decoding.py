@@ -1,0 +1,35 @@
+"""Ablation bench: greedy Algorithm 1 decoding vs. beam-search planning.
+
+Both variants use the same trained IRN; only the inference-time decoder
+differs.  Beam search plans whole paths with a completion bonus, so it should
+reach the objective at least as often as the greedy loop while keeping the
+paths comparably smooth — the inference-time analogue of the "local optimum"
+limitation the paper attributes to greedy Rec2Inf selection (§III-C).
+"""
+
+from repro.experiments import ablations
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import print_report
+
+
+def test_ablation_decoding(benchmark, pipeline, fast_mode):
+    max_length = pipeline.config.max_path_length
+    sr, ppl = f"SR{max_length}", "log(PPL)"
+
+    rows = benchmark.pedantic(
+        ablations.ablation_decoding, args=(pipeline,), rounds=1, iterations=1
+    )
+
+    print_report("Ablation - path decoding (greedy vs beam)", format_table(rows))
+    assert rows[0]["variant"] == "greedy (Algorithm 1)"
+    assert rows[1]["variant"].startswith("beam search")
+
+    if fast_mode:
+        return
+
+    greedy, beam = rows
+    # Planning ahead should not reach the objective less often than greedy.
+    assert beam[sr] >= greedy[sr] - 0.05
+    # And the planned paths stay in a comparable smoothness range.
+    assert beam[ppl] <= greedy[ppl] + 1.0

@@ -1,0 +1,33 @@
+"""Ablation bench: pre- vs. post-padding of the training windows (§III-D5).
+
+The paper argues for pre-padding so the objective item occupies a fixed final
+position of every training window; with post-padding the PIM's objective
+column points at padding for short sequences and the objective signal is
+diluted.  The bench trains both variants and reports the Table III metrics.
+"""
+
+from repro.experiments import ablations
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import print_report
+
+
+def test_ablation_padding_scheme(benchmark, pipeline, fast_mode):
+    max_length = pipeline.config.max_path_length
+    sr, ioi = f"SR{max_length}", f"IoI{max_length}"
+
+    rows = benchmark.pedantic(
+        ablations.ablation_padding_scheme, args=(pipeline,), rounds=1, iterations=1
+    )
+
+    print_report("Ablation - padding scheme", format_table(rows))
+    assert [row["variant"] for row in rows] == ["pre-padding", "post-padding"]
+    by_variant = {row["variant"]: row for row in rows}
+
+    if fast_mode:
+        return
+
+    # Pre-padding keeps the objective visible during training, so it should
+    # not influence worse than post-padding (up to noise at this scale).
+    assert by_variant["pre-padding"][sr] >= by_variant["post-padding"][sr] - 0.05
+    assert by_variant["pre-padding"][ioi] >= by_variant["post-padding"][ioi] - 0.2

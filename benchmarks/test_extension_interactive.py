@@ -1,0 +1,38 @@
+"""Extension bench: stepwise user-response simulation (future-work direction 4).
+
+Every framework faces the same simulated users (acceptance driven by the IRS
+evaluator's probabilities plus per-user impressionability) under the
+exclude-rejected replanning policy.  Influence only counts when the user
+*accepts* the objective item, so the interactive success rates sit below the
+offline SR of Table III.
+"""
+
+from repro.experiments import extensions
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import print_report
+
+
+def test_extension_interactive_simulation(benchmark, pipeline, fast_mode):
+    rows = benchmark.pedantic(
+        extensions.extension_interactive_comparison, args=(pipeline,), rounds=1, iterations=1
+    )
+
+    print_report("Extension - interactive (accept/reject) simulation", format_table(rows))
+    by_framework = {row["framework"]: row for row in rows}
+    assert "IRN" in by_framework
+    for row in rows:
+        assert 0.0 <= row["interactive_SR"] <= 1.0
+        assert 0.0 <= row["acceptance_rate"] <= 1.0
+        assert 0.0 <= row["abandonment_rate"] <= 1.0
+        assert row["mean_steps"] <= pipeline.config.max_path_length
+
+    if fast_mode:
+        return
+
+    # The objective-aware frameworks reach the (accepted) objective at least
+    # as often as the objective-agnostic vanilla baseline.
+    vanilla_rows = [row for name, row in by_framework.items() if name.startswith("Vanilla")]
+    if vanilla_rows:
+        best_vanilla = max(row["interactive_SR"] for row in vanilla_rows)
+        assert by_framework["IRN"]["interactive_SR"] >= best_vanilla - 0.05

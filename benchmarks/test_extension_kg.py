@@ -1,0 +1,39 @@
+"""Extension bench: knowledge-graph subgraph expansion (future-work direction 1).
+
+Kg2Inf models the user's interests as a subgraph of an item/genre knowledge
+graph and expands it toward the objective.  Compared with the plain Pf2Inf
+Dijkstra baseline it never gets stranded on a disjoint co-occurrence
+component (genre nodes keep the graph connected) and it weighs every step by
+closeness to the user's interests rather than following one shortest path.
+"""
+
+from repro.experiments import extensions
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import print_report
+
+
+def test_extension_kg_comparison(benchmark, pipeline, fast_mode):
+    max_length = pipeline.config.max_path_length
+    sr, ppl = f"SR{max_length}", "log(PPL)"
+
+    rows = benchmark.pedantic(
+        extensions.extension_kg_comparison, args=(pipeline,), rounds=1, iterations=1
+    )
+
+    print_report("Extension - knowledge-graph path finding", format_table(rows))
+    by_framework = {row["framework"]: row for row in rows}
+    assert {"Pf2Inf Dijkstra", "Kg2Inf (subgraph expansion)", "IRN"} <= set(by_framework)
+    for row in rows:
+        assert 0.0 <= row[sr] <= 1.0
+
+    if fast_mode:
+        return
+
+    kg_row = by_framework["Kg2Inf (subgraph expansion)"]
+    dijkstra_row = by_framework["Pf2Inf Dijkstra"]
+    # The KG expansion is at least as capable of reaching the objective as the
+    # plain shortest-path baseline (genre edges can only add connectivity).
+    assert kg_row[sr] >= dijkstra_row[sr] - 0.1
+    # Both graph methods remain less smooth than IRN, as in Table III.
+    assert by_framework["IRN"][ppl] <= max(kg_row[ppl], dijkstra_row[ppl]) + 0.05

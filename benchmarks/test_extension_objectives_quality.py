@@ -1,0 +1,60 @@
+"""Extension bench: category objectives and beyond-accuracy path quality.
+
+Two extension experiments that reuse the already-trained pipeline models:
+
+* category objectives (future-work direction 3) — the success rate of leading
+  users toward a whole genre is at least as high as toward a single random
+  item, because any member of the category counts;
+* path-quality report — genre smoothness, diversity, novelty and coverage per
+  framework (the quantitative generalisation of the Table VII case study).
+"""
+
+import numpy as np
+
+from repro.experiments import extensions, tables
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import print_report
+
+
+def test_extension_category_objectives(benchmark, pipeline, fast_mode):
+    max_length = pipeline.config.max_path_length
+    sr = f"SR{max_length}"
+
+    rows = benchmark.pedantic(
+        extensions.extension_category_objectives, args=(pipeline,), rounds=1, iterations=1
+    )
+
+    print_report("Extension - category objectives", format_table(rows))
+    assert rows
+    for row in rows:
+        assert row["members"] >= 1
+        assert 0.0 <= row[sr] <= 1.0
+        assert 0.0 < row["mean_path_length"] <= max_length
+
+    if fast_mode:
+        return
+    # Reaching *some* item of a popular category should be markedly easier
+    # than reaching one specific random item; require a healthy success rate
+    # on at least one category.
+    assert max(row[sr] for row in rows) >= 0.3
+
+
+def test_extension_path_quality(benchmark, pipeline, fast_mode):
+    rows = benchmark.pedantic(
+        extensions.extension_path_quality_report, args=(pipeline,), rounds=1, iterations=1
+    )
+
+    print_report("Extension - path quality report", format_table(rows))
+    by_framework = {row["framework"]: row for row in rows}
+    assert "IRN" in by_framework
+    for row in rows:
+        assert 0.0 <= row["reach_rate"] <= 1.0
+        assert 0.0 <= row["coverage"] <= 1.0
+        assert np.isfinite(row["novelty_bits"])
+
+    if fast_mode:
+        return
+    # IRN's paths remain genre-coherent: most consecutive steps share a genre.
+    irn_smoothness = by_framework["IRN"]["genre_smoothness"]
+    assert np.isnan(irn_smoothness) or irn_smoothness >= 0.3

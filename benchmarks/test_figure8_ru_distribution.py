@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 8 (distribution of the impressionability factor).
+
+Paper reference (Figure 8): the learned r_u is roughly normally distributed
+across users — users genuinely differ in how receptive they are to
+influence.  The synthetic corpora additionally provide the *ground-truth*
+latent impressionability used by the generator, so this bench also reports
+the correlation between learned and true impressionability (a check the
+paper could not run on real data).
+"""
+
+import numpy as np
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import print_report
+
+
+def test_figure8_impressionability_distribution(benchmark, pipeline, fast_mode):
+    data = benchmark.pedantic(
+        figures.figure8_impressionability_distribution, args=(pipeline,), rounds=1, iterations=1
+    )
+
+    rows = [
+        {"bin_left": round(left, 3), "bin_right": round(right, 3), "count": int(count)}
+        for left, right, count in zip(
+            data["histogram_edges"][:-1], data["histogram_edges"][1:], data["histogram_counts"]
+        )
+    ]
+    summary = f"mean={data['mean']:.3f} std={data['std']:.3f}"
+    if "correlation_with_ground_truth" in data:
+        summary += f" corr={data['correlation_with_ground_truth']:.3f}"
+    print_report(f"Figure 8 - impressionability distribution ({summary})", format_table(rows))
+
+    factors = np.asarray(data["factors"])
+    assert factors.shape[0] == pipeline.split.corpus.num_users
+    assert np.isfinite(factors).all()
+    assert sum(data["histogram_counts"]) == factors.shape[0]
+    # Users differ (non-degenerate distribution) but the factors stay in a
+    # sane range around the initialisation (no divergence).
+    assert data["std"] >= 0.0
+    assert -5.0 < data["mean"] < 5.0
+    if not fast_mode:
+        assert data["std"] > 1e-4
+        # the bulk of the mass is unimodal: the most populated bin is interior
+        counts = data["histogram_counts"]
+        assert max(counts) >= counts[0] and max(counts) >= counts[-1]

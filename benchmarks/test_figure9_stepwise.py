@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Figure 9 (stepwise evolution of user interests).
+
+Paper reference (Figure 9): along IRN's influence paths the probability that
+the user accepts the objective item rises steadily step after step while the
+per-step item probability stays high, whereas the adapted baselines' curves
+stay flat.  The assertions check that IRN's objective-probability series ends
+higher than it starts and that its net rise is at least as large as the
+baselines'.
+"""
+
+import numpy as np
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_series
+
+from benchmarks.conftest import print_report
+
+
+def _net_rise(series: list[float]) -> float:
+    return series[-1] - series[0] if len(series) >= 2 else 0.0
+
+
+def test_figure9_stepwise_evolution(benchmark, pipeline, fast_mode):
+    evolution = benchmark.pedantic(
+        figures.figure9_stepwise_evolution, args=(pipeline,), rounds=1, iterations=1
+    )
+
+    for name, series in evolution.items():
+        print_report(
+            f"Figure 9 - stepwise evolution [{name}]",
+            format_series(series, x_label="step"),
+        )
+
+    assert "IRN" in evolution
+    for series in evolution.values():
+        assert len(series["objective"]) == len(series["item"]) >= 1
+        assert np.isfinite(series["objective"]).all()
+        assert np.isfinite(series["item"]).all()
+
+    if fast_mode:
+        return
+
+    irn_rise = _net_rise(evolution["IRN"]["objective"])
+    # The objective probability increases along IRN's paths...
+    assert irn_rise > 0.0
+    # ...and (up to noise at this scale) at least as much as along the
+    # adapted baselines' paths.
+    baseline_rises = [
+        _net_rise(series["objective"]) for name, series in evolution.items() if name != "IRN"
+    ]
+    if baseline_rises:
+        assert irn_rise >= max(baseline_rises) - 0.15

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table I (dataset statistics after preprocessing).
+
+Paper reference (Table I): Lastfm has 896 users / 2,682 items / 28,220
+interactions (density 1.17%, 31 items per user); MovieLens-1M has 6,040 users
+/ 3,415 items / 996,183 interactions (density 4.83%, 164 items per user).
+The synthetic stand-ins are much smaller, but the *relative* shape must hold:
+MovieLens-like is denser and has several times longer user histories than
+Lastfm-like.
+"""
+
+from repro.experiments import tables
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import print_report
+
+
+def test_table1_dataset_statistics(benchmark, bench_config):
+    configs = [bench_config.with_dataset("movielens"), bench_config.with_dataset("lastfm")]
+
+    rows = benchmark.pedantic(tables.table1_dataset_statistics, args=(configs,), rounds=1, iterations=1)
+
+    print_report("Table I - dataset statistics", format_table(rows))
+    by_name = {row["dataset"]: row for row in rows}
+    movielens = next(v for k, v in by_name.items() if "movielens" in k)
+    lastfm = next(v for k, v in by_name.items() if "lastfm" in k)
+    assert movielens["users"] > 0 and lastfm["users"] > 0
+    # Shape claims from Table I: MovieLens is denser and has longer histories.
+    assert movielens["avg_items_per_user"] > lastfm["avg_items_per_user"]
+    assert movielens["density"] > lastfm["density"]

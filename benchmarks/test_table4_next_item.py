@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Table IV (next-item accuracy, vanilla vs. IRS).
+
+Paper reference (Table IV): the IRS-adapted models lose a little next-item
+accuracy (2-20%) compared to their vanilla versions because they have to
+shift toward the objective early, but IRN stays within ~9% of the best
+next-item recommender.  The assertions check the direction of that claim:
+IRS-adapted rankings are (on average) no better than the vanilla next-item
+rankings, and IRN's next-item accuracy stays within a reasonable factor of
+the best baseline.
+"""
+
+import numpy as np
+
+from repro.experiments import tables
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import print_report
+
+
+def test_table4_next_item(benchmark, pipeline, fast_mode):
+    rows = benchmark.pedantic(tables.table4_next_item, args=(pipeline,), rounds=1, iterations=1)
+
+    print_report("Table IV - next-item recommendation", format_table(rows))
+    hr_key = "hr@20"
+    next_item = [row for row in rows if row["group"] == "Next-item RS"]
+    irs = [row for row in rows if row["group"] == "IRS"]
+    assert next_item and irs
+    for row in rows:
+        assert 0.0 <= row[hr_key] <= 1.0
+        assert 0.0 <= row["mrr"] <= 1.0
+
+    if fast_mode:
+        return
+
+    # The IRS adaptations do not *gain* accuracy from chasing the objective.
+    mean_next = np.mean([row[hr_key] for row in next_item])
+    mean_irs = np.mean([row[hr_key] for row in irs])
+    assert mean_irs <= mean_next * 1.15
+
+    # IRN remains a competent next-item recommender (the paper reports ~9%
+    # loss vs. BERT4Rec; we allow a factor of 2 at this training budget).
+    irn_row = next(row for row in irs if row["method"] == "IRN")
+    best_next = max(row[hr_key] for row in next_item)
+    assert irn_row[hr_key] >= 0.5 * best_next

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table V (PIM mask-type ablation).
+
+Paper reference (Table V): revealing the objective (Type 2) dramatically
+improves SR20 / IoI20 over the purely causal mask (Type 1) at a modest PPL
+cost, and adding the personalized impressionability factor (Type 3) improves
+the influence metrics further (~20%) with no evident smoothness impact.
+
+The Type-1-vs-rest gap is large and reproduces robustly; the Type-2-vs-Type-3
+gap is small in the paper and within noise at this scale, so it is asserted
+only loosely (Type 3 within 75% of Type 2 or better).
+"""
+
+from repro.experiments import tables
+from repro.experiments.reporting import format_table
+
+from benchmarks.conftest import print_report
+
+
+def test_table5_mask_ablation(benchmark, pipeline, fast_mode):
+    max_length = pipeline.config.max_path_length
+    sr, ioi = f"SR{max_length}", f"IoI{max_length}"
+
+    rows = benchmark.pedantic(tables.table5_mask_ablation, args=(pipeline,), rounds=1, iterations=1)
+
+    print_report("Table V - PIM ablation", format_table(rows))
+    assert len(rows) == 3
+    type1, type2, type3 = rows
+
+    if fast_mode:
+        return
+
+    # Perceiving the objective is what creates influence (Type 2/3 >> Type 1).
+    assert type2[sr] >= type1[sr]
+    assert type3[sr] >= type1[sr]
+    assert type2[ioi] > type1[ioi]
+    assert type3[ioi] > type1[ioi]
+
+    # Personalization keeps (or improves) the influence power of Type 2.
+    assert type3[sr] >= 0.75 * type2[sr]
+    assert type3[ioi] >= 0.6 * type2[ioi]

@@ -1,0 +1,89 @@
+"""Interactive influence sessions: users who can say "no".
+
+Run with::
+
+    python examples/interactive_session.py
+
+The paper assumes the user passively accepts every recommended item; its
+conclusion lists stepwise user dynamics as future work.  This example runs
+that loop: a simulated user (driven by an IRS evaluator and a per-user
+impressionability profile) accepts or rejects every recommendation, and the
+recommender replans around rejections.  Two frameworks face the same users:
+IRN and the Rec2Inf adaptation of a Markov-chain backbone.
+"""
+
+from __future__ import annotations
+
+from repro.core import IRN, Rec2Inf
+from repro.data import build_corpus, split_corpus, synthetic_movielens
+from repro.evaluation import IRSEvaluator, sample_objectives
+from repro.experiments import format_table
+from repro.models import MarkovChainRecommender
+from repro.simulation import (
+    AggressivenessBackoffPolicy,
+    ExcludeRejectedPolicy,
+    run_interactive_experiment,
+)
+
+
+def main() -> None:
+    # 1. Data and models (small synthetic corpus, quick training).
+    dataset = synthetic_movielens(scale=0.5, seed=0)
+    corpus = build_corpus(dataset, min_interactions=5)
+    split = split_corpus(corpus, l_min=10, l_max=25, seed=0)
+    print("Corpus:", corpus.statistics().as_row())
+
+    evaluator = IRSEvaluator(MarkovChainRecommender().fit(split))
+    irn = IRN(embedding_dim=24, num_layers=2, num_heads=2, epochs=8, seed=0).fit(split)
+    rec2inf = Rec2Inf(MarkovChainRecommender(), candidate_k=20).fit(split)
+    frameworks = {"IRN": irn, "Rec2Inf Markov": rec2inf}
+
+    # 2. The same simulated users face every framework.
+    instances = sample_objectives(split, seed=2, max_instances=30)
+
+    print("\n--- exclude-rejected policy (replan around rejections) ---")
+    comparison = run_interactive_experiment(
+        frameworks,
+        instances,
+        evaluator,
+        policy=ExcludeRejectedPolicy(),
+        max_steps=15,
+        patience=3,
+        seed=0,
+    )
+    print(format_table(comparison.rows()))
+
+    print("\n--- backoff policy (lower aggressiveness after a rejection) ---")
+    comparison = run_interactive_experiment(
+        frameworks,
+        instances,
+        evaluator,
+        policy=AggressivenessBackoffPolicy(backoff=0.5),
+        max_steps=15,
+        patience=3,
+        seed=0,
+    )
+    print(format_table(comparison.rows()))
+
+    # 3. Zoom into one session to see the accept/reject dynamics.
+    from repro.simulation import InteractiveSession, SimulatedUser
+
+    instance = instances[0]
+    user = SimulatedUser(evaluator, seed=7)
+    session = InteractiveSession(irn, user, max_steps=15).run(
+        instance.history, instance.objective, user_index=instance.user_index
+    )
+    print(
+        f"\nOne IRN session (objective {corpus.vocab.item(instance.objective)}, "
+        f"{'reached' if session.reached else 'not reached'}):"
+    )
+    for step in session.steps:
+        verdict = "accepted" if step.accepted else "rejected"
+        print(
+            f"  step {step.step + 1:2d}: {corpus.vocab.item(step.item)} "
+            f"P(accept)={step.acceptance_probability:.3f}  -> {verdict}"
+        )
+
+
+if __name__ == "__main__":
+    main()

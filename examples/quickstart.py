@@ -1,0 +1,65 @@
+"""Quickstart: train IRN on a small synthetic corpus and generate influence paths.
+
+Run with::
+
+    python examples/quickstart.py
+
+It takes well under a minute on a laptop CPU: the script builds a small
+MovieLens-like synthetic corpus, trains the Influential Recommender Network,
+and then walks one user from their current interests toward a randomly chosen
+objective item, printing the influence path with genre annotations.
+"""
+
+from __future__ import annotations
+
+from repro.core import IRN
+from repro.data import build_corpus, split_corpus, synthetic_movielens
+from repro.evaluation import IRSEvaluator, sample_objectives
+from repro.models import MarkovChainRecommender
+
+
+def main() -> None:
+    # 1. Data: a small MovieLens-flavoured synthetic corpus (§IV-A).
+    dataset = synthetic_movielens(scale=0.5, seed=0)
+    corpus = build_corpus(dataset, min_interactions=5)
+    split = split_corpus(corpus, l_min=10, l_max=25, seed=0)
+    print("Corpus:", corpus.statistics().as_row())
+
+    # 2. Model: the Influential Recommender Network (§III-D).
+    irn = IRN(
+        embedding_dim=24,
+        num_layers=2,
+        num_heads=2,
+        epochs=8,
+        item2vec_init=True,
+        max_sequence_length=26,
+        seed=0,
+    )
+    irn.fit(split)
+
+    # 3. A cheap evaluator to report how plausible each step is (§IV-B3).
+    evaluator = IRSEvaluator(MarkovChainRecommender().fit(split))
+
+    # 4. Generate an influence path for the first few test users (Algorithm 1).
+    instances = sample_objectives(split, seed=1, max_instances=3)
+    for instance in instances:
+        history = list(instance.history)[-20:]
+        path = irn.generate_path(
+            history, instance.objective, user_index=instance.user_index, max_length=15
+        )
+        reached = "reached" if instance.objective in path else "not reached"
+        print(f"\nUser {corpus.user_ids[instance.user_index]}"
+              f"  objective={corpus.vocab.item(instance.objective)}"
+              f" {corpus.item_genres(instance.objective)}  ({reached})")
+        print(f"  last history item: {corpus.vocab.item(history[-1])} {corpus.item_genres(history[-1])}")
+        for step, item in enumerate(path, start=1):
+            probability = evaluator.probability(item, history + path[: step - 1])
+            marker = " <-- objective" if item == instance.objective else ""
+            print(
+                f"  step {step:2d}: {corpus.vocab.item(item)} "
+                f"{corpus.item_genres(item)}  P(accept)={probability:.3f}{marker}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so the package can be installed in environments without the ``wheel``
+package (legacy ``pip install -e .`` / ``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Reproduction of "Influential Recommender System" (ICDE 2023).
+
+The package is organised in layers:
+
+``repro.nn``
+    A from-scratch reverse-mode autograd engine and neural-network layers
+    (the substrate that replaces PyTorch in this environment).
+``repro.data``
+    Interaction datasets, preprocessing, splitting, padding and synthetic
+    MovieLens-1M / Lastfm-like corpus generators.
+``repro.embeddings``
+    item2vec (skip-gram with negative sampling) and PPMI/SVD embeddings.
+``repro.models``
+    Sequential recommender baselines (POP, BPR, TransRec, GRU4Rec, Caser,
+    SASRec, BERT4Rec, Markov) used both as Rec2Inf backbones and as
+    candidates for the IRS evaluator.
+``repro.core``
+    The paper's contribution: the Influential Recommender Network (IRN)
+    with the Personalized Impressionability Mask, plus the Pf2Inf and
+    Rec2Inf adaptation frameworks, the influence-path generation loop,
+    beam-search planning and objective sets (collections / categories).
+``repro.kg``
+    Item/genre knowledge graph and the Kg2Inf subgraph-expansion
+    recommender (the paper's future-work direction 1).
+``repro.simulation``
+    Stepwise accept/reject user simulation with replanning policies
+    (future-work direction 4).
+``repro.analysis``
+    Genre-transition, diversity/novelty and path-quality diagnostics.
+``repro.evaluation``
+    The IRS evaluator, the SR/IoI/IoR/PPL metrics and the offline
+    evaluation protocols.
+``repro.experiments``
+    Config objects and runners that regenerate every table and figure of
+    the paper's evaluation section, the ablations, the extensions and the
+    hyper-parameter grid search.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

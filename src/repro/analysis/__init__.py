@@ -1,0 +1,34 @@
+"""Path diagnostics: genre transitions, diversity/novelty and framework reports.
+
+The paper argues qualitatively (Table VII) that IRN's influence paths shift
+smoothly between genres.  This subpackage turns that case study into
+repeatable, quantitative diagnostics that work on any collection of
+:class:`~repro.evaluation.protocol.PathRecord` objects:
+
+* :mod:`~repro.analysis.genres` — genre transition tables (the generalised
+  Table VII), per-path genre-shift smoothness and a genre-to-genre transition
+  matrix.
+* :mod:`~repro.analysis.diversity` — intra-list diversity, popularity-based
+  novelty and catalog coverage of the generated paths.
+* :mod:`~repro.analysis.reports` — one-row-per-framework summaries combining
+  the above with reach statistics.
+"""
+
+from repro.analysis.diversity import catalog_coverage, intra_list_diversity, novelty
+from repro.analysis.genres import (
+    genre_shift_smoothness,
+    genre_transition_matrix,
+    genre_transition_table,
+)
+from repro.analysis.reports import framework_path_report, path_length_statistics
+
+__all__ = [
+    "catalog_coverage",
+    "framework_path_report",
+    "genre_shift_smoothness",
+    "genre_transition_matrix",
+    "genre_transition_table",
+    "intra_list_diversity",
+    "novelty",
+    "path_length_statistics",
+]

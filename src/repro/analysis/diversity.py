@@ -1,0 +1,89 @@
+"""Diversity, novelty and coverage diagnostics of influence paths.
+
+These metrics complement the paper's smoothness/reach metrics with the
+standard beyond-accuracy dimensions of recommendation quality:
+
+* **Intra-list diversity** — average pairwise item distance within a path.
+  An influence path should be diverse enough to move the user somewhere new,
+  but a maximally diverse path is just noise.
+* **Novelty** — average self-information ``-log2 p(item)`` of the path items
+  under the corpus popularity distribution; higher values mean the path digs
+  into the long tail.
+* **Catalog coverage** — fraction of the catalogue recommended at least once
+  across all paths of a framework; low coverage signals that a framework
+  funnels every user through the same few items.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.distance import ItemDistance
+from repro.data.interactions import SequenceCorpus
+from repro.utils.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evaluation.protocol import PathRecord
+
+__all__ = ["intra_list_diversity", "novelty", "catalog_coverage"]
+
+
+def _require_records(records: Sequence["PathRecord"]) -> None:
+    if not records:
+        raise ConfigurationError("no path records to analyse")
+
+
+def intra_list_diversity(
+    records: Sequence["PathRecord"], distance: ItemDistance
+) -> float:
+    """Mean pairwise distance between items of the same path.
+
+    Paths with fewer than two items are skipped; returns ``nan`` when every
+    path is that short.
+    """
+    _require_records(records)
+    per_path: list[float] = []
+    for record in records:
+        items = list(record.path)
+        if len(items) < 2:
+            continue
+        pair_distances = [
+            distance.distance(first, second)
+            for position, first in enumerate(items)
+            for second in items[position + 1 :]
+        ]
+        per_path.append(float(np.mean(pair_distances)))
+    if not per_path:
+        return float("nan")
+    return float(np.mean(per_path))
+
+
+def novelty(records: Sequence["PathRecord"], corpus: SequenceCorpus) -> float:
+    """Mean self-information (bits) of recommended items under corpus popularity."""
+    _require_records(records)
+    popularity = corpus.item_popularity().astype(np.float64)
+    total = popularity.sum()
+    if total <= 0:
+        raise ConfigurationError("corpus popularity is empty")
+    probabilities = popularity / total
+    values: list[float] = []
+    for record in records:
+        for item in record.path:
+            probability = max(float(probabilities[item]), 1e-12)
+            values.append(-float(np.log2(probability)))
+    if not values:
+        return float("nan")
+    return float(np.mean(values))
+
+
+def catalog_coverage(records: Sequence["PathRecord"], corpus: SequenceCorpus) -> float:
+    """Fraction of catalogue items that appear in at least one path."""
+    _require_records(records)
+    recommended = {int(item) for record in records for item in record.path}
+    recommended.discard(0)
+    catalogue = corpus.vocab.num_items
+    if catalogue <= 0:
+        raise ConfigurationError("empty catalogue")
+    return len(recommended) / catalogue

@@ -1,0 +1,124 @@
+"""Genre-level diagnostics of influence paths (the generalised Table VII).
+
+All functions take :class:`~repro.evaluation.protocol.PathRecord` objects (or
+raw item sequences) plus a corpus with genre metadata, and degrade gracefully
+— returning empty / neutral values — when the corpus has no genres.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.data.interactions import SequenceCorpus
+from repro.utils.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evaluation.protocol import PathRecord
+
+__all__ = ["genre_transition_table", "genre_shift_smoothness", "genre_transition_matrix"]
+
+
+def _format_genres(corpus: SequenceCorpus, item: int) -> str:
+    genres = corpus.item_genres(item)
+    return ", ".join(genres) if genres else "-"
+
+
+def genre_transition_table(
+    record: "PathRecord", corpus: SequenceCorpus
+) -> list[dict[str, str]]:
+    """The Table VII view of one path: role, item label and genres per row.
+
+    Rows: the last history item, every path step, and the objective (with a
+    marker noting whether it was reached).
+    """
+    rows: list[dict[str, str]] = []
+    if record.history:
+        last = record.history[-1]
+        rows.append(
+            {
+                "role": "history (last item)",
+                "item": str(corpus.vocab.item(last)),
+                "genres": _format_genres(corpus, last),
+            }
+        )
+    for step, item in enumerate(record.path, start=1):
+        rows.append(
+            {
+                "role": f"path step {step}",
+                "item": str(corpus.vocab.item(item)),
+                "genres": _format_genres(corpus, item),
+            }
+        )
+    reached = record.objective in record.path
+    rows.append(
+        {
+            "role": "objective (reached)" if reached else "objective (not reached)",
+            "item": str(corpus.vocab.item(record.objective)),
+            "genres": _format_genres(corpus, record.objective),
+        }
+    )
+    return rows
+
+
+def _pairwise_share(corpus: SequenceCorpus, sequence: Sequence[int]) -> list[bool]:
+    shares = []
+    for previous, current in zip(sequence[:-1], sequence[1:]):
+        previous_genres = set(corpus.item_genres(previous))
+        current_genres = set(corpus.item_genres(current))
+        shares.append(bool(previous_genres & current_genres))
+    return shares
+
+
+def genre_shift_smoothness(
+    records: "Sequence[PathRecord]", corpus: SequenceCorpus, include_history_link: bool = True
+) -> float:
+    """Fraction of consecutive path transitions that share at least one genre.
+
+    A value of 1.0 means every step stays within a genre the user just saw
+    (maximally smooth); 0.0 means every step jumps to unrelated genres.  With
+    ``include_history_link=True`` the transition from the last history item
+    to the first path item is counted as well.
+    """
+    if not records:
+        raise ConfigurationError("no path records to analyse")
+    if corpus.item_genre_matrix is None:
+        return float("nan")
+    shares: list[bool] = []
+    for record in records:
+        sequence = list(record.path)
+        if include_history_link and record.history and sequence:
+            sequence = [record.history[-1]] + sequence
+        shares.extend(_pairwise_share(corpus, sequence))
+    if not shares:
+        return float("nan")
+    return float(np.mean(shares))
+
+
+def genre_transition_matrix(
+    records: "Sequence[PathRecord]", corpus: SequenceCorpus
+) -> tuple[list[str], np.ndarray]:
+    """Counts of genre-to-genre transitions along the paths.
+
+    Returns the genre names and a ``(G, G)`` count matrix where entry
+    ``(a, b)`` counts path transitions whose previous item carries genre
+    ``a`` and next item carries genre ``b``.  Multi-genre items contribute to
+    every combination of their genres.
+    """
+    if not records:
+        raise ConfigurationError("no path records to analyse")
+    if corpus.item_genre_matrix is None or not corpus.genre_names:
+        raise ConfigurationError(f"corpus '{corpus.name}' has no genre metadata")
+    genres = list(corpus.genre_names)
+    index = {name: position for position, name in enumerate(genres)}
+    matrix = np.zeros((len(genres), len(genres)), dtype=np.int64)
+    for record in records:
+        sequence = list(record.path)
+        if record.history and sequence:
+            sequence = [record.history[-1]] + sequence
+        for previous, current in zip(sequence[:-1], sequence[1:]):
+            for source in corpus.item_genres(previous):
+                for target in corpus.item_genres(current):
+                    matrix[index[source], index[target]] += 1
+    return genres, matrix

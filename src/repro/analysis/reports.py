@@ -1,0 +1,69 @@
+"""Per-framework path reports combining reach, smoothness and diversity."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.diversity import catalog_coverage, intra_list_diversity, novelty
+from repro.analysis.genres import genre_shift_smoothness
+from repro.core.distance import ItemDistance
+from repro.data.interactions import SequenceCorpus
+from repro.utils.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evaluation.protocol import PathRecord
+
+__all__ = ["path_length_statistics", "framework_path_report"]
+
+
+def path_length_statistics(records: Sequence["PathRecord"]) -> dict[str, float]:
+    """Reach rate plus mean/median path lengths (overall and for successful paths)."""
+    if not records:
+        raise ConfigurationError("no path records to analyse")
+    lengths = [len(record.path) for record in records]
+    successful = [len(record.path) for record in records if record.reached]
+    return {
+        "reach_rate": sum(1 for record in records if record.reached) / len(records),
+        "mean_length": float(np.mean(lengths)),
+        "median_length": float(np.median(lengths)),
+        "mean_length_on_success": float(np.mean(successful)) if successful else float("nan"),
+        "empty_paths": sum(1 for record in records if not record.path) / len(records),
+    }
+
+
+def framework_path_report(
+    records_by_framework: Mapping[str, Sequence["PathRecord"]],
+    corpus: SequenceCorpus,
+    distance: ItemDistance | None = None,
+) -> list[dict[str, float | str]]:
+    """One summary row per framework.
+
+    Columns: reach rate, mean path length (overall / successful), genre-shift
+    smoothness, intra-list diversity (when a distance is provided), novelty
+    and catalogue coverage.
+    """
+    if not records_by_framework:
+        raise ConfigurationError("no frameworks to report on")
+    if distance is None and corpus.item_genre_matrix is not None:
+        distance = ItemDistance.from_genres(corpus)
+
+    rows: list[dict[str, float | str]] = []
+    for framework, records in records_by_framework.items():
+        statistics = path_length_statistics(records)
+        row: dict[str, float | str] = {
+            "framework": framework,
+            "reach_rate": round(statistics["reach_rate"], 4),
+            "mean_length": round(statistics["mean_length"], 2),
+            "length_on_success": round(statistics["mean_length_on_success"], 2)
+            if np.isfinite(statistics["mean_length_on_success"])
+            else float("nan"),
+            "genre_smoothness": round(genre_shift_smoothness(records, corpus), 4),
+            "novelty_bits": round(novelty(records, corpus), 3),
+            "coverage": round(catalog_coverage(records, corpus), 4),
+        }
+        if distance is not None:
+            row["diversity"] = round(intra_list_diversity(records, distance), 4)
+        rows.append(row)
+    return rows

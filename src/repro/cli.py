@@ -1,0 +1,191 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Examples
+--------
+::
+
+    repro-irs table3 --dataset movielens --profile fast
+    repro-irs figure7 --dataset lastfm
+    repro-irs all --profile default --output results.txt
+    repro-irs ablation-decoding --profile fast
+    repro-irs ext-interactive --dataset lastfm
+
+``all`` regenerates every table and figure of the paper; the ``ablation-*``
+and ``ext-*`` artefacts cover the design-choice ablations and the
+future-work extensions (interactive simulation, knowledge graph, category
+objectives, path quality) and are run individually.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ablations as ablation_functions
+from repro.experiments import extensions as extension_functions
+from repro.experiments import figures as figure_functions
+from repro.experiments import tables as table_functions
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.reporting import format_series, format_table
+
+__all__ = ["main", "build_parser"]
+
+_TABLES = {
+    "table1": "Table I - dataset statistics",
+    "table2": "Table II - IRS evaluator selection",
+    "table3": "Table III - main comparison (M=20)",
+    "table4": "Table IV - next-item performance",
+    "table5": "Table V - PIM mask ablation",
+    "table6": "Table VI - hyperparameters",
+    "table7": "Table VII - case study",
+}
+_FIGURES = {
+    "figure6": "Figure 6 - SR_M vs path length",
+    "figure7": "Figure 7 - aggressiveness degree",
+    "figure8": "Figure 8 - impressionability distribution",
+    "figure9": "Figure 9 - stepwise evolution",
+}
+_ABLATIONS = {
+    "ablation-embedding": "Ablation - item-embedding initialisation",
+    "ablation-padding": "Ablation - pre vs post padding",
+    "ablation-decoding": "Ablation - greedy vs beam-search decoding",
+}
+_EXTENSIONS = {
+    "ext-interactive": "Extension - interactive (accept/reject) simulation",
+    "ext-kg": "Extension - knowledge-graph path finding",
+    "ext-category": "Extension - category objectives",
+    "ext-quality": "Extension - path quality report",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-irs",
+        description="Reproduce the tables and figures of 'Influential Recommender System' (ICDE 2023).",
+    )
+    parser.add_argument(
+        "artefact",
+        choices=sorted(_TABLES) + sorted(_FIGURES) + sorted(_ABLATIONS) + sorted(_EXTENSIONS) + ["all"],
+        help="which table/figure/ablation/extension to regenerate ('all' covers the paper artefacts)",
+    )
+    parser.add_argument("--dataset", choices=["movielens", "lastfm"], default="movielens")
+    parser.add_argument(
+        "--profile",
+        choices=["default", "fast"],
+        default="default",
+        help="'fast' runs a seconds-scale smoke configuration",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=None, help="override the corpus scale")
+    parser.add_argument(
+        "--data-directory",
+        default=None,
+        help="path to a real MovieLens-1M / Lastfm dump (otherwise synthetic data is used)",
+    )
+    parser.add_argument("--output", default=None, help="write the report to this file as well")
+    return parser
+
+
+def _make_config(args: argparse.Namespace) -> ExperimentConfig:
+    if args.profile == "fast":
+        config = ExperimentConfig.fast(dataset=args.dataset, seed=args.seed)
+    else:
+        config = ExperimentConfig.default(dataset=args.dataset, seed=args.seed)
+    if args.scale is not None:
+        config.scale = args.scale
+    if args.data_directory is not None:
+        config.data_directory = args.data_directory
+    return config
+
+
+def _render(artefact: str, pipeline: ExperimentPipeline, config: ExperimentConfig) -> str:
+    if artefact == "table1":
+        rows = table_functions.table1_dataset_statistics(
+            [config, config.with_dataset("lastfm" if config.dataset == "movielens" else "movielens")]
+        )
+        return format_table(rows, title=_TABLES[artefact])
+    if artefact == "table2":
+        return format_table(table_functions.table2_evaluator_selection(pipeline), title=_TABLES[artefact])
+    if artefact == "table3":
+        return format_table(table_functions.table3_main_comparison(pipeline), title=_TABLES[artefact])
+    if artefact == "table4":
+        return format_table(table_functions.table4_next_item(pipeline), title=_TABLES[artefact])
+    if artefact == "table5":
+        return format_table(table_functions.table5_mask_ablation(pipeline), title=_TABLES[artefact])
+    if artefact == "table6":
+        return format_table(table_functions.table6_hyperparameters(pipeline), title=_TABLES[artefact])
+    if artefact == "table7":
+        return format_table(table_functions.table7_case_study(pipeline), title=_TABLES[artefact])
+    if artefact == "figure6":
+        curves = figure_functions.figure6_success_vs_length(pipeline)
+        series = {name: list(values.values()) for name, values in curves.items()}
+        return format_series(series, x_label="length index", title=_FIGURES[artefact])
+    if artefact == "figure7":
+        sweep = figure_functions.figure7_aggressiveness(pipeline)
+        parts = []
+        for name, rows in sweep.items():
+            parts.append(format_table(rows, title=f"{_FIGURES[artefact]} [{name}]"))
+        return "\n\n".join(parts)
+    if artefact == "figure8":
+        data = figure_functions.figure8_impressionability_distribution(pipeline)
+        rows = [
+            {"bin_left": round(left, 3), "bin_right": round(right, 3), "count": count}
+            for left, right, count in zip(
+                data["histogram_edges"][:-1], data["histogram_edges"][1:], data["histogram_counts"]
+            )
+        ]
+        summary = f"mean={data['mean']:.3f} std={data['std']:.3f}"
+        if "correlation_with_ground_truth" in data:
+            summary += f" corr(ground truth)={data['correlation_with_ground_truth']:.3f}"
+        return format_table(rows, title=f"{_FIGURES[artefact]} ({summary})")
+    if artefact == "figure9":
+        evolution = figure_functions.figure9_stepwise_evolution(pipeline)
+        parts = []
+        for name, curves in evolution.items():
+            parts.append(format_series(curves, title=f"{_FIGURES[artefact]} [{name}]"))
+        return "\n\n".join(parts)
+    if artefact == "ablation-embedding":
+        rows = ablation_functions.ablation_embedding_init(pipeline)
+        return format_table(rows, title=_ABLATIONS[artefact])
+    if artefact == "ablation-padding":
+        rows = ablation_functions.ablation_padding_scheme(pipeline)
+        return format_table(rows, title=_ABLATIONS[artefact])
+    if artefact == "ablation-decoding":
+        rows = ablation_functions.ablation_decoding(pipeline)
+        return format_table(rows, title=_ABLATIONS[artefact])
+    if artefact == "ext-interactive":
+        rows = extension_functions.extension_interactive_comparison(pipeline)
+        return format_table(rows, title=_EXTENSIONS[artefact])
+    if artefact == "ext-kg":
+        rows = extension_functions.extension_kg_comparison(pipeline)
+        return format_table(rows, title=_EXTENSIONS[artefact])
+    if artefact == "ext-category":
+        rows = extension_functions.extension_category_objectives(pipeline)
+        return format_table(rows, title=_EXTENSIONS[artefact])
+    if artefact == "ext-quality":
+        rows = extension_functions.extension_path_quality_report(pipeline)
+        return format_table(rows, title=_EXTENSIONS[artefact])
+    raise ValueError(f"unknown artefact '{artefact}'")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = _make_config(args)
+    pipeline = ExperimentPipeline(config)
+
+    artefacts = sorted(_TABLES) + sorted(_FIGURES) if args.artefact == "all" else [args.artefact]
+    reports = [_render(artefact, pipeline, config) for artefact in artefacts]
+    report = "\n\n".join(reports)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

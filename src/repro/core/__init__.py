@@ -1,0 +1,53 @@
+"""The Influential Recommender System frameworks (§III of the paper).
+
+* :class:`~repro.core.base.InfluentialRecommender` — common interface: given
+  a user history and an objective item, produce the next path item (and, via
+  Algorithm 1, a whole influence path).
+* :class:`~repro.core.pf2inf.Pf2Inf` — path-finding on the item graph
+  (Dijkstra / minimum spanning tree), §III-B.
+* :class:`~repro.core.rec2inf.Rec2Inf` — greedy adaptation of any existing
+  sequential recommender: re-rank its top-k candidates by distance to the
+  objective, §III-C.
+* :class:`~repro.core.vanilla.VanillaInfluential` — the unadapted baseline
+  that just repeats the backbone's top recommendation.
+* :class:`~repro.core.irn.IRN` — the Influential Recommender Network with the
+  Personalized Impressionability Mask, §III-D.
+"""
+
+from repro.core.base import InfluentialRecommender, influential_registry
+from repro.core.beam import BeamSearchPlanner
+from repro.core.distance import ItemDistance
+from repro.core.influence_path import generate_influence_path
+from repro.core.irn import IRN
+from repro.core.item_graph import build_item_graph
+from repro.core.objectives import (
+    CategoryObjective,
+    ItemSetObjective,
+    ObjectiveSet,
+    SingleItemObjective,
+    generate_path_to_set,
+)
+from repro.core.pf2inf import Pf2Inf
+from repro.core.pim import MaskType, build_pim
+from repro.core.rec2inf import Rec2Inf
+from repro.core.vanilla import VanillaInfluential
+
+__all__ = [
+    "BeamSearchPlanner",
+    "CategoryObjective",
+    "IRN",
+    "InfluentialRecommender",
+    "ItemDistance",
+    "ItemSetObjective",
+    "MaskType",
+    "ObjectiveSet",
+    "Pf2Inf",
+    "Rec2Inf",
+    "SingleItemObjective",
+    "VanillaInfluential",
+    "build_item_graph",
+    "build_pim",
+    "generate_influence_path",
+    "generate_path_to_set",
+    "influential_registry",
+]

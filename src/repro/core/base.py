@@ -1,0 +1,66 @@
+"""Common interface for influential recommenders and Algorithm 1."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.data.interactions import SequenceCorpus
+from repro.data.splitting import DatasetSplit
+from repro.utils.exceptions import NotFittedError
+from repro.utils.registry import Registry
+
+__all__ = ["InfluentialRecommender", "influential_registry"]
+
+#: Registry mapping framework names ("irn", "rec2inf", "pf2inf", ...) to classes.
+influential_registry: Registry["InfluentialRecommender"] = Registry("influential recommender")
+
+
+class InfluentialRecommender(abc.ABC):
+    """A recommender that leads a user toward a given objective item.
+
+    The central operation is :meth:`next_step` — the recommender function
+    ``F(s_h, i_t, s_p)`` of Algorithm 1 — which proposes the next path item
+    given the user's history, the objective and the path generated so far.
+    :meth:`generate_path` runs the full Algorithm 1 loop.
+    """
+
+    #: human-readable name used in result tables
+    name: str = "influential"
+
+    def __init__(self) -> None:
+        self.corpus: SequenceCorpus | None = None
+
+    @abc.abstractmethod
+    def fit(self, split: DatasetSplit) -> "InfluentialRecommender":
+        """Train (or index) the recommender on the training split."""
+
+    @abc.abstractmethod
+    def next_step(
+        self,
+        history: Sequence[int],
+        objective: int,
+        path_so_far: Sequence[int],
+        user_index: int | None = None,
+    ) -> int | None:
+        """Return the next path item, or ``None`` if no item can be proposed."""
+
+    # ------------------------------------------------------------------ #
+    def generate_path(
+        self,
+        history: Sequence[int],
+        objective: int,
+        user_index: int | None = None,
+        max_length: int = 20,
+    ) -> list[int]:
+        """Run Algorithm 1: recommend path items until the objective or ``max_length``."""
+        from repro.core.influence_path import generate_influence_path
+
+        return generate_influence_path(
+            self, history, objective, user_index=user_index, max_length=max_length
+        )
+
+    def _require_fitted(self) -> SequenceCorpus:
+        if self.corpus is None:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+        return self.corpus

@@ -1,0 +1,221 @@
+"""Beam-search influence-path planning.
+
+Algorithm 1 of the paper generates the influence path greedily: at each step
+the single highest-probability item (given the objective through the PIM) is
+appended.  Greedy decoding can paint the path into a corner — exactly the
+limitation the paper attributes to Rec2Inf ("the local optimal selections may
+not ultimately reach the global optimal influence path", §III-C).
+
+:class:`BeamSearchPlanner` wraps any recommender that exposes
+``score_with_objective(sequence, objective, user_index)`` (IRN does) and
+plans the whole path with beam search instead.  Hypotheses are scored by
+their average per-step log-probability plus a terminal bonus for reaching the
+objective; the best complete hypothesis (or the best partial one, if none is
+complete) becomes the influence path.
+
+The planner also implements the standard
+:class:`~repro.core.base.InfluentialRecommender` interface, so it drops into
+every evaluation protocol: ``next_step`` simply serves the next item of the
+currently planned path and replans when the context changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.base import InfluentialRecommender, influential_registry
+from repro.data.splitting import DatasetSplit
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["BeamSearchPlanner"]
+
+
+@runtime_checkable
+class _ObjectiveScorer(Protocol):
+    """Anything that can score the next item conditioned on an objective."""
+
+    def score_with_objective(
+        self, sequence: Sequence[int], objective: int, user_index: int | None = None
+    ) -> np.ndarray:  # pragma: no cover - protocol signature only
+        ...
+
+
+@dataclass(frozen=True)
+class _Hypothesis:
+    """One partial path inside the beam."""
+
+    items: tuple[int, ...]
+    log_probability: float
+    reached: bool
+
+    def score(self, objective_bonus: float) -> float:
+        """Length-normalised log-probability plus the completion bonus."""
+        length = max(len(self.items), 1)
+        return self.log_probability / length + (objective_bonus if self.reached else 0.0)
+
+
+@influential_registry.register("beam")
+class BeamSearchPlanner(InfluentialRecommender):
+    """Plan influence paths with beam search over an objective-aware scorer.
+
+    Parameters
+    ----------
+    backbone:
+        A fitted (or fit-able) recommender exposing ``score_with_objective``
+        — in practice an :class:`~repro.core.irn.IRN`.
+    beam_width:
+        Number of hypotheses kept per step.
+    branch_factor:
+        Number of next-item candidates expanded from each hypothesis.
+    objective_bonus:
+        Additive bonus (in average-log-prob units) for hypotheses that reach
+        the objective; larger values prefer *reaching* over smoothness.
+    fit_backbone:
+        Whether :meth:`fit` should also fit the backbone.
+    """
+
+    name = "IRN-beam"
+
+    def __init__(
+        self,
+        backbone: _ObjectiveScorer,
+        beam_width: int = 4,
+        branch_factor: int = 4,
+        objective_bonus: float = 1.0,
+        fit_backbone: bool = False,
+    ) -> None:
+        super().__init__()
+        if not hasattr(backbone, "score_with_objective"):
+            raise ConfigurationError(
+                "BeamSearchPlanner needs a backbone with score_with_objective()"
+            )
+        if beam_width <= 0 or branch_factor <= 0:
+            raise ConfigurationError("beam_width and branch_factor must be positive")
+        if objective_bonus < 0:
+            raise ConfigurationError("objective_bonus must be non-negative")
+        self.backbone = backbone
+        self.beam_width = beam_width
+        self.branch_factor = branch_factor
+        self.objective_bonus = objective_bonus
+        self.fit_backbone = fit_backbone
+        backbone_name = getattr(backbone, "name", type(backbone).__name__)
+        self.name = f"{backbone_name}-beam"
+        self._plan_key: tuple | None = None
+        self._plan: list[int] = []
+
+    # ------------------------------------------------------------------ #
+    def fit(self, split: DatasetSplit) -> "BeamSearchPlanner":
+        self.corpus = split.corpus
+        if self.fit_backbone:
+            self.backbone.fit(split)  # type: ignore[attr-defined]
+        backbone_corpus = getattr(self.backbone, "corpus", None)
+        if backbone_corpus is None:
+            raise ConfigurationError("the beam-search backbone must be fitted")
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _log_softmax(self, scores: np.ndarray) -> np.ndarray:
+        finite = np.isfinite(scores)
+        shifted = scores - np.max(scores[finite])
+        exp = np.where(finite, np.exp(shifted), 0.0)
+        log_norm = float(np.log(exp.sum()))
+        return np.where(finite, shifted - log_norm, -np.inf)
+
+    def _expand(
+        self,
+        hypothesis: _Hypothesis,
+        history: Sequence[int],
+        objective: int,
+        user_index: int | None,
+    ) -> list[_Hypothesis]:
+        sequence = list(history) + list(hypothesis.items)
+        scores = np.asarray(
+            self.backbone.score_with_objective(sequence, objective, user_index=user_index),
+            dtype=np.float64,
+        ).copy()
+        for item in sequence:
+            if item != objective:
+                scores[item] = -np.inf
+        log_probs = self._log_softmax(scores)
+        order = np.argsort(-log_probs, kind="stable")[: self.branch_factor]
+        children = []
+        for item in order:
+            item = int(item)
+            if not np.isfinite(log_probs[item]):
+                continue
+            children.append(
+                _Hypothesis(
+                    items=hypothesis.items + (item,),
+                    log_probability=hypothesis.log_probability + float(log_probs[item]),
+                    reached=item == objective,
+                )
+            )
+        return children
+
+    def plan_path(
+        self,
+        history: Sequence[int],
+        objective: int,
+        user_index: int | None = None,
+        max_length: int = 20,
+    ) -> list[int]:
+        """Plan a full influence path with beam search."""
+        if max_length <= 0:
+            raise ConfigurationError(f"max_length must be positive, got {max_length}")
+        self._require_fitted()
+        beam = [_Hypothesis(items=(), log_probability=0.0, reached=False)]
+        complete: list[_Hypothesis] = []
+
+        for _ in range(max_length):
+            candidates: list[_Hypothesis] = []
+            for hypothesis in beam:
+                if hypothesis.reached:
+                    complete.append(hypothesis)
+                    continue
+                candidates.extend(self._expand(hypothesis, history, objective, user_index))
+            if not candidates:
+                break
+            candidates.sort(key=lambda h: h.score(self.objective_bonus), reverse=True)
+            beam = candidates[: self.beam_width]
+
+        complete.extend(hypothesis for hypothesis in beam if hypothesis.reached)
+        pool = complete if complete else beam
+        if not pool:
+            return []
+        best = max(pool, key=lambda h: h.score(self.objective_bonus))
+        return list(best.items)
+
+    # ------------------------------------------------------------------ #
+    # InfluentialRecommender interface
+    # ------------------------------------------------------------------ #
+    def generate_path(
+        self,
+        history: Sequence[int],
+        objective: int,
+        user_index: int | None = None,
+        max_length: int = 20,
+    ) -> list[int]:
+        return self.plan_path(history, objective, user_index=user_index, max_length=max_length)
+
+    def next_step(
+        self,
+        history: Sequence[int],
+        objective: int,
+        path_so_far: Sequence[int],
+        user_index: int | None = None,
+    ) -> int | None:
+        key = (tuple(history), int(objective), user_index)
+        path_so_far = list(path_so_far)
+        if self._plan_key != key or self._plan[: len(path_so_far)] != path_so_far:
+            remaining = max(20 - len(path_so_far), 1)
+            replanned = self.plan_path(
+                list(history) + path_so_far, objective, user_index=user_index, max_length=remaining
+            )
+            self._plan_key = key
+            self._plan = path_so_far + replanned
+        if len(self._plan) > len(path_so_far):
+            return int(self._plan[len(path_so_far)])
+        return None

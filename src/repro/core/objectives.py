@@ -1,0 +1,304 @@
+"""Objective sets: influencing a user toward a collection, category or topic.
+
+The paper's conclusion (future-work direction 3) proposes to "expand the
+scope of the objective in IRS ... the objective can be a collection of items,
+a category, a topic, etc.".  This module provides that generalisation on top
+of the single-item machinery:
+
+* :class:`ObjectiveSet` and its concrete forms (:class:`SingleItemObjective`,
+  :class:`ItemSetObjective`, :class:`CategoryObjective`) describe *which*
+  items count as reaching the goal.
+* :func:`resolve_target` picks the concrete member item the path should steer
+  toward, given the user's current sequence (nearest / most popular member).
+* :func:`generate_path_to_set` runs the Algorithm 1 loop against an objective
+  set, optionally re-targeting the concrete member after every step.
+* :class:`SetPathRecord` plus :func:`set_success_rate` /
+  :func:`set_increase_of_interest` evaluate the generated paths, where
+  success means reaching *any* member of the set.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import InfluentialRecommender
+from repro.core.distance import ItemDistance
+from repro.data.interactions import SequenceCorpus
+from repro.evaluation.evaluator import IRSEvaluator
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "ObjectiveSet",
+    "SingleItemObjective",
+    "ItemSetObjective",
+    "CategoryObjective",
+    "resolve_target",
+    "generate_path_to_set",
+    "SetPathRecord",
+    "set_success_rate",
+    "set_increase_of_interest",
+]
+
+
+class ObjectiveSet(abc.ABC):
+    """A goal that is satisfied by any item from some set."""
+
+    #: human-readable description used in reports
+    name: str = "objective"
+
+    @abc.abstractmethod
+    def members(self, corpus: SequenceCorpus) -> list[int]:
+        """Item indices that satisfy the objective (non-empty, no padding)."""
+
+    # ------------------------------------------------------------------ #
+    def contains(self, item: int, corpus: SequenceCorpus) -> bool:
+        """Whether ``item`` satisfies the objective."""
+        return int(item) in set(self.members(corpus))
+
+    def validate(self, corpus: SequenceCorpus) -> list[int]:
+        """Return the members, raising if the set is empty or out of range."""
+        members = [int(item) for item in self.members(corpus)]
+        if not members:
+            raise ConfigurationError(f"objective '{self.name}' has no member items")
+        for item in members:
+            if not 1 <= item < corpus.vocab.size:
+                raise ConfigurationError(f"objective member {item} outside the vocabulary")
+        return members
+
+
+class SingleItemObjective(ObjectiveSet):
+    """The paper's original setting: one concrete objective item."""
+
+    def __init__(self, item: int) -> None:
+        self.item = int(item)
+        self.name = f"item:{self.item}"
+
+    def members(self, corpus: SequenceCorpus) -> list[int]:
+        return [self.item]
+
+
+class ItemSetObjective(ObjectiveSet):
+    """An explicit collection of acceptable objective items."""
+
+    def __init__(self, items: Sequence[int], name: str | None = None) -> None:
+        unique = sorted({int(item) for item in items})
+        if not unique:
+            raise ConfigurationError("ItemSetObjective needs at least one item")
+        self.items = unique
+        self.name = name or f"set:{len(unique)} items"
+
+    def members(self, corpus: SequenceCorpus) -> list[int]:
+        return list(self.items)
+
+
+class CategoryObjective(ObjectiveSet):
+    """All sufficiently popular items of one genre/category.
+
+    Parameters
+    ----------
+    genre:
+        Genre name as it appears in ``corpus.genre_names``.
+    min_interactions:
+        Only items with at least this many training interactions qualify
+        (mirrors the paper's objective-popularity constraint, §IV-B1).
+    """
+
+    def __init__(self, genre: str, min_interactions: int = 5) -> None:
+        if min_interactions < 0:
+            raise ConfigurationError("min_interactions must be non-negative")
+        self.genre = genre
+        self.min_interactions = min_interactions
+        self.name = f"category:{genre}"
+
+    def members(self, corpus: SequenceCorpus) -> list[int]:
+        if corpus.item_genre_matrix is None or not corpus.genre_names:
+            raise ConfigurationError(
+                f"corpus '{corpus.name}' has no genre metadata for category objectives"
+            )
+        if self.genre not in corpus.genre_names:
+            raise ConfigurationError(
+                f"unknown genre '{self.genre}' (available: {', '.join(corpus.genre_names)})"
+            )
+        column = corpus.genre_names.index(self.genre)
+        in_genre = np.flatnonzero(corpus.item_genre_matrix[:, column])
+        popularity = corpus.item_popularity()
+        members = [
+            int(item)
+            for item in in_genre
+            if item != 0 and popularity[item] >= self.min_interactions
+        ]
+        if not members:
+            # Fall back to the genre membership alone rather than failing.
+            members = [int(item) for item in in_genre if item != 0]
+        return members
+
+
+# ---------------------------------------------------------------------- #
+# Target resolution
+# ---------------------------------------------------------------------- #
+def resolve_target(
+    objective: ObjectiveSet,
+    corpus: SequenceCorpus,
+    sequence: Sequence[int],
+    distance: ItemDistance | None = None,
+    strategy: str = "nearest",
+) -> int:
+    """Pick the concrete member item the influence path should steer toward.
+
+    Strategies
+    ----------
+    ``"nearest"``
+        The member closest (by ``distance``) to the most recent items of the
+        user's sequence — the easiest member to reach from the current
+        interests.  Requires ``distance``; falls back to ``"popular"`` when
+        no distance is given.
+    ``"popular"``
+        The member with the most training interactions.
+    ``"first"``
+        The first member in canonical order (deterministic, metadata-free).
+    """
+    members = objective.validate(corpus)
+    if len(members) == 1:
+        return members[0]
+    if strategy == "nearest" and distance is None:
+        strategy = "popular"
+
+    if strategy == "nearest":
+        assert distance is not None
+        recent = [item for item in list(sequence)[-5:] if item != 0]
+        if not recent:
+            strategy = "popular"
+        else:
+            costs = []
+            for member in members:
+                distances = distance.distances_to(member)
+                costs.append(float(np.mean([distances[item] for item in recent])))
+            return members[int(np.argmin(costs))]
+
+    if strategy == "popular":
+        popularity = corpus.item_popularity()
+        return members[int(np.argmax([popularity[item] for item in members]))]
+    if strategy == "first":
+        return members[0]
+    raise ConfigurationError(f"unknown target-resolution strategy '{strategy}'")
+
+
+# ---------------------------------------------------------------------- #
+# Path generation against an objective set
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SetPathRecord:
+    """One influence path generated toward an objective set."""
+
+    user_index: int | None
+    history: tuple[int, ...]
+    objective_name: str
+    members: tuple[int, ...]
+    resolved_targets: tuple[int, ...]
+    path: tuple[int, ...]
+
+    @property
+    def reached(self) -> bool:
+        """Whether the path contains any member of the objective set."""
+        members = set(self.members)
+        return any(item in members for item in self.path)
+
+    @property
+    def reached_item(self) -> int | None:
+        """The first member item the path reached, if any."""
+        members = set(self.members)
+        for item in self.path:
+            if item in members:
+                return int(item)
+        return None
+
+
+def generate_path_to_set(
+    recommender: InfluentialRecommender,
+    history: Sequence[int],
+    objective: ObjectiveSet,
+    corpus: SequenceCorpus,
+    distance: ItemDistance | None = None,
+    user_index: int | None = None,
+    max_length: int = 20,
+    retarget: bool = True,
+    strategy: str = "nearest",
+) -> SetPathRecord:
+    """Run Algorithm 1 toward an objective *set*.
+
+    At every step the concrete target handed to the recommender is a member
+    of the set, chosen by :func:`resolve_target`.  With ``retarget=True`` the
+    target is re-resolved after each accepted step, so the path may switch to
+    a member that has become easier to reach; with ``retarget=False`` the
+    initial target is kept (the single-item behaviour).
+    """
+    if max_length <= 0:
+        raise ConfigurationError(f"max_length must be positive, got {max_length}")
+    members = tuple(objective.validate(corpus))
+    member_set = set(members)
+    history = list(history)
+    path: list[int] = []
+    resolved: list[int] = []
+
+    target = resolve_target(objective, corpus, history, distance=distance, strategy=strategy)
+    while len(path) < max_length:
+        resolved.append(target)
+        item = recommender.next_step(history, target, path, user_index=user_index)
+        if item is None:
+            break
+        path.append(int(item))
+        if item in member_set:
+            break
+        if retarget:
+            target = resolve_target(
+                objective, corpus, history + path, distance=distance, strategy=strategy
+            )
+    return SetPathRecord(
+        user_index=user_index,
+        history=tuple(history),
+        objective_name=objective.name,
+        members=members,
+        resolved_targets=tuple(resolved),
+        path=tuple(path),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Evaluation
+# ---------------------------------------------------------------------- #
+def set_success_rate(records: Sequence[SetPathRecord]) -> float:
+    """Fraction of paths that reached *any* member of their objective set."""
+    if not records:
+        raise ConfigurationError("no set-path records to evaluate")
+    return sum(1 for record in records if record.reached) / len(records)
+
+
+def set_increase_of_interest(
+    records: Sequence[SetPathRecord], evaluator: IRSEvaluator
+) -> float:
+    """Mean best-member increase of interest.
+
+    For each record the gain ``log P(m | s_h ⊕ s_p) - log P(m | s_h)`` is
+    computed for every member ``m`` and the best gain is kept — the set is
+    considered reached-toward if *some* member became substantially more
+    likely.
+    """
+    if not records:
+        raise ConfigurationError("no set-path records to evaluate")
+    gains: list[float] = []
+    for record in records:
+        before_distribution = evaluator.distribution(record.history)
+        after_distribution = evaluator.distribution(list(record.history) + list(record.path))
+        member_gains = [
+            float(
+                np.log(max(after_distribution[member], 1e-12))
+                - np.log(max(before_distribution[member], 1e-12))
+            )
+            for member in record.members
+        ]
+        gains.append(max(member_gains))
+    return float(np.mean(gains))

@@ -1,0 +1,56 @@
+"""Vanilla influential adaptation: repeat the backbone's top recommendation.
+
+This is the "Vanilla" block of Table III: the original (user-oriented)
+recommender generates the path by repeatedly recommending the item with the
+highest ``P(i | s)``, with no awareness of the objective item.  It reaches
+the objective only by accident, which is exactly the point of the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.base import InfluentialRecommender, influential_registry
+from repro.data.splitting import DatasetSplit
+from repro.models.base import SequentialRecommender
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["VanillaInfluential"]
+
+
+@influential_registry.register("vanilla")
+class VanillaInfluential(InfluentialRecommender):
+    """Objective-agnostic path generation with an unmodified backbone."""
+
+    def __init__(
+        self,
+        backbone: SequentialRecommender,
+        allow_repeats: bool = False,
+        fit_backbone: bool = True,
+    ) -> None:
+        super().__init__()
+        self.backbone = backbone
+        self.allow_repeats = allow_repeats
+        self.fit_backbone = fit_backbone
+        self.name = f"Vanilla-{backbone.name}"
+
+    def fit(self, split: DatasetSplit) -> "VanillaInfluential":
+        self.corpus = split.corpus
+        if self.fit_backbone:
+            self.backbone.fit(split)
+        elif self.backbone.corpus is None:
+            raise ConfigurationError("backbone is not fitted and fit_backbone=False")
+        return self
+
+    def next_step(
+        self,
+        history: Sequence[int],
+        objective: int,
+        path_so_far: Sequence[int],
+        user_index: int | None = None,
+    ) -> int | None:
+        self._require_fitted()
+        sequence = list(history) + list(path_so_far)
+        exclude: list[int] = [] if self.allow_repeats else sequence
+        candidates = self.backbone.top_k(sequence, 1, user_index=user_index, exclude=exclude)
+        return candidates[0] if candidates else None

@@ -1,0 +1,57 @@
+"""Datasets and preprocessing for the IRS reproduction.
+
+The data flow mirrors §IV-A of the paper:
+
+1. Raw interactions (user, item, timestamp) are loaded from disk
+   (:mod:`~repro.data.movielens`, :mod:`~repro.data.lastfm`) or generated
+   synthetically (:mod:`~repro.data.synthetic`) as an
+   :class:`~repro.data.interactions.InteractionDataset`.
+2. :func:`~repro.data.preprocessing.build_corpus` groups interactions into
+   per-user chronological sequences, merges consecutive duplicates, filters
+   rare users/items and produces a :class:`~repro.data.interactions.SequenceCorpus`.
+3. :func:`~repro.data.splitting.split_corpus` carves the corpus into training
+   sub-sequences (length between ``l_min`` and ``l_max``), a validation set
+   and a next-item / IRS test set.
+4. :mod:`~repro.data.padding` and :mod:`~repro.data.batching` turn variable
+   length sequences into padded mini-batches (pre-padding, §III-D5).
+"""
+
+from repro.data.batching import iterate_batches, sequences_to_batch
+from repro.data.interactions import (
+    DatasetStatistics,
+    Interaction,
+    InteractionDataset,
+    SequenceCorpus,
+)
+from repro.data.lastfm import load_lastfm, synthetic_lastfm
+from repro.data.movielens import load_movielens_1m, synthetic_movielens
+from repro.data.padding import PAD_INDEX, pad_sequence, pre_pad, post_pad
+from repro.data.preprocessing import build_corpus
+from repro.data.splitting import DatasetSplit, TestInstance, UserSequence, split_corpus
+from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
+from repro.data.vocab import Vocabulary
+
+__all__ = [
+    "DatasetSplit",
+    "DatasetStatistics",
+    "Interaction",
+    "InteractionDataset",
+    "PAD_INDEX",
+    "SequenceCorpus",
+    "SyntheticConfig",
+    "TestInstance",
+    "UserSequence",
+    "Vocabulary",
+    "build_corpus",
+    "generate_synthetic_dataset",
+    "iterate_batches",
+    "load_lastfm",
+    "load_movielens_1m",
+    "pad_sequence",
+    "post_pad",
+    "pre_pad",
+    "sequences_to_batch",
+    "split_corpus",
+    "synthetic_lastfm",
+    "synthetic_movielens",
+]

@@ -1,0 +1,84 @@
+"""Mini-batch iteration over training sub-sequences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.padding import PAD_INDEX, pad_batch
+from repro.data.splitting import UserSequence
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import as_rng
+
+__all__ = ["SequenceBatch", "sequences_to_batch", "iterate_batches"]
+
+
+@dataclass(frozen=True)
+class SequenceBatch:
+    """A padded batch of user sub-sequences.
+
+    Attributes
+    ----------
+    items:
+        ``(batch, length)`` int64 array of item indices (0 = padding).
+    users:
+        ``(batch,)`` int64 array of user indices.
+    lengths:
+        ``(batch,)`` original (unpadded) sequence lengths.
+    """
+
+    items: np.ndarray
+    users: np.ndarray
+    lengths: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return self.items.shape[0]
+
+    @property
+    def max_length(self) -> int:
+        return self.items.shape[1]
+
+    def padding_mask(self) -> np.ndarray:
+        """Boolean mask that is True at real (non-padding) positions."""
+        return self.items != PAD_INDEX
+
+
+def sequences_to_batch(
+    sequences: Sequence[UserSequence],
+    length: int | None = None,
+    scheme: str = "pre",
+) -> SequenceBatch:
+    """Pad a list of :class:`UserSequence` into a :class:`SequenceBatch`."""
+    if not sequences:
+        raise ConfigurationError("cannot build a batch from zero sequences")
+    items = pad_batch([seq.items for seq in sequences], length=length, scheme=scheme)
+    users = np.asarray([seq.user_index for seq in sequences], dtype=np.int64)
+    lengths = np.asarray([len(seq) for seq in sequences], dtype=np.int64)
+    return SequenceBatch(items=items, users=users, lengths=lengths)
+
+
+def iterate_batches(
+    sequences: Sequence[UserSequence],
+    batch_size: int,
+    shuffle: bool = True,
+    scheme: str = "pre",
+    length: int | None = None,
+    seed: "int | np.random.Generator | None" = None,
+) -> Iterator[SequenceBatch]:
+    """Yield padded mini-batches over ``sequences``.
+
+    With ``length=None`` each batch is padded to its own longest sequence,
+    which keeps the quadratic attention cost proportional to actual lengths.
+    """
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+    rng = as_rng(seed)
+    order = np.arange(len(sequences))
+    if shuffle:
+        rng.shuffle(order)
+    for start in range(0, len(sequences), batch_size):
+        chunk = [sequences[i] for i in order[start : start + batch_size]]
+        yield sequences_to_batch(chunk, length=length, scheme=scheme)

@@ -1,0 +1,194 @@
+"""Core dataset containers: raw interactions and preprocessed sequence corpora."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.data.vocab import Vocabulary
+from repro.utils.exceptions import DataError
+
+__all__ = ["Interaction", "InteractionDataset", "SequenceCorpus", "DatasetStatistics"]
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """A single (user, item, timestamp) event with an optional rating."""
+
+    user: Hashable
+    item: Hashable
+    timestamp: float
+    rating: float | None = None
+
+
+@dataclass
+class InteractionDataset:
+    """A raw interaction log plus optional item metadata (genres).
+
+    ``item_genres`` maps raw item ids to a tuple of genre names; it is used
+    by the Rec2Inf genre-distance option and the Table VII case study.
+    """
+
+    name: str
+    interactions: list[Interaction]
+    item_genres: dict[Hashable, tuple[str, ...]] = field(default_factory=dict)
+    user_traits: dict[Hashable, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.interactions:
+            raise DataError(f"dataset '{self.name}' has no interactions")
+
+    def __len__(self) -> int:
+        return len(self.interactions)
+
+    @property
+    def users(self) -> list[Hashable]:
+        """Distinct user ids in first-appearance order."""
+        seen: dict[Hashable, None] = {}
+        for interaction in self.interactions:
+            seen.setdefault(interaction.user, None)
+        return list(seen)
+
+    @property
+    def items(self) -> list[Hashable]:
+        """Distinct item ids in first-appearance order."""
+        seen: dict[Hashable, None] = {}
+        for interaction in self.interactions:
+            seen.setdefault(interaction.item, None)
+        return list(seen)
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The per-dataset statistics reported in Table I of the paper."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_interactions: int
+    density: float
+    avg_items_per_user: float
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """Return the statistics as a flat dict (one Table I row)."""
+        return {
+            "dataset": self.name,
+            "users": self.num_users,
+            "items": self.num_items,
+            "interactions": self.num_interactions,
+            "density": round(self.density, 4),
+            "avg_items_per_user": round(self.avg_items_per_user, 1),
+        }
+
+
+class SequenceCorpus:
+    """Preprocessed per-user chronological item sequences.
+
+    Attributes
+    ----------
+    name:
+        Dataset name (``"movielens-1m"``, ``"lastfm"``, ...).
+    vocab:
+        Item vocabulary; item indices start at 1, index 0 is padding.
+    user_ids:
+        Raw user ids; position in this list is the user index used everywhere
+        downstream (user embeddings, test instances, ...).
+    user_sequences:
+        ``user_sequences[u]`` is the full, time-ordered list of item indices
+        for user index ``u``.
+    genre_names / item_genre_matrix:
+        Optional genre metadata: a boolean matrix of shape
+        ``(vocab.size, num_genres)`` where row 0 (padding) is all False.
+    user_traits:
+        Optional ground-truth per-user impressionability (only available for
+        synthetic corpora; used in analysis, never in training).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        vocab: Vocabulary,
+        user_ids: list[Hashable],
+        user_sequences: list[list[int]],
+        genre_names: list[str] | None = None,
+        item_genre_matrix: np.ndarray | None = None,
+        user_traits: np.ndarray | None = None,
+    ) -> None:
+        if len(user_ids) != len(user_sequences):
+            raise DataError("user_ids and user_sequences must have the same length")
+        for sequence in user_sequences:
+            if not sequence:
+                raise DataError("empty user sequence in corpus")
+            for item in sequence:
+                if not 1 <= item < vocab.size:
+                    raise DataError(f"item index {item} outside vocabulary")
+        self.name = name
+        self.vocab = vocab
+        self.user_ids = list(user_ids)
+        self.user_sequences = [list(seq) for seq in user_sequences]
+        self.genre_names = list(genre_names) if genre_names else []
+        if item_genre_matrix is not None:
+            item_genre_matrix = np.asarray(item_genre_matrix, dtype=bool)
+            if item_genre_matrix.shape[0] != vocab.size:
+                raise DataError(
+                    "item_genre_matrix must have one row per vocabulary index"
+                )
+        self.item_genre_matrix = item_genre_matrix
+        self.user_traits = user_traits
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_users(self) -> int:
+        return len(self.user_ids)
+
+    @property
+    def num_items(self) -> int:
+        return self.vocab.num_items
+
+    def item_popularity(self) -> np.ndarray:
+        """Return occurrence counts per item index (index 0 stays 0)."""
+        counts = np.zeros(self.vocab.size, dtype=np.int64)
+        for sequence in self.user_sequences:
+            for item in sequence:
+                counts[item] += 1
+        return counts
+
+    def item_genres(self, item_index: int) -> tuple[str, ...]:
+        """Return genre names of an item index (empty if no metadata)."""
+        if self.item_genre_matrix is None or not self.genre_names:
+            return ()
+        row = self.item_genre_matrix[item_index]
+        return tuple(name for name, flag in zip(self.genre_names, row) if flag)
+
+    def statistics(self) -> DatasetStatistics:
+        """Compute the Table I statistics for this corpus."""
+        num_interactions = sum(len(seq) for seq in self.user_sequences)
+        num_users = self.num_users
+        num_items = self.num_items
+        density = num_interactions / (num_users * num_items) if num_users and num_items else 0.0
+        avg_items = num_interactions / num_users if num_users else 0.0
+        return DatasetStatistics(
+            name=self.name,
+            num_users=num_users,
+            num_items=num_items,
+            num_interactions=num_interactions,
+            density=density,
+            avg_items_per_user=avg_items,
+        )
+
+    def subset_users(self, user_indices: Iterable[int]) -> "SequenceCorpus":
+        """Return a corpus restricted to the given user indices (same vocab)."""
+        indices = list(user_indices)
+        return SequenceCorpus(
+            name=self.name,
+            vocab=self.vocab,
+            user_ids=[self.user_ids[u] for u in indices],
+            user_sequences=[self.user_sequences[u] for u in indices],
+            genre_names=self.genre_names or None,
+            item_genre_matrix=self.item_genre_matrix,
+            user_traits=(
+                self.user_traits[indices] if self.user_traits is not None else None
+            ),
+        )

@@ -1,0 +1,117 @@
+"""MovieLens-1M: real-file loader and synthetic stand-in.
+
+The paper evaluates on MovieLens-1M (https://grouplens.org/datasets/movielens/1m).
+:func:`load_movielens_1m` parses the original ``ratings.dat`` / ``movies.dat``
+files when a local copy is available.  In the offline environment used for
+this reproduction the files are absent, so :func:`synthetic_movielens`
+generates a scaled-down corpus with the same structural properties (18 movie
+genres, long sessions, dense interactions) via :mod:`repro.data.synthetic`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.data.interactions import Interaction, InteractionDataset
+from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
+from repro.utils.exceptions import DataError
+
+__all__ = ["MOVIELENS_GENRES", "load_movielens_1m", "synthetic_movielens"]
+
+#: The 18 genres of MovieLens-1M.
+MOVIELENS_GENRES = [
+    "Action",
+    "Adventure",
+    "Animation",
+    "Children's",
+    "Comedy",
+    "Crime",
+    "Documentary",
+    "Drama",
+    "Fantasy",
+    "Film-Noir",
+    "Horror",
+    "Musical",
+    "Mystery",
+    "Romance",
+    "Sci-Fi",
+    "Thriller",
+    "War",
+    "Western",
+]
+
+
+def load_movielens_1m(directory: str) -> InteractionDataset:
+    """Parse an original MovieLens-1M dump from ``directory``.
+
+    Expects ``ratings.dat`` (``UserID::MovieID::Rating::Timestamp``) and,
+    optionally, ``movies.dat`` (``MovieID::Title::Genre|Genre``) for genre
+    metadata.  All ratings are treated as positive feedback, as in the paper.
+    """
+    ratings_path = os.path.join(directory, "ratings.dat")
+    if not os.path.exists(ratings_path):
+        raise DataError(f"ratings.dat not found under {directory!r}")
+
+    interactions: list[Interaction] = []
+    with open(ratings_path, "r", encoding="latin-1") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split("::")
+            if len(parts) != 4:
+                raise DataError(f"malformed ratings.dat line {line_number}: {line!r}")
+            user, item, rating, timestamp = parts
+            interactions.append(
+                Interaction(
+                    user=f"u{user}",
+                    item=f"m{item}",
+                    timestamp=float(timestamp),
+                    rating=float(rating),
+                )
+            )
+
+    item_genres: dict[str, tuple[str, ...]] = {}
+    movies_path = os.path.join(directory, "movies.dat")
+    if os.path.exists(movies_path):
+        with open(movies_path, "r", encoding="latin-1") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                parts = line.split("::")
+                if len(parts) < 3:
+                    continue
+                item_genres[f"m{parts[0]}"] = tuple(parts[2].split("|"))
+
+    return InteractionDataset(
+        name="movielens-1m", interactions=interactions, item_genres=item_genres
+    )
+
+
+def synthetic_movielens(scale: float = 1.0, seed: int = 0) -> InteractionDataset:
+    """Return a MovieLens-1M-flavoured synthetic corpus.
+
+    The base configuration (``scale=1.0``) is a few-hundred-user corpus whose
+    *relative* statistics match Table I of the paper: dense interactions
+    (several percent), long per-user histories (~10x the Lastfm average) and
+    18 genres.  ``scale`` multiplies the user and item counts.
+    """
+    if scale <= 0:
+        raise DataError(f"scale must be positive, got {scale}")
+    config = SyntheticConfig(
+        name="movielens-1m-synthetic",
+        num_users=max(8, int(round(200 * scale))),
+        num_items=max(20, int(round(300 * scale))),
+        num_genres=len(MOVIELENS_GENRES),
+        genre_names=list(MOVIELENS_GENRES),
+        min_sequence_length=40,
+        max_sequence_length=90,
+        genre_stay_probability=0.62,
+        genre_adjacency_decay=0.45,
+        home_return_probability=0.5,
+        popularity_exponent=1.1,
+        multi_genre_probability=0.35,
+        seed=seed,
+    )
+    return generate_synthetic_dataset(config)

@@ -1,0 +1,152 @@
+"""Dataset splitting into training sub-sequences and test instances (§IV-A2).
+
+For each user with full history ``{i_1, ..., i_q}``:
+
+* the last item ``i_q`` is held out as the next-item test label;
+* the remaining prefix is cut into continuous, non-overlapping sub-sequences
+  whose lengths are drawn uniformly from ``[l_min, l_max]``; the last item of
+  every sub-sequence acts as the training objective ``i_t`` for IRN;
+* a fraction of the training sub-sequences is reserved for validation;
+* the next-item / IRS test instance for the user is the pair
+  ``(history = {i_1..i_{q-1}}, target = i_q)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.interactions import SequenceCorpus
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import as_rng
+
+__all__ = ["UserSequence", "TestInstance", "DatasetSplit", "split_corpus", "cut_subsequences"]
+
+
+@dataclass(frozen=True)
+class UserSequence:
+    """A training (or validation) sub-sequence owned by one user.
+
+    The last element of ``items`` is used as the objective item ``i_t``
+    during IRN training.
+    """
+
+    user_index: int
+    items: tuple[int, ...]
+
+    @property
+    def objective(self) -> int:
+        """The objective item (last element of the sub-sequence)."""
+        return self.items[-1]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass(frozen=True)
+class TestInstance:
+    """A held-out evaluation instance for one user."""
+
+    #: tell pytest this is a data container, not a test class
+    __test__ = False
+
+    user_index: int
+    history: tuple[int, ...]
+    target: int
+
+
+@dataclass
+class DatasetSplit:
+    """The full train / validation / test split of a corpus."""
+
+    corpus: SequenceCorpus
+    train: list[UserSequence]
+    validation: list[UserSequence]
+    test: list[TestInstance]
+    l_min: int
+    l_max: int
+
+    def summary(self) -> dict[str, int]:
+        """Return split sizes (useful for logging and sanity checks)."""
+        return {
+            "train_sequences": len(self.train),
+            "validation_sequences": len(self.validation),
+            "test_instances": len(self.test),
+        }
+
+
+def cut_subsequences(
+    items: list[int], l_min: int, l_max: int, rng: np.random.Generator
+) -> list[list[int]]:
+    """Cut ``items`` into continuous, non-overlapping pieces of length in [l_min, l_max].
+
+    Short histories (fewer than ``l_min`` items) yield a single piece as-is;
+    padding to ``l_min`` happens later at batch time, as in the paper.  A
+    final fragment shorter than ``l_min`` is merged into the previous piece.
+    """
+    if l_min <= 1 or l_max < l_min:
+        raise ConfigurationError(f"invalid sub-sequence lengths l_min={l_min}, l_max={l_max}")
+    if len(items) <= l_min:
+        return [list(items)]
+    pieces: list[list[int]] = []
+    start = 0
+    n = len(items)
+    while start < n:
+        length = int(rng.integers(l_min, l_max + 1))
+        end = min(start + length, n)
+        piece = items[start:end]
+        if len(piece) < l_min and pieces:
+            pieces[-1].extend(piece)
+        else:
+            pieces.append(piece)
+        start = end
+    return pieces
+
+
+def split_corpus(
+    corpus: SequenceCorpus,
+    l_min: int = 20,
+    l_max: int = 50,
+    validation_fraction: float = 0.1,
+    seed: "int | np.random.Generator | None" = 0,
+) -> DatasetSplit:
+    """Split ``corpus`` into train / validation sub-sequences and test instances."""
+    if not 0.0 <= validation_fraction < 1.0:
+        raise ConfigurationError(
+            f"validation_fraction must be in [0, 1), got {validation_fraction}"
+        )
+    rng = as_rng(seed)
+    sequences: list[UserSequence] = []
+    test: list[TestInstance] = []
+
+    for user_index, items in enumerate(corpus.user_sequences):
+        if len(items) < 3:
+            # Not enough history to both train and evaluate; keep for training only.
+            sequences.append(UserSequence(user_index, tuple(items)))
+            continue
+        history, target = items[:-1], items[-1]
+        test.append(TestInstance(user_index=user_index, history=tuple(history), target=target))
+        for piece in cut_subsequences(list(history), l_min, l_max, rng):
+            if len(piece) >= 2:
+                sequences.append(UserSequence(user_index, tuple(piece)))
+
+    if not sequences:
+        raise ConfigurationError("splitting produced no training sequences")
+
+    order = rng.permutation(len(sequences))
+    num_validation = int(round(validation_fraction * len(sequences)))
+    validation_idx = set(order[:num_validation].tolist())
+    train = [seq for i, seq in enumerate(sequences) if i not in validation_idx]
+    validation = [seq for i, seq in enumerate(sequences) if i in validation_idx]
+    if not train:
+        train, validation = validation, []
+
+    return DatasetSplit(
+        corpus=corpus,
+        train=train,
+        validation=validation,
+        test=test,
+        l_min=l_min,
+        l_max=l_max,
+    )

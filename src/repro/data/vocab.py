@@ -1,0 +1,82 @@
+"""Item vocabulary mapping raw item identifiers to contiguous indices.
+
+Index ``0`` is reserved for the padding token (:data:`PAD_INDEX` in
+:mod:`repro.data.padding`); real items occupy ``1 .. num_items``.  Models that
+need extra special tokens (e.g. the ``[MASK]`` token of BERT4Rec) allocate
+them *above* ``size`` so the vocabulary itself stays model-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.utils.exceptions import DataError
+
+__all__ = ["Vocabulary", "PAD_TOKEN"]
+
+PAD_TOKEN = "<pad>"
+
+
+class Vocabulary:
+    """Bidirectional mapping between raw item ids and contiguous indices."""
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._item_to_index: dict[Hashable, int] = {PAD_TOKEN: 0}
+        self._index_to_item: list[Hashable] = [PAD_TOKEN]
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> int:
+        """Add ``item`` if unseen and return its index."""
+        if item == PAD_TOKEN:
+            raise DataError(f"'{PAD_TOKEN}' is reserved for padding")
+        index = self._item_to_index.get(item)
+        if index is None:
+            index = len(self._index_to_item)
+            self._item_to_index[item] = index
+            self._index_to_item.append(item)
+        return index
+
+    def index(self, item: Hashable) -> int:
+        """Return the index of ``item`` (raises :class:`DataError` if unknown)."""
+        try:
+            return self._item_to_index[item]
+        except KeyError as exc:
+            raise DataError(f"unknown item {item!r}") from exc
+
+    def item(self, index: int) -> Hashable:
+        """Return the raw item id stored at ``index``."""
+        if not 0 <= index < len(self._index_to_item):
+            raise DataError(f"index {index} out of range (size {self.size})")
+        return self._index_to_item[index]
+
+    def encode(self, items: Iterable[Hashable]) -> list[int]:
+        """Map raw item ids to indices."""
+        return [self.index(item) for item in items]
+
+    def decode(self, indices: Iterable[int]) -> list[Hashable]:
+        """Map indices back to raw item ids."""
+        return [self.item(index) for index in indices]
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._item_to_index
+
+    def __len__(self) -> int:
+        return len(self._index_to_item)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._index_to_item)
+
+    @property
+    def size(self) -> int:
+        """Total number of indices, including the padding slot at 0."""
+        return len(self._index_to_item)
+
+    @property
+    def num_items(self) -> int:
+        """Number of real items (excluding the padding slot)."""
+        return len(self._index_to_item) - 1
+
+    def item_indices(self) -> range:
+        """Indices of real items (``1 .. size-1``)."""
+        return range(1, self.size)

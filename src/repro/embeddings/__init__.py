@@ -1,0 +1,15 @@
+"""Item embedding learners.
+
+The paper uses item2vec (Barkan & Koenigstein, 2016) both to initialise IRN's
+token embeddings (§III-D1) and to compute item distances for the Rec2Inf
+framework on Lastfm (§IV-C).  :class:`~repro.embeddings.item2vec.Item2Vec`
+implements skip-gram with negative sampling directly in NumPy;
+:class:`~repro.embeddings.cooccurrence.CooccurrenceEmbedding` provides a
+deterministic PPMI + truncated-SVD alternative used in tests and as a cheap
+fallback.
+"""
+
+from repro.embeddings.cooccurrence import CooccurrenceEmbedding
+from repro.embeddings.item2vec import Item2Vec
+
+__all__ = ["CooccurrenceEmbedding", "Item2Vec"]

@@ -1,0 +1,78 @@
+"""PPMI + truncated-SVD item embeddings.
+
+A deterministic, closed-form alternative to item2vec (Levy & Goldberg showed
+SGNS implicitly factorises a shifted PMI matrix).  Used as a fast fallback
+for item distances and in tests where determinism matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.interactions import SequenceCorpus
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+__all__ = ["CooccurrenceEmbedding"]
+
+
+class CooccurrenceEmbedding:
+    """Embeddings from the positive pointwise mutual information matrix."""
+
+    def __init__(self, embedding_dim: int = 32, window: int = 3, shift: float = 1.0) -> None:
+        if embedding_dim <= 0 or window <= 0:
+            raise ConfigurationError("embedding_dim and window must be positive")
+        self.embedding_dim = embedding_dim
+        self.window = window
+        self.shift = shift
+        self._vectors: np.ndarray | None = None
+
+    def fit(self, corpus: SequenceCorpus) -> "CooccurrenceEmbedding":
+        """Build the PPMI matrix from co-occurrence counts and factorise it."""
+        size = corpus.vocab.size
+        cooccurrence = np.zeros((size, size), dtype=np.float64)
+        for sequence in corpus.user_sequences:
+            length = len(sequence)
+            for pos, center in enumerate(sequence):
+                hi = min(length, pos + self.window + 1)
+                for other_pos in range(pos + 1, hi):
+                    other = sequence[other_pos]
+                    cooccurrence[center, other] += 1.0
+                    cooccurrence[other, center] += 1.0
+
+        total = cooccurrence.sum()
+        if total <= 0:
+            raise ConfigurationError("corpus has no co-occurrences")
+        row = cooccurrence.sum(axis=1, keepdims=True)
+        col = cooccurrence.sum(axis=0, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pmi = np.log(cooccurrence * total / (row @ col))
+        pmi[~np.isfinite(pmi)] = 0.0
+        ppmi = np.maximum(pmi - np.log(self.shift) if self.shift > 1 else pmi, 0.0)
+
+        rank = min(self.embedding_dim, size - 1)
+        u, s, _ = np.linalg.svd(ppmi, full_matrices=False)
+        vectors = u[:, :rank] * np.sqrt(s[:rank])[None, :]
+        if rank < self.embedding_dim:
+            vectors = np.pad(vectors, ((0, 0), (0, self.embedding_dim - rank)))
+        vectors[0] = 0.0  # padding row
+        self._vectors = vectors
+        return self
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """Learned embedding matrix of shape ``(vocab_size, embedding_dim)``."""
+        if self._vectors is None:
+            raise NotFittedError("CooccurrenceEmbedding must be fitted first")
+        return self._vectors
+
+    def vector(self, item_index: int) -> np.ndarray:
+        """Embedding of a single item index."""
+        return self.vectors[item_index]
+
+    def similarity(self, first: int, second: int) -> float:
+        """Cosine similarity between two item indices."""
+        a, b = self.vector(first), self.vector(second)
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        if denom == 0:
+            return 0.0
+        return float(np.dot(a, b) / denom)

@@ -1,0 +1,51 @@
+"""Offline evaluation of influential recommenders (§IV-B of the paper).
+
+* :class:`~repro.evaluation.evaluator.IRSEvaluator` wraps a trained next-item
+  recommender and supplies ``P(i | s)`` for sequence-item pairs that never
+  occur in the logged data.
+* :mod:`~repro.evaluation.metrics` implements SR_M, IoI_M, IoR_M, log(PPL),
+  HR@K and MRR.
+* :mod:`~repro.evaluation.nextitem` is the classic leave-last-item-out
+  next-item protocol (Tables II and IV).
+* :mod:`~repro.evaluation.protocol` is the full IRS protocol: objective
+  sampling, path generation with Algorithm 1 and metric aggregation
+  (Tables III/V, Figures 6/7/9).
+* :mod:`~repro.evaluation.aggressiveness` sweeps the aggressiveness degree
+  (candidate-set size ``k`` / objective weight ``w_t``) for Figure 7.
+"""
+
+from repro.evaluation.evaluator import IRSEvaluator, select_evaluator
+from repro.evaluation.metrics import (
+    hit_ratio_at_k,
+    increase_of_interest,
+    increment_of_rank,
+    log_perplexity,
+    mean_reciprocal_rank,
+    success_rate,
+)
+from repro.evaluation.nextitem import NextItemResult, evaluate_next_item
+from repro.evaluation.protocol import (
+    EvaluationInstance,
+    IRSEvaluationProtocol,
+    IRSResult,
+    PathRecord,
+    sample_objectives,
+)
+
+__all__ = [
+    "EvaluationInstance",
+    "IRSEvaluationProtocol",
+    "IRSEvaluator",
+    "IRSResult",
+    "NextItemResult",
+    "PathRecord",
+    "evaluate_next_item",
+    "hit_ratio_at_k",
+    "increase_of_interest",
+    "increment_of_rank",
+    "log_perplexity",
+    "mean_reciprocal_rank",
+    "sample_objectives",
+    "select_evaluator",
+    "success_rate",
+]

@@ -1,0 +1,97 @@
+"""Aggressiveness-degree sweeps (§IV-D3, Figure 7).
+
+The aggressiveness degree (AD) of an influential recommender controls how
+strongly it pulls toward the objective item:
+
+* for Rec2Inf baselines AD is the candidate-set size ``k`` (``k=1`` is the
+  vanilla recommender, ``k=|I|`` can jump straight to the objective);
+* for IRN it is the objective mask weight ``w_t``.
+
+Both sweeps reuse the same evaluation protocol so SR and log(PPL) curves are
+directly comparable (Figure 7a-d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.irn import IRN
+from repro.core.rec2inf import Rec2Inf
+from repro.data.splitting import DatasetSplit
+from repro.evaluation.protocol import IRSEvaluationProtocol, IRSResult
+from repro.models.base import SequentialRecommender
+
+__all__ = ["AggressivenessPoint", "sweep_rec2inf_aggressiveness", "sweep_irn_aggressiveness"]
+
+
+@dataclass(frozen=True)
+class AggressivenessPoint:
+    """One (AD level, metrics) point of a Figure 7 curve."""
+
+    framework: str
+    level: float
+    result: IRSResult
+
+    def as_row(self) -> dict[str, float | str]:
+        """Flatten to a table row."""
+        row: dict[str, float | str] = {"framework": self.framework, "level": self.level}
+        row.update({k: v for k, v in self.result.as_row().items() if k != "framework"})
+        return row
+
+
+def sweep_rec2inf_aggressiveness(
+    backbone: SequentialRecommender,
+    split: DatasetSplit,
+    protocol: IRSEvaluationProtocol,
+    levels: Sequence[int] = (10, 20, 30, 40, 50),
+) -> list[AggressivenessPoint]:
+    """Evaluate a (pre-fitted) Rec2Inf backbone at several candidate-set sizes.
+
+    The backbone is fitted once and shared across levels — only the greedy
+    re-ranking changes — matching the paper's setup.
+    """
+    if backbone.corpus is None:
+        backbone.fit(split)
+    points: list[AggressivenessPoint] = []
+    for level in levels:
+        adapted = Rec2Inf(backbone, candidate_k=int(level), fit_backbone=False)
+        adapted.fit(split)
+        result = protocol.evaluate(adapted, name=f"Rec2Inf-{backbone.name}(k={level})")
+        points.append(AggressivenessPoint(framework=f"Rec2Inf-{backbone.name}", level=float(level), result=result))
+    return points
+
+
+def sweep_irn_aggressiveness(
+    split: DatasetSplit,
+    protocol: IRSEvaluationProtocol,
+    levels: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    irn_factory: Callable[[float], IRN] | None = None,
+    retrain: bool = False,
+    base_model: IRN | None = None,
+) -> list[AggressivenessPoint]:
+    """Evaluate IRN at several objective mask weights ``w_t``.
+
+    Two modes are supported:
+
+    * ``retrain=True`` — train a fresh IRN per level (the paper's grid);
+      supply ``irn_factory`` to control hyperparameters.
+    * ``retrain=False`` (default) — reuse ``base_model`` and only change the
+      inference-time mask weight, a cheap approximation that preserves the
+      monotone SR-vs-AD shape.
+    """
+    points: list[AggressivenessPoint] = []
+    for level in levels:
+        if retrain:
+            model = irn_factory(float(level)) if irn_factory else IRN(objective_weight=float(level))
+            model.fit(split)
+        else:
+            if base_model is None or base_model.corpus is None:
+                raise ValueError("sweep with retrain=False requires a fitted base_model")
+            model = base_model
+            model.objective_weight = float(level)
+        result = protocol.evaluate(model, name=f"IRN(wt={level})")
+        points.append(AggressivenessPoint(framework="IRN", level=float(level), result=result))
+    if not retrain and base_model is not None:
+        base_model.objective_weight = 1.0
+    return points

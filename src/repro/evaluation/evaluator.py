@@ -1,0 +1,127 @@
+"""The IRS Evaluator (§IV-B3).
+
+Because influence paths contain sequence-item interactions that never occur
+in the logged dataset, the paper trains an independent next-item recommender
+(the best of GRU4Rec / Caser / SASRec / BERT4Rec on the next-item task) and
+uses its softmax distribution as ``P(i | s)`` when computing IoI, IoR and
+PPL.  :class:`IRSEvaluator` wraps any fitted
+:class:`~repro.models.base.SequentialRecommender` for this purpose and
+:func:`select_evaluator` reproduces the Table II model-selection step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.splitting import DatasetSplit
+from repro.models.base import SequentialRecommender
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.logging import get_logger
+
+__all__ = ["IRSEvaluator", "EvaluatorSelection", "select_evaluator"]
+
+_LOGGER = get_logger("evaluation.evaluator")
+
+
+class IRSEvaluator:
+    """Probability oracle ``P(i | s)`` backed by a trained next-item model."""
+
+    def __init__(self, model: SequentialRecommender) -> None:
+        if model.corpus is None:
+            raise ConfigurationError("the evaluator backbone must be fitted first")
+        self.model = model
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying recommender."""
+        return self.model.name
+
+    # ------------------------------------------------------------------ #
+    def probability(self, item: int, sequence: Sequence[int]) -> float:
+        """``P(item | sequence)`` under the evaluator's softmax distribution."""
+        probabilities = self.model.probabilities(list(sequence))
+        return float(probabilities[item])
+
+    def log_probability(self, item: int, sequence: Sequence[int]) -> float:
+        """``log P(item | sequence)`` (clamped away from zero)."""
+        return float(np.log(max(self.probability(item, sequence), 1e-12)))
+
+    def rank(self, item: int, sequence: Sequence[int]) -> int:
+        """1-based rank of ``item`` given ``sequence``."""
+        return self.model.rank_of(list(sequence), item)
+
+    def distribution(self, sequence: Sequence[int]) -> np.ndarray:
+        """The full next-item distribution ``D(s)`` (Eq. 17)."""
+        return self.model.probabilities(list(sequence))
+
+    # ------------------------------------------------------------------ #
+    def path_log_probabilities(
+        self, history: Sequence[int], path: Sequence[int]
+    ) -> list[float]:
+        """``log P(i_k | s_h ⊕ i_<k)`` for every step ``k`` of the path."""
+        log_probs: list[float] = []
+        sequence = list(history)
+        for item in path:
+            log_probs.append(self.log_probability(item, sequence))
+            sequence.append(item)
+        return log_probs
+
+    def objective_log_probabilities(
+        self, history: Sequence[int], path: Sequence[int], objective: int
+    ) -> list[float]:
+        """``log P(i_t | s_h ⊕ i_<k)`` before each step (and after the last).
+
+        Returns ``len(path) + 1`` values: index 0 is the probability given the
+        bare history, index ``k`` the probability after ``k`` path items.
+        """
+        values: list[float] = []
+        sequence = list(history)
+        values.append(self.log_probability(objective, sequence))
+        for item in path:
+            sequence.append(item)
+            values.append(self.log_probability(objective, sequence))
+        return values
+
+
+@dataclass(frozen=True)
+class EvaluatorSelection:
+    """Result of the Table II evaluator-selection step."""
+
+    evaluator: IRSEvaluator
+    scores: dict[str, dict[str, float]]
+
+    def best_name(self) -> str:
+        """Name of the selected (best HR@20) candidate."""
+        return self.evaluator.name
+
+
+def select_evaluator(
+    candidates: dict[str, SequentialRecommender],
+    split: DatasetSplit,
+    fit: bool = True,
+) -> EvaluatorSelection:
+    """Fit every candidate, score them on the next-item task, keep the best.
+
+    The paper selects by HR@20 (with MRR as tie-breaker); BERT4Rec wins on
+    both datasets (Table II).
+    """
+    from repro.evaluation.nextitem import evaluate_next_item
+
+    if not candidates:
+        raise ConfigurationError("select_evaluator needs at least one candidate")
+    scores: dict[str, dict[str, float]] = {}
+    best_name, best_key = None, (-np.inf, -np.inf)
+    for name, model in candidates.items():
+        if fit:
+            model.fit(split)
+        result = evaluate_next_item(model, split)
+        scores[name] = {"hr@20": result.hit_ratio, "mrr": result.mrr}
+        _LOGGER.info("evaluator candidate %s: HR@20=%.4f MRR=%.4f", name, result.hit_ratio, result.mrr)
+        key = (result.hit_ratio, result.mrr)
+        if key > best_key:
+            best_key, best_name = key, name
+    assert best_name is not None
+    return EvaluatorSelection(evaluator=IRSEvaluator(candidates[best_name]), scores=scores)

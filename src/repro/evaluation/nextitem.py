@@ -1,0 +1,52 @@
+"""Leave-last-item-out next-item evaluation (Tables II and IV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.splitting import DatasetSplit
+from repro.evaluation.metrics import hit_ratio_at_k, mean_reciprocal_rank
+from repro.models.base import SequentialRecommender
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["NextItemResult", "evaluate_next_item"]
+
+
+@dataclass(frozen=True)
+class NextItemResult:
+    """HR@K and MRR of one model on the held-out next-item task."""
+
+    model: str
+    hit_ratio: float
+    mrr: float
+    k: int = 20
+
+    def as_row(self) -> dict[str, float | str]:
+        """Return the result as a flat table row."""
+        return {"model": self.model, f"hr@{self.k}": round(self.hit_ratio, 4), "mrr": round(self.mrr, 4)}
+
+
+def evaluate_next_item(
+    model: SequentialRecommender,
+    split: DatasetSplit,
+    k: int = 20,
+    max_instances: int | None = None,
+) -> NextItemResult:
+    """Rank every held-out target item given its user history.
+
+    ``max_instances`` caps the number of evaluated users (useful in smoke
+    tests); the paper uses all of them.
+    """
+    instances = split.test[:max_instances] if max_instances else split.test
+    if not instances:
+        raise ConfigurationError("the split has no test instances")
+    ranks = [
+        model.rank_of(list(instance.history), instance.target, user_index=instance.user_index)
+        for instance in instances
+    ]
+    return NextItemResult(
+        model=model.name,
+        hit_ratio=hit_ratio_at_k(ranks, k=k),
+        mrr=mean_reciprocal_rank(ranks),
+        k=k,
+    )

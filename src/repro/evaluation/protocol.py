@@ -1,0 +1,251 @@
+"""The full offline IRS evaluation protocol (§IV-B).
+
+Steps:
+
+1. For every test user, sample an objective item uniformly at random subject
+   to the paper's two constraints: it must be new to the user and must have
+   at least ``min_objective_interactions`` training interactions.
+2. Ask the influential recommender under evaluation to generate an influence
+   path with Algorithm 1 (maximum length ``M``).
+3. Score the paths with the IRS evaluator: SR_M, IoI_M, IoR_M and log(PPL).
+
+The same sampled objectives are reused across every framework being
+compared, exactly as in the paper ("each IRS model generates influence paths
+based on the same test set independently").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import InfluentialRecommender
+from repro.data.splitting import DatasetSplit, TestInstance
+from repro.evaluation.evaluator import IRSEvaluator
+from repro.evaluation.metrics import (
+    increase_of_interest,
+    increment_of_rank,
+    log_perplexity,
+    success_rate,
+)
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.logging import get_logger
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "EvaluationInstance",
+    "PathRecord",
+    "IRSResult",
+    "IRSEvaluationProtocol",
+    "sample_objectives",
+]
+
+_LOGGER = get_logger("evaluation.protocol")
+
+
+@dataclass(frozen=True)
+class EvaluationInstance:
+    """A test user's history plus the sampled objective item."""
+
+    user_index: int
+    history: tuple[int, ...]
+    objective: int
+
+
+@dataclass(frozen=True)
+class PathRecord:
+    """One generated influence path together with its evaluation context."""
+
+    user_index: int
+    history: tuple[int, ...]
+    objective: int
+    path: tuple[int, ...]
+
+    @property
+    def reached(self) -> bool:
+        """Whether the path contains the objective item."""
+        return self.objective in self.path
+
+
+@dataclass
+class IRSResult:
+    """Aggregated IRS metrics for one framework (one row of Table III/V)."""
+
+    framework: str
+    max_length: int
+    success: float
+    increase_of_interest: float
+    increment_of_rank: float
+    log_ppl: float
+    records: list[PathRecord] = field(default_factory=list)
+
+    def as_row(self) -> dict[str, float | str]:
+        """Return the metrics as a flat table row."""
+        return {
+            "framework": self.framework,
+            f"SR{self.max_length}": round(self.success, 4),
+            f"IoI{self.max_length}": round(self.increase_of_interest, 4),
+            f"IoR{self.max_length}": round(self.increment_of_rank, 2),
+            "log(PPL)": round(self.log_ppl, 3),
+        }
+
+
+def sample_objectives(
+    split: DatasetSplit,
+    min_objective_interactions: int = 5,
+    seed: "int | np.random.Generator | None" = 0,
+    max_instances: int | None = None,
+) -> list[EvaluationInstance]:
+    """Sample one objective per test user following §IV-B1.
+
+    Constraints: the objective is not in the user's history, and it has at
+    least ``min_objective_interactions`` occurrences in the corpus.
+    """
+    rng = as_rng(seed)
+    corpus = split.corpus
+    popularity = corpus.item_popularity()
+    eligible = np.flatnonzero(popularity >= min_objective_interactions)
+    eligible = eligible[eligible != 0]
+    if eligible.size == 0:
+        raise ConfigurationError(
+            "no item satisfies the objective-popularity constraint; "
+            "lower min_objective_interactions"
+        )
+
+    instances: list[EvaluationInstance] = []
+    test: Sequence[TestInstance] = split.test[:max_instances] if max_instances else split.test
+    for instance in test:
+        history = set(instance.history)
+        candidates = eligible[~np.isin(eligible, list(history))]
+        if candidates.size == 0:
+            continue
+        objective = int(rng.choice(candidates))
+        instances.append(
+            EvaluationInstance(
+                user_index=instance.user_index,
+                history=instance.history,
+                objective=objective,
+            )
+        )
+    if not instances:
+        raise ConfigurationError("objective sampling produced no evaluation instances")
+    return instances
+
+
+class IRSEvaluationProtocol:
+    """Evaluate influential recommenders on a fixed set of (history, objective) pairs."""
+
+    def __init__(
+        self,
+        split: DatasetSplit,
+        evaluator: IRSEvaluator,
+        max_length: int = 20,
+        min_objective_interactions: int = 5,
+        max_instances: int | None = None,
+        history_window: int | None = 50,
+        seed: int = 0,
+    ) -> None:
+        self.split = split
+        self.evaluator = evaluator
+        self.max_length = max_length
+        self.history_window = history_window
+        self.instances = sample_objectives(
+            split,
+            min_objective_interactions=min_objective_interactions,
+            seed=seed,
+            max_instances=max_instances,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _history_for(self, instance: EvaluationInstance) -> list[int]:
+        history = list(instance.history)
+        if self.history_window and len(history) > self.history_window:
+            history = history[-self.history_window :]
+        return history
+
+    def generate_records(self, recommender: InfluentialRecommender) -> list[PathRecord]:
+        """Run Algorithm 1 for every evaluation instance."""
+        records: list[PathRecord] = []
+        for instance in self.instances:
+            history = self._history_for(instance)
+            path = recommender.generate_path(
+                history,
+                instance.objective,
+                user_index=instance.user_index,
+                max_length=self.max_length,
+            )
+            records.append(
+                PathRecord(
+                    user_index=instance.user_index,
+                    history=tuple(history),
+                    objective=instance.objective,
+                    path=tuple(path),
+                )
+            )
+        return records
+
+    def score_records(self, framework: str, records: list[PathRecord]) -> IRSResult:
+        """Aggregate SR / IoI / IoR / log(PPL) over generated path records."""
+        return IRSResult(
+            framework=framework,
+            max_length=self.max_length,
+            success=success_rate(records),
+            increase_of_interest=increase_of_interest(records, self.evaluator),
+            increment_of_rank=increment_of_rank(records, self.evaluator),
+            log_ppl=log_perplexity(records, self.evaluator),
+            records=records,
+        )
+
+    def evaluate(self, recommender: InfluentialRecommender, name: str | None = None) -> IRSResult:
+        """Generate and score influence paths for ``recommender``."""
+        framework = name or recommender.name
+        _LOGGER.info("evaluating %s on %d instances", framework, len(self.instances))
+        records = self.generate_records(recommender)
+        return self.score_records(framework, records)
+
+    # ------------------------------------------------------------------ #
+    def stepwise_probabilities(
+        self,
+        records: Sequence[PathRecord],
+        exclude_early_success: bool = True,
+    ) -> dict[str, list[float]]:
+        """Per-step averages of objective/item probability (Figure 9).
+
+        Returns ``{"objective": [...], "item": [...]}`` where index ``k`` of
+        the objective series is the average ``log P(i_t | s_h ⊕ i_<k)`` before
+        step ``k`` and index ``k`` of the item series is the average
+        ``log P(i_k | s_h ⊕ i_<k)`` for the item recommended at step ``k``.
+        Paths that reach the objective before ``max_length`` are excluded by
+        default, as in the paper.
+        """
+        kept = [
+            record
+            for record in records
+            if record.path
+            and not (exclude_early_success and record.reached and len(record.path) < self.max_length)
+        ]
+        if not kept:
+            kept = [record for record in records if record.path]
+        if not kept:
+            raise ConfigurationError("no non-empty paths for stepwise analysis")
+
+        max_steps = max(len(record.path) for record in kept)
+        objective_sums = np.zeros(max_steps)
+        item_sums = np.zeros(max_steps)
+        counts = np.zeros(max_steps)
+        for record in kept:
+            objective_logs = self.evaluator.objective_log_probabilities(
+                record.history, record.path, record.objective
+            )
+            item_logs = self.evaluator.path_log_probabilities(record.history, record.path)
+            for step in range(len(record.path)):
+                objective_sums[step] += objective_logs[step]
+                item_sums[step] += item_logs[step]
+                counts[step] += 1
+        counts[counts == 0] = 1
+        return {
+            "objective": list(objective_sums / counts),
+            "item": list(item_sums / counts),
+        }

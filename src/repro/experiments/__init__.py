@@ -1,0 +1,42 @@
+"""Experiment configuration, runners and table/figure regeneration.
+
+Every table and figure of the paper's evaluation section (§IV) has a
+regeneration function here:
+
+======================  =====================================================
+Paper artefact          Function
+======================  =====================================================
+Table I                 :func:`~repro.experiments.tables.table1_dataset_statistics`
+Table II                :func:`~repro.experiments.tables.table2_evaluator_selection`
+Table III               :func:`~repro.experiments.tables.table3_main_comparison`
+Table IV                :func:`~repro.experiments.tables.table4_next_item`
+Table V                 :func:`~repro.experiments.tables.table5_mask_ablation`
+Table VI                :func:`~repro.experiments.tables.table6_hyperparameters`
+Table VII               :func:`~repro.experiments.tables.table7_case_study`
+Figure 6                :func:`~repro.experiments.figures.figure6_success_vs_length`
+Figure 7                :func:`~repro.experiments.figures.figure7_aggressiveness`
+Figure 8                :func:`~repro.experiments.figures.figure8_impressionability_distribution`
+Figure 9                :func:`~repro.experiments.figures.figure9_stepwise_evolution`
+======================  =====================================================
+
+All of them consume an :class:`~repro.experiments.pipeline.ExperimentPipeline`,
+which lazily builds (and caches) the dataset split, the IRS evaluator, the
+baseline recommenders and the IRN model for one dataset configuration.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments import ablations, extensions, figures, tables, tuning
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentPipeline",
+    "ablations",
+    "extensions",
+    "figures",
+    "format_series",
+    "format_table",
+    "tables",
+    "tuning",
+]

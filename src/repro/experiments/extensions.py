@@ -1,0 +1,159 @@
+"""Experiments for the paper's future-work extensions implemented in this repo.
+
+These are *not* tables or figures of the paper; they exercise the extension
+subpackages end to end on the same pipeline used for the reproduction:
+
+* :func:`extension_interactive_comparison` — the stepwise user-response
+  simulation (future-work direction 4): every framework faces the same
+  simulated users who may reject recommendations.
+* :func:`extension_kg_comparison` — the knowledge-graph path-finding
+  recommender (direction 1) against the plain Pf2Inf baselines and IRN under
+  the standard offline protocol.
+* :func:`extension_category_objectives` — objective sets (direction 3):
+  success rate of leading users toward a whole category instead of a single
+  item.
+* :func:`extension_path_quality_report` — beyond-accuracy diagnostics
+  (genre smoothness, diversity, novelty, coverage) per framework.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import framework_path_report
+from repro.core.distance import ItemDistance
+from repro.core.objectives import CategoryObjective, generate_path_to_set, set_success_rate
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.kg.kg2inf import Kg2Inf
+from repro.simulation.experiment import run_interactive_experiment
+from repro.simulation.policies import ExcludeRejectedPolicy
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "extension_interactive_comparison",
+    "extension_kg_comparison",
+    "extension_category_objectives",
+    "extension_path_quality_report",
+]
+
+_LOGGER = get_logger("experiments.extensions")
+
+
+def _comparison_frameworks(pipeline: ExperimentPipeline, include_vanilla: bool = True):
+    """A compact framework set: IRN, two Rec2Inf backbones and one vanilla baseline."""
+    preferred = ["GRU4Rec", "SASRec", "Caser", "POP", "Markov", "BPR"]
+    available = [name for name in preferred if name in pipeline.baselines]
+    if not available:
+        available = list(pipeline.baselines)
+    frameworks = {"IRN": pipeline.irn()}
+    for name in available[:2]:
+        frameworks[f"Rec2Inf {name}"] = pipeline.rec2inf(name)
+    if include_vanilla and available:
+        frameworks[f"Vanilla {available[0]}"] = pipeline.vanilla(available[0])
+    return frameworks
+
+
+# --------------------------------------------------------------------------- #
+def extension_interactive_comparison(
+    pipeline: ExperimentPipeline,
+    max_steps: int | None = None,
+    patience: int = 3,
+) -> list[dict[str, object]]:
+    """Interactive (accept/reject) evaluation of the main frameworks."""
+    protocol = pipeline.protocol()
+    frameworks = _comparison_frameworks(pipeline)
+    _LOGGER.info("interactive extension: %d frameworks, %d users", len(frameworks), len(protocol.instances))
+    comparison = run_interactive_experiment(
+        frameworks,
+        protocol.instances,
+        pipeline.evaluator,
+        policy=ExcludeRejectedPolicy(),
+        max_steps=max_steps or pipeline.config.max_path_length,
+        patience=patience,
+        seed=pipeline.config.seed,
+    )
+    rows = []
+    for row in comparison.rows():
+        full_row: dict[str, object] = {"dataset": pipeline.split.corpus.name}
+        full_row.update(row)
+        rows.append(full_row)
+    return rows
+
+
+def extension_kg_comparison(pipeline: ExperimentPipeline) -> list[dict[str, object]]:
+    """Knowledge-graph subgraph expansion vs. plain path-finding vs. IRN."""
+    protocol = pipeline.protocol()
+    frameworks = {
+        "Pf2Inf Dijkstra": pipeline.pf2inf("dijkstra"),
+        "Kg2Inf (subgraph expansion)": Kg2Inf().fit(pipeline.split),
+        "IRN": pipeline.irn(),
+    }
+    rows = []
+    for label, framework in frameworks.items():
+        result = protocol.evaluate(framework, name=label)
+        row: dict[str, object] = {"dataset": pipeline.split.corpus.name}
+        row.update(result.as_row())
+        rows.append(row)
+    return rows
+
+
+def extension_category_objectives(
+    pipeline: ExperimentPipeline, max_genres: int = 4
+) -> list[dict[str, object]]:
+    """Success rate of influencing users toward whole categories (genres)."""
+    corpus = pipeline.split.corpus
+    if not corpus.genre_names:
+        raise ConfigurationError("category objectives need genre metadata")
+    protocol = pipeline.protocol()
+    distance = (
+        ItemDistance.from_genres(corpus) if corpus.item_genre_matrix is not None else None
+    )
+    irn = pipeline.irn()
+    max_length = pipeline.config.max_path_length
+
+    rows: list[dict[str, object]] = []
+    for genre in corpus.genre_names[:max_genres]:
+        objective = CategoryObjective(genre, min_interactions=pipeline.config.min_objective_interactions)
+        records = []
+        for instance in protocol.instances:
+            records.append(
+                generate_path_to_set(
+                    irn,
+                    instance.history,
+                    objective,
+                    corpus,
+                    distance=distance,
+                    user_index=instance.user_index,
+                    max_length=max_length,
+                )
+            )
+        rows.append(
+            {
+                "dataset": corpus.name,
+                "objective": objective.name,
+                "members": len(objective.members(corpus)),
+                f"SR{max_length}": round(set_success_rate(records), 4),
+                "mean_path_length": round(
+                    sum(len(record.path) for record in records) / len(records), 2
+                ),
+            }
+        )
+    return rows
+
+
+def extension_path_quality_report(pipeline: ExperimentPipeline) -> list[dict[str, object]]:
+    """Genre smoothness / diversity / novelty / coverage per framework."""
+    protocol = pipeline.protocol()
+    frameworks = _comparison_frameworks(pipeline)
+    records = {
+        name: protocol.generate_records(framework) for name, framework in frameworks.items()
+    }
+    corpus = pipeline.split.corpus
+    distance = (
+        ItemDistance.from_genres(corpus) if corpus.item_genre_matrix is not None else None
+    )
+    rows = []
+    for row in framework_path_report(records, corpus, distance=distance):
+        full_row: dict[str, object] = {"dataset": corpus.name}
+        full_row.update(row)
+        rows.append(full_row)
+    return rows

@@ -1,0 +1,58 @@
+"""Plain-text rendering of result tables and figure series.
+
+No plotting dependency is available offline, so figures are reported as
+aligned numeric series; they can be pasted into any plotting tool.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned text table.
+
+    Columns are the union of all keys in first-appearance order.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered)) for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in rendered:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[float]], x_label: str = "step", title: str | None = None) -> str:
+    """Render named numeric series (a "figure") as an aligned text table."""
+    if not series:
+        return f"{title}\n(empty)" if title else "(empty)"
+    length = max(len(values) for values in series.values())
+    rows = []
+    for index in range(length):
+        row: dict[str, object] = {x_label: index + 1}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, title=title)

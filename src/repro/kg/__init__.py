@@ -1,0 +1,24 @@
+"""Knowledge-graph extension of the path-finding IRS (future-work direction 1).
+
+The paper's Pf2Inf baseline (§III-B) works on a plain item co-occurrence
+graph and therefore fails on sparse or disjoint graphs.  Its conclusion
+suggests extending the path-finding idea with a knowledge graph: "model the
+user's historical interests as a subgraph and expand the subgraph toward the
+objective item".
+
+This subpackage implements that extension:
+
+* :class:`~repro.kg.graph.ItemKnowledgeGraph` — a heterogeneous graph whose
+  nodes are items and attributes (genres); items are linked to their
+  attributes and to co-consumed items, so two items are always connected when
+  they share metadata even if they never co-occur in a session.
+* :class:`~repro.kg.kg2inf.Kg2Inf` — an influential recommender that keeps a
+  user-interest subgraph and, at each step, recommends the frontier item that
+  moves the subgraph closest to the objective while staying adjacent to what
+  the user already likes.
+"""
+
+from repro.kg.graph import ItemKnowledgeGraph
+from repro.kg.kg2inf import Kg2Inf
+
+__all__ = ["ItemKnowledgeGraph", "Kg2Inf"]

@@ -1,0 +1,50 @@
+"""Sequential recommender models.
+
+These serve three roles in the paper's experiments:
+
+* **Evaluator candidates** (§IV-B3): GRU4Rec, Caser, SASRec and BERT4Rec are
+  trained on the next-item task; the best one becomes the IRS evaluator that
+  supplies ``P(i | s)`` for the IoI / IoR / PPL metrics (Table II).
+* **Rec2Inf backbones** (§III-C, Table III): POP, BPR, TransRec, GRU4Rec,
+  Caser and SASRec are adapted into influential recommenders by greedy
+  re-ranking toward the objective item.
+* **Vanilla baselines** (Table III): the same models generating paths by
+  repeatedly recommending their top item.
+
+All models implement the :class:`~repro.models.base.SequentialRecommender`
+interface (``fit`` on a :class:`~repro.data.splitting.DatasetSplit`,
+``score_next`` over the item vocabulary) and are registered in
+:data:`~repro.models.base.model_registry` under their lower-case names.
+"""
+
+from repro.models.base import (
+    NeuralSequentialRecommender,
+    SequentialRecommender,
+    model_registry,
+)
+from repro.models.bert4rec import Bert4Rec
+from repro.models.bpr import BPR
+from repro.models.caser import Caser
+from repro.models.fpmc import FPMC
+from repro.models.gru4rec import GRU4Rec
+from repro.models.itemknn import ItemKNN
+from repro.models.markov import MarkovChainRecommender
+from repro.models.pop import Popularity
+from repro.models.sasrec import SASRec
+from repro.models.transrec import TransRec
+
+__all__ = [
+    "BPR",
+    "Bert4Rec",
+    "Caser",
+    "FPMC",
+    "GRU4Rec",
+    "ItemKNN",
+    "MarkovChainRecommender",
+    "NeuralSequentialRecommender",
+    "Popularity",
+    "SASRec",
+    "SequentialRecommender",
+    "TransRec",
+    "model_registry",
+]

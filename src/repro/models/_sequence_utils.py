@@ -1,0 +1,32 @@
+"""Shared helpers for sequence-model training targets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.padding import PAD_INDEX
+
+__all__ = ["shifted_inputs_and_targets", "clip_history"]
+
+
+def shifted_inputs_and_targets(items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Build next-item training pairs from a padded batch.
+
+    ``items`` has shape ``(batch, length)``.  Returns ``(inputs, targets)``
+    where ``inputs = items[:, :-1]`` and ``targets = items[:, 1:]``; target
+    positions whose *input* is padding are set to :data:`PAD_INDEX` so they
+    are ignored by the loss (this avoids teaching the model to predict the
+    first real item from a padding prefix).
+    """
+    inputs = items[:, :-1]
+    targets = items[:, 1:].copy()
+    targets[inputs == PAD_INDEX] = PAD_INDEX
+    return inputs, targets
+
+
+def clip_history(history, max_length: int) -> list[int]:
+    """Keep only the ``max_length`` most recent items of a history."""
+    history = list(history)
+    if max_length > 0 and len(history) > max_length:
+        return history[-max_length:]
+    return history

@@ -1,0 +1,137 @@
+"""Item-kNN: cosine similarity over item co-occurrence profiles.
+
+A non-parametric sequential baseline: each item is represented by the vector
+of users (and, with ``window_cooccurrence=True``, nearby items) it co-occurs
+with; scoring a history sums the cosine similarities of each candidate to the
+most recent history items with an exponential recency decay.
+
+Cheap, deterministic and surprisingly strong on dense corpora; it doubles as
+an extra Rec2Inf backbone and as a fast evaluator candidate for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.splitting import DatasetSplit
+from repro.models.base import SequentialRecommender, model_registry
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["ItemKNN"]
+
+
+@model_registry.register("itemknn")
+class ItemKNN(SequentialRecommender):
+    """Neighbourhood model on item co-occurrence vectors.
+
+    Parameters
+    ----------
+    recency_window:
+        Number of most recent history items contributing to the score.
+    recency_decay:
+        Multiplicative weight decay per step back in the history (1.0 means
+        all window items count equally).
+    window_cooccurrence:
+        If True, item profiles also count items that appear within
+        ``cooccurrence_radius`` positions in a training sequence; if False,
+        only user-level co-occurrence is used.
+    cooccurrence_radius:
+        Radius of the within-sequence window (only with
+        ``window_cooccurrence=True``).
+    shrinkage:
+        Additive shrinkage in the cosine denominator, damping similarities
+        supported by few co-occurrences.
+    """
+
+    name = "ItemKNN"
+
+    def __init__(
+        self,
+        recency_window: int = 5,
+        recency_decay: float = 0.8,
+        window_cooccurrence: bool = True,
+        cooccurrence_radius: int = 3,
+        shrinkage: float = 10.0,
+    ) -> None:
+        super().__init__()
+        if recency_window <= 0:
+            raise ConfigurationError("recency_window must be positive")
+        if not 0.0 < recency_decay <= 1.0:
+            raise ConfigurationError("recency_decay must lie in (0, 1]")
+        if cooccurrence_radius <= 0:
+            raise ConfigurationError("cooccurrence_radius must be positive")
+        if shrinkage < 0:
+            raise ConfigurationError("shrinkage must be non-negative")
+        self.recency_window = recency_window
+        self.recency_decay = recency_decay
+        self.window_cooccurrence = window_cooccurrence
+        self.cooccurrence_radius = cooccurrence_radius
+        self.shrinkage = shrinkage
+        self._similarity: np.ndarray | None = None
+        self._popularity: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, split: DatasetSplit) -> "ItemKNN":
+        corpus = split.corpus
+        self.corpus = corpus
+        size = corpus.vocab.size
+
+        cooccurrence = np.zeros((size, size), dtype=np.float64)
+        popularity = np.zeros(size, dtype=np.float64)
+        for sequence in split.train:
+            items = list(sequence.items)
+            unique = sorted(set(items))
+            for item in items:
+                popularity[item] += 1.0
+            if self.window_cooccurrence:
+                for position, item in enumerate(items):
+                    start = max(0, position - self.cooccurrence_radius)
+                    for other in items[start:position]:
+                        if other != item:
+                            cooccurrence[item, other] += 1.0
+                            cooccurrence[other, item] += 1.0
+            else:
+                for first_index, first in enumerate(unique):
+                    for second in unique[first_index + 1 :]:
+                        cooccurrence[first, second] += 1.0
+                        cooccurrence[second, first] += 1.0
+
+        # Cosine-style normalisation with shrinkage: sim(i,j) = c_ij / (|i||j| + shrink)
+        norms = np.sqrt(popularity)
+        denominator = norms[:, None] * norms[None, :] + self.shrinkage
+        denominator[denominator == 0] = 1.0
+        similarity = cooccurrence / denominator
+        np.fill_diagonal(similarity, 0.0)
+        similarity[0, :] = 0.0
+        similarity[:, 0] = 0.0
+
+        self._similarity = similarity
+        self._popularity = popularity
+        return self
+
+    # ------------------------------------------------------------------ #
+    def score_next(self, history: Sequence[int], user_index: int | None = None) -> np.ndarray:
+        self._require_fitted()
+        assert self._similarity is not None and self._popularity is not None
+        total_popularity = self._popularity.sum()
+        fallback = (
+            self._popularity / total_popularity if total_popularity > 0 else self._popularity
+        )
+
+        recent = [item for item in list(history)[-self.recency_window :] if item != 0]
+        if not recent:
+            scores = fallback.copy()
+        else:
+            scores = np.zeros_like(fallback)
+            weight = 1.0
+            for item in reversed(recent):
+                scores += weight * self._similarity[item]
+                weight *= self.recency_decay
+            # Tiny popularity prior keeps the ranking total when a history
+            # item has no neighbours at all.
+            scores += 1e-6 * fallback
+        scores = scores.astype(np.float64).copy()
+        scores[0] = -np.inf
+        return scores

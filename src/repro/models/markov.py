@@ -1,0 +1,66 @@
+"""First-order Markov-chain recommender.
+
+Not one of the paper's baselines, but a useful reference model: it captures
+exactly the first-order sequential signal, trains instantly, and serves as a
+deterministic evaluator in fast tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.splitting import DatasetSplit
+from repro.models.base import SequentialRecommender, model_registry
+
+__all__ = ["MarkovChainRecommender"]
+
+
+@model_registry.register("markov")
+class MarkovChainRecommender(SequentialRecommender):
+    """Transition-count model ``P(next | last)`` with additive smoothing."""
+
+    name = "Markov"
+
+    def __init__(self, smoothing: float = 0.05) -> None:
+        super().__init__()
+        self.smoothing = smoothing
+        self._transitions: np.ndarray | None = None
+        self._popularity: np.ndarray | None = None
+
+    def fit(self, split: DatasetSplit) -> "MarkovChainRecommender":
+        self.corpus = split.corpus
+        size = split.corpus.vocab.size
+        transitions = np.zeros((size, size), dtype=np.float64)
+        popularity = np.zeros(size, dtype=np.float64)
+        for sequence in split.train:
+            items = sequence.items
+            for item in items:
+                popularity[item] += 1.0
+            for previous, current in zip(items[:-1], items[1:]):
+                transitions[previous, current] += 1.0
+        transitions[:, 0] = 0.0
+        popularity[0] = 0.0
+        self._transitions = transitions
+        self._popularity = popularity
+        return self
+
+    def score_next(self, history: Sequence[int], user_index: int | None = None) -> np.ndarray:
+        self._require_fitted()
+        assert self._transitions is not None and self._popularity is not None
+        popularity = self._popularity
+        pop_norm = popularity / popularity.sum() if popularity.sum() > 0 else popularity
+        if history:
+            last = history[-1]
+            row = self._transitions[last]
+            row_sum = row.sum()
+            if row_sum > 0:
+                scores = (row + self.smoothing * pop_norm) / (row_sum + self.smoothing)
+            else:
+                scores = pop_norm.copy()
+        else:
+            scores = pop_norm.copy()
+        scores = scores.astype(np.float64).copy()
+        scores[0] = -np.inf
+        return scores

@@ -1,0 +1,45 @@
+"""Popularity recommender (POP baseline of the paper)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.splitting import DatasetSplit
+from repro.models.base import SequentialRecommender, model_registry
+
+__all__ = ["Popularity"]
+
+
+@model_registry.register("pop")
+class Popularity(SequentialRecommender):
+    """Recommend items by global occurrence count in the training data.
+
+    History- and user-independent; it is the weakest baseline of Table III
+    but its Rec2Inf adaptation is surprisingly competitive because the
+    re-ranking step alone carries the path toward the objective.
+    """
+
+    name = "POP"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counts: np.ndarray | None = None
+
+    def fit(self, split: DatasetSplit) -> "Popularity":
+        self.corpus = split.corpus
+        counts = np.zeros(split.corpus.vocab.size, dtype=np.float64)
+        for sequence in split.train:
+            for item in sequence.items:
+                counts[item] += 1.0
+        counts[0] = 0.0
+        self._counts = counts
+        return self
+
+    def score_next(self, history: Sequence[int], user_index: int | None = None) -> np.ndarray:
+        self._require_fitted()
+        assert self._counts is not None
+        scores = self._counts.copy()
+        scores[0] = -np.inf
+        return scores

@@ -1,0 +1,169 @@
+"""Optimizers and learning-rate schedulers.
+
+The paper trains IRN with Adam plus a ``ReduceLROnPlateau``-style scheduler
+("reduces the learning rate by a factor of 2 once the learning stagnates"),
+both of which are provided here alongside plain SGD with momentum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "ReduceLROnPlateau", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping.
+    """
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for grad in grads:
+        total += float(np.sum(grad**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm > 0:
+        scale = max_norm / (norm + 1e-12)
+        for grad in grads:
+            grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base class holding the parameter list and the learning rate."""
+
+    def __init__(self, parameters: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.parameters = [p for p in parameters if p.requires_grad]
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with optional decoupled weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._step
+        bias2 = 1.0 - beta2**self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                param.data -= self.lr * self.weight_decay * param.data
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class StepLR:
+    """Multiply the optimizer learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch, decaying the learning rate when due."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+
+class ReduceLROnPlateau:
+    """Halve the learning rate when a monitored loss stops improving.
+
+    This mirrors the scheduler described in §IV-D6 of the paper ("reduces the
+    learning rate by a factor of 2 once the learning stagnates").
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 2,
+        min_lr: float = 1e-6,
+        threshold: float = 1e-4,
+    ) -> None:
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.threshold = threshold
+        self._best = float("inf")
+        self._bad_epochs = 0
+
+    def step(self, metric: float) -> None:
+        """Report the latest validation loss; decay the LR after ``patience`` stalls."""
+        if metric < self._best - self.threshold:
+            self._best = metric
+            self._bad_epochs = 0
+            return
+        self._bad_epochs += 1
+        if self._bad_epochs > self.patience:
+            self.optimizer.lr = max(self.optimizer.lr * self.factor, self.min_lr)
+            self._bad_epochs = 0

@@ -1,0 +1,37 @@
+"""Checkpoint save/load for modules (``state_dict`` <-> ``.npz`` files)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = ["save_state_dict", "load_state_dict", "save_module", "load_module"]
+
+
+def save_state_dict(state: dict[str, np.ndarray], path: str) -> None:
+    """Save a flat name -> array mapping to ``path`` (``.npz`` format)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state_dict(path: str) -> dict[str, np.ndarray]:
+    """Load a mapping previously written with :func:`save_state_dict`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_module(module: Module, path: str) -> None:
+    """Save a module's parameters to ``path``."""
+    save_state_dict(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str) -> Module:
+    """Load parameters into ``module`` from ``path`` and return it."""
+    module.load_state_dict(load_state_dict(path))
+    return module

@@ -1,0 +1,51 @@
+"""Stepwise user-response simulation (future-work direction 4 of the paper).
+
+The paper evaluates influence paths under the simplifying assumption that the
+user passively accepts every recommendation.  Its conclusion lists "consider
+the stepwise dynamics in generating the influence path" as an open direction:
+a real user may reject an intermediate item, and the IRS then has to adapt.
+
+This subpackage implements that missing loop:
+
+* :class:`~repro.simulation.user.SimulatedUser` — a probabilistic user model
+  that accepts or rejects each recommended item based on the IRS evaluator's
+  ``P(i | s)`` and a per-user acceptance profile (threshold, temperature,
+  patience).
+* :mod:`~repro.simulation.policies` — replanning policies describing how the
+  recommender reacts to a rejection (ignore it, exclude the rejected item,
+  back off its aggressiveness).
+* :class:`~repro.simulation.session.InteractiveSession` — the step-by-step
+  session loop that couples a recommender, a policy and a simulated user.
+* :mod:`~repro.simulation.metrics` — session-level metrics (interactive
+  success rate, acceptance rate, abandonment rate, steps to objective).
+* :func:`~repro.simulation.experiment.run_interactive_experiment` — the
+  experiment driver that evaluates several frameworks under the same
+  simulated users (the interactive analogue of Table III).
+"""
+
+from repro.simulation.experiment import InteractiveComparison, run_interactive_experiment
+from repro.simulation.metrics import SessionMetrics, aggregate_sessions
+from repro.simulation.policies import (
+    AggressivenessBackoffPolicy,
+    ExcludeRejectedPolicy,
+    PersistentPolicy,
+    ReplanningPolicy,
+)
+from repro.simulation.session import InteractiveSession, SessionResult, StepOutcome
+from repro.simulation.user import AcceptanceProfile, SimulatedUser
+
+__all__ = [
+    "AcceptanceProfile",
+    "SimulatedUser",
+    "ReplanningPolicy",
+    "PersistentPolicy",
+    "ExcludeRejectedPolicy",
+    "AggressivenessBackoffPolicy",
+    "InteractiveSession",
+    "SessionResult",
+    "StepOutcome",
+    "SessionMetrics",
+    "aggregate_sessions",
+    "InteractiveComparison",
+    "run_interactive_experiment",
+]

@@ -1,0 +1,122 @@
+"""Experiment driver for the interactive (stepwise) evaluation.
+
+:func:`run_interactive_experiment` is the interactive counterpart of the
+Table III comparison: every framework faces the *same* simulated users on the
+same (history, objective) instances, and the resulting sessions are
+aggregated into one row per framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.base import InfluentialRecommender
+from repro.evaluation.evaluator import IRSEvaluator
+from repro.evaluation.protocol import EvaluationInstance
+from repro.simulation.metrics import SessionMetrics, aggregate_sessions
+from repro.simulation.policies import ExcludeRejectedPolicy, ReplanningPolicy
+from repro.simulation.session import InteractiveSession, SessionResult
+from repro.simulation.user import AcceptanceProfile, SimulatedUser
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.logging import get_logger
+
+__all__ = ["InteractiveComparison", "run_interactive_experiment"]
+
+_LOGGER = get_logger("simulation.experiment")
+
+
+@dataclass
+class InteractiveComparison:
+    """Results of one interactive experiment across several frameworks."""
+
+    metrics: dict[str, SessionMetrics]
+    sessions: dict[str, list[SessionResult]] = field(default_factory=dict)
+
+    def rows(self) -> list[dict[str, float | int | str]]:
+        """Flat table rows, one per framework."""
+        return [metric.as_row(name) for name, metric in self.metrics.items()]
+
+
+def _profile_for_instance(
+    instance: EvaluationInstance,
+    user_traits,
+    patience: int | None,
+) -> AcceptanceProfile:
+    """Derive the per-user acceptance profile (ground-truth traits when available)."""
+    if user_traits is not None and instance.user_index < len(user_traits):
+        impressionability = float(user_traits[instance.user_index])
+        return AcceptanceProfile.from_impressionability(impressionability, patience=patience)
+    return AcceptanceProfile(patience=patience)
+
+
+def run_interactive_experiment(
+    frameworks: Mapping[str, InfluentialRecommender],
+    instances: Sequence[EvaluationInstance],
+    evaluator: IRSEvaluator,
+    policy: ReplanningPolicy | None = None,
+    max_steps: int = 20,
+    patience: int | None = 3,
+    use_corpus_traits: bool = True,
+    seed: int = 0,
+    keep_sessions: bool = False,
+) -> InteractiveComparison:
+    """Evaluate every framework against the same simulated users.
+
+    Parameters
+    ----------
+    frameworks:
+        Mapping from row label to a fitted influential recommender.
+    instances:
+        The (history, objective) instances, normally produced by
+        :func:`repro.evaluation.protocol.sample_objectives`.
+    evaluator:
+        The probability oracle backing the simulated users.
+    policy:
+        The replanning policy shared by every framework (defaults to
+        :class:`~repro.simulation.policies.ExcludeRejectedPolicy`).
+    max_steps / patience:
+        Session budget and per-user abandonment patience.
+    use_corpus_traits:
+        When the corpus exposes ground-truth impressionability traits
+        (synthetic corpora do), map them to acceptance profiles; otherwise a
+        neutral profile is used for everyone.
+    seed:
+        Base seed; each (framework, instance) pair gets a deterministic
+        derived seed so accept/reject draws are reproducible but independent.
+    keep_sessions:
+        Also return the raw per-session results (memory-heavier).
+    """
+    if not frameworks:
+        raise ConfigurationError("run_interactive_experiment needs at least one framework")
+    if not instances:
+        raise ConfigurationError("run_interactive_experiment needs at least one instance")
+
+    corpus = evaluator.model.corpus
+    traits = corpus.user_traits if (use_corpus_traits and corpus is not None) else None
+    policy = policy or ExcludeRejectedPolicy()
+
+    metrics: dict[str, SessionMetrics] = {}
+    all_sessions: dict[str, list[SessionResult]] = {}
+    for name, recommender in frameworks.items():
+        _LOGGER.info("interactive evaluation of %s on %d instances", name, len(instances))
+        sessions: list[SessionResult] = []
+        for instance_number, instance in enumerate(instances):
+            profile = _profile_for_instance(instance, traits, patience)
+            user = SimulatedUser(
+                evaluator,
+                profile=profile,
+                # Same user seed across frameworks => identical users; the
+                # framework index is *not* mixed in on purpose.
+                seed=seed * 100003 + instance_number,
+            )
+            session = InteractiveSession(
+                recommender, user, policy=policy, max_steps=max_steps
+            )
+            sessions.append(
+                session.run(instance.history, instance.objective, user_index=instance.user_index)
+            )
+        metrics[name] = aggregate_sessions(sessions)
+        if keep_sessions:
+            all_sessions[name] = sessions
+    return InteractiveComparison(metrics=metrics, sessions=all_sessions)

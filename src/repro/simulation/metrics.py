@@ -1,0 +1,68 @@
+"""Session-level metrics for the interactive simulation.
+
+These are the interactive analogues of the paper's offline metrics: instead
+of scoring a passively accepted path, they score what actually happened when
+a simulated user could reject recommendations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.simulation.session import SessionResult
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["SessionMetrics", "aggregate_sessions"]
+
+
+@dataclass(frozen=True)
+class SessionMetrics:
+    """Aggregated metrics over a collection of interactive sessions."""
+
+    #: fraction of sessions in which the user *accepted* the objective item
+    interactive_success_rate: float
+    #: mean fraction of shown recommendations that were accepted
+    acceptance_rate: float
+    #: fraction of sessions the user abandoned before the step budget ran out
+    abandonment_rate: float
+    #: mean number of recommendations shown per session
+    mean_steps: float
+    #: mean number of accepted items per session (the consumed path length)
+    mean_accepted_items: float
+    #: mean number of shown recommendations in *successful* sessions only
+    mean_steps_to_success: float
+    #: number of sessions aggregated
+    num_sessions: int
+
+    def as_row(self, framework: str) -> dict[str, float | int | str]:
+        """Return the metrics as one row of an interactive comparison table."""
+        return {
+            "framework": framework,
+            "interactive_SR": round(self.interactive_success_rate, 4),
+            "acceptance_rate": round(self.acceptance_rate, 4),
+            "abandonment_rate": round(self.abandonment_rate, 4),
+            "mean_steps": round(self.mean_steps, 2),
+            "mean_accepted": round(self.mean_accepted_items, 2),
+            "steps_to_success": round(self.mean_steps_to_success, 2),
+        }
+
+
+def aggregate_sessions(sessions: Sequence[SessionResult]) -> SessionMetrics:
+    """Compute :class:`SessionMetrics` over the given sessions."""
+    if not sessions:
+        raise ConfigurationError("no sessions to aggregate")
+    successes = [session for session in sessions if session.reached]
+    acceptance_rates = [session.acceptance_rate for session in sessions if session.steps]
+    steps_to_success = [session.num_steps for session in successes]
+    return SessionMetrics(
+        interactive_success_rate=len(successes) / len(sessions),
+        acceptance_rate=float(np.mean(acceptance_rates)) if acceptance_rates else 0.0,
+        abandonment_rate=sum(1 for session in sessions if session.abandoned) / len(sessions),
+        mean_steps=float(np.mean([session.num_steps for session in sessions])),
+        mean_accepted_items=float(np.mean([len(session.accepted_items) for session in sessions])),
+        mean_steps_to_success=float(np.mean(steps_to_success)) if steps_to_success else 0.0,
+        num_sessions=len(sessions),
+    )

@@ -1,0 +1,170 @@
+"""Replanning policies: how an influential recommender reacts to rejections.
+
+The policies wrap the ``next_step`` call of an
+:class:`~repro.core.base.InfluentialRecommender` inside an interactive
+session.  They differ in what they do with the set of items the user has
+already rejected:
+
+* :class:`PersistentPolicy` — ignore rejections entirely; the recommender may
+  propose the same item again (the degenerate "hard-sell" behaviour).
+* :class:`ExcludeRejectedPolicy` — never propose a rejected item again; the
+  recommender replans around the rejection.
+* :class:`AggressivenessBackoffPolicy` — additionally lower the recommender's
+  aggressiveness (the objective weight ``w_t`` for IRN, the candidate set
+  size ``k`` for Rec2Inf) after each rejection, so the path falls back toward
+  the user's comfort zone before approaching the objective again.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.core.base import InfluentialRecommender
+from repro.core.rec2inf import Rec2Inf
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "ReplanningPolicy",
+    "PersistentPolicy",
+    "ExcludeRejectedPolicy",
+    "AggressivenessBackoffPolicy",
+]
+
+
+class ReplanningPolicy(abc.ABC):
+    """Strategy object consulted for every step of an interactive session."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def propose(
+        self,
+        recommender: InfluentialRecommender,
+        history: Sequence[int],
+        objective: int,
+        accepted_path: Sequence[int],
+        rejected: Sequence[int],
+        user_index: int | None = None,
+    ) -> int | None:
+        """Return the next item to recommend, or ``None`` to give up."""
+
+    def notify_rejection(self, recommender: InfluentialRecommender, item: int) -> None:
+        """Hook called after the user rejects ``item`` (default: no-op)."""
+
+    def reset(self, recommender: InfluentialRecommender) -> None:
+        """Hook called at the start of every session (default: no-op)."""
+
+
+class PersistentPolicy(ReplanningPolicy):
+    """Ignore rejections: always ask the recommender for its unconstrained step."""
+
+    name = "persistent"
+
+    def propose(
+        self,
+        recommender: InfluentialRecommender,
+        history: Sequence[int],
+        objective: int,
+        accepted_path: Sequence[int],
+        rejected: Sequence[int],
+        user_index: int | None = None,
+    ) -> int | None:
+        return recommender.next_step(history, objective, accepted_path, user_index=user_index)
+
+
+class ExcludeRejectedPolicy(ReplanningPolicy):
+    """Replan around rejections by excluding every rejected item.
+
+    The exclusion is implemented generically: the recommender is asked for a
+    step given the accepted path; if the proposal was already rejected, the
+    policy retries with the rejected items temporarily appended to the path
+    context (so sequence-aware recommenders move on), up to ``max_retries``
+    times.
+    """
+
+    name = "exclude-rejected"
+
+    def __init__(self, max_retries: int = 5) -> None:
+        if max_retries <= 0:
+            raise ConfigurationError("max_retries must be positive")
+        self.max_retries = max_retries
+
+    def propose(
+        self,
+        recommender: InfluentialRecommender,
+        history: Sequence[int],
+        objective: int,
+        accepted_path: Sequence[int],
+        rejected: Sequence[int],
+        user_index: int | None = None,
+    ) -> int | None:
+        rejected_set = set(rejected)
+        context = list(accepted_path)
+        for _ in range(self.max_retries):
+            proposal = recommender.next_step(history, objective, context, user_index=user_index)
+            if proposal is None:
+                return None
+            if proposal not in rejected_set:
+                return proposal
+            # Let the recommender "see" the rejected item so that it proposes
+            # something else next time, without recording it as accepted.
+            context = context + [proposal]
+        return None
+
+
+class AggressivenessBackoffPolicy(ExcludeRejectedPolicy):
+    """Exclude rejected items and reduce aggressiveness after each rejection.
+
+    For :class:`~repro.core.irn.IRN` (or any recommender exposing an
+    ``objective_weight`` attribute) the weight is multiplied by ``backoff``
+    after every rejection, floored at ``min_weight``.  For
+    :class:`~repro.core.rec2inf.Rec2Inf` the candidate set size ``k`` is
+    shrunk by the same factor (floored at 1), which reduces how far the
+    greedy re-ranking can deviate from the backbone's own ranking.
+    """
+
+    name = "backoff"
+
+    def __init__(
+        self,
+        backoff: float = 0.5,
+        min_weight: float = 0.05,
+        max_retries: int = 5,
+    ) -> None:
+        super().__init__(max_retries=max_retries)
+        if not 0.0 < backoff < 1.0:
+            raise ConfigurationError("backoff must lie strictly between 0 and 1")
+        if min_weight < 0:
+            raise ConfigurationError("min_weight must be non-negative")
+        self.backoff = backoff
+        self.min_weight = min_weight
+        self._initial: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def reset(self, recommender: InfluentialRecommender) -> None:
+        """Restore the recommender's original aggressiveness."""
+        key = id(recommender)
+        if key not in self._initial:
+            self._initial[key] = self._current_level(recommender)
+        else:
+            self._set_level(recommender, self._initial[key])
+
+    def notify_rejection(self, recommender: InfluentialRecommender, item: int) -> None:
+        level = self._current_level(recommender)
+        self._set_level(recommender, max(level * self.backoff, self.min_weight))
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _current_level(recommender: InfluentialRecommender) -> float:
+        if hasattr(recommender, "objective_weight"):
+            return float(recommender.objective_weight)
+        if isinstance(recommender, Rec2Inf):
+            return float(recommender.candidate_k)
+        return 1.0
+
+    def _set_level(self, recommender: InfluentialRecommender, level: float) -> None:
+        if hasattr(recommender, "objective_weight"):
+            recommender.objective_weight = level
+        elif isinstance(recommender, Rec2Inf):
+            recommender.candidate_k = max(int(round(level)), 1)

@@ -1,0 +1,161 @@
+"""The interactive influence session: recommender vs. simulated user.
+
+Algorithm 1 of the paper assumes the user passively accepts every path item.
+:class:`InteractiveSession` replaces that assumption with a stepwise loop:
+
+1. the replanning policy asks the recommender for the next item;
+2. the simulated user accepts or rejects it;
+3. accepted items extend the user's consumed sequence (and the influence
+   path); rejected items are remembered so the policy can replan around them;
+4. the session ends when the objective is *accepted*, the step budget is
+   exhausted, the user abandons (too many consecutive rejections) or the
+   recommender gives up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.base import InfluentialRecommender
+from repro.simulation.policies import ExcludeRejectedPolicy, ReplanningPolicy
+from repro.simulation.user import SimulatedUser
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["StepOutcome", "SessionResult", "InteractiveSession"]
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """One recommendation inside a session and the user's reaction."""
+
+    step: int
+    item: int
+    accepted: bool
+    acceptance_probability: float
+
+
+@dataclass
+class SessionResult:
+    """Everything that happened in one interactive session."""
+
+    user_index: int | None
+    history: tuple[int, ...]
+    objective: int
+    steps: list[StepOutcome] = field(default_factory=list)
+    reached: bool = False
+    abandoned: bool = False
+
+    @property
+    def accepted_items(self) -> list[int]:
+        """The influence path actually consumed by the user."""
+        return [step.item for step in self.steps if step.accepted]
+
+    @property
+    def rejected_items(self) -> list[int]:
+        """Items the user declined."""
+        return [step.item for step in self.steps if not step.accepted]
+
+    @property
+    def num_steps(self) -> int:
+        """Total number of recommendations shown."""
+        return len(self.steps)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of shown recommendations the user accepted."""
+        if not self.steps:
+            return 0.0
+        return len(self.accepted_items) / len(self.steps)
+
+    def final_sequence(self) -> list[int]:
+        """History plus every accepted item, in consumption order."""
+        return list(self.history) + self.accepted_items
+
+
+class InteractiveSession:
+    """Run stepwise influence sessions for one recommender.
+
+    Parameters
+    ----------
+    recommender:
+        A fitted :class:`~repro.core.base.InfluentialRecommender`.
+    user:
+        The :class:`~repro.simulation.user.SimulatedUser` reacting to each
+        recommendation.
+    policy:
+        The :class:`~repro.simulation.policies.ReplanningPolicy`; defaults to
+        :class:`~repro.simulation.policies.ExcludeRejectedPolicy`.
+    max_steps:
+        Maximum number of recommendations shown per session (the interactive
+        analogue of the maximum path length ``M``).
+    """
+
+    def __init__(
+        self,
+        recommender: InfluentialRecommender,
+        user: SimulatedUser,
+        policy: ReplanningPolicy | None = None,
+        max_steps: int = 20,
+    ) -> None:
+        if max_steps <= 0:
+            raise ConfigurationError("max_steps must be positive")
+        self.recommender = recommender
+        self.user = user
+        self.policy = policy or ExcludeRejectedPolicy()
+        self.max_steps = max_steps
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        history: Sequence[int],
+        objective: int,
+        user_index: int | None = None,
+    ) -> SessionResult:
+        """Run one full session and return its :class:`SessionResult`."""
+        self.policy.reset(self.recommender)
+        result = SessionResult(
+            user_index=user_index, history=tuple(history), objective=int(objective)
+        )
+        consumed = list(history)
+        accepted_path: list[int] = []
+        rejected: list[int] = []
+        consecutive_rejections = 0
+
+        for step in range(self.max_steps):
+            proposal = self.policy.propose(
+                self.recommender,
+                history,
+                objective,
+                accepted_path,
+                rejected,
+                user_index=user_index,
+            )
+            if proposal is None:
+                break
+            probability = self.user.acceptance_probability(proposal, consumed)
+            accepted = self.user.accepts(proposal, consumed)
+            result.steps.append(
+                StepOutcome(
+                    step=step,
+                    item=int(proposal),
+                    accepted=accepted,
+                    acceptance_probability=probability,
+                )
+            )
+            if accepted:
+                consumed.append(int(proposal))
+                accepted_path.append(int(proposal))
+                consecutive_rejections = 0
+                if proposal == objective:
+                    result.reached = True
+                    break
+            else:
+                rejected.append(int(proposal))
+                consecutive_rejections += 1
+                self.policy.notify_rejection(self.recommender, int(proposal))
+                if self.user.abandons_after(consecutive_rejections):
+                    result.abandoned = True
+                    break
+        self.policy.reset(self.recommender)
+        return result

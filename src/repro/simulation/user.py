@@ -1,0 +1,124 @@
+"""Probabilistic user model for interactive IRS simulation.
+
+The model turns the IRS evaluator's relevance estimate ``P(i | s)`` into an
+accept/reject decision.  The raw probability is compared against the uniform
+baseline ``1 / |I|``: an item the evaluator considers ``lift`` times more
+likely than a random item is accepted with probability given by a logistic
+curve.  Two per-user parameters shape the curve:
+
+* ``acceptance_bias`` — how willing the user is to try *any* recommendation
+  (the curve's horizontal offset).  Impressionable users have a higher bias.
+* ``temperature`` — how sharply acceptance falls off as relevance drops.
+
+A ``patience`` budget models abandonment: after that many *consecutive*
+rejections the user leaves the session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.evaluation.evaluator import IRSEvaluator
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import as_rng
+
+__all__ = ["AcceptanceProfile", "SimulatedUser"]
+
+
+@dataclass(frozen=True)
+class AcceptanceProfile:
+    """Per-user acceptance parameters.
+
+    Parameters
+    ----------
+    acceptance_bias:
+        Added to the relevance lift before the logistic squash.  Positive
+        values make the user easier to persuade; ``0`` is neutral.
+    temperature:
+        Divides the relevance lift; must be positive.  Large temperatures
+        flatten the curve (decisions become almost random), small ones make
+        the user deterministic around the threshold.
+    patience:
+        Number of consecutive rejections tolerated before the user abandons
+        the session.  ``None`` means the user never abandons.
+    """
+
+    acceptance_bias: float = 0.0
+    temperature: float = 1.0
+    patience: int | None = 3
+
+    def __post_init__(self) -> None:
+        if self.temperature <= 0:
+            raise ConfigurationError("temperature must be positive")
+        if self.patience is not None and self.patience <= 0:
+            raise ConfigurationError("patience must be positive (or None)")
+
+    @classmethod
+    def from_impressionability(
+        cls, impressionability: float, patience: int | None = 3
+    ) -> "AcceptanceProfile":
+        """Map a latent impressionability in ``[0, 1]`` to a profile.
+
+        Impressionability 0.5 is neutral; 1.0 adds a bias of +2 (very easy to
+        persuade), 0.0 a bias of -2 (very conservative).  This mirrors the
+        synthetic generator's user traits so simulated users stay consistent
+        with the corpus they were generated from.
+        """
+        if not 0.0 <= impressionability <= 1.0:
+            raise ConfigurationError("impressionability must lie in [0, 1]")
+        return cls(acceptance_bias=4.0 * (impressionability - 0.5), patience=patience)
+
+
+class SimulatedUser:
+    """Accept/reject oracle for one user, backed by the IRS evaluator.
+
+    Parameters
+    ----------
+    evaluator:
+        The probability oracle ``P(i | s)`` (normally the Table II winner).
+    profile:
+        The user's :class:`AcceptanceProfile`.
+    seed:
+        Seed (or generator) for the Bernoulli draws.
+    deterministic:
+        If True, skip the Bernoulli draw and accept exactly when the
+        acceptance probability is at least 0.5 (useful in tests).
+    """
+
+    def __init__(
+        self,
+        evaluator: IRSEvaluator,
+        profile: AcceptanceProfile | None = None,
+        seed: "int | np.random.Generator | None" = 0,
+        deterministic: bool = False,
+    ) -> None:
+        self.evaluator = evaluator
+        self.profile = profile or AcceptanceProfile()
+        self.rng = as_rng(seed)
+        self.deterministic = deterministic
+
+    # ------------------------------------------------------------------ #
+    def acceptance_probability(self, item: int, sequence: Sequence[int]) -> float:
+        """Probability that the user accepts ``item`` after consuming ``sequence``."""
+        num_items = max(self.evaluator.model.vocab_size - 1, 1)
+        log_p = self.evaluator.log_probability(item, sequence)
+        uniform_log_p = float(np.log(1.0 / num_items))
+        lift = (log_p - uniform_log_p + self.profile.acceptance_bias) / self.profile.temperature
+        return float(1.0 / (1.0 + np.exp(-lift)))
+
+    def accepts(self, item: int, sequence: Sequence[int]) -> bool:
+        """Draw the accept/reject decision for one recommendation."""
+        probability = self.acceptance_probability(item, sequence)
+        if self.deterministic:
+            return probability >= 0.5
+        return bool(self.rng.random() < probability)
+
+    # ------------------------------------------------------------------ #
+    def abandons_after(self, consecutive_rejections: int) -> bool:
+        """Whether the user walks away after this many consecutive rejections."""
+        if self.profile.patience is None:
+            return False
+        return consecutive_rejections >= self.profile.patience

@@ -1,0 +1,16 @@
+"""Shared utilities: RNG handling, logging, registries and exceptions."""
+
+from repro.utils.exceptions import ConfigurationError, DataError, ReproError
+from repro.utils.logging import get_logger
+from repro.utils.registry import Registry
+from repro.utils.rng import as_rng, spawn_rng
+
+__all__ = [
+    "ConfigurationError",
+    "DataError",
+    "ReproError",
+    "Registry",
+    "as_rng",
+    "get_logger",
+    "spawn_rng",
+]

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the repro package.
+
+Keeping a small, explicit hierarchy lets callers distinguish configuration
+mistakes (caller error) from data problems (corpus error) without matching on
+message strings.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a model, experiment or layer is configured inconsistently."""
+
+
+class DataError(ReproError):
+    """Raised when an interaction corpus or dataset file is malformed."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a model is used for inference before being fitted."""
+
+
+class GraphError(ReproError):
+    """Raised for item-graph problems (e.g. no path between two items)."""

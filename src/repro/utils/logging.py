@@ -1,0 +1,46 @@
+"""Logging helpers.
+
+The package uses the standard :mod:`logging` module.  :func:`get_logger`
+returns namespaced loggers (``repro.<component>``) with a single stream
+handler attached to the root package logger, so applications embedding the
+library can reconfigure output as usual.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _ensure_configured() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.INFO)
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the package root.
+
+    ``get_logger("models.irn")`` yields the logger ``repro.models.irn``.
+    """
+    _ensure_configured()
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int) -> None:
+    """Set the log level of the whole package (e.g. ``logging.DEBUG``)."""
+    _ensure_configured()
+    logging.getLogger(_ROOT_NAME).setLevel(level)

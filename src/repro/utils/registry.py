@@ -1,0 +1,59 @@
+"""A minimal name -> factory registry.
+
+Used to register recommender models and IRS frameworks under short string
+names so experiments and the CLI can instantiate them from configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+from repro.utils.exceptions import ConfigurationError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Maps lower-case string keys to factories (classes or callables)."""
+
+    def __init__(self, kind: str) -> None:
+        self._kind = kind
+        self._entries: dict[str, Callable[..., T]] = {}
+
+    def register(self, name: str) -> Callable[[Callable[..., T]], Callable[..., T]]:
+        """Class/function decorator registering the object under ``name``."""
+        key = name.lower()
+
+        def decorator(factory: Callable[..., T]) -> Callable[..., T]:
+            if key in self._entries:
+                raise ConfigurationError(
+                    f"{self._kind} '{name}' is already registered"
+                )
+            self._entries[key] = factory
+            return factory
+
+        return decorator
+
+    def get(self, name: str) -> Callable[..., T]:
+        """Return the factory registered under ``name`` (case-insensitive)."""
+        key = name.lower()
+        if key not in self._entries:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise ConfigurationError(
+                f"unknown {self._kind} '{name}'; known: {known}"
+            )
+        return self._entries[key]
+
+    def create(self, name: str, /, *args, **kwargs) -> T:
+        """Instantiate the factory registered under ``name``."""
+        return self.get(name)(*args, **kwargs)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def names(self) -> list[str]:
+        """Return the sorted list of registered names."""
+        return sorted(self._entries)

@@ -1,0 +1,146 @@
+"""Tests for diversity metrics and the framework path report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.diversity import catalog_coverage, intra_list_diversity, novelty
+from repro.analysis.reports import framework_path_report, path_length_statistics
+from repro.core.distance import ItemDistance
+from repro.core.rec2inf import Rec2Inf
+from repro.core.vanilla import VanillaInfluential
+from repro.evaluation.protocol import PathRecord, sample_objectives
+from repro.models.markov import MarkovChainRecommender
+from repro.models.pop import Popularity
+from repro.utils.exceptions import ConfigurationError
+
+
+def _record(path, objective=999, history=(1, 2)):
+    return PathRecord(user_index=0, history=tuple(history), objective=objective, path=tuple(path))
+
+
+@pytest.fixture(scope="module")
+def genre_distance(tiny_corpus):
+    return ItemDistance.from_genres(tiny_corpus)
+
+
+@pytest.fixture(scope="module")
+def generated_records(tiny_split):
+    """Real path records from two cheap frameworks on the tiny corpus."""
+    instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=10)
+    frameworks = {
+        "Vanilla Markov": VanillaInfluential(MarkovChainRecommender()).fit(tiny_split),
+        "Rec2Inf POP": Rec2Inf(Popularity(), candidate_k=15).fit(tiny_split),
+    }
+    records = {}
+    for name, recommender in frameworks.items():
+        records[name] = [
+            PathRecord(
+                user_index=instance.user_index,
+                history=instance.history,
+                objective=instance.objective,
+                path=tuple(
+                    recommender.generate_path(
+                        list(instance.history), instance.objective, max_length=8
+                    )
+                ),
+            )
+            for instance in instances
+        ]
+    return records
+
+
+class TestDiversity:
+    def test_requires_records(self, genre_distance, tiny_corpus):
+        with pytest.raises(ConfigurationError):
+            intra_list_diversity([], genre_distance)
+        with pytest.raises(ConfigurationError):
+            novelty([], tiny_corpus)
+        with pytest.raises(ConfigurationError):
+            catalog_coverage([], tiny_corpus)
+
+    def test_single_item_paths_give_nan_diversity(self, genre_distance):
+        assert np.isnan(intra_list_diversity([_record([3])], genre_distance))
+
+    def test_identical_items_have_zero_diversity(self, genre_distance):
+        assert intra_list_diversity([_record([3, 3, 3])], genre_distance) == pytest.approx(0.0)
+
+    def test_diversity_monotone_in_distance(self, tiny_corpus, genre_distance):
+        # Two items of the same genre vs. two items of different genres.
+        matrix = tiny_corpus.item_genre_matrix
+        same = diff = None
+        for first in range(1, tiny_corpus.vocab.size):
+            for second in range(first + 1, tiny_corpus.vocab.size):
+                shared = bool((matrix[first] & matrix[second]).any())
+                if shared and same is None and not (matrix[first] ^ matrix[second]).any():
+                    same = (first, second)
+                if not shared and diff is None:
+                    diff = (first, second)
+            if same and diff:
+                break
+        if same and diff:
+            same_div = intra_list_diversity([_record(list(same))], genre_distance)
+            diff_div = intra_list_diversity([_record(list(diff))], genre_distance)
+            assert diff_div > same_div
+
+    def test_novelty_higher_for_rare_items(self, tiny_corpus):
+        popularity = tiny_corpus.item_popularity()
+        ranked = np.argsort(popularity[1:]) + 1
+        rare, common = int(ranked[0]), int(ranked[-1])
+        assert novelty([_record([rare])], tiny_corpus) >= novelty(
+            [_record([common])], tiny_corpus
+        )
+
+    def test_coverage_bounds(self, tiny_corpus):
+        one = catalog_coverage([_record([1])], tiny_corpus)
+        many = catalog_coverage(
+            [_record(list(range(1, tiny_corpus.vocab.size)))], tiny_corpus
+        )
+        assert 0.0 < one < many <= 1.0
+
+    def test_coverage_ignores_duplicates(self, tiny_corpus):
+        assert catalog_coverage([_record([4, 4, 4])], tiny_corpus) == pytest.approx(
+            1 / tiny_corpus.vocab.num_items
+        )
+
+
+class TestPathLengthStatistics:
+    def test_requires_records(self):
+        with pytest.raises(ConfigurationError):
+            path_length_statistics([])
+
+    def test_reach_and_lengths(self):
+        records = [
+            _record([3, 4, 999], objective=999),
+            _record([5, 6], objective=999),
+        ]
+        statistics = path_length_statistics(records)
+        assert statistics["reach_rate"] == pytest.approx(0.5)
+        assert statistics["mean_length"] == pytest.approx(2.5)
+        assert statistics["mean_length_on_success"] == pytest.approx(3.0)
+        assert statistics["empty_paths"] == pytest.approx(0.0)
+
+    def test_empty_paths_fraction(self):
+        statistics = path_length_statistics([_record([]), _record([7])])
+        assert statistics["empty_paths"] == pytest.approx(0.5)
+
+
+class TestFrameworkPathReport:
+    def test_requires_frameworks(self, tiny_corpus):
+        with pytest.raises(ConfigurationError):
+            framework_path_report({}, tiny_corpus)
+
+    def test_one_row_per_framework(self, generated_records, tiny_corpus):
+        rows = framework_path_report(generated_records, tiny_corpus)
+        assert {row["framework"] for row in rows} == set(generated_records)
+        for row in rows:
+            assert 0.0 <= row["reach_rate"] <= 1.0
+            assert 0.0 <= row["coverage"] <= 1.0
+            assert "diversity" in row  # genre distance derived from the corpus
+
+    def test_report_values_finite_where_expected(self, generated_records, tiny_corpus):
+        rows = framework_path_report(generated_records, tiny_corpus)
+        for row in rows:
+            assert np.isfinite(row["mean_length"])
+            assert np.isfinite(row["novelty_bits"])

@@ -1,0 +1,138 @@
+"""Tests for genre-level path diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.genres import (
+    genre_shift_smoothness,
+    genre_transition_matrix,
+    genre_transition_table,
+)
+from repro.data.interactions import SequenceCorpus
+from repro.data.vocab import Vocabulary
+from repro.evaluation.protocol import PathRecord
+from repro.utils.exceptions import ConfigurationError
+
+
+def _record(history, path, objective):
+    return PathRecord(
+        user_index=0, history=tuple(history), objective=objective, path=tuple(path)
+    )
+
+
+@pytest.fixture(scope="module")
+def genre_corpus():
+    """A hand-built corpus whose genre structure is known exactly.
+
+    Items 1-2 are 'action', items 3-4 are 'comedy', item 5 carries both.
+    """
+    vocab = Vocabulary(["a", "b", "c", "d", "e"])
+    matrix = np.zeros((vocab.size, 2), dtype=bool)
+    matrix[1, 0] = matrix[2, 0] = True
+    matrix[3, 1] = matrix[4, 1] = True
+    matrix[5, 0] = matrix[5, 1] = True
+    return SequenceCorpus(
+        name="genre-test",
+        vocab=vocab,
+        user_ids=["u0"],
+        user_sequences=[[1, 2, 3, 4, 5]],
+        genre_names=["action", "comedy"],
+        item_genre_matrix=matrix,
+    )
+
+
+class TestGenreTransitionTable:
+    def test_rows_cover_history_path_objective(self, genre_corpus):
+        record = _record([1, 2], [3, 4], objective=5)
+        rows = genre_transition_table(record, genre_corpus)
+        assert rows[0]["role"] == "history (last item)"
+        assert rows[-1]["role"].startswith("objective")
+        assert len(rows) == 1 + 2 + 1
+
+    def test_objective_marker_reflects_reach(self, genre_corpus):
+        reached = genre_transition_table(_record([1], [2, 5], objective=5), genre_corpus)
+        missed = genre_transition_table(_record([1], [2, 3], objective=5), genre_corpus)
+        assert reached[-1]["role"] == "objective (reached)"
+        assert missed[-1]["role"] == "objective (not reached)"
+
+    def test_genres_rendered_from_metadata(self, genre_corpus):
+        rows = genre_transition_table(_record([1], [5], objective=3), genre_corpus)
+        assert rows[1]["genres"] == "action, comedy"
+
+    def test_table_on_real_corpus(self, tiny_corpus):
+        record = _record(tiny_corpus.user_sequences[0][:3], tiny_corpus.user_sequences[0][3:6], 7)
+        rows = genre_transition_table(record, tiny_corpus)
+        assert all({"role", "item", "genres"} == set(row) for row in rows)
+
+
+class TestGenreShiftSmoothness:
+    def test_requires_records(self, genre_corpus):
+        with pytest.raises(ConfigurationError):
+            genre_shift_smoothness([], genre_corpus)
+
+    def test_within_genre_path_is_maximally_smooth(self, genre_corpus):
+        records = [_record([1], [2, 1, 2], objective=9)]
+        # every step shares the 'action' genre with its predecessor
+        assert genre_shift_smoothness(records, genre_corpus) == pytest.approx(1.0)
+
+    def test_cross_genre_jumps_reduce_smoothness(self, genre_corpus):
+        smooth = genre_shift_smoothness([_record([1], [2, 5, 3], objective=9)], genre_corpus)
+        abrupt = genre_shift_smoothness([_record([1], [3, 1, 4], objective=9)], genre_corpus)
+        assert smooth > abrupt
+
+    def test_history_link_option(self, genre_corpus):
+        record = _record([1], [3, 4], objective=9)
+        with_link = genre_shift_smoothness([record], genre_corpus, include_history_link=True)
+        without_link = genre_shift_smoothness([record], genre_corpus, include_history_link=False)
+        # 1 -> 3 is a cross-genre jump: including it lowers the average.
+        assert with_link < without_link
+
+    def test_value_in_unit_interval(self, tiny_corpus):
+        sequence = tiny_corpus.user_sequences[0]
+        records = [_record(sequence[:4], sequence[4:10], objective=1)]
+        value = genre_shift_smoothness(records, tiny_corpus)
+        assert 0.0 <= value <= 1.0
+
+    def test_nan_when_no_genre_metadata(self, genre_corpus):
+        bare = SequenceCorpus(
+            name="bare",
+            vocab=genre_corpus.vocab,
+            user_ids=["u0"],
+            user_sequences=[[1, 2, 3]],
+        )
+        assert np.isnan(genre_shift_smoothness([_record([1], [2], 3)], bare))
+
+
+class TestGenreTransitionMatrix:
+    def test_counts_known_transitions(self, genre_corpus):
+        genres, matrix = genre_transition_matrix([_record([1], [2, 3], objective=9)], genre_corpus)
+        action, comedy = genres.index("action"), genres.index("comedy")
+        # 1->2 action->action, 2->3 action->comedy
+        assert matrix[action, action] == 1
+        assert matrix[action, comedy] == 1
+        assert matrix[comedy, action] == 0
+
+    def test_multi_genre_items_count_every_pair(self, genre_corpus):
+        genres, matrix = genre_transition_matrix([_record([], [5, 5], objective=9)], genre_corpus)
+        # 5 carries both genres: the single transition contributes 4 cells.
+        assert matrix.sum() == 4
+
+    def test_requires_genre_metadata(self, genre_corpus):
+        bare = SequenceCorpus(
+            name="bare",
+            vocab=genre_corpus.vocab,
+            user_ids=["u0"],
+            user_sequences=[[1, 2]],
+        )
+        with pytest.raises(ConfigurationError):
+            genre_transition_matrix([_record([1], [2], 3)], bare)
+
+    def test_matrix_shape_matches_genres(self, tiny_corpus):
+        sequence = tiny_corpus.user_sequences[1]
+        genres, matrix = genre_transition_matrix(
+            [_record(sequence[:3], sequence[3:8], objective=1)], tiny_corpus
+        )
+        assert matrix.shape == (len(genres), len(genres))
+        assert (matrix >= 0).all()

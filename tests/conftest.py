@@ -1,0 +1,78 @@
+"""Shared fixtures.
+
+Expensive objects (corpora, splits, fitted models, the fast experiment
+pipeline) are session-scoped so the full suite stays fast; tests must treat
+them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import build_corpus
+from repro.data.splitting import split_corpus
+from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pipeline import ExperimentPipeline
+from repro.models.markov import MarkovChainRecommender
+from repro.evaluation.evaluator import IRSEvaluator
+
+
+def make_tiny_dataset(seed: int = 0, name: str = "tiny-synthetic"):
+    """A very small synthetic dataset used across unit tests."""
+    config = SyntheticConfig(
+        name=name,
+        num_users=40,
+        num_items=60,
+        num_genres=6,
+        min_sequence_length=14,
+        max_sequence_length=28,
+        seed=seed,
+    )
+    return generate_synthetic_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """Raw synthetic interaction dataset (session-scoped, read-only)."""
+    return make_tiny_dataset()
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus(tiny_dataset):
+    """Preprocessed sequence corpus for the tiny dataset."""
+    return build_corpus(tiny_dataset, min_interactions=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_corpus):
+    """Train/validation/test split of the tiny corpus."""
+    return split_corpus(tiny_corpus, l_min=6, l_max=14, validation_fraction=0.1, seed=0)
+
+
+@pytest.fixture(scope="session")
+def fitted_markov(tiny_split):
+    """A fitted Markov-chain recommender (cheap evaluator/backbone)."""
+    return MarkovChainRecommender().fit(tiny_split)
+
+
+@pytest.fixture(scope="session")
+def markov_evaluator(fitted_markov):
+    """An IRS evaluator backed by the Markov model."""
+    return IRSEvaluator(fitted_markov)
+
+
+@pytest.fixture(scope="session")
+def fast_pipeline():
+    """A fast-profile experiment pipeline (used by integration tests)."""
+    config = ExperimentConfig.fast("movielens", seed=0)
+    config.scale = 0.25
+    config.max_eval_instances = 15
+    return ExperimentPipeline(config)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

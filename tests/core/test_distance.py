@@ -1,0 +1,80 @@
+"""Unit tests for item distances."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import ItemDistance
+from repro.data.interactions import SequenceCorpus
+from repro.data.vocab import Vocabulary
+from repro.utils.exceptions import ConfigurationError
+
+
+def _genre_corpus() -> SequenceCorpus:
+    vocab = Vocabulary(["a", "b", "c", "d"])
+    genres = np.array(
+        [
+            [False, False],
+            [True, False],   # a: genre 0
+            [True, False],   # b: genre 0
+            [False, True],   # c: genre 1
+            [True, True],    # d: both
+        ]
+    )
+    return SequenceCorpus(
+        name="g",
+        vocab=vocab,
+        user_ids=["u"],
+        user_sequences=[[1, 2, 3, 4]],
+        genre_names=["g0", "g1"],
+        item_genre_matrix=genres,
+    )
+
+
+class TestItemDistance:
+    def test_requires_2d_matrix(self):
+        with pytest.raises(ConfigurationError):
+            ItemDistance(np.zeros(5))
+
+    def test_identical_items_have_zero_distance(self):
+        distance = ItemDistance(np.eye(4))
+        assert distance.distance(2, 2) == 0.0
+
+    def test_genre_distance_orders_items_sensibly(self):
+        distance = ItemDistance.from_genres(_genre_corpus())
+        assert distance.distance(1, 2) == pytest.approx(0.0)      # same genre
+        assert distance.distance(1, 3) == pytest.approx(1.0)      # disjoint genres
+        assert 0.0 < distance.distance(1, 4) < 1.0                # overlapping
+
+    def test_from_genres_requires_metadata(self):
+        corpus = SequenceCorpus("plain", Vocabulary(["a"]), ["u"], [[1]])
+        with pytest.raises(ConfigurationError):
+            ItemDistance.from_genres(corpus)
+
+    def test_distances_to_vector(self):
+        distance = ItemDistance.from_genres(_genre_corpus())
+        distances = distance.distances_to(1)
+        assert distances.shape == (5,)
+        assert distances[1] == 0.0
+        assert distances[2] == pytest.approx(0.0)
+
+    def test_closest_to_picks_minimum_distance(self):
+        distance = ItemDistance.from_genres(_genre_corpus())
+        assert distance.closest_to(1, [3, 4, 2]) == 2
+
+    def test_closest_to_breaks_ties_by_candidate_order(self):
+        distance = ItemDistance.from_genres(_genre_corpus())
+        # 1 and 2 are both at distance 0 from each other; candidate order decides.
+        assert distance.closest_to(1, [2, 1]) == 2
+        assert distance.closest_to(1, [1, 2]) == 1
+
+    def test_closest_to_empty_candidates(self):
+        distance = ItemDistance.from_genres(_genre_corpus())
+        with pytest.raises(ConfigurationError):
+            distance.closest_to(1, [])
+
+    def test_from_embeddings(self, rng):
+        vectors = rng.normal(size=(6, 4))
+        distance = ItemDistance.from_embeddings(vectors)
+        assert distance.vocab_size == 6
+        assert distance.distance(1, 1) == 0.0
+        assert 0.0 <= distance.distance(1, 2) <= 2.0

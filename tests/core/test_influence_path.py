@@ -1,0 +1,64 @@
+"""Unit tests for Algorithm 1 (the influence-path loop)."""
+
+import pytest
+
+from repro.core.base import InfluentialRecommender
+from repro.core.influence_path import generate_influence_path
+from repro.utils.exceptions import ConfigurationError
+
+
+class _ScriptedRecommender(InfluentialRecommender):
+    """Deterministic stub: returns items from a script, then None."""
+
+    name = "scripted"
+
+    def __init__(self, script):
+        super().__init__()
+        self.script = list(script)
+        self.calls = []
+
+    def fit(self, split):
+        return self
+
+    def next_step(self, history, objective, path_so_far, user_index=None):
+        self.calls.append((tuple(history), objective, tuple(path_so_far)))
+        if len(path_so_far) < len(self.script):
+            return self.script[len(path_so_far)]
+        return None
+
+
+class TestGenerateInfluencePath:
+    def test_stops_at_objective(self):
+        recommender = _ScriptedRecommender([5, 6, 7, 8])
+        path = generate_influence_path(recommender, [1, 2], objective=7, max_length=10)
+        assert path == [5, 6, 7]
+
+    def test_respects_max_length(self):
+        recommender = _ScriptedRecommender(list(range(10, 30)))
+        path = generate_influence_path(recommender, [1], objective=999, max_length=5)
+        assert len(path) == 5
+
+    def test_stops_when_recommender_returns_none(self):
+        recommender = _ScriptedRecommender([4, 5])
+        path = generate_influence_path(recommender, [1], objective=99, max_length=10)
+        assert path == [4, 5]
+
+    def test_passes_growing_path_to_recommender(self):
+        recommender = _ScriptedRecommender([3, 4, 5])
+        generate_influence_path(recommender, [1, 2], objective=5, max_length=10)
+        assert recommender.calls[0] == ((1, 2), 5, ())
+        assert recommender.calls[1] == ((1, 2), 5, (3,))
+        assert recommender.calls[2] == ((1, 2), 5, (3, 4))
+
+    def test_invalid_max_length(self):
+        recommender = _ScriptedRecommender([1])
+        with pytest.raises(ConfigurationError):
+            generate_influence_path(recommender, [1], objective=2, max_length=0)
+
+    def test_objective_as_first_recommendation(self):
+        recommender = _ScriptedRecommender([42])
+        assert generate_influence_path(recommender, [1], objective=42, max_length=10) == [42]
+
+    def test_method_on_base_class_delegates(self):
+        recommender = _ScriptedRecommender([9, 8])
+        assert recommender.generate_path([1], objective=8, max_length=10) == [9, 8]

@@ -1,0 +1,148 @@
+"""Unit and behavioural tests for the Influential Recommender Network."""
+
+import numpy as np
+import pytest
+
+from repro.core.irn import IRN
+from repro.core.pim import MaskType
+from repro.data.padding import PAD_INDEX
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+def _tiny_irn(**overrides) -> IRN:
+    params = dict(
+        embedding_dim=12,
+        user_dim=4,
+        num_heads=2,
+        num_layers=1,
+        epochs=2,
+        batch_size=32,
+        max_sequence_length=16,
+        item2vec_init=False,
+        seed=0,
+    )
+    params.update(overrides)
+    return IRN(**params)
+
+
+@pytest.fixture(scope="module")
+def fitted_irn(tiny_split):
+    return _tiny_irn().fit(tiny_split)
+
+
+class TestConstruction:
+    def test_invalid_objective_weight(self):
+        with pytest.raises(ConfigurationError):
+            IRN(objective_weight=-1.0)
+        with pytest.raises(ConfigurationError):
+            IRN(objective_logit_scale=0.0)
+
+    def test_requires_fit_before_scoring(self):
+        with pytest.raises(NotFittedError):
+            _tiny_irn().score_next([1, 2])
+
+    def test_registered_in_both_registries(self):
+        from repro.core.base import influential_registry
+        from repro.models.base import model_registry
+
+        assert "irn" in model_registry
+        assert "irn" in influential_registry
+
+
+class TestTraining:
+    def test_loss_decreases(self, fitted_irn):
+        history = fitted_irn.training_history
+        assert history[-1]["train_loss"] < history[0]["train_loss"] + 0.05
+
+    def test_item2vec_initialisation_changes_embeddings(self, tiny_split):
+        random_init = _tiny_irn(epochs=1, seed=1).fit(tiny_split)
+        pretrained = _tiny_irn(epochs=1, seed=1, item2vec_init=True).fit(tiny_split)
+        assert not np.allclose(
+            random_init.module.item_embedding.weight.data,
+            pretrained.module.item_embedding.weight.data,
+        )
+
+    def test_mask_type_round_trips_from_int(self, tiny_split):
+        model = _tiny_irn(mask_type=2, epochs=1).fit(tiny_split)
+        assert model.mask_type == MaskType.OBJECTIVE
+
+
+class TestScoring:
+    def test_score_next_shape_and_padding(self, fitted_irn, tiny_split):
+        scores = fitted_irn.score_next([1, 2, 3], user_index=0)
+        assert scores.shape == (tiny_split.corpus.vocab.size,)
+        assert scores[PAD_INDEX] == -np.inf
+
+    def test_score_with_objective_differs_from_objective_free(self, fitted_irn):
+        history = [1, 2, 3, 4]
+        with_objective = fitted_irn.score_with_objective(history, objective=9, user_index=0)
+        without = fitted_irn.score_next(history, user_index=0)
+        assert not np.allclose(with_objective, without)
+
+    def test_objective_changes_the_recommendation_distribution(self, fitted_irn):
+        history = [1, 2, 3, 4]
+        scores_a = fitted_irn.score_with_objective(history, objective=8, user_index=0)
+        scores_b = fitted_irn.score_with_objective(history, objective=20, user_index=0)
+        assert not np.allclose(scores_a, scores_b)
+
+    def test_empty_history_with_objective(self, fitted_irn):
+        scores = fitted_irn.score_with_objective([], objective=5, user_index=0)
+        assert np.isfinite(scores[1:]).all()
+
+    def test_unknown_user_falls_back_gracefully(self, fitted_irn):
+        scores = fitted_irn.score_with_objective([1, 2], objective=5, user_index=10_000)
+        assert np.isfinite(scores[1:]).all()
+
+
+class TestPathGeneration:
+    def test_next_step_excludes_session_items_except_objective(self, fitted_irn):
+        history = [1, 2, 3, 4, 5]
+        step = fitted_irn.next_step(history, objective=9, path_so_far=[6, 7])
+        assert step not in set(history) | {6, 7} or step == 9
+
+    def test_generate_path_terminates(self, fitted_irn, tiny_split):
+        history = list(tiny_split.test[0].history)[:10]
+        objective = tiny_split.train[3].objective
+        path = fitted_irn.generate_path(history, objective, user_index=0, max_length=8)
+        assert 0 < len(path) <= 8
+        if objective in path:
+            assert path[-1] == objective
+
+    def test_higher_objective_weight_pulls_paths_closer(self, tiny_split, markov_evaluator):
+        """With a much stronger w_t the average rank of the objective improves."""
+        weak = _tiny_irn(objective_weight=0.0, epochs=2, seed=3).fit(tiny_split)
+        strong = _tiny_irn(objective_weight=1.0, objective_logit_scale=10.0, epochs=2, seed=3).fit(
+            tiny_split
+        )
+        history = list(tiny_split.test[0].history)[:10]
+        objective = tiny_split.train[7].objective
+
+        def objective_rank_after_path(model):
+            path = model.generate_path(history, objective, user_index=0, max_length=6)
+            return markov_evaluator.rank(objective, history + path)
+
+        # Not guaranteed per-instance, so average over a few objectives.
+        weak_ranks, strong_ranks = [], []
+        for sequence in tiny_split.train[5:11]:
+            target = sequence.objective
+            if target in history:
+                continue
+            weak_path = weak.generate_path(history, target, user_index=0, max_length=6)
+            strong_path = strong.generate_path(history, target, user_index=0, max_length=6)
+            weak_ranks.append(target in weak_path)
+            strong_ranks.append(target in strong_path)
+        assert sum(strong_ranks) >= sum(weak_ranks)
+
+
+class TestImpressionability:
+    def test_factors_shape_and_variation(self, fitted_irn, tiny_split):
+        factors = fitted_irn.impressionability_factors()
+        assert factors.shape == (tiny_split.corpus.num_users,)
+        assert np.isfinite(factors).all()
+
+    def test_factors_start_near_bias_initialisation(self, tiny_split):
+        untrained = _tiny_irn(epochs=1)
+        untrained.corpus = tiny_split.corpus
+        untrained.module = untrained._build(tiny_split.corpus, np.random.default_rng(0))
+        factors = untrained.impressionability_factors()
+        assert np.allclose(factors, 1.0, atol=0.2)

@@ -1,0 +1,50 @@
+"""Unit tests for item-graph construction."""
+
+import networkx as nx
+
+from repro.core.item_graph import build_item_graph
+
+
+class TestBuildItemGraph:
+    def test_consecutive_items_are_connected(self):
+        graph = build_item_graph([[1, 2, 3], [3, 4]])
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 3)
+        assert graph.has_edge(3, 4)
+        assert not graph.has_edge(1, 3)
+
+    def test_graph_is_undirected_with_unit_weights(self):
+        graph = build_item_graph([[1, 2], [2, 1]])
+        assert isinstance(graph, nx.Graph)
+        assert graph[1][2]["weight"] == 1.0
+        assert graph[1][2]["count"] == 2
+
+    def test_count_weights_option(self):
+        graph = build_item_graph([[1, 2], [1, 2], [2, 3]], count_weights=True)
+        assert graph[1][2]["weight"] == 0.5
+        assert graph[2][3]["weight"] == 1.0
+
+    def test_self_loops_ignored(self):
+        graph = build_item_graph([[1, 1, 2]])
+        assert not graph.has_edge(1, 1)
+        assert graph.has_edge(1, 2)
+
+    def test_isolated_items_still_present_as_nodes(self):
+        graph = build_item_graph([[7], [1, 2]])
+        assert 7 in graph
+        assert graph.degree(7) == 0
+
+    def test_paper_figure3_example(self):
+        """The Figure 3 toy graph: a path from i1 to i11 exists via i6 and i4."""
+        sequences = [
+            [1, 6, 4, 11],
+            [2, 6, 5],
+            [3, 4, 10],
+            [7, 8, 9],
+            [9, 12],
+        ]
+        graph = build_item_graph(sequences)
+        path = nx.dijkstra_path(graph, 1, 11)
+        assert path == [1, 6, 4, 11]
+        # i10 and i12 are in different components (the Pf2Inf failure case).
+        assert not nx.has_path(graph, 10, 12)

@@ -1,0 +1,235 @@
+"""Tests for objective sets (collection / category objectives)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import ItemDistance
+from repro.core.objectives import (
+    CategoryObjective,
+    ItemSetObjective,
+    SetPathRecord,
+    SingleItemObjective,
+    generate_path_to_set,
+    resolve_target,
+    set_increase_of_interest,
+    set_success_rate,
+)
+from repro.core.rec2inf import Rec2Inf
+from repro.models.markov import MarkovChainRecommender
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def rec2inf_markov(tiny_split):
+    return Rec2Inf(MarkovChainRecommender(), candidate_k=15).fit(tiny_split)
+
+
+@pytest.fixture(scope="module")
+def genre_distance(tiny_corpus):
+    return ItemDistance.from_genres(tiny_corpus)
+
+
+class TestObjectiveSets:
+    def test_single_item_members(self, tiny_corpus):
+        objective = SingleItemObjective(3)
+        assert objective.members(tiny_corpus) == [3]
+        assert objective.contains(3, tiny_corpus)
+        assert not objective.contains(4, tiny_corpus)
+
+    def test_item_set_deduplicates_and_sorts(self, tiny_corpus):
+        objective = ItemSetObjective([5, 3, 5, 9])
+        assert objective.members(tiny_corpus) == [3, 5, 9]
+
+    def test_item_set_requires_items(self):
+        with pytest.raises(ConfigurationError):
+            ItemSetObjective([])
+
+    def test_category_members_share_the_genre(self, tiny_corpus):
+        genre = tiny_corpus.genre_names[0]
+        objective = CategoryObjective(genre, min_interactions=1)
+        members = objective.members(tiny_corpus)
+        assert members
+        for item in members:
+            assert genre in tiny_corpus.item_genres(item)
+
+    def test_category_unknown_genre(self, tiny_corpus):
+        with pytest.raises(ConfigurationError):
+            CategoryObjective("no-such-genre").members(tiny_corpus)
+
+    def test_category_respects_popularity_threshold(self, tiny_corpus):
+        genre = tiny_corpus.genre_names[0]
+        popularity = tiny_corpus.item_popularity()
+        members = CategoryObjective(genre, min_interactions=3).members(tiny_corpus)
+        loose_members = CategoryObjective(genre, min_interactions=0).members(tiny_corpus)
+        assert set(members) <= set(loose_members)
+        if any(popularity[item] >= 3 for item in loose_members):
+            for item in members:
+                assert popularity[item] >= 3
+
+    def test_validate_rejects_out_of_range(self, tiny_corpus):
+        objective = ItemSetObjective([tiny_corpus.vocab.size + 5])
+        with pytest.raises(ConfigurationError):
+            objective.validate(tiny_corpus)
+
+    @given(item=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_single_item_contains_only_itself(self, item):
+        objective = SingleItemObjective(item)
+        assert objective.item == item
+        assert objective.name == f"item:{item}"
+
+
+class TestResolveTarget:
+    def test_single_member_shortcut(self, tiny_corpus):
+        assert resolve_target(SingleItemObjective(7), tiny_corpus, [1, 2, 3]) == 7
+
+    def test_popular_strategy_picks_most_popular(self, tiny_corpus):
+        popularity = tiny_corpus.item_popularity()
+        candidates = list(np.argsort(-popularity)[:5])
+        candidates = [int(item) for item in candidates if item != 0][:3]
+        objective = ItemSetObjective(candidates)
+        target = resolve_target(objective, tiny_corpus, [], strategy="popular")
+        assert popularity[target] == max(popularity[item] for item in candidates)
+
+    def test_first_strategy_is_deterministic(self, tiny_corpus):
+        objective = ItemSetObjective([9, 4, 6])
+        assert resolve_target(objective, tiny_corpus, [1], strategy="first") == 4
+
+    def test_nearest_strategy_uses_distance(self, tiny_corpus, genre_distance):
+        history = tiny_corpus.user_sequences[0][-5:]
+        genre = tiny_corpus.genre_names[0]
+        objective = CategoryObjective(genre, min_interactions=0)
+        target = resolve_target(
+            objective, tiny_corpus, history, distance=genre_distance, strategy="nearest"
+        )
+        assert target in objective.members(tiny_corpus)
+
+    def test_nearest_without_distance_falls_back(self, tiny_corpus):
+        objective = ItemSetObjective([3, 4, 5])
+        target = resolve_target(objective, tiny_corpus, [1, 2], distance=None, strategy="nearest")
+        assert target in {3, 4, 5}
+
+    def test_unknown_strategy(self, tiny_corpus):
+        with pytest.raises(ConfigurationError):
+            resolve_target(ItemSetObjective([3, 4]), tiny_corpus, [], strategy="bogus")
+
+
+class TestGeneratePathToSet:
+    def test_stops_when_any_member_reached(self, tiny_corpus, tiny_split, rec2inf_markov):
+        instance = tiny_split.test[0]
+        genre = tiny_corpus.genre_names[1]
+        objective = CategoryObjective(genre, min_interactions=0)
+        record = generate_path_to_set(
+            rec2inf_markov,
+            instance.history,
+            objective,
+            tiny_corpus,
+            user_index=instance.user_index,
+            max_length=15,
+        )
+        assert len(record.path) <= 15
+        if record.reached:
+            members = set(record.members)
+            assert record.path[-1] in members
+            assert record.reached_item in members
+
+    def test_invalid_max_length(self, tiny_corpus, rec2inf_markov):
+        with pytest.raises(ConfigurationError):
+            generate_path_to_set(
+                rec2inf_markov, [1, 2], SingleItemObjective(3), tiny_corpus, max_length=0
+            )
+
+    def test_single_member_set_matches_plain_algorithm1(
+        self, tiny_corpus, tiny_split, rec2inf_markov
+    ):
+        instance = tiny_split.test[0]
+        objective_item = tiny_split.test[1].target
+        record = generate_path_to_set(
+            rec2inf_markov,
+            instance.history,
+            SingleItemObjective(objective_item),
+            tiny_corpus,
+            user_index=instance.user_index,
+            max_length=10,
+        )
+        plain = rec2inf_markov.generate_path(
+            list(instance.history),
+            objective_item,
+            user_index=instance.user_index,
+            max_length=10,
+        )
+        assert list(record.path) == plain
+
+    def test_resolved_targets_are_members(self, tiny_corpus, tiny_split, rec2inf_markov, genre_distance):
+        instance = tiny_split.test[2]
+        genre = tiny_corpus.genre_names[2]
+        objective = CategoryObjective(genre, min_interactions=0)
+        record = generate_path_to_set(
+            rec2inf_markov,
+            instance.history,
+            objective,
+            tiny_corpus,
+            distance=genre_distance,
+            user_index=instance.user_index,
+            max_length=8,
+            retarget=True,
+        )
+        members = set(record.members)
+        for target in record.resolved_targets:
+            assert target in members
+
+    def test_no_retarget_keeps_single_target(self, tiny_corpus, tiny_split, rec2inf_markov):
+        instance = tiny_split.test[3]
+        objective = ItemSetObjective(
+            [item for item in range(1, tiny_corpus.vocab.size) if item not in instance.history][:4]
+        )
+        record = generate_path_to_set(
+            rec2inf_markov,
+            instance.history,
+            objective,
+            tiny_corpus,
+            user_index=instance.user_index,
+            max_length=6,
+            retarget=False,
+            strategy="popular",
+        )
+        assert len(set(record.resolved_targets)) == 1
+
+
+class TestSetMetrics:
+    def _record(self, members, path):
+        return SetPathRecord(
+            user_index=0,
+            history=(1, 2),
+            objective_name="set",
+            members=tuple(members),
+            resolved_targets=tuple(members[:1]),
+            path=tuple(path),
+        )
+
+    def test_empty_records_raise(self, markov_evaluator):
+        with pytest.raises(ConfigurationError):
+            set_success_rate([])
+        with pytest.raises(ConfigurationError):
+            set_increase_of_interest([], markov_evaluator)
+
+    def test_success_rate_counts_any_member(self):
+        records = [self._record([5, 6], [3, 6]), self._record([5, 6], [3, 4])]
+        assert set_success_rate(records) == pytest.approx(0.5)
+
+    def test_increase_of_interest_finite(self, markov_evaluator, tiny_split):
+        instance = tiny_split.test[0]
+        record = SetPathRecord(
+            user_index=instance.user_index,
+            history=tuple(instance.history),
+            objective_name="set",
+            members=(instance.target, max(1, instance.target - 1)),
+            resolved_targets=(instance.target,),
+            path=(instance.target,),
+        )
+        value = set_increase_of_interest([record], markov_evaluator)
+        assert np.isfinite(value)

@@ -1,0 +1,90 @@
+"""Unit tests for the Pf2Inf path-finding framework."""
+
+import pytest
+
+from repro.core.pf2inf import Pf2Inf
+from repro.data.interactions import SequenceCorpus
+from repro.data.splitting import DatasetSplit, TestInstance, UserSequence
+from repro.data.vocab import Vocabulary
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+def _toy_split() -> DatasetSplit:
+    """The Figure 3 toy graph as a dataset split."""
+    vocab = Vocabulary([f"i{i}" for i in range(1, 13)])
+    sequences = [
+        UserSequence(0, (1, 6, 4, 11)),
+        UserSequence(1, (2, 6, 5)),
+        UserSequence(2, (3, 4, 10)),
+        UserSequence(3, (7, 8, 9)),
+        UserSequence(4, (9, 12)),
+    ]
+    corpus = SequenceCorpus(
+        name="figure3",
+        vocab=vocab,
+        user_ids=[f"u{i}" for i in range(5)],
+        user_sequences=[list(s.items) for s in sequences],
+    )
+    test = [TestInstance(0, (1,), 11)]
+    return DatasetSplit(corpus=corpus, train=sequences, validation=[], test=test, l_min=2, l_max=5)
+
+
+class TestPf2Inf:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Pf2Inf(method="astar")
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            Pf2Inf().plan_path([1], 2)
+
+    def test_dijkstra_reproduces_paper_example(self):
+        """Figure 3: history ending at i1 with objective i11 -> {i6, i4, i11}."""
+        model = Pf2Inf("dijkstra").fit(_toy_split())
+        assert model.generate_path([1], 11) == [6, 4, 11]
+
+    def test_disconnected_objective_yields_empty_path(self):
+        """Figure 3 failure case: i10 and i12 live in different components."""
+        model = Pf2Inf("dijkstra").fit(_toy_split())
+        assert model.generate_path([3, 4, 10], 12) == []
+
+    def test_unknown_source_yields_empty_path(self):
+        model = Pf2Inf("dijkstra").fit(_toy_split())
+        assert model.generate_path([], 11) == []
+
+    def test_path_truncated_to_max_length(self):
+        model = Pf2Inf("dijkstra").fit(_toy_split())
+        path = model.generate_path([1], 11, max_length=2)
+        assert path == [6, 4]
+
+    def test_mst_paths_stay_within_tree(self):
+        model = Pf2Inf("mst").fit(_toy_split())
+        path = model.generate_path([1], 11)
+        assert path[-1] == 11
+        tree = model._search_graph
+        previous = 1
+        for item in path:
+            assert tree.has_edge(previous, item)
+            previous = item
+
+    def test_next_step_follows_planned_path(self):
+        model = Pf2Inf("dijkstra").fit(_toy_split())
+        assert model.next_step([1], 11, []) == 6
+        assert model.next_step([1], 11, [6]) == 4
+        assert model.next_step([1], 11, [6, 4]) == 11
+
+    def test_next_step_returns_none_when_no_path(self):
+        model = Pf2Inf("dijkstra").fit(_toy_split())
+        assert model.next_step([10], 12, []) is None
+
+    def test_algorithm1_loop_matches_direct_plan(self, markov_evaluator):
+        model = Pf2Inf("dijkstra").fit(_toy_split())
+        from repro.core.influence_path import generate_influence_path
+
+        assert generate_influence_path(model, [1], 11, max_length=20) == [6, 4, 11]
+
+    def test_count_weighted_graph_prefers_frequent_edges(self):
+        split = _toy_split()
+        model = Pf2Inf("dijkstra", count_weights=True).fit(split)
+        path = model.generate_path([1], 11)
+        assert path[-1] == 11

@@ -1,0 +1,84 @@
+"""Unit tests for mini-batch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import iterate_batches, sequences_to_batch
+from repro.data.padding import PAD_INDEX
+from repro.data.splitting import UserSequence
+from repro.utils.exceptions import ConfigurationError
+
+
+def _sequences():
+    return [
+        UserSequence(0, (1, 2, 3)),
+        UserSequence(1, (4, 5)),
+        UserSequence(2, (6, 7, 8, 9)),
+        UserSequence(0, (2, 3)),
+        UserSequence(3, (1, 9, 8, 7, 6)),
+    ]
+
+
+class TestSequencesToBatch:
+    def test_shapes_and_metadata(self):
+        batch = sequences_to_batch(_sequences())
+        assert batch.items.shape == (5, 5)
+        assert batch.batch_size == 5
+        assert batch.max_length == 5
+        assert batch.users.tolist() == [0, 1, 2, 0, 3]
+        assert batch.lengths.tolist() == [3, 2, 4, 2, 5]
+
+    def test_pre_padding_places_objective_last(self):
+        batch = sequences_to_batch(_sequences(), scheme="pre")
+        for row, sequence in zip(batch.items, _sequences()):
+            assert row[-1] == sequence.objective
+
+    def test_post_padding_places_first_item_first(self):
+        batch = sequences_to_batch(_sequences(), scheme="post")
+        for row, sequence in zip(batch.items, _sequences()):
+            assert row[0] == sequence.items[0]
+
+    def test_padding_mask(self):
+        batch = sequences_to_batch(_sequences())
+        mask = batch.padding_mask()
+        assert mask.sum() == sum(len(s) for s in _sequences())
+        assert mask.dtype == bool
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sequences_to_batch([])
+
+    def test_explicit_length(self):
+        batch = sequences_to_batch(_sequences(), length=8)
+        assert batch.max_length == 8
+
+
+class TestIterateBatches:
+    def test_covers_all_sequences_exactly_once(self):
+        sequences = _sequences()
+        seen = 0
+        for batch in iterate_batches(sequences, batch_size=2, shuffle=True, seed=0):
+            seen += batch.batch_size
+            assert batch.batch_size <= 2
+        assert seen == len(sequences)
+
+    def test_no_shuffle_preserves_order(self):
+        sequences = _sequences()
+        batches = list(iterate_batches(sequences, batch_size=3, shuffle=False))
+        assert batches[0].users.tolist() == [0, 1, 2]
+        assert batches[1].users.tolist() == [0, 3]
+
+    def test_shuffle_is_seed_deterministic(self):
+        sequences = _sequences()
+        users_a = [b.users.tolist() for b in iterate_batches(sequences, 2, seed=5)]
+        users_b = [b.users.tolist() for b in iterate_batches(sequences, 2, seed=5)]
+        assert users_a == users_b
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            list(iterate_batches(_sequences(), batch_size=0))
+
+    def test_padding_value_is_reserved_index(self):
+        for batch in iterate_batches(_sequences(), batch_size=5, shuffle=False):
+            padded_positions = ~batch.padding_mask()
+            assert np.all(batch.items[padded_positions] == PAD_INDEX)

@@ -1,0 +1,117 @@
+"""Unit tests for the dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import DatasetStatistics, Interaction, InteractionDataset, SequenceCorpus
+from repro.data.vocab import Vocabulary
+from repro.utils.exceptions import DataError
+
+
+def _toy_corpus() -> SequenceCorpus:
+    vocab = Vocabulary(["a", "b", "c", "d"])
+    genres = np.zeros((vocab.size, 2), dtype=bool)
+    genres[1, 0] = True
+    genres[2, 1] = True
+    genres[3, :] = True
+    return SequenceCorpus(
+        name="toy",
+        vocab=vocab,
+        user_ids=["u1", "u2"],
+        user_sequences=[[1, 2, 3], [2, 3, 4, 1]],
+        genre_names=["g0", "g1"],
+        item_genre_matrix=genres,
+        user_traits=np.array([0.2, 0.8]),
+    )
+
+
+class TestInteractionDataset:
+    def test_requires_interactions(self):
+        with pytest.raises(DataError):
+            InteractionDataset(name="empty", interactions=[])
+
+    def test_users_and_items_in_first_appearance_order(self):
+        dataset = InteractionDataset(
+            name="d",
+            interactions=[
+                Interaction("u2", "b", 1.0),
+                Interaction("u1", "a", 2.0),
+                Interaction("u2", "a", 3.0),
+            ],
+        )
+        assert dataset.users == ["u2", "u1"]
+        assert dataset.items == ["b", "a"]
+        assert len(dataset) == 3
+
+
+class TestSequenceCorpus:
+    def test_validates_sequence_indices(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(DataError):
+            SequenceCorpus("bad", vocab, ["u"], [[5]])
+        with pytest.raises(DataError):
+            SequenceCorpus("bad", vocab, ["u"], [[0]])
+        with pytest.raises(DataError):
+            SequenceCorpus("bad", vocab, ["u"], [[]])
+
+    def test_user_and_sequence_count_must_match(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(DataError):
+            SequenceCorpus("bad", vocab, ["u1", "u2"], [[1]])
+
+    def test_statistics_match_manual_computation(self):
+        corpus = _toy_corpus()
+        stats = corpus.statistics()
+        assert stats.num_users == 2
+        assert stats.num_items == 4
+        assert stats.num_interactions == 7
+        assert stats.density == pytest.approx(7 / 8)
+        assert stats.avg_items_per_user == pytest.approx(3.5)
+
+    def test_statistics_as_row_keys(self):
+        row = _toy_corpus().statistics().as_row()
+        assert set(row) == {
+            "dataset",
+            "users",
+            "items",
+            "interactions",
+            "density",
+            "avg_items_per_user",
+        }
+
+    def test_item_popularity_counts(self):
+        counts = _toy_corpus().item_popularity()
+        assert counts[0] == 0
+        assert counts[1] == 2  # "a" appears twice
+        assert counts.sum() == 7
+
+    def test_item_genres_lookup(self):
+        corpus = _toy_corpus()
+        assert corpus.item_genres(3) == ("g0", "g1")
+        assert corpus.item_genres(1) == ("g0",)
+
+    def test_item_genres_without_metadata(self):
+        vocab = Vocabulary(["a"])
+        corpus = SequenceCorpus("plain", vocab, ["u"], [[1]])
+        assert corpus.item_genres(1) == ()
+
+    def test_genre_matrix_shape_validated(self):
+        vocab = Vocabulary(["a", "b"])
+        with pytest.raises(DataError):
+            SequenceCorpus(
+                "bad", vocab, ["u"], [[1]], genre_names=["g"], item_genre_matrix=np.zeros((2, 1))
+            )
+
+    def test_subset_users_preserves_vocab_and_traits(self):
+        corpus = _toy_corpus()
+        subset = corpus.subset_users([1])
+        assert subset.num_users == 1
+        assert subset.user_ids == ["u2"]
+        assert subset.vocab is corpus.vocab
+        assert np.allclose(subset.user_traits, [0.8])
+
+
+class TestDatasetStatistics:
+    def test_dataclass_round_trip(self):
+        stats = DatasetStatistics("x", 10, 20, 100, 0.5, 10.0)
+        assert stats.as_row()["interactions"] == 100

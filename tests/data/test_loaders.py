@@ -1,0 +1,83 @@
+"""Unit tests for the MovieLens-1M / Lastfm file parsers and synthetic presets."""
+
+import pytest
+
+from repro.data.lastfm import LASTFM_GENRES, load_lastfm, synthetic_lastfm
+from repro.data.movielens import MOVIELENS_GENRES, load_movielens_1m, synthetic_movielens
+from repro.data.preprocessing import build_corpus
+from repro.utils.exceptions import DataError
+
+
+class TestMovielensLoader:
+    def test_parses_ratings_and_movies(self, tmp_path):
+        (tmp_path / "ratings.dat").write_text(
+            "1::10::5::978300760\n1::11::3::978302109\n2::10::4::978301968\n",
+            encoding="latin-1",
+        )
+        (tmp_path / "movies.dat").write_text(
+            "10::GoldenEye (1995)::Action|Adventure|Thriller\n11::Toy Story (1995)::Animation\n",
+            encoding="latin-1",
+        )
+        dataset = load_movielens_1m(str(tmp_path))
+        assert len(dataset) == 3
+        assert dataset.item_genres["m10"] == ("Action", "Adventure", "Thriller")
+        assert dataset.interactions[0].rating == 5.0
+
+    def test_missing_ratings_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_movielens_1m(str(tmp_path))
+
+    def test_malformed_line_rejected(self, tmp_path):
+        (tmp_path / "ratings.dat").write_text("1::10::5\n", encoding="latin-1")
+        with pytest.raises(DataError):
+            load_movielens_1m(str(tmp_path))
+
+    def test_works_without_movies_file(self, tmp_path):
+        (tmp_path / "ratings.dat").write_text("1::10::5::978300760\n", encoding="latin-1")
+        dataset = load_movielens_1m(str(tmp_path))
+        assert dataset.item_genres == {}
+
+
+class TestLastfmLoader:
+    def test_parses_tagging_events_and_skips_header(self, tmp_path):
+        (tmp_path / "user_taggedartists-timestamps.dat").write_text(
+            "userID\tartistID\ttagID\ttimestamp\n2\t52\t13\t1238536800000\n2\t53\t14\t1238536800500\n",
+            encoding="utf-8",
+        )
+        dataset = load_lastfm(str(tmp_path))
+        assert len(dataset) == 2
+        assert dataset.interactions[0].item == "a52"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_lastfm(str(tmp_path))
+
+    def test_malformed_line(self, tmp_path):
+        (tmp_path / "user_taggedartists-timestamps.dat").write_text("2\t52\n", encoding="utf-8")
+        with pytest.raises(DataError):
+            load_lastfm(str(tmp_path))
+
+
+class TestSyntheticPresets:
+    def test_movielens_preset_has_18_genres(self):
+        dataset = synthetic_movielens(scale=0.2, seed=0)
+        genres = {g for gs in dataset.item_genres.values() for g in gs}
+        assert genres.issubset(set(MOVIELENS_GENRES))
+        assert len(MOVIELENS_GENRES) == 18
+
+    def test_lastfm_preset_is_sparser_than_movielens(self):
+        movielens = build_corpus(synthetic_movielens(scale=0.3, seed=0), min_interactions=3)
+        lastfm = build_corpus(synthetic_lastfm(scale=0.3, seed=0), min_interactions=3)
+        assert lastfm.statistics().avg_items_per_user < movielens.statistics().avg_items_per_user
+        assert set(lastfm.genre_names).issubset(set(LASTFM_GENRES))
+
+    def test_scale_changes_size(self):
+        small = synthetic_movielens(scale=0.2, seed=0)
+        large = synthetic_movielens(scale=0.4, seed=0)
+        assert len(large.users) > len(small.users)
+
+    def test_invalid_scale(self):
+        with pytest.raises(DataError):
+            synthetic_movielens(scale=0.0)
+        with pytest.raises(DataError):
+            synthetic_lastfm(scale=-1.0)

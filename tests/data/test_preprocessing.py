@@ -1,0 +1,105 @@
+"""Unit tests for the §IV-A1 preprocessing steps."""
+
+import pytest
+
+from repro.data.interactions import Interaction, InteractionDataset
+from repro.data.preprocessing import (
+    build_corpus,
+    filter_min_interactions,
+    group_by_user,
+    merge_consecutive_duplicates,
+)
+from repro.utils.exceptions import DataError
+
+
+def _dataset(records, genres=None):
+    return InteractionDataset(
+        name="test",
+        interactions=[Interaction(u, i, t) for u, i, t in records],
+        item_genres=genres or {},
+    )
+
+
+class TestGrouping:
+    def test_orders_by_timestamp_within_user(self):
+        dataset = _dataset([("u", "b", 2.0), ("u", "a", 1.0), ("v", "c", 0.0)])
+        grouped = group_by_user(dataset)
+        assert [item for _, item in grouped["u"]] == ["a", "b"]
+        assert [item for _, item in grouped["v"]] == ["c"]
+
+
+class TestMergeConsecutive:
+    def test_merges_runs_only(self):
+        assert merge_consecutive_duplicates(["a", "a", "b", "a", "a", "a"]) == ["a", "b", "a"]
+
+    def test_empty_input(self):
+        assert merge_consecutive_duplicates([]) == []
+
+
+class TestFiltering:
+    def test_drops_rare_users_and_items_iteratively(self):
+        user_items = {
+            "keep": ["x", "y", "x", "y", "x"],
+            "rare_user": ["x"],
+            "only_rare_items": ["z", "w", "z", "w", "z"],
+        }
+        filtered = filter_min_interactions(user_items, min_interactions=3)
+        assert "rare_user" not in filtered
+        assert "keep" in filtered
+        # z appears 3 times so survives; w only twice and is removed, which
+        # drops only_rare_items below the threshold on the second pass.
+        assert all(
+            item not in {"w"} for items in filtered.values() for item in items
+        )
+
+    def test_zero_threshold_is_identity(self):
+        user_items = {"u": ["a"]}
+        assert filter_min_interactions(user_items, 0) == user_items
+
+    def test_raises_when_everything_removed(self):
+        with pytest.raises(DataError):
+            filter_min_interactions({"u": ["a"], "v": ["b"]}, min_interactions=5)
+
+
+class TestBuildCorpus:
+    def test_builds_sequences_with_genres(self):
+        records = []
+        for user in ("u1", "u2", "u3"):
+            for step, item in enumerate(["a", "b", "c", "d", "e"]):
+                records.append((user, item, float(step)))
+        corpus = build_corpus(_dataset(records, genres={"a": ("G1",), "b": ("G1", "G2")}), min_interactions=3)
+        assert corpus.num_users == 3
+        assert corpus.num_items == 5
+        assert corpus.genre_names == ["G1", "G2"]
+        first_item = corpus.vocab.index("a")
+        assert corpus.item_genres(first_item) == ("G1",)
+
+    def test_merge_consecutive_option(self):
+        records = [("u%d" % k, item, float(t)) for k in range(3) for t, item in enumerate(["a", "a", "b", "b", "c"])]
+        merged = build_corpus(_dataset(records), min_interactions=2, merge_consecutive=True)
+        plain = build_corpus(_dataset(records), min_interactions=2, merge_consecutive=False)
+        assert merged.statistics().num_interactions < plain.statistics().num_interactions
+
+    def test_min_interactions_filter_applied(self):
+        records = []
+        for user in ("u1", "u2", "u3", "u4", "u5"):
+            for step, item in enumerate(["a", "b", "c", "d", "e"]):
+                records.append((user, item, float(step)))
+        records.append(("loner", "rare", 0.0))
+        corpus = build_corpus(_dataset(records), min_interactions=5)
+        assert "loner" not in corpus.user_ids
+        assert "rare" not in corpus.vocab
+
+    def test_user_traits_carried_over(self, tiny_dataset):
+        corpus = build_corpus(tiny_dataset, min_interactions=3)
+        assert corpus.user_traits is not None
+        assert len(corpus.user_traits) == corpus.num_users
+
+    def test_deterministic_item_numbering(self):
+        records = []
+        for user in ("b_user", "a_user"):
+            for step, item in enumerate(["x", "y", "z"]):
+                records.append((user, item, float(step)))
+        corpus1 = build_corpus(_dataset(records), min_interactions=2)
+        corpus2 = build_corpus(_dataset(list(reversed(records))), min_interactions=2)
+        assert corpus1.vocab.encode(["x", "y", "z"]) == corpus2.vocab.encode(["x", "y", "z"])

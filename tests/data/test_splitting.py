@@ -1,0 +1,97 @@
+"""Unit and property tests for dataset splitting (§IV-A2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.splitting import UserSequence, cut_subsequences, split_corpus
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestCutSubsequences:
+    def test_lengths_within_bounds(self, rng):
+        items = list(range(1, 101))
+        pieces = cut_subsequences(items, l_min=10, l_max=20, rng=rng)
+        assert all(10 <= len(piece) <= 30 for piece in pieces)  # last piece may absorb a fragment
+
+    def test_pieces_are_contiguous_and_cover_everything(self, rng):
+        items = list(range(1, 57))
+        pieces = cut_subsequences(items, l_min=5, l_max=9, rng=rng)
+        reassembled = [item for piece in pieces for item in piece]
+        assert reassembled == items
+
+    def test_short_history_is_single_piece(self, rng):
+        assert cut_subsequences([1, 2, 3], l_min=10, l_max=20, rng=rng) == [[1, 2, 3]]
+
+    def test_invalid_bounds_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            cut_subsequences([1, 2, 3], l_min=1, l_max=0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            cut_subsequences([1, 2, 3], l_min=5, l_max=4, rng=rng)
+
+    @given(st.integers(min_value=2, max_value=120), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_cover_and_bounds(self, n_items, seed):
+        rng = np.random.default_rng(seed)
+        items = list(range(1, n_items + 1))
+        pieces = cut_subsequences(items, l_min=4, l_max=9, rng=rng)
+        assert [item for piece in pieces for item in piece] == items
+        if n_items > 4:
+            assert all(len(piece) >= 4 for piece in pieces[:-1] or pieces)
+
+
+class TestSplitCorpus:
+    def test_one_test_instance_per_eligible_user(self, tiny_corpus):
+        split = split_corpus(tiny_corpus, l_min=5, l_max=10, seed=0)
+        eligible = sum(1 for seq in tiny_corpus.user_sequences if len(seq) >= 3)
+        assert len(split.test) == eligible
+
+    def test_test_target_is_last_item_of_history(self, tiny_corpus):
+        split = split_corpus(tiny_corpus, l_min=5, l_max=10, seed=0)
+        by_user = {i: seq for i, seq in enumerate(tiny_corpus.user_sequences)}
+        for instance in split.test:
+            full = by_user[instance.user_index]
+            assert instance.target == full[-1]
+            assert list(instance.history) == full[:-1]
+
+    def test_training_sequences_do_not_contain_test_targets_at_end(self, tiny_corpus):
+        """Training sub-sequences are cut from the history (without the held-out item)."""
+        split = split_corpus(tiny_corpus, l_min=5, l_max=10, seed=0)
+        targets = {(t.user_index, t.target) for t in split.test}
+        for sequence in split.train:
+            full = tiny_corpus.user_sequences[sequence.user_index]
+            # the held-out target is the very last event of the full history
+            reconstructed = list(sequence.items)
+            assert reconstructed != full  # never the complete history
+
+    def test_validation_fraction_respected(self, tiny_corpus):
+        split = split_corpus(tiny_corpus, l_min=5, l_max=10, validation_fraction=0.2, seed=0)
+        total = len(split.train) + len(split.validation)
+        assert len(split.validation) == pytest.approx(0.2 * total, abs=1)
+
+    def test_objective_is_last_item_of_each_training_sequence(self, tiny_corpus):
+        split = split_corpus(tiny_corpus, l_min=5, l_max=10, seed=0)
+        for sequence in split.train[:50]:
+            assert sequence.objective == sequence.items[-1]
+            assert len(sequence) == len(sequence.items)
+
+    def test_deterministic_given_seed(self, tiny_corpus):
+        split_a = split_corpus(tiny_corpus, l_min=5, l_max=10, seed=3)
+        split_b = split_corpus(tiny_corpus, l_min=5, l_max=10, seed=3)
+        assert [s.items for s in split_a.train] == [s.items for s in split_b.train]
+
+    def test_summary_counts(self, tiny_split):
+        summary = tiny_split.summary()
+        assert summary["train_sequences"] == len(tiny_split.train)
+        assert summary["test_instances"] == len(tiny_split.test)
+
+    def test_invalid_validation_fraction(self, tiny_corpus):
+        with pytest.raises(ConfigurationError):
+            split_corpus(tiny_corpus, validation_fraction=1.5)
+
+
+class TestUserSequence:
+    def test_objective_property(self):
+        sequence = UserSequence(user_index=3, items=(5, 6, 7))
+        assert sequence.objective == 7
+        assert len(sequence) == 3

@@ -1,0 +1,52 @@
+"""Unit tests for the PPMI + SVD embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import SequenceCorpus
+from repro.data.vocab import Vocabulary
+from repro.embeddings.cooccurrence import CooccurrenceEmbedding
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+def _corpus() -> SequenceCorpus:
+    vocab = Vocabulary([f"i{i}" for i in range(1, 7)])
+    sequences = [[1, 2, 3, 1, 2, 3], [4, 5, 6, 4, 5, 6], [1, 2, 1, 2], [5, 6, 5, 6]] * 5
+    return SequenceCorpus(
+        name="cooc", vocab=vocab, user_ids=[f"u{i}" for i in range(20)], user_sequences=sequences
+    )
+
+
+class TestCooccurrenceEmbedding:
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            CooccurrenceEmbedding(embedding_dim=0)
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            _ = CooccurrenceEmbedding().vectors
+
+    def test_shapes_and_padding_row(self):
+        model = CooccurrenceEmbedding(embedding_dim=8).fit(_corpus())
+        assert model.vectors.shape == (7, 8)
+        assert np.allclose(model.vectors[0], 0.0)
+
+    def test_cooccurring_items_more_similar(self):
+        model = CooccurrenceEmbedding(embedding_dim=4).fit(_corpus())
+        assert model.similarity(1, 2) > model.similarity(1, 5)
+        assert model.similarity(5, 6) > model.similarity(2, 6)
+
+    def test_deterministic(self):
+        a = CooccurrenceEmbedding(embedding_dim=4).fit(_corpus()).vectors
+        b = CooccurrenceEmbedding(embedding_dim=4).fit(_corpus()).vectors
+        assert np.allclose(a, b)
+
+    def test_dimension_padding_when_rank_deficient(self):
+        """Requesting more dimensions than the matrix rank pads with zeros."""
+        model = CooccurrenceEmbedding(embedding_dim=50).fit(_corpus())
+        assert model.vectors.shape == (7, 50)
+        assert np.isfinite(model.vectors).all()
+
+    def test_similarity_of_padding_is_zero(self):
+        model = CooccurrenceEmbedding(embedding_dim=4).fit(_corpus())
+        assert model.similarity(0, 1) == 0.0

@@ -1,0 +1,68 @@
+"""Unit tests for the item2vec (SGNS) embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import SequenceCorpus
+from repro.data.vocab import Vocabulary
+from repro.embeddings.item2vec import Item2Vec
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+def _structured_corpus() -> SequenceCorpus:
+    """Two disjoint item clusters that never co-occur across sequences."""
+    vocab = Vocabulary([f"i{i}" for i in range(1, 9)])
+    cluster_a = [1, 2, 3, 4]
+    cluster_b = [5, 6, 7, 8]
+    sequences = []
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        sequences.append(list(rng.permutation(cluster_a)) * 2)
+        sequences.append(list(rng.permutation(cluster_b)) * 2)
+    return SequenceCorpus(
+        name="clusters", vocab=vocab, user_ids=[f"u{i}" for i in range(60)], user_sequences=sequences
+    )
+
+
+class TestItem2Vec:
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            Item2Vec(embedding_dim=0)
+        with pytest.raises(ConfigurationError):
+            Item2Vec(window=0)
+
+    def test_requires_fit_before_access(self):
+        with pytest.raises(NotFittedError):
+            _ = Item2Vec().vectors
+
+    def test_vector_shapes(self):
+        corpus = _structured_corpus()
+        model = Item2Vec(embedding_dim=16, epochs=1, seed=0).fit(corpus)
+        assert model.vectors.shape == (corpus.vocab.size, 16)
+        assert model.vector(3).shape == (16,)
+
+    def test_cooccurring_items_are_more_similar(self):
+        corpus = _structured_corpus()
+        model = Item2Vec(embedding_dim=16, epochs=3, seed=0).fit(corpus)
+        within = np.mean([model.similarity(1, 2), model.similarity(3, 4), model.similarity(5, 6)])
+        across = np.mean([model.similarity(1, 5), model.similarity(2, 7), model.similarity(4, 8)])
+        assert within > across
+
+    def test_most_similar_excludes_self_and_padding(self):
+        corpus = _structured_corpus()
+        model = Item2Vec(embedding_dim=8, epochs=1, seed=0).fit(corpus)
+        neighbours = model.most_similar(1, top_k=3)
+        assert len(neighbours) == 3
+        assert all(index not in (0, 1) for index, _ in neighbours)
+
+    def test_most_similar_prefers_same_cluster(self):
+        corpus = _structured_corpus()
+        model = Item2Vec(embedding_dim=16, epochs=3, seed=0).fit(corpus)
+        top = [index for index, _ in model.most_similar(2, top_k=3)]
+        assert set(top).issubset({1, 3, 4})
+
+    def test_deterministic_given_seed(self):
+        corpus = _structured_corpus()
+        a = Item2Vec(embedding_dim=8, epochs=1, seed=5).fit(corpus).vectors
+        b = Item2Vec(embedding_dim=8, epochs=1, seed=5).fit(corpus).vectors
+        assert np.allclose(a, b)

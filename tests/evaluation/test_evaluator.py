@@ -1,0 +1,69 @@
+"""Unit tests for the IRS evaluator wrapper and evaluator selection."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.evaluator import IRSEvaluator, select_evaluator
+from repro.models.markov import MarkovChainRecommender
+from repro.models.pop import Popularity
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestIRSEvaluator:
+    def test_requires_fitted_backbone(self):
+        with pytest.raises(ConfigurationError):
+            IRSEvaluator(Popularity())
+
+    def test_probability_matches_model_distribution(self, fitted_markov, markov_evaluator):
+        sequence = [1, 2, 3]
+        probs = fitted_markov.probabilities(sequence)
+        item = int(np.argmax(probs))
+        assert markov_evaluator.probability(item, sequence) == pytest.approx(probs[item])
+
+    def test_log_probability_is_clamped(self, markov_evaluator):
+        value = markov_evaluator.log_probability(0, [1, 2])  # padding has probability 0
+        assert value >= np.log(1e-12)
+
+    def test_distribution_sums_to_one(self, markov_evaluator):
+        assert markov_evaluator.distribution([1, 2, 3]).sum() == pytest.approx(1.0)
+
+    def test_rank_consistency(self, fitted_markov, markov_evaluator):
+        sequence = [2, 3]
+        assert markov_evaluator.rank(5, sequence) == fitted_markov.rank_of(sequence, 5)
+
+    def test_path_log_probabilities_length_and_prefix_semantics(self, markov_evaluator):
+        history, path = [1, 2], [3, 4, 5]
+        values = markov_evaluator.path_log_probabilities(history, path)
+        assert len(values) == 3
+        # first entry conditions on the bare history
+        assert values[0] == pytest.approx(markov_evaluator.log_probability(3, history))
+        # second entry conditions on history + first path item
+        assert values[1] == pytest.approx(markov_evaluator.log_probability(4, history + [3]))
+
+    def test_objective_log_probabilities_has_one_extra_entry(self, markov_evaluator):
+        history, path = [1, 2], [3, 4]
+        values = markov_evaluator.objective_log_probabilities(history, path, objective=9)
+        assert len(values) == 3
+        assert values[0] == pytest.approx(markov_evaluator.log_probability(9, history))
+        assert values[-1] == pytest.approx(markov_evaluator.log_probability(9, history + path))
+
+    def test_name_property(self, markov_evaluator):
+        assert markov_evaluator.name == "Markov"
+
+
+class TestSelectEvaluator:
+    def test_selects_best_hit_ratio(self, tiny_split):
+        selection = select_evaluator(
+            {"Markov": MarkovChainRecommender(), "POP": Popularity()}, tiny_split
+        )
+        assert set(selection.scores) == {"Markov", "POP"}
+        best = max(selection.scores.items(), key=lambda kv: (kv[1]["hr@20"], kv[1]["mrr"]))[0]
+        assert selection.best_name() == best
+
+    def test_empty_candidates_rejected(self, tiny_split):
+        with pytest.raises(ConfigurationError):
+            select_evaluator({}, tiny_split)
+
+    def test_prefitted_candidates_not_refitted(self, tiny_split, fitted_markov):
+        selection = select_evaluator({"Markov": fitted_markov}, tiny_split, fit=False)
+        assert selection.evaluator.model is fitted_markov

@@ -1,0 +1,76 @@
+"""Integration tests for the ablation and extension experiment runners.
+
+Like the other pipeline integration tests these use the fast profile and
+check structure and basic sanity, not paper-level orderings (which need the
+default profile and live in ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablations, extensions
+from repro.experiments.reporting import format_table
+
+
+def _sr_key(pipeline) -> str:
+    return f"SR{pipeline.config.max_path_length}"
+
+
+class TestAblations:
+    def test_embedding_init_rows(self, fast_pipeline):
+        rows = ablations.ablation_embedding_init(fast_pipeline)
+        assert [row["variant"] for row in rows] == ["random init", "item2vec init"]
+        for row in rows:
+            assert 0.0 <= row[_sr_key(fast_pipeline)] <= 1.0
+            assert np.isfinite(row["log(PPL)"])
+
+    def test_padding_scheme_rows(self, fast_pipeline):
+        rows = ablations.ablation_padding_scheme(fast_pipeline)
+        assert [row["variant"] for row in rows] == ["pre-padding", "post-padding"]
+        assert format_table(rows)  # renders without error
+
+    def test_decoding_rows(self, fast_pipeline):
+        rows = ablations.ablation_decoding(fast_pipeline, beam_width=2, branch_factor=2)
+        assert rows[0]["variant"] == "greedy (Algorithm 1)"
+        assert rows[1]["variant"].startswith("beam search")
+        sr = _sr_key(fast_pipeline)
+        # Beam search plans toward the objective, so it should not be worse
+        # than greedy by more than noise on the tiny profile.
+        assert rows[1][sr] >= rows[0][sr] - 0.25
+
+
+class TestExtensions:
+    def test_interactive_comparison_rows(self, fast_pipeline):
+        rows = extensions.extension_interactive_comparison(fast_pipeline, max_steps=6)
+        assert any(row["framework"] == "IRN" for row in rows)
+        for row in rows:
+            assert 0.0 <= row["interactive_SR"] <= 1.0
+            assert 0.0 <= row["acceptance_rate"] <= 1.0
+            assert 0.0 <= row["abandonment_rate"] <= 1.0
+
+    def test_kg_comparison_rows(self, fast_pipeline):
+        rows = extensions.extension_kg_comparison(fast_pipeline)
+        frameworks = {row["framework"] for row in rows}
+        assert "Kg2Inf (subgraph expansion)" in frameworks
+        assert "IRN" in frameworks
+        sr = _sr_key(fast_pipeline)
+        for row in rows:
+            assert 0.0 <= row[sr] <= 1.0
+
+    def test_category_objectives_rows(self, fast_pipeline):
+        rows = extensions.extension_category_objectives(fast_pipeline, max_genres=2)
+        assert 1 <= len(rows) <= 2
+        sr = _sr_key(fast_pipeline)
+        for row in rows:
+            assert row["members"] >= 1
+            assert 0.0 <= row[sr] <= 1.0
+            assert row["mean_path_length"] <= fast_pipeline.config.max_path_length
+
+    def test_path_quality_report_rows(self, fast_pipeline):
+        rows = extensions.extension_path_quality_report(fast_pipeline)
+        assert any(row["framework"] == "IRN" for row in rows)
+        for row in rows:
+            assert 0.0 <= row["reach_rate"] <= 1.0
+            assert 0.0 <= row["coverage"] <= 1.0

@@ -1,0 +1,77 @@
+"""Unit tests for experiment configuration and plain-text reporting."""
+
+import pytest
+
+from repro.experiments.config import PAPER_HYPERPARAMETERS, ExperimentConfig
+from repro.experiments.reporting import format_series, format_table
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestExperimentConfig:
+    def test_default_profiles(self):
+        assert ExperimentConfig.default("movielens").dataset == "movielens"
+        assert ExperimentConfig.default("lastfm").dataset == "lastfm"
+
+    def test_fast_profile_is_smaller(self):
+        default = ExperimentConfig.default()
+        fast = ExperimentConfig.fast()
+        assert fast.scale < default.scale
+        assert fast.irn_epochs < default.irn_epochs
+        assert fast.use_markov_evaluator
+
+    def test_paper_profile_matches_table6(self):
+        movielens = ExperimentConfig.paper("movielens")
+        lastfm = ExperimentConfig.paper("lastfm")
+        assert movielens.l_max == 60 and lastfm.l_max == 50
+        assert movielens.irn_layers == 6 and lastfm.irn_layers == 5
+        assert movielens.candidate_k == 50
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="netflix")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(scale=0)
+
+    def test_with_dataset_copies(self):
+        config = ExperimentConfig.fast("movielens")
+        other = config.with_dataset("lastfm")
+        assert other.dataset == "lastfm"
+        assert other.scale == config.scale
+        assert config.dataset == "movielens"
+
+    def test_load_split_end_to_end(self):
+        config = ExperimentConfig.fast("lastfm")
+        config.scale = 0.2
+        split = config.load_split()
+        assert split.corpus.name == "lastfm-synthetic"
+        assert split.train and split.test
+
+    def test_paper_hyperparameter_table_structure(self):
+        names = {row["name"] for row in PAPER_HYPERPARAMETERS}
+        assert {"l_max", "lr", "d", "L", "w_t", "h"}.issubset(names)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_columns(self):
+        rows = [
+            {"framework": "IRN", "SR20": 0.25},
+            {"framework": "Rec2Inf POP", "SR20": 0.1, "extra": "x"},
+        ]
+        text = format_table(rows, title="Demo")
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "framework" in lines[1] and "SR20" in lines[1] and "extra" in lines[1]
+        assert len(lines) == 2 + 1 + 2  # title + header + rule + rows
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], title="Nothing")
+
+    def test_format_series(self):
+        text = format_series({"IRN": [0.1, 0.2], "POP": [0.05]}, x_label="M")
+        assert "M" in text.splitlines()[0]
+        assert len(text.splitlines()) == 2 + 2
+
+    def test_format_series_empty(self):
+        assert "(empty)" in format_series({})

@@ -1,0 +1,103 @@
+"""Tests for the hyper-parameter grid search (§IV-D6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.tuning import GridSearchResult, grid_search, irn_grid_search
+from repro.models.bpr import BPR
+from repro.models.itemknn import ItemKNN
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestGridSearchValidation:
+    def test_empty_grid_rejected(self, tiny_split):
+        with pytest.raises(ConfigurationError):
+            grid_search(BPR, tiny_split, {})
+
+    def test_empty_values_rejected(self, tiny_split):
+        with pytest.raises(ConfigurationError):
+            grid_search(BPR, tiny_split, {"embedding_dim": []})
+
+    def test_unknown_metric_rejected(self, tiny_split):
+        with pytest.raises(ConfigurationError):
+            grid_search(BPR, tiny_split, {"embedding_dim": [4]}, metric="accuracy")
+
+    def test_invalid_budget_rejected(self, tiny_split):
+        with pytest.raises(ConfigurationError):
+            grid_search(BPR, tiny_split, {"embedding_dim": [4]}, max_combinations=0)
+
+    def test_validation_loss_requires_neural_model(self, tiny_split):
+        with pytest.raises(ConfigurationError):
+            grid_search(
+                ItemKNN,
+                tiny_split,
+                {"recency_window": [3]},
+                metric="validation_loss",
+            )
+
+    def test_best_of_empty_result_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _ = GridSearchResult(metric="mrr").best
+
+
+class TestGridSearchBehaviour:
+    def test_evaluates_every_combination(self, tiny_split):
+        result = grid_search(
+            ItemKNN,
+            tiny_split,
+            {"recency_window": (2, 4), "recency_decay": (0.6, 1.0)},
+            metric="mrr",
+            max_instances=10,
+        )
+        assert len(result.candidates) == 4
+        swept = {tuple(sorted(candidate.parameters.items())) for candidate in result.candidates}
+        assert len(swept) == 4
+
+    def test_max_combinations_caps_the_sweep(self, tiny_split):
+        result = grid_search(
+            ItemKNN,
+            tiny_split,
+            {"recency_window": (2, 3, 4, 5)},
+            metric="hr",
+            max_combinations=2,
+            max_instances=10,
+        )
+        assert len(result.candidates) == 2
+
+    def test_best_maximises_mrr(self, tiny_split):
+        result = grid_search(
+            BPR,
+            tiny_split,
+            {"embedding_dim": (4, 8)},
+            metric="mrr",
+            base_parameters={"epochs": 1, "seed": 0},
+            max_instances=10,
+        )
+        best_score = max(candidate.score for candidate in result.candidates)
+        assert result.best.score == pytest.approx(best_score)
+        assert result.best_parameters["embedding_dim"] in {4, 8}
+
+    def test_rows_are_sorted_best_first(self, tiny_split):
+        result = grid_search(
+            ItemKNN,
+            tiny_split,
+            {"recency_window": (2, 3, 5)},
+            metric="mrr",
+            max_instances=10,
+        )
+        rows = result.rows()
+        scores = [row["mrr"] for row in rows]
+        assert scores == sorted(scores, reverse=True)
+        assert set(rows[0]) == {"recency_window", "mrr"}
+
+    def test_irn_grid_search_selects_by_validation_loss(self, tiny_split):
+        result = irn_grid_search(
+            tiny_split,
+            grid={"embedding_dim": (8,), "num_layers": (1,), "objective_weight": (0.5, 1.0)},
+            base_parameters={"epochs": 1, "num_heads": 1, "max_sequence_length": 16, "seed": 0},
+        )
+        assert result.metric == "validation_loss"
+        assert len(result.candidates) == 2
+        best_score = min(candidate.score for candidate in result.candidates)
+        assert result.best.score == pytest.approx(best_score)

@@ -1,0 +1,121 @@
+"""Tests for the item knowledge graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import ItemKnowledgeGraph
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def kg(tiny_corpus, tiny_split):
+    sequences = [sequence.items for sequence in tiny_split.train]
+    return ItemKnowledgeGraph().build(tiny_corpus, sequences=sequences)
+
+
+class TestConstruction:
+    def test_invalid_genre_edge_weight(self):
+        with pytest.raises(ConfigurationError):
+            ItemKnowledgeGraph(genre_edge_weight=0.0)
+
+    def test_node_counts(self, kg, tiny_corpus):
+        assert kg.num_item_nodes == tiny_corpus.vocab.size - 1
+        assert kg.num_genre_nodes == len(tiny_corpus.genre_names)
+
+    def test_corpus_property_requires_build(self):
+        with pytest.raises(ConfigurationError):
+            _ = ItemKnowledgeGraph().corpus
+
+    def test_genres_match_corpus_metadata(self, kg, tiny_corpus):
+        for item in range(1, min(tiny_corpus.vocab.size, 25)):
+            assert set(kg.genres_of(item)) == set(tiny_corpus.item_genres(item))
+
+    def test_co_consumption_edges_have_weights(self, kg):
+        co_edges = [
+            attributes
+            for _, _, attributes in kg.graph.edges(data=True)
+            if attributes.get("relation") == "co_consumed"
+        ]
+        assert co_edges
+        for attributes in co_edges:
+            assert attributes["weight"] == pytest.approx(1.0 / attributes["count"])
+
+    def test_default_uses_full_corpus_sequences(self, tiny_corpus):
+        graph = ItemKnowledgeGraph().build(tiny_corpus)
+        assert graph.num_item_nodes == tiny_corpus.vocab.size - 1
+
+
+class TestDistances:
+    def test_distance_to_self_is_zero(self, kg):
+        assert kg.distance(1, 1) == 0.0
+
+    def test_distance_symmetry(self, kg, tiny_corpus):
+        rng = np.random.default_rng(0)
+        items = rng.integers(1, tiny_corpus.vocab.size, size=6)
+        for first, second in zip(items[:3], items[3:]):
+            assert kg.distance(int(first), int(second)) == pytest.approx(
+                kg.distance(int(second), int(first))
+            )
+
+    def test_triangle_inequality_on_samples(self, kg, tiny_corpus):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            a, b, c = (int(x) for x in rng.integers(1, tiny_corpus.vocab.size, size=3))
+            d_ab, d_bc, d_ac = kg.distance(a, b), kg.distance(b, c), kg.distance(a, c)
+            if np.isfinite(d_ab) and np.isfinite(d_bc):
+                assert d_ac <= d_ab + d_bc + 1e-9
+
+    def test_unknown_item_distance_is_infinite(self, kg, tiny_corpus):
+        assert kg.distance(1, tiny_corpus.vocab.size + 10) == float("inf")
+
+    def test_distances_from_matches_pointwise_distance(self, kg, tiny_corpus):
+        target = 1
+        table = kg.distances_from(target)
+        for item in list(table)[:10]:
+            assert table[item] == pytest.approx(kg.distance(item, target))
+
+    def test_shared_genre_items_are_connected(self, kg, tiny_corpus):
+        # Genre nodes connect items of the same genre even without co-consumption.
+        genre = tiny_corpus.genre_names[0]
+        members = [
+            item
+            for item in range(1, tiny_corpus.vocab.size)
+            if genre in tiny_corpus.item_genres(item)
+        ]
+        if len(members) >= 2:
+            assert np.isfinite(kg.distance(members[0], members[-1]))
+
+    def test_shortest_item_path_endpoints(self, kg, tiny_corpus):
+        source, target = 1, min(5, tiny_corpus.vocab.size - 1)
+        path = kg.shortest_item_path(source, target)
+        if path:
+            assert path[0] == source
+            assert path[-1] == target
+
+
+class TestFrontier:
+    def test_frontier_excludes_interest_items(self, kg, tiny_corpus):
+        interest = tiny_corpus.user_sequences[0][:5]
+        frontier = kg.interest_frontier(interest)
+        assert not set(frontier) & set(interest)
+
+    def test_frontier_items_share_genre_or_edge(self, kg, tiny_corpus):
+        interest = tiny_corpus.user_sequences[0][:3]
+        frontier = kg.interest_frontier(interest)
+        for candidate in frontier[:15]:
+            connected = any(
+                candidate in kg.item_neighbors(item) or kg.shared_genres(candidate, item)
+                for item in interest
+            )
+            assert connected
+
+    def test_empty_interest_has_empty_frontier(self, kg):
+        assert kg.interest_frontier([]) == []
+
+    def test_padding_is_ignored(self, kg, tiny_corpus):
+        interest = [0] + tiny_corpus.user_sequences[0][:3]
+        with_padding = kg.interest_frontier(interest)
+        without_padding = kg.interest_frontier(tiny_corpus.user_sequences[0][:3])
+        assert with_padding == without_padding

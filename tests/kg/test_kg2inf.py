@@ -1,0 +1,116 @@
+"""Tests for the Kg2Inf influential recommender."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import influential_registry
+from repro.evaluation.protocol import sample_objectives
+from repro.kg.graph import ItemKnowledgeGraph
+from repro.kg.kg2inf import Kg2Inf
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def kg2inf(tiny_split):
+    return Kg2Inf().fit(tiny_split)
+
+
+class TestConfiguration:
+    def test_registered_in_influential_registry(self):
+        assert influential_registry.get("kg2inf") is Kg2Inf
+
+    def test_invalid_smoothness(self):
+        with pytest.raises(ConfigurationError):
+            Kg2Inf(smoothness_weight=-1.0)
+
+    def test_invalid_interest_window(self):
+        with pytest.raises(ConfigurationError):
+            Kg2Inf(interest_window=0)
+
+    def test_invalid_max_frontier(self):
+        with pytest.raises(ConfigurationError):
+            Kg2Inf(max_frontier=0)
+
+    def test_requires_fit_before_use(self):
+        with pytest.raises(NotFittedError):
+            Kg2Inf().next_step([1, 2], 3, [])
+
+    def test_accepts_prebuilt_graph(self, tiny_corpus, tiny_split):
+        graph = ItemKnowledgeGraph().build(
+            tiny_corpus, sequences=[sequence.items for sequence in tiny_split.train]
+        )
+        model = Kg2Inf(graph=graph).fit(tiny_split)
+        assert model.graph is graph
+
+
+class TestPathGeneration:
+    def test_next_step_returns_unseen_item(self, kg2inf, tiny_split):
+        instance = tiny_split.test[0]
+        step = kg2inf.next_step(list(instance.history), instance.target, [], user_index=0)
+        assert step is None or step not in instance.history
+
+    def test_paths_respect_max_length(self, kg2inf, tiny_split):
+        instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=5)
+        for instance in instances:
+            path = kg2inf.generate_path(
+                list(instance.history), instance.objective, max_length=8
+            )
+            assert len(path) <= 8
+            if instance.objective in path:
+                assert path[-1] == instance.objective
+
+    def test_path_items_are_valid_vocabulary_indices(self, kg2inf, tiny_split, tiny_corpus):
+        instance = tiny_split.test[1]
+        path = kg2inf.generate_path(list(instance.history), instance.target, max_length=10)
+        for item in path:
+            assert 1 <= item < tiny_corpus.vocab.size
+
+    def test_no_repeats_along_the_path(self, kg2inf, tiny_split):
+        instance = tiny_split.test[2]
+        path = kg2inf.generate_path(list(instance.history), instance.target, max_length=12)
+        non_objective = [item for item in path if item != instance.target]
+        assert len(non_objective) == len(set(non_objective))
+
+    def test_reaches_more_objectives_than_never(self, kg2inf, tiny_split):
+        instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=10)
+        reached = 0
+        for instance in instances:
+            path = kg2inf.generate_path(
+                list(instance.history), instance.objective, max_length=20
+            )
+            reached += int(instance.objective in path)
+        # The KG is connected through genre nodes, so the expansion should
+        # reach at least one sampled objective within 20 steps.
+        assert reached >= 1
+
+    def test_zero_smoothness_more_aggressive_than_high_smoothness(self, tiny_split):
+        aggressive = Kg2Inf(smoothness_weight=0.0).fit(tiny_split)
+        cautious = Kg2Inf(smoothness_weight=5.0).fit(tiny_split)
+        instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=8)
+        aggressive_lengths, cautious_lengths = [], []
+        for instance in instances:
+            a_path = aggressive.generate_path(
+                list(instance.history), instance.objective, max_length=20
+            )
+            c_path = cautious.generate_path(
+                list(instance.history), instance.objective, max_length=20
+            )
+            if instance.objective in a_path:
+                aggressive_lengths.append(len(a_path))
+            if instance.objective in c_path:
+                cautious_lengths.append(len(c_path))
+        # The aggressive variant reaches objectives at least as often.
+        assert len(aggressive_lengths) >= len(cautious_lengths)
+
+    def test_deterministic(self, kg2inf, tiny_split):
+        instance = tiny_split.test[3]
+        first = kg2inf.generate_path(list(instance.history), instance.target, max_length=10)
+        second = kg2inf.generate_path(list(instance.history), instance.target, max_length=10)
+        assert first == second
+
+    def test_distance_cache_reused_across_calls(self, kg2inf, tiny_split):
+        instance = tiny_split.test[0]
+        kg2inf.generate_path(list(instance.history), instance.target, max_length=5)
+        assert instance.target in kg2inf._objective_distances

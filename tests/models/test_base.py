@@ -1,0 +1,89 @@
+"""Tests for the SequentialRecommender interface helpers (via the Markov model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.padding import PAD_INDEX
+from repro.models.base import model_registry
+from repro.models.markov import MarkovChainRecommender
+from repro.models.pop import Popularity
+from repro.utils.exceptions import ConfigurationError, NotFittedError
+
+
+class TestInterfaceHelpers:
+    def test_unfitted_model_raises(self):
+        model = Popularity()
+        with pytest.raises(NotFittedError):
+            model.probabilities([1, 2])
+
+    def test_probabilities_sum_to_one_and_exclude_padding(self, fitted_markov):
+        probs = fitted_markov.probabilities([1, 2, 3])
+        assert probs.shape == (fitted_markov.vocab_size,)
+        assert probs[PAD_INDEX] == 0.0
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0)
+
+    def test_log_probability_consistent_with_probabilities(self, fitted_markov):
+        history = [1, 2, 3]
+        probs = fitted_markov.probabilities(history)
+        item = int(np.argmax(probs))
+        assert fitted_markov.log_probability(history, item) == pytest.approx(
+            np.log(probs[item]), abs=1e-9
+        )
+
+    def test_rank_of_best_item_is_one(self, fitted_markov):
+        history = [2, 3]
+        scores = fitted_markov.score_next(history)
+        best = int(np.argmax(np.where(np.isfinite(scores), scores, -np.inf)))
+        assert fitted_markov.rank_of(history, best) == 1
+
+    def test_rank_is_between_one_and_catalog_size(self, fitted_markov):
+        history = [4]
+        for item in (1, 5, 10):
+            rank = fitted_markov.rank_of(history, item)
+            assert 1 <= rank <= fitted_markov.vocab_size - 1
+
+    def test_top_k_returns_k_distinct_items(self, fitted_markov):
+        top = fitted_markov.top_k([1, 2], 10)
+        assert len(top) == 10
+        assert len(set(top)) == 10
+        assert PAD_INDEX not in top
+
+    def test_top_k_respects_exclusions(self, fitted_markov):
+        baseline = fitted_markov.top_k([1, 2], 5)
+        excluded = fitted_markov.top_k([1, 2], 5, exclude=baseline[:2])
+        assert not set(baseline[:2]) & set(excluded)
+
+    def test_top_k_is_sorted_by_score(self, fitted_markov):
+        history = [3, 4]
+        scores = fitted_markov.score_next(history)
+        top = fitted_markov.top_k(history, 5)
+        top_scores = [scores[i] for i in top]
+        assert top_scores == sorted(top_scores, reverse=True)
+
+    def test_recommend_next_is_top1(self, fitted_markov):
+        history = [5, 6]
+        assert fitted_markov.recommend_next(history) == fitted_markov.top_k(history, 1)[0]
+
+    @given(history=st.lists(st.integers(min_value=1, max_value=30), min_size=0, max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_probabilities_always_valid_distribution(self, history, fitted_markov):
+        probs = fitted_markov.probabilities(history)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0)
+
+
+class TestRegistry:
+    def test_known_models_registered(self):
+        for name in ("pop", "markov", "bpr", "transrec", "gru4rec", "caser", "sasrec", "bert4rec", "irn"):
+            assert name in model_registry
+
+    def test_registry_create(self, tiny_split):
+        model = model_registry.create("pop")
+        model.fit(tiny_split)
+        assert model.top_k([1], 3)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            model_registry.get("definitely-not-a-model")

@@ -1,0 +1,128 @@
+"""Tests for the non-neural recommenders: POP, Markov, BPR, TransRec."""
+
+import numpy as np
+import pytest
+
+from repro.models.bpr import BPR
+from repro.models.markov import MarkovChainRecommender
+from repro.models.pop import Popularity
+from repro.models.transrec import TransRec
+
+
+class TestPopularity:
+    def test_scores_match_counts(self, tiny_split):
+        model = Popularity().fit(tiny_split)
+        counts = np.zeros(tiny_split.corpus.vocab.size)
+        for sequence in tiny_split.train:
+            for item in sequence.items:
+                counts[item] += 1
+        scores = model.score_next([1, 2, 3])
+        assert np.allclose(scores[1:], counts[1:])
+        assert scores[0] == -np.inf
+
+    def test_history_independent(self, tiny_split):
+        model = Popularity().fit(tiny_split)
+        assert np.allclose(model.score_next([1]), model.score_next([5, 6, 7]))
+
+    def test_top1_is_most_popular(self, tiny_split):
+        model = Popularity().fit(tiny_split)
+        counts = tiny_split.corpus.item_popularity().astype(float)
+        # popularity over training sub-sequences only, so compare on the model's own counts
+        assert model.recommend_next([]) == int(np.argmax(model._counts))
+
+
+class TestMarkov:
+    def test_predicts_observed_transitions(self, tiny_split):
+        model = MarkovChainRecommender().fit(tiny_split)
+        # take an observed transition from the training data
+        sequence = tiny_split.train[0].items
+        previous, nxt = sequence[0], sequence[1]
+        probs = model.probabilities([previous])
+        assert probs[nxt] > 1.0 / tiny_split.corpus.vocab.size
+
+    def test_empty_history_falls_back_to_popularity(self, tiny_split):
+        model = MarkovChainRecommender().fit(tiny_split)
+        probs = model.probabilities([])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_unseen_last_item_falls_back_to_popularity(self, tiny_split):
+        model = MarkovChainRecommender().fit(tiny_split)
+        size = tiny_split.corpus.vocab.size
+        transitions = model._transitions
+        # find an item with no outgoing transitions (or fabricate by zeroing)
+        isolated = None
+        for item in range(1, size):
+            if transitions[item].sum() == 0:
+                isolated = item
+                break
+        if isolated is None:
+            pytest.skip("all items have outgoing transitions in this corpus")
+        probs = model.probabilities([isolated])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_depends_only_on_last_item(self, tiny_split):
+        model = MarkovChainRecommender().fit(tiny_split)
+        assert np.allclose(model.score_next([1, 2, 9]), model.score_next([7, 9]))
+
+
+class TestBPR:
+    def test_fit_and_score_shapes(self, tiny_split):
+        model = BPR(embedding_dim=8, epochs=2, seed=0).fit(tiny_split)
+        scores = model.score_next([1, 2], user_index=0)
+        assert scores.shape == (tiny_split.corpus.vocab.size,)
+        assert scores[0] == -np.inf
+
+    def test_user_specific_scores_differ(self, tiny_split):
+        model = BPR(embedding_dim=8, epochs=2, seed=0).fit(tiny_split)
+        assert not np.allclose(
+            model.score_next([1], user_index=0), model.score_next([1], user_index=1)
+        )
+
+    def test_fold_in_without_user(self, tiny_split):
+        model = BPR(embedding_dim=8, epochs=1, seed=0).fit(tiny_split)
+        scores = model.score_next([1, 2, 3], user_index=None)
+        assert np.isfinite(scores[1:]).all()
+
+    def test_ranks_training_items_above_average(self, tiny_split):
+        """A user's own training items should rank better than random items on average."""
+        model = BPR(embedding_dim=16, epochs=6, seed=0).fit(tiny_split)
+        user_items: dict[int, set[int]] = {}
+        for sequence in tiny_split.train:
+            user_items.setdefault(sequence.user_index, set()).update(sequence.items)
+        better, total = 0, 0
+        rng = np.random.default_rng(0)
+        for user, positives in list(user_items.items())[:15]:
+            scores = model.score_next([], user_index=user)
+            positive_mean = np.mean([scores[i] for i in list(positives)[:10]])
+            random_items = rng.integers(1, tiny_split.corpus.vocab.size, size=10)
+            random_mean = np.mean([scores[i] for i in random_items])
+            better += positive_mean > random_mean
+            total += 1
+        assert better / total > 0.6
+
+
+class TestTransRec:
+    def test_fit_and_score(self, tiny_split):
+        model = TransRec(embedding_dim=8, epochs=2, seed=0).fit(tiny_split)
+        scores = model.score_next([3, 4], user_index=1)
+        assert scores.shape == (tiny_split.corpus.vocab.size,)
+        assert scores[0] == -np.inf
+
+    def test_translation_depends_on_last_item(self, tiny_split):
+        model = TransRec(embedding_dim=8, epochs=2, seed=0).fit(tiny_split)
+        assert not np.allclose(model.score_next([1], user_index=0), model.score_next([9], user_index=0))
+
+    def test_observed_transitions_score_above_random(self, tiny_split):
+        model = TransRec(embedding_dim=16, epochs=5, seed=0).fit(tiny_split)
+        rng = np.random.default_rng(1)
+        wins, total = 0, 0
+        for sequence in tiny_split.train[:40]:
+            items = sequence.items
+            if len(items) < 2:
+                continue
+            previous, nxt = items[-2], items[-1]
+            scores = model.score_next([previous], user_index=sequence.user_index)
+            random_item = int(rng.integers(1, tiny_split.corpus.vocab.size))
+            wins += scores[nxt] > scores[random_item]
+            total += 1
+        assert wins / total > 0.55

@@ -1,0 +1,71 @@
+"""Tests for the FPMC baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.padding import PAD_INDEX
+from repro.evaluation.nextitem import evaluate_next_item
+from repro.models.base import model_registry
+from repro.models.fpmc import FPMC
+from repro.models.pop import Popularity
+from repro.utils.exceptions import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def fitted_fpmc(tiny_split):
+    return FPMC(embedding_dim=16, epochs=4, seed=0).fit(tiny_split)
+
+
+class TestFPMC:
+    def test_registered(self):
+        assert model_registry.get("fpmc") is FPMC
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            FPMC().score_next([1, 2, 3])
+
+    def test_scores_cover_vocabulary(self, fitted_fpmc, tiny_corpus):
+        scores = fitted_fpmc.score_next([1, 2, 3], user_index=0)
+        assert scores.shape == (tiny_corpus.vocab.size,)
+        assert scores[PAD_INDEX] == -np.inf
+        assert np.isfinite(scores[1:]).all()
+
+    def test_scores_depend_on_last_item(self, fitted_fpmc, tiny_corpus):
+        base = [1, 2]
+        scores_a = fitted_fpmc.score_next(base + [3], user_index=0)
+        scores_b = fitted_fpmc.score_next(base + [4], user_index=0)
+        assert not np.allclose(scores_a[1:], scores_b[1:])
+
+    def test_scores_depend_on_user(self, fitted_fpmc):
+        scores_a = fitted_fpmc.score_next([1, 2, 3], user_index=0)
+        scores_b = fitted_fpmc.score_next([1, 2, 3], user_index=1)
+        assert not np.allclose(scores_a[1:], scores_b[1:])
+
+    def test_empty_history_without_user_still_scores(self, fitted_fpmc, tiny_corpus):
+        scores = fitted_fpmc.score_next([], user_index=None)
+        assert scores.shape == (tiny_corpus.vocab.size,)
+
+    def test_probabilities_sum_to_one(self, fitted_fpmc):
+        probabilities = fitted_fpmc.probabilities([2, 3], user_index=0)
+        assert probabilities[PAD_INDEX] == pytest.approx(0.0)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_training_is_deterministic_for_a_seed(self, tiny_split):
+        first = FPMC(embedding_dim=8, epochs=2, seed=5).fit(tiny_split)
+        second = FPMC(embedding_dim=8, epochs=2, seed=5).fit(tiny_split)
+        np.testing.assert_allclose(first.item_user_factors, second.item_user_factors)
+
+    def test_learns_better_than_random_ranking(self, fitted_fpmc, tiny_split):
+        result = evaluate_next_item(fitted_fpmc, tiny_split)
+        vocab_items = tiny_split.corpus.vocab.num_items
+        # Random ranking would give an expected MRR around H(n)/n; FPMC after a
+        # few epochs should do clearly better than 2x that bound.
+        random_mrr = float(np.log(vocab_items) / vocab_items)
+        assert result.mrr > 2 * random_mrr
+
+    def test_not_worse_than_popularity_on_hit_ratio(self, fitted_fpmc, tiny_split):
+        pop_result = evaluate_next_item(Popularity().fit(tiny_split), tiny_split)
+        fpmc_result = evaluate_next_item(fitted_fpmc, tiny_split)
+        assert fpmc_result.hit_ratio >= 0.5 * pop_result.hit_ratio

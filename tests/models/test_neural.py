@@ -1,0 +1,111 @@
+"""Tests for the autograd-based sequential recommenders.
+
+Training budgets are intentionally tiny (1-2 epochs on the tiny corpus); the
+tests check interface contracts, learning signal (loss decreases) and basic
+recommendation sanity rather than final accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.padding import PAD_INDEX
+from repro.models.bert4rec import Bert4Rec
+from repro.models.caser import Caser
+from repro.models.gru4rec import GRU4Rec
+from repro.models.sasrec import SASRec
+
+
+def _tiny_kwargs():
+    return dict(embedding_dim=12, epochs=2, batch_size=32, max_sequence_length=16, seed=0)
+
+
+@pytest.fixture(scope="module", params=["gru4rec", "sasrec", "caser", "bert4rec"])
+def fitted_neural_model(request, tiny_split):
+    """Each neural model fitted once per module on the tiny split."""
+    factories = {
+        "gru4rec": lambda: GRU4Rec(hidden_size=12, **_tiny_kwargs()),
+        "sasrec": lambda: SASRec(num_heads=2, num_layers=1, **_tiny_kwargs()),
+        "caser": lambda: Caser(window=4, num_horizontal=4, num_vertical=1, **_tiny_kwargs()),
+        "bert4rec": lambda: Bert4Rec(num_heads=2, num_layers=1, **_tiny_kwargs()),
+    }
+    return factories[request.param]().fit(tiny_split)
+
+
+class TestNeuralModelContract:
+    def test_score_shape_and_padding_masked(self, fitted_neural_model, tiny_split):
+        scores = fitted_neural_model.score_next([1, 2, 3], user_index=0)
+        assert scores.shape == (tiny_split.corpus.vocab.size,)
+        assert scores[PAD_INDEX] == -np.inf
+        assert np.isfinite(scores[1:]).all()
+
+    def test_empty_history_supported(self, fitted_neural_model):
+        scores = fitted_neural_model.score_next([], user_index=0)
+        assert np.isfinite(scores[1:]).all()
+
+    def test_long_history_is_truncated(self, fitted_neural_model, tiny_split):
+        vocab_size = tiny_split.corpus.vocab.size
+        long_history = list(np.random.default_rng(0).integers(1, vocab_size, size=200))
+        scores = fitted_neural_model.score_next(long_history, user_index=0)
+        assert np.isfinite(scores[1:]).all()
+
+    def test_training_loss_decreases(self, fitted_neural_model):
+        history = fitted_neural_model.training_history
+        assert len(history) == 2
+        assert history[-1]["train_loss"] <= history[0]["train_loss"] + 0.05
+
+    def test_scores_depend_on_history(self, fitted_neural_model, tiny_split):
+        sequences = tiny_split.train
+        history_a = list(sequences[0].items[:5])
+        history_b = list(sequences[1].items[:5])
+        if history_a == history_b:
+            pytest.skip("identical histories in tiny corpus")
+        scores_a = fitted_neural_model.score_next(history_a, user_index=0)
+        scores_b = fitted_neural_model.score_next(history_b, user_index=0)
+        assert not np.allclose(scores_a, scores_b)
+
+    def test_probabilities_are_normalised(self, fitted_neural_model):
+        probs = fitted_neural_model.probabilities([1, 2, 3], user_index=0)
+        assert probs.sum() == pytest.approx(1.0)
+
+
+class TestModelSpecificBehaviour:
+    def test_gru4rec_validation_loss_recorded(self, tiny_split):
+        model = GRU4Rec(hidden_size=8, embedding_dim=8, epochs=1, max_sequence_length=12, seed=0)
+        model.fit(tiny_split)
+        assert not np.isnan(model.training_history[0]["validation_loss"])
+
+    def test_sasrec_better_than_random_on_transitions(self, tiny_split):
+        """On average the observed next item gets more mass than a random item."""
+        model = SASRec(num_heads=2, num_layers=1, embedding_dim=16, epochs=4,
+                       max_sequence_length=16, seed=0).fit(tiny_split)
+        vocab_size = tiny_split.corpus.vocab.size
+        rng = np.random.default_rng(2)
+        true_mass, random_mass = [], []
+        for sequence in tiny_split.train[:40]:
+            items = list(sequence.items)
+            if len(items) < 4:
+                continue
+            history, nxt = items[:-1], items[-1]
+            probs = model.probabilities(history, user_index=sequence.user_index)
+            true_mass.append(probs[nxt])
+            random_mass.append(probs[int(rng.integers(1, vocab_size))])
+        assert np.mean(true_mass) > np.mean(random_mass)
+
+    def test_caser_uses_fixed_window(self, tiny_split):
+        model = Caser(window=4, num_horizontal=2, num_vertical=1, embedding_dim=8,
+                      epochs=1, max_sequence_length=12, seed=0).fit(tiny_split)
+        # Only the last `window` items matter for the score.
+        long_history = [1, 2, 3, 4, 5, 6, 7, 8]
+        short_history = long_history[-4:]
+        assert np.allclose(
+            model.score_next(long_history, user_index=0),
+            model.score_next(short_history, user_index=0),
+        )
+
+    def test_bert4rec_mask_token_is_out_of_vocab(self, tiny_split):
+        model = Bert4Rec(num_heads=2, num_layers=1, embedding_dim=8, epochs=1,
+                         max_sequence_length=12, seed=0).fit(tiny_split)
+        assert model.module.mask_token == tiny_split.corpus.vocab.size
+        scores = model.score_next([1, 2, 3])
+        # scores cover only real vocabulary entries, not the mask token row
+        assert scores.shape == (tiny_split.corpus.vocab.size,)

@@ -1,0 +1,97 @@
+"""Tests for saving / warm-starting trained neural recommenders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.irn import IRN
+from repro.models.gru4rec import GRU4Rec
+from repro.utils.exceptions import NotFittedError
+
+
+def _tiny_irn(**overrides):
+    parameters = dict(
+        embedding_dim=12,
+        user_dim=4,
+        num_heads=1,
+        num_layers=1,
+        epochs=1,
+        batch_size=32,
+        max_sequence_length=16,
+        seed=0,
+    )
+    parameters.update(overrides)
+    return IRN(**parameters)
+
+
+class TestSaveWeights:
+    def test_requires_fitted_model(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            _tiny_irn().save_weights(str(tmp_path / "irn.npz"))
+
+    def test_creates_checkpoint_file(self, tiny_split, tmp_path):
+        model = _tiny_irn().fit(tiny_split)
+        path = tmp_path / "irn.npz"
+        model.save_weights(str(path))
+        assert path.exists()
+        assert path.stat().st_size > 0
+
+
+class TestWarmStart:
+    def test_reproduces_scores_without_training(self, tiny_split, tmp_path):
+        trained = _tiny_irn().fit(tiny_split)
+        path = str(tmp_path / "irn.npz")
+        trained.save_weights(path)
+
+        restored = _tiny_irn().warm_start(tiny_split, path)
+        history = list(tiny_split.test[0].history)[:10]
+        np.testing.assert_allclose(
+            trained.score_next(history, user_index=0),
+            restored.score_next(history, user_index=0),
+        )
+        np.testing.assert_allclose(
+            trained.score_with_objective(history, tiny_split.test[0].target, user_index=0),
+            restored.score_with_objective(history, tiny_split.test[0].target, user_index=0),
+        )
+
+    def test_warm_start_skips_training_history(self, tiny_split, tmp_path):
+        trained = _tiny_irn().fit(tiny_split)
+        path = str(tmp_path / "irn.npz")
+        trained.save_weights(path)
+        restored = _tiny_irn().warm_start(tiny_split, path)
+        assert restored.training_history == []
+        assert restored.corpus is tiny_split.corpus
+
+    def test_works_for_other_neural_models(self, tiny_split, tmp_path):
+        trained = GRU4Rec(embedding_dim=12, hidden_size=12, epochs=1, seed=0).fit(tiny_split)
+        path = str(tmp_path / "gru.npz")
+        trained.save_weights(path)
+        restored = GRU4Rec(embedding_dim=12, hidden_size=12, epochs=1, seed=0).warm_start(
+            tiny_split, path
+        )
+        history = list(tiny_split.test[1].history)[:8]
+        np.testing.assert_allclose(
+            trained.score_next(history), restored.score_next(history)
+        )
+
+    def test_mismatched_architecture_raises(self, tiny_split, tmp_path):
+        trained = _tiny_irn().fit(tiny_split)
+        path = str(tmp_path / "irn.npz")
+        trained.save_weights(path)
+        with pytest.raises(Exception):
+            _tiny_irn(embedding_dim=20).warm_start(tiny_split, path)
+
+    def test_restored_model_generates_identical_paths(self, tiny_split, tmp_path):
+        trained = _tiny_irn().fit(tiny_split)
+        path = str(tmp_path / "irn.npz")
+        trained.save_weights(path)
+        restored = _tiny_irn().warm_start(tiny_split, path)
+        instance = tiny_split.test[2]
+        original_path = trained.generate_path(
+            list(instance.history), instance.target, user_index=instance.user_index, max_length=8
+        )
+        restored_path = restored.generate_path(
+            list(instance.history), instance.target, user_index=instance.user_index, max_length=8
+        )
+        assert original_path == restored_path

@@ -1,0 +1,51 @@
+"""Finite-difference gradient checking helper used by the nn tests."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_gradient(
+    function: Callable[[np.ndarray], float], point: np.ndarray, epsilon: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function at ``point``."""
+    gradient = np.zeros_like(point, dtype=np.float64)
+    flat = point.reshape(-1)
+    grad_flat = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = function(point)
+        flat[index] = original - epsilon
+        lower = function(point)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2.0 * epsilon)
+    return gradient
+
+
+def check_gradient(
+    build: Callable[[Tensor], Tensor],
+    value: np.ndarray,
+    tolerance: float = 1e-5,
+) -> None:
+    """Compare autograd gradients of ``build`` against finite differences.
+
+    ``build`` maps a leaf tensor to a scalar tensor.
+    """
+    value = np.asarray(value, dtype=np.float64)
+    leaf = Tensor(value.copy(), requires_grad=True)
+    output = build(leaf)
+    output.backward()
+    assert leaf.grad is not None, "no gradient reached the leaf tensor"
+
+    def scalar(point: np.ndarray) -> float:
+        return build(Tensor(point.copy())).item()
+
+    expected = numeric_gradient(scalar, value.copy())
+    error = np.max(np.abs(expected - leaf.grad))
+    scale = max(1.0, np.max(np.abs(expected)))
+    assert error / scale < tolerance, f"gradient mismatch: max abs error {error:.3e}"

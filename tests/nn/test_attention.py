@@ -1,0 +1,95 @@
+"""Unit tests for multi-head attention and masking."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import NEG_INF, MultiHeadAttention, scaled_dot_product_attention
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import causal_mask
+from repro.utils.exceptions import ConfigurationError
+
+from tests.nn.gradcheck import check_gradient
+
+
+class TestScaledDotProduct:
+    def test_output_shape_and_weight_normalisation(self, rng):
+        q = Tensor(rng.normal(size=(2, 3, 5, 4)))
+        out, weights = scaled_dot_product_attention(q, q, q)
+        assert out.shape == (2, 3, 5, 4)
+        assert np.allclose(weights.data.sum(axis=-1), 1.0)
+
+    def test_mask_blocks_positions(self, rng):
+        q = Tensor(rng.normal(size=(1, 1, 4, 8)))
+        mask = causal_mask(4)
+        _, weights = scaled_dot_product_attention(q, q, q, mask=mask)
+        upper = np.triu(np.ones((4, 4), dtype=bool), k=1)
+        assert np.allclose(weights.data[0, 0][upper], 0.0, atol=1e-8)
+
+    def test_tensor_mask_receives_gradient(self, rng):
+        q = Tensor(rng.normal(size=(1, 1, 3, 4)))
+        mask = Tensor(np.zeros((1, 1, 3, 3)), requires_grad=True)
+        out, _ = scaled_dot_product_attention(q, q, q, mask=mask)
+        out.sum().backward()
+        assert mask.grad is not None
+        assert mask.grad.shape == (1, 1, 3, 3)
+
+
+class TestMultiHeadAttention:
+    def test_heads_must_divide_model_dim(self):
+        with pytest.raises(ConfigurationError):
+            MultiHeadAttention(10, 3)
+
+    def test_self_attention_shape(self, rng):
+        attention = MultiHeadAttention(12, 3, rng=0)
+        out = attention(Tensor(rng.normal(size=(2, 6, 12))))
+        assert out.shape == (2, 6, 12)
+        assert attention.last_attention.shape == (2, 3, 6, 6)
+
+    def test_mask_rank_promotions(self, rng):
+        attention = MultiHeadAttention(8, 2, rng=0)
+        x = Tensor(rng.normal(size=(3, 4, 8)))
+        for mask in [
+            causal_mask(4),
+            np.zeros((3, 4, 4)),
+            np.zeros((3, 2, 4, 4)),
+        ]:
+            assert attention(x, mask=mask).shape == (3, 4, 8)
+        with pytest.raises(ConfigurationError):
+            attention(x, mask=np.zeros(4))
+
+    def test_causal_mask_prevents_future_leakage(self, rng):
+        """Changing a future item must not change earlier outputs."""
+        attention = MultiHeadAttention(8, 2, rng=0)
+        attention.eval()
+        base = rng.normal(size=(1, 5, 8))
+        changed = base.copy()
+        changed[0, 4] += 10.0
+        mask = causal_mask(5)
+        out_base = attention(Tensor(base), mask=mask).data
+        out_changed = attention(Tensor(changed), mask=mask).data
+        assert np.allclose(out_base[0, :4], out_changed[0, :4])
+        assert not np.allclose(out_base[0, 4], out_changed[0, 4])
+
+    def test_additive_mask_weight_shifts_attention(self, rng):
+        """A large additive weight on one key should dominate the attention."""
+        attention = MultiHeadAttention(8, 1, rng=0)
+        attention.eval()
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        mask = np.zeros((4, 4))
+        mask[:, 2] = 8.0  # strongly favour key 2
+        attention(x, mask=mask)
+        assert attention.last_attention[0, 0, :, 2].min() > 0.5
+
+    def test_gradients_reach_input_and_parameters(self, rng):
+        attention = MultiHeadAttention(8, 2, rng=0)
+        attention.eval()
+        base = rng.normal(size=(1, 3, 8))
+        check_gradient(lambda x: attention(x).sum(), base)
+
+    def test_cross_attention_lengths(self, rng):
+        attention = MultiHeadAttention(8, 2, rng=0)
+        query = Tensor(rng.normal(size=(2, 3, 8)))
+        memory = Tensor(rng.normal(size=(2, 7, 8)))
+        out = attention(query, memory, memory)
+        assert out.shape == (2, 3, 8)
+        assert attention.last_attention.shape == (2, 2, 3, 7)

@@ -1,0 +1,65 @@
+"""Unit tests for the Conv2d layer (Caser substrate)."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.nn.conv import Conv2d
+from repro.nn.tensor import Tensor
+from repro.utils.exceptions import ConfigurationError
+
+from tests.nn.gradcheck import check_gradient
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        conv = Conv2d(1, 4, (2, 3), rng=0)
+        out = conv(Tensor(rng.normal(size=(2, 1, 6, 5))))
+        assert out.shape == (2, 4, 5, 3)
+
+    def test_matches_scipy_correlation(self, rng):
+        """Valid cross-correlation against the scipy reference implementation."""
+        conv = Conv2d(1, 1, (3, 3), rng=0)
+        image = rng.normal(size=(1, 1, 7, 7))
+        expected = signal.correlate2d(image[0, 0], conv.weight.data[0, 0], mode="valid")
+        out = conv(Tensor(image)).data[0, 0] - conv.bias.data[0]
+        assert np.allclose(out, expected, atol=1e-10)
+
+    def test_multi_channel_sums_over_input_channels(self, rng):
+        conv = Conv2d(2, 1, (2, 2), rng=0)
+        image = rng.normal(size=(1, 2, 4, 4))
+        expected = (
+            signal.correlate2d(image[0, 0], conv.weight.data[0, 0], mode="valid")
+            + signal.correlate2d(image[0, 1], conv.weight.data[0, 1], mode="valid")
+            + conv.bias.data[0]
+        )
+        assert np.allclose(conv(Tensor(image)).data[0, 0], expected, atol=1e-10)
+
+    def test_vertical_and_horizontal_caser_filters(self, rng):
+        """The two Caser filter shapes (full-width and full-height) work."""
+        length, dim = 5, 8
+        image = Tensor(rng.normal(size=(3, 1, length, dim)))
+        horizontal = Conv2d(1, 4, (2, dim), rng=0)(image)
+        vertical = Conv2d(1, 2, (length, 1), rng=1)(image)
+        assert horizontal.shape == (3, 4, length - 1, 1)
+        assert vertical.shape == (3, 2, 1, dim)
+
+    def test_rejects_wrong_channel_count(self, rng):
+        conv = Conv2d(3, 1, (2, 2), rng=0)
+        with pytest.raises(ConfigurationError):
+            conv(Tensor(rng.normal(size=(1, 1, 4, 4))))
+
+    def test_rejects_kernel_larger_than_input(self, rng):
+        conv = Conv2d(1, 1, (5, 5), rng=0)
+        with pytest.raises(ConfigurationError):
+            conv(Tensor(rng.normal(size=(1, 1, 3, 3))))
+
+    def test_gradients_match_finite_differences(self, rng):
+        conv = Conv2d(1, 2, (2, 2), rng=0)
+        check_gradient(lambda x: conv(x).sum(), rng.normal(size=(1, 1, 4, 3)))
+
+    def test_weight_gradients_flow(self, rng):
+        conv = Conv2d(1, 2, (2, 2), rng=0)
+        conv(Tensor(rng.normal(size=(2, 1, 4, 4)))).sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None

@@ -1,0 +1,48 @@
+"""Unit tests for parameter initialisers."""
+
+import numpy as np
+
+from repro.nn import init
+
+
+class TestInitializers:
+    def test_zeros(self):
+        assert np.allclose(init.zeros((3, 4)), 0.0)
+
+    def test_normal_statistics(self, rng):
+        values = init.normal((200, 200), rng, std=0.02)
+        assert abs(values.mean()) < 1e-3
+        assert abs(values.std() - 0.02) < 2e-3
+
+    def test_uniform_bounds(self, rng):
+        values = init.uniform((100, 10), rng, low=-0.1, high=0.1)
+        assert values.min() >= -0.1
+        assert values.max() < 0.1
+
+    def test_xavier_uniform_limit(self, rng):
+        shape = (64, 32)
+        values = init.xavier_uniform(shape, rng)
+        limit = np.sqrt(6.0 / (shape[0] + shape[1]))
+        assert np.abs(values).max() <= limit
+
+    def test_xavier_normal_std(self, rng):
+        shape = (400, 300)
+        values = init.xavier_normal(shape, rng)
+        expected_std = np.sqrt(2.0 / (shape[0] + shape[1]))
+        assert abs(values.std() - expected_std) / expected_std < 0.1
+
+    def test_kaiming_uniform_limit(self, rng):
+        shape = (64, 128)
+        values = init.kaiming_uniform(shape, rng)
+        limit = np.sqrt(6.0 / shape[1])
+        assert np.abs(values).max() <= limit
+
+    def test_conv_shapes_use_receptive_field(self, rng):
+        values = init.xavier_uniform((8, 4, 3, 3), rng)
+        assert values.shape == (8, 4, 3, 3)
+        assert np.isfinite(values).all()
+
+    def test_deterministic_given_same_generator_seed(self):
+        a = init.xavier_uniform((5, 5), np.random.default_rng(3))
+        b = init.xavier_uniform((5, 5), np.random.default_rng(3))
+        assert np.allclose(a, b)

@@ -1,0 +1,137 @@
+"""Unit tests for optimizers and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Parameter
+from repro.nn.optim import SGD, Adam, ReduceLROnPlateau, StepLR, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.nn import functional as F
+from repro.utils.exceptions import ConfigurationError
+
+
+def _quadratic_loss(parameter: Parameter) -> Tensor:
+    """Simple convex objective ||p - 3||^2."""
+    diff = parameter - Tensor(np.full_like(parameter.data, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_rejects_non_positive_lr(self):
+        with pytest.raises(ConfigurationError):
+            SGD([Parameter(np.zeros(2))], lr=0.0)
+
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(4))
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss = _quadratic_loss(parameter)
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.zeros(3))
+        momentum = Parameter(np.zeros(3))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            for parameter, optimizer in [(plain, opt_plain), (momentum, opt_momentum)]:
+                optimizer.zero_grad()
+                _quadratic_loss(parameter).backward()
+                optimizer.step()
+        assert _quadratic_loss(momentum).item() < _quadratic_loss(plain).item()
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.ones(3))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        (parameter * 0.0).sum().backward()
+        optimizer.step()
+        assert np.all(parameter.data < 1.0)
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Parameter(np.ones(2))
+        optimizer = SGD([parameter], lr=0.5)
+        optimizer.step()  # no gradient accumulated -> no change, no crash
+        assert np.allclose(parameter.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(4))
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            _quadratic_loss(parameter).backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, 3.0, atol=1e-2)
+
+    def test_trains_linear_regression(self, rng):
+        model = Linear(3, 1, rng=0)
+        optimizer = Adam(model.parameters(), lr=0.05)
+        features = rng.normal(size=(64, 3))
+        targets = features @ np.array([[1.0], [2.0], [-1.0]])
+        for _ in range(150):
+            optimizer.zero_grad()
+            loss = F.mean_squared_error(model(Tensor(features)), targets)
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 1e-3
+
+    def test_ignores_frozen_parameters(self):
+        frozen = Parameter(np.ones(2))
+        frozen.requires_grad = False
+        optimizer = Adam([frozen], lr=0.1)
+        assert optimizer.parameters == []
+
+
+class TestGradClipping:
+    def test_clips_large_gradients(self):
+        parameter = Parameter(np.zeros(3))
+        parameter.grad = np.full(3, 10.0)
+        norm = clip_grad_norm([parameter], max_norm=1.0)
+        assert norm == pytest.approx(np.sqrt(300.0))
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_leaves_small_gradients_untouched(self):
+        parameter = Parameter(np.zeros(3))
+        parameter.grad = np.full(3, 0.1)
+        clip_grad_norm([parameter], max_norm=10.0)
+        assert np.allclose(parameter.grad, 0.1)
+
+
+class TestSchedulers:
+    def test_step_lr_decays_on_schedule(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        scheduler.step()
+        assert optimizer.lr == 1.0
+        scheduler.step()
+        assert optimizer.lr == 0.5
+
+    def test_reduce_on_plateau_halves_after_patience(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=1)
+        scheduler.step(1.0)
+        scheduler.step(1.0)  # first stall
+        assert optimizer.lr == 1.0
+        scheduler.step(1.0)  # second stall -> decay
+        assert optimizer.lr == 0.5
+
+    def test_reduce_on_plateau_resets_on_improvement(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=1)
+        scheduler.step(1.0)
+        scheduler.step(1.0)
+        scheduler.step(0.5)  # improvement resets the counter
+        scheduler.step(0.6)
+        assert optimizer.lr == 1.0
+
+    def test_reduce_on_plateau_respects_min_lr(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1e-5)
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.1, patience=0, min_lr=1e-5)
+        scheduler.step(1.0)
+        scheduler.step(1.0)
+        assert optimizer.lr == pytest.approx(1e-5)

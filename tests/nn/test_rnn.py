@@ -1,0 +1,64 @@
+"""Unit tests for the GRU implementation."""
+
+import numpy as np
+
+from repro.nn.rnn import GRU, GRUCell
+from repro.nn.tensor import Tensor
+
+from tests.nn.gradcheck import check_gradient
+
+
+class TestGRUCell:
+    def test_output_shape(self, rng):
+        cell = GRUCell(5, 7, rng=0)
+        hidden = cell(Tensor(rng.normal(size=(3, 5))), Tensor(np.zeros((3, 7))))
+        assert hidden.shape == (3, 7)
+
+    def test_hidden_values_bounded(self, rng):
+        """GRU hidden state is a convex combination of tanh output and h_{t-1}."""
+        cell = GRUCell(4, 6, rng=0)
+        hidden = Tensor(np.zeros((2, 6)))
+        for _ in range(20):
+            hidden = cell(Tensor(rng.normal(size=(2, 4))), hidden)
+        assert np.all(np.abs(hidden.data) <= 1.0 + 1e-9)
+
+    def test_gradients_flow_to_input(self, rng):
+        cell = GRUCell(4, 4, rng=0)
+        hidden = Tensor(np.zeros((1, 4)))
+        check_gradient(lambda x: cell(x, hidden).sum(), rng.normal(size=(1, 4)))
+
+
+class TestGRU:
+    def test_sequence_output_shapes(self, rng):
+        gru = GRU(5, 8, rng=0)
+        outputs, final = gru(Tensor(rng.normal(size=(4, 6, 5))))
+        assert outputs.shape == (4, 6, 8)
+        assert final.shape == (4, 8)
+        assert np.allclose(outputs.data[:, -1, :], final.data)
+
+    def test_custom_initial_state(self, rng):
+        gru = GRU(3, 4, rng=0)
+        x = Tensor(rng.normal(size=(2, 5, 3)))
+        zero_out, _ = gru(x)
+        warm_out, _ = gru(x, hidden=Tensor(np.ones((2, 4))))
+        assert not np.allclose(zero_out.data, warm_out.data)
+
+    def test_gradients_reach_parameters(self, rng):
+        gru = GRU(3, 4, rng=0)
+        outputs, _ = gru(Tensor(rng.normal(size=(2, 5, 3))))
+        outputs.sum().backward()
+        assert all(p.grad is not None for p in gru.parameters())
+
+    def test_order_sensitivity(self, rng):
+        """Reversing the input sequence should change the final state."""
+        gru = GRU(3, 4, rng=0)
+        x = rng.normal(size=(1, 6, 3))
+        _, forward_state = gru(Tensor(x))
+        _, reversed_state = gru(Tensor(x[:, ::-1, :].copy()))
+        assert not np.allclose(forward_state.data, reversed_state.data)
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.normal(size=(2, 4, 3))
+        out1, _ = GRU(3, 5, rng=11)(Tensor(x))
+        out2, _ = GRU(3, 5, rng=11)(Tensor(x))
+        assert np.allclose(out1.data, out2.data)

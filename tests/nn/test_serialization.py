@@ -1,0 +1,45 @@
+"""Unit tests for checkpoint serialization."""
+
+import numpy as np
+
+from repro.nn.layers import Linear, Sequential, ReLU
+from repro.nn.serialization import load_module, load_state_dict, save_module, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+def _make_model(seed: int) -> Sequential:
+    return Sequential(Linear(4, 8, rng=seed), ReLU(), Linear(8, 2, rng=seed + 1))
+
+
+class TestSerialization:
+    def test_state_dict_round_trip_through_disk(self, tmp_path):
+        model = _make_model(0)
+        path = str(tmp_path / "checkpoint.npz")
+        save_state_dict(model.state_dict(), path)
+        restored = load_state_dict(path)
+        assert set(restored) == set(model.state_dict())
+        for name, value in model.state_dict().items():
+            assert np.allclose(restored[name], value)
+
+    def test_load_extension_is_added(self, tmp_path):
+        model = _make_model(1)
+        path = str(tmp_path / "weights")
+        save_state_dict(model.state_dict(), path)
+        restored = load_state_dict(path)  # without .npz suffix
+        assert set(restored) == set(model.state_dict())
+
+    def test_save_and_load_module_reproduces_outputs(self, tmp_path, rng):
+        source = _make_model(2)
+        target = _make_model(3)
+        x = Tensor(rng.normal(size=(5, 4)))
+        assert not np.allclose(source(x).data, target(x).data)
+        path = str(tmp_path / "model.npz")
+        save_module(source, path)
+        load_module(target, path)
+        assert np.allclose(source(x).data, target(x).data)
+
+    def test_nested_directory_is_created(self, tmp_path):
+        model = _make_model(4)
+        path = str(tmp_path / "nested" / "dir" / "model.npz")
+        save_module(model, path)
+        assert set(load_state_dict(path)) == set(model.state_dict())

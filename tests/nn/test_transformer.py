@@ -1,0 +1,99 @@
+"""Unit tests for Transformer blocks and positional encodings."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import NEG_INF
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import (
+    PositionwiseFeedForward,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+    causal_mask,
+    sinusoidal_positional_encoding,
+)
+
+
+class TestCausalMask:
+    def test_shape_and_values(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert np.all(mask[np.triu_indices(4, k=1)] == NEG_INF)
+        assert np.all(mask[np.tril_indices(4)] == 0.0)
+
+    def test_single_position(self):
+        assert causal_mask(1).shape == (1, 1)
+        assert causal_mask(1)[0, 0] == 0.0
+
+
+class TestPositionalEncoding:
+    def test_shape_and_range(self):
+        encoding = sinusoidal_positional_encoding(10, 16)
+        assert encoding.shape == (10, 16)
+        assert np.all(np.abs(encoding) <= 1.0 + 1e-9)
+
+    def test_first_position_is_zero_sin_one_cos(self):
+        encoding = sinusoidal_positional_encoding(5, 8)
+        assert np.allclose(encoding[0, 0::2], 0.0)
+        assert np.allclose(encoding[0, 1::2], 1.0)
+
+    def test_positions_are_distinct(self):
+        encoding = sinusoidal_positional_encoding(20, 12)
+        distances = np.linalg.norm(encoding[:, None, :] - encoding[None, :, :], axis=-1)
+        np.fill_diagonal(distances, np.inf)
+        assert distances.min() > 1e-3
+
+
+class TestFeedForward:
+    def test_shape_preserved(self, rng):
+        ffn = PositionwiseFeedForward(8, 16, rng=0)
+        out = ffn(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_relu_activation_option(self, rng):
+        ffn = PositionwiseFeedForward(8, 16, activation="relu", rng=0)
+        assert ffn(Tensor(rng.normal(size=(1, 3, 8)))).shape == (1, 3, 8)
+
+
+class TestEncoder:
+    def test_layer_shape_and_gradients(self, rng):
+        layer = TransformerEncoderLayer(8, 2, rng=0)
+        layer.eval()
+        x = Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True)
+        out = layer(x, mask=causal_mask(4))
+        assert out.shape == (2, 4, 8)
+        out.sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in layer.attention.parameters())
+
+    def test_stack_applies_all_layers(self, rng):
+        encoder = TransformerEncoder(3, 8, 2, rng=0)
+        encoder.eval()
+        assert len(encoder.layers) == 3
+        out = encoder(Tensor(rng.normal(size=(1, 6, 8))))
+        assert out.shape == (1, 6, 8)
+
+    def test_causal_stack_has_no_future_leakage(self, rng):
+        encoder = TransformerEncoder(2, 8, 2, rng=0)
+        encoder.eval()
+        base = rng.normal(size=(1, 5, 8))
+        changed = base.copy()
+        changed[0, -1] += 5.0
+        mask = causal_mask(5)
+        out_base = encoder(Tensor(base), mask=mask).data
+        out_changed = encoder(Tensor(changed), mask=mask).data
+        assert np.allclose(out_base[0, :-1], out_changed[0, :-1])
+
+    def test_training_dropout_changes_output(self, rng):
+        encoder = TransformerEncoder(1, 8, 2, dropout=0.5, rng=0)
+        encoder.train()
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        first = encoder(x).data
+        second = encoder(x).data
+        assert not np.allclose(first, second)
+
+    def test_deterministic_with_same_seed(self, rng):
+        x = rng.normal(size=(1, 4, 8))
+        out1 = TransformerEncoder(2, 8, 2, rng=7).eval()(Tensor(x)).data
+        out2 = TransformerEncoder(2, 8, 2, rng=7).eval()(Tensor(x)).data
+        assert np.allclose(out1, out2)

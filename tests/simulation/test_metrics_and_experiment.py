@@ -1,0 +1,119 @@
+"""Tests for session metrics aggregation and the interactive experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rec2inf import Rec2Inf
+from repro.core.vanilla import VanillaInfluential
+from repro.evaluation.protocol import sample_objectives
+from repro.models.markov import MarkovChainRecommender
+from repro.models.pop import Popularity
+from repro.simulation.experiment import run_interactive_experiment
+from repro.simulation.metrics import aggregate_sessions
+from repro.simulation.session import SessionResult, StepOutcome
+from repro.utils.exceptions import ConfigurationError
+
+
+def _session(reached: bool, accepted: int, rejected: int, abandoned: bool = False) -> SessionResult:
+    result = SessionResult(user_index=0, history=(1, 2), objective=99)
+    step = 0
+    for _ in range(accepted):
+        result.steps.append(StepOutcome(step, item=10 + step, accepted=True, acceptance_probability=0.8))
+        step += 1
+    for _ in range(rejected):
+        result.steps.append(StepOutcome(step, item=50 + step, accepted=False, acceptance_probability=0.1))
+        step += 1
+    result.reached = reached
+    result.abandoned = abandoned
+    return result
+
+
+class TestAggregateSessions:
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_sessions([])
+
+    def test_success_and_abandonment_rates(self):
+        sessions = [
+            _session(reached=True, accepted=3, rejected=1),
+            _session(reached=False, accepted=1, rejected=3, abandoned=True),
+        ]
+        metrics = aggregate_sessions(sessions)
+        assert metrics.interactive_success_rate == pytest.approx(0.5)
+        assert metrics.abandonment_rate == pytest.approx(0.5)
+        assert metrics.num_sessions == 2
+
+    def test_acceptance_rate_average(self):
+        sessions = [
+            _session(reached=True, accepted=4, rejected=0),
+            _session(reached=False, accepted=1, rejected=1),
+        ]
+        metrics = aggregate_sessions(sessions)
+        assert metrics.acceptance_rate == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_steps_to_success_only_counts_successes(self):
+        sessions = [
+            _session(reached=True, accepted=2, rejected=0),
+            _session(reached=False, accepted=5, rejected=5),
+        ]
+        metrics = aggregate_sessions(sessions)
+        assert metrics.mean_steps_to_success == pytest.approx(2.0)
+
+    def test_as_row_shape(self):
+        metrics = aggregate_sessions([_session(True, 2, 1)])
+        row = metrics.as_row("IRN")
+        assert row["framework"] == "IRN"
+        assert set(row) == {
+            "framework",
+            "interactive_SR",
+            "acceptance_rate",
+            "abandonment_rate",
+            "mean_steps",
+            "mean_accepted",
+            "steps_to_success",
+        }
+
+
+class TestRunInteractiveExperiment:
+    @pytest.fixture(scope="class")
+    def frameworks(self, tiny_split):
+        return {
+            "Vanilla Markov": VanillaInfluential(MarkovChainRecommender()).fit(tiny_split),
+            "Rec2Inf POP": Rec2Inf(Popularity(), candidate_k=20).fit(tiny_split),
+        }
+
+    @pytest.fixture(scope="class")
+    def instances(self, tiny_split):
+        return sample_objectives(tiny_split, min_objective_interactions=2, max_instances=8, seed=1)
+
+    def test_requires_frameworks_and_instances(self, markov_evaluator, instances):
+        with pytest.raises(ConfigurationError):
+            run_interactive_experiment({}, instances, markov_evaluator)
+
+    def test_rows_have_one_entry_per_framework(self, frameworks, instances, markov_evaluator):
+        comparison = run_interactive_experiment(
+            frameworks, instances, markov_evaluator, max_steps=6, seed=0
+        )
+        rows = comparison.rows()
+        assert {row["framework"] for row in rows} == set(frameworks)
+        for row in rows:
+            assert 0.0 <= row["interactive_SR"] <= 1.0
+            assert 0.0 <= row["acceptance_rate"] <= 1.0
+
+    def test_deterministic_across_runs(self, frameworks, instances, markov_evaluator):
+        first = run_interactive_experiment(
+            frameworks, instances, markov_evaluator, max_steps=6, seed=4
+        )
+        second = run_interactive_experiment(
+            frameworks, instances, markov_evaluator, max_steps=6, seed=4
+        )
+        assert first.rows() == second.rows()
+
+    def test_keep_sessions_returns_raw_results(self, frameworks, instances, markov_evaluator):
+        comparison = run_interactive_experiment(
+            frameworks, instances, markov_evaluator, max_steps=4, keep_sessions=True
+        )
+        assert set(comparison.sessions) == set(frameworks)
+        for sessions in comparison.sessions.values():
+            assert len(sessions) == len(instances)

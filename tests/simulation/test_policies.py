@@ -1,0 +1,110 @@
+"""Tests for the replanning policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rec2inf import Rec2Inf
+from repro.core.vanilla import VanillaInfluential
+from repro.models.markov import MarkovChainRecommender
+from repro.simulation.policies import (
+    AggressivenessBackoffPolicy,
+    ExcludeRejectedPolicy,
+    PersistentPolicy,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def vanilla_markov(tiny_split):
+    return VanillaInfluential(MarkovChainRecommender()).fit(tiny_split)
+
+
+@pytest.fixture(scope="module")
+def rec2inf_markov(tiny_split):
+    return Rec2Inf(MarkovChainRecommender(), candidate_k=10).fit(tiny_split)
+
+
+def _instance(tiny_split):
+    test = tiny_split.test[0]
+    history = list(test.history)
+    objective = test.target
+    return history, objective
+
+
+class TestPersistentPolicy:
+    def test_delegates_to_recommender(self, tiny_split, vanilla_markov):
+        history, objective = _instance(tiny_split)
+        policy = PersistentPolicy()
+        direct = vanilla_markov.next_step(history, objective, [], user_index=0)
+        via_policy = policy.propose(vanilla_markov, history, objective, [], [], user_index=0)
+        assert via_policy == direct
+
+    def test_may_repeat_rejected_item(self, tiny_split, vanilla_markov):
+        history, objective = _instance(tiny_split)
+        policy = PersistentPolicy()
+        first = policy.propose(vanilla_markov, history, objective, [], [], user_index=0)
+        again = policy.propose(vanilla_markov, history, objective, [], [first], user_index=0)
+        assert again == first
+
+
+class TestExcludeRejectedPolicy:
+    def test_invalid_retries(self):
+        with pytest.raises(ConfigurationError):
+            ExcludeRejectedPolicy(max_retries=0)
+
+    def test_avoids_rejected_items(self, tiny_split, vanilla_markov):
+        history, objective = _instance(tiny_split)
+        policy = ExcludeRejectedPolicy(max_retries=5)
+        first = policy.propose(vanilla_markov, history, objective, [], [], user_index=0)
+        assert first is not None
+        second = policy.propose(vanilla_markov, history, objective, [], [first], user_index=0)
+        assert second is None or second != first
+
+    def test_gives_up_after_max_retries(self, tiny_split):
+        class _Stubborn(VanillaInfluential):
+            """Always proposes item 1 regardless of context."""
+
+            def next_step(self, history, objective, path_so_far, user_index=None):
+                return 1
+
+        recommender = _Stubborn(MarkovChainRecommender()).fit(tiny_split)
+        history, objective = _instance(tiny_split)
+        policy = ExcludeRejectedPolicy(max_retries=3)
+        assert policy.propose(recommender, history, objective, [], [1], user_index=0) is None
+
+
+class TestAggressivenessBackoffPolicy:
+    def test_invalid_backoff(self):
+        with pytest.raises(ConfigurationError):
+            AggressivenessBackoffPolicy(backoff=1.5)
+
+    def test_rejections_shrink_rec2inf_candidate_set(self, tiny_split, rec2inf_markov):
+        policy = AggressivenessBackoffPolicy(backoff=0.5)
+        policy.reset(rec2inf_markov)
+        original = rec2inf_markov.candidate_k
+        policy.notify_rejection(rec2inf_markov, item=1)
+        assert rec2inf_markov.candidate_k <= original
+        policy.reset(rec2inf_markov)
+        assert rec2inf_markov.candidate_k == original
+
+    def test_candidate_k_never_below_one(self, tiny_split, rec2inf_markov):
+        policy = AggressivenessBackoffPolicy(backoff=0.5)
+        policy.reset(rec2inf_markov)
+        for _ in range(20):
+            policy.notify_rejection(rec2inf_markov, item=1)
+        assert rec2inf_markov.candidate_k >= 1
+        policy.reset(rec2inf_markov)
+
+    def test_objective_weight_backoff_floor(self, tiny_split):
+        class _Weighted(VanillaInfluential):
+            objective_weight = 1.0
+
+        recommender = _Weighted(MarkovChainRecommender()).fit(tiny_split)
+        policy = AggressivenessBackoffPolicy(backoff=0.5, min_weight=0.2)
+        policy.reset(recommender)
+        for _ in range(10):
+            policy.notify_rejection(recommender, item=1)
+        assert recommender.objective_weight == pytest.approx(0.2)
+        policy.reset(recommender)
+        assert recommender.objective_weight == pytest.approx(1.0)

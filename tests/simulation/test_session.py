@@ -1,0 +1,146 @@
+"""Tests for the interactive session loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rec2inf import Rec2Inf
+from repro.core.vanilla import VanillaInfluential
+from repro.models.markov import MarkovChainRecommender
+from repro.simulation.policies import ExcludeRejectedPolicy, PersistentPolicy
+from repro.simulation.session import InteractiveSession, SessionResult, StepOutcome
+from repro.simulation.user import AcceptanceProfile, SimulatedUser
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def rec2inf_markov(tiny_split):
+    return Rec2Inf(MarkovChainRecommender(), candidate_k=15).fit(tiny_split)
+
+
+@pytest.fixture(scope="module")
+def vanilla_markov(tiny_split):
+    return VanillaInfluential(MarkovChainRecommender()).fit(tiny_split)
+
+
+def _instance(tiny_split, index=0):
+    test = tiny_split.test[index]
+    return list(test.history), int(test.target)
+
+
+class _AlwaysAcceptUser(SimulatedUser):
+    def accepts(self, item, sequence):
+        return True
+
+
+class _AlwaysRejectUser(SimulatedUser):
+    def accepts(self, item, sequence):
+        return False
+
+
+class TestInteractiveSession:
+    def test_invalid_max_steps(self, markov_evaluator, rec2inf_markov):
+        user = SimulatedUser(markov_evaluator)
+        with pytest.raises(ConfigurationError):
+            InteractiveSession(rec2inf_markov, user, max_steps=0)
+
+    def test_respects_step_budget(self, tiny_split, markov_evaluator, rec2inf_markov):
+        history, objective = _instance(tiny_split)
+        user = _AlwaysAcceptUser(markov_evaluator)
+        session = InteractiveSession(rec2inf_markov, user, max_steps=5)
+        result = session.run(history, objective, user_index=0)
+        assert result.num_steps <= 5
+
+    def test_all_accepted_when_user_always_accepts(
+        self, tiny_split, markov_evaluator, rec2inf_markov
+    ):
+        history, objective = _instance(tiny_split)
+        user = _AlwaysAcceptUser(markov_evaluator)
+        result = InteractiveSession(rec2inf_markov, user, max_steps=8).run(
+            history, objective, user_index=0
+        )
+        assert result.acceptance_rate == pytest.approx(1.0)
+        assert not result.abandoned
+        assert result.rejected_items == []
+
+    def test_reached_requires_objective_accepted(
+        self, tiny_split, markov_evaluator, rec2inf_markov
+    ):
+        history, objective = _instance(tiny_split)
+        user = _AlwaysAcceptUser(markov_evaluator)
+        result = InteractiveSession(rec2inf_markov, user, max_steps=30).run(
+            history, objective, user_index=0
+        )
+        if result.reached:
+            assert result.accepted_items[-1] == objective
+
+    def test_always_reject_abandons_after_patience(
+        self, tiny_split, markov_evaluator, vanilla_markov
+    ):
+        history, objective = _instance(tiny_split)
+        user = _AlwaysRejectUser(markov_evaluator, AcceptanceProfile(patience=2))
+        result = InteractiveSession(
+            vanilla_markov, user, policy=PersistentPolicy(), max_steps=20
+        ).run(history, objective, user_index=0)
+        assert result.abandoned
+        assert result.num_steps == 2
+        assert result.accepted_items == []
+        assert not result.reached
+
+    def test_final_sequence_appends_only_accepted(
+        self, tiny_split, markov_evaluator, rec2inf_markov
+    ):
+        history, objective = _instance(tiny_split, index=1)
+        user = SimulatedUser(markov_evaluator, seed=3)
+        result = InteractiveSession(rec2inf_markov, user, max_steps=10).run(
+            history, objective, user_index=1
+        )
+        assert result.final_sequence() == list(history) + result.accepted_items
+
+    def test_reproducible_given_same_seed(self, tiny_split, markov_evaluator, rec2inf_markov):
+        history, objective = _instance(tiny_split)
+        results = []
+        for _ in range(2):
+            user = SimulatedUser(markov_evaluator, seed=11)
+            result = InteractiveSession(rec2inf_markov, user, max_steps=10).run(
+                history, objective, user_index=0
+            )
+            results.append([(step.item, step.accepted) for step in result.steps])
+        assert results[0] == results[1]
+
+    def test_exclude_policy_never_reproposes_rejected(
+        self, tiny_split, markov_evaluator, rec2inf_markov
+    ):
+        history, objective = _instance(tiny_split)
+        user = SimulatedUser(
+            markov_evaluator, AcceptanceProfile(acceptance_bias=-2.0, patience=None), seed=5
+        )
+        result = InteractiveSession(
+            rec2inf_markov, user, policy=ExcludeRejectedPolicy(), max_steps=15
+        ).run(history, objective, user_index=0)
+        rejected = result.rejected_items
+        # A rejected item may appear at most once among the proposals.
+        proposals = [step.item for step in result.steps]
+        for item in rejected:
+            assert proposals.count(item) == 1
+
+
+class TestSessionResult:
+    def test_properties_on_empty_session(self):
+        result = SessionResult(user_index=0, history=(1, 2), objective=5)
+        assert result.acceptance_rate == 0.0
+        assert result.accepted_items == []
+        assert result.final_sequence() == [1, 2]
+
+    def test_properties_with_mixed_steps(self):
+        result = SessionResult(user_index=0, history=(1,), objective=9)
+        result.steps = [
+            StepOutcome(step=0, item=3, accepted=True, acceptance_probability=0.9),
+            StepOutcome(step=1, item=4, accepted=False, acceptance_probability=0.2),
+            StepOutcome(step=2, item=9, accepted=True, acceptance_probability=0.8),
+        ]
+        result.reached = True
+        assert result.accepted_items == [3, 9]
+        assert result.rejected_items == [4]
+        assert result.acceptance_rate == pytest.approx(2 / 3)
+        assert result.final_sequence() == [1, 3, 9]

@@ -1,0 +1,105 @@
+"""Tests for the simulated-user acceptance model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.user import AcceptanceProfile, SimulatedUser
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestAcceptanceProfile:
+    def test_defaults_are_neutral(self):
+        profile = AcceptanceProfile()
+        assert profile.acceptance_bias == 0.0
+        assert profile.temperature == 1.0
+        assert profile.patience == 3
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AcceptanceProfile(temperature=0.0)
+
+    def test_invalid_patience_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AcceptanceProfile(patience=0)
+
+    def test_none_patience_allowed(self):
+        assert AcceptanceProfile(patience=None).patience is None
+
+    def test_from_impressionability_midpoint_is_neutral(self):
+        profile = AcceptanceProfile.from_impressionability(0.5)
+        assert profile.acceptance_bias == pytest.approx(0.0)
+
+    def test_from_impressionability_monotone(self):
+        low = AcceptanceProfile.from_impressionability(0.1)
+        high = AcceptanceProfile.from_impressionability(0.9)
+        assert high.acceptance_bias > low.acceptance_bias
+
+    def test_from_impressionability_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            AcceptanceProfile.from_impressionability(1.5)
+
+    @given(value=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_from_impressionability_bias_bounded(self, value):
+        profile = AcceptanceProfile.from_impressionability(value)
+        assert -2.0 <= profile.acceptance_bias <= 2.0
+
+
+class TestSimulatedUser:
+    def test_probability_in_unit_interval(self, markov_evaluator, tiny_split):
+        user = SimulatedUser(markov_evaluator)
+        history = list(tiny_split.test[0].history)
+        for item in range(1, min(20, tiny_split.corpus.vocab.size)):
+            probability = user.acceptance_probability(item, history)
+            assert 0.0 <= probability <= 1.0
+
+    def test_higher_bias_means_higher_acceptance(self, markov_evaluator, tiny_split):
+        history = list(tiny_split.test[0].history)
+        item = tiny_split.test[0].target
+        eager = SimulatedUser(markov_evaluator, AcceptanceProfile(acceptance_bias=3.0))
+        wary = SimulatedUser(markov_evaluator, AcceptanceProfile(acceptance_bias=-3.0))
+        assert eager.acceptance_probability(item, history) > wary.acceptance_probability(
+            item, history
+        )
+
+    def test_relevant_item_more_acceptable_than_random(self, markov_evaluator, tiny_split):
+        instance = tiny_split.test[0]
+        history = list(instance.history)
+        top = markov_evaluator.model.top_k(history, 1)[0]
+        distribution = markov_evaluator.distribution(history)
+        least = int(np.argmin(np.where(np.arange(len(distribution)) == 0, np.inf, distribution)))
+        user = SimulatedUser(markov_evaluator)
+        assert user.acceptance_probability(top, history) >= user.acceptance_probability(
+            least, history
+        )
+
+    def test_deterministic_mode_is_threshold(self, markov_evaluator, tiny_split):
+        history = list(tiny_split.test[0].history)
+        user = SimulatedUser(markov_evaluator, deterministic=True)
+        for item in range(1, 10):
+            expected = user.acceptance_probability(item, history) >= 0.5
+            assert user.accepts(item, history) is expected
+
+    def test_accepts_reproducible_with_seed(self, markov_evaluator, tiny_split):
+        history = list(tiny_split.test[0].history)
+        draws_a = [
+            SimulatedUser(markov_evaluator, seed=7).accepts(item, history) for item in range(1, 15)
+        ]
+        draws_b = [
+            SimulatedUser(markov_evaluator, seed=7).accepts(item, history) for item in range(1, 15)
+        ]
+        assert draws_a == draws_b
+
+    def test_abandonment_respects_patience(self, markov_evaluator):
+        user = SimulatedUser(markov_evaluator, AcceptanceProfile(patience=2))
+        assert not user.abandons_after(1)
+        assert user.abandons_after(2)
+        assert user.abandons_after(3)
+
+    def test_no_abandonment_when_patience_none(self, markov_evaluator):
+        user = SimulatedUser(markov_evaluator, AcceptanceProfile(patience=None))
+        assert not user.abandons_after(10_000)

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_artefact(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table6"])
+        assert args.dataset == "movielens"
+        assert args.profile == "default"
+
+    def test_rejects_unknown_artefact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+
+class TestMain:
+    def test_table6_runs_without_training(self, capsys):
+        assert main(["table6", "--profile", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "w_t" in out
+
+    def test_table1_fast_profile(self, capsys, tmp_path):
+        output = tmp_path / "report.txt"
+        code = main(
+            ["table1", "--profile", "fast", "--scale", "0.2", "--output", str(output)]
+        )
+        assert code == 0
+        assert output.exists()
+        assert "interactions" in output.read_text()
+
+    def test_figure8_fast_profile(self, capsys):
+        assert main(["figure8", "--profile", "fast", "--scale", "0.2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mean=" in out
+
+    def test_ablation_decoding_fast_profile(self, capsys):
+        assert main(["ablation-decoding", "--profile", "fast", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "greedy (Algorithm 1)" in out
+        assert "beam search" in out
+
+    def test_extension_category_fast_profile(self, capsys):
+        assert main(["ext-category", "--profile", "fast", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "category:" in out
+
+    def test_new_artefacts_listed_in_parser(self):
+        parser = build_parser()
+        for artefact in ["ablation-embedding", "ext-interactive", "ext-kg", "ext-quality"]:
+            args = parser.parse_args([artefact])
+            assert args.artefact == artefact

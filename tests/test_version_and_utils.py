@@ -1,0 +1,88 @@
+"""Tests for the package metadata and shared utilities."""
+
+import logging
+
+import numpy as np
+import pytest
+
+import repro
+from repro.utils.exceptions import ConfigurationError, DataError, ReproError
+from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.registry import Registry
+from repro.utils.rng import as_rng, derive_seed, spawn_rng
+
+
+class TestPackage:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(DataError, ReproError)
+
+
+class TestRng:
+    def test_as_rng_accepts_int_none_generator(self):
+        generator = np.random.default_rng(3)
+        assert as_rng(generator) is generator
+        assert isinstance(as_rng(7), np.random.Generator)
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_as_rng_seed_determinism(self):
+        assert as_rng(5).integers(0, 100) == as_rng(5).integers(0, 100)
+
+    def test_spawn_rng_children_are_independent(self):
+        parent = as_rng(0)
+        children = spawn_rng(parent, 3)
+        assert len(children) == 3
+        draws = [c.integers(0, 10_000) for c in children]
+        assert len(set(draws)) > 1
+
+    def test_spawn_rng_invalid_count(self):
+        with pytest.raises(ValueError):
+            spawn_rng(as_rng(0), 0)
+
+    def test_derive_seed_in_range(self):
+        seed = derive_seed(as_rng(1))
+        assert 0 <= seed < 2**31
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger("models.irn").name == "repro.models.irn"
+        assert get_logger("repro.data").name == "repro.data"
+
+    def test_set_verbosity(self):
+        set_verbosity(logging.DEBUG)
+        assert logging.getLogger("repro").level == logging.DEBUG
+        set_verbosity(logging.INFO)
+
+
+class TestRegistry:
+    def test_register_get_create(self):
+        registry: Registry[object] = Registry("thing")
+
+        @registry.register("Widget")
+        class Widget:
+            def __init__(self, value=1):
+                self.value = value
+
+        assert "widget" in registry
+        assert registry.get("WIDGET") is Widget
+        assert registry.create("widget", value=5).value == 5
+        assert registry.names() == ["widget"]
+
+    def test_duplicate_registration_rejected(self):
+        registry: Registry[object] = Registry("thing")
+        registry.register("a")(object)
+        with pytest.raises(ConfigurationError):
+            registry.register("a")(object)
+
+    def test_unknown_name_error_lists_known(self):
+        registry: Registry[object] = Registry("thing")
+        registry.register("alpha")(object)
+        with pytest.raises(ConfigurationError, match="alpha"):
+            registry.get("beta")
