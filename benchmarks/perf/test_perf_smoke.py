@@ -1,0 +1,51 @@
+"""Tier-2 perf smoke test (``pytest -m perf``).
+
+Runs the :mod:`repro.perf.bench` harness in its seconds-scale smoke profile
+and asserts the batched inference engine's contract: fewer module forwards
+(counted via a wrapper, not wall-clock, so CI stays deterministic) with
+unchanged plans and ranks.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.bench import run_benchmarks
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def smoke_report(tmp_path_factory):
+    output = tmp_path_factory.mktemp("perf") / "BENCH_path_planning.json"
+    report = run_benchmarks(profile="smoke", output=str(output))
+    # The artefact must be valid JSON with both throughput series.
+    written = json.loads(output.read_text())
+    assert written["beam_planning"]["scalar"]["paths_per_sec"] > 0
+    assert written["beam_planning"]["batched"]["forwards_per_sec"] > 0
+    return report
+
+
+def test_batched_beam_planner_uses_4x_fewer_forwards(smoke_report):
+    beam = smoke_report["beam_planning"]
+    assert beam["beam_width"] == 4
+    # Acceptance criterion: >= 4x fewer module forwards at beam_width=4.
+    assert beam["batched"]["forwards"] * 4 <= beam["scalar"]["forwards"]
+
+
+def test_batched_beam_planner_matches_scalar_plans(smoke_report):
+    assert smoke_report["beam_planning"]["plans_equal"]
+
+
+def test_batched_greedy_rollout_reduces_forwards_and_matches(smoke_report):
+    greedy = smoke_report["greedy_planning"]
+    assert greedy["batched"]["forwards"] < greedy["scalar"]["forwards"]
+    assert greedy["plans_equal"]
+
+
+def test_batched_nextitem_evaluation_reduces_forwards_and_matches(smoke_report):
+    nextitem = smoke_report["nextitem_evaluation"]
+    assert nextitem["batched"]["forwards"] < nextitem["scalar"]["forwards"]
+    assert nextitem["ranks_equal"]

@@ -7,6 +7,7 @@ from typing import Sequence
 
 from repro.data.interactions import SequenceCorpus
 from repro.data.splitting import DatasetSplit
+from repro.utils.batch import broadcast_user_indices, check_batch_lengths
 from repro.utils.exceptions import NotFittedError
 from repro.utils.registry import Registry
 
@@ -59,6 +60,27 @@ class InfluentialRecommender(abc.ABC):
         return generate_influence_path(
             self, history, objective, user_index=user_index, max_length=max_length
         )
+
+    def generate_paths_batch(
+        self,
+        histories: Sequence[Sequence[int]],
+        objectives: Sequence[int],
+        user_indices: "Sequence[int | None] | None" = None,
+        max_length: int = 20,
+    ) -> list[list[int]]:
+        """Run Algorithm 1 for a batch of ``(history, objective)`` instances.
+
+        The default implementation simply loops :meth:`generate_path`;
+        recommenders with batched scoring (IRN, the beam planner) override it
+        to fuse all instances that share a step index into single model
+        forwards.  The evaluation protocol always calls this entry point.
+        """
+        check_batch_lengths(len(histories), objectives=objectives)
+        users = broadcast_user_indices(len(histories), user_indices)
+        return [
+            self.generate_path(history, objective, user_index=user, max_length=max_length)
+            for history, objective, user in zip(histories, objectives, users)
+        ]
 
     def _require_fitted(self) -> SequenceCorpus:
         if self.corpus is None:

@@ -17,6 +17,19 @@ The planner also implements the standard
 :class:`~repro.core.base.InfluentialRecommender` interface, so it drops into
 every evaluation protocol: ``next_step`` simply serves the next item of the
 currently planned path and replans when the context changes.
+
+Batched expansion
+-----------------
+Search is organised so that every transformer forward is as wide as
+possible: at each depth, ALL live hypotheses — across the whole beam and,
+via :meth:`BeamSearchPlanner.plan_paths_batch`, across every evaluation
+instance being rolled out in lockstep — are scored with one call to the
+backbone's ``score_with_objective_batch`` (falling back to per-sequence
+scalar calls when the backbone only implements ``score_with_objective``).
+Seen-item masking is a single fancy indexed assignment and per-hypothesis
+top-``k`` selection uses ``np.argpartition`` over the vocabulary instead of
+a full sort; candidate ordering and tie-breaking exactly reproduce the
+pre-batching stable ``argsort`` implementation, so plans are unchanged.
 """
 
 from __future__ import annotations
@@ -27,7 +40,9 @@ from typing import Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from repro.core.base import InfluentialRecommender, influential_registry
+from repro.core.influence_path import mask_session_items
 from repro.data.splitting import DatasetSplit
+from repro.utils.batch import broadcast_user_indices, check_batch_lengths
 from repro.utils.exceptions import ConfigurationError
 
 __all__ = ["BeamSearchPlanner"]
@@ -117,43 +132,174 @@ class BeamSearchPlanner(InfluentialRecommender):
         return self
 
     # ------------------------------------------------------------------ #
-    def _log_softmax(self, scores: np.ndarray) -> np.ndarray:
-        finite = np.isfinite(scores)
-        shifted = scores - np.max(scores[finite])
-        exp = np.where(finite, np.exp(shifted), 0.0)
-        log_norm = float(np.log(exp.sum()))
-        return np.where(finite, shifted - log_norm, -np.inf)
+    def _log_softmax_rows(self, scores: np.ndarray) -> np.ndarray:
+        """Row-wise log-softmax over ``(batch, vocab)`` with ``-inf`` masking.
 
-    def _expand(
+        Rows without a single finite entry (every candidate masked out) yield
+        an all ``-inf`` row instead of crashing on an empty ``np.max``.
+        """
+        finite = np.isfinite(scores)
+        any_finite = finite.any(axis=1)
+        row_max = np.max(np.where(finite, scores, -np.inf), axis=1, initial=-np.inf)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            shifted = scores - np.where(any_finite, row_max, 0.0)[:, None]
+            exp = np.where(finite, np.exp(shifted), 0.0)
+            log_norm = np.log(exp.sum(axis=1))
+            return np.where(finite, shifted - log_norm[:, None], -np.inf)
+
+    def _log_softmax(self, scores: np.ndarray) -> np.ndarray:
+        return self._log_softmax_rows(np.asarray(scores, dtype=np.float64)[None, :])[0]
+
+    def _batched_scores(
         self,
-        hypothesis: _Hypothesis,
-        history: Sequence[int],
-        objective: int,
-        user_index: int | None,
-    ) -> list[_Hypothesis]:
-        sequence = list(history) + list(hypothesis.items)
-        scores = np.asarray(
-            self.backbone.score_with_objective(sequence, objective, user_index=user_index),
-            dtype=np.float64,
-        ).copy()
-        for item in sequence:
-            if item != objective:
-                scores[item] = -np.inf
-        log_probs = self._log_softmax(scores)
-        order = np.argsort(-log_probs, kind="stable")[: self.branch_factor]
-        children = []
-        for item in order:
-            item = int(item)
-            if not np.isfinite(log_probs[item]):
-                continue
-            children.append(
-                _Hypothesis(
-                    items=hypothesis.items + (item,),
-                    log_probability=hypothesis.log_probability + float(log_probs[item]),
-                    reached=item == objective,
+        sequences: list[list[int]],
+        objectives: list[int],
+        user_indices: "list[int | None]",
+    ) -> np.ndarray:
+        """Score every sequence against its objective, fused when possible."""
+        scorer = getattr(self.backbone, "score_with_objective_batch", None)
+        if scorer is not None:
+            return np.asarray(
+                scorer(sequences, objectives, user_indices), dtype=np.float64
+            ).copy()
+        return np.stack(
+            [
+                np.asarray(
+                    self.backbone.score_with_objective(sequence, objective, user_index=user),
+                    dtype=np.float64,
                 )
+                for sequence, objective, user in zip(sequences, objectives, user_indices)
+            ]
+        )
+
+    def _expand_all(
+        self,
+        parents: list[_Hypothesis],
+        sequences: list[list[int]],
+        objectives: list[int],
+        user_indices: "list[int | None]",
+    ) -> list[list[_Hypothesis]]:
+        """Expand many hypotheses with ONE batched scoring call.
+
+        Returns the children of each parent in the same order the scalar
+        implementation produced them: descending log-probability with ties
+        broken by item index (the stable-``argsort`` order), non-finite
+        candidates dropped.
+        """
+        scores = self._batched_scores(sequences, objectives, user_indices)
+        mask_session_items(scores, sequences, objectives)
+        log_probs = self._log_softmax_rows(scores)
+        count, vocab = log_probs.shape
+        k = min(self.branch_factor, vocab)
+        top = np.argpartition(-log_probs, k - 1, axis=1)[:, :k]
+        top_values = np.take_along_axis(log_probs, top, axis=1)
+        # Stable-argsort order among the k winners: value desc, index asc.
+        order = np.lexsort((top, -top_values), axis=1)
+        top = np.take_along_axis(top, order, axis=1)
+        top_values = np.take_along_axis(top_values, order, axis=1)
+        # argpartition gives no guarantee about WHICH index wins a tie at the
+        # k-th boundary; the scalar stable argsort kept the lowest index.  A
+        # finite boundary value that also occurs outside the selection marks
+        # such a tie — repair those (rare) rows with an exact stable sort.
+        boundary = top_values[:, -1]
+        finite_boundary = np.isfinite(boundary)
+        if finite_boundary.any():
+            selected_ties = (top_values == boundary[:, None]).sum(axis=1)
+            total_ties = (log_probs == boundary[:, None]).sum(axis=1)
+            for row in np.flatnonzero(finite_boundary & (total_ties > selected_ties)):
+                exact = np.argsort(-log_probs[row], kind="stable")[:k]
+                top[row] = exact
+                top_values[row] = log_probs[row][exact]
+        expansions: list[list[_Hypothesis]] = []
+        for row, parent in enumerate(parents):
+            objective = objectives[row]
+            children = [
+                _Hypothesis(
+                    items=parent.items + (int(item),),
+                    log_probability=parent.log_probability + float(value),
+                    reached=int(item) == objective,
+                )
+                for item, value in zip(top[row], top_values[row])
+                if np.isfinite(value)
+            ]
+            expansions.append(children)
+        return expansions
+
+    def plan_paths_batch(
+        self,
+        histories: Sequence[Sequence[int]],
+        objectives: Sequence[int],
+        user_indices: "Sequence[int | None] | None" = None,
+        max_length: int = 20,
+    ) -> list[list[int]]:
+        """Plan influence paths for many instances with lockstep beam search.
+
+        Each instance runs the exact same beam algorithm as before, but every
+        depth issues a single fused scoring call covering all live hypotheses
+        of ALL still-running instances, so one transformer forward replaces
+        up to ``beam_width * num_instances`` scalar forwards.
+        """
+        if max_length <= 0:
+            raise ConfigurationError(f"max_length must be positive, got {max_length}")
+        self._require_fitted()
+        count = len(histories)
+        histories = [list(history) for history in histories]
+        objectives = [int(objective) for objective in objectives]
+        check_batch_lengths(count, objectives=objectives)
+        users = broadcast_user_indices(count, user_indices)
+        beams: list[list[_Hypothesis]] = [
+            [_Hypothesis(items=(), log_probability=0.0, reached=False)] for _ in range(count)
+        ]
+        completes: list[list[_Hypothesis]] = [[] for _ in range(count)]
+        running = list(range(count))
+
+        for _ in range(max_length):
+            if not running:
+                break
+            # Collect the live hypotheses of every running instance (beam
+            # order preserved); reached hypotheses retire to the complete set.
+            parents: list[_Hypothesis] = []
+            owners: list[int] = []
+            sequences: list[list[int]] = []
+            for i in running:
+                for hypothesis in beams[i]:
+                    if hypothesis.reached:
+                        completes[i].append(hypothesis)
+                        continue
+                    parents.append(hypothesis)
+                    owners.append(i)
+                    sequences.append(histories[i] + list(hypothesis.items))
+            if not parents:
+                running = []
+                break
+            expansions = self._expand_all(
+                parents,
+                sequences,
+                [objectives[i] for i in owners],
+                [users[i] for i in owners],
             )
-        return children
+            candidates: dict[int, list[_Hypothesis]] = {i: [] for i in running}
+            for owner, children in zip(owners, expansions):
+                candidates[owner].extend(children)
+            still_running: list[int] = []
+            for i in running:
+                if not candidates[i]:
+                    continue  # this instance's beam is frozen (scalar `break`)
+                candidates[i].sort(key=lambda h: h.score(self.objective_bonus), reverse=True)
+                beams[i] = candidates[i][: self.beam_width]
+                still_running.append(i)
+            running = still_running
+
+        paths: list[list[int]] = []
+        for i in range(count):
+            completes[i].extend(h for h in beams[i] if h.reached)
+            pool = completes[i] if completes[i] else beams[i]
+            if not pool:
+                paths.append([])
+                continue
+            best = max(pool, key=lambda h: h.score(self.objective_bonus))
+            paths.append(list(best.items))
+        return paths
 
     def plan_path(
         self,
@@ -162,31 +308,10 @@ class BeamSearchPlanner(InfluentialRecommender):
         user_index: int | None = None,
         max_length: int = 20,
     ) -> list[int]:
-        """Plan a full influence path with beam search."""
-        if max_length <= 0:
-            raise ConfigurationError(f"max_length must be positive, got {max_length}")
-        self._require_fitted()
-        beam = [_Hypothesis(items=(), log_probability=0.0, reached=False)]
-        complete: list[_Hypothesis] = []
-
-        for _ in range(max_length):
-            candidates: list[_Hypothesis] = []
-            for hypothesis in beam:
-                if hypothesis.reached:
-                    complete.append(hypothesis)
-                    continue
-                candidates.extend(self._expand(hypothesis, history, objective, user_index))
-            if not candidates:
-                break
-            candidates.sort(key=lambda h: h.score(self.objective_bonus), reverse=True)
-            beam = candidates[: self.beam_width]
-
-        complete.extend(hypothesis for hypothesis in beam if hypothesis.reached)
-        pool = complete if complete else beam
-        if not pool:
-            return []
-        best = max(pool, key=lambda h: h.score(self.objective_bonus))
-        return list(best.items)
+        """Plan a full influence path with beam search (batch-of-one)."""
+        return self.plan_paths_batch(
+            [history], [objective], [user_index], max_length=max_length
+        )[0]
 
     # ------------------------------------------------------------------ #
     # InfluentialRecommender interface
@@ -199,6 +324,17 @@ class BeamSearchPlanner(InfluentialRecommender):
         max_length: int = 20,
     ) -> list[int]:
         return self.plan_path(history, objective, user_index=user_index, max_length=max_length)
+
+    def generate_paths_batch(
+        self,
+        histories: Sequence[Sequence[int]],
+        objectives: Sequence[int],
+        user_indices: "Sequence[int | None] | None" = None,
+        max_length: int = 20,
+    ) -> list[list[int]]:
+        return self.plan_paths_batch(
+            histories, objectives, user_indices=user_indices, max_length=max_length
+        )
 
     def next_step(
         self,

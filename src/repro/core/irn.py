@@ -14,6 +14,21 @@ through the PIM.
 At inference the current sequence (history ⊕ path so far) is concatenated
 with the objective at the final position; the distribution at the last real
 position proposes the next path item (Algorithm 1).
+
+Batched inference contract
+--------------------------
+``score_with_objective_batch`` / ``score_next_batch`` fuse many variable-
+length sequences into ONE module forward.  Rows are right-aligned into a
+``(batch, max_len)`` window — padding on the left — so every row's objective
+occupies the shared final column and the PIM's objective-column reveal
+applies to all rows at once.  Position indices are computed *per row*
+(``0 .. len-1`` over the real tokens, position 0 for the left padding), so
+each row sees exactly the position embeddings the unbatched scorer would
+use.  Padding keys are masked with ``NEG_INF`` and padded query positions
+are never gathered, which makes the batched scores equal to the scalar ones
+up to BLAS summation-order noise (documented tolerance ``~1e-8``; the
+scalar methods are thin ``batch=1`` wrappers and remain bit-identical to
+the pre-batching implementation).
 """
 
 from __future__ import annotations
@@ -23,6 +38,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.base import InfluentialRecommender, influential_registry
+from repro.core.influence_path import mask_session_items
 from repro.core.pim import MaskType, causal_history_mask, objective_column_indicator
 from repro.data.batching import SequenceBatch
 from repro.data.interactions import SequenceCorpus
@@ -30,6 +46,7 @@ from repro.data.padding import PAD_INDEX
 from repro.data.splitting import DatasetSplit
 from repro.models._sequence_utils import clip_history, shifted_inputs_and_targets
 from repro.models.base import NeuralSequentialRecommender, model_registry
+from repro.utils.batch import broadcast_user_indices, check_batch_lengths
 from repro.nn import functional as F
 from repro.nn.layers import Dropout, Embedding, Linear, Module
 from repro.nn.tensor import Tensor, no_grad
@@ -108,11 +125,21 @@ class _IRNModule(Module):
         mask_type: MaskType = MaskType.PERSONALIZED,
         objective_weight: float = 1.0,
         history_weight: float = 0.0,
+        positions: np.ndarray | None = None,
     ) -> Tensor:
-        """Return next-item logits of shape ``(batch, length, vocab_size)``."""
+        """Return next-item logits of shape ``(batch, length, vocab_size)``.
+
+        ``positions`` optionally overrides the default ``arange(length)``
+        position indices with a per-row ``(batch, length)`` array; the
+        batched inference path uses it so right-aligned (left-padded) rows
+        keep the positions ``0 .. len-1`` of their real tokens.
+        """
         items = np.asarray(items, dtype=np.int64)
         batch, length = items.shape
-        positions = np.tile(np.arange(length) % self.max_length, (batch, 1))
+        if positions is None:
+            positions = np.tile(np.arange(length) % self.max_length, (batch, 1))
+        else:
+            positions = np.asarray(positions, dtype=np.int64)
         hidden = self.item_embedding(items) + self.position_embedding(positions)
         hidden = self.dropout(hidden)
         mask = self._pim(items, users, mask_type, objective_weight, history_weight)
@@ -255,18 +282,61 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
             return 0
         return int(user_index)
 
-    def score_with_objective(
+    def _right_align(
+        self, rows: list[list[int]]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pack ragged rows into right-aligned ``(items, positions, lengths)``.
+
+        Rows are left-padded with :data:`PAD_INDEX` so their last tokens share
+        the final column; ``positions[b]`` counts ``0 .. len_b - 1`` over the
+        real tokens (padding gets position 0, which is never attended to).
+        """
+        assert self.module is not None
+        lengths = np.asarray([len(row) for row in rows], dtype=np.int64)
+        width = int(lengths.max())
+        items = np.full((len(rows), width), PAD_INDEX, dtype=np.int64)
+        for b, row in enumerate(rows):
+            if row:
+                items[b, width - len(row) :] = row
+        columns = np.arange(width, dtype=np.int64)[None, :]
+        offsets = (width - lengths)[:, None]
+        positions = np.maximum(columns - offsets, 0) % self.module.max_length
+        return items, positions, lengths
+
+    def _batch_users(self, user_indices, batch: int) -> np.ndarray:
+        users = broadcast_user_indices(batch, user_indices)
+        return np.asarray([self._safe_user(u) for u in users], dtype=np.int64)
+
+    def score_with_objective_batch(
         self,
-        sequence: Sequence[int],
-        objective: int,
-        user_index: int | None = None,
+        sequences: Sequence[Sequence[int]],
+        objectives: Sequence[int],
+        user_indices: "Sequence[int | None] | None" = None,
     ) -> np.ndarray:
-        """Next-item scores conditioned on the objective item through the PIM."""
+        """Objective-conditioned next-item scores for many sequences at once.
+
+        Fuses all rows into a single ``no_grad`` module forward: sequences are
+        right-aligned (left-padded) so every objective sits in the shared
+        final column, per-row position indices preserve the scalar scorer's
+        ``0 .. len-1`` numbering, and each row's scores are gathered from its
+        last real non-objective position.  Returns a ``(batch, vocab)`` array;
+        row ``b`` equals ``score_with_objective(sequences[b], objectives[b])``
+        up to floating-point summation-order tolerance (~1e-8).
+        """
         self._require_fitted()
         assert self.module is not None
-        sequence = clip_history(sequence, self.max_sequence_length - 1)
-        items = np.asarray([list(sequence) + [int(objective)]], dtype=np.int64)
-        users = np.asarray([self._safe_user(user_index)], dtype=np.int64)
+        batch = len(sequences)
+        objectives = list(objectives)
+        check_batch_lengths(batch, objectives=objectives)
+        if batch == 0:
+            return np.zeros((0, self.vocab_size), dtype=np.float64)
+        rows = [
+            [int(item) for item in clip_history(seq, self.max_sequence_length - 1)]
+            + [int(objective)]
+            for seq, objective in zip(sequences, objectives)
+        ]
+        items, positions, lengths = self._right_align(rows)
+        users = self._batch_users(user_indices, batch)
         with no_grad():
             logits = self.module(
                 items,
@@ -274,26 +344,59 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
                 mask_type=self.mask_type,
                 objective_weight=self.objective_weight * self.objective_logit_scale,
                 history_weight=self.history_weight,
+                positions=positions,
             )
-        position = -2 if items.shape[1] >= 2 else -1
-        scores = logits.data[0, position].copy()
-        scores[PAD_INDEX] = -np.inf
+        width = items.shape[1]
+        gather = np.where(lengths >= 2, width - 2, width - 1)
+        scores = logits.data[np.arange(batch), gather, :].astype(np.float64, copy=True)
+        scores[:, PAD_INDEX] = -np.inf
+        return scores
+
+    def score_with_objective(
+        self,
+        sequence: Sequence[int],
+        objective: int,
+        user_index: int | None = None,
+    ) -> np.ndarray:
+        """Next-item scores conditioned on the objective item through the PIM.
+
+        Thin ``batch=1`` wrapper around :meth:`score_with_objective_batch`
+        (a single row needs no padding, so this is bit-identical to the
+        pre-batching scalar implementation).
+        """
+        return self.score_with_objective_batch([sequence], [objective], [user_index])[0]
+
+    def score_next_batch(
+        self,
+        histories: Sequence[Sequence[int]],
+        user_indices: "Sequence[int | None] | None" = None,
+    ) -> np.ndarray:
+        """Objective-free next-item scores for many histories in one forward.
+
+        Same right-alignment contract as :meth:`score_with_objective_batch`,
+        with a causal-only mask; scores are gathered at the shared final
+        column (each row's most recent real item).
+        """
+        self._require_fitted()
+        assert self.module is not None
+        batch = len(histories)
+        if batch == 0:
+            return np.zeros((0, self.vocab_size), dtype=np.float64)
+        rows = []
+        for history in histories:
+            clipped = [int(item) for item in clip_history(history, self.max_sequence_length)]
+            rows.append(clipped if clipped else [PAD_INDEX])
+        items, positions, _ = self._right_align(rows)
+        users = self._batch_users(user_indices, batch)
+        with no_grad():
+            logits = self.module(items, users, mask_type=MaskType.CAUSAL, positions=positions)
+        scores = logits.data[:, -1, :].astype(np.float64, copy=True)
+        scores[:, PAD_INDEX] = -np.inf
         return scores
 
     def score_next(self, history: Sequence[int], user_index: int | None = None) -> np.ndarray:
         """Objective-free next-item scores (causal mask only; Table IV usage)."""
-        self._require_fitted()
-        assert self.module is not None
-        history = clip_history(history, self.max_sequence_length)
-        if not history:
-            history = [PAD_INDEX]
-        items = np.asarray([history], dtype=np.int64)
-        users = np.asarray([self._safe_user(user_index)], dtype=np.int64)
-        with no_grad():
-            logits = self.module(items, users, mask_type=MaskType.CAUSAL)
-        scores = logits.data[0, -1].copy()
-        scores[PAD_INDEX] = -np.inf
-        return scores
+        return self.score_next_batch([history], [user_index])[0]
 
     # ------------------------------------------------------------------ #
     # Influential interface
@@ -306,16 +409,62 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         user_index: int | None = None,
     ) -> int | None:
         sequence = list(history) + list(path_so_far)
-        scores = self.score_with_objective(sequence, objective, user_index=user_index).copy()
+        scores = self.score_with_objective_batch([sequence], [objective], [user_index])
         # Avoid degenerate repetition: never re-recommend something the user
         # already saw in this session, except the objective itself.
-        for item in sequence:
-            if item != objective:
-                scores[item] = -np.inf
+        scores = mask_session_items(scores, [sequence], [objective])[0]
         best = int(np.argmax(scores))
         if not np.isfinite(scores[best]):
             return None
         return best
+
+    def generate_paths_batch(
+        self,
+        histories: Sequence[Sequence[int]],
+        objectives: Sequence[int],
+        user_indices: "Sequence[int | None] | None" = None,
+        max_length: int = 20,
+    ) -> list[list[int]]:
+        """Run Algorithm 1 for many ``(history, objective)`` instances in lockstep.
+
+        All instances that are still alive at step ``k`` share one batched
+        module forward (via :meth:`score_with_objective_batch`), instead of
+        the per-instance, per-step forwards of the scalar loop.  Produces the
+        same paths as looping :meth:`generate_path` (same greedy argmax and
+        seen-item masking), up to the batched scorer's documented tolerance.
+        """
+        if max_length <= 0:
+            raise ConfigurationError(f"max_length must be positive, got {max_length}")
+        self._require_fitted()
+        count = len(histories)
+        histories = [list(history) for history in histories]
+        objectives = [int(objective) for objective in objectives]
+        check_batch_lengths(count, objectives=objectives)
+        users = broadcast_user_indices(count, user_indices)
+        paths: list[list[int]] = [[] for _ in range(count)]
+        active = list(range(count))
+        for _ in range(max_length):
+            if not active:
+                break
+            sequences = [histories[i] + paths[i] for i in active]
+            scores = self.score_with_objective_batch(
+                sequences,
+                [objectives[i] for i in active],
+                [users[i] for i in active],
+            )
+            mask_session_items(scores, sequences, [objectives[i] for i in active])
+            best = np.argmax(scores, axis=1)
+            finite = np.isfinite(scores[np.arange(len(active)), best])
+            still_active: list[int] = []
+            for slot, i in enumerate(active):
+                if not finite[slot]:
+                    continue
+                item = int(best[slot])
+                paths[i].append(item)
+                if item != objectives[i]:
+                    still_active.append(i)
+            active = still_active
+        return paths
 
     # ------------------------------------------------------------------ #
     # Analysis helpers

@@ -40,10 +40,20 @@ def evaluate_next_item(
     instances = split.test[:max_instances] if max_instances else split.test
     if not instances:
         raise ConfigurationError("the split has no test instances")
-    ranks = [
-        model.rank_of(list(instance.history), instance.target, user_index=instance.user_index)
-        for instance in instances
-    ]
+    # Rank in batched chunks: one model forward per chunk for batched models
+    # (IRN), a transparent scalar loop for the rest.  Chunking bounds the
+    # (chunk, vocab) score matrix the batched path materialises.
+    ranks: list[int] = []
+    chunk_size = 256
+    for start in range(0, len(instances), chunk_size):
+        chunk = instances[start : start + chunk_size]
+        ranks.extend(
+            model.rank_of_batch(
+                [list(instance.history) for instance in chunk],
+                [instance.target for instance in chunk],
+                [instance.user_index for instance in chunk],
+            )
+        )
     return NextItemResult(
         model=model.name,
         hit_ratio=hit_ratio_at_k(ranks, k=k),

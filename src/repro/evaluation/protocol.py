@@ -145,12 +145,16 @@ class IRSEvaluationProtocol:
         min_objective_interactions: int = 5,
         max_instances: int | None = None,
         history_window: int | None = 50,
+        rollout_chunk_size: int = 64,
         seed: int = 0,
     ) -> None:
+        if rollout_chunk_size <= 0:
+            raise ConfigurationError("rollout_chunk_size must be positive")
         self.split = split
         self.evaluator = evaluator
         self.max_length = max_length
         self.history_window = history_window
+        self.rollout_chunk_size = rollout_chunk_size
         self.instances = sample_objectives(
             split,
             min_objective_interactions=min_objective_interactions,
@@ -166,25 +170,37 @@ class IRSEvaluationProtocol:
         return history
 
     def generate_records(self, recommender: InfluentialRecommender) -> list[PathRecord]:
-        """Run Algorithm 1 for every evaluation instance."""
-        records: list[PathRecord] = []
-        for instance in self.instances:
-            history = self._history_for(instance)
-            path = recommender.generate_path(
-                history,
-                instance.objective,
-                user_index=instance.user_index,
-                max_length=self.max_length,
-            )
-            records.append(
-                PathRecord(
-                    user_index=instance.user_index,
-                    history=tuple(history),
-                    objective=instance.objective,
-                    path=tuple(path),
+        """Run Algorithm 1 for every evaluation instance.
+
+        Rollouts go through ``generate_paths_batch`` so recommenders with
+        batched scoring (IRN, the beam planner) fuse all instances that share
+        a step index into single transformer forwards; recommenders without
+        it transparently fall back to the per-instance loop.  Instances are
+        processed in chunks of ``rollout_chunk_size`` so the fused logits
+        tensor (``chunk * beam_width`` rows × vocab) stays bounded however
+        many test users the split has.
+        """
+        histories = [self._history_for(instance) for instance in self.instances]
+        paths: list[list[int]] = []
+        for start in range(0, len(self.instances), self.rollout_chunk_size):
+            chunk = self.instances[start : start + self.rollout_chunk_size]
+            paths.extend(
+                recommender.generate_paths_batch(
+                    histories[start : start + self.rollout_chunk_size],
+                    [instance.objective for instance in chunk],
+                    user_indices=[instance.user_index for instance in chunk],
+                    max_length=self.max_length,
                 )
             )
-        return records
+        return [
+            PathRecord(
+                user_index=instance.user_index,
+                history=tuple(history),
+                objective=instance.objective,
+                path=tuple(path),
+            )
+            for instance, history, path in zip(self.instances, histories, paths)
+        ]
 
     def score_records(self, framework: str, records: list[PathRecord]) -> IRSResult:
         """Aggregate SR / IoI / IoR / log(PPL) over generated path records."""

@@ -15,6 +15,7 @@ from repro.data.splitting import DatasetSplit
 from repro.nn.layers import Module
 from repro.nn.optim import Adam, ReduceLROnPlateau, clip_grad_norm
 from repro.nn.tensor import Tensor, no_grad
+from repro.utils.batch import broadcast_user_indices, check_batch_lengths
 from repro.utils.exceptions import NotFittedError
 from repro.utils.logging import get_logger
 from repro.utils.registry import Registry
@@ -50,6 +51,27 @@ class SequentialRecommender(abc.ABC):
     @abc.abstractmethod
     def score_next(self, history: Sequence[int], user_index: int | None = None) -> np.ndarray:
         """Return a score for every vocabulary index given ``history``."""
+
+    def score_next_batch(
+        self,
+        histories: Sequence[Sequence[int]],
+        user_indices: "Sequence[int | None] | None" = None,
+    ) -> np.ndarray:
+        """Score many histories at once, returning a ``(batch, vocab)`` array.
+
+        The default implementation loops :meth:`score_next`; models with a
+        batched forward (IRN) override it to fuse the whole batch into one
+        network call.
+        """
+        users = broadcast_user_indices(len(histories), user_indices)
+        if not histories:
+            return np.zeros((0, self.vocab_size), dtype=np.float64)
+        return np.stack(
+            [
+                np.asarray(self.score_next(history, user), dtype=np.float64)
+                for history, user in zip(histories, users)
+            ]
+        )
 
     # ------------------------------------------------------------------ #
     def _require_fitted(self) -> SequenceCorpus:
@@ -88,6 +110,26 @@ class SequentialRecommender(abc.ABC):
         scores[PAD_INDEX] = -np.inf
         target = scores[item]
         return int(np.sum(scores > target)) + 1
+
+    def rank_of_batch(
+        self,
+        histories: Sequence[Sequence[int]],
+        items: Sequence[int],
+        user_indices: "Sequence[int | None] | None" = None,
+    ) -> list[int]:
+        """1-based ranks of ``items[b]`` given ``histories[b]``, batched.
+
+        Shares one :meth:`score_next_batch` call across the whole batch and
+        vectorises the rank computation (evaluation hot path for Tables II/IV).
+        """
+        check_batch_lengths(len(histories), items=items)
+        if not histories:
+            return []
+        scores = self.score_next_batch(histories, user_indices)
+        scores[:, PAD_INDEX] = -np.inf
+        batch = np.arange(len(histories))
+        targets = scores[batch, np.asarray(list(items), dtype=np.int64)]
+        return [int(rank) for rank in (scores > targets[:, None]).sum(axis=1) + 1]
 
     def top_k(
         self,

@@ -1,0 +1,10 @@
+"""Performance measurement harness (path planning + evaluation throughput)."""
+
+from repro.perf.bench import (
+    ForwardCounter,
+    ScalarOnlyBackbone,
+    run_benchmarks,
+    smoke_config,
+)
+
+__all__ = ["ForwardCounter", "ScalarOnlyBackbone", "run_benchmarks", "smoke_config"]

@@ -1,0 +1,351 @@
+"""Benchmark harness for the batched inference engine.
+
+Measures, on the synthetic corpus, how the batched planning/evaluation paths
+compare against the scalar (pre-batching) ones:
+
+* **beam planning** — ``BeamSearchPlanner.plan_paths_batch`` (one fused
+  transformer forward per depth across all hypotheses and instances) versus
+  the same planner driven through a :class:`ScalarOnlyBackbone` facade, which
+  hides ``score_with_objective_batch`` and therefore reproduces the scalar
+  one-forward-per-hypothesis behaviour.
+* **greedy rollouts** — ``IRN.generate_paths_batch`` lockstep Algorithm 1
+  versus the per-instance ``generate_path`` loop.
+* **next-item evaluation** — ``rank_of_batch`` versus per-instance
+  ``rank_of``.
+
+Module forwards are counted with :class:`ForwardCounter` (a wrapper around
+``module.forward``), NOT wall-clock, so the CI assertions stay deterministic;
+wall-clock throughput (paths/sec, forwards/sec) is reported alongside for the
+perf trajectory.
+
+Run ``PYTHONPATH=src python -m repro.perf.bench`` from the repo root to write
+``BENCH_path_planning.json``; ``--profile smoke`` keeps it to seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.beam import BeamSearchPlanner
+from repro.core.irn import IRN
+from repro.data.preprocessing import build_corpus
+from repro.data.splitting import DatasetSplit, split_corpus
+from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
+from repro.evaluation.protocol import EvaluationInstance, sample_objectives
+from repro.nn.layers import Module
+
+__all__ = [
+    "ForwardCounter",
+    "ScalarOnlyBackbone",
+    "smoke_config",
+    "default_config",
+    "build_bench_split",
+    "run_benchmarks",
+    "main",
+]
+
+
+class ForwardCounter:
+    """Count calls to a module's ``forward`` (deterministic, no wall-clock).
+
+    Used as a context manager: wraps ``module.forward`` with a counting shim
+    for the duration of the block and restores it afterwards.
+    """
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.count = 0
+
+    def __enter__(self) -> "ForwardCounter":
+        original = self.module.forward
+
+        def counted(*args, **kwargs):
+            self.count += 1
+            return original(*args, **kwargs)
+
+        object.__setattr__(self.module, "forward", counted)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        object.__delattr__(self.module, "forward")
+
+
+class ScalarOnlyBackbone:
+    """Facade exposing only the scalar scoring API of a backbone.
+
+    Hiding ``score_with_objective_batch`` forces :class:`BeamSearchPlanner`
+    onto its per-hypothesis fallback, which reproduces the pre-batching
+    planner (one module forward per hypothesis per depth) for baseline
+    measurements and parity checks.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.name = f"{getattr(inner, 'name', type(inner).__name__)}-scalar"
+
+    @property
+    def corpus(self):
+        return self._inner.corpus
+
+    def score_with_objective(
+        self, sequence: Sequence[int], objective: int, user_index: int | None = None
+    ) -> np.ndarray:
+        return self._inner.score_with_objective(sequence, objective, user_index=user_index)
+
+
+def smoke_config() -> dict:
+    """Seconds-scale profile used by the ``pytest -m perf`` smoke test."""
+    return {
+        "profile": "smoke",
+        "synthetic": dict(
+            name="perf-smoke",
+            num_users=40,
+            num_items=60,
+            num_genres=6,
+            min_sequence_length=14,
+            max_sequence_length=28,
+            seed=0,
+        ),
+        "irn": dict(
+            embedding_dim=16,
+            user_dim=4,
+            num_heads=2,
+            num_layers=1,
+            epochs=1,
+            batch_size=32,
+            max_sequence_length=20,
+            seed=0,
+        ),
+        "beam_width": 4,
+        "branch_factor": 4,
+        "max_path_length": 8,
+        "num_instances": 8,
+        "num_eval_instances": 24,
+    }
+
+
+def default_config() -> dict:
+    """The standard profile behind ``BENCH_path_planning.json``."""
+    return {
+        "profile": "default",
+        "synthetic": dict(
+            name="perf-synthetic",
+            num_users=120,
+            num_items=240,
+            num_genres=8,
+            seed=0,
+        ),
+        "irn": dict(
+            embedding_dim=32,
+            user_dim=8,
+            num_heads=2,
+            num_layers=2,
+            epochs=2,
+            batch_size=64,
+            max_sequence_length=50,
+            seed=0,
+        ),
+        "beam_width": 4,
+        "branch_factor": 4,
+        "max_path_length": 12,
+        "num_instances": 24,
+        "num_eval_instances": 60,
+    }
+
+
+def build_bench_split(config: dict) -> DatasetSplit:
+    """Generate the synthetic corpus and split for a benchmark profile."""
+    dataset = generate_synthetic_dataset(SyntheticConfig(**config["synthetic"]))
+    corpus = build_corpus(dataset, min_interactions=3)
+    return split_corpus(corpus, l_min=6, l_max=14, validation_fraction=0.1, seed=0)
+
+
+def _timed(fn) -> tuple[object, float]:
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _throughput(paths: int, forwards: int, seconds: float) -> dict:
+    return {
+        "paths": paths,
+        "forwards": forwards,
+        "seconds": round(seconds, 4),
+        "paths_per_sec": round(paths / seconds, 2) if seconds > 0 else float("inf"),
+        "forwards_per_sec": round(forwards / seconds, 2) if seconds > 0 else float("inf"),
+    }
+
+
+def _bench_beam(irn: IRN, split: DatasetSplit, instances: list[EvaluationInstance], config: dict) -> dict:
+    contexts = [
+        (list(inst.history), inst.objective, inst.user_index) for inst in instances
+    ]
+    max_length = config["max_path_length"]
+
+    batched_planner = BeamSearchPlanner(
+        irn, beam_width=config["beam_width"], branch_factor=config["branch_factor"]
+    ).fit(split)
+    scalar_planner = BeamSearchPlanner(
+        ScalarOnlyBackbone(irn),
+        beam_width=config["beam_width"],
+        branch_factor=config["branch_factor"],
+    ).fit(split)
+
+    with ForwardCounter(irn.module) as counter:
+        scalar_paths, scalar_seconds = _timed(
+            lambda: [
+                scalar_planner.plan_path(history, objective, user_index=user, max_length=max_length)
+                for history, objective, user in contexts
+            ]
+        )
+        scalar_forwards = counter.count
+
+    with ForwardCounter(irn.module) as counter:
+        batched_paths, batched_seconds = _timed(
+            lambda: batched_planner.plan_paths_batch(
+                [c[0] for c in contexts],
+                [c[1] for c in contexts],
+                [c[2] for c in contexts],
+                max_length=max_length,
+            )
+        )
+        batched_forwards = counter.count
+
+    return {
+        "beam_width": config["beam_width"],
+        "branch_factor": config["branch_factor"],
+        "max_path_length": max_length,
+        "num_instances": len(contexts),
+        "scalar": _throughput(len(scalar_paths), scalar_forwards, scalar_seconds),
+        "batched": _throughput(len(batched_paths), batched_forwards, batched_seconds),
+        "forward_reduction": round(scalar_forwards / max(batched_forwards, 1), 2),
+        "speedup": round(scalar_seconds / batched_seconds, 2) if batched_seconds > 0 else float("inf"),
+        "plans_equal": scalar_paths == batched_paths,
+    }
+
+
+def _bench_greedy(irn: IRN, instances: list[EvaluationInstance], config: dict) -> dict:
+    contexts = [
+        (list(inst.history), inst.objective, inst.user_index) for inst in instances
+    ]
+    max_length = config["max_path_length"]
+
+    with ForwardCounter(irn.module) as counter:
+        scalar_paths, scalar_seconds = _timed(
+            lambda: [
+                irn.generate_path(history, objective, user_index=user, max_length=max_length)
+                for history, objective, user in contexts
+            ]
+        )
+        scalar_forwards = counter.count
+
+    with ForwardCounter(irn.module) as counter:
+        batched_paths, batched_seconds = _timed(
+            lambda: irn.generate_paths_batch(
+                [c[0] for c in contexts],
+                [c[1] for c in contexts],
+                [c[2] for c in contexts],
+                max_length=max_length,
+            )
+        )
+        batched_forwards = counter.count
+
+    return {
+        "max_path_length": max_length,
+        "num_instances": len(contexts),
+        "scalar": _throughput(len(scalar_paths), scalar_forwards, scalar_seconds),
+        "batched": _throughput(len(batched_paths), batched_forwards, batched_seconds),
+        "forward_reduction": round(scalar_forwards / max(batched_forwards, 1), 2),
+        "speedup": round(scalar_seconds / batched_seconds, 2) if batched_seconds > 0 else float("inf"),
+        "plans_equal": scalar_paths == batched_paths,
+    }
+
+
+def _bench_nextitem(irn: IRN, split: DatasetSplit, config: dict) -> dict:
+    instances = split.test[: config["num_eval_instances"]]
+    histories = [list(inst.history) for inst in instances]
+    targets = [inst.target for inst in instances]
+    users = [inst.user_index for inst in instances]
+
+    with ForwardCounter(irn.module) as counter:
+        scalar_ranks, scalar_seconds = _timed(
+            lambda: [
+                irn.rank_of(history, target, user_index=user)
+                for history, target, user in zip(histories, targets, users)
+            ]
+        )
+        scalar_forwards = counter.count
+
+    with ForwardCounter(irn.module) as counter:
+        batched_ranks, batched_seconds = _timed(
+            lambda: irn.rank_of_batch(histories, targets, users)
+        )
+        batched_forwards = counter.count
+
+    return {
+        "num_instances": len(instances),
+        "scalar": _throughput(len(scalar_ranks), scalar_forwards, scalar_seconds),
+        "batched": _throughput(len(batched_ranks), batched_forwards, batched_seconds),
+        "forward_reduction": round(scalar_forwards / max(batched_forwards, 1), 2),
+        "ranks_equal": list(scalar_ranks) == list(batched_ranks),
+    }
+
+
+def run_benchmarks(profile: str = "default", output: str | None = None) -> dict:
+    """Train a small IRN on the synthetic corpus and time scalar vs batched.
+
+    Returns the report dict; when ``output`` is given it is also written there
+    as JSON (the repo-root ``BENCH_path_planning.json`` artefact).
+    """
+    config = smoke_config() if profile == "smoke" else default_config()
+    split = build_bench_split(config)
+    irn = IRN(**config["irn"]).fit(split)
+    instances = sample_objectives(
+        split,
+        min_objective_interactions=2,
+        seed=0,
+        max_instances=config["num_instances"],
+    )
+
+    report = {
+        "benchmark": "path_planning",
+        "profile": config["profile"],
+        "dataset": config["synthetic"]["name"],
+        "vocab_size": split.corpus.vocab.size,
+        "num_users": split.corpus.num_users,
+        "beam_planning": _bench_beam(irn, split, instances, config),
+        "greedy_planning": _bench_greedy(irn, instances, config),
+        "nextitem_evaluation": _bench_nextitem(irn, split, config),
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=["smoke", "default"], default="default")
+    parser.add_argument("--output", default="BENCH_path_planning.json")
+    args = parser.parse_args(argv)
+    # Fail on an unwritable output path BEFORE spending minutes benchmarking.
+    with open(args.output, "a", encoding="utf-8"):
+        pass
+    report = run_benchmarks(profile=args.profile, output=args.output)
+    beam = report["beam_planning"]
+    print(json.dumps(report, indent=2))
+    print(
+        f"\nbeam planning: {beam['scalar']['forwards']} -> {beam['batched']['forwards']} forwards "
+        f"({beam['forward_reduction']}x fewer), "
+        f"{beam['scalar']['paths_per_sec']} -> {beam['batched']['paths_per_sec']} paths/sec"
+    )
+
+
+if __name__ == "__main__":
+    main()

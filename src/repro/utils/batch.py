@@ -1,0 +1,28 @@
+"""Validation helpers shared by the batched inference entry points."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["broadcast_user_indices", "check_batch_lengths"]
+
+T = TypeVar("T")
+
+
+def broadcast_user_indices(
+    count: int, user_indices: "Sequence[int | None] | None"
+) -> "list[int | None]":
+    """Default missing user indices to ``None`` and validate the batch size."""
+    users = list(user_indices) if user_indices is not None else [None] * count
+    if len(users) != count:
+        raise ConfigurationError(f"got {len(users)} user indices for a batch of {count}")
+    return users
+
+
+def check_batch_lengths(count: int, **named: Sequence[T]) -> None:
+    """Raise when any named sequence disagrees with the batch size ``count``."""
+    for name, values in named.items():
+        if len(values) != count:
+            raise ConfigurationError(f"got {len(values)} {name} for a batch of {count}")

@@ -1,0 +1,283 @@
+"""Batched-vs-scalar parity tests for the fused inference engine.
+
+The batched entry points (``score_with_objective_batch``, ``score_next_batch``,
+``plan_paths_batch``, ``generate_paths_batch``, ``rank_of_batch``) must agree
+with the scalar implementations they fuse — across ragged lengths, missing
+user indices and empty histories — while issuing strictly fewer module
+forwards.  Scores are compared under the documented floating-point tolerance
+(batched rows run through padded BLAS calls whose summation order may differ
+in the last ulps); plans and ranks must match exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.beam import BeamSearchPlanner
+from repro.core.irn import IRN
+from repro.evaluation.protocol import sample_objectives
+from repro.perf.bench import ForwardCounter, ScalarOnlyBackbone
+
+RTOL, ATOL = 1e-7, 1e-8
+
+
+@pytest.fixture(scope="module")
+def irn(tiny_split):
+    model = IRN(
+        embedding_dim=16,
+        user_dim=4,
+        num_heads=2,
+        num_layers=1,
+        epochs=1,
+        batch_size=32,
+        max_sequence_length=20,
+        seed=0,
+    )
+    return model.fit(tiny_split)
+
+
+@pytest.fixture(scope="module")
+def ragged_cases(tiny_split):
+    """(sequence, objective, user_index) cases across lengths and user modes."""
+    test = tiny_split.test
+    return [
+        ([], 5, 0),  # empty history
+        ([3], 7, None),  # singleton, no user
+        (list(test[0].history), test[0].target, test[0].user_index),
+        (list(test[1].history)[:4], test[1].target, None),
+        (list(test[2].history) * 3, test[2].target, 10_000),  # long (clipped), unknown user
+        (list(test[3].history)[:9], test[3].target, test[3].user_index),
+    ]
+
+
+class TestObjectiveScoringParity:
+    def test_batch_matches_stacked_scalar(self, irn, ragged_cases):
+        sequences = [case[0] for case in ragged_cases]
+        objectives = [case[1] for case in ragged_cases]
+        users = [case[2] for case in ragged_cases]
+        batched = irn.score_with_objective_batch(sequences, objectives, users)
+        stacked = np.stack(
+            [
+                irn.score_with_objective(seq, obj, user_index=user)
+                for seq, obj, user in ragged_cases
+            ]
+        )
+        assert batched.shape == stacked.shape
+        np.testing.assert_allclose(batched, stacked, rtol=RTOL, atol=ATOL)
+
+    def test_batch_without_user_indices(self, irn, ragged_cases):
+        sequences = [case[0] for case in ragged_cases]
+        objectives = [case[1] for case in ragged_cases]
+        batched = irn.score_with_objective_batch(sequences, objectives)
+        stacked = np.stack(
+            [irn.score_with_objective(seq, obj) for seq, obj in zip(sequences, objectives)]
+        )
+        np.testing.assert_allclose(batched, stacked, rtol=RTOL, atol=ATOL)
+
+    def test_empty_batch(self, irn, tiny_split):
+        scores = irn.score_with_objective_batch([], [])
+        assert scores.shape == (0, tiny_split.corpus.vocab.size)
+
+    def test_single_batch_uses_one_forward(self, irn, ragged_cases):
+        sequences = [case[0] for case in ragged_cases]
+        objectives = [case[1] for case in ragged_cases]
+        with ForwardCounter(irn.module) as counter:
+            irn.score_with_objective_batch(sequences, objectives)
+        assert counter.count == 1
+
+
+class TestNextItemScoringParity:
+    def test_batch_matches_stacked_scalar(self, irn, ragged_cases):
+        histories = [case[0] for case in ragged_cases]
+        users = [case[2] for case in ragged_cases]
+        batched = irn.score_next_batch(histories, users)
+        stacked = np.stack(
+            [irn.score_next(history, user) for history, user in zip(histories, users)]
+        )
+        np.testing.assert_allclose(batched, stacked, rtol=RTOL, atol=ATOL)
+
+    def test_rank_of_batch_matches_scalar(self, irn, tiny_split):
+        instances = tiny_split.test[:8]
+        batched = irn.rank_of_batch(
+            [list(inst.history) for inst in instances],
+            [inst.target for inst in instances],
+            [inst.user_index for inst in instances],
+        )
+        scalar = [
+            irn.rank_of(list(inst.history), inst.target, user_index=inst.user_index)
+            for inst in instances
+        ]
+        assert batched == scalar
+
+
+class TestGreedyRolloutParity:
+    def test_lockstep_paths_match_scalar_loop(self, irn, tiny_split):
+        instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=8)
+        batched = irn.generate_paths_batch(
+            [list(inst.history) for inst in instances],
+            [inst.objective for inst in instances],
+            [inst.user_index for inst in instances],
+            max_length=8,
+        )
+        scalar = [
+            irn.generate_path(
+                list(inst.history), inst.objective, user_index=inst.user_index, max_length=8
+            )
+            for inst in instances
+        ]
+        assert batched == scalar
+
+    def test_lockstep_uses_fewer_forwards(self, irn, tiny_split):
+        instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=6)
+        histories = [list(inst.history) for inst in instances]
+        objectives = [inst.objective for inst in instances]
+        with ForwardCounter(irn.module) as scalar_counter:
+            for history, objective in zip(histories, objectives):
+                irn.generate_path(history, objective, max_length=6)
+        with ForwardCounter(irn.module) as batched_counter:
+            irn.generate_paths_batch(histories, objectives, max_length=6)
+        assert batched_counter.count < scalar_counter.count
+
+
+class TestBeamParity:
+    @pytest.fixture(scope="class")
+    def planners(self, irn, tiny_split):
+        batched = BeamSearchPlanner(irn, beam_width=4, branch_factor=4).fit(tiny_split)
+        scalar = BeamSearchPlanner(
+            ScalarOnlyBackbone(irn), beam_width=4, branch_factor=4
+        ).fit(tiny_split)
+        return batched, scalar
+
+    def test_plans_identical_to_scalar_expansion(self, planners, tiny_split):
+        batched, scalar = planners
+        instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=6)
+        for inst in instances:
+            plan_batched = batched.plan_path(
+                list(inst.history), inst.objective, user_index=inst.user_index, max_length=8
+            )
+            plan_scalar = scalar.plan_path(
+                list(inst.history), inst.objective, user_index=inst.user_index, max_length=8
+            )
+            assert plan_batched == plan_scalar
+
+    def test_lockstep_plan_paths_batch_matches_per_instance(self, planners, tiny_split):
+        batched, _ = planners
+        instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=6)
+        fused = batched.plan_paths_batch(
+            [list(inst.history) for inst in instances],
+            [inst.objective for inst in instances],
+            [inst.user_index for inst in instances],
+            max_length=8,
+        )
+        individual = [
+            batched.plan_path(
+                list(inst.history), inst.objective, user_index=inst.user_index, max_length=8
+            )
+            for inst in instances
+        ]
+        assert fused == individual
+
+    def test_beam_width_4_uses_4x_fewer_forwards(self, planners, irn, tiny_split):
+        batched, scalar = planners
+        instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=6)
+        histories = [list(inst.history) for inst in instances]
+        objectives = [inst.objective for inst in instances]
+        users = [inst.user_index for inst in instances]
+        with ForwardCounter(irn.module) as scalar_counter:
+            for history, objective, user in zip(histories, objectives, users):
+                scalar.plan_path(history, objective, user_index=user, max_length=8)
+        with ForwardCounter(irn.module) as batched_counter:
+            batched.plan_paths_batch(histories, objectives, users, max_length=8)
+        assert batched_counter.count * 4 <= scalar_counter.count
+
+
+class TestBatchValidation:
+    def test_mismatched_lengths_raise(self, irn):
+        from repro.utils.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            irn.score_with_objective_batch([[1, 2], [3]], [5])
+        with pytest.raises(ConfigurationError):
+            irn.score_with_objective_batch([[1, 2]], [5], [0, 1])
+        with pytest.raises(ConfigurationError):
+            irn.generate_paths_batch([[1], [2]], [5, 6], user_indices=[0], max_length=4)
+        with pytest.raises(ConfigurationError):
+            irn.rank_of_batch([[1], [2]], [3])
+
+
+class TestTopKTieBreaking:
+    def test_boundary_ties_keep_lowest_indices(self, tiny_split):
+        """argpartition may admit any tied index at the k-th boundary; the
+        repair pass must restore the scalar stable-argsort choice (lowest)."""
+        from repro.core.beam import _Hypothesis
+
+        vocab = tiny_split.corpus.vocab.size
+        scores = np.full(vocab, -np.inf)
+        # Three clear winners and a three-way tie for the final (4th) slot.
+        scores[[2, 5, 9]] = [3.0, 2.5, 2.0]
+        scores[[11, 17, 23]] = 1.0
+
+        class _TiedBackbone:
+            corpus = tiny_split.corpus
+
+            def score_with_objective(self, sequence, objective, user_index=None):
+                return scores
+
+            def score_with_objective_batch(self, sequences, objectives, user_indices):
+                return np.tile(scores, (len(sequences), 1))
+
+        planner = BeamSearchPlanner(_TiedBackbone(), beam_width=4, branch_factor=4)
+        planner.corpus = tiny_split.corpus
+        expansions = planner._expand_all(
+            [_Hypothesis(items=(), log_probability=0.0, reached=False)],
+            [[]],
+            [2],
+            [None],
+        )
+        items = [child.items[-1] for child in expansions[0]]
+        assert items == [2, 5, 9, 11]  # lowest tied index wins, argsort order
+
+
+class TestLogSoftmaxEdgeCases:
+    def test_all_masked_scores_return_neg_inf(self, irn, tiny_split):
+        """Satellite fix: an all ``-inf`` row must not crash on empty ``np.max``."""
+        planner = BeamSearchPlanner(irn).fit(tiny_split)
+        scores = np.full(7, -np.inf)
+        log_probs = planner._log_softmax(scores)
+        assert np.all(np.isneginf(log_probs))
+
+    def test_mixed_rows(self, irn, tiny_split):
+        planner = BeamSearchPlanner(irn).fit(tiny_split)
+        rows = np.array([[-np.inf, 1.0, 2.0, 0.5], [-np.inf] * 4])
+        log_probs = planner._log_softmax_rows(rows)
+        assert np.exp(log_probs[0, 1:]).sum() == pytest.approx(1.0)
+        assert log_probs[0, 0] == -np.inf
+        assert np.all(np.isneginf(log_probs[1]))
+
+
+class TestProtocolIntegration:
+    def test_generate_records_uses_batched_rollouts(self, irn, tiny_split, markov_evaluator):
+        from repro.evaluation.protocol import IRSEvaluationProtocol
+
+        protocol = IRSEvaluationProtocol(
+            tiny_split,
+            markov_evaluator,
+            max_length=6,
+            min_objective_interactions=2,
+            max_instances=6,
+        )
+        records = protocol.generate_records(irn)
+        assert len(records) == len(protocol.instances)
+        expected = [
+            tuple(
+                irn.generate_path(
+                    protocol._history_for(inst),
+                    inst.objective,
+                    user_index=inst.user_index,
+                    max_length=6,
+                )
+            )
+            for inst in protocol.instances
+        ]
+        assert [record.path for record in records] == expected
