@@ -49,3 +49,24 @@ def test_batched_nextitem_evaluation_reduces_forwards_and_matches(smoke_report):
     nextitem = smoke_report["nextitem_evaluation"]
     assert nextitem["batched"]["forwards"] < nextitem["scalar"]["forwards"]
     assert nextitem["ranks_equal"]
+
+
+def test_stepwise_replanning_token_work_reduction(smoke_report):
+    """Cache-PR acceptance: >= 2x less transformer token-work for the
+    ``next_step``-driven IRS evaluation versus the PR 1 baseline, with the
+    cached paths matching dedicated-planner (isolated) serving semantics."""
+    stepwise = smoke_report["irs_stepwise_replanning"]
+    assert stepwise["token_work_reduction"] >= 2.0
+    assert stepwise["cached_paths_match_isolated"]
+    counters = stepwise["cache_counters"]
+    assert counters["serving"]["served_from_plan"] > 0
+    assert counters["serving"]["replans"] == stepwise["num_instances"]
+    assert counters["step_cache"]["hit_rate"] > 0
+
+
+def test_incremental_decoding_reduces_token_work_with_identical_plans(smoke_report):
+    incremental = smoke_report["incremental_decoding"]
+    assert incremental["plans_equal"]
+    assert incremental["token_work_reduction"] >= 2.0
+    assert incremental["incremental"]["tokens_incremental"] > 0
+    assert incremental["incremental"]["tokens_fallback"] == 0

@@ -1,0 +1,136 @@
+"""Per-layer key/value state for incremental transformer decoding.
+
+A :class:`LayerKVCache` stores the attention keys/values a
+:class:`~repro.nn.attention.MultiHeadAttention` layer has already projected
+for a batch of growing sequences, so a later forward pass only has to project
+the newly appended token(s) and attend over the cached prefix.  A
+:class:`DecodingState` stacks one cache per encoder layer and keeps the
+per-row bookkeeping aligned when beam search prunes, reorders or duplicates
+hypotheses.
+
+Exactness contract
+------------------
+Cached prefix keys/values are *projections of that layer's past inputs*.
+Reusing them is exact only while those inputs cannot change when the
+sequence grows:
+
+* **Causal masks, any depth** — position ``j`` never attends to positions
+  ``> j``, so appending a token leaves every prefix hidden state (and hence
+  every layer's prefix K/V) untouched.
+* **Single-layer stacks, any additive mask** — layer 1's K/V are projections
+  of the raw input embeddings, which are fixed per position regardless of
+  what the mask reveals.
+
+The paper's PIM breaks the first condition for deeper stacks: every prefix
+position attends to the objective item, and the objective's *position
+embedding moves* every time the path grows, so prefix hidden states at
+layers ``>= 2`` change at every decoding step.  Callers (see
+:meth:`repro.core.irn.IRN.begin_decoding_session`) must therefore gate
+incremental decoding on this contract and fall back to full re-encoding
+otherwise; the cache itself is policy-free.
+
+Caches are inference-only: they hold raw ``numpy`` arrays detached from the
+autograd graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["LayerKVCache", "DecodingState"]
+
+
+class LayerKVCache:
+    """Cached attention keys/values of one layer, shape ``(batch, heads, len, d_head)``."""
+
+    def __init__(self) -> None:
+        self.keys: np.ndarray | None = None
+        self.values: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def length(self) -> int:
+        """Number of cached key/value positions (0 when empty)."""
+        return 0 if self.keys is None else int(self.keys.shape[2])
+
+    @property
+    def batch_size(self) -> int | None:
+        """Number of cached rows, or ``None`` when the cache is empty."""
+        return None if self.keys is None else int(self.keys.shape[0])
+
+    # ------------------------------------------------------------------ #
+    def extend(
+        self, keys: np.ndarray, values: np.ndarray, persist: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Append newly projected K/V and return the full arrays to attend over.
+
+        ``keys``/``values`` are ``(batch, heads, new, d_head)`` arrays for the
+        newly processed positions.  Only the first ``persist`` new positions
+        are retained in the cache (default: all of them); the rest are
+        *transient* — they participate in this forward pass (e.g. the
+        objective item, whose position embedding changes every step and must
+        be re-projected each call) but are not part of the growing prefix.
+        """
+        if keys.shape != values.shape:
+            raise ConfigurationError(
+                f"key/value shapes disagree: {keys.shape} vs {values.shape}"
+            )
+        new = int(keys.shape[2])
+        persist = new if persist is None else int(persist)
+        if not 0 <= persist <= new:
+            raise ConfigurationError(
+                f"persist must be in [0, {new}], got {persist}"
+            )
+        if self.keys is None:
+            full_keys, full_values = keys, values
+        else:
+            if self.keys.shape[0] != keys.shape[0]:
+                raise ConfigurationError(
+                    f"cache holds {self.keys.shape[0]} rows but got {keys.shape[0]}; "
+                    "reorder() the cache before extending with a different batch"
+                )
+            full_keys = np.concatenate([self.keys, keys], axis=2)
+            full_values = np.concatenate([self.values, values], axis=2)
+        width = self.length + persist
+        self.keys = full_keys[:, :, :width]
+        self.values = full_values[:, :, :width]
+        return full_keys, full_values
+
+    def reorder(self, rows: np.ndarray) -> None:
+        """Re-index the batch dimension (prune / duplicate / permute rows)."""
+        if self.keys is None:
+            return
+        rows = np.asarray(rows, dtype=np.int64)
+        self.keys = self.keys[rows]
+        self.values = self.values[rows]
+
+
+class DecodingState:
+    """A stack of per-layer :class:`LayerKVCache`, one per encoder layer."""
+
+    def __init__(self, num_layers: int) -> None:
+        if num_layers <= 0:
+            raise ConfigurationError(f"num_layers must be positive, got {num_layers}")
+        self.layers = [LayerKVCache() for _ in range(num_layers)]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    @property
+    def length(self) -> int:
+        """Cached prefix length (all layers stay in lockstep)."""
+        return self.layers[0].length
+
+    @property
+    def batch_size(self) -> int | None:
+        return self.layers[0].batch_size
+
+    def reorder(self, rows: np.ndarray) -> None:
+        """Re-index every layer's cache rows (beam pruning / re-ranking)."""
+        for layer in self.layers:
+            layer.reorder(rows)

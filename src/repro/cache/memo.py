@@ -1,0 +1,84 @@
+"""Bounded LRU memoisation of planned influence paths.
+
+:class:`PlanCache` maps a planning context key — the issue's
+``(tuple(history), objective, user_index, max_length)`` — to an immutable
+planned path, with hit/miss/eviction counters for the perf harness.  A
+``maxsize`` of 0 disables the cache entirely (every ``get`` misses, ``put``
+is a no-op), which is how the benchmark reproduces the pre-cache baseline.
+
+The cache is deliberately value-agnostic: :class:`~repro.core.beam.
+BeamSearchPlanner` uses one instance for finished plans and a second one for
+the evolving per-context serving plans behind ``next_step`` (the
+generalisation of its old single replan slot), so the two families of
+entries can never shadow each other.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """A bounded LRU mapping hashable planning keys to memoised values."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 0:
+            raise ConfigurationError(f"maxsize must be non-negative, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable):
+        """Return the cached value (refreshing its recency) or ``None``."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert/refresh an entry, evicting the least recently used beyond ``maxsize``."""
+        if self.maxsize == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (model retrain invalidation); counters are kept."""
+        if self._data:
+            self.invalidations += 1
+        self._data.clear()
+
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> dict:
+        """Counters for the perf harness / ``BENCH_path_planning.json``."""
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
+        }

@@ -1,0 +1,77 @@
+"""Decode-work accounting for the cache subsystem.
+
+The batched inference engine of PR 1 counted *module forwards*; with
+incremental decoding a "forward" can encode anywhere from two tokens (one
+appended path item plus the re-projected objective) to a full right-aligned
+window, so the perf harness needs a finer unit.  :class:`DecodeStats` counts
+**token-work**: the number of ``(row, column)`` positions each transformer
+call actually encodes.  Full windows contribute ``batch * width``;
+incremental steps contribute ``batch * new_tokens``.
+
+One instance lives on every :class:`~repro.core.irn.IRN`
+(``irn.decode_stats``) and is reset by ``fit``; the benchmark snapshots it
+around each measured workload.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DecodeStats"]
+
+
+class DecodeStats:
+    """Counters of transformer decode work, by kind of forward pass."""
+
+    _FIELDS = (
+        "full_forwards",
+        "incremental_forwards",
+        "fallback_forwards",
+        "tokens_full",
+        "tokens_incremental",
+        "tokens_fallback",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for field in self._FIELDS:
+            setattr(self, field, 0)
+
+    # ------------------------------------------------------------------ #
+    def record_full(self, tokens: int) -> None:
+        """A full-window forward (no cache involved)."""
+        self.full_forwards += 1
+        self.tokens_full += int(tokens)
+
+    def record_incremental(self, tokens: int) -> None:
+        """An incremental step attending over cached prefix K/V."""
+        self.incremental_forwards += 1
+        self.tokens_incremental += int(tokens)
+
+    def record_fallback(self, tokens: int) -> None:
+        """A full re-encode forced by the exactness contract (see cache.kv)."""
+        self.fallback_forwards += 1
+        self.tokens_fallback += int(tokens)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def forwards(self) -> int:
+        """Total transformer calls of any kind."""
+        return self.full_forwards + self.incremental_forwards + self.fallback_forwards
+
+    @property
+    def tokens_encoded(self) -> int:
+        """Total token-work across all forward kinds."""
+        return self.tokens_full + self.tokens_incremental + self.tokens_fallback
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy (for before/after deltas in the benchmark)."""
+        report = {field: getattr(self, field) for field in self._FIELDS}
+        report["forwards"] = self.forwards
+        report["tokens_encoded"] = self.tokens_encoded
+        return report
+
+    @staticmethod
+    def delta(before: dict, after: dict) -> dict:
+        """Field-wise ``after - before`` of two :meth:`snapshot` dicts."""
+        return {key: after[key] - before[key] for key in after}

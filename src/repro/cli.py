@@ -9,11 +9,16 @@ Examples
     repro-irs all --profile default --output results.txt
     repro-irs ablation-decoding --profile fast
     repro-irs ext-interactive --dataset lastfm
+    repro-irs bench --profile fast
 
 ``all`` regenerates every table and figure of the paper; the ``ablation-*``
 and ``ext-*`` artefacts cover the design-choice ablations and the
 future-work extensions (interactive simulation, knowledge graph, category
-objectives, path quality) and are run individually.
+objectives, path quality) and are run individually.  ``bench`` runs the
+:mod:`repro.perf.bench` harness (batched inference + cache subsystem) and
+prints cache hit rates and forwards/sec; ``--profile fast`` maps to the
+seconds-scale smoke profile and ``--output`` overrides the JSON artefact
+path (default ``BENCH_path_planning.json``).
 """
 
 from __future__ import annotations
@@ -67,8 +72,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artefact",
-        choices=sorted(_TABLES) + sorted(_FIGURES) + sorted(_ABLATIONS) + sorted(_EXTENSIONS) + ["all"],
-        help="which table/figure/ablation/extension to regenerate ('all' covers the paper artefacts)",
+        choices=sorted(_TABLES)
+        + sorted(_FIGURES)
+        + sorted(_ABLATIONS)
+        + sorted(_EXTENSIONS)
+        + ["all", "bench"],
+        help=(
+            "which table/figure/ablation/extension to regenerate ('all' covers the "
+            "paper artefacts; 'bench' runs the performance harness)"
+        ),
     )
     parser.add_argument("--dataset", choices=["movielens", "lastfm"], default="movielens")
     parser.add_argument(
@@ -170,10 +182,42 @@ def _render(artefact: str, pipeline: ExperimentPipeline, config: ExperimentConfi
     raise ValueError(f"unknown artefact '{artefact}'")
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """The ``bench`` artefact: run the perf harness and print cache hit rates."""
+    from repro.perf.bench import format_summary, run_benchmarks
+
+    # The harness always benchmarks its fixed-seed synthetic corpus; say so
+    # loudly instead of silently ignoring dataset-shaping options.
+    ignored = [
+        name
+        for name, value, default in (
+            ("--dataset", args.dataset, "movielens"),
+            ("--seed", args.seed, 0),
+            ("--scale", args.scale, None),
+            ("--data-directory", args.data_directory, None),
+        )
+        if value != default
+    ]
+    if ignored:
+        print(
+            f"warning: bench ignores {', '.join(ignored)} — it always runs the "
+            "fixed-seed synthetic perf corpus (see repro.perf.bench)",
+            file=sys.stderr,
+        )
+    profile = "smoke" if args.profile == "fast" else "default"
+    output = args.output or "BENCH_path_planning.json"
+    report = run_benchmarks(profile=profile, output=output)
+    print(format_summary(report))
+    print(f"report written to {output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.artefact == "bench":
+        return _run_bench(args)
     config = _make_config(args)
     pipeline = ExperimentPipeline(config)
 

@@ -30,15 +30,35 @@ Seen-item masking is a single fancy indexed assignment and per-hypothesis
 top-``k`` selection uses ``np.argpartition`` over the vocabulary instead of
 a full sort; candidate ordering and tie-breaking exactly reproduce the
 pre-batching stable ``argsort`` implementation, so plans are unchanged.
+
+Caching
+-------
+Two layers from :mod:`repro.cache` sit on top of the batched expansion:
+
+* **Incremental decoding** — when the backbone exposes decoding sessions
+  (:meth:`~repro.core.irn.IRN.begin_decoding_session`), each depth gathers
+  the K/V cache rows of the surviving hypotheses and encodes only the one
+  newly appended token per hypothesis instead of the full right-aligned
+  window.  Plans are identical; the per-depth token-work collapses whenever
+  the backbone's exactness contract holds (see :mod:`repro.cache.kv`).
+* **Plan memoisation** — a bounded LRU :class:`~repro.cache.memo.PlanCache`
+  keyed by ``(tuple(history), objective, user_index, max_length)`` short-
+  circuits :meth:`plan_paths_batch` for contexts planned before, and a
+  second LRU generalises the old single ``next_step`` replan slot so many
+  interleaved serving contexts (e.g. the lockstep stepwise IRS evaluation)
+  no longer thrash each other into constant replanning.  Both caches are
+  invalidated by :meth:`fit` and whenever the backbone's ``fit_generation``
+  changes (model retrain).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.cache.memo import PlanCache
 from repro.core.base import InfluentialRecommender, influential_registry
 from repro.core.influence_path import mask_session_items
 from repro.data.splitting import DatasetSplit
@@ -65,6 +85,10 @@ class _Hypothesis:
     items: tuple[int, ...]
     log_probability: float
     reached: bool
+    #: row index of the parent in the previous depth's scoring batch — the
+    #: decoding-session cache row this hypothesis extends (compare=False so
+    #: hypothesis identity stays purely semantic).
+    parent_row: int = field(default=-1, compare=False)
 
     def score(self, objective_bonus: float) -> float:
         """Length-normalised log-probability plus the completion bonus."""
@@ -90,6 +114,21 @@ class BeamSearchPlanner(InfluentialRecommender):
         the objective; larger values prefer *reaching* over smoothness.
     fit_backbone:
         Whether :meth:`fit` should also fit the backbone.
+    max_length:
+        Default path-length budget shared by :meth:`plan_path`,
+        :meth:`plan_paths_batch` and (as the replanning horizon)
+        :meth:`next_step` — previously a hardcoded ``20`` inside
+        ``next_step``.
+    plan_cache_size:
+        Bound of the finished-plan LRU consulted by :meth:`plan_paths_batch`
+        before replanning (0 disables memoisation).
+    step_cache_size:
+        Bound of the per-context serving-plan LRU behind :meth:`next_step`.
+        Size 1 reproduces the pre-cache behaviour (a single replan slot that
+        interleaved contexts thrash); must be at least 1.
+    use_decoding_sessions:
+        Thread incremental decoding sessions through depth expansion when the
+        backbone supports them (plans are identical either way).
     """
 
     name = "IRN-beam"
@@ -101,6 +140,10 @@ class BeamSearchPlanner(InfluentialRecommender):
         branch_factor: int = 4,
         objective_bonus: float = 1.0,
         fit_backbone: bool = False,
+        max_length: int = 20,
+        plan_cache_size: int = 256,
+        step_cache_size: int = 64,
+        use_decoding_sessions: bool = True,
     ) -> None:
         super().__init__()
         if not hasattr(backbone, "score_with_objective"):
@@ -111,15 +154,24 @@ class BeamSearchPlanner(InfluentialRecommender):
             raise ConfigurationError("beam_width and branch_factor must be positive")
         if objective_bonus < 0:
             raise ConfigurationError("objective_bonus must be non-negative")
+        if max_length <= 0:
+            raise ConfigurationError(f"max_length must be positive, got {max_length}")
+        if step_cache_size < 1:
+            raise ConfigurationError("step_cache_size must be at least 1")
         self.backbone = backbone
         self.beam_width = beam_width
         self.branch_factor = branch_factor
         self.objective_bonus = objective_bonus
         self.fit_backbone = fit_backbone
+        self.max_length = max_length
+        self.use_decoding_sessions = use_decoding_sessions
+        self.plan_cache = PlanCache(plan_cache_size)
+        self._step_cache = PlanCache(step_cache_size)
+        self._serving_hits = 0
+        self._serving_replans = 0
+        self._backbone_generation = getattr(backbone, "fit_generation", None)
         backbone_name = getattr(backbone, "name", type(backbone).__name__)
         self.name = f"{backbone_name}-beam"
-        self._plan_key: tuple | None = None
-        self._plan: list[int] = []
 
     # ------------------------------------------------------------------ #
     def fit(self, split: DatasetSplit) -> "BeamSearchPlanner":
@@ -129,7 +181,35 @@ class BeamSearchPlanner(InfluentialRecommender):
         backbone_corpus = getattr(self.backbone, "corpus", None)
         if backbone_corpus is None:
             raise ConfigurationError("the beam-search backbone must be fitted")
+        # (Re)fitting invalidates every memoised plan unconditionally.
+        self.invalidate_caches()
         return self
+
+    # ------------------------------------------------------------------ #
+    # Cache management
+    # ------------------------------------------------------------------ #
+    def invalidate_caches(self) -> None:
+        """Drop all memoised plans (called on fit and on backbone retrain)."""
+        self.plan_cache.clear()
+        self._step_cache.clear()
+        self._backbone_generation = getattr(self.backbone, "fit_generation", None)
+
+    def _sync_backbone_generation(self) -> None:
+        """Invalidate memoised plans if the backbone was retrained under us."""
+        generation = getattr(self.backbone, "fit_generation", None)
+        if generation != self._backbone_generation:
+            self.invalidate_caches()
+
+    def cache_info(self) -> dict:
+        """Hit/miss/eviction counters of both plan caches (for the bench)."""
+        return {
+            "plan_cache": self.plan_cache.cache_info(),
+            "step_cache": self._step_cache.cache_info(),
+            "serving": {
+                "served_from_plan": self._serving_hits,
+                "replans": self._serving_replans,
+            },
+        }
 
     # ------------------------------------------------------------------ #
     def _log_softmax_rows(self, scores: np.ndarray) -> np.ndarray:
@@ -178,15 +258,19 @@ class BeamSearchPlanner(InfluentialRecommender):
         sequences: list[list[int]],
         objectives: list[int],
         user_indices: "list[int | None]",
+        scores: np.ndarray | None = None,
     ) -> list[list[_Hypothesis]]:
         """Expand many hypotheses with ONE batched scoring call.
 
         Returns the children of each parent in the same order the scalar
         implementation produced them: descending log-probability with ties
         broken by item index (the stable-``argsort`` order), non-finite
-        candidates dropped.
+        candidates dropped.  ``scores`` may carry pre-computed backbone
+        scores for the rows (the decoding-session path); otherwise one
+        batched scoring call is issued here.
         """
-        scores = self._batched_scores(sequences, objectives, user_indices)
+        if scores is None:
+            scores = self._batched_scores(sequences, objectives, user_indices)
         mask_session_items(scores, sequences, objectives)
         log_probs = self._log_softmax_rows(scores)
         count, vocab = log_probs.shape
@@ -218,6 +302,7 @@ class BeamSearchPlanner(InfluentialRecommender):
                     items=parent.items + (int(item),),
                     log_probability=parent.log_probability + float(value),
                     reached=int(item) == objective,
+                    parent_row=row,
                 )
                 for item, value in zip(top[row], top_values[row])
                 if np.isfinite(value)
@@ -230,7 +315,7 @@ class BeamSearchPlanner(InfluentialRecommender):
         histories: Sequence[Sequence[int]],
         objectives: Sequence[int],
         user_indices: "Sequence[int | None] | None" = None,
-        max_length: int = 20,
+        max_length: int | None = None,
     ) -> list[list[int]]:
         """Plan influence paths for many instances with lockstep beam search.
 
@@ -238,20 +323,58 @@ class BeamSearchPlanner(InfluentialRecommender):
         depth issues a single fused scoring call covering all live hypotheses
         of ALL still-running instances, so one transformer forward replaces
         up to ``beam_width * num_instances`` scalar forwards.
+
+        Instances whose ``(tuple(history), objective, user_index,
+        max_length)`` key is memoised in :attr:`plan_cache` are served
+        without any planning; the rest are planned together and stored.
+        ``max_length`` defaults to the constructor-level :attr:`max_length`.
         """
+        max_length = self.max_length if max_length is None else max_length
         if max_length <= 0:
             raise ConfigurationError(f"max_length must be positive, got {max_length}")
         self._require_fitted()
+        self._sync_backbone_generation()
         count = len(histories)
         histories = [list(history) for history in histories]
         objectives = [int(objective) for objective in objectives]
         check_batch_lengths(count, objectives=objectives)
         users = broadcast_user_indices(count, user_indices)
-        beams: list[list[_Hypothesis]] = [
-            [_Hypothesis(items=(), log_probability=0.0, reached=False)] for _ in range(count)
-        ]
-        completes: list[list[_Hypothesis]] = [[] for _ in range(count)]
-        running = list(range(count))
+
+        paths: list[list[int] | None] = [None] * count
+        pending: list[int] = []
+        for i in range(count):
+            key = (tuple(histories[i]), objectives[i], users[i], max_length)
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                paths[i] = list(cached)
+            else:
+                pending.append(i)
+        if pending:
+            planned = self._plan_beam(histories, objectives, users, pending, max_length)
+            for i, path in zip(pending, planned):
+                key = (tuple(histories[i]), objectives[i], users[i], max_length)
+                self.plan_cache.put(key, tuple(path))
+                paths[i] = path
+        return paths  # type: ignore[return-value]
+
+    def _plan_beam(
+        self,
+        histories: list[list[int]],
+        objectives: list[int],
+        users: "list[int | None]",
+        pending: list[int],
+        max_length: int,
+    ) -> list[list[int]]:
+        """Run the lockstep beam search for the ``pending`` instance subset."""
+        beams: dict[int, list[_Hypothesis]] = {
+            i: [_Hypothesis(items=(), log_probability=0.0, reached=False)] for i in pending
+        }
+        completes: dict[int, list[_Hypothesis]] = {i: [] for i in pending}
+        running = list(pending)
+        session = None
+        use_sessions = self.use_decoding_sessions and hasattr(
+            self.backbone, "begin_decoding_session"
+        )
 
         for _ in range(max_length):
             if not running:
@@ -272,11 +395,26 @@ class BeamSearchPlanner(InfluentialRecommender):
             if not parents:
                 running = []
                 break
+            row_objectives = [objectives[i] for i in owners]
+            row_users = [users[i] for i in owners]
+            scores: np.ndarray | None = None
+            if use_sessions:
+                if session is None:
+                    # Depth 0: parents are the empty roots, one per instance.
+                    scores, session = self.backbone.begin_decoding_session(
+                        sequences, row_objectives, row_users
+                    )
+                else:
+                    # Later depths: gather each survivor's cache row and
+                    # encode only its newly appended token.
+                    scores = self.backbone.advance_decoding_session(
+                        session,
+                        [hypothesis.items[-1] for hypothesis in parents],
+                        [hypothesis.parent_row for hypothesis in parents],
+                    )
+                scores = np.asarray(scores, dtype=np.float64).copy()
             expansions = self._expand_all(
-                parents,
-                sequences,
-                [objectives[i] for i in owners],
-                [users[i] for i in owners],
+                parents, sequences, row_objectives, row_users, scores=scores
             )
             candidates: dict[int, list[_Hypothesis]] = {i: [] for i in running}
             for owner, children in zip(owners, expansions):
@@ -291,7 +429,7 @@ class BeamSearchPlanner(InfluentialRecommender):
             running = still_running
 
         paths: list[list[int]] = []
-        for i in range(count):
+        for i in pending:
             completes[i].extend(h for h in beams[i] if h.reached)
             pool = completes[i] if completes[i] else beams[i]
             if not pool:
@@ -306,7 +444,7 @@ class BeamSearchPlanner(InfluentialRecommender):
         history: Sequence[int],
         objective: int,
         user_index: int | None = None,
-        max_length: int = 20,
+        max_length: int | None = None,
     ) -> list[int]:
         """Plan a full influence path with beam search (batch-of-one)."""
         return self.plan_paths_batch(
@@ -321,7 +459,7 @@ class BeamSearchPlanner(InfluentialRecommender):
         history: Sequence[int],
         objective: int,
         user_index: int | None = None,
-        max_length: int = 20,
+        max_length: int | None = None,
     ) -> list[int]:
         return self.plan_path(history, objective, user_index=user_index, max_length=max_length)
 
@@ -330,7 +468,7 @@ class BeamSearchPlanner(InfluentialRecommender):
         histories: Sequence[Sequence[int]],
         objectives: Sequence[int],
         user_indices: "Sequence[int | None] | None" = None,
-        max_length: int = 20,
+        max_length: int | None = None,
     ) -> list[list[int]]:
         return self.plan_paths_batch(
             histories, objectives, user_indices=user_indices, max_length=max_length
@@ -343,15 +481,31 @@ class BeamSearchPlanner(InfluentialRecommender):
         path_so_far: Sequence[int],
         user_index: int | None = None,
     ) -> int | None:
-        key = (tuple(history), int(objective), user_index)
-        path_so_far = list(path_so_far)
-        if self._plan_key != key or self._plan[: len(path_so_far)] != path_so_far:
-            remaining = max(20 - len(path_so_far), 1)
+        """Serve the next item of the current plan, replanning on divergence.
+
+        The per-context serving plans live in a bounded LRU keyed by
+        ``(tuple(history), objective, user_index, max_length)``, so many
+        interleaved serving contexts (lockstep stepwise evaluation, multiple
+        concurrent users) each keep their own evolving plan instead of
+        thrashing a single replan slot.  A replan from a diverged context
+        goes through :meth:`plan_path` and therefore also consults the
+        finished-plan cache.  The replanning horizon is the constructor-level
+        :attr:`max_length` (previously a hardcoded 20).
+        """
+        self._sync_backbone_generation()
+        key = (tuple(history), int(objective), user_index, self.max_length)
+        path_so_far = [int(item) for item in path_so_far]
+        plan = self._step_cache.get(key)
+        if plan is not None and list(plan[: len(path_so_far)]) == path_so_far:
+            self._serving_hits += 1
+        else:
+            self._serving_replans += 1
+            remaining = max(self.max_length - len(path_so_far), 1)
             replanned = self.plan_path(
                 list(history) + path_so_far, objective, user_index=user_index, max_length=remaining
             )
-            self._plan_key = key
-            self._plan = path_so_far + replanned
-        if len(self._plan) > len(path_so_far):
-            return int(self._plan[len(path_so_far)])
+            plan = tuple(path_so_far + replanned)
+            self._step_cache.put(key, plan)
+        if len(plan) > len(path_so_far):
+            return int(plan[len(path_so_far)])
         return None

@@ -29,6 +29,26 @@ are never gathered, which makes the batched scores equal to the scalar ones
 up to BLAS summation-order noise (documented tolerance ``~1e-8``; the
 scalar methods are thin ``batch=1`` wrappers and remain bit-identical to
 the pre-batching implementation).
+
+Incremental decoding contract
+-----------------------------
+:meth:`IRN.begin_decoding_session` / :meth:`IRN.advance_decoding_session`
+are the cached variants of the batched scorers: the session encodes the
+initial windows once, caches per-layer prefix keys/values
+(:mod:`repro.cache.kv`), and every later depth embeds only the newly
+appended token (plus the re-projected objective, whose position embedding
+moves with the sequence length) while attending over the cached prefix.
+
+Prefix K/V reuse is exact only while prefix hidden states cannot change as
+the sequence grows.  Under the PIM every prefix position attends to the
+objective item, and the objective's position embedding advances at every
+step — so for objective-revealing masks (Types 2/3) with ``num_layers >= 2``
+the layer-2+ prefix states *do* change each step and the session
+transparently falls back to full re-encoding (tracked separately in
+``decode_stats``).  Incremental mode is used exactly when it is exact:
+causal masks at any depth, or single-layer stacks under any mask.  Cached
+and uncached scoring agree to the same ``~1e-8`` tolerance as the batching
+contract, and produce identical plans.
 """
 
 from __future__ import annotations
@@ -37,7 +57,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.cache.kv import DecodingState
+from repro.cache.session import DecodingSession
+from repro.cache.stats import DecodeStats
 from repro.core.base import InfluentialRecommender, influential_registry
+from repro.nn.attention import NEG_INF
 from repro.core.influence_path import mask_session_items
 from repro.core.pim import MaskType, causal_history_mask, objective_column_indicator
 from repro.data.batching import SequenceBatch
@@ -126,6 +150,8 @@ class _IRNModule(Module):
         objective_weight: float = 1.0,
         history_weight: float = 0.0,
         positions: np.ndarray | None = None,
+        state: "DecodingState | None" = None,
+        persist: int | None = None,
     ) -> Tensor:
         """Return next-item logits of shape ``(batch, length, vocab_size)``.
 
@@ -133,6 +159,10 @@ class _IRNModule(Module):
         position indices with a per-row ``(batch, length)`` array; the
         batched inference path uses it so right-aligned (left-padded) rows
         keep the positions ``0 .. len-1`` of their real tokens.
+
+        With ``state`` the decoder additionally populates per-layer K/V
+        caches for the first ``persist`` columns (the growing prefix of an
+        incremental decoding session); the returned logits are unchanged.
         """
         items = np.asarray(items, dtype=np.int64)
         batch, length = items.shape
@@ -143,8 +173,30 @@ class _IRNModule(Module):
         hidden = self.item_embedding(items) + self.position_embedding(positions)
         hidden = self.dropout(hidden)
         mask = self._pim(items, users, mask_type, objective_weight, history_weight)
-        hidden = self.decoder(hidden, mask=mask)
+        hidden = self.decoder(hidden, mask=mask, state=state, persist=persist)
         return hidden.matmul(self.item_embedding.weight.transpose())
+
+    def decode_step(
+        self,
+        items: np.ndarray,
+        positions: np.ndarray,
+        mask: np.ndarray,
+        state: "DecodingState",
+        persist: int,
+    ) -> Tensor:
+        """Encode only newly appended tokens against cached prefix K/V.
+
+        ``items``/``positions`` are ``(batch, new)`` arrays of the appended
+        token(s); ``mask`` is the additive ``(batch, new, total_keys)`` mask
+        over cached-prefix + new key columns.  Returns the decoder hidden
+        states of the new positions (``(batch, new, d)``); the caller
+        projects only the row(s) it needs onto the vocabulary.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        hidden = self.item_embedding(items) + self.position_embedding(positions)
+        hidden = self.dropout(hidden)
+        return self.decoder(hidden, mask=mask, state=state, persist=persist)
 
 
 @model_registry.register("irn")
@@ -235,10 +287,20 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         self.history_weight = history_weight
         self.mask_type = MaskType(mask_type)
         self.item2vec_init = item2vec_init
+        #: token-work counters for the perf harness (reset by :meth:`fit`)
+        self.decode_stats = DecodeStats()
 
     # ------------------------------------------------------------------ #
     # Construction / training
     # ------------------------------------------------------------------ #
+    def fit(self, split: DatasetSplit) -> "IRN":
+        NeuralSequentialRecommender.fit(self, split)
+        # Retraining invalidates any outstanding decoding session or plan
+        # cache: fit_generation (bumped by the base class) signals consumers,
+        # and the token-work counters restart for the new model.
+        self.decode_stats.reset()
+        return self
+
     def _build(self, corpus: SequenceCorpus, rng: np.random.Generator) -> Module:
         module = _IRNModule(
             vocab_size=corpus.vocab.size,
@@ -323,6 +385,17 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         row ``b`` equals ``score_with_objective(sequences[b], objectives[b])``
         up to floating-point summation-order tolerance (~1e-8).
         """
+        return self._score_objective_batch(sequences, objectives, user_indices)
+
+    def _score_objective_batch(
+        self,
+        sequences: Sequence[Sequence[int]],
+        objectives: Sequence[int],
+        user_indices: "Sequence[int | None] | None" = None,
+        record: str = "full",
+        state: "DecodingState | None" = None,
+        persist: int | None = None,
+    ) -> np.ndarray:
         self._require_fitted()
         assert self.module is not None
         batch = len(sequences)
@@ -345,12 +418,23 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
                 objective_weight=self.objective_weight * self.objective_logit_scale,
                 history_weight=self.history_weight,
                 positions=positions,
+                state=state,
+                persist=persist,
             )
+        self._record_tokens(record, items.size)
         width = items.shape[1]
         gather = np.where(lengths >= 2, width - 2, width - 1)
         scores = logits.data[np.arange(batch), gather, :].astype(np.float64, copy=True)
         scores[:, PAD_INDEX] = -np.inf
         return scores
+
+    def _record_tokens(self, record: str, tokens: int) -> None:
+        if record == "full":
+            self.decode_stats.record_full(tokens)
+        elif record == "fallback":
+            self.decode_stats.record_fallback(tokens)
+        else:  # pragma: no cover - internal misuse
+            raise ConfigurationError(f"unknown decode record kind '{record}'")
 
     def score_with_objective(
         self,
@@ -377,6 +461,16 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         with a causal-only mask; scores are gathered at the shared final
         column (each row's most recent real item).
         """
+        return self._score_next_batch(histories, user_indices)
+
+    def _score_next_batch(
+        self,
+        histories: Sequence[Sequence[int]],
+        user_indices: "Sequence[int | None] | None" = None,
+        record: str = "full",
+        state: "DecodingState | None" = None,
+        persist: int | None = None,
+    ) -> np.ndarray:
         self._require_fitted()
         assert self.module is not None
         batch = len(histories)
@@ -389,7 +483,15 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         items, positions, _ = self._right_align(rows)
         users = self._batch_users(user_indices, batch)
         with no_grad():
-            logits = self.module(items, users, mask_type=MaskType.CAUSAL, positions=positions)
+            logits = self.module(
+                items,
+                users,
+                mask_type=MaskType.CAUSAL,
+                positions=positions,
+                state=state,
+                persist=persist,
+            )
+        self._record_tokens(record, items.size)
         scores = logits.data[:, -1, :].astype(np.float64, copy=True)
         scores[:, PAD_INDEX] = -np.inf
         return scores
@@ -397,6 +499,184 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
     def score_next(self, history: Sequence[int], user_index: int | None = None) -> np.ndarray:
         """Objective-free next-item scores (causal mask only; Table IV usage)."""
         return self.score_next_batch([history], [user_index])[0]
+
+    # ------------------------------------------------------------------ #
+    # Incremental decoding sessions (cached scorer variants)
+    # ------------------------------------------------------------------ #
+    def _incremental_exact(self, objectives: "Sequence[int] | None") -> bool:
+        """Whether prefix K/V reuse is exact for this model configuration.
+
+        Causal attention never lets a prefix position see appended tokens, so
+        caching is exact at any depth both for objective-free scoring and for
+        ``MaskType.CAUSAL``.  Objective-revealing masks (Types 2/3) make every
+        prefix position attend to the objective, whose position embedding
+        moves each step — exact only when there is a single layer, whose K/V
+        are projections of the fixed input embeddings.
+        """
+        if objectives is None or self.mask_type == MaskType.CAUSAL:
+            return True
+        return self.num_layers == 1
+
+    def begin_decoding_session(
+        self,
+        sequences: Sequence[Sequence[int]],
+        objectives: "Sequence[int] | None" = None,
+        user_indices: "Sequence[int | None] | None" = None,
+    ) -> tuple[np.ndarray, DecodingSession]:
+        """Cached variant of the batched scorers: encode contexts once.
+
+        Returns ``(scores, session)`` where ``scores`` equals
+        :meth:`score_with_objective_batch` (or :meth:`score_next_batch` when
+        ``objectives`` is ``None``) on the same inputs, and ``session`` holds
+        the per-layer prefix K/V so subsequent
+        :meth:`advance_decoding_session` calls encode only the newly appended
+        token per row.  When the exactness contract does not hold (see
+        :meth:`_incremental_exact`) the session is created in fallback mode
+        and later advances re-encode fully — scores stay exact either way.
+        """
+        self._require_fitted()
+        assert self.module is not None
+        batch = len(sequences)
+        if batch == 0:
+            raise ConfigurationError("cannot begin a decoding session on an empty batch")
+        users = self._batch_users(user_indices, batch)
+        incremental = self._incremental_exact(objectives)
+        state = self.module.decoder.init_state() if incremental else None
+        if objectives is not None:
+            objectives = [int(objective) for objective in objectives]
+            check_batch_lengths(batch, objectives=objectives)
+            rows = [
+                [int(item) for item in clip_history(seq, self.max_sequence_length - 1)]
+                for seq in sequences
+            ]
+            width = max(len(row) for row in rows) + 1  # matches _right_align + objective
+            scores = self._score_objective_batch(
+                sequences, objectives, list(users), state=state, persist=width - 1
+            )
+            session_width = width - 1
+        else:
+            rows = [
+                [int(item) for item in clip_history(seq, self.max_sequence_length)]
+                for seq in sequences
+            ]
+            # score_next_batch substitutes a PAD placeholder for empty rows;
+            # its column is permanently masked, so the session keeps the true
+            # (possibly empty) token lists and only the width accounts for it.
+            width = max(max(len(row) for row in rows), 1)
+            scores = self._score_next_batch(sequences, list(users), state=state, persist=None)
+            session_width = width
+        impressionability = None
+        if incremental and objectives is not None and self.mask_type == MaskType.PERSONALIZED:
+            with no_grad():
+                impressionability = (
+                    self.module.impressionability_factor(users).data.reshape(-1).copy()
+                )
+        session = DecodingSession(
+            rows=rows,
+            users=users,
+            objectives=objectives,
+            state=state,
+            incremental=incremental,
+            width=session_width,
+            impressionability=impressionability,
+        )
+        return scores, session
+
+    def advance_decoding_session(
+        self,
+        session: DecodingSession,
+        new_items: Sequence[int],
+        parent_rows: "Sequence[int] | None" = None,
+    ) -> np.ndarray:
+        """Append one token per surviving row and score the grown contexts.
+
+        ``parent_rows`` gathers the session down to the rows the new tokens
+        extend (beam pruning/re-ranking/duplication); ``new_items[b]`` is then
+        appended to gathered row ``b``.  Returns the same ``(batch, vocab)``
+        scores the uncached batched scorer would produce for the grown
+        sequences, encoding only the new token (plus the re-projected
+        objective) per row in incremental mode.
+        """
+        self._require_fitted()
+        assert self.module is not None
+        if parent_rows is not None:
+            session.select(parent_rows)
+        new_items = [int(item) for item in new_items]
+        check_batch_lengths(session.batch_size, new_items=new_items)
+        session.append(new_items)
+        if session.batch_size == 0:
+            return np.zeros((0, self.vocab_size), dtype=np.float64)
+        if session.incremental:
+            # Once any row outgrows the model's window the right-aligned
+            # batch starts *sliding* (oldest tokens drop off), which shifts
+            # every position embedding — cached K/V become stale, so the
+            # session degrades to exact full re-encoding for good.
+            limit = self.max_sequence_length - (1 if session.objectives is not None else 0)
+            if int(session.lengths.max()) > limit:
+                session.degrade()
+        if not session.incremental:
+            users = list(session.users)
+            if session.objectives is not None:
+                return self._score_objective_batch(
+                    session.rows, session.objectives, users, record="fallback"
+                )
+            return self._score_next_batch(session.rows, users, record="fallback")
+        return self._advance_incremental(session, np.asarray(new_items, dtype=np.int64))
+
+    def _advance_incremental(
+        self, session: DecodingSession, new_items: np.ndarray
+    ) -> np.ndarray:
+        assert self.module is not None
+        module = self.module
+        lengths = session.lengths  # post-append; the new token sits at position len-1
+        objective_mode = session.objectives is not None
+        if objective_mode:
+            items = np.stack(
+                [new_items, np.asarray(session.objectives, dtype=np.int64)], axis=1
+            )
+            positions = np.stack([lengths - 1, lengths], axis=1)
+        else:
+            items = new_items[:, None]
+            positions = (lengths - 1)[:, None]
+        positions = positions % module.max_length  # no-op (guarded), mirrors _right_align
+        total_keys = session.width + (1 if objective_mode else 0)
+        mask = self._incremental_mask(session, total_keys)
+        with no_grad():
+            hidden = module.decode_step(items, positions, mask, session.state, persist=1)
+            logits = hidden[:, 0, :].matmul(module.item_embedding.weight.transpose())
+        self.decode_stats.record_incremental(items.size)
+        scores = logits.data.astype(np.float64, copy=True)
+        scores[:, PAD_INDEX] = -np.inf
+        return scores
+
+    def _incremental_mask(self, session: DecodingSession, total_keys: int) -> np.ndarray:
+        """Additive mask rows for the new token (+ objective) queries.
+
+        Reproduces exactly the rows the full PIM/causal mask would assign to
+        the last position(s) of the equivalent right-aligned window: visible
+        real keys get ``w_h`` (0 for causal scoring), left-padding keys get
+        ``NEG_INF``, and the objective column gets the (personalized)
+        objective weight for the new-token query and ``w_h`` for its own.
+        """
+        lengths = session.lengths
+        batch = session.batch_size
+        objective_mode = session.objectives is not None
+        history_weight = float(self.history_weight) if objective_mode else 0.0
+        rows = 2 if objective_mode else 1
+        mask = np.full((batch, rows, total_keys), history_weight, dtype=np.float64)
+        columns = np.arange(total_keys, dtype=np.int64)[None, :]
+        padding = columns < (session.width - lengths)[:, None]
+        mask = np.where(padding[:, None, :], NEG_INF, mask)
+        if objective_mode:
+            if self.mask_type == MaskType.CAUSAL:
+                mask[:, 0, -1] = NEG_INF
+            else:
+                weight = float(self.objective_weight * self.objective_logit_scale)
+                if self.mask_type == MaskType.PERSONALIZED:
+                    mask[:, 0, -1] = session.impressionability * weight
+                else:
+                    mask[:, 0, -1] = weight
+        return mask
 
     # ------------------------------------------------------------------ #
     # Influential interface

@@ -40,6 +40,7 @@ __all__ = [
     "IRSResult",
     "IRSEvaluationProtocol",
     "sample_objectives",
+    "rollout_next_step",
 ]
 
 _LOGGER = get_logger("evaluation.protocol")
@@ -134,8 +135,53 @@ def sample_objectives(
     return instances
 
 
+def rollout_next_step(
+    recommender: InfluentialRecommender,
+    contexts: "Sequence[tuple[Sequence[int], int, int | None]]",
+    max_length: int,
+) -> list[list[int]]:
+    """Drive ``next_step`` in lockstep across many serving contexts.
+
+    ``contexts`` holds ``(history, objective, user_index)`` triples; at every
+    step each still-live context asks the recommender for its next path item,
+    mirroring an online serving loop where requests from many users
+    interleave.  This is the ``next_step``-driven counterpart of
+    ``generate_paths_batch`` and the workload behind the
+    ``irs_stepwise_replanning`` benchmark: a planner with only a single
+    replan slot replans from scratch at almost every call here, while the
+    :class:`~repro.cache.memo.PlanCache`-backed planner plans each context
+    once and serves the rest from memory.
+    """
+    if max_length <= 0:
+        raise ConfigurationError(f"max_length must be positive, got {max_length}")
+    paths: list[list[int]] = [[] for _ in contexts]
+    live = set(range(len(contexts)))
+    for _ in range(max_length):
+        if not live:
+            break
+        for index in sorted(live):
+            history, objective, user_index = contexts[index]
+            item = recommender.next_step(
+                history, objective, paths[index], user_index=user_index
+            )
+            if item is None:
+                live.discard(index)
+                continue
+            paths[index].append(int(item))
+            if int(item) == int(objective):
+                live.discard(index)
+    return paths
+
+
 class IRSEvaluationProtocol:
-    """Evaluate influential recommenders on a fixed set of (history, objective) pairs."""
+    """Evaluate influential recommenders on a fixed set of (history, objective) pairs.
+
+    Path generation goes through ``generate_paths_batch``; recommenders with
+    plan memoisation (the beam planner's
+    :class:`~repro.cache.memo.PlanCache`) are consulted per instance before
+    any replanning happens, so repeated evaluations over the same sampled
+    objectives reuse finished plans.
+    """
 
     def __init__(
         self,
@@ -192,6 +238,49 @@ class IRSEvaluationProtocol:
                     max_length=self.max_length,
                 )
             )
+        return [
+            PathRecord(
+                user_index=instance.user_index,
+                history=tuple(history),
+                objective=instance.objective,
+                path=tuple(path),
+            )
+            for instance, history, path in zip(self.instances, histories, paths)
+        ]
+
+    def generate_records_stepwise(self, recommender: InfluentialRecommender) -> list[PathRecord]:
+        """Generate records by driving ``next_step`` in lockstep (serving mode).
+
+        Unlike :meth:`generate_records` (one batched Algorithm-1 rollout per
+        chunk) this interleaves single ``next_step`` requests across all
+        instances, the way an online IRS would see them.  For planners whose
+        serving cache covers the instance set the resulting paths match the
+        per-instance dedicated serving semantics; it exists both as a serving
+        entry point and as the measured workload of the
+        ``irs_stepwise_replanning`` benchmark.
+
+        ``next_step`` has no horizon argument, so a recommender that plans
+        toward its own ``max_length`` (the beam planner) only yields records
+        comparable to :meth:`generate_records` when that horizon equals this
+        protocol's ``max_length`` — otherwise the rollout is a truncation of
+        longer-horizon plans, not a shorter-horizon plan.  A mismatch is
+        logged loudly rather than silently producing incomparable metrics.
+        """
+        recommender_horizon = getattr(recommender, "max_length", None)
+        if recommender_horizon is not None and recommender_horizon != self.max_length:
+            _LOGGER.warning(
+                "stepwise evaluation: %s plans with horizon %d but the protocol "
+                "truncates at %d; records are not comparable to generate_records()",
+                getattr(recommender, "name", type(recommender).__name__),
+                recommender_horizon,
+                self.max_length,
+            )
+        histories = [self._history_for(instance) for instance in self.instances]
+        contexts = [
+            (history, instance.objective, instance.user_index)
+            for history, instance in zip(histories, self.instances)
+        ]
+        paths = rollout_next_step(recommender, contexts, self.max_length)
         return [
             PathRecord(
                 user_index=instance.user_index,

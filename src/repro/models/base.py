@@ -187,6 +187,17 @@ class NeuralSequentialRecommender(SequentialRecommender):
         self.seed = seed
         self.module: Module | None = None
         self.training_history: list[dict[str, float]] = []
+        self._fit_generation = 0
+
+    @property
+    def fit_generation(self) -> int:
+        """Monotonic counter bumped by every (re)train / weight load.
+
+        Downstream caches keyed on this model's outputs (the beam planner's
+        :class:`~repro.cache.memo.PlanCache`) compare it to detect retrains
+        and invalidate themselves.
+        """
+        return self._fit_generation
 
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
@@ -252,6 +263,7 @@ class NeuralSequentialRecommender(SequentialRecommender):
                 record["seconds"],
             )
         self.module.eval()
+        self._fit_generation += 1
         return self
 
     def _truncate(self, batch: SequenceBatch) -> SequenceBatch:
@@ -315,4 +327,5 @@ class NeuralSequentialRecommender(SequentialRecommender):
         load_module(self.module, path)
         self.module.eval()
         self.training_history = []
+        self._fit_generation += 1
         return self

@@ -9,13 +9,18 @@ paper additionally adds finite positive weights for the objective-item column
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.nn import functional as F
 from repro.nn.layers import Dropout, Linear, Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.utils.exceptions import ConfigurationError
 from repro.utils.rng import as_rng, spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.kv import LayerKVCache
 
 __all__ = ["MultiHeadAttention", "scaled_dot_product_attention", "NEG_INF"]
 
@@ -100,12 +105,22 @@ class MultiHeadAttention(Module):
         key: Tensor | None = None,
         value: Tensor | None = None,
         mask: "np.ndarray | Tensor | None" = None,
+        kv_cache: "LayerKVCache | None" = None,
+        persist: int | None = None,
     ) -> Tensor:
         """Apply attention.  With only ``query`` given this is self-attention.
 
         ``mask`` is an additive array (or differentiable :class:`Tensor`)
         broadcastable to ``(batch, num_heads, query_len, key_len)``; pass
         e.g. a ``(batch, 1, m, m)`` PIM or a ``(m, m)`` causal mask.
+
+        With ``kv_cache`` (incremental decoding, inference only) the inputs
+        hold just the newly appended positions: their keys/values are
+        appended to the cache (the first ``persist`` of them permanently,
+        the remainder transiently — see
+        :meth:`repro.cache.kv.LayerKVCache.extend`) and the queries attend
+        over cached-prefix + new keys, so ``mask`` must then be
+        broadcastable to ``(batch, heads, new_len, prefix_len + new_len)``.
         """
         key = query if key is None else key
         value = key if value is None else value
@@ -115,6 +130,15 @@ class MultiHeadAttention(Module):
         q = self._split_heads(self.query_proj(query), batch, q_len)
         k = self._split_heads(self.key_proj(key), batch, k_len)
         v = self._split_heads(self.value_proj(value), batch, k_len)
+
+        if kv_cache is not None:
+            if is_grad_enabled():
+                raise ConfigurationError(
+                    "kv_cache attention is inference-only; wrap the call in no_grad()"
+                )
+            full_keys, full_values = kv_cache.extend(k.data, v.data, persist=persist)
+            k = Tensor(full_keys)
+            v = Tensor(full_values)
 
         if mask is not None:
             if isinstance(mask, Tensor):

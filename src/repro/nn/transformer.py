@@ -8,13 +8,19 @@ is reused by SASRec (causal mask) and BERT4Rec (no mask).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.nn.attention import NEG_INF, MultiHeadAttention
 from repro.nn.layers import Dropout, LayerNorm, Linear, Module, ModuleList
 from repro.nn.tensor import Tensor
 from repro.nn import functional as F
+from repro.utils.exceptions import ConfigurationError
 from repro.utils.rng import as_rng, spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.kv import DecodingState, LayerKVCache
 
 __all__ = [
     "PositionwiseFeedForward",
@@ -99,8 +105,14 @@ class TransformerEncoderLayer(Module):
         self.norm2 = LayerNorm(d_model)
         self.dropout = Dropout(dropout, rng=rngs[2])
 
-    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
-        attended = self.attention(self.norm1(x), mask=mask)
+    def forward(
+        self,
+        x: Tensor,
+        mask: np.ndarray | None = None,
+        kv_cache: "LayerKVCache | None" = None,
+        persist: int | None = None,
+    ) -> Tensor:
+        attended = self.attention(self.norm1(x), mask=mask, kv_cache=kv_cache, persist=persist)
         x = x + self.dropout(attended)
         x = x + self.feed_forward(self.norm2(x))
         return x
@@ -131,7 +143,35 @@ class TransformerEncoder(Module):
         )
         self.final_norm = LayerNorm(d_model)
 
-    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
-        for layer in self.layers:
-            x = layer(x, mask=mask)
+    def init_state(self) -> "DecodingState":
+        """Fresh per-layer K/V caches for an incremental decoding run."""
+        from repro.cache.kv import DecodingState
+
+        return DecodingState(len(self.layers))
+
+    def forward(
+        self,
+        x: Tensor,
+        mask: np.ndarray | None = None,
+        state: "DecodingState | None" = None,
+        persist: int | None = None,
+    ) -> Tensor:
+        """Encode ``x``; with ``state``, run one incremental decoding step.
+
+        In incremental mode ``x`` holds only the newly appended positions;
+        each layer attends them over its cached prefix K/V and appends the
+        first ``persist`` new positions to the cache (see
+        :mod:`repro.cache.kv` for the exactness contract the *caller* must
+        uphold — this stack reuses whatever the caches contain).
+        """
+        if state is None:
+            for layer in self.layers:
+                x = layer(x, mask=mask)
+            return self.final_norm(x)
+        if len(state) != len(self.layers):
+            raise ConfigurationError(
+                f"decoding state has {len(state)} layer caches for {len(self.layers)} layers"
+            )
+        for layer, kv_cache in zip(self.layers, state):
+            x = layer(x, mask=mask, kv_cache=kv_cache, persist=persist)
         return self.final_norm(x)

@@ -1,4 +1,4 @@
-"""Benchmark harness for the batched inference engine.
+"""Benchmark harness for the batched inference engine and the cache subsystem.
 
 Measures, on the synthetic corpus, how the batched planning/evaluation paths
 compare against the scalar (pre-batching) ones:
@@ -13,13 +13,28 @@ compare against the scalar (pre-batching) ones:
 * **next-item evaluation** — ``rank_of_batch`` versus per-instance
   ``rank_of``.
 
+and how the :mod:`repro.cache` subsystem compares against the PR 1 baseline:
+
+* **stepwise IRS replanning** — the ``next_step``-driven lockstep serving
+  workload (:func:`repro.evaluation.protocol.rollout_next_step`) with the
+  plan/serving caches enabled versus a planner configured exactly like the
+  pre-cache baseline (single replan slot, no memoisation, no sessions).
+  Work is measured in **token-work** (``irn.decode_stats``: positions
+  encoded per transformer call), the unit that stays meaningful once
+  incremental decoding makes forwards unequal-sized.
+* **incremental decoding** — lockstep beam planning with decoding sessions
+  on versus off, on a single-layer IRN where prefix K/V reuse is exact (see
+  :mod:`repro.cache.kv` for the exactness contract).
+
 Module forwards are counted with :class:`ForwardCounter` (a wrapper around
-``module.forward``), NOT wall-clock, so the CI assertions stay deterministic;
+``module.forward``) and token-work with :class:`~repro.cache.stats.
+DecodeStats`, NOT wall-clock, so the CI assertions stay deterministic;
 wall-clock throughput (paths/sec, forwards/sec) is reported alongside for the
 perf trajectory.
 
-Run ``PYTHONPATH=src python -m repro.perf.bench`` from the repo root to write
-``BENCH_path_planning.json``; ``--profile smoke`` keeps it to seconds.
+Run ``PYTHONPATH=src python -m repro.perf.bench`` from the repo root (or
+``repro-irs bench``) to write ``BENCH_path_planning.json``; ``--profile
+smoke`` keeps it to seconds.
 """
 
 from __future__ import annotations
@@ -31,12 +46,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.cache.stats import DecodeStats
 from repro.core.beam import BeamSearchPlanner
 from repro.core.irn import IRN
 from repro.data.preprocessing import build_corpus
 from repro.data.splitting import DatasetSplit, split_corpus
 from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
-from repro.evaluation.protocol import EvaluationInstance, sample_objectives
+from repro.evaluation.protocol import EvaluationInstance, rollout_next_step, sample_objectives
 from repro.nn.layers import Module
 
 __all__ = [
@@ -46,6 +62,7 @@ __all__ = [
     "default_config",
     "build_bench_split",
     "run_benchmarks",
+    "format_summary",
     "main",
 ]
 
@@ -97,6 +114,10 @@ class ScalarOnlyBackbone:
     ) -> np.ndarray:
         return self._inner.score_with_objective(sequence, objective, user_index=user_index)
 
+    @property
+    def fit_generation(self):
+        return getattr(self._inner, "fit_generation", None)
+
 
 def smoke_config() -> dict:
     """Seconds-scale profile used by the ``pytest -m perf`` smoke test."""
@@ -126,6 +147,7 @@ def smoke_config() -> dict:
         "max_path_length": 8,
         "num_instances": 8,
         "num_eval_instances": 24,
+        "num_stepwise_instances": 4,
     }
 
 
@@ -155,6 +177,7 @@ def default_config() -> dict:
         "max_path_length": 12,
         "num_instances": 24,
         "num_eval_instances": 60,
+        "num_stepwise_instances": 8,
     }
 
 
@@ -296,6 +319,135 @@ def _bench_nextitem(irn: IRN, split: DatasetSplit, config: dict) -> dict:
     }
 
 
+def _token_work(irn: IRN, fn) -> tuple[object, dict, float]:
+    """Run ``fn`` and return (result, decode-stats delta, seconds)."""
+    before = irn.decode_stats.snapshot()
+    result, seconds = _timed(fn)
+    delta = DecodeStats.delta(before, irn.decode_stats.snapshot())
+    return result, delta, seconds
+
+
+def _work_report(delta: dict, seconds: float) -> dict:
+    return {
+        "forwards": delta["forwards"],
+        "tokens_encoded": delta["tokens_encoded"],
+        "tokens_full": delta["tokens_full"],
+        "tokens_incremental": delta["tokens_incremental"],
+        "tokens_fallback": delta["tokens_fallback"],
+        "seconds": round(seconds, 4),
+        "forwards_per_sec": round(delta["forwards"] / seconds, 2) if seconds > 0 else float("inf"),
+    }
+
+
+def _bench_stepwise(
+    irn: IRN, split: DatasetSplit, instances: list[EvaluationInstance], config: dict
+) -> dict:
+    """``next_step``-driven IRS evaluation: cached serving vs the PR 1 baseline.
+
+    The workload interleaves single ``next_step`` requests across all
+    instances in lockstep (online serving order).  The baseline planner is
+    configured exactly like the pre-cache implementation — one replan slot,
+    no plan memoisation, no decoding sessions — so every context switch
+    forces a full from-scratch replan.  The cached planner keeps one evolving
+    plan per context (plus the finished-plan LRU), so each context is planned
+    once and then served from memory.  The semantic reference is *isolated*
+    serving: a dedicated planner per context, which the cached planner must
+    reproduce exactly.
+    """
+    contexts = [
+        (list(inst.history), inst.objective, inst.user_index)
+        for inst in instances[: config["num_stepwise_instances"]]
+    ]
+    max_length = config["max_path_length"]
+    kwargs = dict(beam_width=config["beam_width"], branch_factor=config["branch_factor"])
+
+    isolated = []
+    for context in contexts:
+        planner = BeamSearchPlanner(irn, max_length=max_length, **kwargs).fit(split)
+        isolated.append(rollout_next_step(planner, [context], max_length)[0])
+
+    baseline_planner = BeamSearchPlanner(
+        irn,
+        max_length=max_length,
+        plan_cache_size=0,
+        step_cache_size=1,
+        use_decoding_sessions=False,
+        **kwargs,
+    ).fit(split)
+    cached_planner = BeamSearchPlanner(irn, max_length=max_length, **kwargs).fit(split)
+
+    baseline_paths, baseline_delta, baseline_seconds = _token_work(
+        irn, lambda: rollout_next_step(baseline_planner, contexts, max_length)
+    )
+    cached_paths, cached_delta, cached_seconds = _token_work(
+        irn, lambda: rollout_next_step(cached_planner, contexts, max_length)
+    )
+
+    return {
+        "max_path_length": max_length,
+        "num_instances": len(contexts),
+        "baseline": _work_report(baseline_delta, baseline_seconds),
+        "cached": _work_report(cached_delta, cached_seconds),
+        "cache_counters": cached_planner.cache_info(),
+        "token_work_reduction": round(
+            baseline_delta["tokens_encoded"] / max(cached_delta["tokens_encoded"], 1), 2
+        ),
+        "speedup": round(baseline_seconds / cached_seconds, 2) if cached_seconds > 0 else float("inf"),
+        "cached_paths_match_isolated": cached_paths == isolated,
+        "baseline_paths_match_isolated": baseline_paths == isolated,
+    }
+
+
+def _bench_incremental(
+    split: DatasetSplit, instances: list[EvaluationInstance], config: dict
+) -> dict:
+    """Beam planning with decoding sessions on vs off (exact-reuse regime).
+
+    Uses a single-layer IRN, where prefix K/V reuse is exact under the PIM
+    (see :mod:`repro.cache.kv`), so every depth encodes one new token per
+    hypothesis instead of the full right-aligned window.  Plan memoisation is
+    disabled on both planners — this isolates the incremental-decoding layer.
+    The model window is sized to fit history + path: once a context outgrows
+    the window the right-aligned batch starts sliding and the session
+    (correctly) degrades to full re-encoding, which is the regime the other
+    sections already cover.
+    """
+    contexts = [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+    max_length = config["max_path_length"]
+    window = max(len(context[0]) for context in contexts) + max_length + 1
+    irn = IRN(**dict(config["irn"], num_layers=1, max_sequence_length=window)).fit(split)
+    kwargs = dict(beam_width=config["beam_width"], branch_factor=config["branch_factor"])
+
+    planner_off = BeamSearchPlanner(
+        irn, plan_cache_size=0, use_decoding_sessions=False, **kwargs
+    ).fit(split)
+    planner_on = BeamSearchPlanner(irn, plan_cache_size=0, **kwargs).fit(split)
+
+    def plan(planner: BeamSearchPlanner):
+        return planner.plan_paths_batch(
+            [c[0] for c in contexts],
+            [c[1] for c in contexts],
+            [c[2] for c in contexts],
+            max_length=max_length,
+        )
+
+    off_paths, off_delta, off_seconds = _token_work(irn, lambda: plan(planner_off))
+    on_paths, on_delta, on_seconds = _token_work(irn, lambda: plan(planner_on))
+
+    return {
+        "num_layers": 1,
+        "max_path_length": max_length,
+        "num_instances": len(contexts),
+        "full_reencode": _work_report(off_delta, off_seconds),
+        "incremental": _work_report(on_delta, on_seconds),
+        "token_work_reduction": round(
+            off_delta["tokens_encoded"] / max(on_delta["tokens_encoded"], 1), 2
+        ),
+        "speedup": round(off_seconds / on_seconds, 2) if on_seconds > 0 else float("inf"),
+        "plans_equal": off_paths == on_paths,
+    }
+
+
 def run_benchmarks(profile: str = "default", output: str | None = None) -> dict:
     """Train a small IRN on the synthetic corpus and time scalar vs batched.
 
@@ -321,6 +473,8 @@ def run_benchmarks(profile: str = "default", output: str | None = None) -> dict:
         "beam_planning": _bench_beam(irn, split, instances, config),
         "greedy_planning": _bench_greedy(irn, instances, config),
         "nextitem_evaluation": _bench_nextitem(irn, split, config),
+        "irs_stepwise_replanning": _bench_stepwise(irn, split, instances, config),
+        "incremental_decoding": _bench_incremental(split, instances, config),
     }
     if output:
         with open(output, "w", encoding="utf-8") as handle:
@@ -338,13 +492,33 @@ def main(argv: Sequence[str] | None = None) -> None:
     with open(args.output, "a", encoding="utf-8"):
         pass
     report = run_benchmarks(profile=args.profile, output=args.output)
-    beam = report["beam_planning"]
     print(json.dumps(report, indent=2))
-    print(
-        f"\nbeam planning: {beam['scalar']['forwards']} -> {beam['batched']['forwards']} forwards "
+    print("\n" + format_summary(report))
+
+
+def format_summary(report: dict) -> str:
+    """Human-readable highlights (shared with the ``repro-irs bench`` CLI)."""
+    beam = report["beam_planning"]
+    stepwise = report["irs_stepwise_replanning"]
+    incremental = report["incremental_decoding"]
+    counters = stepwise["cache_counters"]
+    lines = [
+        f"beam planning: {beam['scalar']['forwards']} -> {beam['batched']['forwards']} forwards "
         f"({beam['forward_reduction']}x fewer), "
-        f"{beam['scalar']['paths_per_sec']} -> {beam['batched']['paths_per_sec']} paths/sec"
-    )
+        f"{beam['scalar']['paths_per_sec']} -> {beam['batched']['paths_per_sec']} paths/sec",
+        f"stepwise IRS replanning: {stepwise['baseline']['tokens_encoded']} -> "
+        f"{stepwise['cached']['tokens_encoded']} tokens of work "
+        f"({stepwise['token_work_reduction']}x less), "
+        f"{stepwise['cached']['forwards_per_sec']} forwards/sec",
+        f"plan cache hit rate: {counters['plan_cache']['hit_rate']}, "
+        f"step cache hit rate: {counters['step_cache']['hit_rate']} "
+        f"(served {counters['serving']['served_from_plan']}, "
+        f"replanned {counters['serving']['replans']})",
+        f"incremental decoding (1 layer): {incremental['full_reencode']['tokens_encoded']} -> "
+        f"{incremental['incremental']['tokens_encoded']} tokens of work "
+        f"({incremental['token_work_reduction']}x less)",
+    ]
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":

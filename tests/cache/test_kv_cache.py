@@ -1,0 +1,175 @@
+"""Unit and parity tests for the nn-level incremental decoding cache.
+
+The exactness contract of :mod:`repro.cache.kv`: with *causal* masks,
+incremental decoding through cached prefix K/V must reproduce full
+re-encoding at ANY depth of the stack; with arbitrary additive masks it is
+exact for single-layer stacks.  Parities here are checked at the
+:class:`~repro.nn.transformer.TransformerEncoder` level with tight
+tolerances (same entries, possibly different BLAS summation order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.kv import DecodingState, LayerKVCache
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.transformer import TransformerEncoder, causal_mask
+from repro.utils.exceptions import ConfigurationError
+
+RTOL, ATOL = 1e-9, 1e-10
+
+
+class TestLayerKVCache:
+    def test_extend_accumulates_and_returns_full(self, rng):
+        cache = LayerKVCache()
+        first = rng.normal(size=(2, 2, 3, 4))
+        full_k, _ = cache.extend(first, first.copy())
+        assert full_k.shape == (2, 2, 3, 4)
+        assert cache.length == 3
+        second = rng.normal(size=(2, 2, 1, 4))
+        full_k, full_v = cache.extend(second, second.copy())
+        assert full_k.shape == (2, 2, 4, 4)
+        np.testing.assert_array_equal(full_k[:, :, :3], first)
+        assert cache.length == 4
+
+    def test_persist_keeps_transient_out_of_cache(self, rng):
+        cache = LayerKVCache()
+        new = rng.normal(size=(1, 1, 2, 4))
+        full_k, _ = cache.extend(new, new.copy(), persist=1)
+        assert full_k.shape[2] == 2  # both participate in this forward
+        assert cache.length == 1  # only the first persists
+        np.testing.assert_array_equal(cache.keys, new[:, :, :1])
+
+    def test_reorder_gathers_rows(self, rng):
+        cache = LayerKVCache()
+        keys = rng.normal(size=(3, 1, 2, 4))
+        cache.extend(keys, keys.copy())
+        cache.reorder([2, 0, 0])
+        assert cache.batch_size == 3
+        np.testing.assert_array_equal(cache.keys[0], keys[2])
+        np.testing.assert_array_equal(cache.keys[1], keys[0])
+        np.testing.assert_array_equal(cache.keys[2], keys[0])
+
+    def test_batch_mismatch_raises(self, rng):
+        cache = LayerKVCache()
+        keys = rng.normal(size=(2, 1, 2, 4))
+        cache.extend(keys, keys.copy())
+        with pytest.raises(ConfigurationError):
+            cache.extend(keys[:1], keys[:1].copy())
+
+    def test_invalid_persist_raises(self, rng):
+        cache = LayerKVCache()
+        keys = rng.normal(size=(1, 1, 2, 4))
+        with pytest.raises(ConfigurationError):
+            cache.extend(keys, keys.copy(), persist=3)
+
+
+class TestDecodingState:
+    def test_layers_stay_in_lockstep(self, rng):
+        state = DecodingState(3)
+        assert len(state) == 3 and state.length == 0
+        for cache in state:
+            keys = rng.normal(size=(2, 1, 4, 4))
+            cache.extend(keys, keys.copy())
+        assert state.length == 4
+        state.reorder([1, 0])
+        assert state.batch_size == 2
+
+    def test_requires_positive_layers(self):
+        with pytest.raises(ConfigurationError):
+            DecodingState(0)
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    encoder = TransformerEncoder(num_layers=3, d_model=8, num_heads=2, dropout=0.0, rng=0)
+    encoder.eval()
+    return encoder
+
+
+class TestCausalIncrementalParity:
+    def test_multi_layer_causal_decoding_matches_full(self, encoder, rng):
+        """Token-by-token decoding == full forward, at three stacked layers."""
+        batch, length, d_model = 3, 7, 8
+        x = rng.normal(size=(batch, length, d_model))
+        with no_grad():
+            full = encoder(Tensor(x), mask=causal_mask(length)).data
+            state = encoder.init_state()
+            incremental = []
+            for t in range(length):
+                step_mask = np.zeros((1, t + 1))
+                out = encoder(Tensor(x[:, t : t + 1, :]), mask=step_mask, state=state)
+                incremental.append(out.data[:, 0, :])
+        incremental = np.stack(incremental, axis=1)
+        np.testing.assert_allclose(incremental, full, rtol=RTOL, atol=ATOL)
+
+    def test_block_incremental_after_prefix(self, encoder, rng):
+        """Encode a prefix once, then append several tokens in one step."""
+        batch, prefix, suffix, d_model = 2, 4, 3, 8
+        x = rng.normal(size=(batch, prefix + suffix, d_model))
+        with no_grad():
+            full = encoder(Tensor(x), mask=causal_mask(prefix + suffix)).data
+            state = encoder.init_state()
+            encoder(Tensor(x[:, :prefix, :]), mask=causal_mask(prefix), state=state)
+            step_mask = causal_mask(prefix + suffix)[prefix:, :]
+            out = encoder(Tensor(x[:, prefix:, :]), mask=step_mask, state=state).data
+        np.testing.assert_allclose(out, full[:, prefix:, :], rtol=RTOL, atol=ATOL)
+
+    def test_reordered_rows_decode_like_reordered_batch(self, encoder, rng):
+        """Beam-style row gather: duplicated/pruned rows keep exact parity."""
+        x = rng.normal(size=(3, 4, 8))
+        gather = np.array([2, 0, 2])
+        new = rng.normal(size=(3, 1, 8))
+        reordered = np.concatenate([x[gather], new], axis=1)
+        with no_grad():
+            full = encoder(Tensor(reordered), mask=causal_mask(5)).data
+            state = encoder.init_state()
+            encoder(Tensor(x), mask=causal_mask(4), state=state)
+            state.reorder(gather)
+            out = encoder(Tensor(new), mask=np.zeros((1, 5)), state=state).data
+        np.testing.assert_allclose(out[:, 0, :], full[:, -1, :], rtol=RTOL, atol=ATOL)
+
+
+class TestSingleLayerObjectiveParity:
+    def test_objective_style_mask_exact_for_one_layer(self, rng):
+        """PIM-like masks (prefix attends a moving final column) are exact
+        incrementally when the stack has a single layer: its K/V are
+        projections of the fixed input embeddings."""
+        encoder = TransformerEncoder(num_layers=1, d_model=8, num_heads=2, dropout=0.0, rng=1)
+        encoder.eval()
+        batch, prefix = 2, 5
+        x = rng.normal(size=(batch, prefix + 2, 8))  # prefix + new token + objective
+        length = prefix + 2
+        mask = causal_mask(length)
+        mask[: length - 1, length - 1] = 0.7  # reveal the objective column
+        with no_grad():
+            full = encoder(Tensor(x), mask=mask, state=None).data
+            state = encoder.init_state()
+            init_mask = causal_mask(prefix)
+            encoder(Tensor(x[:, :prefix, :]), mask=init_mask, state=state, persist=prefix)
+            step_mask = mask[prefix:, :]
+            out = encoder(Tensor(x[:, prefix:, :]), mask=step_mask, state=state, persist=1).data
+        np.testing.assert_allclose(out, full[:, prefix:, :], rtol=RTOL, atol=ATOL)
+
+    def test_transient_column_not_cached(self, rng):
+        encoder = TransformerEncoder(num_layers=1, d_model=8, num_heads=2, dropout=0.0, rng=1)
+        encoder.eval()
+        state = encoder.init_state()
+        x = rng.normal(size=(1, 3, 8))
+        with no_grad():
+            encoder(Tensor(x), mask=causal_mask(3), state=state, persist=2)
+        assert state.length == 2
+
+
+class TestGradGuard:
+    def test_kv_cache_requires_no_grad(self, encoder, rng):
+        state = encoder.init_state()
+        with pytest.raises(ConfigurationError):
+            encoder(Tensor(rng.normal(size=(1, 2, 8))), mask=causal_mask(2), state=state)
+
+    def test_layer_count_mismatch_raises(self, encoder, rng):
+        state = DecodingState(2)  # encoder has 3 layers
+        with no_grad(), pytest.raises(ConfigurationError):
+            encoder(Tensor(rng.normal(size=(1, 2, 8))), mask=causal_mask(2), state=state)

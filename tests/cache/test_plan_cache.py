@@ -1,0 +1,100 @@
+"""LRU semantics, bounds and counters of :class:`repro.cache.memo.PlanCache`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.memo import PlanCache
+from repro.cache.stats import DecodeStats
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestPlanCacheLRU:
+    def test_get_put_roundtrip(self):
+        cache = PlanCache(4)
+        assert cache.get(("h", 1)) is None
+        cache.put(("h", 1), (5, 6))
+        assert cache.get(("h", 1)) == (5, 6)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_bound_holds(self):
+        cache = PlanCache(2)
+        for i in range(5):
+            cache.put(i, i)
+        assert len(cache) == 2
+        assert cache.evictions == 3
+        assert 3 in cache and 4 in cache  # most recent survive
+
+    def test_lru_order_refreshed_by_get(self):
+        cache = PlanCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a" so "b" is now least recent
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_put_refreshes_existing_key(self):
+        cache = PlanCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_zero_size_disables(self):
+        cache = PlanCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlanCache(-1)
+
+    def test_clear_counts_invalidations_keeps_counters(self):
+        cache = PlanCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+        assert cache.hits == 1
+        cache.clear()  # clearing an empty cache is not an invalidation
+        assert cache.invalidations == 1
+
+    def test_cache_info_reports_hit_rate(self):
+        cache = PlanCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        info = cache.cache_info()
+        assert info["size"] == 1
+        assert info["maxsize"] == 4
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["hit_rate"] == 0.5
+
+
+class TestDecodeStats:
+    def test_records_by_kind(self):
+        stats = DecodeStats()
+        stats.record_full(100)
+        stats.record_incremental(4)
+        stats.record_fallback(50)
+        assert stats.forwards == 3
+        assert stats.tokens_encoded == 154
+        snapshot = stats.snapshot()
+        assert snapshot["tokens_incremental"] == 4
+        stats.reset()
+        assert stats.forwards == 0 and stats.tokens_encoded == 0
+
+    def test_delta(self):
+        stats = DecodeStats()
+        stats.record_full(10)
+        before = stats.snapshot()
+        stats.record_incremental(2)
+        delta = DecodeStats.delta(before, stats.snapshot())
+        assert delta["tokens_incremental"] == 2
+        assert delta["tokens_full"] == 0
+        assert delta["forwards"] == 1

@@ -57,3 +57,22 @@ class TestMain:
         for artefact in ["ablation-embedding", "ext-interactive", "ext-kg", "ext-quality"]:
             args = parser.parse_args([artefact])
             assert args.artefact == artefact
+
+
+class TestBenchSubcommand:
+    def test_bench_listed_in_parser(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.artefact == "bench"
+
+    def test_bench_fast_profile_reports_cache_hit_rates(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "BENCH_path_planning.json"
+        assert main(["bench", "--profile", "fast", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "forwards/sec" in out
+        assert "tokens of work" in out
+        report = json.loads(output.read_text())
+        assert report["irs_stepwise_replanning"]["token_work_reduction"] >= 2.0
+        assert "cache_counters" in report["irs_stepwise_replanning"]
