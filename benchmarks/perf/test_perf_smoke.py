@@ -70,3 +70,50 @@ def test_incremental_decoding_reduces_token_work_with_identical_plans(smoke_repo
     assert incremental["token_work_reduction"] >= 2.0
     assert incremental["incremental"]["tokens_incremental"] > 0
     assert incremental["incremental"]["tokens_fallback"] == 0
+
+
+def test_sharded_evaluation_plans_bit_identical_at_every_worker_count(smoke_report):
+    """Sharding-PR acceptance: worker-partitioned planning must produce the
+    serial plans bit-identically at 1, 2 and 4 workers."""
+    sharded = smoke_report["sharded_evaluation"]
+    assert [row["num_workers"] for row in sharded["workers"]] == [1, 2, 4]
+    assert all(row["plans_equal_serial"] for row in sharded["workers"])
+
+
+def test_sharded_evaluation_process_and_serial_backends_agree(smoke_report):
+    """Satellite: process-pool and serial backends produce identical
+    BENCH-section plan paths (fork platforms; None means no fork)."""
+    from repro.shard.config import fork_available
+
+    parity = smoke_report["sharded_evaluation"]["process_parity"]
+    if fork_available():
+        assert parity is True
+    else:
+        assert parity is None
+
+
+def test_sharded_evaluation_records_scaling_and_machine_context(smoke_report):
+    sharded = smoke_report["sharded_evaluation"]
+    assert sharded["cpu_count"] >= 1
+    assert sharded["backend"] in {"serial", "thread", "process"}
+    assert sharded["serial"]["paths_per_sec"] > 0
+    for row in sharded["workers"]:
+        assert row["paths_per_sec"] > 0
+        assert row["scaling_efficiency"] > 0
+
+
+def test_every_section_records_cpu_count_and_backend(smoke_report):
+    """Satellite: sections carry the machine's CPU count and the backend
+    used, so the perf trajectory stays comparable across runs."""
+    sections = (
+        "beam_planning",
+        "greedy_planning",
+        "nextitem_evaluation",
+        "irs_stepwise_replanning",
+        "incremental_decoding",
+        "sharded_evaluation",
+    )
+    for name in sections:
+        assert smoke_report[name]["cpu_count"] == smoke_report["machine"]["cpu_count"]
+        assert "backend" in smoke_report[name]
+    assert smoke_report["machine"]["platform"]

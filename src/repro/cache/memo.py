@@ -11,16 +11,48 @@ BeamSearchPlanner` uses one instance for finished plans and a second one for
 the evolving per-context serving plans behind ``next_step`` (the
 generalisation of its old single replan slot), so the two families of
 entries can never shadow each other.
+
+Thread safety
+-------------
+Every mutation of the LRU map *and* of the hit/miss/eviction counters is
+guarded by one reentrant lock, so a :class:`PlanCache` (or one shard of a
+:class:`~repro.shard.plancache.ShardedPlanCache`) can be consulted
+concurrently by the sharded execution subsystem's worker threads without
+losing counter updates or corrupting the ``OrderedDict``.  Per-shard
+counter snapshots merge into one report via :func:`merge_cache_infos`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Hashable
+from typing import Hashable, Iterable
 
 from repro.utils.exceptions import ConfigurationError
 
-__all__ = ["PlanCache"]
+__all__ = ["PlanCache", "merge_cache_infos"]
+
+
+def merge_cache_infos(infos: "Iterable[dict]") -> dict:
+    """Merge per-shard :meth:`PlanCache.cache_info` dicts into one report.
+
+    Sizes and counters sum across shards; the hit rate is recomputed from
+    the merged totals (NOT averaged, so empty shards don't dilute it).
+    """
+    merged = {
+        "size": 0,
+        "maxsize": 0,
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+        "invalidations": 0,
+    }
+    for info in infos:
+        for key in merged:
+            merged[key] += info[key]
+    lookups = merged["hits"] + merged["misses"]
+    merged["hit_rate"] = round(merged["hits"] / lookups, 4) if lookups else 0.0
+    return merged
 
 
 class PlanCache:
@@ -31,6 +63,7 @@ class PlanCache:
             raise ConfigurationError(f"maxsize must be non-negative, got {maxsize}")
         self.maxsize = int(maxsize)
         self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -38,47 +71,65 @@ class PlanCache:
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key: Hashable):
         """Return the cached value (refreshing its recency) or ``None``."""
-        if key in self._data:
-            self._data.move_to_end(key)
-            self.hits += 1
-            return self._data[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
 
     def put(self, key: Hashable, value) -> None:
         """Insert/refresh an entry, evicting the least recently used beyond ``maxsize``."""
         if self.maxsize == 0:
             return
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
-    def clear(self) -> None:
-        """Drop every entry (model retrain invalidation); counters are kept."""
-        if self._data:
-            self.invalidations += 1
-        self._data.clear()
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop every entry (model retrain invalidation).
+
+        Counters are kept by default — an invalidation is part of the cache's
+        lifetime story, and the bench reads the totals afterwards.  With
+        ``reset_stats=True`` the hit/miss/eviction/invalidation counters are
+        also zeroed, which is how per-shard caches are recycled between
+        measured workloads so their stats merge cleanly into one report.
+        """
+        with self._lock:
+            if self._data:
+                self.invalidations += 1
+            self._data.clear()
+            if reset_stats:
+                self.hits = 0
+                self.misses = 0
+                self.evictions = 0
+                self.invalidations = 0
 
     # ------------------------------------------------------------------ #
     def cache_info(self) -> dict:
         """Counters for the perf harness / ``BENCH_path_planning.json``."""
-        lookups = self.hits + self.misses
-        return {
-            "size": len(self._data),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
-        }
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
+            }

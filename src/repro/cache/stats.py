@@ -11,9 +11,17 @@ incremental steps contribute ``batch * new_tokens``.
 One instance lives on every :class:`~repro.core.irn.IRN`
 (``irn.decode_stats``) and is reset by ``fit``; the benchmark snapshots it
 around each measured workload.
+
+The counters are lock-guarded: the sharded execution subsystem scores
+independent instance partitions on worker threads against ONE shared
+backbone, so concurrent ``record_*`` calls must not lose increments (a bare
+``+=`` is not atomic across bytecode boundaries).  ``snapshot`` takes the
+same lock, so before/after deltas see a consistent view.
 """
 
 from __future__ import annotations
+
+import threading
 
 __all__ = ["DecodeStats"]
 
@@ -31,27 +39,32 @@ class DecodeStats:
     )
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.reset()
 
     def reset(self) -> None:
-        for field in self._FIELDS:
-            setattr(self, field, 0)
+        with self._lock:
+            for field in self._FIELDS:
+                setattr(self, field, 0)
 
     # ------------------------------------------------------------------ #
     def record_full(self, tokens: int) -> None:
         """A full-window forward (no cache involved)."""
-        self.full_forwards += 1
-        self.tokens_full += int(tokens)
+        with self._lock:
+            self.full_forwards += 1
+            self.tokens_full += int(tokens)
 
     def record_incremental(self, tokens: int) -> None:
         """An incremental step attending over cached prefix K/V."""
-        self.incremental_forwards += 1
-        self.tokens_incremental += int(tokens)
+        with self._lock:
+            self.incremental_forwards += 1
+            self.tokens_incremental += int(tokens)
 
     def record_fallback(self, tokens: int) -> None:
         """A full re-encode forced by the exactness contract (see cache.kv)."""
-        self.fallback_forwards += 1
-        self.tokens_fallback += int(tokens)
+        with self._lock:
+            self.fallback_forwards += 1
+            self.tokens_fallback += int(tokens)
 
     # ------------------------------------------------------------------ #
     @property
@@ -66,9 +79,16 @@ class DecodeStats:
 
     def snapshot(self) -> dict:
         """A plain-dict copy (for before/after deltas in the benchmark)."""
-        report = {field: getattr(self, field) for field in self._FIELDS}
-        report["forwards"] = self.forwards
-        report["tokens_encoded"] = self.tokens_encoded
+        with self._lock:
+            report = {field: getattr(self, field) for field in self._FIELDS}
+        report["forwards"] = (
+            report["full_forwards"]
+            + report["incremental_forwards"]
+            + report["fallback_forwards"]
+        )
+        report["tokens_encoded"] = (
+            report["tokens_full"] + report["tokens_incremental"] + report["tokens_fallback"]
+        )
         return report
 
     @staticmethod

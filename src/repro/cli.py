@@ -15,10 +15,17 @@ Examples
 and ``ext-*`` artefacts cover the design-choice ablations and the
 future-work extensions (interactive simulation, knowledge graph, category
 objectives, path quality) and are run individually.  ``bench`` runs the
-:mod:`repro.perf.bench` harness (batched inference + cache subsystem) and
-prints cache hit rates and forwards/sec; ``--profile fast`` maps to the
-seconds-scale smoke profile and ``--output`` overrides the JSON artefact
-path (default ``BENCH_path_planning.json``).
+:mod:`repro.perf.bench` harness (batched inference + cache subsystem +
+sharded execution) and prints cache hit rates and forwards/sec; ``--profile
+fast`` maps to the seconds-scale smoke profile and ``--output`` overrides
+the JSON artefact path (default ``BENCH_path_planning.json``).
+
+Scaling knobs (``--num-workers``, ``--shard-backend``, ``--vocab-shards``,
+``--rollout-chunk-size``) configure the sharded execution subsystem
+(:mod:`repro.shard`) for the paper artefacts; results are bit-identical to
+the serial defaults, only throughput changes.  ``bench`` honours
+``--shard-backend`` / ``--vocab-shards`` and warns about the rest (its
+sharded section sweeps a fixed 1/2/4 worker grid).
 """
 
 from __future__ import annotations
@@ -97,7 +104,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="path to a real MovieLens-1M / Lastfm dump (otherwise synthetic data is used)",
     )
     parser.add_argument("--output", default=None, help="write the report to this file as well")
+    # Scaling knobs of the sharded execution subsystem (repro.shard).  They
+    # are parsed as raw strings and validated through the shard config
+    # resolvers so mistakes surface as ConfigurationError with a clear
+    # message (and so the REPRO_* environment defaults keep applying when a
+    # flag is omitted).
+    parser.add_argument(
+        "--num-workers",
+        default=None,
+        help="worker shards for planning/evaluation (default: $REPRO_NUM_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--shard-backend",
+        default=None,
+        help="serial | thread | process (default: $REPRO_SHARD_BACKEND, else "
+        "'thread' when --num-workers > 1)",
+    )
+    parser.add_argument(
+        "--vocab-shards",
+        default=None,
+        help="column shards of the item axis for top-k (default: $REPRO_VOCAB_SHARDS or 1)",
+    )
+    parser.add_argument(
+        "--rollout-chunk-size",
+        default=None,
+        help="evaluation instances per batched Algorithm-1 rollout call (default: 64)",
+    )
     return parser
+
+
+def _resolve_shard_args(args: argparse.Namespace) -> tuple[int, str, int, int | None]:
+    """Validate the scaling flags, raising ConfigurationError on bad values.
+
+    The integer flags are handed to the shard config resolvers as the raw
+    strings argparse collected — the resolvers own the parse-and-complain
+    logic (including the ``$REPRO_*`` fallbacks), so the error wording lives
+    in one place.
+    """
+    from repro.shard.config import (
+        resolve_num_workers,
+        resolve_shard_backend,
+        resolve_vocab_shards,
+    )
+    from repro.utils.exceptions import ConfigurationError
+
+    num_workers = resolve_num_workers(args.num_workers)
+    backend = resolve_shard_backend(args.shard_backend, num_workers=num_workers)
+    vocab_shards = resolve_vocab_shards(args.vocab_shards)
+    chunk = args.rollout_chunk_size
+    if chunk is not None:
+        try:
+            chunk = int(chunk)
+        except ValueError:
+            raise ConfigurationError(
+                f"--rollout-chunk-size must be an integer, got {chunk!r}"
+            ) from None
+        if chunk <= 0:
+            raise ConfigurationError(
+                f"--rollout-chunk-size must be a positive integer, got {chunk}"
+            )
+    return num_workers, backend, vocab_shards, chunk
 
 
 def _make_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -109,6 +175,12 @@ def _make_config(args: argparse.Namespace) -> ExperimentConfig:
         config.scale = args.scale
     if args.data_directory is not None:
         config.data_directory = args.data_directory
+    num_workers, backend, vocab_shards, chunk = _resolve_shard_args(args)
+    config.num_workers = num_workers
+    config.shard_backend = backend
+    config.vocab_shards = vocab_shards
+    if chunk is not None:
+        config.rollout_chunk_size = chunk
     return config
 
 
@@ -204,9 +276,38 @@ def _run_bench(args: argparse.Namespace) -> int:
             "fixed-seed synthetic perf corpus (see repro.perf.bench)",
             file=sys.stderr,
         )
+    # The sharded_evaluation section always sweeps 1/2/4 workers and the
+    # other sections are fixed serial workloads, so only --shard-backend and
+    # --vocab-shards shape the bench; say so for the rest.
+    ignored_shard = [
+        name
+        for name, value in (
+            ("--num-workers", args.num_workers),
+            ("--rollout-chunk-size", args.rollout_chunk_size),
+        )
+        if value is not None
+    ]
+    if ignored_shard:
+        print(
+            f"warning: bench ignores {', '.join(ignored_shard)} — the "
+            "sharded_evaluation section sweeps a fixed 1/2/4 worker grid "
+            "(--shard-backend and --vocab-shards do apply)",
+            file=sys.stderr,
+        )
+    # Validate the flags eagerly (clear ConfigurationError before minutes of
+    # benchmarking) but hand run_benchmarks the RAW backend value: the
+    # sharded section resolves it against its own 4-worker sweep, so an
+    # omitted flag keeps the documented thread default instead of the
+    # num_workers=1 'serial' resolution.
+    _, _, vocab_shards, _ = _resolve_shard_args(args)
     profile = "smoke" if args.profile == "fast" else "default"
     output = args.output or "BENCH_path_planning.json"
-    report = run_benchmarks(profile=profile, output=output)
+    report = run_benchmarks(
+        profile=profile,
+        output=output,
+        shard_backend=args.shard_backend,
+        vocab_shards=vocab_shards,
+    )
     print(format_summary(report))
     print(f"report written to {output}")
     return 0

@@ -49,19 +49,36 @@ Two layers from :mod:`repro.cache` sit on top of the batched expansion:
   no longer thrash each other into constant replanning.  Both caches are
   invalidated by :meth:`fit` and whenever the backbone's ``fit_generation``
   changes (model retrain).
+
+Sharding
+--------
+With ``num_workers > 1`` the planner becomes a sharded executor client
+(:mod:`repro.shard`): pending instances of :meth:`plan_paths_batch`
+partition across workers by the stable hash of their plan-cache key, each
+worker runs the lockstep beam over its own partition with its own decoding
+sessions, and both plan caches become hash-partitioned shard sets aligned
+with the work partition.  ``vocab_shards > 1`` additionally splits the item
+axis of the fused logits for top-k candidate selection
+(:func:`~repro.shard.topk.sharded_topk`), whose merge is exact.  Every
+combination of worker count, backend and vocabulary shards produces plans
+bit-identical to the serial planner.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.cache.memo import PlanCache
 from repro.core.base import InfluentialRecommender, influential_registry
 from repro.core.influence_path import mask_session_items
 from repro.data.splitting import DatasetSplit
+from repro.shard.config import resolve_vocab_shards
+from repro.shard.executor import ShardedExecutor
+from repro.shard.plancache import make_plan_cache
+from repro.shard.topk import sharded_topk
 from repro.utils.batch import broadcast_user_indices, check_batch_lengths
 from repro.utils.exceptions import ConfigurationError
 
@@ -129,6 +146,23 @@ class BeamSearchPlanner(InfluentialRecommender):
     use_decoding_sessions:
         Thread incremental decoding sessions through depth expansion when the
         backbone supports them (plans are identical either way).
+    num_workers:
+        Worker shards that :meth:`plan_paths_batch` partitions pending
+        instances across by the stable hash of their planning context; each
+        shard owns an independent plan-cache partition and its own decoding
+        sessions.  ``None`` (the default) reads ``REPRO_NUM_WORKERS`` and
+        falls back to 1 (no sharding); sharded plans are bit-identical to
+        serial ones.
+    shard_backend:
+        ``"serial"``, ``"thread"`` or ``"process"`` (see
+        :class:`~repro.shard.executor.ShardedExecutor`); ``None`` reads
+        ``REPRO_SHARD_BACKEND`` and defaults to ``"thread"`` when
+        ``num_workers > 1``.
+    vocab_shards:
+        Column shards the fused logits tensor is split into for top-k
+        candidate selection (:func:`~repro.shard.topk.sharded_topk`);
+        ``None`` reads ``REPRO_VOCAB_SHARDS`` and falls back to 1.  Any
+        value produces identical candidates.
     """
 
     name = "IRN-beam"
@@ -144,6 +178,9 @@ class BeamSearchPlanner(InfluentialRecommender):
         plan_cache_size: int = 256,
         step_cache_size: int = 64,
         use_decoding_sessions: bool = True,
+        num_workers: "int | None" = None,
+        shard_backend: "str | None" = None,
+        vocab_shards: "int | None" = None,
     ) -> None:
         super().__init__()
         if not hasattr(backbone, "score_with_objective"):
@@ -165,8 +202,19 @@ class BeamSearchPlanner(InfluentialRecommender):
         self.fit_backbone = fit_backbone
         self.max_length = max_length
         self.use_decoding_sessions = use_decoding_sessions
-        self.plan_cache = PlanCache(plan_cache_size)
-        self._step_cache = PlanCache(step_cache_size)
+        self._executor = ShardedExecutor(num_workers, shard_backend)
+        self.num_workers = self._executor.num_workers
+        self.shard_backend = self._executor.backend
+        self.vocab_shards = resolve_vocab_shards(vocab_shards)
+        self.plan_cache = make_plan_cache(plan_cache_size, self.num_workers)
+        # The serving cache's serial contract is "at least one slot" (the
+        # generalised replan slot); under sharding every shard keeps that
+        # floor so no slice of the context space degrades to replanning
+        # every next_step call.
+        self._step_cache = make_plan_cache(
+            step_cache_size, self.num_workers, min_shard_capacity=1
+        )
+        self._serving_lock = threading.Lock()
         self._serving_hits = 0
         self._serving_replans = 0
         self._backbone_generation = getattr(backbone, "fit_generation", None)
@@ -201,13 +249,25 @@ class BeamSearchPlanner(InfluentialRecommender):
             self.invalidate_caches()
 
     def cache_info(self) -> dict:
-        """Hit/miss/eviction counters of both plan caches (for the bench)."""
+        """Hit/miss/eviction counters of both plan caches (for the bench).
+
+        With ``num_workers > 1`` the two caches are hash-partitioned; their
+        entries report merged totals (plus a per-shard breakdown), so the
+        sharded planner's stats read exactly like the serial one's.
+        """
+        with self._serving_lock:
+            serving = {
+                "served_from_plan": self._serving_hits,
+                "replans": self._serving_replans,
+            }
         return {
             "plan_cache": self.plan_cache.cache_info(),
             "step_cache": self._step_cache.cache_info(),
-            "serving": {
-                "served_from_plan": self._serving_hits,
-                "replans": self._serving_replans,
+            "serving": serving,
+            "sharding": {
+                "num_workers": self.num_workers,
+                "backend": self.shard_backend,
+                "vocab_shards": self.vocab_shards,
             },
         }
 
@@ -273,27 +333,12 @@ class BeamSearchPlanner(InfluentialRecommender):
             scores = self._batched_scores(sequences, objectives, user_indices)
         mask_session_items(scores, sequences, objectives)
         log_probs = self._log_softmax_rows(scores)
-        count, vocab = log_probs.shape
+        _, vocab = log_probs.shape
         k = min(self.branch_factor, vocab)
-        top = np.argpartition(-log_probs, k - 1, axis=1)[:, :k]
-        top_values = np.take_along_axis(log_probs, top, axis=1)
-        # Stable-argsort order among the k winners: value desc, index asc.
-        order = np.lexsort((top, -top_values), axis=1)
-        top = np.take_along_axis(top, order, axis=1)
-        top_values = np.take_along_axis(top_values, order, axis=1)
-        # argpartition gives no guarantee about WHICH index wins a tie at the
-        # k-th boundary; the scalar stable argsort kept the lowest index.  A
-        # finite boundary value that also occurs outside the selection marks
-        # such a tie — repair those (rare) rows with an exact stable sort.
-        boundary = top_values[:, -1]
-        finite_boundary = np.isfinite(boundary)
-        if finite_boundary.any():
-            selected_ties = (top_values == boundary[:, None]).sum(axis=1)
-            total_ties = (log_probs == boundary[:, None]).sum(axis=1)
-            for row in np.flatnonzero(finite_boundary & (total_ties > selected_ties)):
-                exact = np.argsort(-log_probs[row], kind="stable")[:k]
-                top[row] = exact
-                top_values[row] = log_probs[row][exact]
+        # Per-hypothesis top-k in stable-argsort order (value desc, index
+        # asc), optionally computed over column shards of the item axis —
+        # the merge is exact, so any vocab_shards yields the same winners.
+        top, top_values = sharded_topk(log_probs, k, min(self.vocab_shards, vocab))
         expansions: list[list[_Hypothesis]] = []
         for row, parent in enumerate(parents):
             objective = objectives[row]
@@ -326,8 +371,13 @@ class BeamSearchPlanner(InfluentialRecommender):
 
         Instances whose ``(tuple(history), objective, user_index,
         max_length)`` key is memoised in :attr:`plan_cache` are served
-        without any planning; the rest are planned together and stored.
-        ``max_length`` defaults to the constructor-level :attr:`max_length`.
+        without any planning; the rest partition across the executor's
+        worker shards by the stable hash of that same key (worker and
+        plan-cache shard always coincide) and are planned concurrently,
+        each shard running its own lockstep beam with its own decoding
+        sessions.  Plans are bit-identical for any worker count and any
+        backend.  ``max_length`` defaults to the constructor-level
+        :attr:`max_length`.
         """
         max_length = self.max_length if max_length is None else max_length
         if max_length <= 0:
@@ -342,18 +392,28 @@ class BeamSearchPlanner(InfluentialRecommender):
 
         paths: list[list[int] | None] = [None] * count
         pending: list[int] = []
+        keys = [
+            (tuple(histories[i]), objectives[i], users[i], max_length) for i in range(count)
+        ]
         for i in range(count):
-            key = (tuple(histories[i]), objectives[i], users[i], max_length)
-            cached = self.plan_cache.get(key)
+            cached = self.plan_cache.get(keys[i])
             if cached is not None:
                 paths[i] = list(cached)
             else:
                 pending.append(i)
         if pending:
-            planned = self._plan_beam(histories, objectives, users, pending, max_length)
+            if self.num_workers > 1 and len(pending) > 1:
+                planned = self._executor.map_partitioned(
+                    pending,
+                    [keys[i] for i in pending],
+                    lambda _shard, subset: self._plan_beam(
+                        histories, objectives, users, list(subset), max_length
+                    ),
+                )
+            else:
+                planned = self._plan_beam(histories, objectives, users, pending, max_length)
             for i, path in zip(pending, planned):
-                key = (tuple(histories[i]), objectives[i], users[i], max_length)
-                self.plan_cache.put(key, tuple(path))
+                self.plan_cache.put(keys[i], tuple(path))
                 paths[i] = path
         return paths  # type: ignore[return-value]
 
@@ -497,9 +557,11 @@ class BeamSearchPlanner(InfluentialRecommender):
         path_so_far = [int(item) for item in path_so_far]
         plan = self._step_cache.get(key)
         if plan is not None and list(plan[: len(path_so_far)]) == path_so_far:
-            self._serving_hits += 1
+            with self._serving_lock:
+                self._serving_hits += 1
         else:
-            self._serving_replans += 1
+            with self._serving_lock:
+                self._serving_replans += 1
             remaining = max(self.max_length - len(path_so_far), 1)
             replanned = self.plan_path(
                 list(history) + path_so_far, objective, user_index=user_index, max_length=remaining

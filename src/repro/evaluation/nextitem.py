@@ -7,6 +7,8 @@ from dataclasses import dataclass
 from repro.data.splitting import DatasetSplit
 from repro.evaluation.metrics import hit_ratio_at_k, mean_reciprocal_rank
 from repro.models.base import SequentialRecommender
+from repro.shard.executor import ShardedExecutor
+from repro.shard.partition import context_key
 from repro.utils.exceptions import ConfigurationError
 
 __all__ = ["NextItemResult", "evaluate_next_item"]
@@ -31,29 +33,50 @@ def evaluate_next_item(
     split: DatasetSplit,
     k: int = 20,
     max_instances: int | None = None,
+    num_workers: "int | None" = None,
+    shard_backend: "str | None" = None,
 ) -> NextItemResult:
     """Rank every held-out target item given its user history.
 
     ``max_instances`` caps the number of evaluated users (useful in smoke
-    tests); the paper uses all of them.
+    tests); the paper uses all of them.  With ``num_workers > 1`` the test
+    instances hash-partition across worker shards by their
+    ``(history, target, user)`` context and each shard ranks its own
+    chunked batches; ranks are position-independent, so the merged metrics
+    are identical to the serial ones.  ``num_workers=None`` reads
+    ``REPRO_NUM_WORKERS``.
     """
     instances = split.test[:max_instances] if max_instances else split.test
     if not instances:
         raise ConfigurationError("the split has no test instances")
+    executor = ShardedExecutor(num_workers, shard_backend)
+
     # Rank in batched chunks: one model forward per chunk for batched models
     # (IRN), a transparent scalar loop for the rest.  Chunking bounds the
     # (chunk, vocab) score matrix the batched path materialises.
-    ranks: list[int] = []
     chunk_size = 256
-    for start in range(0, len(instances), chunk_size):
-        chunk = instances[start : start + chunk_size]
-        ranks.extend(
-            model.rank_of_batch(
-                [list(instance.history) for instance in chunk],
-                [instance.target for instance in chunk],
-                [instance.user_index for instance in chunk],
+
+    def rank_shard(_shard: int, shard_instances: list) -> list[int]:
+        ranks: list[int] = []
+        for start in range(0, len(shard_instances), chunk_size):
+            chunk = shard_instances[start : start + chunk_size]
+            ranks.extend(
+                model.rank_of_batch(
+                    [list(instance.history) for instance in chunk],
+                    [instance.target for instance in chunk],
+                    [instance.user_index for instance in chunk],
+                )
             )
-        )
+        return ranks
+
+    ranks = executor.map_partitioned(
+        list(instances),
+        [
+            context_key(instance.history, instance.target, instance.user_index)
+            for instance in instances
+        ],
+        rank_shard,
+    )
     return NextItemResult(
         model=model.name,
         hit_ratio=hit_ratio_at_k(ranks, k=k),

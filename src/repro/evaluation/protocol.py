@@ -30,6 +30,8 @@ from repro.evaluation.metrics import (
     log_perplexity,
     success_rate,
 )
+from repro.shard.executor import ShardedExecutor
+from repro.shard.partition import context_key
 from repro.utils.exceptions import ConfigurationError
 from repro.utils.logging import get_logger
 from repro.utils.rng import as_rng
@@ -181,6 +183,16 @@ class IRSEvaluationProtocol:
     :class:`~repro.cache.memo.PlanCache`) are consulted per instance before
     any replanning happens, so repeated evaluations over the same sampled
     objectives reuse finished plans.
+
+    With ``num_workers > 1`` the protocol partitions its evaluation
+    instances across worker shards by the stable hash of their
+    ``(history, objective, user)`` context
+    (:class:`~repro.shard.executor.ShardedExecutor`): each shard rolls out
+    its own instance partition — chunked batched rollouts in
+    :meth:`generate_records`, an independent lockstep ``next_step`` loop in
+    :meth:`generate_records_stepwise` — and the merged records are
+    bit-identical to the serial ones (instances never interact across a
+    rollout).  ``num_workers=None`` reads ``REPRO_NUM_WORKERS``.
     """
 
     def __init__(
@@ -192,15 +204,22 @@ class IRSEvaluationProtocol:
         max_instances: int | None = None,
         history_window: int | None = 50,
         rollout_chunk_size: int = 64,
+        num_workers: "int | None" = None,
+        shard_backend: "str | None" = None,
         seed: int = 0,
     ) -> None:
-        if rollout_chunk_size <= 0:
-            raise ConfigurationError("rollout_chunk_size must be positive")
+        if not isinstance(rollout_chunk_size, int) or rollout_chunk_size <= 0:
+            raise ConfigurationError(
+                f"rollout_chunk_size must be a positive integer, got {rollout_chunk_size!r}"
+            )
         self.split = split
         self.evaluator = evaluator
         self.max_length = max_length
         self.history_window = history_window
         self.rollout_chunk_size = rollout_chunk_size
+        self.executor = ShardedExecutor(num_workers, shard_backend)
+        self.num_workers = self.executor.num_workers
+        self.shard_backend = self.executor.backend
         self.instances = sample_objectives(
             split,
             min_objective_interactions=min_objective_interactions,
@@ -215,6 +234,32 @@ class IRSEvaluationProtocol:
             history = history[-self.history_window :]
         return history
 
+    def _instance_keys(self, histories: "list[list[int]]") -> list[tuple]:
+        """The ``(history, objective, user)`` partition key of every instance."""
+        return [
+            context_key(history, instance.objective, instance.user_index)
+            for history, instance in zip(histories, self.instances)
+        ]
+
+    def _rollout_batched(
+        self,
+        recommender: InfluentialRecommender,
+        contexts: "list[tuple[list[int], int, int | None]]",
+    ) -> list[list[int]]:
+        """Chunked ``generate_paths_batch`` over one shard's contexts."""
+        paths: list[list[int]] = []
+        for start in range(0, len(contexts), self.rollout_chunk_size):
+            chunk = contexts[start : start + self.rollout_chunk_size]
+            paths.extend(
+                recommender.generate_paths_batch(
+                    [context[0] for context in chunk],
+                    [context[1] for context in chunk],
+                    user_indices=[context[2] for context in chunk],
+                    max_length=self.max_length,
+                )
+            )
+        return paths
+
     def generate_records(self, recommender: InfluentialRecommender) -> list[PathRecord]:
         """Run Algorithm 1 for every evaluation instance.
 
@@ -224,20 +269,22 @@ class IRSEvaluationProtocol:
         it transparently fall back to the per-instance loop.  Instances are
         processed in chunks of ``rollout_chunk_size`` so the fused logits
         tensor (``chunk * beam_width`` rows × vocab) stays bounded however
-        many test users the split has.
+        many test users the split has.  With ``num_workers > 1`` the
+        instances first hash-partition across worker shards, each shard
+        running its own chunked rollout; the merged paths are identical.
         """
         histories = [self._history_for(instance) for instance in self.instances]
-        paths: list[list[int]] = []
-        for start in range(0, len(self.instances), self.rollout_chunk_size):
-            chunk = self.instances[start : start + self.rollout_chunk_size]
-            paths.extend(
-                recommender.generate_paths_batch(
-                    histories[start : start + self.rollout_chunk_size],
-                    [instance.objective for instance in chunk],
-                    user_indices=[instance.user_index for instance in chunk],
-                    max_length=self.max_length,
-                )
-            )
+        contexts = [
+            (history, instance.objective, instance.user_index)
+            for history, instance in zip(histories, self.instances)
+        ]
+        paths = self.executor.map_partitioned(
+            contexts,
+            self._instance_keys(histories),
+            lambda _shard, shard_contexts: self._rollout_batched(
+                recommender, shard_contexts
+            ),
+        )
         return [
             PathRecord(
                 user_index=instance.user_index,
@@ -265,6 +312,11 @@ class IRSEvaluationProtocol:
         protocol's ``max_length`` — otherwise the rollout is a truncation of
         longer-horizon plans, not a shorter-horizon plan.  A mismatch is
         logged loudly rather than silently producing incomparable metrics.
+
+        With ``num_workers > 1`` the serving contexts hash-partition across
+        worker shards and each shard drives its own lockstep loop; because
+        ``next_step`` is deterministic per context (caches only skip work,
+        never change answers), the merged paths equal the serial lockstep's.
         """
         recommender_horizon = getattr(recommender, "max_length", None)
         if recommender_horizon is not None and recommender_horizon != self.max_length:
@@ -280,7 +332,13 @@ class IRSEvaluationProtocol:
             (history, instance.objective, instance.user_index)
             for history, instance in zip(histories, self.instances)
         ]
-        paths = rollout_next_step(recommender, contexts, self.max_length)
+        paths = self.executor.map_partitioned(
+            contexts,
+            self._instance_keys(histories),
+            lambda _shard, shard_contexts: rollout_next_step(
+                recommender, shard_contexts, self.max_length
+            ),
+        )
         return [
             PathRecord(
                 user_index=instance.user_index,

@@ -68,6 +68,17 @@ class ExperimentConfig:
     max_eval_instances: int | None = 80
     history_window: int = 40
 
+    # Sharded execution (repro.shard) ----------------------------------------
+    #: instances per batched Algorithm-1 rollout call (bounds the fused
+    #: logits tensor); protocol-level knob surfaced on the CLI
+    rollout_chunk_size: int = 64
+    #: worker shards for planning/evaluation; None reads REPRO_NUM_WORKERS
+    num_workers: int | None = None
+    #: 'serial' / 'thread' / 'process'; None reads REPRO_SHARD_BACKEND
+    shard_backend: str | None = None
+    #: column shards of the item axis for top-k; None reads REPRO_VOCAB_SHARDS
+    vocab_shards: int | None = None
+
     # Model budgets ----------------------------------------------------------
     embedding_dim: int = 32
     evaluator_epochs: int = 10
@@ -95,6 +106,25 @@ class ExperimentConfig:
             raise ConfigurationError("scale must be positive")
         if self.max_path_length <= 0:
             raise ConfigurationError("max_path_length must be positive")
+        if not isinstance(self.rollout_chunk_size, int) or self.rollout_chunk_size <= 0:
+            raise ConfigurationError(
+                f"rollout_chunk_size must be a positive integer, "
+                f"got {self.rollout_chunk_size!r}"
+            )
+        # Resolve (and thereby validate) the sharding knobs eagerly so a bad
+        # --num-workers / --shard-backend / --vocab-shards fails at config
+        # time with a clear message, not mid-experiment.
+        from repro.shard.config import (
+            resolve_num_workers,
+            resolve_shard_backend,
+            resolve_vocab_shards,
+        )
+
+        self.num_workers = resolve_num_workers(self.num_workers)
+        self.shard_backend = resolve_shard_backend(
+            self.shard_backend, num_workers=self.num_workers
+        )
+        self.vocab_shards = resolve_vocab_shards(self.vocab_shards)
 
     # ------------------------------------------------------------------ #
     # Presets

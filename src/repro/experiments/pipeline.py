@@ -211,6 +211,9 @@ class ExperimentPipeline:
                 min_objective_interactions=self.config.min_objective_interactions,
                 max_instances=self.config.max_eval_instances,
                 history_window=self.config.history_window,
+                rollout_chunk_size=self.config.rollout_chunk_size,
+                num_workers=self.config.num_workers,
+                shard_backend=self.config.shard_backend,
                 seed=self.config.seed,
             )
         return self._protocols[length]

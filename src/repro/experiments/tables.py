@@ -130,7 +130,12 @@ def table4_next_item(
         sequential_models.setdefault("Bert4Rec", pipeline.evaluator.model)
     for name, model in sequential_models.items():
         result = evaluate_next_item(
-            model, split, k=k, max_instances=pipeline.config.max_eval_instances
+            model,
+            split,
+            k=k,
+            max_instances=pipeline.config.max_eval_instances,
+            num_workers=pipeline.config.num_workers,
+            shard_backend=pipeline.config.shard_backend,
         )
         rows.append(
             {

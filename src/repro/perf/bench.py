@@ -26,6 +26,15 @@ and how the :mod:`repro.cache` subsystem compares against the PR 1 baseline:
   on versus off, on a single-layer IRN where prefix K/V reuse is exact (see
   :mod:`repro.cache.kv` for the exactness contract).
 
+and how the :mod:`repro.shard` sharded execution subsystem scales:
+
+* **sharded evaluation** — worker-partitioned batched beam planning at
+  1 / 2 / 4 workers versus the serial planner, reporting paths/sec, speedup
+  and scaling efficiency, with a bit-identical-plans check per worker count
+  and a fork-process parity probe.  The section records the machine's CPU
+  count — scaling numbers are only meaningful relative to the cores the run
+  actually had.
+
 Module forwards are counted with :class:`ForwardCounter` (a wrapper around
 ``module.forward``) and token-work with :class:`~repro.cache.stats.
 DecodeStats`, NOT wall-clock, so the CI assertions stay deterministic;
@@ -41,6 +50,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import time
 from typing import Sequence
 
@@ -54,6 +65,7 @@ from repro.data.splitting import DatasetSplit, split_corpus
 from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
 from repro.evaluation.protocol import EvaluationInstance, rollout_next_step, sample_objectives
 from repro.nn.layers import Module
+from repro.shard.config import fork_available, resolve_shard_backend, resolve_vocab_shards
 
 __all__ = [
     "ForwardCounter",
@@ -61,10 +73,25 @@ __all__ = [
     "smoke_config",
     "default_config",
     "build_bench_split",
+    "machine_info",
     "run_benchmarks",
     "format_summary",
     "main",
 ]
+
+
+def machine_info() -> dict:
+    """CPU count and platform of the machine behind the recorded numbers.
+
+    Recorded at the report root AND inside every section (satellite of the
+    sharding PR): scaling efficiency at N workers is only comparable across
+    bench runs when the reader can see how many cores each run actually had.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 class ForwardCounter:
@@ -448,11 +475,102 @@ def _bench_incremental(
     }
 
 
-def run_benchmarks(profile: str = "default", output: str | None = None) -> dict:
+def _bench_sharded(
+    irn: IRN, split: DatasetSplit, instances: list[EvaluationInstance], config: dict,
+    shard_backend: "str | None" = None, vocab_shards: "int | None" = None,
+) -> dict:
+    """Worker-partitioned batched beam planning at 1 / 2 / 4 workers.
+
+    The workload is the ``generate_records`` evaluation fan-out: one
+    ``plan_paths_batch`` over all bench instances, with plan memoisation
+    disabled so every run measures planning work, not cache reuse.  The
+    serial planner (``num_workers=1``) is the reference; each worker count
+    reports paths/sec, speedup over serial and scaling efficiency
+    (speedup / workers), plus a plans-equality bit — the sharded results
+    must be bit-identical, whatever the backend.  A fork-process run at 2
+    workers double-checks cross-process parity when the platform has fork.
+
+    Wall-clock scaling is machine-bound: with ``cpu_count`` cores, anything
+    beyond ``cpu_count`` workers can only add partitioning overhead, which
+    is why the section records the CPU count alongside the numbers.
+    """
+    contexts = [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+    max_length = config["max_path_length"]
+    vocab_shards = resolve_vocab_shards(vocab_shards)
+    kwargs = dict(
+        beam_width=config["beam_width"],
+        branch_factor=config["branch_factor"],
+        plan_cache_size=0,
+        vocab_shards=vocab_shards,
+    )
+    args = ([c[0] for c in contexts], [c[1] for c in contexts], [c[2] for c in contexts])
+
+    def run(planner: BeamSearchPlanner) -> tuple[list[list[int]], float]:
+        return _timed(lambda: planner.plan_paths_batch(*args, max_length=max_length))
+
+    backend = resolve_shard_backend(shard_backend, num_workers=4)
+
+    # The 1-worker planner short-circuits the executor and IS the serial
+    # reference — measuring it once serves as both the baseline and the
+    # first sweep row (no duplicated planning pass).
+    workers_report = []
+    serial_paths: list[list[int]] = []
+    serial_seconds = 0.0
+    for num_workers in (1, 2, 4):
+        planner = BeamSearchPlanner(
+            irn, num_workers=num_workers, shard_backend=backend, **kwargs
+        ).fit(split)
+        paths, seconds = run(planner)
+        if num_workers == 1:
+            serial_paths, serial_seconds = paths, seconds
+        speedup = serial_seconds / seconds if seconds > 0 else float("inf")
+        workers_report.append(
+            {
+                "num_workers": num_workers,
+                "seconds": round(seconds, 4),
+                "paths_per_sec": round(len(paths) / seconds, 2) if seconds > 0 else float("inf"),
+                "speedup_vs_serial": round(speedup, 2),
+                "scaling_efficiency": round(speedup / num_workers, 2),
+                "plans_equal_serial": paths == serial_paths,
+            }
+        )
+
+    process_parity = None
+    if fork_available():
+        process_planner = BeamSearchPlanner(
+            irn, num_workers=2, shard_backend="process", **kwargs
+        ).fit(split)
+        process_paths, _ = run(process_planner)
+        process_parity = process_paths == serial_paths
+
+    return {
+        "max_path_length": max_length,
+        "num_instances": len(contexts),
+        "backend": backend,
+        "vocab_shards": vocab_shards,
+        "serial": {
+            "seconds": round(serial_seconds, 4),
+            "paths_per_sec": round(len(serial_paths) / serial_seconds, 2)
+            if serial_seconds > 0
+            else float("inf"),
+        },
+        "workers": workers_report,
+        "process_parity": process_parity,
+    }
+
+
+def run_benchmarks(
+    profile: str = "default",
+    output: str | None = None,
+    shard_backend: "str | None" = None,
+    vocab_shards: "int | None" = None,
+) -> dict:
     """Train a small IRN on the synthetic corpus and time scalar vs batched.
 
     Returns the report dict; when ``output`` is given it is also written there
     as JSON (the repo-root ``BENCH_path_planning.json`` artefact).
+    ``shard_backend`` / ``vocab_shards`` configure the ``sharded_evaluation``
+    section (defaults: the ``REPRO_*`` environment, then thread / 1).
     """
     config = smoke_config() if profile == "smoke" else default_config()
     split = build_bench_split(config)
@@ -464,18 +582,37 @@ def run_benchmarks(profile: str = "default", output: str | None = None) -> dict:
         max_instances=config["num_instances"],
     )
 
+    machine = machine_info()
     report = {
         "benchmark": "path_planning",
         "profile": config["profile"],
         "dataset": config["synthetic"]["name"],
         "vocab_size": split.corpus.vocab.size,
         "num_users": split.corpus.num_users,
+        "machine": machine,
         "beam_planning": _bench_beam(irn, split, instances, config),
         "greedy_planning": _bench_greedy(irn, instances, config),
         "nextitem_evaluation": _bench_nextitem(irn, split, config),
         "irs_stepwise_replanning": _bench_stepwise(irn, split, instances, config),
         "incremental_decoding": _bench_incremental(split, instances, config),
+        "sharded_evaluation": _bench_sharded(
+            irn, split, instances, config,
+            shard_backend=shard_backend, vocab_shards=vocab_shards,
+        ),
     }
+    # Every section records the CPU count and the execution backend it ran
+    # on, so the perf trajectory stays comparable across machines: the
+    # non-sharded sections run in-process serial NumPy.
+    for name in (
+        "beam_planning",
+        "greedy_planning",
+        "nextitem_evaluation",
+        "irs_stepwise_replanning",
+        "incremental_decoding",
+        "sharded_evaluation",
+    ):
+        report[name].setdefault("backend", "serial")
+        report[name]["cpu_count"] = machine["cpu_count"]
     if output:
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=False)
@@ -487,11 +624,27 @@ def main(argv: Sequence[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", choices=["smoke", "default"], default="default")
     parser.add_argument("--output", default="BENCH_path_planning.json")
+    parser.add_argument(
+        "--shard-backend",
+        default=None,
+        help="backend of the sharded_evaluation section (serial | thread | process)",
+    )
+    parser.add_argument(
+        "--vocab-shards",
+        type=int,
+        default=None,
+        help="column shards of the item axis for top-k in the sharded section",
+    )
     args = parser.parse_args(argv)
     # Fail on an unwritable output path BEFORE spending minutes benchmarking.
     with open(args.output, "a", encoding="utf-8"):
         pass
-    report = run_benchmarks(profile=args.profile, output=args.output)
+    report = run_benchmarks(
+        profile=args.profile,
+        output=args.output,
+        shard_backend=args.shard_backend,
+        vocab_shards=args.vocab_shards,
+    )
     print(json.dumps(report, indent=2))
     print("\n" + format_summary(report))
 
@@ -501,7 +654,9 @@ def format_summary(report: dict) -> str:
     beam = report["beam_planning"]
     stepwise = report["irs_stepwise_replanning"]
     incremental = report["incremental_decoding"]
+    sharded = report["sharded_evaluation"]
     counters = stepwise["cache_counters"]
+    best = max(sharded["workers"], key=lambda row: row["speedup_vs_serial"])
     lines = [
         f"beam planning: {beam['scalar']['forwards']} -> {beam['batched']['forwards']} forwards "
         f"({beam['forward_reduction']}x fewer), "
@@ -517,6 +672,11 @@ def format_summary(report: dict) -> str:
         f"incremental decoding (1 layer): {incremental['full_reencode']['tokens_encoded']} -> "
         f"{incremental['incremental']['tokens_encoded']} tokens of work "
         f"({incremental['token_work_reduction']}x less)",
+        f"sharded evaluation ({sharded['backend']}, {sharded['cpu_count']} cpu): "
+        f"{sharded['serial']['paths_per_sec']} paths/sec serial, "
+        f"{best['paths_per_sec']} paths/sec at {best['num_workers']} workers "
+        f"({best['speedup_vs_serial']}x, efficiency {best['scaling_efficiency']}), "
+        f"plans identical: {all(row['plans_equal_serial'] for row in sharded['workers'])}",
     ]
     return "\n".join(lines)
 

@@ -98,3 +98,56 @@ class TestDecodeStats:
         assert delta["tokens_incremental"] == 2
         assert delta["tokens_full"] == 0
         assert delta["forwards"] == 1
+
+    def test_concurrent_records_lose_no_increments(self):
+        """Sharded workers record against one shared backbone's stats."""
+        import threading
+
+        stats = DecodeStats()
+        per_thread = 500
+
+        def hammer():
+            for _ in range(per_thread):
+                stats.record_full(3)
+                stats.record_incremental(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.full_forwards == 4 * per_thread
+        assert stats.tokens_encoded == 4 * per_thread * 4
+
+
+class TestPlanCacheClearResetStats:
+    """Satellite of the sharding PR: ``clear(reset_stats=True)`` zeroes the
+    counters so recycled per-shard caches merge cleanly into one report."""
+
+    def test_default_clear_keeps_counters(self):
+        cache = PlanCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.hits == 1 and cache.invalidations == 1
+
+    def test_reset_stats_zeroes_everything(self):
+        cache = PlanCache(2)
+        for i in range(4):
+            cache.put(i, i)
+        cache.get(3)
+        cache.get("missing")
+        cache.clear(reset_stats=True)
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.evictions == 0 and cache.invalidations == 0
+        info = cache.cache_info()
+        assert info["hit_rate"] == 0.0 and info["size"] == 0
+
+    def test_reusable_after_reset(self):
+        cache = PlanCache(4)
+        cache.put("a", 1)
+        cache.clear(reset_stats=True)
+        cache.put("b", 2)
+        assert cache.get("b") == 2
+        assert cache.hits == 1 and cache.misses == 0

@@ -1,0 +1,104 @@
+"""Deterministic hashing and partitioning of the shard subsystem."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.shard.partition import context_key, partition_indices, shard_index, stable_hash
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestStableHash:
+    def test_deterministic_within_process(self):
+        key = ((1, 2, 3), 7, 4)
+        assert stable_hash(key) == stable_hash(key)
+
+    def test_distinct_keys_differ(self):
+        assert stable_hash(((1, 2), 3, 0)) != stable_hash(((1, 2), 3, 1))
+
+    def test_deterministic_across_interpreters(self):
+        """The shard of a context must not depend on PYTHONHASHSEED."""
+        import os
+        import pathlib
+
+        key = ((5, 9, 1), 12, None)
+        expected = stable_hash(key)
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        script = (
+            "from repro.shard.partition import stable_hash;"
+            f"print(stable_hash({key!r}))"
+        )
+        for seed in ("0", "1", "random"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = str(repo_root / "src")
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            )
+            assert int(out.stdout.strip()) == expected
+
+    def test_64_bit_range(self):
+        assert 0 <= stable_hash(("x",)) < 2**64
+
+
+class TestShardIndex:
+    def test_single_shard_is_always_zero(self):
+        assert shard_index(("any", "key"), 1) == 0
+
+    def test_in_range(self):
+        for shards in (2, 3, 7):
+            for key in range(50):
+                assert 0 <= shard_index((key,), shards) < shards
+
+    def test_covers_all_shards_eventually(self):
+        hit = {shard_index(((i,), i, i), 4) for i in range(200)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            shard_index(("k",), 0)
+
+
+class TestContextKey:
+    def test_normalises_history_to_int_tuple(self):
+        import numpy as np
+
+        key = context_key(np.asarray([1, 2]), np.int64(3), np.int64(4))
+        assert key == ((1, 2), 3, 4)
+        assert all(type(item) is int for item in key[0])
+
+    def test_preserves_none(self):
+        assert context_key([1], None, None) == ((1,), None, None)
+
+    def test_equal_contexts_hash_equal(self):
+        import numpy as np
+
+        a = context_key([1, 2], 3, 4)
+        b = context_key((np.int64(1), np.int64(2)), np.int64(3), 4)
+        assert stable_hash(a) == stable_hash(b)
+
+
+class TestPartitionIndices:
+    def test_round_trip_covers_all_positions(self):
+        keys = [((i,), i % 5, None) for i in range(37)]
+        shards = partition_indices(keys, 4)
+        flat = sorted(position for indices in shards for position in indices)
+        assert flat == list(range(37))
+
+    def test_within_shard_order_preserved(self):
+        keys = [((i,), 0, None) for i in range(20)]
+        for indices in partition_indices(keys, 3):
+            assert indices == sorted(indices)
+
+    def test_same_key_same_shard(self):
+        keys = [((1, 2), 3, 4), ((9,), 9, 9), ((1, 2), 3, 4)]
+        shards = partition_indices(keys, 8)
+        owner = {pos: shard for shard, indices in enumerate(shards) for pos in indices}
+        assert owner[0] == owner[2]

@@ -1,0 +1,232 @@
+"""End-to-end parity of the sharded execution subsystem.
+
+Acceptance contract of the sharding PR: sharded execution — thread and
+process backends, any ``num_workers``, any ``vocab_shards`` — produces
+bit-identical plans, ranks and metrics to the serial path, across the
+planner, the IRS evaluation protocol and the next-item evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beam import BeamSearchPlanner
+from repro.core.irn import IRN
+from repro.evaluation.nextitem import evaluate_next_item
+from repro.evaluation.protocol import IRSEvaluationProtocol
+from repro.shard.config import fork_available
+from repro.utils.exceptions import ConfigurationError
+
+BACKENDS = ["serial", "thread"] + (["process"] if fork_available() else [])
+
+
+@pytest.fixture(scope="module")
+def shard_irn(tiny_split):
+    return IRN(
+        embedding_dim=16,
+        user_dim=4,
+        num_heads=2,
+        num_layers=1,
+        epochs=1,
+        batch_size=32,
+        max_sequence_length=50,
+        seed=0,
+    ).fit(tiny_split)
+
+
+@pytest.fixture(scope="module")
+def contexts(tiny_split):
+    from repro.evaluation.protocol import sample_objectives
+
+    instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=9)
+    return [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+
+
+def _plan_args(contexts):
+    return (
+        [c[0] for c in contexts],
+        [c[1] for c in contexts],
+        [c[2] for c in contexts],
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_plans(shard_irn, tiny_split, contexts):
+    planner = BeamSearchPlanner(shard_irn, num_workers=1).fit(tiny_split)
+    return planner.plan_paths_batch(*_plan_args(contexts), max_length=5)
+
+
+class TestShardedPlannerParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("num_workers", [2, 4])
+    def test_plans_bit_identical_across_backends(
+        self, shard_irn, tiny_split, contexts, serial_plans, backend, num_workers
+    ):
+        planner = BeamSearchPlanner(
+            shard_irn, num_workers=num_workers, shard_backend=backend
+        ).fit(tiny_split)
+        plans = planner.plan_paths_batch(*_plan_args(contexts), max_length=5)
+        assert plans == serial_plans
+
+    @pytest.mark.parametrize("vocab_shards", [2, 3, 7])
+    def test_vocab_sharded_plans_identical(
+        self, shard_irn, tiny_split, contexts, serial_plans, vocab_shards
+    ):
+        planner = BeamSearchPlanner(shard_irn, vocab_shards=vocab_shards).fit(tiny_split)
+        plans = planner.plan_paths_batch(*_plan_args(contexts), max_length=5)
+        assert plans == serial_plans
+
+    def test_combined_worker_and_vocab_sharding(
+        self, shard_irn, tiny_split, contexts, serial_plans
+    ):
+        planner = BeamSearchPlanner(
+            shard_irn, num_workers=3, shard_backend="thread", vocab_shards=4
+        ).fit(tiny_split)
+        plans = planner.plan_paths_batch(*_plan_args(contexts), max_length=5)
+        assert plans == serial_plans
+
+    def test_sharded_cache_serves_second_call(self, shard_irn, tiny_split, contexts):
+        planner = BeamSearchPlanner(
+            shard_irn, num_workers=2, shard_backend="thread"
+        ).fit(tiny_split)
+        first = planner.plan_paths_batch(*_plan_args(contexts), max_length=5)
+        before = shard_irn.decode_stats.snapshot()
+        second = planner.plan_paths_batch(*_plan_args(contexts), max_length=5)
+        after = shard_irn.decode_stats.snapshot()
+        assert first == second
+        assert after["tokens_encoded"] == before["tokens_encoded"]
+        info = planner.cache_info()
+        assert info["plan_cache"]["hits"] == len(contexts)
+        assert info["sharding"]["num_workers"] == 2
+
+    def test_worker_shard_owns_its_cache_shard(self, shard_irn, tiny_split, contexts):
+        """The no-invalidation-traffic invariant: a context's plan is
+        memoised in the shard owned by the worker that planned it."""
+        from repro.shard.partition import shard_index
+
+        planner = BeamSearchPlanner(shard_irn, num_workers=4).fit(tiny_split)
+        planner.plan_paths_batch(*_plan_args(contexts), max_length=5)
+        for history, objective, user in contexts:
+            key = (tuple(history), objective, user, 5)
+            owner = planner.plan_cache.shards[shard_index(key, 4)]
+            assert key in owner
+
+    def test_retrain_invalidates_every_shard(self, tiny_split, contexts):
+        irn = IRN(
+            embedding_dim=16, user_dim=4, num_heads=2, num_layers=1,
+            epochs=1, batch_size=32, max_sequence_length=50, seed=0,
+        ).fit(tiny_split)
+        planner = BeamSearchPlanner(irn, num_workers=2).fit(tiny_split)
+        planner.plan_paths_batch(*_plan_args(contexts), max_length=5)
+        assert len(planner.plan_cache) > 0
+        irn.fit(tiny_split)  # fit_generation bump, checked locally per shard
+        planner.plan_paths_batch(*_plan_args(contexts[:1]), max_length=5)
+        # One retrain = one invalidation event (facade-level, like the
+        # serial cache), and every shard's entries were dropped.
+        assert planner.plan_cache.invalidations == 1
+        assert len(planner.plan_cache) == 1  # only the replanned context
+
+    def test_env_forced_workers(self, shard_irn, tiny_split, contexts, serial_plans, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "2")
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "thread")
+        planner = BeamSearchPlanner(shard_irn).fit(tiny_split)
+        assert planner.num_workers == 2
+        assert planner.shard_backend == "thread"
+        assert planner.plan_paths_batch(*_plan_args(contexts), max_length=5) == serial_plans
+
+    def test_step_cache_shards_keep_at_least_one_slot(self, shard_irn):
+        """A serving cache smaller than the worker count must not leave any
+        hash shard capacity-0 (that slice of the context space would replan
+        on every next_step call)."""
+        planner = BeamSearchPlanner(shard_irn, step_cache_size=1, num_workers=4)
+        assert all(shard.maxsize >= 1 for shard in planner._step_cache.shards)
+
+    def test_invalid_configuration_rejected(self, shard_irn):
+        with pytest.raises(ConfigurationError):
+            BeamSearchPlanner(shard_irn, num_workers=0)
+        with pytest.raises(ConfigurationError):
+            BeamSearchPlanner(shard_irn, shard_backend="gpu")
+        with pytest.raises(ConfigurationError):
+            BeamSearchPlanner(shard_irn, vocab_shards=0)
+
+
+class TestShardedProtocolParity:
+    @pytest.fixture(scope="class")
+    def protocols(self, tiny_split, markov_evaluator):
+        def build(num_workers, backend=None):
+            return IRSEvaluationProtocol(
+                tiny_split,
+                markov_evaluator,
+                max_length=4,
+                min_objective_interactions=2,
+                max_instances=8,
+                num_workers=num_workers,
+                shard_backend=backend,
+            )
+
+        return build
+
+    @pytest.fixture(scope="class")
+    def shard_planner(self, shard_irn, tiny_split):
+        return BeamSearchPlanner(shard_irn, max_length=4).fit(tiny_split)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_generate_records_parity(self, protocols, shard_planner, backend):
+        serial = protocols(1).generate_records(shard_planner)
+        shard_planner.invalidate_caches()
+        sharded = protocols(3, backend).generate_records(shard_planner)
+        assert sharded == serial
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_generate_records_stepwise_parity(self, protocols, shard_planner, backend):
+        shard_planner.invalidate_caches()
+        serial = protocols(1).generate_records_stepwise(shard_planner)
+        shard_planner.invalidate_caches()
+        sharded = protocols(2, backend).generate_records_stepwise(shard_planner)
+        assert sharded == serial
+
+    def test_evaluate_metrics_identical(self, protocols, shard_planner):
+        shard_planner.invalidate_caches()
+        serial = protocols(1).evaluate(shard_planner)
+        shard_planner.invalidate_caches()
+        sharded = protocols(2, "thread").evaluate(shard_planner)
+        assert sharded.as_row() == serial.as_row()
+
+    def test_rollout_chunk_size_validated(self, tiny_split, markov_evaluator):
+        with pytest.raises(ConfigurationError, match="rollout_chunk_size"):
+            IRSEvaluationProtocol(tiny_split, markov_evaluator, rollout_chunk_size=0)
+
+    def test_chunked_sharded_rollout_matches_unchunked(
+        self, tiny_split, markov_evaluator, shard_planner
+    ):
+        shard_planner.invalidate_caches()
+        unchunked = IRSEvaluationProtocol(
+            tiny_split, markov_evaluator, max_length=4,
+            min_objective_interactions=2, max_instances=8,
+            rollout_chunk_size=64, num_workers=1,
+        ).generate_records(shard_planner)
+        shard_planner.invalidate_caches()
+        chunked = IRSEvaluationProtocol(
+            tiny_split, markov_evaluator, max_length=4,
+            min_objective_interactions=2, max_instances=8,
+            rollout_chunk_size=2, num_workers=2, shard_backend="thread",
+        ).generate_records(shard_planner)
+        assert chunked == unchunked
+
+
+class TestShardedNextItemParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ranks_and_metrics_identical(self, fitted_markov, tiny_split, backend):
+        serial = evaluate_next_item(fitted_markov, tiny_split, max_instances=20)
+        sharded = evaluate_next_item(
+            fitted_markov, tiny_split, max_instances=20,
+            num_workers=3, shard_backend=backend,
+        )
+        assert sharded == serial
+
+    def test_irn_backed_parity(self, shard_irn, tiny_split):
+        serial = evaluate_next_item(shard_irn, tiny_split, max_instances=12)
+        sharded = evaluate_next_item(
+            shard_irn, tiny_split, max_instances=12, num_workers=2, shard_backend="thread"
+        )
+        assert sharded == serial

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.utils.exceptions import ConfigurationError
 
 
 class TestParser:
@@ -57,6 +58,69 @@ class TestMain:
         for artefact in ["ablation-embedding", "ext-interactive", "ext-kg", "ext-quality"]:
             args = parser.parse_args([artefact])
             assert args.artefact == artefact
+
+
+class TestScalingFlags:
+    """Satellite of the sharding PR: the scaling knobs are CLI-visible and
+    validated with clear ConfigurationError messages."""
+
+    def test_flags_parsed_with_defaults(self):
+        args = build_parser().parse_args(["table6"])
+        assert args.num_workers is None
+        assert args.shard_backend is None
+        assert args.vocab_shards is None
+        assert args.rollout_chunk_size is None
+
+    def test_table6_accepts_scaling_flags(self, capsys):
+        code = main(
+            [
+                "table6",
+                "--profile",
+                "fast",
+                "--num-workers",
+                "2",
+                "--shard-backend",
+                "serial",
+                "--vocab-shards",
+                "3",
+                "--rollout-chunk-size",
+                "16",
+            ]
+        )
+        assert code == 0
+        assert "w_t" in capsys.readouterr().out
+
+    def test_invalid_num_workers_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="num_workers"):
+            main(["table6", "--profile", "fast", "--num-workers", "0"])
+        with pytest.raises(ConfigurationError, match="num_workers"):
+            main(["table6", "--profile", "fast", "--num-workers", "two"])
+
+    def test_invalid_backend_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="shard_backend"):
+            main(["table6", "--profile", "fast", "--shard-backend", "quantum"])
+
+    def test_invalid_vocab_shards_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="vocab_shards"):
+            main(["table6", "--profile", "fast", "--vocab-shards", "-1"])
+
+    def test_invalid_rollout_chunk_size_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="rollout-chunk-size"):
+            main(["table6", "--profile", "fast", "--rollout-chunk-size", "0"])
+        with pytest.raises(ConfigurationError, match="rollout-chunk-size"):
+            main(["table6", "--profile", "fast", "--rollout-chunk-size", "many"])
+
+    def test_env_defaults_apply_when_flags_omitted(self, monkeypatch):
+        from repro.cli import _resolve_shard_args
+
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "2")
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "serial")
+        args = build_parser().parse_args(["table6"])
+        num_workers, backend, vocab_shards, chunk = _resolve_shard_args(args)
+        assert num_workers == 2
+        assert backend == "serial"
+        assert vocab_shards == 1
+        assert chunk is None
 
 
 class TestBenchSubcommand:
