@@ -102,6 +102,53 @@ def test_sharded_evaluation_records_scaling_and_machine_context(smoke_report):
         assert row["scaling_efficiency"] > 0
 
 
+def test_async_serving_responses_bit_identical_at_every_worker_count(smoke_report):
+    """Async-serving PR acceptance: for the fixed lockstep trace, ServingLoop
+    responses equal sequential next_step serving at 1, 2 and 4 workers."""
+    serving = smoke_report["async_serving"]
+    assert [row["num_workers"] for row in serving["workers"]] == [1, 2, 4]
+    assert all(row["responses_match_sequential"] for row in serving["workers"])
+
+
+def test_async_serving_records_latency_and_queue_stats(smoke_report):
+    """Acceptance: the async_serving section carries throughput, p50/p95/p99
+    latency and queue-depth stats for the open-loop Poisson run."""
+    serving = smoke_report["async_serving"]
+    assert serving["arrival_rate"] > 0
+    for row in serving["workers"]:
+        open_loop = row["open_loop"]
+        assert open_loop["throughput_rps"] > 0
+        latency = open_loop["latency_ms"]
+        assert latency["count"] == open_loop["admitted_requests"]
+        assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+        assert open_loop["queue_depth"]["max"] >= 1
+        assert open_loop["micro_batches"]["count"] >= 1
+        assert open_loop["admission"]["policy"] in ("block", "reject")
+
+
+def test_sections_filter_runs_subset():
+    """Satellite: run_benchmarks(sections=...) runs only the named sections
+    (the repro-irs bench --sections flag routes here)."""
+    from repro.perf.bench import resolve_sections
+    from repro.utils.exceptions import ConfigurationError
+
+    report = run_benchmarks(profile="smoke", sections=["nextitem_evaluation"])
+    assert report["sections"] == ["nextitem_evaluation"]
+    assert "nextitem_evaluation" in report
+    assert "beam_planning" not in report and "async_serving" not in report
+    assert resolve_sections(None) == (
+        "beam_planning",
+        "greedy_planning",
+        "nextitem_evaluation",
+        "irs_stepwise_replanning",
+        "incremental_decoding",
+        "sharded_evaluation",
+        "async_serving",
+    )
+    with pytest.raises(ConfigurationError, match="unknown bench section"):
+        resolve_sections(["beam_planning", "quantum_planning"])
+
+
 def test_every_section_records_cpu_count_and_backend(smoke_report):
     """Satellite: sections carry the machine's CPU count and the backend
     used, so the perf trajectory stays comparable across runs."""
@@ -112,6 +159,7 @@ def test_every_section_records_cpu_count_and_backend(smoke_report):
         "irs_stepwise_replanning",
         "incremental_decoding",
         "sharded_evaluation",
+        "async_serving",
     )
     for name in sections:
         assert smoke_report[name]["cpu_count"] == smoke_report["machine"]["cpu_count"]

@@ -120,10 +120,17 @@ class PlanCache:
                 self.invalidations = 0
 
     # ------------------------------------------------------------------ #
-    def cache_info(self) -> dict:
-        """Counters for the perf harness / ``BENCH_path_planning.json``."""
+    def counters(self) -> dict:
+        """One locked snapshot of the size and hit/miss/eviction counters.
+
+        Callers aggregating counters across caches (the sharded façade, the
+        serving loop's stats endpoint) must use this instead of reading the
+        ``hits`` / ``misses`` / ... attributes one by one: a drain thread
+        recording a lookup between two attribute reads would make the
+        combination torn (e.g. a hit counted but not yet visible next to the
+        miss total it belongs with).
+        """
         with self._lock:
-            lookups = self.hits + self.misses
             return {
                 "size": len(self._data),
                 "maxsize": self.maxsize,
@@ -131,5 +138,11 @@ class PlanCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
-                "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
             }
+
+    def cache_info(self) -> dict:
+        """Counters for the perf harness / ``BENCH_path_planning.json``."""
+        info = self.counters()
+        lookups = info["hits"] + info["misses"]
+        info["hit_rate"] = round(info["hits"] / lookups, 4) if lookups else 0.0
+        return info

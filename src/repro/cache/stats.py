@@ -16,7 +16,11 @@ The counters are lock-guarded: the sharded execution subsystem scores
 independent instance partitions on worker threads against ONE shared
 backbone, so concurrent ``record_*`` calls must not lose increments (a bare
 ``+=`` is not atomic across bytecode boundaries).  ``snapshot`` takes the
-same lock, so before/after deltas see a consistent view.
+same lock, so before/after deltas see a consistent view — and the derived
+``forwards`` / ``tokens_encoded`` totals take it too: they sum several
+fields, and reading them one by one while a serving-loop drain thread is
+mid-``record_*`` could observe a torn total (one field incremented, its
+sibling not yet).  Every read path is a single locked snapshot.
 """
 
 from __future__ import annotations
@@ -69,16 +73,24 @@ class DecodeStats:
     # ------------------------------------------------------------------ #
     @property
     def forwards(self) -> int:
-        """Total transformer calls of any kind."""
-        return self.full_forwards + self.incremental_forwards + self.fallback_forwards
+        """Total transformer calls of any kind (one locked read)."""
+        with self._lock:
+            return self.full_forwards + self.incremental_forwards + self.fallback_forwards
 
     @property
     def tokens_encoded(self) -> int:
-        """Total token-work across all forward kinds."""
-        return self.tokens_full + self.tokens_incremental + self.tokens_fallback
+        """Total token-work across all forward kinds (one locked read)."""
+        with self._lock:
+            return self.tokens_full + self.tokens_incremental + self.tokens_fallback
 
     def snapshot(self) -> dict:
-        """A plain-dict copy (for before/after deltas in the benchmark)."""
+        """A plain-dict copy (for before/after deltas in the benchmark).
+
+        All fields are read under one lock acquisition, so the derived
+        totals are always internally consistent — a snapshot taken while
+        another thread is mid-``record_*`` sees either none or all of that
+        call's increments.
+        """
         with self._lock:
             report = {field: getattr(self, field) for field in self._FIELDS}
         report["forwards"] = (

@@ -10,22 +10,37 @@ Examples
     repro-irs ablation-decoding --profile fast
     repro-irs ext-interactive --dataset lastfm
     repro-irs bench --profile fast
+    repro-irs bench --sections async_serving,irs_stepwise_replanning
+    repro-irs serve-sim --profile fast --arrival-rate 200 --duration 1
 
 ``all`` regenerates every table and figure of the paper; the ``ablation-*``
 and ``ext-*`` artefacts cover the design-choice ablations and the
 future-work extensions (interactive simulation, knowledge graph, category
 objectives, path quality) and are run individually.  ``bench`` runs the
 :mod:`repro.perf.bench` harness (batched inference + cache subsystem +
-sharded execution) and prints cache hit rates and forwards/sec; ``--profile
-fast`` maps to the seconds-scale smoke profile and ``--output`` overrides
-the JSON artefact path (default ``BENCH_path_planning.json``).
+sharded execution + async serving) and prints cache hit rates and
+forwards/sec; ``--profile fast`` maps to the seconds-scale smoke profile,
+``--output`` overrides the JSON artefact path (default
+``BENCH_path_planning.json``) and ``--sections`` restricts the run to a
+comma-separated subset of sections (the full bench is slow; CI typically
+needs only the section under test).
+
+``serve-sim`` offers synthetic open-loop Poisson traffic to the
+asynchronous serving loop (:mod:`repro.serve`) over the bench corpus and
+prints throughput, p50/p95/p99 latency and queue-depth stats.  Its knobs —
+``--arrival-rate``, ``--duration``, ``--max-queue-depth``,
+``--drain-deadline``, ``--admission-policy`` — resolve through the
+``REPRO_*`` environment defaults exactly like the sharding flags.
 
 Scaling knobs (``--num-workers``, ``--shard-backend``, ``--vocab-shards``,
 ``--rollout-chunk-size``) configure the sharded execution subsystem
 (:mod:`repro.shard`) for the paper artefacts; results are bit-identical to
 the serial defaults, only throughput changes.  ``bench`` honours
 ``--shard-backend`` / ``--vocab-shards`` and warns about the rest (its
-sharded section sweeps a fixed 1/2/4 worker grid).
+sharded section sweeps a fixed 1/2/4 worker grid); ``serve-sim`` honours
+``--num-workers`` / ``--shard-backend`` / ``--vocab-shards`` and warns
+about ``--rollout-chunk-size`` (it drives ``next_step`` serving, not
+chunked evaluation rollouts).
 """
 
 from __future__ import annotations
@@ -83,10 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
         + sorted(_FIGURES)
         + sorted(_ABLATIONS)
         + sorted(_EXTENSIONS)
-        + ["all", "bench"],
+        + ["all", "bench", "serve-sim"],
         help=(
             "which table/figure/ablation/extension to regenerate ('all' covers the "
-            "paper artefacts; 'bench' runs the performance harness)"
+            "paper artefacts; 'bench' runs the performance harness; 'serve-sim' "
+            "drives the async serving loop with synthetic traffic)"
         ),
     )
     parser.add_argument("--dataset", choices=["movielens", "lastfm"], default="movielens")
@@ -130,6 +146,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="evaluation instances per batched Algorithm-1 rollout call (default: 64)",
     )
+    parser.add_argument(
+        "--sections",
+        default=None,
+        help="bench only: comma-separated subset of bench sections to run (default: all)",
+    )
+    # Serving knobs (repro.serve) — parsed as raw strings and validated by
+    # the serve config resolvers, same pattern as the sharding flags above,
+    # so the REPRO_* environment defaults apply when a flag is omitted.
+    parser.add_argument(
+        "--arrival-rate",
+        default=None,
+        help="serve-sim: mean Poisson arrivals/sec (default: $REPRO_ARRIVAL_RATE or 100)",
+    )
+    parser.add_argument(
+        "--duration",
+        default=None,
+        help="serve-sim: seconds of synthetic traffic (default: $REPRO_SERVE_DURATION or 2)",
+    )
+    parser.add_argument(
+        "--max-queue-depth",
+        default=None,
+        help="serve-sim: per-shard request queue bound (default: $REPRO_MAX_QUEUE_DEPTH or 64)",
+    )
+    parser.add_argument(
+        "--drain-deadline",
+        default=None,
+        help=(
+            "serve-sim: seconds a drain holds a queue open to widen the micro-batch "
+            "(default: $REPRO_DRAIN_DEADLINE or 0.002)"
+        ),
+    )
+    parser.add_argument(
+        "--admission-policy",
+        default=None,
+        help="serve-sim: block | reject on a full queue (default: $REPRO_ADMISSION_POLICY or block)",
+    )
     return parser
 
 
@@ -164,6 +216,29 @@ def _resolve_shard_args(args: argparse.Namespace) -> tuple[int, str, int, int | 
                 f"--rollout-chunk-size must be a positive integer, got {chunk}"
             )
     return num_workers, backend, vocab_shards, chunk
+
+
+def _resolve_serve_args(args: argparse.Namespace) -> dict:
+    """Validate the serving flags through the serve config resolvers.
+
+    Returns the resolved knob dict for ``serve-sim``; raises
+    ``ConfigurationError`` (with the offending source named) on bad values.
+    """
+    from repro.serve.config import (
+        resolve_admission_policy,
+        resolve_arrival_rate,
+        resolve_drain_deadline,
+        resolve_max_queue_depth,
+        resolve_serve_duration,
+    )
+
+    return {
+        "arrival_rate": resolve_arrival_rate(args.arrival_rate),
+        "duration": resolve_serve_duration(args.duration),
+        "max_queue_depth": resolve_max_queue_depth(args.max_queue_depth),
+        "drain_deadline": resolve_drain_deadline(args.drain_deadline),
+        "admission_policy": resolve_admission_policy(args.admission_policy),
+    }
 
 
 def _make_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -300,6 +375,10 @@ def _run_bench(args: argparse.Namespace) -> int:
     # omitted flag keeps the documented thread default instead of the
     # num_workers=1 'serial' resolution.
     _, _, vocab_shards, _ = _resolve_shard_args(args)
+    from repro.perf.bench import resolve_sections
+
+    sections = args.sections.split(",") if args.sections else None
+    resolve_sections(sections)  # fail on typos before training the model
     profile = "smoke" if args.profile == "fast" else "default"
     output = args.output or "BENCH_path_planning.json"
     report = run_benchmarks(
@@ -307,9 +386,101 @@ def _run_bench(args: argparse.Namespace) -> int:
         output=output,
         shard_backend=args.shard_backend,
         vocab_shards=vocab_shards,
+        sections=sections,
     )
     print(format_summary(report))
     print(f"report written to {output}")
+    return 0
+
+
+def _run_serve_sim(args: argparse.Namespace) -> int:
+    """The ``serve-sim`` artefact: synthetic traffic through the serving loop.
+
+    Builds the bench corpus (smoke profile under ``--profile fast``), fits
+    the IRN, wraps a sharded beam planner in a
+    :class:`~repro.serve.loop.ServingLoop` and offers open-loop Poisson
+    traffic for ``--duration`` seconds at ``--arrival-rate`` requests/sec.
+    Prints the latency/throughput/queue report (and writes it as JSON to
+    ``--output`` when given).
+    """
+    import json
+
+    from repro.core.beam import BeamSearchPlanner
+    from repro.core.irn import IRN
+    from repro.evaluation.protocol import sample_objectives
+    from repro.perf.bench import build_bench_split, machine_info, smoke_config, default_config
+    from repro.serve import ServingLoop, run_open_loop
+
+    serve = _resolve_serve_args(args)
+    num_workers, backend, vocab_shards, _ = _resolve_shard_args(args)
+    if args.rollout_chunk_size is not None:
+        print(
+            "warning: serve-sim ignores --rollout-chunk-size — it drives "
+            "next_step serving traffic, not chunked evaluation rollouts",
+            file=sys.stderr,
+        )
+    bench_config = smoke_config() if args.profile == "fast" else default_config()
+    split = build_bench_split(bench_config)
+    irn = IRN(**bench_config["irn"]).fit(split)
+    instances = sample_objectives(
+        split,
+        min_objective_interactions=2,
+        seed=args.seed,
+        max_instances=bench_config["num_instances"],
+    )
+    contexts = [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+    planner = BeamSearchPlanner(
+        irn,
+        beam_width=bench_config["beam_width"],
+        branch_factor=bench_config["branch_factor"],
+        max_length=bench_config["max_path_length"],
+        num_workers=num_workers,
+        shard_backend=backend,
+        vocab_shards=vocab_shards,
+    ).fit(split)
+    with ServingLoop(
+        planner,
+        max_queue_depth=serve["max_queue_depth"],
+        admission_policy=serve["admission_policy"],
+        drain_deadline=serve["drain_deadline"],
+    ) as loop:
+        report = run_open_loop(
+            loop,
+            contexts,
+            arrival_rate=serve["arrival_rate"],
+            duration=serve["duration"],
+            seed=args.seed,
+            max_length=bench_config["max_path_length"],
+        )
+    report["machine"] = machine_info()
+    report["sharding"] = {
+        "num_workers": planner.num_workers,
+        "backend": planner.shard_backend,
+        "vocab_shards": planner.vocab_shards,
+        "num_queues": loop.num_queues,
+    }
+    latency = report["latency_ms"]
+    print(
+        f"async serving sim: {report['admitted_requests']}/{report['offered_requests']} "
+        f"requests admitted ({report['rejected_requests']} rejected) over "
+        f"{report['duration_seconds']}s at {report['arrival_rate']} req/s offered"
+    )
+    print(
+        f"throughput {report['throughput_rps']} req/s | latency ms "
+        f"p50 {latency['p50']} p95 {latency['p95']} p99 {latency['p99']} "
+        f"(mean {latency['mean']}, max {latency['max']})"
+    )
+    print(
+        f"queues: {loop.num_queues} x depth<={serve['max_queue_depth']} "
+        f"({serve['admission_policy']}), depth max {report['queue_depth']['max']} "
+        f"mean {report['queue_depth']['mean']}, micro-batch mean "
+        f"{report['micro_batches']['mean_size']} max {report['micro_batches']['max_size']}"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.output}")
     return 0
 
 
@@ -319,6 +490,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.artefact == "bench":
         return _run_bench(args)
+    if args.artefact == "serve-sim":
+        return _run_serve_sim(args)
     config = _make_config(args)
     pipeline = ExperimentPipeline(config)
 

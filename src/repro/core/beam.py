@@ -62,6 +62,14 @@ axis of the fused logits for top-k candidate selection
 (:func:`~repro.shard.topk.sharded_topk`), whose merge is exact.  Every
 combination of worker count, backend and vocabulary shards produces plans
 bit-identical to the serial planner.
+
+Serving
+-------
+:meth:`BeamSearchPlanner.plan_for_requests` multiplexes heterogeneous
+serving micro-batches — ``next_step`` and ``plan_paths`` requests mixed —
+into fused planning calls; it is the drain target of the asynchronous
+serving loop (:mod:`repro.serve`) and the routing layer both
+:meth:`next_step` and :meth:`plan_path` now go through as batches of one.
 """
 
 from __future__ import annotations
@@ -507,9 +515,141 @@ class BeamSearchPlanner(InfluentialRecommender):
         max_length: int | None = None,
     ) -> list[int]:
         """Plan a full influence path with beam search (batch-of-one)."""
-        return self.plan_paths_batch(
-            [history], [objective], [user_index], max_length=max_length
+        return self.plan_for_requests(
+            [("plan_paths", history, objective, (), user_index, max_length)]
         )[0]
+
+    # ------------------------------------------------------------------ #
+    # Serving micro-batches
+    # ------------------------------------------------------------------ #
+    def plan_for_requests(self, requests: Sequence[tuple]) -> list:
+        """Answer a heterogeneous micro-batch of serving requests.
+
+        ``requests`` holds ``(kind, history, objective, path_so_far,
+        user_index)`` tuples (an optional sixth element overrides the
+        planning horizon), where ``kind`` is ``"next_step"`` — answered with
+        the next planned item or ``None``, exactly like :meth:`next_step` —
+        or ``"plan_paths"`` — answered with a full planned path, exactly
+        like :meth:`plan_path`.  This is the entry point the serving loop
+        (:mod:`repro.serve`) drains each shard queue through, and the
+        routing layer under the old serving surface: :meth:`next_step` and
+        :meth:`plan_path` are batch-of-one calls into it.
+
+        All replanning work in the batch is *fused*: every ``plan_paths``
+        request and every ``next_step`` serving-cache miss that shares a
+        horizon joins one :meth:`plan_paths_batch` call, so the lockstep
+        beam's one-forward-per-depth token-work win applies to
+        asynchronously arriving traffic, not just pre-assembled batches.
+
+        Results are identical to issuing the requests sequentially in the
+        given order.  Requests that share a serving context within one batch
+        are processed in arrival-ordered waves (a later duplicate sees the
+        cache effects of the earlier request, never a half-applied state).
+        The method is re-entrant: concurrent drain threads may call it for
+        disjoint shard queues — the caches are lock-guarded, and hash
+        routing guarantees two queues never carry the same serving context.
+        """
+        if not requests:
+            return []
+        self._require_fitted()
+        self._sync_backbone_generation()
+        normalized: list[tuple] = []
+        for request in requests:
+            kind, history, objective, path_so_far, user = request[:5]
+            if kind not in ("next_step", "plan_paths"):
+                raise ConfigurationError(
+                    f"request kind must be 'next_step' or 'plan_paths', got {kind!r}"
+                )
+            horizon = request[5] if len(request) > 5 else None
+            if kind == "next_step" and horizon is not None:
+                # next_step serves from the per-context plan keyed by the
+                # constructor horizon; a per-request override would silently
+                # key and truncate against the wrong plan, so it is an error
+                # (validated again at the ServingLoop submit boundary).
+                raise ConfigurationError(
+                    "next_step requests cannot override max_length; the serving "
+                    f"horizon is the constructor-level max_length ({self.max_length})"
+                )
+            normalized.append(
+                (
+                    kind,
+                    [int(item) for item in history],
+                    int(objective),
+                    [int(item) for item in (path_so_far or ())],
+                    user,
+                    self.max_length if horizon is None else horizon,
+                )
+            )
+        results: list = [None] * len(normalized)
+        remaining = list(range(len(normalized)))
+        while remaining:
+            # Arrival-ordered wave: at most one request per serving context.
+            # A duplicate context defers to the next wave so it observes the
+            # serving-cache entry its predecessor wrote — the sequential
+            # semantics, batched.
+            wave: list[int] = []
+            deferred: list[int] = []
+            seen_keys: set = set()
+            for index in remaining:
+                kind, history, objective, path_so_far, user, _ = normalized[index]
+                if kind == "next_step":
+                    key = (tuple(history), objective, user, self.max_length)
+                    if key in seen_keys:
+                        deferred.append(index)
+                        continue
+                    seen_keys.add(key)
+                wave.append(index)
+            # Pass 1: consult the serving cache in request order; collect
+            # the requests that need planning work.
+            misses: list[int] = []
+            for index in wave:
+                kind, history, objective, path_so_far, user, _ = normalized[index]
+                if kind == "plan_paths":
+                    misses.append(index)
+                    continue
+                key = (tuple(history), objective, user, self.max_length)
+                plan = self._step_cache.get(key)
+                if plan is not None and list(plan[: len(path_so_far)]) == path_so_far:
+                    with self._serving_lock:
+                        self._serving_hits += 1
+                    results[index] = (
+                        int(plan[len(path_so_far)]) if len(plan) > len(path_so_far) else None
+                    )
+                else:
+                    with self._serving_lock:
+                        self._serving_replans += 1
+                    misses.append(index)
+            # Pass 2: one fused plan_paths_batch per distinct effective
+            # horizon (lockstep traffic shares one, so typically one call).
+            groups: dict[int, list[int]] = {}
+            for index in misses:
+                kind, _, _, path_so_far, _, horizon = normalized[index]
+                effective = (
+                    horizon
+                    if kind == "plan_paths"
+                    else max(self.max_length - len(path_so_far), 1)
+                )
+                groups.setdefault(effective, []).append(index)
+            for effective, indices in groups.items():
+                planned = self.plan_paths_batch(
+                    [normalized[i][1] + normalized[i][3] for i in indices],
+                    [normalized[i][2] for i in indices],
+                    [normalized[i][4] for i in indices],
+                    max_length=effective,
+                )
+                for index, path in zip(indices, planned):
+                    kind, history, objective, path_so_far, user, _ = normalized[index]
+                    if kind == "plan_paths":
+                        results[index] = list(path)
+                        continue
+                    key = (tuple(history), objective, user, self.max_length)
+                    plan = tuple(path_so_far + list(path))
+                    self._step_cache.put(key, plan)
+                    results[index] = (
+                        int(plan[len(path_so_far)]) if len(plan) > len(path_so_far) else None
+                    )
+            remaining = deferred
+        return results
 
     # ------------------------------------------------------------------ #
     # InfluentialRecommender interface
@@ -548,26 +688,13 @@ class BeamSearchPlanner(InfluentialRecommender):
         interleaved serving contexts (lockstep stepwise evaluation, multiple
         concurrent users) each keep their own evolving plan instead of
         thrashing a single replan slot.  A replan from a diverged context
-        goes through :meth:`plan_path` and therefore also consults the
-        finished-plan cache.  The replanning horizon is the constructor-level
-        :attr:`max_length` (previously a hardcoded 20).
+        goes through :meth:`plan_paths_batch` and therefore also consults
+        the finished-plan cache.  The replanning horizon is the
+        constructor-level :attr:`max_length` (previously a hardcoded 20).
+        Implemented as a batch-of-one :meth:`plan_for_requests` call — the
+        serving loop's micro-batched drains answer many of these with one
+        fused planning pass, identically.
         """
-        self._sync_backbone_generation()
-        key = (tuple(history), int(objective), user_index, self.max_length)
-        path_so_far = [int(item) for item in path_so_far]
-        plan = self._step_cache.get(key)
-        if plan is not None and list(plan[: len(path_so_far)]) == path_so_far:
-            with self._serving_lock:
-                self._serving_hits += 1
-        else:
-            with self._serving_lock:
-                self._serving_replans += 1
-            remaining = max(self.max_length - len(path_so_far), 1)
-            replanned = self.plan_path(
-                list(history) + path_so_far, objective, user_index=user_index, max_length=remaining
-            )
-            plan = tuple(path_so_far + replanned)
-            self._step_cache.put(key, plan)
-        if len(plan) > len(path_so_far):
-            return int(plan[len(path_so_far)])
-        return None
+        return self.plan_for_requests(
+            [("next_step", history, objective, path_so_far, user_index)]
+        )[0]

@@ -35,6 +35,20 @@ and how the :mod:`repro.shard` sharded execution subsystem scales:
   count — scaling numbers are only meaningful relative to the cores the run
   actually had.
 
+and how the :mod:`repro.serve` asynchronous serving subsystem behaves:
+
+* **async serving** — the ``next_step`` workload offered through the
+  :class:`~repro.serve.loop.ServingLoop` at 1 / 2 / 4 worker-shard queues:
+  a deterministic lockstep replay checked bit-identical against sequential
+  serving, plus a seeded open-loop Poisson run recording throughput,
+  p50/p95/p99 latency, queue-depth and micro-batch stats (wall-clock
+  latency numbers are machine-bound like every throughput figure here; the
+  parity bits are deterministic).
+
+``run_benchmarks(sections=[...])`` runs any subset of the sections (the
+full bench is minutes-scale; CI's smoke profile and targeted reruns use
+``repro-irs bench --sections <name,...>``).
+
 Module forwards are counted with :class:`ForwardCounter` (a wrapper around
 ``module.forward``) and token-work with :class:`~repro.cache.stats.
 DecodeStats`, NOT wall-clock, so the CI assertions stay deterministic;
@@ -66,14 +80,17 @@ from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
 from repro.evaluation.protocol import EvaluationInstance, rollout_next_step, sample_objectives
 from repro.nn.layers import Module
 from repro.shard.config import fork_available, resolve_shard_backend, resolve_vocab_shards
+from repro.utils.exceptions import ConfigurationError
 
 __all__ = [
     "ForwardCounter",
     "ScalarOnlyBackbone",
+    "BENCH_SECTIONS",
     "smoke_config",
     "default_config",
     "build_bench_split",
     "machine_info",
+    "resolve_sections",
     "run_benchmarks",
     "format_summary",
     "main",
@@ -175,6 +192,8 @@ def smoke_config() -> dict:
         "num_instances": 8,
         "num_eval_instances": 24,
         "num_stepwise_instances": 4,
+        "serve_arrival_rate": 300.0,
+        "serve_requests_per_context": 3,
     }
 
 
@@ -205,6 +224,8 @@ def default_config() -> dict:
         "num_instances": 24,
         "num_eval_instances": 60,
         "num_stepwise_instances": 8,
+        "serve_arrival_rate": 300.0,
+        "serve_requests_per_context": 4,
     }
 
 
@@ -559,19 +580,157 @@ def _bench_sharded(
     }
 
 
+def _bench_async_serving(
+    irn: IRN, split: DatasetSplit, instances: list[EvaluationInstance], config: dict,
+    shard_backend: "str | None" = None, vocab_shards: "int | None" = None,
+) -> dict:
+    """The ``next_step`` workload offered through the asynchronous loop.
+
+    Two runs per worker-shard count (1 / 2 / 4 queues, matching the sharded
+    section's sweep):
+
+    * a **lockstep replay** of the stepwise serving trace, checked
+      bit-identical against ``rollout_next_step`` on a sequentially driven
+      planner — the acceptance contract (async serving changes when work
+      happens, never what is answered);
+    * a seeded **open-loop Poisson run** at ``serve_arrival_rate``
+      requests/sec recording throughput, p50/p95/p99 latency from the
+      scheduled arrival instants, queue-depth and micro-batch stats.
+
+    Each worker count gets a fresh planner (cold caches), so the numbers
+    measure the serving path, not accumulated memoisation.
+    """
+    from repro.evaluation.protocol import rollout_next_step as sequential_rollout
+    from repro.serve import ServingLoop, replay_lockstep, run_open_loop
+
+    contexts = [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+    max_length = config["max_path_length"]
+    kwargs = dict(
+        beam_width=config["beam_width"],
+        branch_factor=config["branch_factor"],
+        vocab_shards=resolve_vocab_shards(vocab_shards),
+    )
+    backend = resolve_shard_backend(shard_backend, num_workers=4)
+    num_requests = config["serve_requests_per_context"] * len(contexts)
+
+    sequential_planner = BeamSearchPlanner(irn, max_length=max_length, **kwargs).fit(split)
+    sequential_paths, sequential_seconds = _timed(
+        lambda: sequential_rollout(sequential_planner, contexts, max_length)
+    )
+
+    workers_report = []
+    for num_workers in (1, 2, 4):
+        def make_planner():
+            return BeamSearchPlanner(
+                irn,
+                max_length=max_length,
+                num_workers=num_workers,
+                shard_backend=backend,
+                **kwargs,
+            ).fit(split)
+
+        # Parity replay and open-loop measurement each get a fresh planner
+        # AND a fresh loop: the replay's queue/admission counters must not
+        # leak into the open-loop report, and a cold-cache open loop serves
+        # the representative replan-then-hit mix instead of pure hits.
+        with ServingLoop(make_planner()) as loop:
+            served_paths, replay_seconds = _timed(
+                lambda: replay_lockstep(loop, contexts, max_length)
+            )
+            replay_served = loop.stats()["served"]
+        with ServingLoop(make_planner()) as open_loop_loop:
+            open_loop = run_open_loop(
+                open_loop_loop,
+                contexts,
+                arrival_rate=config["serve_arrival_rate"],
+                num_requests=num_requests,
+                seed=0,
+                max_length=max_length,
+            )
+        workers_report.append(
+            {
+                "num_workers": num_workers,
+                "responses_match_sequential": served_paths == sequential_paths,
+                "replay_seconds": round(replay_seconds, 4),
+                "replay_requests_per_sec": (
+                    round(replay_served / replay_seconds, 2)
+                    if replay_seconds > 0
+                    else float("inf")
+                ),
+                "open_loop": open_loop,
+            }
+        )
+
+    return {
+        "max_path_length": max_length,
+        "num_contexts": len(contexts),
+        "backend": backend,
+        "vocab_shards": kwargs["vocab_shards"],
+        "arrival_rate": config["serve_arrival_rate"],
+        "open_loop_requests": num_requests,
+        "sequential": {
+            "seconds": round(sequential_seconds, 4),
+            "requests_per_sec": (
+                round(sum(len(path) for path in sequential_paths) / sequential_seconds, 2)
+                if sequential_seconds > 0
+                else float("inf")
+            ),
+        },
+        "workers": workers_report,
+    }
+
+
+#: Section registry: name -> builder(irn, split, instances, config, **knobs).
+#: ``run_benchmarks(sections=...)`` and ``repro-irs bench --sections`` filter
+#: against these names.
+BENCH_SECTIONS = (
+    "beam_planning",
+    "greedy_planning",
+    "nextitem_evaluation",
+    "irs_stepwise_replanning",
+    "incremental_decoding",
+    "sharded_evaluation",
+    "async_serving",
+)
+
+
+def resolve_sections(sections: "Sequence[str] | None") -> "tuple[str, ...]":
+    """Validate a section subset (``None`` means every section), preserving
+    the canonical report order."""
+    if sections is None:
+        return BENCH_SECTIONS
+    requested = [str(name).strip() for name in sections if str(name).strip()]
+    if not requested:
+        raise ConfigurationError(
+            f"sections must name at least one of: {', '.join(BENCH_SECTIONS)}"
+        )
+    unknown = sorted(set(requested) - set(BENCH_SECTIONS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown bench section(s) {', '.join(unknown)}; "
+            f"valid sections: {', '.join(BENCH_SECTIONS)}"
+        )
+    return tuple(name for name in BENCH_SECTIONS if name in set(requested))
+
+
 def run_benchmarks(
     profile: str = "default",
     output: str | None = None,
     shard_backend: "str | None" = None,
     vocab_shards: "int | None" = None,
+    sections: "Sequence[str] | None" = None,
 ) -> dict:
     """Train a small IRN on the synthetic corpus and time scalar vs batched.
 
     Returns the report dict; when ``output`` is given it is also written there
     as JSON (the repo-root ``BENCH_path_planning.json`` artefact).
     ``shard_backend`` / ``vocab_shards`` configure the ``sharded_evaluation``
-    section (defaults: the ``REPRO_*`` environment, then thread / 1).
+    and ``async_serving`` sections (defaults: the ``REPRO_*`` environment,
+    then thread / 1).  ``sections`` restricts the run to a subset of
+    :data:`BENCH_SECTIONS` (the corpus/model setup always runs; unselected
+    sections are simply absent from the report).
     """
+    selected = resolve_sections(sections)
     config = smoke_config() if profile == "smoke" else default_config()
     split = build_bench_split(config)
     irn = IRN(**config["irn"]).fit(split)
@@ -590,27 +749,29 @@ def run_benchmarks(
         "vocab_size": split.corpus.vocab.size,
         "num_users": split.corpus.num_users,
         "machine": machine,
-        "beam_planning": _bench_beam(irn, split, instances, config),
-        "greedy_planning": _bench_greedy(irn, instances, config),
-        "nextitem_evaluation": _bench_nextitem(irn, split, config),
-        "irs_stepwise_replanning": _bench_stepwise(irn, split, instances, config),
-        "incremental_decoding": _bench_incremental(split, instances, config),
-        "sharded_evaluation": _bench_sharded(
+        "sections": list(selected),
+    }
+    builders = {
+        "beam_planning": lambda: _bench_beam(irn, split, instances, config),
+        "greedy_planning": lambda: _bench_greedy(irn, instances, config),
+        "nextitem_evaluation": lambda: _bench_nextitem(irn, split, config),
+        "irs_stepwise_replanning": lambda: _bench_stepwise(irn, split, instances, config),
+        "incremental_decoding": lambda: _bench_incremental(split, instances, config),
+        "sharded_evaluation": lambda: _bench_sharded(
+            irn, split, instances, config,
+            shard_backend=shard_backend, vocab_shards=vocab_shards,
+        ),
+        "async_serving": lambda: _bench_async_serving(
             irn, split, instances, config,
             shard_backend=shard_backend, vocab_shards=vocab_shards,
         ),
     }
+    for name in selected:
+        report[name] = builders[name]()
     # Every section records the CPU count and the execution backend it ran
     # on, so the perf trajectory stays comparable across machines: the
     # non-sharded sections run in-process serial NumPy.
-    for name in (
-        "beam_planning",
-        "greedy_planning",
-        "nextitem_evaluation",
-        "irs_stepwise_replanning",
-        "incremental_decoding",
-        "sharded_evaluation",
-    ):
+    for name in selected:
         report[name].setdefault("backend", "serial")
         report[name]["cpu_count"] = machine["cpu_count"]
     if output:
@@ -635,7 +796,17 @@ def main(argv: Sequence[str] | None = None) -> None:
         default=None,
         help="column shards of the item axis for top-k in the sharded section",
     )
+    parser.add_argument(
+        "--sections",
+        default=None,
+        help=(
+            "comma-separated subset of bench sections to run "
+            f"(default: all of {', '.join(BENCH_SECTIONS)})"
+        ),
+    )
     args = parser.parse_args(argv)
+    sections = args.sections.split(",") if args.sections else None
+    resolve_sections(sections)  # fail on typos BEFORE training the model
     # Fail on an unwritable output path BEFORE spending minutes benchmarking.
     with open(args.output, "a", encoding="utf-8"):
         pass
@@ -644,40 +815,87 @@ def main(argv: Sequence[str] | None = None) -> None:
         output=args.output,
         shard_backend=args.shard_backend,
         vocab_shards=args.vocab_shards,
+        sections=sections,
     )
     print(json.dumps(report, indent=2))
     print("\n" + format_summary(report))
 
 
 def format_summary(report: dict) -> str:
-    """Human-readable highlights (shared with the ``repro-irs bench`` CLI)."""
-    beam = report["beam_planning"]
-    stepwise = report["irs_stepwise_replanning"]
-    incremental = report["incremental_decoding"]
-    sharded = report["sharded_evaluation"]
-    counters = stepwise["cache_counters"]
-    best = max(sharded["workers"], key=lambda row: row["speedup_vs_serial"])
-    lines = [
-        f"beam planning: {beam['scalar']['forwards']} -> {beam['batched']['forwards']} forwards "
-        f"({beam['forward_reduction']}x fewer), "
-        f"{beam['scalar']['paths_per_sec']} -> {beam['batched']['paths_per_sec']} paths/sec",
-        f"stepwise IRS replanning: {stepwise['baseline']['tokens_encoded']} -> "
-        f"{stepwise['cached']['tokens_encoded']} tokens of work "
-        f"({stepwise['token_work_reduction']}x less), "
-        f"{stepwise['cached']['forwards_per_sec']} forwards/sec",
-        f"plan cache hit rate: {counters['plan_cache']['hit_rate']}, "
-        f"step cache hit rate: {counters['step_cache']['hit_rate']} "
-        f"(served {counters['serving']['served_from_plan']}, "
-        f"replanned {counters['serving']['replans']})",
-        f"incremental decoding (1 layer): {incremental['full_reencode']['tokens_encoded']} -> "
-        f"{incremental['incremental']['tokens_encoded']} tokens of work "
-        f"({incremental['token_work_reduction']}x less)",
-        f"sharded evaluation ({sharded['backend']}, {sharded['cpu_count']} cpu): "
-        f"{sharded['serial']['paths_per_sec']} paths/sec serial, "
-        f"{best['paths_per_sec']} paths/sec at {best['num_workers']} workers "
-        f"({best['speedup_vs_serial']}x, efficiency {best['scaling_efficiency']}), "
-        f"plans identical: {all(row['plans_equal_serial'] for row in sharded['workers'])}",
-    ]
+    """Human-readable highlights (shared with the ``repro-irs bench`` CLI).
+
+    Only the sections present in the report are summarised, so subset runs
+    (``--sections``) format cleanly.
+    """
+    lines = []
+    if "beam_planning" in report:
+        beam = report["beam_planning"]
+        lines.append(
+            f"beam planning: {beam['scalar']['forwards']} -> {beam['batched']['forwards']} forwards "
+            f"({beam['forward_reduction']}x fewer), "
+            f"{beam['scalar']['paths_per_sec']} -> {beam['batched']['paths_per_sec']} paths/sec"
+        )
+    if "greedy_planning" in report:
+        greedy = report["greedy_planning"]
+        lines.append(
+            f"greedy planning: {greedy['scalar']['forwards']} -> "
+            f"{greedy['batched']['forwards']} forwards "
+            f"({greedy['forward_reduction']}x fewer), plans identical: {greedy['plans_equal']}"
+        )
+    if "nextitem_evaluation" in report:
+        nextitem = report["nextitem_evaluation"]
+        lines.append(
+            f"next-item evaluation: {nextitem['scalar']['forwards']} -> "
+            f"{nextitem['batched']['forwards']} forwards "
+            f"({nextitem['forward_reduction']}x fewer), ranks identical: {nextitem['ranks_equal']}"
+        )
+    if "irs_stepwise_replanning" in report:
+        stepwise = report["irs_stepwise_replanning"]
+        counters = stepwise["cache_counters"]
+        lines.append(
+            f"stepwise IRS replanning: {stepwise['baseline']['tokens_encoded']} -> "
+            f"{stepwise['cached']['tokens_encoded']} tokens of work "
+            f"({stepwise['token_work_reduction']}x less), "
+            f"{stepwise['cached']['forwards_per_sec']} forwards/sec"
+        )
+        lines.append(
+            f"plan cache hit rate: {counters['plan_cache']['hit_rate']}, "
+            f"step cache hit rate: {counters['step_cache']['hit_rate']} "
+            f"(served {counters['serving']['served_from_plan']}, "
+            f"replanned {counters['serving']['replans']})"
+        )
+    if "incremental_decoding" in report:
+        incremental = report["incremental_decoding"]
+        lines.append(
+            f"incremental decoding (1 layer): {incremental['full_reencode']['tokens_encoded']} -> "
+            f"{incremental['incremental']['tokens_encoded']} tokens of work "
+            f"({incremental['token_work_reduction']}x less)"
+        )
+    if "sharded_evaluation" in report:
+        sharded = report["sharded_evaluation"]
+        best = max(sharded["workers"], key=lambda row: row["speedup_vs_serial"])
+        lines.append(
+            f"sharded evaluation ({sharded['backend']}, {sharded['cpu_count']} cpu): "
+            f"{sharded['serial']['paths_per_sec']} paths/sec serial, "
+            f"{best['paths_per_sec']} paths/sec at {best['num_workers']} workers "
+            f"({best['speedup_vs_serial']}x, efficiency {best['scaling_efficiency']}), "
+            f"plans identical: {all(row['plans_equal_serial'] for row in sharded['workers'])}"
+        )
+    if "async_serving" in report:
+        serving = report["async_serving"]
+        fastest = max(
+            serving["workers"], key=lambda row: row["open_loop"]["throughput_rps"]
+        )
+        latency = fastest["open_loop"]["latency_ms"]
+        lines.append(
+            f"async serving ({serving['backend']}, {serving['cpu_count']} cpu, "
+            f"{serving['arrival_rate']} req/s offered): "
+            f"{fastest['open_loop']['throughput_rps']} req/s served at "
+            f"{fastest['num_workers']} workers, latency p50 {latency['p50']} / "
+            f"p95 {latency['p95']} / p99 {latency['p99']} ms, "
+            f"responses identical: "
+            f"{all(row['responses_match_sequential'] for row in serving['workers'])}"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,35 @@
+"""Asynchronous serving subsystem: request queues, micro-batching, latency.
+
+The fourth rung of the performance ladder (batching → caching → sharding →
+**async serving**).  :class:`~repro.serve.loop.ServingLoop` turns the
+synchronous planning entry points into a futures-based front-end: requests
+hash-route to bounded per-worker-shard queues, an
+:class:`~repro.serve.admission.AdmissionController` applies back-pressure
+(reject or block at the depth bound), and per-shard drain threads answer
+everything pending as one fused micro-batch through
+:meth:`~repro.core.beam.BeamSearchPlanner.plan_for_requests` — responses
+bit-identical to sequential serving, measured by the traffic drivers in
+:mod:`repro.serve.driver` and the ``async_serving`` bench section.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.driver import (
+    latency_percentiles,
+    poisson_arrival_offsets,
+    replay_lockstep,
+    run_open_loop,
+)
+from repro.serve.loop import ServingLoop
+from repro.serve.queue import RequestQueue
+from repro.serve.request import ServeRequest
+
+__all__ = [
+    "AdmissionController",
+    "RequestQueue",
+    "ServeRequest",
+    "ServingLoop",
+    "latency_percentiles",
+    "poisson_arrival_offsets",
+    "replay_lockstep",
+    "run_open_loop",
+]

@@ -1,0 +1,91 @@
+"""Admission control: the serving loop's back-pressure policy.
+
+One :class:`AdmissionController` is shared by every shard queue of a
+:class:`~repro.serve.loop.ServingLoop`.  It owns the three knobs the issue
+names — bounded queue depth, reject-or-block policy, and the drain-deadline
+micro-batching window — and the fleet-wide admitted/rejected/blocked
+counters (lock-guarded, snapshot-atomic like the cache counters).
+
+The controller decides, it does not wait: a queue at its depth bound asks
+:meth:`AdmissionController.on_full` whether the producer should block until
+a drain frees space (``block``) or fail fast
+(:class:`~repro.utils.exceptions.QueueFullError`, ``reject``).  The actual
+waiting happens on the queue's own condition variable, so back-pressure is
+per-shard — a hot shard never stalls traffic routed elsewhere.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.config import (
+    resolve_admission_policy,
+    resolve_drain_deadline,
+    resolve_max_queue_depth,
+)
+from repro.utils.exceptions import QueueFullError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded-depth admission with a reject-or-block full-queue policy."""
+
+    def __init__(
+        self,
+        max_queue_depth: "int | None" = None,
+        policy: "str | None" = None,
+        drain_deadline: "float | None" = None,
+    ) -> None:
+        self.max_queue_depth = resolve_max_queue_depth(max_queue_depth)
+        self.policy = resolve_admission_policy(policy)
+        self.drain_deadline = resolve_drain_deadline(drain_deadline)
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._rejected = 0
+        self._blocked = 0
+
+    # ------------------------------------------------------------------ #
+    def on_full(self, shard: int, depth: int) -> None:
+        """A producer hit the depth bound: raise under ``reject``.
+
+        Returning (instead of raising) means "block": the caller must wait
+        on its queue condition and re-check, recording the blocked request
+        ONCE via :meth:`on_blocked` — re-checks after spurious wakeups or
+        lost notify races must not inflate the counter.
+        """
+        if self.policy == "reject":
+            with self._lock:
+                self._rejected += 1
+            raise QueueFullError(
+                f"shard {shard} request queue is full "
+                f"(depth {depth} >= max_queue_depth {self.max_queue_depth}); "
+                f"retry later or use admission_policy='block'"
+            )
+
+    def on_blocked(self) -> None:
+        """One request entered the blocked state (counted once per request)."""
+        with self._lock:
+            self._blocked += 1
+
+    def on_admitted(self) -> None:
+        with self._lock:
+            self._admitted += 1
+
+    # ------------------------------------------------------------------ #
+    def counters(self) -> dict:
+        """One locked snapshot of the admission counters."""
+        with self._lock:
+            return {
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "blocked": self._blocked,
+            }
+
+    def describe(self) -> dict:
+        """The resolved knob values (for reports and stats endpoints)."""
+        return {
+            "max_queue_depth": self.max_queue_depth,
+            "policy": self.policy,
+            "drain_deadline": self.drain_deadline,
+        }

@@ -1,0 +1,301 @@
+"""The asynchronous serving front-end over the sharded planner.
+
+:class:`ServingLoop` is the boundary the ROADMAP's async-serving rung calls
+for: callers submit ``next_step`` / ``plan_paths`` requests and get
+:class:`concurrent.futures.Future` values back immediately; behind the
+boundary each request hash-routes to its worker shard's bounded
+:class:`~repro.serve.queue.RequestQueue`
+(:func:`~repro.shard.partition.stable_hash` over the ``(history,
+objective, user)`` context — the same routing the sharded executor and the
+sharded plan caches use), and one drain thread per shard answers everything
+pending as a single micro-batch through
+:meth:`~repro.core.beam.BeamSearchPlanner.plan_for_requests`.  The
+micro-batch fuses all replanning into lockstep beam calls, so the
+token-work win measured on pre-assembled batches (PR 1–3) now applies to
+asynchronously arriving traffic.
+
+Exactness contract: responses are bit-identical to calling ``next_step`` /
+``plan_path`` sequentially in submission order, for every planner backend
+and worker count — micro-batching and queueing change *when* work happens,
+never *what* is answered.  (The one caveat is inherited from
+``plan_for_requests``: a serving cache small enough to evict mid-batch may
+reorder evictions; the default sizes never do.)
+
+Shutdown is graceful: :meth:`close` stops admissions, drains every queue
+dry, and joins the drain threads — no accepted request is ever dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Sequence
+
+from repro.serve.admission import AdmissionController
+from repro.serve.queue import RequestQueue
+from repro.serve.request import ServeRequest
+from repro.shard.partition import shard_index
+from repro.utils.exceptions import ConfigurationError, ServingError
+from repro.utils.logging import get_logger
+
+__all__ = ["ServingLoop"]
+
+_LOGGER = get_logger("serve.loop")
+
+
+class ServingLoop:
+    """Queue, micro-batch and answer planner requests asynchronously.
+
+    Parameters
+    ----------
+    planner:
+        Anything exposing ``plan_for_requests`` — in practice a fitted
+        :class:`~repro.core.beam.BeamSearchPlanner`.
+    num_queues:
+        Worker-shard request queues to route across.  ``None`` follows the
+        planner's ``num_workers``, so the serving partition matches the
+        planning partition (a queue's drain thread re-enters the planner,
+        which may sub-partition replans across its own worker shards).
+    max_queue_depth / admission_policy / drain_deadline:
+        Admission-control knobs (see :mod:`repro.serve.config` for the
+        ``REPRO_*`` environment defaults): per-shard queue bound, ``block``
+        or ``reject`` on a full queue, and the seconds a drain holds the
+        queue open after the first enqueue to widen the micro-batch.
+    """
+
+    def __init__(
+        self,
+        planner,
+        num_queues: "int | None" = None,
+        max_queue_depth: "int | None" = None,
+        admission_policy: "str | None" = None,
+        drain_deadline: "float | None" = None,
+    ) -> None:
+        if not hasattr(planner, "plan_for_requests"):
+            raise ConfigurationError(
+                "ServingLoop needs a planner with plan_for_requests() "
+                "(e.g. a fitted BeamSearchPlanner)"
+            )
+        if num_queues is None:
+            num_queues = int(getattr(planner, "num_workers", 1) or 1)
+        if not isinstance(num_queues, int) or num_queues < 1:
+            raise ConfigurationError(
+                f"num_queues must be a positive integer, got {num_queues!r}"
+            )
+        self.planner = planner
+        self.num_queues = num_queues
+        self.admission = AdmissionController(
+            max_queue_depth=max_queue_depth,
+            policy=admission_policy,
+            drain_deadline=drain_deadline,
+        )
+        self.queues = [RequestQueue(shard, self.admission) for shard in range(num_queues)]
+        self._threads: "list[threading.Thread]" = []
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        # In-loop latency accounting (enqueue -> response ready), guarded by
+        # one lock and snapshot in stats() — percentiles live in the traffic
+        # driver, which keeps every sample.
+        self._latency_lock = threading.Lock()
+        self._served = 0
+        self._wait_sum = 0.0
+        self._wait_max = 0.0
+        self._latency_sum = 0.0
+        self._latency_max = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ServingLoop":
+        """Spawn one drain thread per shard queue (idempotent)."""
+        with self._state_lock:
+            if self._closed:
+                raise ServingError("cannot restart a closed serving loop")
+            if self._started:
+                return self
+            self._started = True
+            for queue in self.queues:
+                thread = threading.Thread(
+                    target=self._drain_worker,
+                    args=(queue,),
+                    name=f"repro-serve-drain-{queue.shard}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop admissions, drain every queue dry, join the drain threads.
+
+        Idempotent.  On a loop that was never started the pending requests
+        are served inline, so accepted futures always resolve.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+        for queue in self.queues:
+            queue.close()
+        if started:
+            for thread in self._threads:
+                thread.join()
+        else:
+            for queue in self.queues:
+                self._serve_batch(queue.pop_all())
+
+    def __enter__(self) -> "ServingLoop":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        kind: str,
+        history: Sequence[int],
+        objective: int,
+        path_so_far: Sequence[int] = (),
+        user_index: "int | None" = None,
+        max_length: "int | None" = None,
+    ) -> Future:
+        """Route one request to its shard queue; returns its future.
+
+        Raises :class:`~repro.utils.exceptions.QueueFullError` when the
+        shard queue is full under the ``reject`` policy (the ``block``
+        policy waits for a drain instead), and
+        :class:`~repro.utils.exceptions.ServingError` after :meth:`close`.
+        """
+        return self.enqueue(
+            ServeRequest.create(
+                kind,
+                history,
+                objective,
+                path_so_far=path_so_far,
+                user_index=user_index,
+                max_length=max_length,
+            )
+        )
+
+    def enqueue(self, request: ServeRequest) -> Future:
+        """Admit a pre-built request envelope (the traffic driver's entry
+        point — it keeps the envelope to read ``completed_at`` afterwards)."""
+        shard = shard_index(request.routing_key(), self.num_queues)
+        self.queues[shard].put(request)
+        return request.future
+
+    def submit_next_step(
+        self,
+        history: Sequence[int],
+        objective: int,
+        path_so_far: Sequence[int] = (),
+        user_index: "int | None" = None,
+    ) -> Future:
+        """Async ``next_step``: the future resolves to an item id or ``None``."""
+        return self.submit(
+            "next_step", history, objective, path_so_far=path_so_far, user_index=user_index
+        )
+
+    def submit_plan_paths(
+        self,
+        history: Sequence[int],
+        objective: int,
+        user_index: "int | None" = None,
+        max_length: "int | None" = None,
+    ) -> Future:
+        """Async ``plan_path``: the future resolves to a full planned path."""
+        return self.submit(
+            "plan_paths", history, objective, user_index=user_index, max_length=max_length
+        )
+
+    # ------------------------------------------------------------------ #
+    # Draining
+    # ------------------------------------------------------------------ #
+    def _drain_worker(self, queue: RequestQueue) -> None:
+        while True:
+            batch = queue.collect()
+            if batch is None:
+                return
+            self._serve_batch(batch)
+
+    def _serve_batch(self, batch: "list[ServeRequest]") -> None:
+        """Answer one micro-batch; an empty drain is a no-op by contract."""
+        if not batch:
+            return
+        drain_started = time.perf_counter()
+        try:
+            answers = self.planner.plan_for_requests(
+                [request.plan_tuple() for request in batch]
+            )
+        except BaseException as exc:  # noqa: BLE001 - delivered via the futures
+            _LOGGER.exception(
+                "serving drain failed for %d request(s) on shard %d",
+                len(batch),
+                self._shard_of(batch[0]),
+            )
+            for request in batch:
+                request.future.set_exception(exc)
+            return
+        done = time.perf_counter()
+        with self._latency_lock:
+            for request in batch:
+                request.completed_at = done
+                wait = drain_started - request.enqueued_at
+                latency = done - request.enqueued_at
+                self._served += 1
+                self._wait_sum += wait
+                self._wait_max = max(self._wait_max, wait)
+                self._latency_sum += latency
+                self._latency_max = max(self._latency_max, latency)
+        for request, answer in zip(batch, answers):
+            request.future.set_result(answer)
+
+    def _shard_of(self, request: ServeRequest) -> int:
+        return shard_index(request.routing_key(), self.num_queues)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Queue depth, micro-batch, admission and in-loop latency counters."""
+        per_queue = [queue.stats() for queue in self.queues]
+        depth_samples = sum(q["depth_samples"] for q in per_queue)
+        batches = sum(q["micro_batches"] for q in per_queue)
+        batch_requests = sum(q["micro_batch_requests"] for q in per_queue)
+        with self._latency_lock:
+            served = self._served
+            latency = {
+                "mean_ms": round(1000.0 * self._latency_sum / served, 3) if served else 0.0,
+                "max_ms": round(1000.0 * self._latency_max, 3),
+                "queue_wait_mean_ms": (
+                    round(1000.0 * self._wait_sum / served, 3) if served else 0.0
+                ),
+                "queue_wait_max_ms": round(1000.0 * self._wait_max, 3),
+            }
+        return {
+            "num_queues": self.num_queues,
+            **self.admission.describe(),
+            "admission": self.admission.counters(),
+            "served": served,
+            "queue_depth": {
+                "max": max((q["depth_max"] for q in per_queue), default=0),
+                "mean": (
+                    round(sum(q["depth_sum"] for q in per_queue) / depth_samples, 3)
+                    if depth_samples
+                    else 0.0
+                ),
+            },
+            "micro_batches": {
+                "count": batches,
+                "mean_size": round(batch_requests / batches, 3) if batches else 0.0,
+                "max_size": max((q["micro_batch_max"] for q in per_queue), default=0),
+            },
+            "service_latency": latency,
+            "per_queue": per_queue,
+        }

@@ -1,0 +1,167 @@
+"""Bounded per-shard request queues.
+
+One :class:`RequestQueue` per worker shard holds the
+:class:`~repro.serve.request.ServeRequest` envelopes routed to that shard,
+FIFO.  The queue owns its condition variable, so producers (callers of
+``ServingLoop.submit``) and the shard's drain thread synchronise without a
+global lock — back-pressure on one shard never blocks another.
+
+Draining semantics (:meth:`RequestQueue.collect`): the drain thread sleeps
+until a request arrives, then holds the queue open for the admission
+controller's ``drain_deadline`` (anchored at the FIRST enqueue, so the
+window bounds worst-case queueing latency instead of sliding), then pops
+everything as one micro-batch.  A queue at its depth bound drains
+immediately — releasing back-pressure beats finishing the batching window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.serve.admission import AdmissionController
+from repro.serve.request import ServeRequest
+from repro.utils.exceptions import ServingError
+
+__all__ = ["RequestQueue"]
+
+
+class RequestQueue:
+    """A bounded FIFO of serve requests for one worker shard."""
+
+    def __init__(self, shard: int, admission: AdmissionController) -> None:
+        self.shard = shard
+        self.admission = admission
+        self._cond = threading.Condition()
+        self._items: "deque[ServeRequest]" = deque()
+        self._closed = False
+        # Stats (all mutated under the condition's lock).
+        self._enqueued = 0
+        self._depth_max = 0
+        self._depth_sum = 0
+        self._depth_samples = 0
+        self._batches = 0
+        self._batch_requests = 0
+        self._batch_max = 0
+        self._empty_drains = 0
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    # ------------------------------------------------------------------ #
+    def put(self, request: ServeRequest) -> None:
+        """Admit one request, applying the back-pressure policy when full."""
+        with self._cond:
+            blocked = False
+            while True:
+                if self._closed:
+                    raise ServingError(
+                        f"shard {self.shard} request queue is closed; "
+                        f"the serving loop no longer accepts requests"
+                    )
+                if len(self._items) < self.admission.max_queue_depth:
+                    break
+                # Raises QueueFullError under the reject policy; under the
+                # block policy we sleep until a drain frees space (or the
+                # queue closes), counting this request as blocked ONCE.
+                self.admission.on_full(self.shard, len(self._items))
+                if not blocked:
+                    self.admission.on_blocked()
+                    blocked = True
+                self._cond.wait()
+            # Admission is the queue-wait epoch: the drain-deadline window
+            # and the queue-wait stats start here, not at envelope creation
+            # (a back-pressure block is admission wait, not queue wait).
+            request.enqueued_at = time.perf_counter()
+            self._items.append(request)
+            self.admission.on_admitted()
+            depth = len(self._items)
+            self._enqueued += 1
+            self._depth_max = max(self._depth_max, depth)
+            self._depth_sum += depth
+            self._depth_samples += 1
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    def collect(self) -> "list[ServeRequest] | None":
+        """Block for the next micro-batch; ``None`` once closed and empty."""
+        with self._cond:
+            while not self._items and not self._closed:
+                self._cond.wait()
+            if not self._items:
+                return None  # closed and drained dry: the drain thread exits
+            deadline = self._items[0].enqueued_at + self.admission.drain_deadline
+            while (
+                not self._closed
+                and len(self._items) < self.admission.max_queue_depth
+            ):
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+                if not self._items:  # pragma: no cover - only collect() pops
+                    break
+            return self._pop_batch_locked()
+
+    def pop_all(self) -> "list[ServeRequest]":
+        """Pop whatever is queued right now without blocking (may be empty).
+
+        The empty-drain entry point: callers draining opportunistically
+        (tests, shutdown sweeps) get ``[]`` instead of a wait, and an empty
+        batch is a no-op downstream (``plan_for_requests([]) == []``).
+        """
+        with self._cond:
+            return self._pop_batch_locked()
+
+    def _pop_batch_locked(self) -> "list[ServeRequest]":
+        batch = list(self._items)
+        self._items.clear()
+        if batch:
+            self._batches += 1
+            self._batch_requests += len(batch)
+            self._batch_max = max(self._batch_max, len(batch))
+        else:
+            self._empty_drains += 1
+        self._cond.notify_all()  # wake producers blocked on back-pressure
+        return batch
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop admissions; pending requests stay drainable."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """One locked snapshot of this queue's depth and batch counters."""
+        with self._cond:
+            return {
+                "shard": self.shard,
+                "depth": len(self._items),
+                "enqueued": self._enqueued,
+                "depth_max": self._depth_max,
+                "depth_sum": self._depth_sum,
+                "depth_samples": self._depth_samples,
+                "depth_mean": (
+                    round(self._depth_sum / self._depth_samples, 3)
+                    if self._depth_samples
+                    else 0.0
+                ),
+                "micro_batches": self._batches,
+                "micro_batch_requests": self._batch_requests,
+                "micro_batch_max": self._batch_max,
+                "micro_batch_mean": (
+                    round(self._batch_requests / self._batches, 3)
+                    if self._batches
+                    else 0.0
+                ),
+                "empty_drains": self._empty_drains,
+            }

@@ -1,0 +1,107 @@
+"""Serving request envelopes.
+
+A :class:`ServeRequest` is one ``next_step`` or ``plan_paths`` call frozen
+into a queueable envelope: the planning context, the
+:class:`concurrent.futures.Future` the caller holds, and the timestamps the
+latency accounting reads.  The envelope knows two projections of itself:
+
+* :meth:`ServeRequest.routing_key` — the ``(history, objective, user)``
+  context key the serving loop hashes to pick the worker-shard queue
+  (:func:`repro.shard.partition.stable_hash` under the hood, so routing is
+  identical across interpreters and matches the planner's own sharding).
+* :meth:`ServeRequest.plan_tuple` — the positional tuple
+  :meth:`repro.core.beam.BeamSearchPlanner.plan_for_requests` consumes when
+  a drain micro-batches the queue.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.shard.partition import context_key
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["ServeRequest", "REQUEST_KINDS"]
+
+REQUEST_KINDS = ("next_step", "plan_paths")
+
+
+@dataclass
+class ServeRequest:
+    """One queued serving request plus its future and latency timestamps."""
+
+    kind: str
+    history: tuple[int, ...]
+    objective: int
+    path_so_far: tuple[int, ...] = ()
+    user_index: "int | None" = None
+    max_length: "int | None" = None
+    future: Future = field(default_factory=Future)
+    #: ``time.perf_counter()`` at queue admission — stamped by
+    #: :meth:`repro.serve.queue.RequestQueue.put` once space exists, NOT at
+    #: envelope creation: a producer blocked by back-pressure must not
+    #: pre-age the drain-deadline window or count its admission wait as
+    #: queue wait.
+    enqueued_at: float = 0.0
+    #: ``time.perf_counter()`` when the drain produced the answer — written
+    #: by the serving loop BEFORE the future resolves, so any thread woken
+    #: by ``future.result()`` reads a complete timestamp (the traffic
+    #: driver's per-request latency samples rely on this ordering).
+    completed_at: "float | None" = None
+
+    @classmethod
+    def create(
+        cls,
+        kind: str,
+        history,
+        objective,
+        path_so_far=(),
+        user_index: "int | None" = None,
+        max_length: "int | None" = None,
+    ) -> "ServeRequest":
+        """Validate and freeze one request (the submit-side constructor)."""
+        if kind not in REQUEST_KINDS:
+            raise ConfigurationError(
+                f"request kind must be one of {', '.join(REQUEST_KINDS)}, got {kind!r}"
+            )
+        # max_length problems are rejected at admission rather than at drain
+        # time: a poisoned request inside a micro-batch would otherwise fail
+        # the whole batch's futures instead of just this caller.
+        if kind == "next_step" and max_length is not None:
+            raise ConfigurationError(
+                "next_step requests cannot override max_length; the planner's "
+                "constructor-level horizon keys the serving cache"
+            )
+        if max_length is not None:
+            if not isinstance(max_length, int) or isinstance(max_length, bool):
+                raise ConfigurationError(
+                    f"max_length must be an integer, got {max_length!r}"
+                )
+            if max_length <= 0:
+                raise ConfigurationError(
+                    f"max_length must be positive, got {max_length}"
+                )
+        return cls(
+            kind=kind,
+            history=tuple(int(item) for item in history),
+            objective=int(objective),
+            path_so_far=tuple(int(item) for item in (path_so_far or ())),
+            user_index=None if user_index is None else int(user_index),
+            max_length=max_length,
+        )
+
+    def routing_key(self) -> tuple:
+        """The stable ``(history, objective, user)`` shard-routing key."""
+        return context_key(self.history, self.objective, self.user_index)
+
+    def plan_tuple(self) -> tuple:
+        """The positional request ``plan_for_requests`` consumes."""
+        return (
+            self.kind,
+            self.history,
+            self.objective,
+            self.path_so_far,
+            self.user_index,
+            self.max_length,
+        )

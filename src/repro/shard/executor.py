@@ -22,16 +22,37 @@ only per-shard state — so every backend produces bit-identical results:
   boundary.  Worker-side cache mutations die with the children — exactly
   the independent-shard semantics the cache design calls for — so shard
   functions return any counters the caller wants to merge.
+
+Asynchronous boundary
+---------------------
+:meth:`ShardedExecutor.run_shards_async` and :meth:`ShardedExecutor.submit`
+expose the same dispatch as :class:`concurrent.futures.Future` values.
+:meth:`run_shards` is now a join-then-raise gather over
+:meth:`run_shards_async`, so every synchronous client (the beam planner,
+the evaluation protocol) routes through the futures API unchanged in
+results, and asynchronous clients can overlap shard dispatches with other
+work.  (The serving subsystem, :mod:`repro.serve`, sits a level higher: it
+queues requests per shard and drains them into the planner, which fans its
+replans out through this executor.)
+Futures resolve per backend: ``serial`` tasks (and single-task dispatches)
+run inline and come back already resolved; ``thread`` tasks run on a pool
+that shuts down as its futures complete; the fork dispatch is inherently a
+barrier (``starmap``), so ``process`` futures are resolved by the time the
+call returns — identical results, no pending state to track.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Hashable, Sequence, TypeVar
 
-from repro.shard.config import resolve_num_workers, resolve_shard_backend
+from repro.shard.config import (
+    VALID_BACKENDS,
+    resolve_num_workers,
+    resolve_shard_backend,
+)
 from repro.shard.partition import partition_indices
 from repro.utils.exceptions import ConfigurationError
 from repro.utils.logging import get_logger
@@ -76,18 +97,107 @@ class ShardedExecutor:
 
         Results come back in task order.  With one task (or the serial
         backend) no pool is created and ``fn`` runs in the calling thread.
+        Implemented as a gather over :meth:`run_shards_async`, so the
+        synchronous and futures-based entry points can never disagree.
+
+        On a shard exception every other shard task is still awaited before
+        the first error re-raises — the pre-futures ``with`` pool had
+        join-before-propagate semantics, and callers rely on them: nothing
+        from a failed dispatch may still be mutating shared caches or
+        counters once ``run_shards`` returns control.
+        """
+        futures = self.run_shards_async(tasks, fn)
+        results: "list[R]" = []
+        first_error: "BaseException | None" = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised after the join
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def run_shards_async(
+        self, tasks: "Sequence[tuple[int, T]]", fn: "Callable[[int, T], R]"
+    ) -> "list[Future[R]]":
+        """Dispatch every task and return one :class:`Future` per task.
+
+        Futures are in task order.  ``serial`` tasks and single-task
+        dispatches run inline in the calling thread and come back already
+        resolved (an exception is captured into the future, surfacing at
+        ``result()`` exactly like a pooled task's).  ``thread`` tasks return
+        genuinely pending futures; the pool stops accepting work immediately
+        but keeps running until its futures complete.  The fork ``process``
+        dispatch is a synchronous barrier, so its futures are resolved on
+        return.
         """
         if not tasks:
             return []
-        if self.backend == "serial" or len(tasks) == 1:
-            return [fn(shard, payload) for shard, payload in tasks]
+        if self.backend == "thread" and len(tasks) > 1:
+            pool = ThreadPoolExecutor(max_workers=len(tasks))
+            futures: "list[Future[R]]" = []
+            try:
+                for shard, payload in tasks:
+                    futures.append(pool.submit(fn, shard, payload))
+            except BaseException:
+                # pool.submit itself failed mid-batch (e.g. thread
+                # exhaustion): join what was already dispatched so the
+                # join-before-propagate contract holds even here.
+                for future in futures:
+                    future.exception()
+                raise
+            finally:
+                pool.shutdown(wait=False)
+            return futures
+        if self.backend == "process" and len(tasks) > 1:
+            return self._resolved_fork_futures(tasks, fn)
+        if self.backend not in VALID_BACKENDS:  # pragma: no cover - ctor validates
+            raise ConfigurationError(f"unknown shard backend '{self.backend}'")
+        return [self._inline_future(fn, shard, payload) for shard, payload in tasks]
+
+    def submit(
+        self, shard: int, payload: T, fn: "Callable[[int, T], R]"
+    ) -> "Future[R]":
+        """One-task future: ``fn(shard, payload)`` on this executor's backend.
+
+        On the ``thread`` backend the task runs on its own worker thread (a
+        single-task pool that shuts down with the future); the ``serial``
+        backend and the fork barrier return an already-resolved future.
+        """
         if self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
-                futures = [pool.submit(fn, shard, payload) for shard, payload in tasks]
-                return [future.result() for future in futures]
-        if self.backend == "process":
-            return self._run_fork(tasks, fn)
-        raise ConfigurationError(f"unknown shard backend '{self.backend}'")  # pragma: no cover
+            pool = ThreadPoolExecutor(max_workers=1)
+            try:
+                return pool.submit(fn, shard, payload)
+            finally:
+                pool.shutdown(wait=False)
+        return self.run_shards_async([(shard, payload)], fn)[0]
+
+    @staticmethod
+    def _inline_future(
+        fn: "Callable[[int, T], R]", shard: int, payload: T
+    ) -> "Future[R]":
+        future: "Future[R]" = Future()
+        try:
+            future.set_result(fn(shard, payload))
+        except BaseException as exc:  # noqa: BLE001 - captured into the future
+            future.set_exception(exc)
+        return future
+
+    def _resolved_fork_futures(
+        self, tasks: "Sequence[tuple[int, T]]", fn: "Callable[[int, T], R]"
+    ) -> "list[Future[R]]":
+        futures: "list[Future[R]]" = [Future() for _ in tasks]
+        try:
+            results = self._run_fork(tasks, fn)
+        except BaseException as exc:  # noqa: BLE001 - captured into the futures
+            for future in futures:
+                future.set_exception(exc)
+        else:
+            for future, result in zip(futures, results):
+                future.set_result(result)
+        return futures
 
     def _run_fork(
         self, tasks: "Sequence[tuple[int, T]]", fn: "Callable[[int, T], R]"

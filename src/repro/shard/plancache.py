@@ -102,17 +102,40 @@ class ShardedPlanCache:
     def __contains__(self, key: Hashable) -> bool:
         return key in self.shard_for(key)
 
+    def counters(self) -> dict:
+        """Merged counter snapshot: each shard contributes ONE locked read.
+
+        Cross-shard consistency is per-shard (a global freeze would need one
+        lock over every shard, defeating the point of sharding), but no
+        single shard's contribution can be torn — concurrent drain threads
+        recording lookups mid-aggregation shift whole lookups between
+        snapshots, never half of one.
+        """
+        merged = {
+            "size": 0,
+            "maxsize": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
+        for shard in self.shards:
+            snapshot = shard.counters()
+            for key in merged:
+                merged[key] += snapshot[key]
+        merged["invalidations"] = self._invalidations
+        return merged
+
     @property
     def hits(self) -> int:
-        return sum(shard.hits for shard in self.shards)
+        return self.counters()["hits"]
 
     @property
     def misses(self) -> int:
-        return sum(shard.misses for shard in self.shards)
+        return self.counters()["misses"]
 
     @property
     def evictions(self) -> int:
-        return sum(shard.evictions for shard in self.shards)
+        return self.counters()["evictions"]
 
     @property
     def invalidations(self) -> int:

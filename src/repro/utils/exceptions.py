@@ -24,3 +24,13 @@ class NotFittedError(ReproError):
 
 class GraphError(ReproError):
     """Raised for item-graph problems (e.g. no path between two items)."""
+
+
+class ServingError(ReproError):
+    """Raised when the asynchronous serving loop is misused (e.g. submitting
+    to a closed loop)."""
+
+
+class QueueFullError(ServingError):
+    """Raised by the admission controller's ``reject`` policy when a shard's
+    request queue is at its depth bound."""

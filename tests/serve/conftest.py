@@ -1,0 +1,47 @@
+"""Fixtures for the asynchronous serving suite.
+
+The backbone and contexts are session-scoped (read-only); planners are
+built per test — serving mutates their caches, and the parity contract is
+about fresh planners anyway.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beam import BeamSearchPlanner
+from repro.core.irn import IRN
+from repro.evaluation.protocol import sample_objectives
+
+MAX_LENGTH = 5
+
+
+@pytest.fixture(scope="session")
+def serve_irn(tiny_split):
+    return IRN(
+        embedding_dim=16,
+        user_dim=4,
+        num_heads=2,
+        num_layers=1,
+        epochs=1,
+        batch_size=32,
+        max_sequence_length=50,
+        seed=0,
+    ).fit(tiny_split)
+
+
+@pytest.fixture(scope="session")
+def serve_contexts(tiny_split):
+    instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=9)
+    return [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+
+
+@pytest.fixture()
+def make_planner(serve_irn, tiny_split):
+    """Factory for fresh planners sharing the package backbone."""
+
+    def build(**kwargs):
+        kwargs.setdefault("max_length", MAX_LENGTH)
+        return BeamSearchPlanner(serve_irn, **kwargs).fit(tiny_split)
+
+    return build

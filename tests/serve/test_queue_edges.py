@@ -1,0 +1,242 @@
+"""Queue edge cases named by the issue: empty drain, single-request
+micro-batch, a ``fit_generation`` bump racing queued requests (must replan,
+not serve a stale cache), and back-pressure rejection ordering."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.beam import BeamSearchPlanner
+from repro.core.irn import IRN
+from repro.serve import ServingLoop
+from repro.serve.admission import AdmissionController
+from repro.serve.queue import RequestQueue
+from repro.serve.request import ServeRequest
+from repro.utils.exceptions import ConfigurationError, QueueFullError, ServingError
+
+MAX_LENGTH = 5  # keep in sync with tests/serve/conftest.py
+
+
+class TestEmptyDrain:
+    def test_pop_all_on_empty_queue_returns_empty_batch(self):
+        queue = RequestQueue(0, AdmissionController(max_queue_depth=4))
+        assert queue.pop_all() == []
+        assert queue.stats()["empty_drains"] == 1
+        assert queue.stats()["micro_batches"] == 0
+
+    def test_empty_batch_is_a_noop_downstream(self, make_planner):
+        planner = make_planner()
+        assert planner.plan_for_requests([]) == []
+        loop = ServingLoop(planner)
+        loop._serve_batch([])  # must not touch the planner or the stats
+        assert loop.stats()["served"] == 0
+
+    def test_start_close_without_requests_is_clean(self, make_planner):
+        with ServingLoop(make_planner()) as loop:
+            pass
+        assert loop.stats()["served"] == 0
+        # Idempotent close, and the drain threads are gone.
+        loop.close()
+        assert all(not thread.is_alive() for thread in loop._threads)
+
+
+class TestSingleRequestMicroBatch:
+    def test_single_request_matches_direct_next_step(
+        self, make_planner, serve_contexts
+    ):
+        history, objective, user = serve_contexts[0]
+        expected = make_planner().next_step(history, objective, [], user_index=user)
+        planner = make_planner()
+        with ServingLoop(planner) as loop:
+            future = loop.submit_next_step(history, objective, [], user_index=user)
+            assert future.result() == expected
+            stats = loop.stats()
+        assert stats["served"] == 1
+        assert stats["micro_batches"]["count"] == 1
+        assert stats["micro_batches"]["max_size"] == 1
+
+
+class TestFitGenerationRace:
+    def test_queued_request_replans_after_refit(self, tiny_split, serve_contexts):
+        """A request admitted before a backbone retrain must be answered by a
+        replan against the new generation, never from the stale caches."""
+        irn = IRN(
+            embedding_dim=16, user_dim=4, num_heads=2, num_layers=1,
+            epochs=1, batch_size=32, max_sequence_length=50, seed=0,
+        ).fit(tiny_split)
+        planner = BeamSearchPlanner(irn, max_length=MAX_LENGTH).fit(tiny_split)
+        history, objective, user = serve_contexts[0]
+        # Warm every cache for the context: a repeat next_step would be a
+        # pure serving-cache hit if no retrain happened.
+        planner.next_step(history, objective, [], user_index=user)
+        assert len(planner._step_cache) == 1
+        replans_before = planner.cache_info()["serving"]["replans"]
+
+        loop = ServingLoop(planner)  # not started: the request sits queued
+        future = loop.submit_next_step(history, objective, [], user_index=user)
+        irn.fit(tiny_split)  # fit_generation bump while the request is queued
+        loop.start()
+        item = future.result()
+        loop.close()
+
+        info = planner.cache_info()
+        # The bump was honoured: the drain invalidated and replanned instead
+        # of serving the pre-retrain plan.
+        assert info["serving"]["replans"] == replans_before + 1
+        assert planner.plan_cache.invalidations >= 1
+        assert planner._backbone_generation == irn.fit_generation
+        # Same data + same seed retrains to the same model, so the replanned
+        # answer must equal a fresh planner's (proving it is a real plan,
+        # not a dropped request).
+        fresh = BeamSearchPlanner(irn, max_length=MAX_LENGTH).fit(tiny_split)
+        assert item == fresh.next_step(history, objective, [], user_index=user)
+
+
+class TestBackPressure:
+    def test_rejection_ordering_preserves_admitted_fifo(
+        self, make_planner, serve_contexts
+    ):
+        """Requests beyond the depth bound are rejected; the admitted ones
+        are still served, in order, with sequential-identical answers."""
+        reference = make_planner()
+        expected = [
+            reference.next_step(history, objective, [], user_index=user)
+            for history, objective, user in serve_contexts[:2]
+        ]
+        planner = make_planner()
+        loop = ServingLoop(
+            planner, num_queues=1, max_queue_depth=2, admission_policy="reject"
+        )
+        admitted = [
+            loop.submit_next_step(history, objective, [], user_index=user)
+            for history, objective, user in serve_contexts[:2]
+        ]
+        rejected_contexts = serve_contexts[2:4]
+        for history, objective, user in rejected_contexts:
+            with pytest.raises(QueueFullError, match="full"):
+                loop.submit_next_step(history, objective, [], user_index=user)
+        stats = loop.stats()
+        assert stats["admission"]["admitted"] == 2
+        assert stats["admission"]["rejected"] == 2
+        loop.start()
+        assert [future.result() for future in admitted] == expected
+        loop.close()
+        # Rejected requests never entered a queue: nothing extra was served.
+        assert loop.stats()["served"] == 2
+
+    def test_block_policy_waits_for_drain(self, make_planner, serve_contexts):
+        planner = make_planner()
+        loop = ServingLoop(
+            planner, num_queues=1, max_queue_depth=1, admission_policy="block"
+        )
+        history, objective, user = serve_contexts[0]
+        first = loop.submit_next_step(history, objective, [], user_index=user)
+        blocked_future = {}
+
+        def producer():
+            history2, objective2, user2 = serve_contexts[1]
+            blocked_future["value"] = loop.submit_next_step(
+                history2, objective2, [], user_index=user2
+            )
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        assert thread.is_alive()  # back-pressure is holding the producer
+        assert loop.stats()["admission"]["blocked"] >= 1
+        loop.start()  # draining frees the slot and unblocks the producer
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        first.result()  # the queued request resolved once drained
+        assert blocked_future["value"].result() == make_planner().next_step(
+            serve_contexts[1][0], serve_contexts[1][1], [], user_index=serve_contexts[1][2]
+        )
+        loop.close()
+
+    def test_next_step_max_length_rejected_at_submit(
+        self, make_planner, serve_contexts
+    ):
+        """The override is rejected synchronously at admission — inside a
+        drained micro-batch it would fail every batched future, not just the
+        misbehaving caller's."""
+        history, objective, user = serve_contexts[0]
+        with ServingLoop(make_planner()) as loop:
+            with pytest.raises(ConfigurationError, match="max_length"):
+                loop.submit("next_step", history, objective, user_index=user, max_length=3)
+
+    def test_bad_plan_paths_horizon_rejected_at_submit(
+        self, make_planner, serve_contexts
+    ):
+        """A non-positive plan_paths horizon is also an admission-time error:
+        admitted, it would ConfigurationError inside the drain and poison
+        every co-batched future."""
+        history, objective, user = serve_contexts[0]
+        with ServingLoop(make_planner()) as loop:
+            with pytest.raises(ConfigurationError, match="positive"):
+                loop.submit_plan_paths(history, objective, user_index=user, max_length=0)
+            with pytest.raises(ConfigurationError, match="integer"):
+                loop.submit_plan_paths(history, objective, user_index=user, max_length="deep")
+            # An innocent co-submitted request still serves normally.
+            future = loop.submit_plan_paths(history, objective, user_index=user)
+            assert future.result() == make_planner().plan_path(
+                history, objective, user_index=user
+            )
+
+    def test_submit_after_close_raises(self, make_planner, serve_contexts):
+        loop = ServingLoop(make_planner()).start()
+        loop.close()
+        history, objective, user = serve_contexts[0]
+        with pytest.raises(ServingError, match="closed"):
+            loop.submit_next_step(history, objective, [], user_index=user)
+
+    def test_close_before_start_serves_pending_inline(
+        self, make_planner, serve_contexts
+    ):
+        reference = make_planner()
+        planner = make_planner()
+        loop = ServingLoop(planner)
+        futures = [
+            loop.submit_next_step(history, objective, [], user_index=user)
+            for history, objective, user in serve_contexts[:3]
+        ]
+        loop.close()  # never started: pending requests must still resolve
+        assert [future.result() for future in futures] == [
+            reference.next_step(history, objective, [], user_index=user)
+            for history, objective, user in serve_contexts[:3]
+        ]
+
+
+class TestDuplicateContextWaves:
+    def test_same_context_twice_in_one_batch_matches_sequential(
+        self, make_planner, serve_contexts
+    ):
+        """plan_for_requests defers a duplicate serving context to a second
+        wave, so the second request sees the first's cache effects exactly
+        like sequential execution."""
+        history, objective, user = serve_contexts[0]
+        reference = make_planner()
+        first_expected = reference.next_step(history, objective, [], user_index=user)
+        second_expected = reference.next_step(
+            history, objective, [first_expected], user_index=user
+        )
+        planner = make_planner()
+        results = planner.plan_for_requests(
+            [
+                ("next_step", history, objective, [], user),
+                ("next_step", history, objective, [first_expected], user),
+            ]
+        )
+        assert results == [first_expected, second_expected]
+
+    def test_request_queue_single_slot_fifo(self):
+        admission = AdmissionController(max_queue_depth=8, drain_deadline=0.0)
+        queue = RequestQueue(0, admission)
+        for index in range(3):
+            queue.put(ServeRequest.create("next_step", [1, 2], 3 + index))
+        batch = queue.collect()
+        assert [request.objective for request in batch] == [3, 4, 5]
+        assert queue.stats()["depth"] == 0
+        assert queue.stats()["micro_batch_max"] == 3

@@ -1,0 +1,119 @@
+"""End-to-end parity of the asynchronous serving subsystem.
+
+Acceptance contract of the async-serving PR (mirror of ``tests/shard``'s
+suite for the sharding rung): for fixed request traces, ``ServingLoop``
+responses are bit-identical to sequential ``next_step`` / ``plan_path``
+calls on the same planner configuration — for the serial and thread
+backends at 1, 2 and 4 workers, with any queue count and drain deadline.
+Queueing and micro-batching change when the work happens, never the
+answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.protocol import rollout_next_step
+from repro.serve import ServingLoop, replay_lockstep
+from repro.utils.exceptions import ConfigurationError
+
+BACKENDS = ["serial", "thread"]
+MAX_LENGTH = 5  # keep in sync with tests/serve/conftest.py
+
+
+@pytest.fixture(scope="module")
+def sequential_paths(serve_irn, tiny_split, serve_contexts):
+    """The sequential-serving reference trace (fresh serial planner)."""
+    from repro.core.beam import BeamSearchPlanner
+
+    planner = BeamSearchPlanner(serve_irn, max_length=MAX_LENGTH).fit(tiny_split)
+    return rollout_next_step(planner, serve_contexts, MAX_LENGTH)
+
+
+class TestServingLoopParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
+    def test_lockstep_replay_bit_identical(
+        self, make_planner, serve_contexts, sequential_paths, backend, num_workers
+    ):
+        planner = make_planner(num_workers=num_workers, shard_backend=backend)
+        with ServingLoop(planner) as loop:
+            served = replay_lockstep(loop, serve_contexts, MAX_LENGTH)
+        assert served == sequential_paths
+
+    @pytest.mark.parametrize("drain_deadline", [0.0, 0.005])
+    def test_parity_across_drain_deadlines(
+        self, make_planner, serve_contexts, sequential_paths, drain_deadline
+    ):
+        planner = make_planner(num_workers=2, shard_backend="thread")
+        with ServingLoop(planner, drain_deadline=drain_deadline) as loop:
+            served = replay_lockstep(loop, serve_contexts, MAX_LENGTH)
+        assert served == sequential_paths
+
+    def test_queue_count_decoupled_from_planner_workers(
+        self, make_planner, serve_contexts, sequential_paths
+    ):
+        planner = make_planner()  # serial planner, many serving queues
+        with ServingLoop(planner, num_queues=3) as loop:
+            served = replay_lockstep(loop, serve_contexts, MAX_LENGTH)
+        assert served == sequential_paths
+
+    def test_plan_paths_futures_match_plan_path(self, make_planner, serve_contexts):
+        reference = make_planner()
+        expected = [
+            reference.plan_path(history, objective, user_index=user)
+            for history, objective, user in serve_contexts
+        ]
+        planner = make_planner(num_workers=2, shard_backend="thread")
+        with ServingLoop(planner) as loop:
+            futures = [
+                loop.submit_plan_paths(history, objective, user_index=user)
+                for history, objective, user in serve_contexts
+            ]
+            assert [future.result() for future in futures] == expected
+
+    def test_mixed_kind_submissions_match_sequential(
+        self, make_planner, serve_contexts, sequential_paths
+    ):
+        reference = make_planner()
+        planner = make_planner(num_workers=2, shard_backend="thread")
+        with ServingLoop(planner) as loop:
+            next_futures = [
+                loop.submit_next_step(history, objective, [], user_index=user)
+                for history, objective, user in serve_contexts
+            ]
+            plan_futures = [
+                loop.submit_plan_paths(history, objective, user_index=user)
+                for history, objective, user in serve_contexts
+            ]
+            next_items = [future.result() for future in next_futures]
+            plans = [future.result() for future in plan_futures]
+        assert next_items == [
+            reference.next_step(history, objective, [], user_index=user)
+            for history, objective, user in serve_contexts
+        ]
+        assert plans == [
+            reference.plan_path(history, objective, user_index=user)
+            for history, objective, user in serve_contexts
+        ]
+
+    def test_serving_stats_expose_micro_batching(self, make_planner, serve_contexts):
+        planner = make_planner()
+        with ServingLoop(planner, drain_deadline=0.01) as loop:
+            replay_lockstep(loop, serve_contexts, MAX_LENGTH)
+            stats = loop.stats()
+        assert stats["served"] > 0
+        assert stats["micro_batches"]["count"] >= 1
+        # Lockstep rounds put many concurrent requests in the queues, so at
+        # least one drain must have fused more than one request.
+        assert stats["micro_batches"]["max_size"] > 1
+        assert stats["queue_depth"]["max"] >= stats["micro_batches"]["max_size"]
+        assert stats["service_latency"]["max_ms"] >= stats["service_latency"]["mean_ms"]
+
+    def test_loop_requires_plan_for_requests(self):
+        with pytest.raises(ConfigurationError, match="plan_for_requests"):
+            ServingLoop(object())
+
+    def test_invalid_num_queues_rejected(self, make_planner):
+        with pytest.raises(ConfigurationError, match="num_queues"):
+            ServingLoop(make_planner(), num_queues=0)

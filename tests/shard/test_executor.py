@@ -172,6 +172,80 @@ class TestRunShards:
         assert results == [[(shard, shard * 2)] for shard in range(4)]
 
 
+class TestFuturesAPI:
+    """The asynchronous boundary grown for the serving subsystem."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_shards_async_matches_run_shards(self, backend):
+        executor = ShardedExecutor(4, backend)
+        tasks = [(shard, [shard]) for shard in range(4)]
+        futures = executor.run_shards_async(tasks, double_shard)
+        assert [future.result() for future in futures] == executor.run_shards(
+            tasks, double_shard
+        )
+
+    def test_empty_tasks_async(self):
+        assert ShardedExecutor(2, "thread").run_shards_async([], double_shard) == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_submit_single_task(self, backend):
+        executor = ShardedExecutor(2, backend)
+        future = executor.submit(1, [3, 4], double_shard)
+        assert future.result() == [(1, 6), (1, 8)]
+
+    def test_serial_futures_come_back_resolved(self):
+        executor = ShardedExecutor(2, "serial")
+        futures = executor.run_shards_async([(0, [1]), (1, [2])], double_shard)
+        assert all(future.done() for future in futures)
+
+    def test_inline_exception_surfaces_at_result(self):
+        executor = ShardedExecutor(1, "serial")
+
+        def explode(shard: int, items: list):
+            raise ValueError("shard blew up")
+
+        future = executor.run_shards_async([(0, [1])], explode)[0]
+        assert isinstance(future.exception(), ValueError)
+        with pytest.raises(ValueError, match="blew up"):
+            executor.run_shards([(0, [1])], explode)
+
+    def test_run_shards_joins_siblings_before_raising(self):
+        """A shard exception must not leave sibling shard tasks running
+        detached: run_shards awaits every future, then re-raises the first
+        error (the pre-futures pool's join-before-propagate semantics)."""
+        import time
+
+        executor = ShardedExecutor(2, "thread")
+        state = {"finished": False}
+
+        def tasks_fn(shard: int, _payload):
+            if shard == 0:
+                raise ValueError("fast failure")
+            time.sleep(0.2)  # outlive the sibling's immediate failure
+            state["finished"] = True
+            return shard
+
+        with pytest.raises(ValueError, match="fast failure"):
+            executor.run_shards([(0, None), (1, None)], tasks_fn)
+        # The slow sibling completed BEFORE run_shards returned control.
+        assert state["finished"] is True
+
+    def test_thread_futures_run_concurrently(self):
+        """Two thread-backend tasks that wait on each other's event can only
+        finish if the futures genuinely overlap."""
+        executor = ShardedExecutor(2, "thread")
+        first, second = threading.Event(), threading.Event()
+
+        def rendezvous(shard: int, _payload):
+            mine, theirs = (first, second) if shard == 0 else (second, first)
+            mine.set()
+            assert theirs.wait(timeout=5)
+            return shard
+
+        futures = executor.run_shards_async([(0, None), (1, None)], rendezvous)
+        assert [future.result(timeout=5) for future in futures] == [0, 1]
+
+
 class TestEnvForcedSharding:
     def test_executor_reads_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_NUM_WORKERS", "2")

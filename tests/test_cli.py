@@ -140,3 +140,108 @@ class TestBenchSubcommand:
         report = json.loads(output.read_text())
         assert report["irs_stepwise_replanning"]["token_work_reduction"] >= 2.0
         assert "cache_counters" in report["irs_stepwise_replanning"]
+
+    def test_bench_sections_subset(self, capsys, tmp_path):
+        """Satellite of the serving PR: --sections runs only the named bench
+        sections (the full bench is slow; CI targets the section under test)."""
+        import json
+
+        output = tmp_path / "bench_subset.json"
+        code = main(
+            [
+                "bench",
+                "--profile",
+                "fast",
+                "--sections",
+                "nextitem_evaluation",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        report = json.loads(output.read_text())
+        assert report["sections"] == ["nextitem_evaluation"]
+        assert "nextitem_evaluation" in report
+        assert "beam_planning" not in report
+        assert "async_serving" not in report
+
+    def test_bench_unknown_section_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown bench section"):
+            main(["bench", "--profile", "fast", "--sections", "quantum_planning"])
+
+
+class TestServeSimSubcommand:
+    """Satellite of the serving PR: the serve-sim CLI surface."""
+
+    def test_serve_sim_listed_in_parser_with_flag_defaults(self):
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.artefact == "serve-sim"
+        assert args.arrival_rate is None
+        assert args.duration is None
+        assert args.max_queue_depth is None
+        assert args.drain_deadline is None
+        assert args.admission_policy is None
+
+    def test_serve_sim_fast_profile_reports_latency(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "serve_report.json"
+        code = main(
+            [
+                "serve-sim",
+                "--profile",
+                "fast",
+                "--arrival-rate",
+                "300",
+                "--duration",
+                "0.3",
+                "--num-workers",
+                "2",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "async serving sim" in out
+        assert "p99" in out
+        report = json.loads(output.read_text())
+        assert report["arrival_rate"] == 300.0
+        assert report["admitted_requests"] + report["rejected_requests"] == report[
+            "offered_requests"
+        ]
+        assert report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+        assert report["sharding"]["num_workers"] == 2
+        assert report["sharding"]["num_queues"] == 2
+
+    def test_invalid_arrival_rate_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="arrival_rate"):
+            main(["serve-sim", "--profile", "fast", "--arrival-rate", "0"])
+        with pytest.raises(ConfigurationError, match="arrival_rate"):
+            main(["serve-sim", "--profile", "fast", "--arrival-rate", "fast"])
+
+    def test_invalid_queue_knobs_raise_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="max_queue_depth"):
+            main(["serve-sim", "--profile", "fast", "--max-queue-depth", "0"])
+        with pytest.raises(ConfigurationError, match="drain_deadline"):
+            main(["serve-sim", "--profile", "fast", "--drain-deadline", "-1"])
+        with pytest.raises(ConfigurationError, match="admission_policy"):
+            main(["serve-sim", "--profile", "fast", "--admission-policy", "drop"])
+
+    def test_env_defaults_apply_when_serve_flags_omitted(self, monkeypatch):
+        from repro.cli import _resolve_serve_args
+
+        monkeypatch.setenv("REPRO_ARRIVAL_RATE", "77")
+        monkeypatch.setenv("REPRO_MAX_QUEUE_DEPTH", "9")
+        monkeypatch.setenv("REPRO_ADMISSION_POLICY", "reject")
+        monkeypatch.setenv("REPRO_DRAIN_DEADLINE", "0.01")
+        monkeypatch.setenv("REPRO_SERVE_DURATION", "0.5")
+        args = build_parser().parse_args(["serve-sim"])
+        serve = _resolve_serve_args(args)
+        assert serve == {
+            "arrival_rate": 77.0,
+            "duration": 0.5,
+            "max_queue_depth": 9,
+            "drain_deadline": 0.01,
+            "admission_policy": "reject",
+        }
