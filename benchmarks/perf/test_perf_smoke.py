@@ -126,6 +126,40 @@ def test_async_serving_records_latency_and_queue_stats(smoke_report):
         assert open_loop["admission"]["policy"] in ("block", "reject")
 
 
+def test_replicated_serving_parity_at_shared_generation(smoke_report):
+    """Replication-PR acceptance: with all replicas at one generation, the
+    lockstep responses are bit-identical to single-replica serving."""
+    replicated = smoke_report["replicated_serving"]
+    assert replicated["num_replicas"] == 2
+    assert replicated["parity"]["responses_match_single_replica"]
+    assert replicated["parity"]["served"] > 0
+
+
+def test_replicated_hot_refit_never_pauses_serving(smoke_report):
+    """Replication-PR acceptance: the hot refit drops/errors zero admitted
+    requests, rejects nothing under the block policy, and flips exactly one
+    generation forward (the same bits repro.perf.gate enforces in CI)."""
+    refit_run = smoke_report["replicated_serving"]["hot_refit"]
+    assert refit_run["errored_requests"] == 0
+    assert refit_run["rejected_requests"] == 0
+    assert refit_run["no_pause"] is True
+    refit = refit_run["refit"]
+    assert refit["generation_to"] == refit["generation_from"] + 1
+    assert refit["flip_seconds"] < 0.5  # pointer swaps, not training
+    assert refit_run["admitted_requests"] == sum(
+        refit_run["generations_served"].values()
+    )
+
+
+def test_replicated_serving_report_gates_green(smoke_report):
+    """The smoke report itself must pass the CI perf gate."""
+    from repro.perf.gate import collect_violations
+
+    assert collect_violations(
+        smoke_report, require=["async_serving", "replicated_serving"]
+    ) == []
+
+
 def test_sections_filter_runs_subset():
     """Satellite: run_benchmarks(sections=...) runs only the named sections
     (the repro-irs bench --sections flag routes here)."""
@@ -144,6 +178,7 @@ def test_sections_filter_runs_subset():
         "incremental_decoding",
         "sharded_evaluation",
         "async_serving",
+        "replicated_serving",
     )
     with pytest.raises(ConfigurationError, match="unknown bench section"):
         resolve_sections(["beam_planning", "quantum_planning"])
@@ -160,6 +195,7 @@ def test_every_section_records_cpu_count_and_backend(smoke_report):
         "incremental_decoding",
         "sharded_evaluation",
         "async_serving",
+        "replicated_serving",
     )
     for name in sections:
         assert smoke_report[name]["cpu_count"] == smoke_report["machine"]["cpu_count"]

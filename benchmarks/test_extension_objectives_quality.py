@@ -11,7 +11,7 @@ Two extension experiments that reuse the already-trained pipeline models:
 
 import numpy as np
 
-from repro.experiments import extensions, tables
+from repro.experiments import extensions
 from repro.experiments.reporting import format_table
 
 from benchmarks.conftest import print_report

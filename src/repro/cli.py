@@ -12,6 +12,7 @@ Examples
     repro-irs bench --profile fast
     repro-irs bench --sections async_serving,irs_stepwise_replanning
     repro-irs serve-sim --profile fast --arrival-rate 200 --duration 1
+    repro-irs serve-sim --profile fast --replicas 2 --refit-at 0.5 --duration 2
 
 ``all`` regenerates every table and figure of the paper; the ``ablation-*``
 and ``ext-*`` artefacts cover the design-choice ablations and the
@@ -30,7 +31,16 @@ asynchronous serving loop (:mod:`repro.serve`) over the bench corpus and
 prints throughput, p50/p95/p99 latency and queue-depth stats.  Its knobs —
 ``--arrival-rate``, ``--duration``, ``--max-queue-depth``,
 ``--drain-deadline``, ``--admission-policy`` — resolve through the
-``REPRO_*`` environment defaults exactly like the sharding flags.
+``REPRO_*`` environment defaults exactly like the sharding flags.  With
+``--replicas N`` (or ``REPRO_REPLICAS``) the traffic is served by a
+:class:`~repro.replica.set.ReplicaSet` — N independently fitted backbone
+replicas behind the least-loaded dispatcher — and ``--refit-at T`` (or
+``REPRO_REFIT_AT``) arms a hot refit ``T`` seconds into the trace: fresh
+replicas train off-path and the generation flips atomically, so the report
+additionally carries the refit timings, per-generation latency and the
+no-pause bit.  Bad knob combinations (``--replicas 0``, ``--refit-at``
+at/past ``--duration``) exit nonzero with a clear ``ConfigurationError``
+before any model trains.
 
 Scaling knobs (``--num-workers``, ``--shard-backend``, ``--vocab-shards``,
 ``--rollout-chunk-size``) configure the sharded execution subsystem
@@ -56,7 +66,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.pipeline import ExperimentPipeline
 from repro.experiments.reporting import format_series, format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "run", "build_parser"]
 
 _TABLES = {
     "table1": "Table I - dataset statistics",
@@ -182,6 +192,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve-sim: block | reject on a full queue (default: $REPRO_ADMISSION_POLICY or block)",
     )
+    # Replication knobs (repro.replica) — raw strings validated by the
+    # replica config resolvers, same pattern as the serving flags above.
+    parser.add_argument(
+        "--replicas",
+        default=None,
+        help="serve-sim: backbone replicas behind the dispatcher (default: $REPRO_REPLICAS or 1)",
+    )
+    parser.add_argument(
+        "--refit-at",
+        default=None,
+        help=(
+            "serve-sim: seconds into the trace to trigger a hot refit; must fall "
+            "strictly inside --duration (default: $REPRO_REFIT_AT or no refit)"
+        ),
+    )
+    parser.add_argument(
+        "--dispatch-policy",
+        default=None,
+        help=(
+            "serve-sim: least_loaded | round_robin replica routing "
+            "(default: $REPRO_DISPATCH_POLICY or least_loaded)"
+        ),
+    )
     return parser
 
 
@@ -238,6 +271,38 @@ def _resolve_serve_args(args: argparse.Namespace) -> dict:
         "max_queue_depth": resolve_max_queue_depth(args.max_queue_depth),
         "drain_deadline": resolve_drain_deadline(args.drain_deadline),
         "admission_policy": resolve_admission_policy(args.admission_policy),
+    }
+
+
+def _resolve_replica_args(args: argparse.Namespace, duration: float) -> dict:
+    """Validate the replication flags, including the cross-flag contract.
+
+    The resolvers own the per-knob parse-and-complain logic (and the
+    ``$REPRO_REPLICAS`` / ``$REPRO_REFIT_AT`` / ``$REPRO_DISPATCH_POLICY``
+    fallbacks); the cross-check that a refit must land strictly inside the
+    traffic window lives here — today's knobs silently accepting bad combos
+    is exactly the failure mode this closes.
+    """
+    from repro.replica.config import (
+        resolve_dispatch_policy,
+        resolve_num_replicas,
+        resolve_refit_at,
+    )
+    from repro.utils.exceptions import ConfigurationError
+
+    num_replicas = resolve_num_replicas(args.replicas)
+    refit_at = resolve_refit_at(args.refit_at)
+    dispatch_policy = resolve_dispatch_policy(args.dispatch_policy)
+    if refit_at is not None and refit_at >= duration:
+        raise ConfigurationError(
+            f"refit_at ({refit_at}s) must fall strictly inside the traffic "
+            f"window (--duration {duration}s): a refit armed at or past the end "
+            f"of the trace would never overlap serving"
+        )
+    return {
+        "num_replicas": num_replicas,
+        "refit_at": refit_at,
+        "dispatch_policy": dispatch_policy,
     }
 
 
@@ -400,8 +465,11 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
     the IRN, wraps a sharded beam planner in a
     :class:`~repro.serve.loop.ServingLoop` and offers open-loop Poisson
     traffic for ``--duration`` seconds at ``--arrival-rate`` requests/sec.
-    Prints the latency/throughput/queue report (and writes it as JSON to
-    ``--output`` when given).
+    With ``--replicas`` > 1 or ``--refit-at`` the traffic is served by a
+    :class:`~repro.replica.set.ReplicaSet` instead (one independently
+    fitted backbone per replica; the refit trains fresh ones off-path and
+    flips the generation mid-trace).  Prints the latency/throughput/queue
+    report (and writes it as JSON to ``--output`` when given).
     """
     import json
 
@@ -412,6 +480,7 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
     from repro.serve import ServingLoop, run_open_loop
 
     serve = _resolve_serve_args(args)
+    replication = _resolve_replica_args(args, serve["duration"])
     num_workers, backend, vocab_shards, _ = _resolve_shard_args(args)
     if args.rollout_chunk_size is not None:
         print(
@@ -421,7 +490,6 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         )
     bench_config = smoke_config() if args.profile == "fast" else default_config()
     split = build_bench_split(bench_config)
-    irn = IRN(**bench_config["irn"]).fit(split)
     instances = sample_objectives(
         split,
         min_objective_interactions=2,
@@ -429,36 +497,81 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         max_instances=bench_config["num_instances"],
     )
     contexts = [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
-    planner = BeamSearchPlanner(
-        irn,
-        beam_width=bench_config["beam_width"],
-        branch_factor=bench_config["branch_factor"],
-        max_length=bench_config["max_path_length"],
-        num_workers=num_workers,
-        shard_backend=backend,
-        vocab_shards=vocab_shards,
-    ).fit(split)
-    with ServingLoop(
-        planner,
-        max_queue_depth=serve["max_queue_depth"],
-        admission_policy=serve["admission_policy"],
-        drain_deadline=serve["drain_deadline"],
-    ) as loop:
-        report = run_open_loop(
-            loop,
-            contexts,
-            arrival_rate=serve["arrival_rate"],
-            duration=serve["duration"],
-            seed=args.seed,
+
+    def make_planner(backbone):
+        return BeamSearchPlanner(
+            backbone,
+            beam_width=bench_config["beam_width"],
+            branch_factor=bench_config["branch_factor"],
             max_length=bench_config["max_path_length"],
+            num_workers=num_workers,
+            shard_backend=backend,
+            vocab_shards=vocab_shards,
+        ).fit(split)
+
+    replicated = replication["num_replicas"] > 1 or replication["refit_at"] is not None
+    if replicated:
+        from repro.replica import ReplicaSet, run_replicated_open_loop
+
+        def planner_factory():
+            # One independently fitted backbone per replica (and per refit):
+            # deterministic config + seed, so every generation's weights are
+            # identical and routing stays bit-exact.
+            return make_planner(IRN(**bench_config["irn"]).fit(split))
+
+        print(
+            f"training {replication['num_replicas']} replica backbone(s)...",
+            file=sys.stderr,
         )
+        replica_set = ReplicaSet(
+            planner_factory,
+            num_replicas=replication["num_replicas"],
+            max_queue_depth=serve["max_queue_depth"],
+            admission_policy=serve["admission_policy"],
+            drain_deadline=serve["drain_deadline"],
+            dispatch_policy=replication["dispatch_policy"],
+        )
+        with replica_set:
+            report = run_replicated_open_loop(
+                replica_set,
+                contexts,
+                arrival_rate=serve["arrival_rate"],
+                duration=serve["duration"],
+                seed=args.seed,
+                max_length=bench_config["max_path_length"],
+                refit_at=replication["refit_at"],
+            )
+        planner = replica_set.planner
+        # Per-replica queue count (each replica's loop mirrors the planner's
+        # worker partition); the total across replicas is in "replication".
+        num_queues = planner.num_workers
+    else:
+        # The single-loop path is the only consumer of this backbone — the
+        # replicated branch's factory fits one per replica instead.
+        planner = make_planner(IRN(**bench_config["irn"]).fit(split))
+        with ServingLoop(
+            planner,
+            max_queue_depth=serve["max_queue_depth"],
+            admission_policy=serve["admission_policy"],
+            drain_deadline=serve["drain_deadline"],
+        ) as loop:
+            report = run_open_loop(
+                loop,
+                contexts,
+                arrival_rate=serve["arrival_rate"],
+                duration=serve["duration"],
+                seed=args.seed,
+                max_length=bench_config["max_path_length"],
+            )
+        num_queues = loop.num_queues
     report["machine"] = machine_info()
     report["sharding"] = {
         "num_workers": planner.num_workers,
         "backend": planner.shard_backend,
         "vocab_shards": planner.vocab_shards,
-        "num_queues": loop.num_queues,
+        "num_queues": num_queues,
     }
+    report["replication"] = {**replication, "enabled": replicated}
     latency = report["latency_ms"]
     print(
         f"async serving sim: {report['admitted_requests']}/{report['offered_requests']} "
@@ -471,17 +584,48 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         f"(mean {latency['mean']}, max {latency['max']})"
     )
     print(
-        f"queues: {loop.num_queues} x depth<={serve['max_queue_depth']} "
+        f"queues: {num_queues} x depth<={serve['max_queue_depth']} "
         f"({serve['admission_policy']}), depth max {report['queue_depth']['max']} "
         f"mean {report['queue_depth']['mean']}, micro-batch mean "
         f"{report['micro_batches']['mean_size']} max {report['micro_batches']['max_size']}"
     )
+    if replicated:
+        dispatch = report["dispatch"]
+        print(
+            f"replicas: {replication['num_replicas']} ({replication['dispatch_policy']}), "
+            f"picks {dispatch['picks']}, generations served "
+            f"{report['generations_served']}, no pause: {report['no_pause']}"
+        )
+        if "refit" in report:
+            refit = report["refit"]
+            print(
+                f"hot refit: generation {refit['generation_from']} -> "
+                f"{refit['generation_to']} trained off-path in "
+                f"{refit['train_seconds']}s, flipped in "
+                f"{round(1e6 * refit['flip_seconds'], 1)} us with "
+                f"{refit['inflight_at_flip']} request(s) in flight "
+                f"(completed during trace: {refit['completed_during_trace']})"
+            )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2)
             handle.write("\n")
         print(f"report written to {args.output}")
     return 0
+
+
+def run(argv: list[str] | None = None) -> int:
+    """Console entry point: like :func:`main`, but configuration mistakes
+    exit nonzero with one clear ``error:`` line instead of a traceback
+    (``main`` keeps raising so programmatic callers and tests can match the
+    exception)."""
+    from repro.utils.exceptions import ConfigurationError
+
+    try:
+        return main(argv)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -506,4 +650,4 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    sys.exit(run())

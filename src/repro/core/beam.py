@@ -88,7 +88,7 @@ from repro.shard.executor import ShardedExecutor
 from repro.shard.plancache import make_plan_cache
 from repro.shard.topk import sharded_topk
 from repro.utils.batch import broadcast_user_indices, check_batch_lengths
-from repro.utils.exceptions import ConfigurationError
+from repro.utils.exceptions import ConfigurationError, StaleGenerationError
 
 __all__ = ["BeamSearchPlanner"]
 
@@ -226,6 +226,12 @@ class BeamSearchPlanner(InfluentialRecommender):
         self._serving_hits = 0
         self._serving_replans = 0
         self._backbone_generation = getattr(backbone, "fit_generation", None)
+        # Replicated-serving state: a pinned planner must never observe its
+        # backbone retrained in place (the refit protocol swaps whole
+        # replicas), and serving_generation is the externally visible tag the
+        # serving loop stamps on every answered micro-batch.
+        self._pinned_generation: "int | None" = None
+        self.serving_generation: "int | None" = None
         backbone_name = getattr(backbone, "name", type(backbone).__name__)
         self.name = f"{backbone_name}-beam"
 
@@ -250,11 +256,53 @@ class BeamSearchPlanner(InfluentialRecommender):
         self._step_cache.clear()
         self._backbone_generation = getattr(self.backbone, "fit_generation", None)
 
-    def _sync_backbone_generation(self) -> None:
-        """Invalidate memoised plans if the backbone was retrained under us."""
+    def pin_generation(self, serving_generation: "int | None" = None) -> "int | None":
+        """Freeze this planner to the backbone's current ``fit_generation``.
+
+        The replicated-serving contract (:mod:`repro.replica`): a replica's
+        backbone is immutable — a refit trains a *fresh* replica off-path and
+        flips queues to it, it never retrains a serving backbone in place.
+        After pinning, any observed ``fit_generation`` change raises
+        :class:`~repro.utils.exceptions.StaleGenerationError` instead of
+        silently invalidating caches, so a protocol violation surfaces at the
+        first request rather than as mixed-generation answers.
+
+        ``serving_generation`` is the externally visible generation tag
+        (the replica set's monotonic generation — backbone ``fit_generation``
+        counters restart at 1 for every freshly trained replica, so they
+        cannot distinguish generations across replicas); it defaults to the
+        pinned backbone generation.  Returns the pinned backbone generation
+        (``None`` when the backbone exposes no ``fit_generation``, in which
+        case only the tag is set and no enforcement happens).
+        """
         generation = getattr(self.backbone, "fit_generation", None)
+        self._pinned_generation = generation
+        if serving_generation is None:
+            self.serving_generation = generation
+        else:
+            self.serving_generation = int(serving_generation)
+        return generation
+
+    def _sync_backbone_generation(self) -> None:
+        """Invalidate memoised plans if the backbone was retrained under us.
+
+        A generation-pinned planner (see :meth:`pin_generation`) raises
+        instead: its backbone must never change while the planner serves.
+        """
+        generation = getattr(self.backbone, "fit_generation", None)
+        if self._pinned_generation is not None and generation != self._pinned_generation:
+            raise StaleGenerationError(
+                f"planner is pinned to backbone fit_generation "
+                f"{self._pinned_generation} but observed {generation}; replicated "
+                f"serving swaps whole replicas on refit instead of retraining a "
+                f"serving backbone in place"
+            )
         if generation != self._backbone_generation:
             self.invalidate_caches()
+
+    def _generation_guard(self) -> "int | None":
+        """Executor guard: the backbone generation a fused dispatch must keep."""
+        return getattr(self.backbone, "fit_generation", None)
 
     def cache_info(self) -> dict:
         """Hit/miss/eviction counters of both plan caches (for the bench).
@@ -410,16 +458,21 @@ class BeamSearchPlanner(InfluentialRecommender):
             else:
                 pending.append(i)
         if pending:
-            if self.num_workers > 1 and len(pending) > 1:
-                planned = self._executor.map_partitioned(
-                    pending,
-                    [keys[i] for i in pending],
-                    lambda _shard, subset: self._plan_beam(
-                        histories, objectives, users, list(subset), max_length
-                    ),
-                )
-            else:
-                planned = self._plan_beam(histories, objectives, users, pending, max_length)
+            # Every pending path goes through the executor — with one worker
+            # (or one instance) that is a direct in-thread _plan_beam call,
+            # but uniformly under the generation guard, so a mid-plan
+            # backbone retrain raises StaleGenerationError instead of
+            # producing answers computed under mixed weights in ANY
+            # configuration (the torn-batch check is not a sharding-only
+            # property).
+            planned = self._executor.map_partitioned(
+                pending,
+                [keys[i] for i in pending],
+                lambda _shard, subset: self._plan_beam(
+                    histories, objectives, users, list(subset), max_length
+                ),
+                generation_guard=self._generation_guard,
+            )
             for i, path in zip(pending, planned):
                 self.plan_cache.put(keys[i], tuple(path))
                 paths[i] = path

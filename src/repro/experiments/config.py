@@ -16,7 +16,7 @@ and the per-model training budgets.  Three presets are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.data.interactions import InteractionDataset, SequenceCorpus
 from repro.data.lastfm import load_lastfm, synthetic_lastfm

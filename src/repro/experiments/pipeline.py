@@ -8,7 +8,6 @@ them once per configuration and hands them to the table/figure functions.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.base import InfluentialRecommender
 from repro.core.irn import IRN

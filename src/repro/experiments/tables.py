@@ -14,7 +14,6 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.pim import MaskType
-from repro.data.splitting import DatasetSplit
 from repro.evaluation.metrics import hit_ratio_at_k, mean_reciprocal_rank
 from repro.evaluation.nextitem import evaluate_next_item
 from repro.evaluation.protocol import EvaluationInstance
@@ -150,7 +149,6 @@ def table4_next_item(
     # IRS-adapted versions: the ranking each framework would actually show,
     # evaluated against the held-out next item (objective sampled as in §IV-B1).
     instances: list[EvaluationInstance] = protocol.instances
-    targets = {instance.user_index: None for instance in instances}
     target_by_user = {t.user_index: t.target for t in split.test}
 
     for name in pipeline.baselines:
@@ -201,7 +199,6 @@ def table4_next_item(
             "mrr": round(mean_reciprocal_rank(ranks), 4),
         }
     )
-    del targets
     return rows
 
 

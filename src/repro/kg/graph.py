@@ -21,7 +21,7 @@ points out (§III-C's critique of §III-B).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from typing import Iterable, Sequence
 
 import networkx as nx
 import numpy as np

@@ -18,7 +18,7 @@ from repro.nn import functional as F
 from repro.nn.layers import Dropout, Embedding, Linear, Module
 from repro.nn.rnn import GRU
 from repro.nn.tensor import Tensor, no_grad
-from repro.utils.rng import as_rng, spawn_rng
+from repro.utils.rng import spawn_rng
 
 __all__ = ["GRU4Rec"]
 

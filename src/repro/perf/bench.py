@@ -45,6 +45,17 @@ and how the :mod:`repro.serve` asynchronous serving subsystem behaves:
   latency numbers are machine-bound like every throughput figure here; the
   parity bits are deterministic).
 
+and how the :mod:`repro.replica` replicated serving subsystem behaves:
+
+* **replicated serving** — N backbone replicas behind the dispatcher
+  (:class:`~repro.replica.set.ReplicaSet`): a lockstep replay at a shared
+  generation checked bit-identical against single-replica serving, plus an
+  open-loop run with a **hot refit** armed mid-trace — fresh replicas train
+  off-path, the generation flips atomically, old replicas drain dry — with
+  the no-pause contract asserted (zero errored requests, zero rejections
+  under the ``block`` policy) and latency percentiles split per generation
+  around the flip.
+
 ``run_benchmarks(sections=[...])`` runs any subset of the sections (the
 full bench is minutes-scale; CI's smoke profile and targeted reruns use
 ``repro-irs bench --sections <name,...>``).
@@ -194,6 +205,9 @@ def smoke_config() -> dict:
         "num_stepwise_instances": 4,
         "serve_arrival_rate": 300.0,
         "serve_requests_per_context": 3,
+        "num_replicas": 2,
+        "replica_arrival_rate": 80.0,
+        "replica_refit_at": 0.25,
     }
 
 
@@ -226,6 +240,9 @@ def default_config() -> dict:
         "num_stepwise_instances": 8,
         "serve_arrival_rate": 300.0,
         "serve_requests_per_context": 4,
+        "num_replicas": 2,
+        "replica_arrival_rate": 100.0,
+        "replica_refit_at": 0.25,
     }
 
 
@@ -680,6 +697,107 @@ def _bench_async_serving(
     }
 
 
+def _bench_replicated_serving(
+    irn: IRN, split: DatasetSplit, instances: list[EvaluationInstance], config: dict,
+    shard_backend: "str | None" = None, vocab_shards: "int | None" = None,
+) -> dict:
+    """Replicated serving at a shared generation, then under a hot refit.
+
+    Two experiments:
+
+    * **Parity** — the lockstep stepwise trace replayed through a
+      2-replica :class:`~repro.replica.set.ReplicaSet` whose replicas wrap
+      the same fitted backbone (one shared generation), checked
+      bit-identical against sequential single-planner serving.  This is the
+      replication rung's acceptance contract: the dispatcher's session
+      affinity keeps every context's request sequence on one replica, so
+      routing changes *where* work happens, never what is answered.
+    * **Hot refit** — open-loop Poisson traffic with a refit armed
+      mid-trace: the coordinator trains a fresh replica set off-path
+      (independently fitted backbones — the factory is deterministic, so
+      the new generation's weights equal the old ones and the experiment
+      isolates the *protocol*), flips the generation atomically, and
+      retires the old replicas by draining them dry.  The no-pause bits —
+      zero errored requests, zero rejections under the ``block`` policy —
+      are asserted by the perf gate; latency percentiles are reported per
+      generation around the flip.
+
+    The traffic window is sized from the measured replica build time so the
+    refit has room to land mid-trace on fast and slow machines alike (the
+    ``completed_during_trace`` bit records whether it did); the parity bit
+    is deterministic either way.
+    """
+    from repro.evaluation.protocol import rollout_next_step as sequential_rollout
+    from repro.replica import ReplicaSet, run_replicated_open_loop
+    from repro.serve import replay_lockstep
+
+    contexts = [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+    max_length = config["max_path_length"]
+    num_replicas = config["num_replicas"]
+    kwargs = dict(
+        beam_width=config["beam_width"],
+        branch_factor=config["branch_factor"],
+        vocab_shards=resolve_vocab_shards(vocab_shards),
+    )
+    backend = resolve_shard_backend(shard_backend, num_workers=1)
+
+    sequential_planner = BeamSearchPlanner(irn, max_length=max_length, **kwargs).fit(split)
+    sequential_paths = sequential_rollout(sequential_planner, contexts, max_length)
+
+    def shared_factory():
+        return BeamSearchPlanner(
+            irn, max_length=max_length, shard_backend=backend, **kwargs
+        ).fit(split)
+
+    with ReplicaSet(shared_factory, num_replicas=num_replicas) as replica_set:
+        served_paths, replay_seconds = _timed(
+            lambda: replay_lockstep(replica_set, contexts, max_length)
+        )
+        parity_stats = replica_set.stats()
+
+    def fresh_factory():
+        backbone = IRN(**config["irn"]).fit(split)
+        return BeamSearchPlanner(
+            backbone, max_length=max_length, shard_backend=backend, **kwargs
+        ).fit(split)
+
+    build_started = time.perf_counter()
+    refit_set = ReplicaSet(fresh_factory, num_replicas=num_replicas).start()
+    build_seconds = time.perf_counter() - build_started
+    refit_at = config["replica_refit_at"]
+    # The refit retrains num_replicas backbones off-path; give the trace
+    # room for the flip plus post-flip traffic (machine-bound, recorded).
+    duration = max(1.5, refit_at + 3.0 * build_seconds + 0.75)
+    try:
+        open_loop = run_replicated_open_loop(
+            refit_set,
+            contexts,
+            arrival_rate=config["replica_arrival_rate"],
+            duration=duration,
+            seed=0,
+            max_length=max_length,
+            refit_at=refit_at,
+        )
+    finally:
+        refit_set.close()
+
+    return {
+        "max_path_length": max_length,
+        "num_contexts": len(contexts),
+        "num_replicas": num_replicas,
+        "backend": backend,
+        "vocab_shards": kwargs["vocab_shards"],
+        "parity": {
+            "responses_match_single_replica": served_paths == sequential_paths,
+            "replay_seconds": round(replay_seconds, 4),
+            "served": parity_stats["served"],
+            "dispatch": parity_stats["dispatch"],
+        },
+        "hot_refit": open_loop,
+        "replica_build_seconds": round(build_seconds, 4),
+    }
+
+
 #: Section registry: name -> builder(irn, split, instances, config, **knobs).
 #: ``run_benchmarks(sections=...)`` and ``repro-irs bench --sections`` filter
 #: against these names.
@@ -691,6 +809,7 @@ BENCH_SECTIONS = (
     "incremental_decoding",
     "sharded_evaluation",
     "async_serving",
+    "replicated_serving",
 )
 
 
@@ -762,6 +881,10 @@ def run_benchmarks(
             shard_backend=shard_backend, vocab_shards=vocab_shards,
         ),
         "async_serving": lambda: _bench_async_serving(
+            irn, split, instances, config,
+            shard_backend=shard_backend, vocab_shards=vocab_shards,
+        ),
+        "replicated_serving": lambda: _bench_replicated_serving(
             irn, split, instances, config,
             shard_backend=shard_backend, vocab_shards=vocab_shards,
         ),
@@ -895,6 +1018,20 @@ def format_summary(report: dict) -> str:
             f"p95 {latency['p95']} / p99 {latency['p99']} ms, "
             f"responses identical: "
             f"{all(row['responses_match_sequential'] for row in serving['workers'])}"
+        )
+    if "replicated_serving" in report:
+        replicated = report["replicated_serving"]
+        refit = replicated["hot_refit"].get("refit", {})
+        lines.append(
+            f"replicated serving ({replicated['num_replicas']} replicas, "
+            f"{replicated['cpu_count']} cpu): shared-generation parity "
+            f"{replicated['parity']['responses_match_single_replica']}; hot refit "
+            f"gen {refit.get('generation_from')} -> {refit.get('generation_to')} "
+            f"flipped in {round(1e6 * refit.get('flip_seconds', 0.0), 1)} us, "
+            f"no pause: {replicated['hot_refit']['no_pause']} "
+            f"({replicated['hot_refit']['errored_requests']} errored, "
+            f"{replicated['hot_refit']['rejected_requests']} rejected), "
+            f"generations served {replicated['hot_refit']['generations_served']}"
         )
     return "\n".join(lines)
 

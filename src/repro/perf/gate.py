@@ -1,0 +1,148 @@
+"""CI gate over a ``BENCH_path_planning.json`` report.
+
+``python -m repro.perf.gate <report.json>`` re-checks every *deterministic*
+contract bit a bench run records — the parity and no-drop guarantees, not
+the machine-bound throughput numbers — and exits nonzero listing every
+violation, so the perf-smoke workflow fails loudly when a serving contract
+regresses instead of silently uploading a broken artefact:
+
+* ``beam_planning`` / ``greedy_planning`` — batched plans equal scalar.
+* ``nextitem_evaluation`` — batched ranks equal scalar.
+* ``irs_stepwise_replanning`` — cached serving matches isolated semantics.
+* ``incremental_decoding`` — session-cached plans equal full re-encoding.
+* ``sharded_evaluation`` — plans bit-identical at every worker count (and
+  across the fork boundary when the platform has fork).
+* ``async_serving`` — lockstep-replay responses bit-identical to
+  sequential serving at every worker count.
+* ``replicated_serving`` — shared-generation responses bit-identical to
+  single-replica serving; the hot refit errored zero admitted requests and
+  rejected zero requests under the ``block`` policy (``no_pause``); the
+  refit completed and flipped exactly one generation forward.
+
+Only the sections present in the report are checked (subset runs gate on
+what they ran), but ``--require`` names sections that must be present —
+CI's perf-smoke requires the serving sections so a filtered-down bench
+can't dodge the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+__all__ = ["collect_violations", "main"]
+
+
+def _check_replicated(section: dict, violations: "list[str]") -> None:
+    parity = section.get("parity", {})
+    if not parity.get("responses_match_single_replica"):
+        violations.append(
+            "replicated_serving: shared-generation responses differ from "
+            "single-replica serving (parity bit false)"
+        )
+    refit_run = section.get("hot_refit", {})
+    if refit_run.get("errored_requests", 0) != 0:
+        violations.append(
+            f"replicated_serving: hot refit errored "
+            f"{refit_run.get('errored_requests')} admitted request(s)"
+        )
+    policy = refit_run.get("admission", {}).get("policy")
+    if policy == "block" and refit_run.get("rejected_requests", 0) != 0:
+        violations.append(
+            f"replicated_serving: {refit_run.get('rejected_requests')} request(s) "
+            f"rejected under the block admission policy"
+        )
+    if not refit_run.get("no_pause"):
+        violations.append("replicated_serving: the no_pause contract bit is false")
+    refit = refit_run.get("refit")
+    if refit is None:
+        violations.append("replicated_serving: the hot-refit run recorded no refit")
+    elif refit.get("generation_to") != refit.get("generation_from", 0) + 1:
+        violations.append(
+            f"replicated_serving: refit flipped generation "
+            f"{refit.get('generation_from')} -> {refit.get('generation_to')} "
+            f"(expected exactly one step forward)"
+        )
+
+
+def collect_violations(report: dict, require: "Sequence[str]" = ()) -> "list[str]":
+    """Every violated contract bit in ``report`` (empty list means green)."""
+    violations: "list[str]" = []
+    for name in require:
+        if name not in report:
+            violations.append(f"{name}: required section missing from the report")
+
+    if "beam_planning" in report and not report["beam_planning"].get("plans_equal"):
+        violations.append("beam_planning: batched plans differ from scalar plans")
+    if "greedy_planning" in report and not report["greedy_planning"].get("plans_equal"):
+        violations.append("greedy_planning: batched rollouts differ from scalar rollouts")
+    if "nextitem_evaluation" in report and not report["nextitem_evaluation"].get(
+        "ranks_equal"
+    ):
+        violations.append("nextitem_evaluation: batched ranks differ from scalar ranks")
+    if "irs_stepwise_replanning" in report and not report["irs_stepwise_replanning"].get(
+        "cached_paths_match_isolated"
+    ):
+        violations.append(
+            "irs_stepwise_replanning: cached serving diverged from isolated semantics"
+        )
+    if "incremental_decoding" in report and not report["incremental_decoding"].get(
+        "plans_equal"
+    ):
+        violations.append(
+            "incremental_decoding: session-cached plans differ from full re-encoding"
+        )
+    if "sharded_evaluation" in report:
+        sharded = report["sharded_evaluation"]
+        for row in sharded.get("workers", []):
+            if not row.get("plans_equal_serial"):
+                violations.append(
+                    f"sharded_evaluation: plans at {row.get('num_workers')} worker(s) "
+                    f"differ from serial"
+                )
+        if sharded.get("process_parity") is False:
+            violations.append(
+                "sharded_evaluation: fork-process plans differ from serial plans"
+            )
+    if "async_serving" in report:
+        for row in report["async_serving"].get("workers", []):
+            if not row.get("responses_match_sequential"):
+                violations.append(
+                    f"async_serving: responses at {row.get('num_workers')} worker(s) "
+                    f"differ from sequential serving"
+                )
+    if "replicated_serving" in report:
+        _check_replicated(report["replicated_serving"], violations)
+    return violations
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="path to a BENCH_path_planning.json report")
+    parser.add_argument(
+        "--require",
+        default=None,
+        help="comma-separated section names that must be present in the report",
+    )
+    args = parser.parse_args(argv)
+    with open(args.report, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    require = (
+        [name.strip() for name in args.require.split(",") if name.strip()]
+        if args.require
+        else []
+    )
+    violations = collect_violations(report, require=require)
+    if violations:
+        for violation in violations:
+            print(f"PERF GATE FAIL: {violation}", file=sys.stderr)
+        return 1
+    checked = [name for name in report if isinstance(report.get(name), dict)]
+    print(f"perf gate ok: {len(violations)} violation(s) across sections {checked}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

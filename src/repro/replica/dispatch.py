@@ -1,0 +1,131 @@
+"""Tail-latency-aware request routing across serving replicas.
+
+The :class:`Dispatcher` answers one question per request: *which healthy
+replica takes it* — routing **around** a busy replica instead of queueing
+behind it.  Three rules, in order:
+
+1. **Session affinity** — a ``next_step`` request whose serving context
+   (``(history, objective, user)`` routing key) was seen before goes back
+   to the replica that owns that context's evolving plan.  This is what
+   keeps replicated responses bit-identical to single-replica serving: a
+   session's per-context plan cache lives on exactly one replica, so the
+   request sequence a context observes is the sequential one.  Stateless
+   ``plan_paths`` requests carry no session and are always load-balanced.
+2. **Least-loaded** — new sessions and stateless requests go to the
+   replica with the lowest score (EWMA of in-flight depth plus recent p95
+   drain latency, see :meth:`~repro.replica.replica.Replica.score`).
+3. **Round-robin when cold** — until every healthy replica has enough
+   latency samples to score meaningfully, assignment rotates, spreading
+   the warm-up load evenly instead of dog-piling replica 0.
+
+A generation flip (:class:`~repro.replica.refit.RefitCoordinator`) calls
+:meth:`reset` with the new replica list: the affinity table clears, so
+every session replans once on the new generation — exactly the semantics a
+model swap requires.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.replica.config import resolve_dispatch_policy
+from repro.replica.replica import Replica
+from repro.serve.request import ServeRequest
+from repro.utils.exceptions import ServingError
+
+__all__ = ["Dispatcher", "MAX_PINNED_SESSIONS"]
+
+#: Bound of the session-affinity LRU.  A long-lived set serving an
+#: unbounded context stream must not grow a table forever; the oldest
+#: (least recently served) session unpins first.  An unpinned session that
+#: returns is simply re-placed — same caveat class as the serving step
+#: cache: re-placement may replan mid-session on another replica, and the
+#: default bound never evicts in the repo's workloads.
+MAX_PINNED_SESSIONS = 4096
+
+
+class Dispatcher:
+    """Route each serve request to the least-loaded healthy replica."""
+
+    def __init__(
+        self,
+        replicas: "Sequence[Replica]",
+        policy: "str | None" = None,
+        max_pinned_sessions: int = MAX_PINNED_SESSIONS,
+    ) -> None:
+        self.policy = resolve_dispatch_policy(policy)
+        self.max_pinned_sessions = max_pinned_sessions
+        self._lock = threading.Lock()
+        self._replicas: "list[Replica]" = list(replicas)
+        self._affinity: "OrderedDict[tuple, Replica]" = OrderedDict()
+        self._rr_position = 0
+        self._picks_affinity = 0
+        self._picks_least_loaded = 0
+        self._picks_round_robin = 0
+        self._sessions_evicted = 0
+
+    # ------------------------------------------------------------------ #
+    def reset(self, replicas: "Sequence[Replica]") -> None:
+        """Swap the replica list (the refit flip): affinity clears so every
+        session replans once on the new generation."""
+        with self._lock:
+            self._replicas = list(replicas)
+            self._affinity.clear()
+
+    def forget(self, replica: Replica) -> None:
+        """Drop a replica's affinity entries (it stopped accepting work)."""
+        with self._lock:
+            stale = [key for key, owner in self._affinity.items() if owner is replica]
+            for key in stale:
+                del self._affinity[key]
+
+    # ------------------------------------------------------------------ #
+    def pick(self, request: ServeRequest) -> Replica:
+        """Choose the replica for one request (raises
+        :class:`~repro.utils.exceptions.ServingError` with no healthy
+        replica to route to)."""
+        key = request.routing_key() if request.kind == "next_step" else None
+        with self._lock:
+            healthy = [replica for replica in self._replicas if replica.healthy]
+            if not healthy:
+                raise ServingError(
+                    "no healthy replica available to dispatch to "
+                    f"({len(self._replicas)} registered)"
+                )
+            if key is not None:
+                owner = self._affinity.get(key)
+                if owner is not None and owner.healthy and owner in self._replicas:
+                    self._affinity.move_to_end(key)
+                    self._picks_affinity += 1
+                    return owner
+            if self.policy == "round_robin" or any(r.cold() for r in healthy):
+                choice = healthy[self._rr_position % len(healthy)]
+                self._rr_position += 1
+                self._picks_round_robin += 1
+            else:
+                choice = min(healthy, key=lambda r: (r.score(), r.index))
+                self._picks_least_loaded += 1
+            if key is not None:
+                self._affinity[key] = choice
+                self._affinity.move_to_end(key)
+                while len(self._affinity) > self.max_pinned_sessions:
+                    self._affinity.popitem(last=False)
+                    self._sessions_evicted += 1
+            return choice
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "policy": self.policy,
+                "replicas": len(self._replicas),
+                "sessions_pinned": len(self._affinity),
+                "sessions_evicted": self._sessions_evicted,
+                "picks": {
+                    "affinity": self._picks_affinity,
+                    "least_loaded": self._picks_least_loaded,
+                    "round_robin": self._picks_round_robin,
+                },
+            }

@@ -1,0 +1,454 @@
+"""The replica set: N independent serving replicas behind one dispatcher.
+
+:class:`ReplicaSet` is drop-in compatible with the
+:class:`~repro.serve.loop.ServingLoop` surface (``submit`` /
+``submit_next_step`` / ``submit_plan_paths`` / ``enqueue`` / ``stats`` /
+context manager), so every traffic driver in :mod:`repro.serve.driver`
+runs against it unchanged.  Behind the surface:
+
+* each replica is built by the caller's ``planner_factory`` — an
+  independently fitted backbone wrapped in a generation-pinned
+  :class:`~repro.core.beam.BeamSearchPlanner`, with its own
+  :class:`~repro.serve.loop.ServingLoop` (own queues, drain threads and a
+  per-replica admission scope) — nothing is shared between replicas;
+* a :class:`~repro.replica.dispatch.Dispatcher` routes each request to the
+  least-loaded healthy replica (session affinity for ``next_step``, EWMA
+  depth + recent-p95 scoring, round-robin while cold);
+* a :class:`~repro.replica.refit.RefitCoordinator` owns the hot model
+  swap: it trains a standby replica set off-path, flips the dispatcher to
+  it atomically (one lock swap — the ``fit_generation`` double-buffer),
+  and retires the old replicas by draining them dry, so in-flight requests
+  finish on the old generation while new arrivals land on the new one and
+  serving never pauses.
+
+Exactness contract: with every replica at one shared generation (identical
+weights — the factory is deterministic), responses are bit-identical to
+single-replica serving for the same request trace, any replica count and
+any dispatch interleaving; the parity suite in ``tests/replica`` mirrors
+``tests/serve``'s.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Callable, Sequence
+
+from repro.replica.config import resolve_num_replicas
+from repro.replica.dispatch import Dispatcher
+from repro.replica.refit import RefitCoordinator
+from repro.replica.replica import Replica
+from repro.serve.admission import AdmissionController
+from repro.serve.loop import ServingLoop
+from repro.serve.request import ServeRequest
+from repro.utils.exceptions import ConfigurationError, QueueFullError, ServingError
+from repro.utils.logging import get_logger
+
+__all__ = ["ReplicaSet"]
+
+_LOGGER = get_logger("replica.set")
+
+
+class _FleetAdmission:
+    """Aggregate admission view over every replica's controller.
+
+    Duck-types the two :class:`~repro.serve.admission.AdmissionController`
+    read methods the traffic drivers use: :meth:`describe` returns the
+    shared knob values, :meth:`counters` the fleet-wide sums (active and
+    retired replicas — requests served during a refit still count).
+    """
+
+    def __init__(self, replica_set: "ReplicaSet", template: AdmissionController) -> None:
+        self._set = replica_set
+        self._template = template
+
+    def describe(self) -> dict:
+        return self._template.describe()
+
+    def counters(self) -> dict:
+        totals = {"admitted": 0, "rejected": 0, "blocked": 0}
+        per_replica = []
+        snapshots = [
+            replica.loop.admission.counters() for replica in self._set.all_replicas()
+        ] + [archived["admission"] for archived in self._set.archived_stats()]
+        for counters in snapshots:
+            for key in totals:
+                totals[key] += counters[key]
+            per_replica.append(counters)
+        totals["per_replica"] = per_replica
+        return totals
+
+
+class ReplicaSet:
+    """N independently fitted serving replicas behind one dispatcher.
+
+    Parameters
+    ----------
+    planner_factory:
+        Zero-arg callable returning a *fresh, fitted* planner (anything
+        with ``plan_for_requests``; in practice a
+        :class:`~repro.core.beam.BeamSearchPlanner` over an independently
+        fitted backbone).  Called once per replica at construction and once
+        per replica again on every refit — it must be deterministic for the
+        shared-generation parity contract to hold.
+    num_replicas:
+        Replica count; ``None`` reads ``REPRO_REPLICAS`` and defaults to 1.
+    num_queues / max_queue_depth / admission_policy / drain_deadline:
+        Forwarded to every replica's :class:`~repro.serve.loop.ServingLoop`
+        (each gets its own queues and admission controller, labelled
+        ``replica-<id>`` for per-replica depth accounting).
+    dispatch_policy:
+        ``least_loaded`` (default) or ``round_robin``; ``None`` reads
+        ``REPRO_DISPATCH_POLICY``.
+    """
+
+    #: Dispatch retries across a concurrent generation flip: an enqueue can
+    #: race the retirement of the replica it picked; re-picking from the
+    #: post-flip active list always succeeds unless the set itself closed.
+    _MAX_DISPATCH_ATTEMPTS = 8
+
+    def __init__(
+        self,
+        planner_factory: "Callable[[], object]",
+        num_replicas: "int | None" = None,
+        num_queues: "int | None" = None,
+        max_queue_depth: "int | None" = None,
+        admission_policy: "str | None" = None,
+        drain_deadline: "float | None" = None,
+        dispatch_policy: "str | None" = None,
+    ) -> None:
+        if not callable(planner_factory):
+            raise ConfigurationError(
+                "ReplicaSet needs a zero-arg planner_factory returning a fitted "
+                "planner (one independently fitted backbone per call)"
+            )
+        self._factory = planner_factory
+        self.num_replicas = resolve_num_replicas(num_replicas)
+        self._loop_kwargs = dict(
+            num_queues=num_queues,
+            max_queue_depth=max_queue_depth,
+            admission_policy=admission_policy,
+            drain_deadline=drain_deadline,
+        )
+        # Resolves (and validates) the admission knobs once; every replica
+        # loop resolves the same values again from the same arguments.
+        self._admission_template = AdmissionController(
+            max_queue_depth=max_queue_depth,
+            policy=admission_policy,
+            drain_deadline=drain_deadline,
+        )
+        self._flip_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._next_replica_id = 0
+        self._generation = 1
+        self._active: "list[Replica]" = [
+            self._build_replica(self._generation) for _ in range(self.num_replicas)
+        ]
+        #: Replicas flipped out but not yet archived (the coordinator is
+        #: still draining them); once drained dry they collapse into
+        #: counter snapshots in :attr:`_retired_stats` so a long-lived set
+        #: doing periodic refits never retains old generations' models.
+        self._retired: "list[Replica]" = []
+        self._retired_stats: "list[dict]" = []
+        self.dispatcher = Dispatcher(self._active, policy=dispatch_policy)
+        self.refit_coordinator = RefitCoordinator(self)
+        self.admission = _FleetAdmission(self, self._admission_template)
+
+    # ------------------------------------------------------------------ #
+    # Replica construction (also used by the refit coordinator)
+    # ------------------------------------------------------------------ #
+    def _build_replica(self, generation: int) -> Replica:
+        """Build one replica at ``generation``: fresh planner, pinned, with
+        its own serving loop (not yet started)."""
+        planner = self._factory()
+        if not hasattr(planner, "plan_for_requests"):
+            raise ConfigurationError(
+                "planner_factory must return a planner with plan_for_requests() "
+                f"(got {type(planner).__name__})"
+            )
+        with self._state_lock:
+            index = self._next_replica_id
+            self._next_replica_id += 1
+        pin = getattr(planner, "pin_generation", None)
+        if pin is not None:
+            pin(serving_generation=generation)
+        else:
+            planner.serving_generation = generation
+        loop = ServingLoop(
+            planner, admission_scope=f"replica-{index}", **self._loop_kwargs
+        )
+        return Replica(index, planner, loop, generation)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ReplicaSet":
+        """Start every active replica's drain threads (idempotent).
+
+        The active list is read through :meth:`active_replicas` (the flip
+        lock) AFTER the started flag is set, and the refit coordinator
+        re-checks the flag after its flip — so whichever of a racing
+        ``start()`` / refit flip runs second sees the other's write and the
+        post-flip active set always ends up with live drain threads
+        (``ServingLoop.start`` is idempotent, double starts are no-ops).
+        """
+        with self._state_lock:
+            if self._closed:
+                raise ServingError("cannot restart a closed replica set")
+            self._started = True
+        for replica in self.active_replicas():
+            replica.loop.start()
+        return self
+
+    def close(self) -> None:
+        """Stop admissions on every replica, drain them dry, join threads.
+
+        Idempotent; accepted futures always resolve (the underlying loops
+        guarantee it)."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for replica in self.all_replicas():
+            replica.loop.close()
+
+    def __enter__(self) -> "ReplicaSet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def started(self) -> bool:
+        with self._state_lock:
+            return self._started
+
+    @property
+    def closed(self) -> bool:
+        with self._state_lock:
+            return self._closed
+
+    # ------------------------------------------------------------------ #
+    # Generation bookkeeping (the double-buffer the refit flips)
+    # ------------------------------------------------------------------ #
+    @property
+    def fit_generation(self) -> int:
+        """The generation new arrivals are served at (bumped by every flip)."""
+        with self._flip_lock:
+            return self._generation
+
+    def active_replicas(self) -> "list[Replica]":
+        with self._flip_lock:
+            return list(self._active)
+
+    def all_replicas(self) -> "list[Replica]":
+        """Active replicas plus any flipped-out ones still draining (the
+        archived generations live on as counter snapshots, see
+        :meth:`archived_stats`)."""
+        with self._flip_lock:
+            return list(self._active) + list(self._retired)
+
+    def archived_stats(self) -> "list[dict]":
+        """Final counter snapshots of fully retired generations."""
+        with self._flip_lock:
+            return [dict(archived) for archived in self._retired_stats]
+
+    def _archive_retired(self, replicas: "list[Replica]") -> None:
+        """Collapse drained-dry retired replicas into counter snapshots.
+
+        Called by the refit coordinator once the old generation's loops are
+        closed and joined: keeping whole planner+backbone objects for every
+        past generation would grow a long-lived set's memory without bound,
+        but the stats contract (fleet-wide served/admission totals keep
+        counting pre-flip work) only needs the final numbers.
+        """
+        snapshots = [
+            {
+                "replica": replica.stats(),
+                "loop": replica.loop.stats(),
+                "admission": replica.loop.admission.counters(),
+            }
+            for replica in replicas
+        ]
+        with self._flip_lock:
+            self._retired = [
+                replica for replica in self._retired if replica not in replicas
+            ]
+            self._retired_stats.extend(snapshots)
+
+    def _flip_to(self, standby: "list[Replica]", generation: int) -> "list[Replica]":
+        """Atomically make ``standby`` the serving set (the refit flip).
+
+        Returns the replaced replicas; the caller (the refit coordinator)
+        retires them by draining their loops dry.  Everything inside the
+        lock is pointer swaps — the flip window is microseconds, which is
+        what "serving never pauses" means operationally.
+
+        Refuses (``ServingError``) when the set closed while the standby
+        was training: ``close()`` marks the set closed and then closes
+        ``all_replicas()``, so a flip that landed afterwards would install
+        live drain threads nobody will ever join.  The closed flag is read
+        under the same lock ordering ``close()`` writes it, and
+        ``all_replicas()`` takes the flip lock, so either the flip lands
+        first (and ``close()`` sees the standby replicas) or the flip
+        refuses — never a leaked active set.
+        """
+        with self._flip_lock:
+            with self._state_lock:
+                if self._closed:
+                    raise ServingError(
+                        "replica set closed while the standby generation was "
+                        "training; the flip is abandoned"
+                    )
+            previous = self._active
+            self._active = list(standby)
+            self._generation = generation
+            self._retired.extend(previous)
+            self.dispatcher.reset(self._active)
+        return previous
+
+    # ------------------------------------------------------------------ #
+    # Refit
+    # ------------------------------------------------------------------ #
+    def refit(self) -> dict:
+        """Hot model swap: see
+        :meth:`repro.replica.refit.RefitCoordinator.refit`."""
+        return self.refit_coordinator.refit()
+
+    # ------------------------------------------------------------------ #
+    # Submission (the ServingLoop-compatible surface)
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        kind: str,
+        history: Sequence[int],
+        objective: int,
+        path_so_far: Sequence[int] = (),
+        user_index: "int | None" = None,
+        max_length: "int | None" = None,
+    ) -> Future:
+        return self.enqueue(
+            ServeRequest.create(
+                kind,
+                history,
+                objective,
+                path_so_far=path_so_far,
+                user_index=user_index,
+                max_length=max_length,
+            )
+        )
+
+    def submit_next_step(
+        self,
+        history: Sequence[int],
+        objective: int,
+        path_so_far: Sequence[int] = (),
+        user_index: "int | None" = None,
+    ) -> Future:
+        return self.submit(
+            "next_step", history, objective, path_so_far=path_so_far, user_index=user_index
+        )
+
+    def submit_plan_paths(
+        self,
+        history: Sequence[int],
+        objective: int,
+        user_index: "int | None" = None,
+        max_length: "int | None" = None,
+    ) -> Future:
+        return self.submit(
+            "plan_paths", history, objective, user_index=user_index, max_length=max_length
+        )
+
+    def enqueue(self, request: ServeRequest) -> Future:
+        """Dispatch one request to a healthy replica's queue.
+
+        A dispatch can race a generation flip: the picked replica may close
+        its queues between pick and put.  The request was *not* admitted in
+        that case, so it simply re-dispatches against the post-flip active
+        set — no accepted request is ever dropped by a refit.
+        :class:`~repro.utils.exceptions.QueueFullError` (the ``reject``
+        admission policy) is back-pressure, not a race, and propagates.
+        """
+        if self.closed:
+            raise ServingError("replica set is closed; no new requests accepted")
+        for _ in range(self._MAX_DISPATCH_ATTEMPTS):
+            replica = self.dispatcher.pick(request)
+            replica.on_dispatch()
+            request.replica_index = replica.index
+            try:
+                replica.loop.enqueue(request)
+            except QueueFullError:
+                replica.on_dispatch_failed()
+                raise
+            except ServingError:
+                # The replica retired (its loop closed) between pick and
+                # put — or a producer blocked on its back-pressure was woken
+                # by the close.  Either way nothing was admitted: undo the
+                # accounting, drop any stale affinity, and re-dispatch.
+                replica.on_dispatch_failed()
+                self.dispatcher.forget(replica)
+                if self.closed:
+                    raise
+                continue
+            request.future.add_done_callback(
+                lambda _future, replica=replica, request=request: replica.on_complete(
+                    request
+                )
+            )
+            return request.future
+        raise ServingError(
+            f"could not place request after {self._MAX_DISPATCH_ATTEMPTS} dispatch "
+            f"attempts (replicas kept retiring under the dispatcher)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def planner(self):
+        """A representative planner (the traffic drivers read ``max_length``
+        off it); with replicas at one generation any of them is exact."""
+        return self.active_replicas()[0].planner
+
+    def stats(self) -> dict:
+        """Fleet-wide stats, shaped like ``ServingLoop.stats()`` plus the
+        replication-specific sections (per-replica load, dispatcher picks,
+        refit history)."""
+        active = self.active_replicas()
+        replicas = self.all_replicas()
+        archived = self.archived_stats()
+        loop_stats = [replica.loop.stats() for replica in replicas] + [
+            snapshot["loop"] for snapshot in archived
+        ]
+        per_queue = [queue for stats in loop_stats for queue in stats["per_queue"]]
+        depth_samples = sum(q["depth_samples"] for q in per_queue)
+        batches = sum(q["micro_batches"] for q in per_queue)
+        batch_requests = sum(q["micro_batch_requests"] for q in per_queue)
+        admission = self.admission.counters()
+        return {
+            "num_replicas": self.num_replicas,
+            "generation": self.fit_generation,
+            "served": sum(stats["served"] for stats in loop_stats),
+            **self.admission.describe(),
+            "admission": admission,
+            "queue_depth": {
+                "max": max((q["depth_max"] for q in per_queue), default=0),
+                "mean": (
+                    round(sum(q["depth_sum"] for q in per_queue) / depth_samples, 3)
+                    if depth_samples
+                    else 0.0
+                ),
+            },
+            "micro_batches": {
+                "count": batches,
+                "mean_size": round(batch_requests / batches, 3) if batches else 0.0,
+                "max_size": max((q["micro_batch_max"] for q in per_queue), default=0),
+            },
+            "dispatch": self.dispatcher.stats(),
+            "replicas": [replica.stats() for replica in replicas],
+            "retired_replicas": len(replicas) - len(active) + len(archived),
+            "refits": self.refit_coordinator.history(),
+        }

@@ -36,10 +36,16 @@ class AdmissionController:
         max_queue_depth: "int | None" = None,
         policy: "str | None" = None,
         drain_deadline: "float | None" = None,
+        scope: "str | None" = None,
     ) -> None:
         self.max_queue_depth = resolve_max_queue_depth(max_queue_depth)
         self.policy = resolve_admission_policy(policy)
         self.drain_deadline = resolve_drain_deadline(drain_deadline)
+        #: Accounting label for fleets of loops (the replica set names each
+        #: replica's controller ``replica-<id>``): it appears in counters(),
+        #: describe() and back-pressure errors, so per-replica queue depth
+        #: stays attributable after aggregation.
+        self.scope = scope
         self._lock = threading.Lock()
         self._admitted = 0
         self._rejected = 0
@@ -57,8 +63,9 @@ class AdmissionController:
         if self.policy == "reject":
             with self._lock:
                 self._rejected += 1
+            where = f"{self.scope} shard {shard}" if self.scope else f"shard {shard}"
             raise QueueFullError(
-                f"shard {shard} request queue is full "
+                f"{where} request queue is full "
                 f"(depth {depth} >= max_queue_depth {self.max_queue_depth}); "
                 f"retry later or use admission_policy='block'"
             )
@@ -76,16 +83,22 @@ class AdmissionController:
     def counters(self) -> dict:
         """One locked snapshot of the admission counters."""
         with self._lock:
-            return {
+            counters = {
                 "admitted": self._admitted,
                 "rejected": self._rejected,
                 "blocked": self._blocked,
             }
+        if self.scope is not None:
+            counters["scope"] = self.scope
+        return counters
 
     def describe(self) -> dict:
         """The resolved knob values (for reports and stats endpoints)."""
-        return {
+        described = {
             "max_queue_depth": self.max_queue_depth,
             "policy": self.policy,
             "drain_deadline": self.drain_deadline,
         }
+        if self.scope is not None:
+            described["scope"] = self.scope
+        return described

@@ -139,6 +139,8 @@ def run_open_loop(
     duration: "float | None" = None,
     seed: "int | np.random.Generator | None" = 0,
     max_length: "int | None" = None,
+    raise_on_error: bool = True,
+    collect_samples: bool = False,
 ) -> dict:
     """Offer open-loop Poisson traffic to the serving loop and measure it.
 
@@ -161,6 +163,17 @@ def run_open_loop(
 
     With neither ``num_requests`` nor ``duration``, the configured
     ``REPRO_SERVE_DURATION`` window (default 2 s) applies.
+
+    ``loop`` is anything with the serving-loop surface (``enqueue``,
+    ``stats``, ``admission``, ``planner``) — a
+    :class:`~repro.serve.loop.ServingLoop` or a
+    :class:`~repro.replica.ReplicaSet`.  ``raise_on_error=False`` turns a
+    failed drain from a loud re-raise into an ``errored_requests`` count
+    (the replicated hot-refit bench gates on that count being zero rather
+    than dying on the first failure), and ``collect_samples=True`` adds a
+    per-admitted-request ``samples`` list — arrival offset, latency and the
+    generation/replica that answered — so callers can split percentiles
+    around a mid-run model flip.
     """
     if not contexts:
         raise ConfigurationError("the open-loop driver needs at least one serving context")
@@ -187,7 +200,15 @@ def run_open_loop(
         if request is None or not request.future.done():
             return
         in_flight[index] = None
-        item = request.future.result()
+        try:
+            item = request.future.result()
+        except Exception:
+            if raise_on_error:
+                raise
+            # Counted once, in the final collection loop (this request is in
+            # `admitted` too); the session just resets and the trace goes on.
+            finished[index] = True
+            return
         if item is None:
             finished[index] = True
             return
@@ -227,17 +248,38 @@ def run_open_loop(
             in_flight[index] = request
 
     latencies_ms = []
+    samples: "list[dict]" = []
+    errored = 0
     for target, request in admitted:
-        request.future.result()  # propagate drain failures loudly
-        latencies_ms.append(1000.0 * (request.completed_at - target))
+        try:
+            request.future.result()  # propagate drain failures loudly
+        except Exception:
+            # Drain failures only: KeyboardInterrupt/SystemExit propagate —
+            # a non-raising run must still be interruptible.
+            if raise_on_error:
+                raise
+            errored += 1
+            continue
+        latency_ms = 1000.0 * (request.completed_at - target)
+        latencies_ms.append(latency_ms)
+        if collect_samples:
+            samples.append(
+                {
+                    "offset_s": round(target - start, 4),
+                    "latency_ms": round(latency_ms, 3),
+                    "generation": request.served_generation,
+                    "replica": request.replica_index,
+                }
+            )
     wall = max(time.perf_counter() - start, 1e-9)
 
     stats = loop.stats()
-    return {
+    report = {
         "arrival_rate": rate,
         "offered_requests": int(len(offsets)),
         "admitted_requests": len(admitted),
         "rejected_requests": rejected,
+        "errored_requests": errored,
         "num_contexts": len(contexts),
         "max_length": max_length,
         "duration_seconds": round(wall, 4),
@@ -248,3 +290,6 @@ def run_open_loop(
         "micro_batches": stats["micro_batches"],
         "admission": {**loop.admission.describe(), **stats["admission"]},
     }
+    if collect_samples:
+        report["samples"] = samples
+    return report

@@ -27,6 +27,7 @@ dry, and joins the drain threads — no accepted request is ever dropped.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import Future
@@ -42,6 +43,12 @@ from repro.utils.logging import get_logger
 __all__ = ["ServingLoop"]
 
 _LOGGER = get_logger("serve.loop")
+
+#: Process-wide micro-batch tags: unique across every loop (and therefore
+#: every replica), so grouping answered requests by tag recovers the exact
+#: drain batches — the refit race tests rely on tags never colliding
+#: between an old-generation and a new-generation replica's drains.
+_BATCH_TAGS = itertools.count(1)
 
 
 class ServingLoop:
@@ -62,6 +69,10 @@ class ServingLoop:
         ``REPRO_*`` environment defaults): per-shard queue bound, ``block``
         or ``reject`` on a full queue, and the seconds a drain holds the
         queue open after the first enqueue to widen the micro-batch.
+    admission_scope:
+        Label stamped on this loop's admission counters and back-pressure
+        errors (the replica set names each loop ``replica-<id>``, so depth
+        accounting stays attributable per replica in fleet-wide stats).
     """
 
     def __init__(
@@ -71,6 +82,7 @@ class ServingLoop:
         max_queue_depth: "int | None" = None,
         admission_policy: "str | None" = None,
         drain_deadline: "float | None" = None,
+        admission_scope: "str | None" = None,
     ) -> None:
         if not hasattr(planner, "plan_for_requests"):
             raise ConfigurationError(
@@ -89,6 +101,7 @@ class ServingLoop:
             max_queue_depth=max_queue_depth,
             policy=admission_policy,
             drain_deadline=drain_deadline,
+            scope=admission_scope,
         )
         self.queues = [RequestQueue(shard, self.admission) for shard in range(num_queues)]
         self._threads: "list[threading.Thread]" = []
@@ -229,6 +242,12 @@ class ServingLoop:
         if not batch:
             return
         drain_started = time.perf_counter()
+        # Read the planner's generation tag ONCE, before planning: a pinned
+        # planner raises on any mid-batch generation change, so this single
+        # read is the generation every answer in the batch was computed at —
+        # stamping it batch-wide is what makes a torn micro-batch impossible.
+        generation = getattr(self.planner, "serving_generation", None)
+        batch_tag = next(_BATCH_TAGS)
         try:
             answers = self.planner.plan_for_requests(
                 [request.plan_tuple() for request in batch]
@@ -246,6 +265,8 @@ class ServingLoop:
         with self._latency_lock:
             for request in batch:
                 request.completed_at = done
+                request.served_generation = generation
+                request.batch_tag = batch_tag
                 wait = drain_started - request.enqueued_at
                 latency = done - request.enqueued_at
                 self._served += 1
@@ -262,6 +283,12 @@ class ServingLoop:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    def current_depth(self) -> int:
+        """Requests queued right now across every shard queue (a point-in-time
+        load signal; the replica dispatcher's EWMA feeds on the in-flight
+        count, which additionally covers batches mid-plan)."""
+        return sum(len(queue) for queue in self.queues)
+
     def stats(self) -> dict:
         """Queue depth, micro-batch, admission and in-loop latency counters."""
         per_queue = [queue.stats() for queue in self.queues]

@@ -49,6 +49,19 @@ class ServeRequest:
     #: by ``future.result()`` reads a complete timestamp (the traffic
     #: driver's per-request latency samples rely on this ordering).
     completed_at: "float | None" = None
+    #: The ``serving_generation`` of the planner that answered — read ONCE
+    #: per drained micro-batch and stamped on every request of the batch, so
+    #: a micro-batch can never report a torn (mixed-generation) answer set.
+    #: ``None`` until answered, and for planners that expose no generation.
+    served_generation: "int | None" = None
+    #: Process-wide id of the drained micro-batch this request was answered
+    #: in (stamped with :attr:`served_generation`); the refit race tests
+    #: group responses by it to assert the one-generation-per-batch
+    #: invariant across a hot model swap.
+    batch_tag: "int | None" = None
+    #: Replica that served this request, when routed through a
+    #: :class:`~repro.replica.ReplicaSet` (``None`` under a plain loop).
+    replica_index: "int | None" = None
 
     @classmethod
     def create(

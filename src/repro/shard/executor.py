@@ -54,7 +54,7 @@ from repro.shard.config import (
     resolve_shard_backend,
 )
 from repro.shard.partition import partition_indices
-from repro.utils.exceptions import ConfigurationError
+from repro.utils.exceptions import ConfigurationError, StaleGenerationError
 from repro.utils.logging import get_logger
 
 __all__ = ["ShardedExecutor"]
@@ -91,7 +91,10 @@ class ShardedExecutor:
 
     # ------------------------------------------------------------------ #
     def run_shards(
-        self, tasks: "Sequence[tuple[int, T]]", fn: "Callable[[int, T], R]"
+        self,
+        tasks: "Sequence[tuple[int, T]]",
+        fn: "Callable[[int, T], R]",
+        generation_guard: "Callable[[], object] | None" = None,
     ) -> "list[R]":
         """Run ``fn(shard, payload)`` for every task, parallel per backend.
 
@@ -105,7 +108,19 @@ class ShardedExecutor:
         join-before-propagate semantics, and callers rely on them: nothing
         from a failed dispatch may still be mutating shared caches or
         counters once ``run_shards`` returns control.
+
+        ``generation_guard`` is the replicated-serving rung's torn-dispatch
+        check: a zero-arg callable (in practice reading the backbone's
+        ``fit_generation``) snapshotted before dispatch and re-read after
+        the join.  A mismatch means the model changed while shards were in
+        flight — some shard results would reflect the old weights and some
+        the new — so the whole dispatch raises
+        :class:`~repro.utils.exceptions.StaleGenerationError` instead of
+        returning a torn result set.  The stale check takes precedence over
+        a shard error: a mid-dispatch retrain is the likeliest cause of
+        both.
         """
+        expected = generation_guard() if generation_guard is not None else None
         futures = self.run_shards_async(tasks, fn)
         results: "list[R]" = []
         first_error: "BaseException | None" = None
@@ -115,6 +130,14 @@ class ShardedExecutor:
             except BaseException as exc:  # noqa: BLE001 - re-raised after the join
                 if first_error is None:
                     first_error = exc
+        if generation_guard is not None:
+            observed = generation_guard()
+            if observed != expected:
+                raise StaleGenerationError(
+                    f"generation changed from {expected!r} to {observed!r} during a "
+                    f"fused {len(tasks)}-shard dispatch; the micro-batch would mix "
+                    f"generations, so no result is returned"
+                )
         if first_error is not None:
             raise first_error
         return results
@@ -236,12 +259,16 @@ class ShardedExecutor:
         items: "Sequence[T]",
         keys: "Sequence[Hashable]",
         fn: "Callable[[int, list[T]], Sequence[R]]",
+        generation_guard: "Callable[[], object] | None" = None,
     ) -> "list[R]":
         """Partition ``items`` by stable key hash, run shards, scatter back.
 
         ``fn(shard, shard_items)`` must return one result per shard item, in
         shard-item order; the merged list is aligned with ``items``.  With
         one worker this degenerates to a single direct ``fn`` call.
+        ``generation_guard`` is forwarded to :meth:`run_shards` (and applied
+        to the single-worker fast path too), so a partitioned dispatch can
+        never scatter back results computed under two model generations.
         """
         if len(items) != len(keys):
             raise ConfigurationError(
@@ -250,14 +277,23 @@ class ShardedExecutor:
         if not items:
             return []
         if self.num_workers == 1:
-            return list(fn(0, list(items)))
+            expected = generation_guard() if generation_guard is not None else None
+            results_inline = list(fn(0, list(items)))
+            if generation_guard is not None:
+                observed = generation_guard()
+                if observed != expected:
+                    raise StaleGenerationError(
+                        f"generation changed from {expected!r} to {observed!r} "
+                        f"during a single-worker dispatch of {len(items)} item(s)"
+                    )
+            return results_inline
         shards = partition_indices(keys, self.num_workers)
         tasks = [
             (shard, [items[i] for i in indices])
             for shard, indices in enumerate(shards)
             if indices
         ]
-        shard_results = self.run_shards(tasks, fn)
+        shard_results = self.run_shards(tasks, fn, generation_guard=generation_guard)
         results: "list[R | None]" = [None] * len(items)
         for (shard, shard_items), returned in zip(tasks, shard_results):
             indices = shards[shard]

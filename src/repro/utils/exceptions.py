@@ -34,3 +34,12 @@ class ServingError(ReproError):
 class QueueFullError(ServingError):
     """Raised by the admission controller's ``reject`` policy when a shard's
     request queue is at its depth bound."""
+
+
+class StaleGenerationError(ReproError):
+    """Raised when a generation-pinned planner (or a fused shard dispatch
+    guarded by :meth:`~repro.shard.executor.ShardedExecutor.run_shards`)
+    observes its backbone's ``fit_generation`` change under it.  The
+    replicated-serving protocol never retrains a replica's backbone in
+    place — a refit swaps whole replicas — so this error marks a protocol
+    violation, not a recoverable condition."""

@@ -8,7 +8,6 @@ default profile and live in ``benchmarks/``).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.experiments import ablations, extensions
 from repro.experiments.reporting import format_table

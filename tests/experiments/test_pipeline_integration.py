@@ -7,7 +7,6 @@ paper (that is what ``benchmarks/`` and EXPERIMENTS.md are for).
 """
 
 import numpy as np
-import pytest
 
 from repro.core.pim import MaskType
 from repro.experiments import figures, tables

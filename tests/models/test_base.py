@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.data.padding import PAD_INDEX
 from repro.models.base import model_registry
-from repro.models.markov import MarkovChainRecommender
 from repro.models.pop import Popularity
 from repro.utils.exceptions import ConfigurationError, NotFittedError
 

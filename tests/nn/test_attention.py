@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn.attention import NEG_INF, MultiHeadAttention, scaled_dot_product_attention
+from repro.nn.attention import MultiHeadAttention, scaled_dot_product_attention
 from repro.nn.tensor import Tensor
 from repro.nn.transformer import causal_mask
 from repro.utils.exceptions import ConfigurationError

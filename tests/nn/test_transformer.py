@@ -1,7 +1,6 @@
 """Unit tests for Transformer blocks and positional encodings."""
 
 import numpy as np
-import pytest
 
 from repro.nn.attention import NEG_INF
 from repro.nn.tensor import Tensor

@@ -1,0 +1,144 @@
+"""Unit tests of the CI perf gate (pure dict checks — no benchmarking).
+
+The gate is what makes every serving contract a *required* check: CI runs
+``python -m repro.perf.gate BENCH_path_planning.json --require ...`` after
+the bench, so these tests pin down exactly which report shapes pass and
+which fail.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.gate import collect_violations, main
+
+
+def green_report() -> dict:
+    return {
+        "machine": {"cpu_count": 1},
+        "beam_planning": {"plans_equal": True},
+        "greedy_planning": {"plans_equal": True},
+        "nextitem_evaluation": {"ranks_equal": True},
+        "irs_stepwise_replanning": {"cached_paths_match_isolated": True},
+        "incremental_decoding": {"plans_equal": True},
+        "sharded_evaluation": {
+            "workers": [
+                {"num_workers": 1, "plans_equal_serial": True},
+                {"num_workers": 2, "plans_equal_serial": True},
+            ],
+            "process_parity": True,
+        },
+        "async_serving": {
+            "workers": [
+                {"num_workers": 1, "responses_match_sequential": True},
+                {"num_workers": 2, "responses_match_sequential": True},
+            ]
+        },
+        "replicated_serving": {
+            "parity": {"responses_match_single_replica": True},
+            "hot_refit": {
+                "errored_requests": 0,
+                "rejected_requests": 0,
+                "no_pause": True,
+                "admission": {"policy": "block"},
+                "refit": {"generation_from": 1, "generation_to": 2},
+            },
+        },
+    }
+
+
+class TestCollectViolations:
+    def test_green_report_has_no_violations(self):
+        assert collect_violations(green_report()) == []
+
+    def test_subset_report_checks_only_present_sections(self):
+        assert collect_violations({"machine": {}}) == []
+
+    def test_require_flags_missing_sections(self):
+        violations = collect_violations({"machine": {}}, require=["replicated_serving"])
+        assert violations == [
+            "replicated_serving: required section missing from the report"
+        ]
+
+    def test_replicated_parity_false_fails(self):
+        report = green_report()
+        report["replicated_serving"]["parity"]["responses_match_single_replica"] = False
+        assert any("parity bit false" in v for v in collect_violations(report))
+
+    def test_refit_errored_request_fails(self):
+        report = green_report()
+        report["replicated_serving"]["hot_refit"]["errored_requests"] = 3
+        report["replicated_serving"]["hot_refit"]["no_pause"] = False
+        violations = collect_violations(report)
+        assert any("errored 3 admitted request" in v for v in violations)
+        assert any("no_pause" in v for v in violations)
+
+    def test_rejection_under_block_policy_fails(self):
+        report = green_report()
+        report["replicated_serving"]["hot_refit"]["rejected_requests"] = 1
+        violations = collect_violations(report)
+        assert any("rejected under the block admission policy" in v for v in violations)
+
+    def test_rejections_allowed_under_reject_policy(self):
+        report = green_report()
+        refit_run = report["replicated_serving"]["hot_refit"]
+        refit_run["admission"]["policy"] = "reject"
+        refit_run["rejected_requests"] = 5
+        assert collect_violations(report) == []
+
+    def test_missing_refit_fails(self):
+        report = green_report()
+        del report["replicated_serving"]["hot_refit"]["refit"]
+        assert any("recorded no refit" in v for v in collect_violations(report))
+
+    def test_wrong_generation_step_fails(self):
+        report = green_report()
+        report["replicated_serving"]["hot_refit"]["refit"]["generation_to"] = 5
+        assert any("expected exactly one step" in v for v in collect_violations(report))
+
+    def test_async_serving_mismatch_fails(self):
+        report = green_report()
+        report["async_serving"]["workers"][1]["responses_match_sequential"] = False
+        assert any("async_serving" in v for v in collect_violations(report))
+
+    def test_sharded_and_batched_parity_bits_checked(self):
+        report = green_report()
+        report["sharded_evaluation"]["workers"][1]["plans_equal_serial"] = False
+        report["beam_planning"]["plans_equal"] = False
+        violations = collect_violations(report)
+        assert any("sharded_evaluation" in v for v in violations)
+        assert any("beam_planning" in v for v in violations)
+
+    def test_fork_parity_none_is_not_a_violation(self):
+        report = green_report()
+        report["sharded_evaluation"]["process_parity"] = None  # no fork on platform
+        assert collect_violations(report) == []
+
+
+class TestGateMain:
+    @pytest.fixture()
+    def report_file(self, tmp_path):
+        def write(report: dict):
+            path = tmp_path / "bench.json"
+            path.write_text(json.dumps(report))
+            return str(path)
+
+        return write
+
+    def test_green_report_exits_zero(self, report_file, capsys):
+        assert main([report_file(green_report())]) == 0
+        assert "perf gate ok" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero_and_prints(self, report_file, capsys):
+        report = green_report()
+        report["replicated_serving"]["hot_refit"]["no_pause"] = False
+        assert main([report_file(report)]) == 1
+        assert "PERF GATE FAIL" in capsys.readouterr().err
+
+    def test_require_missing_section_exits_nonzero(self, report_file, capsys):
+        assert (
+            main([report_file({"machine": {}}), "--require", "replicated_serving"]) == 1
+        )
+        assert "required section missing" in capsys.readouterr().err

@@ -1,0 +1,85 @@
+"""Fixtures for the replicated serving suite.
+
+Two factory flavours, matching the two halves of the replication contract:
+
+* ``make_factory`` — planners over ONE session-scoped fitted backbone
+  (cheap; all replicas trivially share a generation's weights).  Used by
+  the parity suite: what must hold is that *routing* never changes
+  answers.
+* ``fresh_factory`` — a genuinely independent backbone fitted per call
+  (deterministic config + seed, so weights are identical across calls).
+  Used by the refit suite: the coordinator must be able to train standby
+  replicas off-path without touching a serving backbone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beam import BeamSearchPlanner
+from repro.core.irn import IRN
+from repro.evaluation.protocol import sample_objectives
+
+MAX_LENGTH = 5
+
+_IRN_KWARGS = dict(
+    embedding_dim=16,
+    user_dim=4,
+    num_heads=2,
+    num_layers=1,
+    epochs=1,
+    batch_size=32,
+    max_sequence_length=50,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def replica_irn(tiny_split):
+    return IRN(**_IRN_KWARGS).fit(tiny_split)
+
+
+@pytest.fixture(scope="session")
+def replica_contexts(tiny_split):
+    instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=9)
+    return [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+
+
+@pytest.fixture()
+def make_factory(replica_irn, tiny_split):
+    """Factory-of-factories over the shared session backbone."""
+
+    def build(**kwargs):
+        kwargs.setdefault("max_length", MAX_LENGTH)
+
+        def factory():
+            return BeamSearchPlanner(replica_irn, **kwargs).fit(tiny_split)
+
+        return factory
+
+    return build
+
+
+@pytest.fixture()
+def fresh_factory(tiny_split):
+    """A factory fitting an independent (but bit-identical) backbone per call."""
+
+    def build(**kwargs):
+        kwargs.setdefault("max_length", MAX_LENGTH)
+
+        def factory():
+            backbone = IRN(**_IRN_KWARGS).fit(tiny_split)
+            return BeamSearchPlanner(backbone, **kwargs).fit(tiny_split)
+
+        return factory
+
+    return build
+
+
+@pytest.fixture()
+def sequential_paths(replica_irn, tiny_split, replica_contexts):
+    """The sequential single-planner reference trace."""
+    from repro.evaluation.protocol import rollout_next_step
+
+    planner = BeamSearchPlanner(replica_irn, max_length=MAX_LENGTH).fit(tiny_split)
+    return rollout_next_step(planner, replica_contexts, MAX_LENGTH)

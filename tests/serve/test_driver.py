@@ -96,3 +96,59 @@ class TestOpenLoop:
         with ServingLoop(make_planner()) as loop:
             with pytest.raises(ConfigurationError, match="context"):
                 run_open_loop(loop, [], arrival_rate=10.0, num_requests=1)
+
+
+class _FailingPlanner:
+    """Planner stub whose every drain fails (for error-accounting tests)."""
+
+    num_workers = 1
+    max_length = 5
+
+    def plan_for_requests(self, requests):
+        raise RuntimeError("drain blew up")
+
+
+class TestOpenLoopErrorAccounting:
+    def test_raise_on_error_false_counts_instead_of_dying(self):
+        """Satellite of the replication PR: the hot-refit bench gates on the
+        errored count, so a failing drain must not kill the run — including
+        through the in-flight advance() path, which resolves every tracked
+        session request."""
+        with ServingLoop(_FailingPlanner()) as loop:
+            report = run_open_loop(
+                loop,
+                [((1, 2), 3, None), ((4, 5), 6, None)],
+                arrival_rate=400.0,
+                num_requests=12,
+                seed=0,
+                raise_on_error=False,
+            )
+        assert report["errored_requests"] == report["admitted_requests"] == 12
+        assert report["latency_ms"]["count"] == 0
+
+    def test_raise_on_error_default_propagates(self):
+        with ServingLoop(_FailingPlanner()) as loop:
+            with pytest.raises(RuntimeError, match="drain blew up"):
+                run_open_loop(
+                    loop,
+                    [((1, 2), 3, None)],
+                    arrival_rate=400.0,
+                    num_requests=4,
+                    seed=0,
+                )
+
+    def test_collect_samples_reports_per_request_generations(self, make_planner, serve_contexts):
+        planner = make_planner()
+        planner.serving_generation = 9
+        with ServingLoop(planner) as loop:
+            report = run_open_loop(
+                loop,
+                serve_contexts[:2],
+                arrival_rate=400.0,
+                num_requests=6,
+                seed=0,
+                collect_samples=True,
+            )
+        assert len(report["samples"]) == report["admitted_requests"]
+        assert {sample["generation"] for sample in report["samples"]} == {9}
+        assert all("offset_s" in sample and "replica" in sample for sample in report["samples"])

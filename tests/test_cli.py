@@ -245,3 +245,91 @@ class TestServeSimSubcommand:
             "drain_deadline": 0.01,
             "admission_policy": "reject",
         }
+
+
+class TestReplicationFlags:
+    """Satellite of the replication PR: serve-sim grows --replicas /
+    --refit-at / --dispatch-policy, with cross-flag validation that exits
+    nonzero on bad combos instead of silently accepting them."""
+
+    def test_flags_parsed_with_defaults(self):
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.replicas is None
+        assert args.refit_at is None
+        assert args.dispatch_policy is None
+
+    def test_invalid_replica_knobs_raise_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="num_replicas"):
+            main(["serve-sim", "--profile", "fast", "--replicas", "0"])
+        with pytest.raises(ConfigurationError, match="num_replicas"):
+            main(["serve-sim", "--profile", "fast", "--replicas", "two"])
+        with pytest.raises(ConfigurationError, match="refit_at"):
+            main(["serve-sim", "--profile", "fast", "--refit-at", "-1"])
+        with pytest.raises(ConfigurationError, match="refit_at"):
+            main(["serve-sim", "--profile", "fast", "--refit-at", "soon"])
+        with pytest.raises(ConfigurationError, match="dispatch_policy"):
+            main(["serve-sim", "--profile", "fast", "--dispatch-policy", "fastest"])
+
+    def test_refit_at_must_fall_inside_duration(self):
+        with pytest.raises(ConfigurationError, match="strictly inside"):
+            main(["serve-sim", "--profile", "fast", "--duration", "1", "--refit-at", "1"])
+        with pytest.raises(ConfigurationError, match="strictly inside"):
+            main(["serve-sim", "--profile", "fast", "--duration", "1", "--refit-at", "2.5"])
+
+    def test_run_wrapper_exits_nonzero_with_clear_error(self, capsys):
+        from repro.cli import run
+
+        assert run(["serve-sim", "--profile", "fast", "--replicas", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "num_replicas" in err
+        # A valid invocation still routes through main() unchanged.
+        assert run(["table6", "--profile", "fast"]) == 0
+
+    def test_replicated_serve_sim_fast_profile(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "replica_report.json"
+        code = main(
+            [
+                "serve-sim",
+                "--profile",
+                "fast",
+                "--arrival-rate",
+                "200",
+                "--duration",
+                "0.4",
+                "--replicas",
+                "2",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "async serving sim" in out
+        assert "replicas: 2" in out
+        report = json.loads(output.read_text())
+        assert report["replication"]["num_replicas"] == 2
+        assert report["replication"]["enabled"] is True
+        assert report["errored_requests"] == 0
+        assert report["no_pause"] is True
+        assert report["fit_generation"] == 1
+        assert report["dispatch"]["policy"] == "least_loaded"
+        assert set(report["generations_served"]) == {"1"}
+
+    def test_env_defaults_apply_when_replica_flags_omitted(self, monkeypatch):
+        from repro.cli import _resolve_replica_args
+
+        monkeypatch.setenv("REPRO_REPLICAS", "3")
+        monkeypatch.setenv("REPRO_REFIT_AT", "0.25")
+        monkeypatch.setenv("REPRO_DISPATCH_POLICY", "round_robin")
+        args = build_parser().parse_args(["serve-sim"])
+        replication = _resolve_replica_args(args, duration=2.0)
+        assert replication == {
+            "num_replicas": 3,
+            "refit_at": 0.25,
+            "dispatch_policy": "round_robin",
+        }
+        with pytest.raises(ConfigurationError, match="strictly inside"):
+            _resolve_replica_args(args, duration=0.2)
