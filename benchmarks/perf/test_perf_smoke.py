@@ -28,6 +28,23 @@ def smoke_report(tmp_path_factory):
     return report
 
 
+def test_tensor_ops_contract_bits(smoke_report):
+    """Tensor-engine PR acceptance: the fused attention kernel matches the
+    graph implementation, decode-step K/V appends never copy the prefix,
+    float32 inference stays inside its documented tolerance, and the
+    in-place ops refuse to run under grad."""
+    section = smoke_report["tensor_ops"]
+    assert section["attention"]["fused_parity"]
+    assert section["attention"]["max_abs_diff"] <= 1e-9
+    assert section["decode_allocation"]["no_prefix_copy"]
+    arena = section["decode_allocation"]["arena"]
+    # Steady-state decode appends copy only the new token columns — the
+    # concatenate-equivalent byte count must dwarf what the arena copied.
+    assert arena["copied_bytes"] < arena["concat_equivalent_bytes"]
+    assert section["float32"]["within_tolerance"]
+    assert section["inplace_guard_raises"]
+
+
 def test_batched_beam_planner_uses_4x_fewer_forwards(smoke_report):
     beam = smoke_report["beam_planning"]
     assert beam["beam_width"] == 4
@@ -156,7 +173,7 @@ def test_replicated_serving_report_gates_green(smoke_report):
     from repro.perf.gate import collect_violations
 
     assert collect_violations(
-        smoke_report, require=["async_serving", "replicated_serving"]
+        smoke_report, require=["tensor_ops", "async_serving", "replicated_serving"]
     ) == []
 
 
@@ -171,6 +188,7 @@ def test_sections_filter_runs_subset():
     assert "nextitem_evaluation" in report
     assert "beam_planning" not in report and "async_serving" not in report
     assert resolve_sections(None) == (
+        "tensor_ops",
         "beam_planning",
         "greedy_planning",
         "nextitem_evaluation",
@@ -188,6 +206,7 @@ def test_every_section_records_cpu_count_and_backend(smoke_report):
     """Satellite: sections carry the machine's CPU count and the backend
     used, so the perf trajectory stays comparable across runs."""
     sections = (
+        "tensor_ops",
         "beam_planning",
         "greedy_planning",
         "nextitem_evaluation",

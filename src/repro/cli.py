@@ -24,7 +24,10 @@ forwards/sec; ``--profile fast`` maps to the seconds-scale smoke profile,
 ``--output`` overrides the JSON artefact path (default
 ``BENCH_path_planning.json``) and ``--sections`` restricts the run to a
 comma-separated subset of sections (the full bench is slow; CI typically
-needs only the section under test).
+needs only the section under test).  ``--cprofile`` wraps the selected
+sections in :mod:`cProfile` and writes a pstats dump next to the JSON
+(named ``--cprofile`` because ``--profile`` already picks the corpus
+profile).
 
 ``serve-sim`` offers synthetic open-loop Poisson traffic to the
 asynchronous serving loop (:mod:`repro.serve`) over the bench corpus and
@@ -160,6 +163,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--sections",
         default=None,
         help="bench only: comma-separated subset of bench sections to run (default: all)",
+    )
+    parser.add_argument(
+        "--cprofile",
+        action="store_true",
+        help=(
+            "bench only: run the selected sections under cProfile and write a "
+            "pstats dump next to the JSON output (<output>.pstats). Named "
+            "--cprofile because --profile already selects the corpus profile."
+        ),
     )
     # Serving knobs (repro.serve) — parsed as raw strings and validated by
     # the serve config resolvers, same pattern as the sharding flags above,
@@ -446,13 +458,23 @@ def _run_bench(args: argparse.Namespace) -> int:
     resolve_sections(sections)  # fail on typos before training the model
     profile = "smoke" if args.profile == "fast" else "default"
     output = args.output or "BENCH_path_planning.json"
-    report = run_benchmarks(
-        profile=profile,
-        output=output,
-        shard_backend=args.shard_backend,
-        vocab_shards=vocab_shards,
-        sections=sections,
-    )
+
+    def run() -> dict:
+        return run_benchmarks(
+            profile=profile,
+            output=output,
+            shard_backend=args.shard_backend,
+            vocab_shards=vocab_shards,
+            sections=sections,
+        )
+
+    if args.cprofile:
+        from repro.perf.bench import profile_benchmarks
+
+        report, stats_path = profile_benchmarks(run, output)
+        print(f"cProfile stats written to {stats_path}", file=sys.stderr)
+    else:
+        report = run()
     print(format_summary(report))
     print(f"report written to {output}")
     return 0

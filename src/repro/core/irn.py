@@ -73,7 +73,7 @@ from repro.models.base import NeuralSequentialRecommender, model_registry
 from repro.utils.batch import broadcast_user_indices, check_batch_lengths
 from repro.nn import functional as F
 from repro.nn.layers import Dropout, Embedding, Linear, Module
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor, inference_dtype_scope, no_grad, resolve_inference_dtype
 from repro.nn.transformer import TransformerEncoder
 from repro.utils.exceptions import ConfigurationError
 from repro.utils.rng import spawn_rng
@@ -241,6 +241,13 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         ``"pre"`` (the paper's choice, §III-D5) keeps the objective item at
         the fixed final position of every training window; ``"post"`` exists
         only for the padding ablation and degrades the objective signal.
+    inference_dtype:
+        Compute/storage precision of the inference fast path (fused attention
+        and K/V arenas).  ``None`` resolves ``$REPRO_INFERENCE_DTYPE`` at
+        construction, defaulting to ``float64`` (bit-compatible with the
+        graph path).  ``"float32"`` is opt-in and approximate — see
+        :func:`repro.nn.tensor.resolve_inference_dtype` for the documented
+        tolerance.  Training always runs in float64.
     """
 
     name = "IRN"
@@ -263,6 +270,7 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         max_sequence_length: int = 50,
         padding_scheme: str = "pre",
         seed: int = 0,
+        inference_dtype: "np.dtype | str | None" = None,
     ) -> None:
         NeuralSequentialRecommender.__init__(
             self,
@@ -287,6 +295,7 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         self.history_weight = history_weight
         self.mask_type = MaskType(mask_type)
         self.item2vec_init = item2vec_init
+        self.inference_dtype = resolve_inference_dtype(inference_dtype)
         #: token-work counters for the perf harness (reset by :meth:`fit`)
         self.decode_stats = DecodeStats()
 
@@ -410,7 +419,7 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         ]
         items, positions, lengths = self._right_align(rows)
         users = self._batch_users(user_indices, batch)
-        with no_grad():
+        with no_grad(), inference_dtype_scope(self.inference_dtype):
             logits = self.module(
                 items,
                 users,
@@ -482,7 +491,7 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
             rows.append(clipped if clipped else [PAD_INDEX])
         items, positions, _ = self._right_align(rows)
         users = self._batch_users(user_indices, batch)
-        with no_grad():
+        with no_grad(), inference_dtype_scope(self.inference_dtype):
             logits = self.module(
                 items,
                 users,
@@ -541,7 +550,7 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
             raise ConfigurationError("cannot begin a decoding session on an empty batch")
         users = self._batch_users(user_indices, batch)
         incremental = self._incremental_exact(objectives)
-        state = self.module.decoder.init_state() if incremental else None
+        state = self.module.decoder.init_state(dtype=self.inference_dtype) if incremental else None
         if objectives is not None:
             objectives = [int(objective) for objective in objectives]
             check_batch_lengths(batch, objectives=objectives)
@@ -641,7 +650,7 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         positions = positions % module.max_length  # no-op (guarded), mirrors _right_align
         total_keys = session.width + (1 if objective_mode else 0)
         mask = self._incremental_mask(session, total_keys)
-        with no_grad():
+        with no_grad(), inference_dtype_scope(self.inference_dtype):
             hidden = module.decode_step(items, positions, mask, session.state, persist=1)
             logits = hidden[:, 0, :].matmul(module.item_embedding.weight.transpose())
         self.decode_stats.record_incremental(items.size)

@@ -51,7 +51,7 @@ class _SASRecModule(Module):
         positions = np.tile(np.arange(length) % self.max_length, (batch, 1))
         x = self.item_embedding(items) + self.position_embedding(positions)
         x = self.dropout(x)
-        return self.encoder(x, mask=causal_mask(length))
+        return self.encoder(x, mask=causal_mask(length, copy=False))
 
     def forward(self, items: np.ndarray) -> Tensor:
         hidden = self.hidden_states(items)

@@ -34,6 +34,7 @@ def scaled_dot_product_attention(
     key: Tensor,
     value: Tensor,
     mask: "np.ndarray | Tensor | None" = None,
+    fused: bool | None = None,
 ) -> tuple[Tensor, Tensor]:
     """Compute ``softmax(QK^T / sqrt(d_k) + mask) V``.
 
@@ -43,8 +44,21 @@ def scaled_dot_product_attention(
     Mask, which depends on the learned impressionability factor), gradients
     flow through it.
 
+    ``fused`` selects the implementation: ``True`` routes through the
+    allocation-light :func:`repro.nn.functional.fused_attention` ndarray
+    kernel (inference only — raises under grad), ``False`` forces the
+    graph-building path, and ``None`` (default) fuses exactly when grad is
+    disabled.  In float64 the two paths apply the same elementwise and BLAS
+    operations in the same order, so they agree bit-for-bit.
+
     Returns ``(output, attention_weights)``.
     """
+    if fused is None:
+        fused = not is_grad_enabled()
+    if fused:
+        mask_arr = mask.data if isinstance(mask, Tensor) else mask
+        context, weights = F.fused_attention(query.data, key.data, value.data, mask=mask_arr)
+        return Tensor(context), Tensor(weights)
     d_k = query.shape[-1]
     scores = query.matmul(key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d_k))
     if mask is not None:
@@ -107,6 +121,7 @@ class MultiHeadAttention(Module):
         mask: "np.ndarray | Tensor | None" = None,
         kv_cache: "LayerKVCache | None" = None,
         persist: int | None = None,
+        fused: bool | None = None,
     ) -> Tensor:
         """Apply attention.  With only ``query`` given this is self-attention.
 
@@ -121,24 +136,32 @@ class MultiHeadAttention(Module):
         :meth:`repro.cache.kv.LayerKVCache.extend`) and the queries attend
         over cached-prefix + new keys, so ``mask`` must then be
         broadcastable to ``(batch, heads, new_len, prefix_len + new_len)``.
+
+        ``fused`` selects the attention implementation exactly as in
+        :func:`scaled_dot_product_attention` (default: fuse when grad is
+        disabled).
         """
         key = query if key is None else key
         value = key if value is None else value
         batch, q_len, _ = query.shape
         k_len = key.shape[1]
+        if fused is None:
+            fused = not is_grad_enabled()
 
         q = self._split_heads(self.query_proj(query), batch, q_len)
         k = self._split_heads(self.key_proj(key), batch, k_len)
         v = self._split_heads(self.value_proj(value), batch, k_len)
 
+        k_arr, v_arr = k.data, v.data
         if kv_cache is not None:
             if is_grad_enabled():
                 raise ConfigurationError(
                     "kv_cache attention is inference-only; wrap the call in no_grad()"
                 )
-            full_keys, full_values = kv_cache.extend(k.data, v.data, persist=persist)
-            k = Tensor(full_keys)
-            v = Tensor(full_values)
+            k_arr, v_arr = kv_cache.extend(k_arr, v_arr, persist=persist)
+            if not fused:
+                k = Tensor(k_arr)
+                v = Tensor(v_arr)
 
         if mask is not None:
             if isinstance(mask, Tensor):
@@ -161,7 +184,18 @@ class MultiHeadAttention(Module):
                         f"attention mask must have 2-4 dimensions, got {mask.ndim}"
                     )
 
-        context, weights = scaled_dot_product_attention(q, k, v, mask=mask)
+        if fused:
+            # Inference fast path: the whole attention body runs on raw
+            # ndarrays (cache views attend without materializing, the score
+            # buffer is mutated in place) and only the merged context
+            # re-enters the Tensor world for the output projection.
+            mask_arr = mask.data if isinstance(mask, Tensor) else mask
+            context, weights = F.fused_attention(q.data, k_arr, v_arr, mask=mask_arr)
+            self.last_attention = weights
+            merged = context.transpose(0, 2, 1, 3).reshape(batch, q_len, self.d_model)
+            return self.dropout(self.output_proj(Tensor(merged)))
+
+        context, weights = scaled_dot_product_attention(q, k, v, mask=mask, fused=False)
         self.last_attention = weights.data
         merged = self._merge_heads(context, batch, q_len)
         return self.dropout(self.output_proj(merged))

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, inference_dtype, is_grad_enabled
+from repro.utils.exceptions import ConfigurationError
 
 __all__ = [
     "softmax",
@@ -27,6 +28,8 @@ __all__ = [
     "binary_cross_entropy_with_logits",
     "mean_squared_error",
     "one_hot",
+    "fused_attention",
+    "softmax_",
 ]
 
 
@@ -47,6 +50,20 @@ def tanh(x: Tensor) -> Tensor:
 
 def gelu(x: Tensor) -> Tensor:
     """Gaussian error linear unit (tanh approximation used by BERT)."""
+    if not is_grad_enabled():
+        # Fused inference path: the same ufuncs in the same order as the
+        # graph path below (products commuted, which is bitwise-exact), but
+        # in place on one scratch buffer instead of eight graph temporaries.
+        data = x.data
+        inner = data * data
+        inner *= data
+        inner *= 0.044715
+        inner += data
+        inner *= np.sqrt(2.0 / np.pi)
+        np.tanh(inner, out=inner)
+        inner += 1.0
+        inner *= data * 0.5
+        return Tensor(inner)
     inner = Tensor(np.sqrt(2.0 / np.pi)) * (x + x * x * x * 0.044715)
     return x * 0.5 * (inner.tanh() + 1.0)
 
@@ -184,7 +201,113 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     """Affine map ``x @ weight.T + bias`` matching ``torch.nn.functional.linear``."""
+    if not is_grad_enabled():
+        # Fused inference path: the identical GEMM + broadcast add, without
+        # the transpose/matmul/add graph wrappers (bitwise-equal output).
+        out = np.matmul(x.data, weight.data.T)
+        if bias is not None:
+            out += bias.data
+        return Tensor(out)
     out = x.matmul(weight.transpose())
     if bias is not None:
         out = out + bias
     return out
+
+
+# ---------------------------------------------------------------------- #
+# Fused inference kernels (raw ndarrays, no autograd graph)
+# ---------------------------------------------------------------------- #
+
+#: score-contraction strategies of :func:`fused_attention`.  ``matmul``
+#: routes through batched BLAS GEMMs; ``einsum`` is the loop-fused
+#: contraction.  ``auto`` picks per the specialization point below.
+SCORE_STRATEGIES = ("auto", "matmul", "einsum")
+
+#: Specialization point of the ``auto`` strategy, sized to the micro-batch
+#: shapes the serving loop actually produces (``micro_batches.mean_size``
+#: ~24 contexts x beam width 4 rows, 1-2 query positions per decode step,
+#: a few dozen key columns, d_head 8-16).  The ``tensor_ops`` microbench
+#: measures both contractions at exactly those shapes; on every NumPy/BLAS
+#: probed so far batched ``matmul`` wins at decode shapes too (~2.5x), so
+#: ``auto`` resolves to ``matmul`` for all query lengths above this
+#: threshold — 0 ships the measured winner while keeping the einsum
+#: contraction selectable should a future BLAS flip the ordering.
+EINSUM_MAX_QUERY_LEN = 0
+
+
+def softmax_(scores: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis, **in place**.
+
+    The max-subtraction, exponentiation and normalisation all reuse
+    ``scores``'s buffer; only the per-row max/sum reductions allocate.
+    Returns ``scores`` for chaining.
+    """
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    return scores
+
+
+def _contract_scores(
+    query: np.ndarray, key: np.ndarray, strategy: str, out: np.ndarray
+) -> np.ndarray:
+    """``query @ key^T`` into the preallocated ``out`` buffer."""
+    if strategy == "auto":
+        strategy = "einsum" if query.shape[-2] <= EINSUM_MAX_QUERY_LEN else "matmul"
+    if strategy == "einsum":
+        return np.einsum("...qd,...kd->...qk", query, key, out=out)
+    return np.matmul(query, key.swapaxes(-1, -2), out=out)
+
+
+def fused_attention(
+    query: np.ndarray,
+    key: np.ndarray,
+    value: np.ndarray,
+    mask: np.ndarray | None = None,
+    dtype: "np.dtype | None" = None,
+    strategy: str = "auto",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scaled dot-product attention fused into one pass over raw ndarrays.
+
+    Computes ``softmax(QK^T / sqrt(d_k) + mask) V`` exactly like the
+    graph-building implementation in :mod:`repro.nn.attention`, but with
+    score + scale + mask + softmax all applied **in place** on a single
+    preallocated score buffer (one allocation where the graph path
+    materialises an intermediate per op, plus the graph nodes themselves).
+    Inference only — the result carries no autograd graph, so the call
+    raises unless grad is disabled; the graph path remains the training
+    implementation and the parity oracle (equal to ~1e-12, same BLAS
+    contractions in the same order).
+
+    ``dtype`` selects the compute precision (default: the thread's
+    :func:`~repro.nn.tensor.inference_dtype`); float32 is the opt-in
+    reduced-precision mode.  ``strategy`` picks the score contraction
+    (see :data:`SCORE_STRATEGIES`).
+
+    Returns ``(context, weights)`` as raw ndarrays of the compute dtype.
+    """
+    if is_grad_enabled():
+        raise ConfigurationError(
+            "fused_attention builds no autograd graph; wrap the call in no_grad() "
+            "(the Tensor implementation in repro.nn.attention is the training path)"
+        )
+    if strategy not in SCORE_STRATEGIES:
+        raise ConfigurationError(
+            f"score strategy must be one of {SCORE_STRATEGIES}, got {strategy!r}"
+        )
+    compute = np.dtype(dtype) if dtype is not None else inference_dtype()
+    query = np.asarray(query, dtype=compute)
+    key = np.asarray(key, dtype=compute)
+    value = np.asarray(value, dtype=compute)
+    d_k = query.shape[-1]
+    batch_shape = np.broadcast_shapes(query.shape[:-2], key.shape[:-2])
+    scores = np.empty(
+        batch_shape + (query.shape[-2], key.shape[-2]), dtype=compute
+    )
+    _contract_scores(query, key, strategy, out=scores)
+    scores *= compute.type(1.0 / np.sqrt(d_k))
+    if mask is not None:
+        scores += np.asarray(mask)
+    softmax_(scores)
+    context = np.matmul(scores, value)
+    return context, scores

@@ -14,18 +14,40 @@ broadcasting) so the layer code reads like ordinary PyTorch-style NumPy.
 from __future__ import annotations
 
 import contextlib
+import os
 import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "inference_dtype",
+    "inference_dtype_scope",
+    "resolve_inference_dtype",
+]
 
 # Grad mode is thread-local so the sharded execution subsystem can run
 # inference on worker threads without one worker's ``no_grad`` exit
 # re-enabling graph construction under another worker mid-forward.  Each
 # thread starts with grad enabled, matching the old module-global default.
 _GRAD_STATE = threading.local()
+
+# The inference compute dtype is thread-local for the same reason as grad
+# mode: serving drains run scoring on worker threads, and one worker's
+# float32 scope must not leak into another's forward.  It only affects the
+# *inference fast path* (the fused attention kernel and the K/V cache
+# arenas); the autograd graph and all parameters stay float64.
+_DTYPE_STATE = threading.local()
+
+#: environment knob of the opt-in reduced-precision inference mode
+INFERENCE_DTYPE_ENV = "REPRO_INFERENCE_DTYPE"
+
+_DTYPE_NAMES = {"float64": np.float64, "float32": np.float32}
 
 
 @contextlib.contextmanager
@@ -42,6 +64,60 @@ def no_grad():
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph (per thread)."""
     return getattr(_GRAD_STATE, "enabled", True)
+
+
+def inference_dtype() -> np.dtype:
+    """The compute dtype of the inference fast path for this thread.
+
+    ``float64`` (the default) makes the fused kernels bit-compatible with
+    the graph-building implementation; ``float32`` is the opt-in
+    reduced-precision mode (see :func:`resolve_inference_dtype` for the
+    documented tolerance).
+    """
+    return getattr(_DTYPE_STATE, "dtype", np.dtype(np.float64))
+
+
+@contextlib.contextmanager
+def inference_dtype_scope(dtype: "np.dtype | str | None"):
+    """Set the thread's inference compute dtype for the duration of a block.
+
+    ``None`` leaves the current dtype untouched (so callers can thread an
+    optional configuration through unconditionally).
+    """
+    previous = inference_dtype()
+    _DTYPE_STATE.dtype = previous if dtype is None else resolve_inference_dtype(dtype)
+    try:
+        yield
+    finally:
+        _DTYPE_STATE.dtype = previous
+
+
+def resolve_inference_dtype(value: "np.dtype | str | None" = None) -> np.dtype:
+    """Resolve the inference dtype from an explicit value or the environment.
+
+    Precedence: explicit ``value`` -> ``$REPRO_INFERENCE_DTYPE`` -> float64.
+    Only ``float32`` and ``float64`` are legal.  Float32 is **opt-in** and
+    approximate: attention scores / softmax / context and the K/V arenas are
+    computed and stored in single precision, so scores differ from the
+    float64 reference by ~1e-5 relative (documented tolerance ``5e-4``
+    absolute on logits; plans are identical at the default beam widths on
+    the shipped corpora — see ``tests/core/test_inference_dtype.py``).
+    """
+    if value is None:
+        value = os.environ.get(INFERENCE_DTYPE_ENV) or "float64"
+    if isinstance(value, str):
+        name = value.strip().lower()
+        if name not in _DTYPE_NAMES:
+            raise ConfigurationError(
+                f"inference dtype must be one of {sorted(_DTYPE_NAMES)}, got {value!r}"
+            )
+        return np.dtype(_DTYPE_NAMES[name])
+    dtype = np.dtype(value)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ConfigurationError(
+            f"inference dtype must be float32 or float64, got {dtype}"
+        )
+    return dtype
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -316,6 +392,35 @@ class Tensor:
             self._accumulate(grad * mask)
 
         return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # In-place inference ops
+    # ------------------------------------------------------------------ #
+    def _require_inference_mode(self, op: str) -> None:
+        if is_grad_enabled():
+            raise ConfigurationError(
+                f"Tensor.{op} mutates its buffer and cannot participate in the "
+                f"autograd graph; wrap the call in no_grad()"
+            )
+
+    def add_(self, other) -> "Tensor":
+        """In-place add (inference only: raises unless grad is disabled)."""
+        self._require_inference_mode("add_")
+        self.data += _as_array(other)
+        return self
+
+    def mul_(self, other) -> "Tensor":
+        """In-place multiply (inference only: raises unless grad is disabled)."""
+        self._require_inference_mode("mul_")
+        self.data *= _as_array(other)
+        return self
+
+    def masked_fill_(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Set entries where ``mask`` is true to ``value``, in place
+        (inference only: raises unless grad is disabled)."""
+        self._require_inference_mode("masked_fill_")
+        np.copyto(self.data, value, where=np.asarray(mask, dtype=bool))
+        return self
 
     # ------------------------------------------------------------------ #
     # Reductions

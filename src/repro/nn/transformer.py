@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.nn.attention import NEG_INF, MultiHeadAttention
 from repro.nn.layers import Dropout, LayerNorm, Linear, Module, ModuleList
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.nn import functional as F
 from repro.utils.exceptions import ConfigurationError
 from repro.utils.rng import as_rng, spawn_rng
@@ -31,16 +31,28 @@ __all__ = [
 ]
 
 
-def causal_mask(length: int) -> np.ndarray:
+#: Read-only master copies of :func:`causal_mask` per length.  Decode loops
+#: request the same few lengths thousands of times; memoizing skips the
+#: triangular rebuild (and, with ``copy=False``, the allocation too).
+_CAUSAL_MASK_CACHE: dict[int, np.ndarray] = {}
+
+
+def causal_mask(length: int, copy: bool = True) -> np.ndarray:
     """Standard lower-triangular additive mask of shape ``(length, length)``.
 
     Position ``j`` may attend to positions ``k <= j``; future positions get
-    :data:`~repro.nn.attention.NEG_INF`.
+    :data:`~repro.nn.attention.NEG_INF`.  With ``copy=False`` the shared
+    read-only master is returned (no allocation) — callers that add
+    objective columns or otherwise edit the mask must keep the default.
     """
-    mask = np.zeros((length, length), dtype=np.float64)
-    future = np.triu(np.ones((length, length), dtype=bool), k=1)
-    mask[future] = NEG_INF
-    return mask
+    master = _CAUSAL_MASK_CACHE.get(length)
+    if master is None:
+        master = np.zeros((length, length), dtype=np.float64)
+        future = np.triu(np.ones((length, length), dtype=bool), k=1)
+        master[future] = NEG_INF
+        master.setflags(write=False)
+        _CAUSAL_MASK_CACHE[length] = master
+    return master.copy() if copy else master
 
 
 def sinusoidal_positional_encoding(length: int, d_model: int) -> np.ndarray:
@@ -113,6 +125,12 @@ class TransformerEncoderLayer(Module):
         persist: int | None = None,
     ) -> Tensor:
         attended = self.attention(self.norm1(x), mask=mask, kv_cache=kv_cache, persist=persist)
+        if not is_grad_enabled():
+            # Inference: fold the residuals into the freshly produced
+            # sub-layer outputs (never into the caller's ``x``, whose buffer
+            # may be shared) instead of allocating two sum tensors.
+            x = self.dropout(attended).add_(x)
+            return self.feed_forward(self.norm2(x)).add_(x)
         x = x + self.dropout(attended)
         x = x + self.feed_forward(self.norm2(x))
         return x
@@ -143,11 +161,15 @@ class TransformerEncoder(Module):
         )
         self.final_norm = LayerNorm(d_model)
 
-    def init_state(self) -> "DecodingState":
-        """Fresh per-layer K/V caches for an incremental decoding run."""
+    def init_state(self, dtype: "np.dtype | str | None" = None) -> "DecodingState":
+        """Fresh per-layer K/V caches for an incremental decoding run.
+
+        ``dtype`` fixes the cache storage precision (default: the thread's
+        :func:`~repro.nn.tensor.inference_dtype` at first extend).
+        """
         from repro.cache.kv import DecodingState
 
-        return DecodingState(len(self.layers))
+        return DecodingState(len(self.layers), dtype=dtype)
 
     def forward(
         self,

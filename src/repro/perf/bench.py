@@ -56,6 +56,18 @@ and how the :mod:`repro.replica` replicated serving subsystem behaves:
   under the ``block`` policy) and latency percentiles split per generation
   around the flip.
 
+and how the tensor engine itself performs at the bottom of every stack:
+
+* **tensor ops** — per-op ns/call microbenchmarks at the micro-batch shapes
+  the serving loop actually produces (``micro_batches.mean_size`` contexts x
+  beam rows, 1-2 query positions, a few dozen key columns): score
+  contraction by batched matmul vs einsum, in-place vs graph softmax and
+  residual adds, the fused attention kernel vs the graph path (with the
+  fused↔unfused parity bit the gate enforces), the float32 inference mode's
+  logit deviation, and a simulated decode loop over the arena-backed K/V
+  cache whose allocation counters prove appends no longer copy the full
+  prefix (``no_prefix_copy``).
+
 ``run_benchmarks(sections=[...])`` runs any subset of the sections (the
 full bench is minutes-scale; CI's smoke profile and targeted reruns use
 ``repro-irs bench --sections <name,...>``).
@@ -75,8 +87,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import platform
+import sys
 import time
 from typing import Sequence
 
@@ -103,6 +117,7 @@ __all__ = [
     "machine_info",
     "resolve_sections",
     "run_benchmarks",
+    "profile_benchmarks",
     "format_summary",
     "main",
 ]
@@ -208,6 +223,9 @@ def smoke_config() -> dict:
         "num_replicas": 2,
         "replica_arrival_rate": 80.0,
         "replica_refit_at": 0.25,
+        "tensor_ops_repeats": 30,
+        "tensor_ops_decode_steps": 8,
+        "wall_repeats": 2,
     }
 
 
@@ -243,6 +261,9 @@ def default_config() -> dict:
         "num_replicas": 2,
         "replica_arrival_rate": 100.0,
         "replica_refit_at": 0.25,
+        "tensor_ops_repeats": 200,
+        "tensor_ops_decode_steps": 12,
+        "wall_repeats": 3,
     }
 
 
@@ -257,6 +278,22 @@ def _timed(fn) -> tuple[object, float]:
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def _timed_best(fn, repeats: int) -> tuple[object, float]:
+    """Run ``fn`` ``repeats`` times; return (first result, min seconds).
+
+    The minimum is the standard noise filter for wall-clock measurement on a
+    machine shared with other work (what :mod:`timeit` reports): every run
+    does the full workload, so the fastest one is the least-perturbed
+    estimate.  The first run's result is returned so callers can check the
+    deterministic bits (plans, counters) exactly once.
+    """
+    result, best = _timed(fn)
+    for _ in range(repeats - 1):
+        _, seconds = _timed(fn)
+        best = min(best, seconds)
+    return result, best
 
 
 def _throughput(paths: int, forwards: int, seconds: float) -> dict:
@@ -496,13 +533,25 @@ def _bench_incremental(
             max_length=max_length,
         )
 
-    off_paths, off_delta, off_seconds = _token_work(irn, lambda: plan(planner_off))
-    on_paths, on_delta, on_seconds = _token_work(irn, lambda: plan(planner_on))
+    repeats = config.get("wall_repeats", 1)
+
+    def measure(planner: BeamSearchPlanner):
+        # Token counters cover exactly the first run (they are deterministic
+        # per run); wall-clock is min-of-repeats to filter scheduler noise.
+        paths, delta, seconds = _token_work(irn, lambda: plan(planner))
+        for _ in range(repeats - 1):
+            _, again = _timed(lambda: plan(planner))
+            seconds = min(seconds, again)
+        return paths, delta, seconds
+
+    off_paths, off_delta, off_seconds = measure(planner_off)
+    on_paths, on_delta, on_seconds = measure(planner_on)
 
     return {
         "num_layers": 1,
         "max_path_length": max_length,
         "num_instances": len(contexts),
+        "wall_repeats": repeats,
         "full_reencode": _work_report(off_delta, off_seconds),
         "incremental": _work_report(on_delta, on_seconds),
         "token_work_reduction": round(
@@ -650,11 +699,19 @@ def _bench_async_serving(
         # AND a fresh loop: the replay's queue/admission counters must not
         # leak into the open-loop report, and a cold-cache open loop serves
         # the representative replan-then-hit mix instead of pure hits.
-        with ServingLoop(make_planner()) as loop:
-            served_paths, replay_seconds = _timed(
-                lambda: replay_lockstep(loop, contexts, max_length)
-            )
-            replay_served = loop.stats()["served"]
+        # The replay is repeated on a fresh cold-cache loop each time
+        # (memoisation would turn a same-loop rerun into pure cache hits);
+        # wall-clock is the min, parity must hold on every repeat.
+        replay_seconds = math.inf
+        parity = True
+        for _ in range(config.get("wall_repeats", 1)):
+            with ServingLoop(make_planner()) as loop:
+                served_paths, run_seconds = _timed(
+                    lambda: replay_lockstep(loop, contexts, max_length)
+                )
+                replay_served = loop.stats()["served"]
+            replay_seconds = min(replay_seconds, run_seconds)
+            parity = parity and served_paths == sequential_paths
         with ServingLoop(make_planner()) as open_loop_loop:
             open_loop = run_open_loop(
                 open_loop_loop,
@@ -667,7 +724,7 @@ def _bench_async_serving(
         workers_report.append(
             {
                 "num_workers": num_workers,
-                "responses_match_sequential": served_paths == sequential_paths,
+                "responses_match_sequential": parity,
                 "replay_seconds": round(replay_seconds, 4),
                 "replay_requests_per_sec": (
                     round(replay_served / replay_seconds, 2)
@@ -798,10 +855,179 @@ def _bench_replicated_serving(
     }
 
 
+def _ns_per_call(fn, repeats: int) -> float:
+    """Average wall-clock nanoseconds per call over ``repeats`` timed calls."""
+    fn()  # warm caches / BLAS thread pools outside the timed window
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats * 1e9
+
+
+def _bench_tensor_ops(
+    irn: IRN, split: DatasetSplit, instances: list[EvaluationInstance], config: dict
+) -> dict:
+    """Per-op microbenchmarks of the tensor engine at serving shapes.
+
+    Shapes mirror what the decode loop actually offers the kernels: the
+    micro-batch rows are ``num_instances * beam_width`` hypotheses, each
+    decode step queries 1-2 positions (new token + re-projected objective)
+    against a key window of history + path + objective, split across the
+    configured head count.  Alongside the wall-clock ns/call numbers (which
+    are machine-bound and document the matmul-vs-einsum specialization
+    choice), the section records four deterministic contract bits the perf
+    gate enforces: fused↔unfused attention parity, the arena cache's
+    ``no_prefix_copy`` allocation proof, the float32 mode's documented logit
+    tolerance, and the in-place-ops grad guard.
+    """
+    from repro.cache.kv import LayerKVCache, allocation_stats, reset_allocation_stats
+    from repro.nn import functional as F
+    from repro.nn.attention import NEG_INF, scaled_dot_product_attention
+    from repro.nn.tensor import Tensor, no_grad
+    from repro.utils.exceptions import ConfigurationError as _ConfigError
+
+    irn_cfg = config["irn"]
+    heads = irn_cfg["num_heads"]
+    d_head = irn_cfg["embedding_dim"] // heads
+    batch = config["num_instances"] * config["beam_width"]
+    q_len = 2  # new token + re-projected objective per objective-mode step
+    k_len = max(len(inst.history) for inst in instances) + config["max_path_length"] + 1
+    repeats = config["tensor_ops_repeats"]
+    steps = config["tensor_ops_decode_steps"]
+
+    rng = np.random.default_rng(0)
+    q = rng.normal(size=(batch, heads, q_len, d_head))
+    k = rng.normal(size=(batch, heads, k_len, d_head))
+    v = rng.normal(size=(batch, heads, k_len, d_head))
+    mask = np.zeros((1, 1, q_len, k_len))
+    mask[..., 0, -1] = NEG_INF  # objective-column masking, as in real decode rows
+    scores_buf = np.empty((batch, heads, q_len, k_len))
+    softmax_buf = rng.normal(size=(batch, heads, q_len, k_len))
+    residual_a = rng.normal(size=(batch, q_len, heads * d_head))
+    residual_b = rng.normal(size=(batch, q_len, heads * d_head))
+
+    with no_grad():
+        ops_ns = {
+            "score_matmul": _ns_per_call(
+                lambda: F._contract_scores(q, k, "matmul", out=scores_buf), repeats
+            ),
+            "score_einsum": _ns_per_call(
+                lambda: F._contract_scores(q, k, "einsum", out=scores_buf), repeats
+            ),
+            "softmax_inplace": _ns_per_call(lambda: F.softmax_(softmax_buf), repeats),
+            "softmax_graph": _ns_per_call(
+                lambda: F.softmax(Tensor(softmax_buf), axis=-1), repeats
+            ),
+            "add_inplace": _ns_per_call(
+                lambda: Tensor(residual_a).add_(residual_b), repeats
+            ),
+            "add_graph": _ns_per_call(
+                lambda: Tensor(residual_a) + Tensor(residual_b), repeats
+            ),
+        }
+
+        fused_ns = _ns_per_call(
+            lambda: F.fused_attention(q, k, v, mask=mask), repeats
+        )
+        q_t, k_t, v_t = Tensor(q), Tensor(k), Tensor(v)
+        unfused_ns = _ns_per_call(
+            lambda: scaled_dot_product_attention(q_t, k_t, v_t, mask=mask, fused=False),
+            repeats,
+        )
+        fused_out, fused_weights = F.fused_attention(q, k, v, mask=mask)
+        unfused_out, unfused_weights = scaled_dot_product_attention(
+            q_t, k_t, v_t, mask=mask, fused=False
+        )
+        parity_diff = max(
+            float(np.max(np.abs(fused_out - unfused_out.data))),
+            float(np.max(np.abs(fused_weights - unfused_weights.data))),
+        )
+        f32_out, _ = F.fused_attention(q, k, v, mask=mask, dtype=np.float32)
+        f32_diff = float(np.max(np.abs(f32_out.astype(np.float64) - fused_out)))
+        fused_f32_ns = _ns_per_call(
+            lambda: F.fused_attention(q, k, v, mask=mask, dtype=np.float32), repeats
+        )
+
+    # The in-place ops must refuse to run where they would corrupt a graph.
+    try:
+        Tensor(residual_a).add_(residual_b)
+        inplace_guard_raises = False
+    except _ConfigError:
+        inplace_guard_raises = True
+
+    def decode_allocation(growth: str) -> dict:
+        """Simulated objective-mode decode loop over one layer cache."""
+        prefix = rng.normal(size=(batch, heads, k_len - steps - 1, d_head))
+        step_cols = rng.normal(size=(batch, heads, 2, d_head))
+        cache = LayerKVCache(growth=growth)
+        cache.extend(prefix, prefix.copy())
+        # Count only the decode steps: the one-off prefix encode costs the
+        # same under every policy, the per-step appends are what differ.
+        reset_allocation_stats()
+        extend_ns = _ns_per_call(
+            lambda: cache.extend(step_cols, step_cols, persist=1), steps
+        )
+        stats = allocation_stats()
+        reset_allocation_stats()
+        return {
+            "growth": growth,
+            "steps": steps,
+            "prefix_length": int(prefix.shape[2]),
+            "extend_ns": round(extend_ns, 1),
+            "arena_allocated_bytes": stats["arena_allocated_bytes"],
+            "copied_bytes": stats["copied_bytes"],
+            "concat_equivalent_bytes": stats["concat_equivalent_bytes"],
+            "copied_bytes_per_step": round(stats["copied_bytes"] / max(stats["extend_calls"], 1)),
+            "copy_reduction": round(
+                stats["concat_equivalent_bytes"] / max(stats["copied_bytes"], 1), 2
+            ),
+        }
+
+    arena = decode_allocation("geometric")
+    exact = decode_allocation("exact")
+
+    return {
+        "shapes": {
+            "batch": batch,
+            "heads": heads,
+            "query_len": q_len,
+            "key_len": k_len,
+            "d_head": d_head,
+        },
+        "repeats": repeats,
+        "ops_ns": {name: round(ns, 1) for name, ns in ops_ns.items()},
+        "attention": {
+            "fused_ns": round(fused_ns, 1),
+            "unfused_ns": round(unfused_ns, 1),
+            "fused_speedup": round(unfused_ns / fused_ns, 2) if fused_ns > 0 else float("inf"),
+            "max_abs_diff": parity_diff,
+            "fused_parity": bool(parity_diff <= 1e-9),
+        },
+        "float32": {
+            "fused_ns": round(fused_f32_ns, 1),
+            "speedup_vs_f64": round(fused_ns / fused_f32_ns, 2) if fused_f32_ns > 0 else float("inf"),
+            "max_abs_diff": f32_diff,
+            "tolerance": 5e-4,
+            "within_tolerance": bool(f32_diff <= 5e-4),
+        },
+        "decode_allocation": {
+            "arena": arena,
+            "exact_growth": exact,
+            # The contract bit: a decode step copies (much) less than the
+            # concatenate-per-extend baseline, i.e. never the full prefix.
+            "no_prefix_copy": bool(
+                arena["copied_bytes"] < arena["concat_equivalent_bytes"]
+            ),
+        },
+        "inplace_guard_raises": inplace_guard_raises,
+    }
+
+
 #: Section registry: name -> builder(irn, split, instances, config, **knobs).
 #: ``run_benchmarks(sections=...)`` and ``repro-irs bench --sections`` filter
 #: against these names.
 BENCH_SECTIONS = (
+    "tensor_ops",
     "beam_planning",
     "greedy_planning",
     "nextitem_evaluation",
@@ -871,6 +1097,7 @@ def run_benchmarks(
         "sections": list(selected),
     }
     builders = {
+        "tensor_ops": lambda: _bench_tensor_ops(irn, split, instances, config),
         "beam_planning": lambda: _bench_beam(irn, split, instances, config),
         "greedy_planning": lambda: _bench_greedy(irn, instances, config),
         "nextitem_evaluation": lambda: _bench_nextitem(irn, split, config),
@@ -927,21 +1154,57 @@ def main(argv: Sequence[str] | None = None) -> None:
             f"(default: all of {', '.join(BENCH_SECTIONS)})"
         ),
     )
+    parser.add_argument(
+        "--cprofile",
+        action="store_true",
+        help=(
+            "run the selected sections under cProfile and write a pstats dump "
+            "next to the JSON output (<output>.pstats), so perf work starts "
+            "from evidence"
+        ),
+    )
     args = parser.parse_args(argv)
     sections = args.sections.split(",") if args.sections else None
     resolve_sections(sections)  # fail on typos BEFORE training the model
     # Fail on an unwritable output path BEFORE spending minutes benchmarking.
     with open(args.output, "a", encoding="utf-8"):
         pass
-    report = run_benchmarks(
-        profile=args.profile,
-        output=args.output,
-        shard_backend=args.shard_backend,
-        vocab_shards=args.vocab_shards,
-        sections=sections,
-    )
+    def run() -> dict:
+        return run_benchmarks(
+            profile=args.profile,
+            output=args.output,
+            shard_backend=args.shard_backend,
+            vocab_shards=args.vocab_shards,
+            sections=sections,
+        )
+    if args.cprofile:
+        report, stats_path = profile_benchmarks(run, args.output)
+        print(f"cProfile stats written to {stats_path}", file=sys.stderr)
+    else:
+        report = run()
     print(json.dumps(report, indent=2))
     print("\n" + format_summary(report))
+
+
+def profile_benchmarks(run, output: str) -> tuple[dict, str]:
+    """Run ``run()`` under :mod:`cProfile`, dumping pstats next to ``output``.
+
+    Returns ``(report, stats_path)``.  The dump loads with
+    ``pstats.Stats(stats_path)`` for sorting/printing; note the profiler
+    inflates the wall-clock numbers inside the report itself, so profiled
+    runs are for finding hotspots, not for refreshing the committed bench.
+    """
+    import cProfile
+
+    stats_path = f"{output}.pstats"
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        report = run()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(stats_path)
+    return report, stats_path
 
 
 def format_summary(report: dict) -> str:
@@ -951,6 +1214,18 @@ def format_summary(report: dict) -> str:
     (``--sections``) format cleanly.
     """
     lines = []
+    if "tensor_ops" in report:
+        tensor = report["tensor_ops"]
+        attention = tensor["attention"]
+        allocation = tensor["decode_allocation"]
+        lines.append(
+            f"tensor ops: fused attention {attention['fused_ns'] / 1e3:.1f}us vs "
+            f"graph {attention['unfused_ns'] / 1e3:.1f}us "
+            f"({attention['fused_speedup']}x, parity: {attention['fused_parity']}); "
+            f"K/V decode step copies {allocation['arena']['copied_bytes_per_step']} B vs "
+            f"{allocation['arena']['copy_reduction']}x more under concatenate "
+            f"(no_prefix_copy: {allocation['no_prefix_copy']})"
+        )
     if "beam_planning" in report:
         beam = report["beam_planning"]
         lines.append(

@@ -6,6 +6,11 @@ the machine-bound throughput numbers — and exits nonzero listing every
 violation, so the perf-smoke workflow fails loudly when a serving contract
 regresses instead of silently uploading a broken artefact:
 
+* ``tensor_ops`` — fused attention matches the graph implementation
+  (``fused_parity``), decode-step K/V appends never copy the full prefix
+  (``no_prefix_copy``), the float32 inference mode stays inside its
+  documented logit tolerance, and the in-place ops refuse to run under
+  grad.
 * ``beam_planning`` / ``greedy_planning`` — batched plans equal scalar.
 * ``nextitem_evaluation`` — batched ranks equal scalar.
 * ``irs_stepwise_replanning`` — cached serving matches isolated semantics.
@@ -67,6 +72,31 @@ def _check_replicated(section: dict, violations: "list[str]") -> None:
         )
 
 
+def _check_tensor_ops(section: dict, violations: "list[str]") -> None:
+    attention = section.get("attention", {})
+    if not attention.get("fused_parity"):
+        violations.append(
+            "tensor_ops: fused attention diverged from the graph implementation "
+            f"(max abs diff {attention.get('max_abs_diff')})"
+        )
+    allocation = section.get("decode_allocation", {})
+    if not allocation.get("no_prefix_copy"):
+        violations.append(
+            "tensor_ops: decode-step K/V appends copied the full prefix "
+            "(no_prefix_copy bit false)"
+        )
+    float32 = section.get("float32", {})
+    if not float32.get("within_tolerance"):
+        violations.append(
+            "tensor_ops: float32 inference deviates beyond the documented "
+            f"tolerance ({float32.get('max_abs_diff')} > {float32.get('tolerance')})"
+        )
+    if not section.get("inplace_guard_raises"):
+        violations.append(
+            "tensor_ops: in-place tensor ops did not refuse to run under grad"
+        )
+
+
 def collect_violations(report: dict, require: "Sequence[str]" = ()) -> "list[str]":
     """Every violated contract bit in ``report`` (empty list means green)."""
     violations: "list[str]" = []
@@ -74,6 +104,8 @@ def collect_violations(report: dict, require: "Sequence[str]" = ()) -> "list[str
         if name not in report:
             violations.append(f"{name}: required section missing from the report")
 
+    if "tensor_ops" in report:
+        _check_tensor_ops(report["tensor_ops"], violations)
     if "beam_planning" in report and not report["beam_planning"].get("plans_equal"):
         violations.append("beam_planning: batched plans differ from scalar plans")
     if "greedy_planning" in report and not report["greedy_planning"].get("plans_equal"):

@@ -13,8 +13,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cache.kv import DecodingState, LayerKVCache
-from repro.nn.tensor import Tensor, no_grad
+from repro.cache.kv import (
+    DecodingState,
+    LayerKVCache,
+    allocation_stats,
+    reset_allocation_stats,
+)
+from repro.nn.tensor import Tensor, inference_dtype_scope, no_grad
 from repro.nn.transformer import TransformerEncoder, causal_mask
 from repro.utils.exceptions import ConfigurationError
 
@@ -64,6 +69,109 @@ class TestLayerKVCache:
         keys = rng.normal(size=(1, 1, 2, 4))
         with pytest.raises(ConfigurationError):
             cache.extend(keys, keys.copy(), persist=3)
+
+
+class TestArenaStorage:
+    def test_extend_returns_views_into_the_arena(self, rng):
+        cache = LayerKVCache()
+        keys = rng.normal(size=(2, 1, 3, 4))
+        full_k, full_v = cache.extend(keys, keys.copy())
+        assert full_k.base is not None and np.shares_memory(full_k, cache.keys)
+        assert full_v.base is not None and np.shares_memory(full_v, cache.values)
+
+    def test_geometric_growth_doubles_capacity(self, rng):
+        cache = LayerKVCache()
+        step = rng.normal(size=(1, 1, 1, 4))
+        cache.extend(step, step.copy())
+        first_capacity = cache.capacity
+        assert first_capacity >= cache.length
+        for _ in range(first_capacity + 1):
+            cache.extend(step, step.copy())
+        assert cache.capacity == first_capacity * 2
+
+    def test_appended_slice_is_the_only_copy_at_steady_state(self, rng):
+        cache = LayerKVCache()
+        prefix = rng.normal(size=(2, 2, 4, 4))
+        cache.extend(prefix, prefix.copy())
+        step = rng.normal(size=(2, 2, 1, 4))
+        reset_allocation_stats()
+        cache.extend(step, step.copy())  # capacity 8 holds length 5: no growth
+        stats = allocation_stats()
+        assert stats["arena_allocated_bytes"] == 0
+        assert stats["copied_bytes"] == 2 * step.nbytes
+        assert stats["concat_equivalent_bytes"] > stats["copied_bytes"]
+        reset_allocation_stats()
+
+    def test_transient_slots_are_overwritten_not_retained(self, rng):
+        cache = LayerKVCache()
+        first = rng.normal(size=(1, 1, 3, 2))
+        cache.extend(first, first.copy(), persist=2)  # third column transient
+        second = rng.normal(size=(1, 1, 2, 2))
+        full_k, _ = cache.extend(second, second.copy(), persist=1)
+        np.testing.assert_array_equal(full_k[:, :, :2], first[:, :, :2])
+        np.testing.assert_array_equal(full_k[:, :, 2:], second)
+        assert cache.length == 3
+
+    def test_exact_growth_mode_still_avoids_concat_temporaries(self, rng):
+        cache = LayerKVCache(growth="exact")
+        step = rng.normal(size=(1, 1, 1, 4))
+        cache.extend(step, step.copy())
+        assert cache.capacity == 1  # exact: no headroom
+        cache.extend(step, step.copy())
+        assert cache.capacity == 2 and cache.length == 2
+
+    def test_invalid_growth_mode_raises(self):
+        with pytest.raises(ConfigurationError):
+            LayerKVCache(growth="linear")
+
+    def test_dtype_parameter_fixes_storage_precision(self, rng):
+        cache = LayerKVCache(dtype="float32")
+        keys = rng.normal(size=(1, 1, 2, 4))
+        full_k, _ = cache.extend(keys, keys.copy())
+        assert full_k.dtype == np.float32
+        assert cache.keys.dtype == np.float32
+        np.testing.assert_allclose(cache.keys, keys, rtol=0, atol=1e-6)
+
+    def test_default_dtype_follows_inference_scope(self, rng):
+        keys = rng.normal(size=(1, 1, 2, 4))
+        with inference_dtype_scope("float32"):
+            cache = LayerKVCache()
+            cache.extend(keys, keys.copy())
+        assert cache.dtype == np.float32
+        plain = LayerKVCache()
+        plain.extend(keys, keys.copy())
+        assert plain.dtype == np.float64
+
+    def test_reorder_reuses_spare_buffers_at_steady_batch(self, rng):
+        cache = LayerKVCache()
+        keys = rng.normal(size=(3, 1, 4, 4))
+        cache.extend(keys, keys.copy())
+        cache.reorder([2, 1, 0])  # allocates the spare pair
+        reset_allocation_stats()
+        cache.reorder([0, 2, 1])  # swaps buffers, no allocation
+        assert allocation_stats()["arena_allocated_bytes"] == 0
+        # Composition of the two gathers: [2,1,0] then [0,2,1] -> [k2,k0,k1].
+        np.testing.assert_array_equal(cache.keys[1], keys[0])
+        reset_allocation_stats()
+
+    def test_reorder_changes_batch_size(self, rng):
+        cache = LayerKVCache()
+        keys = rng.normal(size=(4, 1, 3, 4))
+        cache.extend(keys, keys.copy())
+        cache.reorder([3, 0])
+        assert cache.batch_size == 2
+        np.testing.assert_array_equal(cache.keys[0], keys[3])
+        step = rng.normal(size=(2, 1, 1, 4))
+        full_k, _ = cache.extend(step, step.copy())
+        assert full_k.shape == (2, 1, 4, 4)
+
+    def test_decoding_state_forwards_dtype_and_growth(self, rng):
+        state = DecodingState(2, dtype="float32", growth="exact")
+        for cache in state:
+            keys = rng.normal(size=(1, 1, 2, 4))
+            cache.extend(keys, keys.copy())
+            assert cache.dtype == np.float32
+            assert cache.capacity == 2
 
 
 class TestDecodingState:

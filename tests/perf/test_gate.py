@@ -18,6 +18,12 @@ from repro.perf.gate import collect_violations, main
 def green_report() -> dict:
     return {
         "machine": {"cpu_count": 1},
+        "tensor_ops": {
+            "attention": {"fused_parity": True, "max_abs_diff": 0.0},
+            "decode_allocation": {"no_prefix_copy": True},
+            "float32": {"within_tolerance": True, "max_abs_diff": 1e-7, "tolerance": 5e-4},
+            "inplace_guard_raises": True,
+        },
         "beam_planning": {"plans_equal": True},
         "greedy_planning": {"plans_equal": True},
         "nextitem_evaluation": {"ranks_equal": True},
@@ -115,6 +121,32 @@ class TestCollectViolations:
         report = green_report()
         report["sharded_evaluation"]["process_parity"] = None  # no fork on platform
         assert collect_violations(report) == []
+
+    def test_fused_parity_false_fails(self):
+        report = green_report()
+        report["tensor_ops"]["attention"]["fused_parity"] = False
+        assert any("fused attention diverged" in v for v in collect_violations(report))
+
+    def test_prefix_copy_fails(self):
+        report = green_report()
+        report["tensor_ops"]["decode_allocation"]["no_prefix_copy"] = False
+        assert any(
+            "no_prefix_copy bit false" in v for v in collect_violations(report)
+        )
+
+    def test_float32_out_of_tolerance_fails(self):
+        report = green_report()
+        report["tensor_ops"]["float32"]["within_tolerance"] = False
+        assert any(
+            "deviates beyond the documented" in v for v in collect_violations(report)
+        )
+
+    def test_inplace_guard_not_raising_fails(self):
+        report = green_report()
+        report["tensor_ops"]["inplace_guard_raises"] = False
+        assert any(
+            "did not refuse to run under grad" in v for v in collect_violations(report)
+        )
 
 
 class TestGateMain:

@@ -169,6 +169,34 @@ class TestBenchSubcommand:
         with pytest.raises(ConfigurationError, match="unknown bench section"):
             main(["bench", "--profile", "fast", "--sections", "quantum_planning"])
 
+    def test_bench_cprofile_writes_pstats_dump(self, capsys, tmp_path):
+        """Tensor-engine PR satellite: --cprofile profiles the bench run and
+        drops a pstats dump next to the JSON report for ``pstats``/snakeviz."""
+        import json
+        import pstats
+
+        output = tmp_path / "bench_profiled.json"
+        code = main(
+            [
+                "bench",
+                "--profile",
+                "fast",
+                "--sections",
+                "tensor_ops",
+                "--cprofile",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert "cProfile stats written to" in capsys.readouterr().err
+        report = json.loads(output.read_text())
+        assert "tensor_ops" in report
+        stats_path = tmp_path / "bench_profiled.json.pstats"
+        assert stats_path.exists()
+        stats = pstats.Stats(str(stats_path))  # loadable, non-empty profile
+        assert stats.total_calls > 0
+
 
 class TestServeSimSubcommand:
     """Satellite of the serving PR: the serve-sim CLI surface."""
