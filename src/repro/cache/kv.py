@@ -61,11 +61,10 @@ opt-in float32 mode is active).
 
 from __future__ import annotations
 
-import threading
-
 import numpy as np
 
 from repro.nn.tensor import inference_dtype
+from repro.obs.registry import MetricGroup, get_registry
 from repro.utils.exceptions import ConfigurationError
 
 __all__ = [
@@ -89,20 +88,25 @@ MIN_CAPACITY = 8
 # Allocation accounting (evidence for the tensor_ops bench / perf gate)
 # ---------------------------------------------------------------------- #
 
-_STATS_LOCK = threading.Lock()
-_STATS = {
-    "extend_calls": 0,
-    "arena_allocated_bytes": 0,  # bytes of fresh arena (and spare) buffers
-    "copied_bytes": 0,  # bytes actually moved (appended slices + growth copies)
-    "concat_equivalent_bytes": 0,  # bytes a concatenate-per-extend would move
-}
+# The counters live in the process-wide metrics registry at the fixed scope
+# ``cache.kv`` (allocation is a module-wide property, not per-cache), so a
+# snapshot is one registry-lock read and the same counters surface in
+# ``repro-irs metrics`` exports.
+_STATS = MetricGroup(
+    get_registry(),
+    "cache.kv",
+    counters=(
+        "extend_calls",
+        "arena_allocated_bytes",  # bytes of fresh arena (and spare) buffers
+        "copied_bytes",  # bytes actually moved (appended slices + growth copies)
+        "concat_equivalent_bytes",  # bytes a concatenate-per-extend would move
+    ),
+)
 
 
 def reset_allocation_stats() -> None:
     """Zero the module-wide K/V allocation counters."""
-    with _STATS_LOCK:
-        for key in _STATS:
-            _STATS[key] = 0
+    _STATS.reset()
 
 
 def allocation_stats() -> dict:
@@ -113,18 +117,21 @@ def allocation_stats() -> dict:
     ``concat_equivalent_bytes`` counts what the pre-arena implementation —
     ``np.concatenate([prefix, new])`` per extend — would have copied for the
     same call sequence.  Their ratio is the decode-step allocation win and
-    backs the ``no_prefix_copy`` contract bit.
+    backs the ``no_prefix_copy`` contract bit.  The snapshot is a single
+    atomic registry read — all four counters come from one lock acquisition.
     """
-    with _STATS_LOCK:
-        return dict(_STATS)
+    return _STATS.values()
 
 
 def _record(extend_calls: int = 0, arena: int = 0, copied: int = 0, concat: int = 0) -> None:
-    with _STATS_LOCK:
-        _STATS["extend_calls"] += extend_calls
-        _STATS["arena_allocated_bytes"] += arena
-        _STATS["copied_bytes"] += copied
-        _STATS["concat_equivalent_bytes"] += concat
+    _STATS.record(
+        add={
+            "extend_calls": extend_calls,
+            "arena_allocated_bytes": arena,
+            "copied_bytes": copied,
+            "concat_equivalent_bytes": concat,
+        }
+    )
 
 
 class LayerKVCache:

@@ -14,12 +14,17 @@ entries can never shadow each other.
 
 Thread safety
 -------------
-Every mutation of the LRU map *and* of the hit/miss/eviction counters is
-guarded by one reentrant lock, so a :class:`PlanCache` (or one shard of a
+Every mutation of the LRU map is guarded by one reentrant lock, so a
+:class:`PlanCache` (or one shard of a
 :class:`~repro.shard.plancache.ShardedPlanCache`) can be consulted
 concurrently by the sharded execution subsystem's worker threads without
-losing counter updates or corrupting the ``OrderedDict``.  Per-shard
-counter snapshots merge into one report via :func:`merge_cache_infos`.
+corrupting the ``OrderedDict``.  The hit/miss/eviction counters live in the
+process-wide metrics registry (:mod:`repro.obs.registry`) under a
+per-instance ``cache.plan.<n>`` scope — each lookup applies its counter
+update in one registry-lock acquisition, :meth:`counters` is one locked
+group read, and the same counters surface in ``repro-irs metrics`` exports.
+Per-shard counter snapshots merge into one report via
+:func:`merge_cache_infos`.
 """
 
 from __future__ import annotations
@@ -28,9 +33,12 @@ import threading
 from collections import OrderedDict
 from typing import Hashable, Iterable
 
+from repro.obs.registry import MetricGroup, get_registry
 from repro.utils.exceptions import ConfigurationError
 
 __all__ = ["PlanCache", "merge_cache_infos"]
+
+_COUNTER_FIELDS = ("hits", "misses", "evictions", "invalidations")
 
 
 def merge_cache_infos(infos: "Iterable[dict]") -> dict:
@@ -64,10 +72,30 @@ class PlanCache:
         self.maxsize = int(maxsize)
         self._data: "OrderedDict[Hashable, object]" = OrderedDict()
         self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        registry = get_registry()
+        self._counters = MetricGroup(
+            registry, registry.scope("cache.plan"), counters=_COUNTER_FIELDS
+        )
+
+    # ------------------------------------------------------------------ #
+    # Counter reads keep their historical attribute spelling
+    # (``cache.hits`` etc.) as registry-backed properties.
+    # ------------------------------------------------------------------ #
+    @property
+    def hits(self) -> int:
+        return self._counters.value("hits")
+
+    @property
+    def misses(self) -> int:
+        return self._counters.value("misses")
+
+    @property
+    def evictions(self) -> int:
+        return self._counters.value("evictions")
+
+    @property
+    def invalidations(self) -> int:
+        return self._counters.value("invalidations")
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -83,9 +111,9 @@ class PlanCache:
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
-                self.hits += 1
+                self._counters.record(add={"hits": 1})
                 return self._data[key]
-            self.misses += 1
+            self._counters.record(add={"misses": 1})
             return None
 
     def put(self, key: Hashable, value) -> None:
@@ -96,9 +124,12 @@ class PlanCache:
             if key in self._data:
                 self._data.move_to_end(key)
             self._data[key] = value
+            evicted = 0
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
-                self.evictions += 1
+                evicted += 1
+            if evicted:
+                self._counters.record(add={"evictions": evicted})
 
     def clear(self, reset_stats: bool = False) -> None:
         """Drop every entry (model retrain invalidation).
@@ -111,13 +142,10 @@ class PlanCache:
         """
         with self._lock:
             if self._data:
-                self.invalidations += 1
+                self._counters.record(add={"invalidations": 1})
             self._data.clear()
             if reset_stats:
-                self.hits = 0
-                self.misses = 0
-                self.evictions = 0
-                self.invalidations = 0
+                self._counters.reset()
 
     # ------------------------------------------------------------------ #
     def counters(self) -> dict:
@@ -131,13 +159,14 @@ class PlanCache:
         miss total it belongs with).
         """
         with self._lock:
+            counts = self._counters.values()
             return {
                 "size": len(self._data),
                 "maxsize": self.maxsize,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "invalidations": self.invalidations,
+                "hits": counts["hits"],
+                "misses": counts["misses"],
+                "evictions": counts["evictions"],
+                "invalidations": counts["invalidations"],
             }
 
     def cache_info(self) -> dict:

@@ -12,20 +12,21 @@ One instance lives on every :class:`~repro.core.irn.IRN`
 (``irn.decode_stats``) and is reset by ``fit``; the benchmark snapshots it
 around each measured workload.
 
-The counters are lock-guarded: the sharded execution subsystem scores
-independent instance partitions on worker threads against ONE shared
-backbone, so concurrent ``record_*`` calls must not lose increments (a bare
-``+=`` is not atomic across bytecode boundaries).  ``snapshot`` takes the
-same lock, so before/after deltas see a consistent view — and the derived
-``forwards`` / ``tokens_encoded`` totals take it too: they sum several
-fields, and reading them one by one while a serving-loop drain thread is
-mid-``record_*`` could observe a torn total (one field incremented, its
-sibling not yet).  Every read path is a single locked snapshot.
+The counters live in the process-wide metrics registry
+(:mod:`repro.obs.registry`) under a per-instance ``cache.decode.<n>``
+scope: the sharded execution subsystem scores independent instance
+partitions on worker threads against ONE shared backbone, and each
+``record_*`` call applies both of its field increments in a single
+registry-lock acquisition, so concurrent updates never tear and
+``snapshot`` (one locked group read) always sees a consistent view.  The
+same counters surface verbatim in ``repro-irs metrics`` exports.  Field
+reads (``stats.full_forwards``) keep working via ``__getattr__`` so no
+caller changes.
 """
 
 from __future__ import annotations
 
-import threading
+from repro.obs.registry import MetricGroup, get_registry
 
 __all__ = ["DecodeStats"]
 
@@ -43,56 +44,65 @@ class DecodeStats:
     )
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.reset()
+        registry = get_registry()
+        self._group = MetricGroup(
+            registry, registry.scope("cache.decode"), counters=self._FIELDS
+        )
+
+    def __getattr__(self, name: str):
+        # Counter fields read straight from the registry; everything else is
+        # a genuine miss.  (Only reached when normal lookup fails, so the
+        # ``_group`` access below cannot recurse.)
+        if name in DecodeStats._FIELDS:
+            return self.__dict__["_group"].value(name)
+        raise AttributeError(name)
 
     def reset(self) -> None:
-        with self._lock:
-            for field in self._FIELDS:
-                setattr(self, field, 0)
+        self._group.reset()
 
     # ------------------------------------------------------------------ #
     def record_full(self, tokens: int) -> None:
         """A full-window forward (no cache involved)."""
-        with self._lock:
-            self.full_forwards += 1
-            self.tokens_full += int(tokens)
+        self._group.record(add={"full_forwards": 1, "tokens_full": int(tokens)})
 
     def record_incremental(self, tokens: int) -> None:
         """An incremental step attending over cached prefix K/V."""
-        with self._lock:
-            self.incremental_forwards += 1
-            self.tokens_incremental += int(tokens)
+        self._group.record(
+            add={"incremental_forwards": 1, "tokens_incremental": int(tokens)}
+        )
 
     def record_fallback(self, tokens: int) -> None:
         """A full re-encode forced by the exactness contract (see cache.kv)."""
-        with self._lock:
-            self.fallback_forwards += 1
-            self.tokens_fallback += int(tokens)
+        self._group.record(add={"fallback_forwards": 1, "tokens_fallback": int(tokens)})
 
     # ------------------------------------------------------------------ #
     @property
     def forwards(self) -> int:
         """Total transformer calls of any kind (one locked read)."""
-        with self._lock:
-            return self.full_forwards + self.incremental_forwards + self.fallback_forwards
+        values = self._group.values()
+        return (
+            values["full_forwards"]
+            + values["incremental_forwards"]
+            + values["fallback_forwards"]
+        )
 
     @property
     def tokens_encoded(self) -> int:
         """Total token-work across all forward kinds (one locked read)."""
-        with self._lock:
-            return self.tokens_full + self.tokens_incremental + self.tokens_fallback
+        values = self._group.values()
+        return (
+            values["tokens_full"] + values["tokens_incremental"] + values["tokens_fallback"]
+        )
 
     def snapshot(self) -> dict:
         """A plain-dict copy (for before/after deltas in the benchmark).
 
-        All fields are read under one lock acquisition, so the derived
-        totals are always internally consistent — a snapshot taken while
-        another thread is mid-``record_*`` sees either none or all of that
-        call's increments.
+        All fields are read under one registry-lock acquisition, so the
+        derived totals are always internally consistent — a snapshot taken
+        while another thread is mid-``record_*`` sees either none or all of
+        that call's increments.
         """
-        with self._lock:
-            report = {field: getattr(self, field) for field in self._FIELDS}
+        report = self._group.values()
         report["forwards"] = (
             report["full_forwards"]
             + report["incremental_forwards"]

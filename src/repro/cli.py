@@ -13,6 +13,9 @@ Examples
     repro-irs bench --sections async_serving,irs_stepwise_replanning
     repro-irs serve-sim --profile fast --arrival-rate 200 --duration 1
     repro-irs serve-sim --profile fast --replicas 2 --refit-at 0.5 --duration 2
+    repro-irs serve-sim --profile fast --trace-sample-rate 0.5 --duration 1
+    repro-irs trace --profile fast --output traces.json
+    repro-irs metrics --profile fast --metrics-format json --output metrics.json
 
 ``all`` regenerates every table and figure of the paper; the ``ablation-*``
 and ``ext-*`` artefacts cover the design-choice ablations and the
@@ -54,6 +57,15 @@ sharded section sweeps a fixed 1/2/4 worker grid); ``serve-sim`` honours
 ``--num-workers`` / ``--shard-backend`` / ``--vocab-shards`` and warns
 about ``--rollout-chunk-size`` (it drives ``next_step`` serving, not
 chunked evaluation rollouts).
+
+Observability (:mod:`repro.obs`): ``serve-sim --trace-sample-rate R``
+turns request tracing on for the run (deterministic sampling at rate
+``R``) and adds an ``observability`` block to the report.  ``trace``
+serves a short traced open-loop workload and dumps every span as JSON;
+``metrics`` drives the same workload and dumps the process metrics
+registry (Prometheus text by default, ``--metrics-format json`` for the
+snapshot dict).  ``--log-level`` (or ``REPRO_LOG_LEVEL``) sets the
+``repro.*`` logger threshold for any command.
 """
 
 from __future__ import annotations
@@ -111,11 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
         + sorted(_FIGURES)
         + sorted(_ABLATIONS)
         + sorted(_EXTENSIONS)
-        + ["all", "bench", "serve-sim"],
+        + ["all", "bench", "serve-sim", "trace", "metrics"],
         help=(
             "which table/figure/ablation/extension to regenerate ('all' covers the "
             "paper artefacts; 'bench' runs the performance harness; 'serve-sim' "
-            "drives the async serving loop with synthetic traffic)"
+            "drives the async serving loop with synthetic traffic; 'trace' / "
+            "'metrics' serve a short traced workload and dump spans / the "
+            "metrics registry)"
         ),
     )
     parser.add_argument("--dataset", choices=["movielens", "lastfm"], default="movielens")
@@ -226,6 +240,31 @@ def build_parser() -> argparse.ArgumentParser:
             "serve-sim: least_loaded | round_robin replica routing "
             "(default: $REPRO_DISPATCH_POLICY or least_loaded)"
         ),
+    )
+    # Observability knobs (repro.obs) — raw strings validated by the obs
+    # config resolvers; --log-level applies to every command.
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        help=(
+            "logging threshold for the repro.* loggers, as a name (DEBUG, "
+            "INFO, ...) or numeric level (default: $REPRO_LOG_LEVEL or INFO)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-sample-rate",
+        default=None,
+        help=(
+            "serve-sim / trace: turn request tracing on and sample this "
+            "fraction of requests, deterministically, in [0, 1] "
+            "(default for 'trace': $REPRO_TRACE_SAMPLE_RATE or 1.0)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=["prometheus", "json"],
+        default="prometheus",
+        help="metrics only: dump format for the registry snapshot",
     )
     return parser
 
@@ -504,6 +543,14 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
     serve = _resolve_serve_args(args)
     replication = _resolve_replica_args(args, serve["duration"])
     num_workers, backend, vocab_shards, _ = _resolve_shard_args(args)
+    tracer = None
+    if args.trace_sample_rate is not None:
+        from repro.obs import Tracer
+        from repro.obs.config import resolve_trace_sample_rate
+
+        tracer = Tracer(
+            enabled=True, sample_rate=resolve_trace_sample_rate(args.trace_sample_rate)
+        )
     if args.rollout_chunk_size is not None:
         print(
             "warning: serve-sim ignores --rollout-chunk-size — it drives "
@@ -552,6 +599,7 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
             admission_policy=serve["admission_policy"],
             drain_deadline=serve["drain_deadline"],
             dispatch_policy=replication["dispatch_policy"],
+            tracer=tracer,
         )
         with replica_set:
             report = run_replicated_open_loop(
@@ -576,6 +624,7 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
             max_queue_depth=serve["max_queue_depth"],
             admission_policy=serve["admission_policy"],
             drain_deadline=serve["drain_deadline"],
+            tracer=tracer,
         ) as loop:
             report = run_open_loop(
                 loop,
@@ -594,6 +643,13 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         "num_queues": num_queues,
     }
     report["replication"] = {**replication, "enabled": replicated}
+    if tracer is not None:
+        report["observability"] = {
+            "sample_rate": tracer.sample_rate,
+            "traces_retained": len(tracer.trace_ids()),
+            "counters": tracer.counters(),
+            "span_summary": tracer.summary(),
+        }
     latency = report["latency_ms"]
     print(
         f"async serving sim: {report['admitted_requests']}/{report['offered_requests']} "
@@ -628,11 +684,119 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
                 f"{refit['inflight_at_flip']} request(s) in flight "
                 f"(completed during trace: {refit['completed_during_trace']})"
             )
+    if tracer is not None:
+        counters = report["observability"]["counters"]
+        print(
+            f"tracing: sample rate {tracer.sample_rate}, "
+            f"{report['observability']['traces_retained']} trace(s) retained, "
+            f"{counters['spans']} span(s) recorded, {counters['sampled_out']} sampled out"
+        )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2)
             handle.write("\n")
         print(f"report written to {args.output}")
+    return 0
+
+
+def _drive_traced_workload(args: argparse.Namespace, sample_rate: "float | None"):
+    """Serve a short traced open-loop workload over the bench corpus.
+
+    Shared by the ``trace`` and ``metrics`` artefacts: builds the bench
+    split (smoke under ``--profile fast``), fits one IRN + planner, and
+    offers a fixed-count seeded Poisson trace through a
+    :class:`~repro.serve.loop.ServingLoop` with tracing enabled.  Returns
+    ``(tracer, open-loop report)``; being seeded and fixed-count, the trace
+    IDs (and the artefact) are identical across runs on any machine.
+    """
+    from repro.core.beam import BeamSearchPlanner
+    from repro.core.irn import IRN
+    from repro.evaluation.protocol import sample_objectives
+    from repro.obs import Tracer
+    from repro.perf.bench import build_bench_split, default_config, smoke_config
+    from repro.serve import ServingLoop, run_open_loop
+    from repro.serve.config import resolve_arrival_rate
+
+    num_workers, backend, vocab_shards, _ = _resolve_shard_args(args)
+    bench_config = smoke_config() if args.profile == "fast" else default_config()
+    split = build_bench_split(bench_config)
+    instances = sample_objectives(
+        split,
+        min_objective_interactions=2,
+        seed=args.seed,
+        max_instances=bench_config["num_instances"],
+    )
+    contexts = [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+    planner = BeamSearchPlanner(
+        IRN(**bench_config["irn"]).fit(split),
+        beam_width=bench_config["beam_width"],
+        branch_factor=bench_config["branch_factor"],
+        max_length=bench_config["max_path_length"],
+        num_workers=num_workers,
+        shard_backend=backend,
+        vocab_shards=vocab_shards,
+    ).fit(split)
+    tracer = Tracer(enabled=True, sample_rate=sample_rate)
+    with ServingLoop(planner, tracer=tracer) as loop:
+        report = run_open_loop(
+            loop,
+            contexts,
+            arrival_rate=resolve_arrival_rate(args.arrival_rate),
+            num_requests=bench_config["serve_requests_per_context"] * len(contexts),
+            seed=args.seed,
+            max_length=bench_config["max_path_length"],
+        )
+    return tracer, report
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` artefact: dump every span of a traced workload as JSON."""
+    from repro.obs.config import resolve_trace_sample_rate
+    from repro.obs.export import traces_to_json
+
+    sample_rate = resolve_trace_sample_rate(args.trace_sample_rate)
+    tracer, report = _drive_traced_workload(args, sample_rate)
+    payload = traces_to_json(tracer)
+    counters = tracer.counters()
+    print(
+        f"traced {len(tracer.trace_ids())} of {report['admitted_requests']} "
+        f"request(s) at sample rate {tracer.sample_rate} "
+        f"({counters['spans']} span(s) recorded)",
+        file=sys.stderr,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"traces written to {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    """The ``metrics`` artefact: dump the process metrics registry.
+
+    Drives the same traced workload as ``trace`` first, so the dump shows a
+    populated registry (serving latency histograms, queue/admission
+    counters, cache and KV stats) rather than an empty one.
+    """
+    from repro.obs.export import metrics_to_json, metrics_to_prometheus
+
+    _tracer, report = _drive_traced_workload(args, sample_rate=1.0)
+    if args.metrics_format == "json":
+        payload = metrics_to_json()
+    else:
+        payload = metrics_to_prometheus().rstrip("\n")
+    print(
+        f"registry snapshot after serving {report['admitted_requests']} request(s)",
+        file=sys.stderr,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"metrics written to {args.output}")
+    else:
+        print(payload)
     return 0
 
 
@@ -654,10 +818,19 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Logging threshold applies before any model trains, so admission /
+    # refit / generation-guard log lines honour it from the first request.
+    from repro.utils.logging import configure_logging
+
+    configure_logging(args.log_level)
     if args.artefact == "bench":
         return _run_bench(args)
     if args.artefact == "serve-sim":
         return _run_serve_sim(args)
+    if args.artefact == "trace":
+        return _run_trace(args)
+    if args.artefact == "metrics":
+        return _run_metrics(args)
     config = _make_config(args)
     pipeline = ExperimentPipeline(config)
 

@@ -74,7 +74,8 @@ serving loop (:mod:`repro.serve`) and the routing layer both
 
 from __future__ import annotations
 
-import threading
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
@@ -83,6 +84,8 @@ import numpy as np
 from repro.core.base import InfluentialRecommender, influential_registry
 from repro.core.influence_path import mask_session_items
 from repro.data.splitting import DatasetSplit
+from repro.obs.registry import MetricGroup, get_registry
+from repro.obs.trace import current_sink, use_sink
 from repro.shard.config import resolve_vocab_shards
 from repro.shard.executor import ShardedExecutor
 from repro.shard.plancache import make_plan_cache
@@ -91,6 +94,8 @@ from repro.utils.batch import broadcast_user_indices, check_batch_lengths
 from repro.utils.exceptions import ConfigurationError, StaleGenerationError
 
 __all__ = ["BeamSearchPlanner"]
+
+logger = logging.getLogger(__name__)
 
 
 @runtime_checkable
@@ -222,9 +227,13 @@ class BeamSearchPlanner(InfluentialRecommender):
         self._step_cache = make_plan_cache(
             step_cache_size, self.num_workers, min_shard_capacity=1
         )
-        self._serving_lock = threading.Lock()
-        self._serving_hits = 0
-        self._serving_replans = 0
+        # Serving-cache outcome counters: registry-backed, so a serving hit
+        # and its sibling replan can never be observed torn, and the counts
+        # surface in ``repro-irs metrics`` next to the plan-cache counters.
+        registry = get_registry()
+        self._serving_metrics = MetricGroup(
+            registry, registry.scope("core.serving"), counters=("hits", "replans")
+        )
         self._backbone_generation = getattr(backbone, "fit_generation", None)
         # Replicated-serving state: a pinned planner must never observe its
         # backbone retrained in place (the refit protocol swaps whole
@@ -291,6 +300,12 @@ class BeamSearchPlanner(InfluentialRecommender):
         """
         generation = getattr(self.backbone, "fit_generation", None)
         if self._pinned_generation is not None and generation != self._pinned_generation:
+            logger.warning(
+                "generation guard tripped: planner pinned to backbone "
+                "fit_generation %s observed %s",
+                self._pinned_generation,
+                generation,
+            )
             raise StaleGenerationError(
                 f"planner is pinned to backbone fit_generation "
                 f"{self._pinned_generation} but observed {generation}; replicated "
@@ -311,11 +326,11 @@ class BeamSearchPlanner(InfluentialRecommender):
         entries report merged totals (plus a per-shard breakdown), so the
         sharded planner's stats read exactly like the serial one's.
         """
-        with self._serving_lock:
-            serving = {
-                "served_from_plan": self._serving_hits,
-                "replans": self._serving_replans,
-            }
+        counts = self._serving_metrics.values()
+        serving = {
+            "served_from_plan": counts["hits"],
+            "replans": counts["replans"],
+        }
         return {
             "plan_cache": self.plan_cache.cache_info(),
             "step_cache": self._step_cache.cache_info(),
@@ -465,12 +480,22 @@ class BeamSearchPlanner(InfluentialRecommender):
             # producing answers computed under mixed weights in ANY
             # configuration (the torn-batch check is not a sharding-only
             # property).
+            # Capture the dispatching thread's batch sink and re-install it
+            # inside the shard workers: the thread backend runs plan_shard on
+            # pool threads whose thread-local sink is unset, and per-depth
+            # beam spans must still reach the batch's traces.
+            sink = current_sink()
+
+            def plan_shard(_shard: int, subset) -> "list[list[int]]":
+                with use_sink(sink):
+                    return self._plan_beam(
+                        histories, objectives, users, list(subset), max_length
+                    )
+
             planned = self._executor.map_partitioned(
                 pending,
                 [keys[i] for i in pending],
-                lambda _shard, subset: self._plan_beam(
-                    histories, objectives, users, list(subset), max_length
-                ),
+                plan_shard,
                 generation_guard=self._generation_guard,
             )
             for i, path in zip(pending, planned):
@@ -496,10 +521,16 @@ class BeamSearchPlanner(InfluentialRecommender):
         use_sessions = self.use_decoding_sessions and hasattr(
             self.backbone, "begin_decoding_session"
         )
+        # Per-depth expansion spans broadcast to every trace of the drained
+        # micro-batch (depth work is fused across the whole shard subset, so
+        # batch-level attribution is the honest granularity); None when the
+        # batch is untraced.
+        sink = current_sink()
 
-        for _ in range(max_length):
+        for depth in range(max_length):
             if not running:
                 break
+            depth_started = time.perf_counter() if sink is not None else 0.0
             # Collect the live hypotheses of every running instance (beam
             # order preserved); reached hypotheses retire to the complete set.
             parents: list[_Hypothesis] = []
@@ -547,6 +578,15 @@ class BeamSearchPlanner(InfluentialRecommender):
                 candidates[i].sort(key=lambda h: h.score(self.objective_bonus), reverse=True)
                 beams[i] = candidates[i][: self.beam_width]
                 still_running.append(i)
+            if sink is not None:
+                sink.batch_span(
+                    "beam.depth",
+                    depth_started,
+                    time.perf_counter(),
+                    depth=depth,
+                    rows=len(parents),
+                    instances=len(still_running),
+                )
             running = still_running
 
         paths: list[list[int]] = []
@@ -606,6 +646,10 @@ class BeamSearchPlanner(InfluentialRecommender):
             return []
         self._require_fitted()
         self._sync_backbone_generation()
+        # The drain thread's batch sink (None unless this micro-batch is
+        # traced): indices into `requests` and into the sink's trace list
+        # coincide, so per-request cache decisions attach to the right trace.
+        sink = current_sink()
         normalized: list[tuple] = []
         for request in requests:
             kind, history, objective, path_so_far, user = request[:5]
@@ -653,7 +697,9 @@ class BeamSearchPlanner(InfluentialRecommender):
                     seen_keys.add(key)
                 wave.append(index)
             # Pass 1: consult the serving cache in request order; collect
-            # the requests that need planning work.
+            # the requests that need planning work.  With a traced drain
+            # above (sink installed), each consult records a per-request
+            # cache.decision span with its hit/replan outcome.
             misses: list[int] = []
             for index in wave:
                 kind, history, objective, path_so_far, user, _ = normalized[index]
@@ -661,16 +707,31 @@ class BeamSearchPlanner(InfluentialRecommender):
                     misses.append(index)
                     continue
                 key = (tuple(history), objective, user, self.max_length)
+                consult_start = time.perf_counter() if sink is not None else 0.0
                 plan = self._step_cache.get(key)
                 if plan is not None and list(plan[: len(path_so_far)]) == path_so_far:
-                    with self._serving_lock:
-                        self._serving_hits += 1
+                    self._serving_metrics.record(add={"hits": 1})
+                    if sink is not None:
+                        sink.request_span(
+                            index,
+                            "cache.decision",
+                            consult_start,
+                            time.perf_counter(),
+                            outcome="hit",
+                        )
                     results[index] = (
                         int(plan[len(path_so_far)]) if len(plan) > len(path_so_far) else None
                     )
                 else:
-                    with self._serving_lock:
-                        self._serving_replans += 1
+                    self._serving_metrics.record(add={"replans": 1})
+                    if sink is not None:
+                        sink.request_span(
+                            index,
+                            "cache.decision",
+                            consult_start,
+                            time.perf_counter(),
+                            outcome="replan",
+                        )
                     misses.append(index)
             # Pass 2: one fused plan_paths_batch per distinct effective
             # horizon (lockstep traffic shares one, so typically one call).

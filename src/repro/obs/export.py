@@ -1,0 +1,88 @@
+"""Exporters: registry snapshots as JSON or Prometheus text, traces as JSON.
+
+Both exporters read through :meth:`MetricsRegistry.snapshot`, so an export
+is one atomic view of the process — the same guarantee the in-process read
+APIs give.  The Prometheus writer follows the text exposition format
+(``# TYPE`` lines, ``_total`` counter suffix, histograms as cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count``); dots and other
+non-identifier characters in metric paths become underscores.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "metrics_snapshot",
+    "metrics_to_json",
+    "metrics_to_prometheus",
+    "traces_to_json",
+]
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def metrics_snapshot(
+    registry: "MetricsRegistry | None" = None, prefix: "str | None" = None
+) -> dict:
+    """One atomic snapshot of the registry (the JSON exporter's payload)."""
+    registry = registry if registry is not None else get_registry()
+    return registry.snapshot(prefix)
+
+
+def metrics_to_json(
+    registry: "MetricsRegistry | None" = None,
+    prefix: "str | None" = None,
+    indent: int = 2,
+) -> str:
+    return json.dumps(metrics_snapshot(registry, prefix), indent=indent, sort_keys=True)
+
+
+def metrics_to_prometheus(
+    registry: "MetricsRegistry | None" = None, prefix: "str | None" = None
+) -> str:
+    """The registry in Prometheus text exposition format."""
+    snapshot = metrics_snapshot(registry, prefix)
+    lines: "list[str]" = []
+    for name in sorted(snapshot["counters"]):
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {snapshot['counters'][name]}")
+    for name in sorted(snapshot["gauges"]):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {snapshot['gauges'][name]}")
+    for name in sorted(snapshot["histograms"]):
+        data = snapshot["histograms"][name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            cumulative += count
+            lines.append(f'{prom}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {data["count"]}')
+        lines.append(f"{prom}_sum {data['sum']}")
+        lines.append(f"{prom}_count {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def traces_to_json(tracer: Tracer, indent: int = 2) -> str:
+    """Every retained trace plus the per-span-name summary, as JSON."""
+    payload = {
+        "traces": tracer.export(),
+        "summary": tracer.summary(),
+        "counters": tracer.counters(),
+        "sample_rate": tracer.sample_rate,
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)

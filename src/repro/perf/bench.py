@@ -1023,6 +1023,157 @@ def _bench_tensor_ops(
     }
 
 
+def _bench_observability(
+    irn: IRN, split: DatasetSplit, instances: list[EvaluationInstance], config: dict,
+    shard_backend: "str | None" = None, vocab_shards: "int | None" = None,
+) -> dict:
+    """The observability overhead contract: tracing must be free when off.
+
+    Four experiments over the open-loop ``next_step`` workload:
+
+    * **Disabled no-op** — the default (untraced) serving loop, with the
+      process-wide ``obs.trace`` allocation counters snapshotted around the
+      run.  A zero delta proves the disabled path allocates no traces and
+      no spans — a *structural* no-op, not merely a fast one.  The
+      open-loop p95 of this run is the overhead baseline.
+    * **Enabled overhead** — the same workload with a full-sampling tracer
+      installed; p95 is min-of-``wall_repeats`` on both sides and the
+      contract is ``enabled_p95 <= disabled_p95 + budget`` with
+      ``budget = max(5% of disabled p95, 2ms)`` — the floor absorbs timer
+      noise on machines where the p95 itself is a couple of milliseconds.
+    * **Deterministic trace IDs** — every enabled repeat runs the
+      identically-seeded trace against a fresh tracer; the sorted trace-ID
+      lists must be identical across repeats (IDs derive from routing keys
+      and per-key ordinals, never wall time or object identity).
+    * **Parity with tracing on** — the lockstep replay bits from the async
+      (2 worker shards) and replicated (N replicas) sections, re-checked
+      with tracing enabled: instrumentation must never change what is
+      answered.
+    """
+    from repro.evaluation.protocol import rollout_next_step as sequential_rollout
+    from repro.obs import Tracer, get_registry
+    from repro.replica import ReplicaSet
+    from repro.serve import ServingLoop, replay_lockstep, run_open_loop
+
+    contexts = [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+    max_length = config["max_path_length"]
+    kwargs = dict(
+        beam_width=config["beam_width"],
+        branch_factor=config["branch_factor"],
+        vocab_shards=resolve_vocab_shards(vocab_shards),
+    )
+    backend = resolve_shard_backend(shard_backend, num_workers=2)
+    num_requests = config["serve_requests_per_context"] * len(contexts)
+    repeats = config.get("wall_repeats", 1)
+
+    def make_planner(num_workers: int = 1):
+        return BeamSearchPlanner(
+            irn,
+            max_length=max_length,
+            num_workers=num_workers,
+            shard_backend=backend,
+            **kwargs,
+        ).fit(split)
+
+    def open_loop_p95(tracer: "Tracer | None") -> tuple[float, dict]:
+        # Fresh planner AND loop per measurement (cold caches, clean queue
+        # counters), mirroring the async section's discipline.
+        with ServingLoop(make_planner(), tracer=tracer) as loop:
+            report = run_open_loop(
+                loop,
+                contexts,
+                arrival_rate=config["serve_arrival_rate"],
+                num_requests=num_requests,
+                seed=0,
+                max_length=max_length,
+            )
+        return report["latency_ms"]["p95"], report
+
+    # -- disabled baseline: p95 + the structural no-op proof ------------- #
+    registry = get_registry()
+    counters_before = registry.snapshot("obs.trace")["counters"]
+    disabled_p95 = math.inf
+    disabled_report: dict = {}
+    for _ in range(repeats):
+        p95, report = open_loop_p95(None)
+        if p95 < disabled_p95:
+            disabled_p95, disabled_report = p95, report
+    counters_after = registry.snapshot("obs.trace")["counters"]
+    allocation_delta = {
+        name.rsplit(".", 1)[-1]: counters_after.get(name, 0) - counters_before.get(name, 0)
+        for name in counters_after
+    }
+    disabled_noop = all(delta == 0 for delta in allocation_delta.values())
+
+    # -- enabled runs: p95, determinism, span inventory ------------------ #
+    enabled_p95 = math.inf
+    enabled_report: dict = {}
+    trace_id_runs: "list[list[str]]" = []
+    span_summary: dict = {}
+    traces_retained = 0
+    for _ in range(repeats):
+        tracer = Tracer(enabled=True, sample_rate=1.0)
+        p95, report = open_loop_p95(tracer)
+        if p95 < enabled_p95:
+            enabled_p95, enabled_report = p95, report
+        trace_id_runs.append(sorted(tracer.trace_ids()))
+        span_summary = tracer.summary()
+        traces_retained = len(tracer.trace_ids())
+    deterministic_trace_ids = all(ids == trace_id_runs[0] for ids in trace_id_runs[1:])
+
+    budget_ms = max(0.05 * disabled_p95, 2.0)
+    overhead_ms = enabled_p95 - disabled_p95
+
+    # -- parity with tracing enabled ------------------------------------- #
+    sequential_planner = BeamSearchPlanner(irn, max_length=max_length, **kwargs).fit(split)
+    sequential_paths = sequential_rollout(sequential_planner, contexts, max_length)
+
+    with ServingLoop(
+        make_planner(num_workers=2), tracer=Tracer(enabled=True, sample_rate=1.0)
+    ) as loop:
+        async_paths = replay_lockstep(loop, contexts, max_length)
+
+    replica_tracer = Tracer(enabled=True, sample_rate=1.0)
+    def shared_factory():
+        return BeamSearchPlanner(
+            irn, max_length=max_length, shard_backend=backend, **kwargs
+        ).fit(split)
+    with ReplicaSet(
+        shared_factory, num_replicas=config["num_replicas"], tracer=replica_tracer
+    ) as replica_set:
+        replicated_paths = replay_lockstep(replica_set, contexts, max_length)
+
+    return {
+        "max_path_length": max_length,
+        "num_contexts": len(contexts),
+        "backend": backend,
+        "arrival_rate": config["serve_arrival_rate"],
+        "open_loop_requests": num_requests,
+        "wall_repeats": repeats,
+        "disabled": {
+            "p95_ms": disabled_p95,
+            "throughput_rps": disabled_report.get("throughput_rps"),
+            "allocation_delta": allocation_delta,
+        },
+        "enabled": {
+            "p95_ms": enabled_p95,
+            "throughput_rps": enabled_report.get("throughput_rps"),
+            "sample_rate": 1.0,
+            "traces_retained": traces_retained,
+            "span_summary": span_summary,
+        },
+        "overhead": {
+            "p95_delta_ms": round(overhead_ms, 3),
+            "budget_ms": round(budget_ms, 3),
+            "within_budget": bool(enabled_p95 <= disabled_p95 + budget_ms),
+        },
+        "disabled_noop": bool(disabled_noop),
+        "deterministic_trace_ids": bool(deterministic_trace_ids),
+        "async_parity_with_tracing": async_paths == sequential_paths,
+        "replicated_parity_with_tracing": replicated_paths == sequential_paths,
+    }
+
+
 #: Section registry: name -> builder(irn, split, instances, config, **knobs).
 #: ``run_benchmarks(sections=...)`` and ``repro-irs bench --sections`` filter
 #: against these names.
@@ -1036,6 +1187,7 @@ BENCH_SECTIONS = (
     "sharded_evaluation",
     "async_serving",
     "replicated_serving",
+    "observability",
 )
 
 
@@ -1115,6 +1267,10 @@ def run_benchmarks(
             irn, split, instances, config,
             shard_backend=shard_backend, vocab_shards=vocab_shards,
         ),
+        "observability": lambda: _bench_observability(
+            irn, split, instances, config,
+            shard_backend=shard_backend, vocab_shards=vocab_shards,
+        ),
     }
     for name in selected:
         report[name] = builders[name]()
@@ -1127,6 +1283,16 @@ def run_benchmarks(
     if output:
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        # Sidecar registry dump: the full metrics state the bench run left
+        # behind (cache counters, serving latency histograms, KV allocation
+        # bytes, ...), kept out of the main report so the committed bench
+        # stays diffable while CI still uploads the complete snapshot.
+        from repro.obs.export import metrics_to_json
+
+        metrics_path = f"{os.path.splitext(output)[0]}.metrics.json"
+        with open(metrics_path, "w", encoding="utf-8") as handle:
+            handle.write(metrics_to_json(indent=2))
             handle.write("\n")
     return report
 
@@ -1307,6 +1473,17 @@ def format_summary(report: dict) -> str:
             f"({replicated['hot_refit']['errored_requests']} errored, "
             f"{replicated['hot_refit']['rejected_requests']} rejected), "
             f"generations served {replicated['hot_refit']['generations_served']}"
+        )
+    if "observability" in report:
+        obs = report["observability"]
+        lines.append(
+            f"observability: disabled p95 {obs['disabled']['p95_ms']} ms vs enabled "
+            f"{obs['enabled']['p95_ms']} ms (delta {obs['overhead']['p95_delta_ms']} ms, "
+            f"budget {obs['overhead']['budget_ms']} ms, within: "
+            f"{obs['overhead']['within_budget']}); disabled no-op: {obs['disabled_noop']}, "
+            f"deterministic trace IDs: {obs['deterministic_trace_ids']}, "
+            f"parity with tracing (async/replicated): "
+            f"{obs['async_parity_with_tracing']}/{obs['replicated_parity_with_tracing']}"
         )
     return "\n".join(lines)
 

@@ -23,6 +23,11 @@ regresses instead of silently uploading a broken artefact:
   single-replica serving; the hot refit errored zero admitted requests and
   rejected zero requests under the ``block`` policy (``no_pause``); the
   refit completed and flipped exactly one generation forward.
+* ``observability`` — disabled tracing is a structural no-op (zero
+  trace/span allocations during the untraced run), enabled full-sampling
+  overhead stays inside the recorded p95 budget, trace IDs are identical
+  across identically-seeded repeats, and the async/replicated lockstep
+  parity bits hold with tracing enabled.
 
 Only the sections present in the report are checked (subset runs gate on
 what they ran), but ``--require`` names sections that must be present —
@@ -97,6 +102,35 @@ def _check_tensor_ops(section: dict, violations: "list[str]") -> None:
         )
 
 
+def _check_observability(section: dict, violations: "list[str]") -> None:
+    if not section.get("disabled_noop"):
+        delta = section.get("disabled", {}).get("allocation_delta")
+        violations.append(
+            "observability: disabled tracing allocated traces/spans during the "
+            f"untraced run (allocation delta {delta}) — the zero-cost-when-off "
+            "contract is broken"
+        )
+    overhead = section.get("overhead", {})
+    if not overhead.get("within_budget"):
+        violations.append(
+            "observability: enabled tracing overhead exceeded its budget "
+            f"(p95 delta {overhead.get('p95_delta_ms')} ms > "
+            f"budget {overhead.get('budget_ms')} ms)"
+        )
+    if not section.get("deterministic_trace_ids"):
+        violations.append(
+            "observability: trace IDs differ across identically-seeded runs"
+        )
+    if not section.get("async_parity_with_tracing"):
+        violations.append(
+            "observability: async lockstep responses changed with tracing enabled"
+        )
+    if not section.get("replicated_parity_with_tracing"):
+        violations.append(
+            "observability: replicated lockstep responses changed with tracing enabled"
+        )
+
+
 def collect_violations(report: dict, require: "Sequence[str]" = ()) -> "list[str]":
     """Every violated contract bit in ``report`` (empty list means green)."""
     violations: "list[str]" = []
@@ -147,6 +181,8 @@ def collect_violations(report: dict, require: "Sequence[str]" = ()) -> "list[str
                 )
     if "replicated_serving" in report:
         _check_replicated(report["replicated_serving"], violations)
+    if "observability" in report:
+        _check_observability(report["observability"], violations)
     return violations
 
 

@@ -30,6 +30,7 @@ import threading
 from collections import OrderedDict
 from typing import Sequence
 
+from repro.obs.registry import MetricGroup, get_registry
 from repro.replica.config import resolve_dispatch_policy
 from repro.replica.replica import Replica
 from repro.serve.request import ServeRequest
@@ -61,10 +62,20 @@ class Dispatcher:
         self._replicas: "list[Replica]" = list(replicas)
         self._affinity: "OrderedDict[tuple, Replica]" = OrderedDict()
         self._rr_position = 0
-        self._picks_affinity = 0
-        self._picks_least_loaded = 0
-        self._picks_round_robin = 0
-        self._sessions_evicted = 0
+        # Routing-decision counters: registry-backed so `repro-irs metrics`
+        # and stats() read the same atomic snapshot.
+        registry = get_registry()
+        self._metrics = MetricGroup(
+            registry,
+            registry.scope("replica.dispatch"),
+            counters=(
+                "picks_affinity",
+                "picks_least_loaded",
+                "picks_round_robin",
+                "sessions_evicted",
+            ),
+            gauges=("sessions_pinned",),
+        )
 
     # ------------------------------------------------------------------ #
     def reset(self, replicas: "Sequence[Replica]") -> None:
@@ -73,6 +84,7 @@ class Dispatcher:
         with self._lock:
             self._replicas = list(replicas)
             self._affinity.clear()
+            self._metrics.record(set_={"sessions_pinned": 0})
 
     def forget(self, replica: Replica) -> None:
         """Drop a replica's affinity entries (it stopped accepting work)."""
@@ -80,6 +92,7 @@ class Dispatcher:
             stale = [key for key, owner in self._affinity.items() if owner is replica]
             for key in stale:
                 del self._affinity[key]
+            self._metrics.record(set_={"sessions_pinned": len(self._affinity)})
 
     # ------------------------------------------------------------------ #
     def pick(self, request: ServeRequest) -> Replica:
@@ -98,34 +111,40 @@ class Dispatcher:
                 owner = self._affinity.get(key)
                 if owner is not None and owner.healthy and owner in self._replicas:
                     self._affinity.move_to_end(key)
-                    self._picks_affinity += 1
+                    self._metrics.record(add={"picks_affinity": 1})
                     return owner
             if self.policy == "round_robin" or any(r.cold() for r in healthy):
                 choice = healthy[self._rr_position % len(healthy)]
                 self._rr_position += 1
-                self._picks_round_robin += 1
+                self._metrics.record(add={"picks_round_robin": 1})
             else:
                 choice = min(healthy, key=lambda r: (r.score(), r.index))
-                self._picks_least_loaded += 1
+                self._metrics.record(add={"picks_least_loaded": 1})
             if key is not None:
                 self._affinity[key] = choice
                 self._affinity.move_to_end(key)
+                evicted = 0
                 while len(self._affinity) > self.max_pinned_sessions:
                     self._affinity.popitem(last=False)
-                    self._sessions_evicted += 1
+                    evicted += 1
+                self._metrics.record(
+                    add={"sessions_evicted": evicted} if evicted else None,
+                    set_={"sessions_pinned": len(self._affinity)},
+                )
             return choice
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
         with self._lock:
+            counts = self._metrics.values()
             return {
                 "policy": self.policy,
                 "replicas": len(self._replicas),
                 "sessions_pinned": len(self._affinity),
-                "sessions_evicted": self._sessions_evicted,
+                "sessions_evicted": counts["sessions_evicted"],
                 "picks": {
-                    "affinity": self._picks_affinity,
-                    "least_loaded": self._picks_least_loaded,
-                    "round_robin": self._picks_round_robin,
+                    "affinity": counts["picks_affinity"],
+                    "least_loaded": counts["picks_least_loaded"],
+                    "round_robin": counts["picks_round_robin"],
                 },
             }

@@ -31,15 +31,15 @@ open-loop run (the ``replicated_serving`` bench section and
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 
 from repro.utils.exceptions import ServingError
-from repro.utils.logging import get_logger
 
 __all__ = ["RefitCoordinator", "RefitHandle", "schedule_refit"]
 
-_LOGGER = get_logger("replica.refit")
+logger = logging.getLogger(__name__)
 
 
 class RefitCoordinator:
@@ -78,7 +78,7 @@ class RefitCoordinator:
                 raise ServingError("cannot refit a closed replica set")
             generation_from = replica_set.fit_generation
             generation_to = generation_from + 1
-            _LOGGER.info(
+            logger.info(
                 "refit: training %d standby replica(s) for generation %d",
                 replica_set.num_replicas,
                 generation_to,
@@ -137,7 +137,7 @@ class RefitCoordinator:
             replica_set._archive_retired(previous)
             with self._history_lock:
                 self._history.append(report)
-            _LOGGER.info(
+            logger.info(
                 "refit: generation %d -> %d flipped in %.1f us "
                 "(%d request(s) in flight finished on the old generation)",
                 generation_from,
@@ -169,7 +169,7 @@ class RefitHandle:
             self.report = self._set.refit()
         except BaseException as exc:  # noqa: BLE001 - surfaced via .error/.result()
             self.error = exc
-            _LOGGER.exception("scheduled refit failed")
+            logger.exception("scheduled refit failed")
 
     def join(self, timeout: "float | None" = None) -> None:
         self._thread.join(timeout)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 
+from repro.obs.registry import MetricGroup, get_registry
 from repro.serve.request import ServeRequest
 
 __all__ = ["Replica", "EWMA_ALPHA", "LATENCY_WINDOW", "MIN_WARM_SAMPLES"]
@@ -58,6 +59,15 @@ class Replica:
         self._completed = 0
         self._ewma_depth = 0.0
         self._latencies_ms: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+        # The replica's own lock stays authoritative for the read-modify-
+        # write load math; the resulting signals mirror into registry gauges
+        # so dispatcher load is visible in `repro-irs metrics` exports.
+        registry = get_registry()
+        self._metrics = MetricGroup(
+            registry,
+            registry.scope("replica.load"),
+            gauges=("inflight", "dispatched", "completed", "ewma_depth"),
+        )
 
     # ------------------------------------------------------------------ #
     # Health
@@ -88,6 +98,13 @@ class Replica:
             self._ewma_depth = (
                 EWMA_ALPHA * self._inflight + (1.0 - EWMA_ALPHA) * self._ewma_depth
             )
+            self._metrics.record(
+                set_={
+                    "inflight": self._inflight,
+                    "dispatched": self._dispatched,
+                    "ewma_depth": round(self._ewma_depth, 6),
+                }
+            )
 
     def on_dispatch_failed(self) -> None:
         """The enqueue raised (queue full / replica retired): undo the
@@ -95,6 +112,9 @@ class Replica:
         with self._lock:
             self._inflight = max(self._inflight - 1, 0)
             self._dispatched -= 1
+            self._metrics.record(
+                set_={"inflight": self._inflight, "dispatched": self._dispatched}
+            )
 
     def on_complete(self, request: ServeRequest) -> None:
         """A dispatched request's future resolved (answer or error)."""
@@ -105,6 +125,9 @@ class Replica:
                 self._latencies_ms.append(
                     1000.0 * (request.completed_at - request.enqueued_at)
                 )
+            self._metrics.record(
+                set_={"inflight": self._inflight, "completed": self._completed}
+            )
 
     # ------------------------------------------------------------------ #
     # Scoring

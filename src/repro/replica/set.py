@@ -30,6 +30,7 @@ any dispatch interleaving; the parity suite in ``tests/replica`` mirrors
 
 from __future__ import annotations
 
+import logging
 import threading
 from concurrent.futures import Future
 from typing import Callable, Sequence
@@ -42,11 +43,10 @@ from repro.serve.admission import AdmissionController
 from repro.serve.loop import ServingLoop
 from repro.serve.request import ServeRequest
 from repro.utils.exceptions import ConfigurationError, QueueFullError, ServingError
-from repro.utils.logging import get_logger
 
 __all__ = ["ReplicaSet"]
 
-_LOGGER = get_logger("replica.set")
+logger = logging.getLogger(__name__)
 
 
 class _FleetAdmission:
@@ -100,6 +100,9 @@ class ReplicaSet:
     dispatch_policy:
         ``least_loaded`` (default) or ``round_robin``; ``None`` reads
         ``REPRO_DISPATCH_POLICY``.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` shared by every replica's
+        serving loop; ``None`` leaves tracing off (the zero-cost default).
     """
 
     #: Dispatch retries across a concurrent generation flip: an enqueue can
@@ -116,6 +119,7 @@ class ReplicaSet:
         admission_policy: "str | None" = None,
         drain_deadline: "float | None" = None,
         dispatch_policy: "str | None" = None,
+        tracer: "object | None" = None,
     ) -> None:
         if not callable(planner_factory):
             raise ConfigurationError(
@@ -124,11 +128,15 @@ class ReplicaSet:
             )
         self._factory = planner_factory
         self.num_replicas = resolve_num_replicas(num_replicas)
+        # One tracer is shared by every replica's loop (including standby
+        # generations built mid-refit), so a request traced across a flip
+        # boundary lands in the same retained-trace list.
         self._loop_kwargs = dict(
             num_queues=num_queues,
             max_queue_depth=max_queue_depth,
             admission_policy=admission_policy,
             drain_deadline=drain_deadline,
+            tracer=tracer,
         )
         # Resolves (and validates) the admission knobs once; every replica
         # loop resolves the same values again from the same arguments.
@@ -307,6 +315,12 @@ class ReplicaSet:
             self._generation = generation
             self._retired.extend(previous)
             self.dispatcher.reset(self._active)
+        logger.info(
+            "refit flip: generation %d active on %d replica(s); %d replica(s) retiring",
+            generation,
+            len(standby),
+            len(previous),
+        )
         return previous
 
     # ------------------------------------------------------------------ #

@@ -4,7 +4,9 @@ One :class:`AdmissionController` is shared by every shard queue of a
 :class:`~repro.serve.loop.ServingLoop`.  It owns the three knobs the issue
 names — bounded queue depth, reject-or-block policy, and the drain-deadline
 micro-batching window — and the fleet-wide admitted/rejected/blocked
-counters (lock-guarded, snapshot-atomic like the cache counters).
+counters, which live in the process-wide metrics registry
+(:mod:`repro.obs.registry`) so :meth:`counters` is one atomic registry read
+and the serving loop's ``stats()`` can fold them into a single snapshot.
 
 The controller decides, it does not wait: a queue at its depth bound asks
 :meth:`AdmissionController.on_full` whether the producer should block until
@@ -16,8 +18,9 @@ per-shard — a hot shard never stalls traffic routed elsewhere.
 
 from __future__ import annotations
 
-import threading
+import logging
 
+from repro.obs.registry import MetricGroup, get_registry
 from repro.serve.config import (
     resolve_admission_policy,
     resolve_drain_deadline,
@@ -26,6 +29,8 @@ from repro.serve.config import (
 from repro.utils.exceptions import QueueFullError
 
 __all__ = ["AdmissionController"]
+
+logger = logging.getLogger(__name__)
 
 
 class AdmissionController:
@@ -37,6 +42,7 @@ class AdmissionController:
         policy: "str | None" = None,
         drain_deadline: "float | None" = None,
         scope: "str | None" = None,
+        metrics_scope: "str | None" = None,
     ) -> None:
         self.max_queue_depth = resolve_max_queue_depth(max_queue_depth)
         self.policy = resolve_admission_policy(policy)
@@ -46,10 +52,16 @@ class AdmissionController:
         #: describe() and back-pressure errors, so per-replica queue depth
         #: stays attributable after aggregation.
         self.scope = scope
-        self._lock = threading.Lock()
-        self._admitted = 0
-        self._rejected = 0
-        self._blocked = 0
+        registry = get_registry()
+        #: Registry namespace: the owning loop passes ``<loop>.admission`` so
+        #: its whole stats tree shares one snapshot prefix; standalone
+        #: controllers get an auto-indexed scope.
+        self.metrics_scope = (
+            metrics_scope if metrics_scope is not None else registry.scope("serve.admission")
+        )
+        self._metrics = MetricGroup(
+            registry, self.metrics_scope, counters=("admitted", "rejected", "blocked")
+        )
 
     # ------------------------------------------------------------------ #
     def on_full(self, shard: int, depth: int) -> None:
@@ -61,9 +73,14 @@ class AdmissionController:
         lost notify races must not inflate the counter.
         """
         if self.policy == "reject":
-            with self._lock:
-                self._rejected += 1
+            self._metrics.record(add={"rejected": 1})
             where = f"{self.scope} shard {shard}" if self.scope else f"shard {shard}"
+            logger.warning(
+                "admission rejected request: %s queue full (depth %d >= max %d)",
+                where,
+                depth,
+                self.max_queue_depth,
+            )
             raise QueueFullError(
                 f"{where} request queue is full "
                 f"(depth {depth} >= max_queue_depth {self.max_queue_depth}); "
@@ -72,22 +89,15 @@ class AdmissionController:
 
     def on_blocked(self) -> None:
         """One request entered the blocked state (counted once per request)."""
-        with self._lock:
-            self._blocked += 1
+        self._metrics.record(add={"blocked": 1})
 
     def on_admitted(self) -> None:
-        with self._lock:
-            self._admitted += 1
+        self._metrics.record(add={"admitted": 1})
 
     # ------------------------------------------------------------------ #
     def counters(self) -> dict:
-        """One locked snapshot of the admission counters."""
-        with self._lock:
-            counters = {
-                "admitted": self._admitted,
-                "rejected": self._rejected,
-                "blocked": self._blocked,
-            }
+        """One atomic registry snapshot of the admission counters."""
+        counters = self._metrics.values()
         if self.scope is not None:
             counters["scope"] = self.scope
         return counters

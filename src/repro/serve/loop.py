@@ -21,6 +21,16 @@ never *what* is answered.  (The one caveat is inherited from
 ``plan_for_requests``: a serving cache small enough to evict mid-batch may
 reorder evictions; the default sizes never do.)
 
+Observability: the loop owns one registry namespace (``serve.loop.<n>``)
+covering its admission counters, every shard queue's depth/batch counters
+and the in-loop latency accounting, so :meth:`stats` is ONE atomic registry
+snapshot — no more composing independently-locked reads.  With a
+:class:`~repro.obs.trace.Tracer` injected and enabled, each admitted
+request carries a :class:`~repro.obs.trace.Trace` recording admission,
+queue wait and drain spans here, plus the planner/executor spans recorded
+through the drain thread's :class:`~repro.obs.trace.BatchSink`; disabled
+tracing (the default) allocates nothing on this path.
+
 Shutdown is graceful: :meth:`close` stops admissions, drains every queue
 dry, and joins the drain threads — no accepted request is ever dropped.
 """
@@ -28,27 +38,43 @@ dry, and joins the drain threads — no accepted request is ever dropped.
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 import time
 from concurrent.futures import Future
 from typing import Sequence
 
+from repro.obs.registry import MetricGroup, get_registry
+from repro.obs.trace import NULL_TRACER, BatchSink, Tracer, use_sink
 from repro.serve.admission import AdmissionController
 from repro.serve.queue import RequestQueue
 from repro.serve.request import ServeRequest
 from repro.shard.partition import shard_index
 from repro.utils.exceptions import ConfigurationError, ServingError
-from repro.utils.logging import get_logger
 
 __all__ = ["ServingLoop"]
 
-_LOGGER = get_logger("serve.loop")
+logger = logging.getLogger(__name__)
 
 #: Process-wide micro-batch tags: unique across every loop (and therefore
 #: every replica), so grouping answered requests by tag recovers the exact
 #: drain batches — the refit race tests rely on tags never colliding
 #: between an old-generation and a new-generation replica's drains.
 _BATCH_TAGS = itertools.count(1)
+
+_LATENCY_COUNTERS = ("served", "wait_sum_s", "latency_sum_s")
+_LATENCY_GAUGES = ("wait_max_s", "latency_max_s")
+_QUEUE_STAT_FIELDS = (
+    "depth",
+    "enqueued",
+    "depth_max",
+    "depth_sum",
+    "depth_samples",
+    "micro_batches",
+    "micro_batch_requests",
+    "micro_batch_max",
+    "empty_drains",
+)
 
 
 class ServingLoop:
@@ -73,6 +99,10 @@ class ServingLoop:
         Label stamped on this loop's admission counters and back-pressure
         errors (the replica set names each loop ``replica-<id>``, so depth
         accounting stays attributable per replica in fleet-wide stats).
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` to begin per-request traces
+        with.  Defaults to the disabled :data:`~repro.obs.trace.NULL_TRACER`
+        — one boolean check per request, no allocation.
     """
 
     def __init__(
@@ -83,6 +113,7 @@ class ServingLoop:
         admission_policy: "str | None" = None,
         drain_deadline: "float | None" = None,
         admission_scope: "str | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if not hasattr(planner, "plan_for_requests"):
             raise ConfigurationError(
@@ -97,26 +128,41 @@ class ServingLoop:
             )
         self.planner = planner
         self.num_queues = num_queues
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # One registry namespace for the whole loop: admission, every shard
+        # queue and the latency accounting hang under it, so stats() is one
+        # atomic snapshot of the subtree.
+        registry = get_registry()
+        self.metrics_scope = registry.scope("serve.loop")
         self.admission = AdmissionController(
             max_queue_depth=max_queue_depth,
             policy=admission_policy,
             drain_deadline=drain_deadline,
             scope=admission_scope,
+            metrics_scope=f"{self.metrics_scope}.admission",
         )
-        self.queues = [RequestQueue(shard, self.admission) for shard in range(num_queues)]
+        self.queues = [
+            RequestQueue(
+                shard, self.admission, metrics_scope=f"{self.metrics_scope}.queue{shard}"
+            )
+            for shard in range(num_queues)
+        ]
         self._threads: "list[threading.Thread]" = []
         self._state_lock = threading.Lock()
         self._started = False
         self._closed = False
-        # In-loop latency accounting (enqueue -> response ready), guarded by
-        # one lock and snapshot in stats() — percentiles live in the traffic
-        # driver, which keeps every sample.
-        self._latency_lock = threading.Lock()
-        self._served = 0
-        self._wait_sum = 0.0
-        self._wait_max = 0.0
-        self._latency_sum = 0.0
-        self._latency_max = 0.0
+        # In-loop latency accounting (enqueue -> response ready): sums and
+        # maxima accumulate per drained batch in ONE registry-lock
+        # acquisition; full distributions land in the two histograms (the
+        # traffic driver keeps every sample for percentile reports).
+        self._latency = MetricGroup(
+            registry,
+            f"{self.metrics_scope}.latency",
+            counters=_LATENCY_COUNTERS,
+            gauges=_LATENCY_GAUGES,
+        )
+        self._latency_hist = registry.histogram(f"{self.metrics_scope}.latency.latency_ms")
+        self._wait_hist = registry.histogram(f"{self.metrics_scope}.latency.wait_ms")
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -158,7 +204,7 @@ class ServingLoop:
                 thread.join()
         else:
             for queue in self.queues:
-                self._serve_batch(queue.pop_all())
+                self._serve_batch(queue.pop_all(), shard=queue.shard)
 
     def __enter__(self) -> "ServingLoop":
         return self.start()
@@ -200,7 +246,25 @@ class ServingLoop:
         """Admit a pre-built request envelope (the traffic driver's entry
         point — it keeps the envelope to read ``completed_at`` afterwards)."""
         shard = shard_index(request.routing_key(), self.num_queues)
-        self.queues[shard].put(request)
+        # Hot-path guard: with tracing disabled this is one attribute check
+        # and no allocation (the overhead contract's structural no-op).
+        if self.tracer.enabled and request.trace is None:
+            request.trace = self.tracer.begin(
+                request.routing_key(), kind=request.kind
+            )
+        trace = request.trace
+        if trace is not None:
+            admit_start = time.perf_counter()
+            self.queues[shard].put(request)
+            trace.span(
+                "admission",
+                admit_start,
+                time.perf_counter(),
+                shard=shard,
+                replica=request.replica_index,
+            )
+        else:
+            self.queues[shard].put(request)
         return request.future
 
     def submit_next_step(
@@ -235,9 +299,9 @@ class ServingLoop:
             batch = queue.collect()
             if batch is None:
                 return
-            self._serve_batch(batch)
+            self._serve_batch(batch, shard=queue.shard)
 
-    def _serve_batch(self, batch: "list[ServeRequest]") -> None:
+    def _serve_batch(self, batch: "list[ServeRequest]", shard: "int | None" = None) -> None:
         """Answer one micro-batch; an empty drain is a no-op by contract."""
         if not batch:
             return
@@ -248,33 +312,81 @@ class ServingLoop:
         # stamping it batch-wide is what makes a torn micro-batch impossible.
         generation = getattr(self.planner, "serving_generation", None)
         batch_tag = next(_BATCH_TAGS)
+        # The sink carries the batch's traces to the planner/executor layers
+        # below (beam depths, shard scatter/gather, cache decisions); None
+        # whenever no request in the batch is traced, making use_sink a pass-
+        # through.
+        sink = None
+        if self.tracer.enabled:
+            candidate = BatchSink([request.trace for request in batch])
+            if candidate:
+                sink = candidate
         try:
-            answers = self.planner.plan_for_requests(
-                [request.plan_tuple() for request in batch]
-            )
+            with use_sink(sink):
+                answers = self.planner.plan_for_requests(
+                    [request.plan_tuple() for request in batch]
+                )
         except BaseException as exc:  # noqa: BLE001 - delivered via the futures
-            _LOGGER.exception(
+            logger.exception(
                 "serving drain failed for %d request(s) on shard %d",
                 len(batch),
-                self._shard_of(batch[0]),
+                self._shard_of(batch[0]) if shard is None else shard,
             )
             for request in batch:
+                self.tracer.finish(request.trace)
                 request.future.set_exception(exc)
             return
         done = time.perf_counter()
-        with self._latency_lock:
+        # completed_at (and the generation/tag stamps) are written BEFORE the
+        # future resolves, so any thread woken by future.result() reads a
+        # complete envelope; the latency sums accumulate locally and land in
+        # the registry in ONE locked record call per batch.
+        wait_sum = 0.0
+        wait_max = 0.0
+        latency_sum = 0.0
+        latency_max = 0.0
+        for request in batch:
+            request.completed_at = done
+            request.served_generation = generation
+            request.batch_tag = batch_tag
+            wait = drain_started - request.enqueued_at
+            latency = done - request.enqueued_at
+            wait_sum += wait
+            latency_sum += latency
+            if wait > wait_max:
+                wait_max = wait
+            if latency > latency_max:
+                latency_max = latency
+        self._latency.record(
+            add={
+                "served": len(batch),
+                "wait_sum_s": wait_sum,
+                "latency_sum_s": latency_sum,
+            },
+            max_={"wait_max_s": wait_max, "latency_max_s": latency_max},
+        )
+        self._latency_hist.observe_many(
+            1000.0 * (done - request.enqueued_at) for request in batch
+        )
+        self._wait_hist.observe_many(
+            1000.0 * (drain_started - request.enqueued_at) for request in batch
+        )
+        if sink is not None:
             for request in batch:
-                request.completed_at = done
-                request.served_generation = generation
-                request.batch_tag = batch_tag
-                wait = drain_started - request.enqueued_at
-                latency = done - request.enqueued_at
-                self._served += 1
-                self._wait_sum += wait
-                self._wait_max = max(self._wait_max, wait)
-                self._latency_sum += latency
-                self._latency_max = max(self._latency_max, latency)
+                trace = request.trace
+                if trace is not None:
+                    trace.span("queue.wait", request.enqueued_at, drain_started, shard=shard)
+                    trace.span(
+                        "serve.drain",
+                        drain_started,
+                        done,
+                        shard=shard,
+                        batch_tag=batch_tag,
+                        batch_size=len(batch),
+                        served_generation=generation,
+                    )
         for request, answer in zip(batch, answers):
+            self.tracer.finish(request.trace)
             request.future.set_result(answer)
 
     def _shard_of(self, request: ServeRequest) -> int:
@@ -290,25 +402,54 @@ class ServingLoop:
         return sum(len(queue) for queue in self.queues)
 
     def stats(self) -> dict:
-        """Queue depth, micro-batch, admission and in-loop latency counters."""
-        per_queue = [queue.stats() for queue in self.queues]
+        """Queue depth, micro-batch, admission and in-loop latency counters.
+
+        The whole report comes from ONE atomic registry snapshot of this
+        loop's namespace — admission, every queue and the latency sums are
+        mutually consistent, with no window for a drain thread to slip an
+        update between two reads.
+        """
+        snapshot = get_registry().snapshot(self.metrics_scope)
+        flat = dict(snapshot["counters"])
+        flat.update(snapshot["gauges"])
+
+        per_queue = []
+        for queue in self.queues:
+            values = {
+                name: flat.get(f"{queue.metrics_scope}.{name}", 0)
+                for name in _QUEUE_STAT_FIELDS
+            }
+            per_queue.append(RequestQueue._shape_stats(queue.shard, values))
+
+        admission = {
+            name: flat.get(f"{self.metrics_scope}.admission.{name}", 0)
+            for name in ("admitted", "rejected", "blocked")
+        }
+        if self.admission.scope is not None:
+            admission["scope"] = self.admission.scope
+
+        latency_scope = f"{self.metrics_scope}.latency"
+        served = flat.get(f"{latency_scope}.served", 0)
+        wait_sum = flat.get(f"{latency_scope}.wait_sum_s", 0.0)
+        latency_sum = flat.get(f"{latency_scope}.latency_sum_s", 0.0)
+        latency = {
+            "mean_ms": round(1000.0 * latency_sum / served, 3) if served else 0.0,
+            "max_ms": round(1000.0 * flat.get(f"{latency_scope}.latency_max_s", 0.0), 3),
+            "queue_wait_mean_ms": (
+                round(1000.0 * wait_sum / served, 3) if served else 0.0
+            ),
+            "queue_wait_max_ms": round(
+                1000.0 * flat.get(f"{latency_scope}.wait_max_s", 0.0), 3
+            ),
+        }
+
         depth_samples = sum(q["depth_samples"] for q in per_queue)
         batches = sum(q["micro_batches"] for q in per_queue)
         batch_requests = sum(q["micro_batch_requests"] for q in per_queue)
-        with self._latency_lock:
-            served = self._served
-            latency = {
-                "mean_ms": round(1000.0 * self._latency_sum / served, 3) if served else 0.0,
-                "max_ms": round(1000.0 * self._latency_max, 3),
-                "queue_wait_mean_ms": (
-                    round(1000.0 * self._wait_sum / served, 3) if served else 0.0
-                ),
-                "queue_wait_max_ms": round(1000.0 * self._wait_max, 3),
-            }
         return {
             "num_queues": self.num_queues,
             **self.admission.describe(),
-            "admission": self.admission.counters(),
+            "admission": admission,
             "served": served,
             "queue_depth": {
                 "max": max((q["depth_max"] for q in per_queue), default=0),

@@ -12,6 +12,12 @@ controller's ``drain_deadline`` (anchored at the FIRST enqueue, so the
 window bounds worst-case queueing latency instead of sliding), then pops
 everything as one micro-batch.  A queue at its depth bound drains
 immediately — releasing back-pressure beats finishing the batching window.
+
+The depth/batch counters live in the process-wide metrics registry
+(:mod:`repro.obs.registry`) under the queue's ``metrics_scope``; the
+condition variable still serialises the FIFO itself, while each counter
+update is one registry-lock acquisition so :meth:`stats` — and the owning
+loop's whole-tree snapshot — read atomically.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import threading
 import time
 from collections import deque
 
+from repro.obs.registry import MetricGroup, get_registry
 from repro.serve.admission import AdmissionController
 from repro.serve.request import ServeRequest
 from repro.utils.exceptions import ServingError
@@ -30,21 +37,34 @@ __all__ = ["RequestQueue"]
 class RequestQueue:
     """A bounded FIFO of serve requests for one worker shard."""
 
-    def __init__(self, shard: int, admission: AdmissionController) -> None:
+    def __init__(
+        self,
+        shard: int,
+        admission: AdmissionController,
+        metrics_scope: "str | None" = None,
+    ) -> None:
         self.shard = shard
         self.admission = admission
         self._cond = threading.Condition()
         self._items: "deque[ServeRequest]" = deque()
         self._closed = False
-        # Stats (all mutated under the condition's lock).
-        self._enqueued = 0
-        self._depth_max = 0
-        self._depth_sum = 0
-        self._depth_samples = 0
-        self._batches = 0
-        self._batch_requests = 0
-        self._batch_max = 0
-        self._empty_drains = 0
+        registry = get_registry()
+        self.metrics_scope = (
+            metrics_scope if metrics_scope is not None else registry.scope("serve.queue")
+        )
+        self._metrics = MetricGroup(
+            registry,
+            self.metrics_scope,
+            counters=(
+                "enqueued",
+                "depth_sum",
+                "depth_samples",
+                "micro_batches",
+                "micro_batch_requests",
+                "empty_drains",
+            ),
+            gauges=("depth", "depth_max", "micro_batch_max"),
+        )
 
     def __len__(self) -> int:
         with self._cond:
@@ -78,10 +98,11 @@ class RequestQueue:
             self._items.append(request)
             self.admission.on_admitted()
             depth = len(self._items)
-            self._enqueued += 1
-            self._depth_max = max(self._depth_max, depth)
-            self._depth_sum += depth
-            self._depth_samples += 1
+            self._metrics.record(
+                add={"enqueued": 1, "depth_sum": depth, "depth_samples": 1},
+                max_={"depth_max": depth},
+                set_={"depth": depth},
+            )
             self._cond.notify_all()
 
     # ------------------------------------------------------------------ #
@@ -119,11 +140,13 @@ class RequestQueue:
         batch = list(self._items)
         self._items.clear()
         if batch:
-            self._batches += 1
-            self._batch_requests += len(batch)
-            self._batch_max = max(self._batch_max, len(batch))
+            self._metrics.record(
+                add={"micro_batches": 1, "micro_batch_requests": len(batch)},
+                max_={"micro_batch_max": len(batch)},
+                set_={"depth": 0},
+            )
         else:
-            self._empty_drains += 1
+            self._metrics.record(add={"empty_drains": 1}, set_={"depth": 0})
         self._cond.notify_all()  # wake producers blocked on back-pressure
         return batch
 
@@ -141,27 +164,37 @@ class RequestQueue:
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
-        """One locked snapshot of this queue's depth and batch counters."""
-        with self._cond:
-            return {
-                "shard": self.shard,
-                "depth": len(self._items),
-                "enqueued": self._enqueued,
-                "depth_max": self._depth_max,
-                "depth_sum": self._depth_sum,
-                "depth_samples": self._depth_samples,
-                "depth_mean": (
-                    round(self._depth_sum / self._depth_samples, 3)
-                    if self._depth_samples
-                    else 0.0
-                ),
-                "micro_batches": self._batches,
-                "micro_batch_requests": self._batch_requests,
-                "micro_batch_max": self._batch_max,
-                "micro_batch_mean": (
-                    round(self._batch_requests / self._batches, 3)
-                    if self._batches
-                    else 0.0
-                ),
-                "empty_drains": self._empty_drains,
-            }
+        """One atomic registry snapshot of this queue's counters."""
+        values = self._metrics.values()
+        return self._shape_stats(self.shard, values)
+
+    @staticmethod
+    def _shape_stats(shard: int, values: dict) -> dict:
+        """Reshape a flat counter mapping into the public stats dict.
+
+        Shared with :meth:`ServingLoop.stats`, which reads every queue's
+        counters out of ONE whole-tree registry snapshot and shapes each
+        queue's slice through here.
+        """
+        return {
+            "shard": shard,
+            "depth": values["depth"],
+            "enqueued": values["enqueued"],
+            "depth_max": values["depth_max"],
+            "depth_sum": values["depth_sum"],
+            "depth_samples": values["depth_samples"],
+            "depth_mean": (
+                round(values["depth_sum"] / values["depth_samples"], 3)
+                if values["depth_samples"]
+                else 0.0
+            ),
+            "micro_batches": values["micro_batches"],
+            "micro_batch_requests": values["micro_batch_requests"],
+            "micro_batch_max": values["micro_batch_max"],
+            "micro_batch_mean": (
+                round(values["micro_batch_requests"] / values["micro_batches"], 3)
+                if values["micro_batches"]
+                else 0.0
+            ),
+            "empty_drains": values["empty_drains"],
+        }

@@ -62,6 +62,12 @@ class ServeRequest:
     #: Replica that served this request, when routed through a
     #: :class:`~repro.replica.ReplicaSet` (``None`` under a plain loop).
     replica_index: "int | None" = None
+    #: The request's :class:`~repro.obs.trace.Trace`, begun by the serving
+    #: loop at admission when its tracer is enabled and this request was
+    #: sampled; ``None`` otherwise (the default — tracing is opt-in, and an
+    #: untraced request never allocates a trace object).  Typed loosely so
+    #: the envelope does not import the observability layer.
+    trace: "object | None" = None
 
     @classmethod
     def create(

@@ -43,11 +43,14 @@ call returns — identical results, no pending state to track.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Hashable, Sequence, TypeVar
 
+from repro.obs.trace import current_sink
 from repro.shard.config import (
     VALID_BACKENDS,
     resolve_num_workers,
@@ -55,11 +58,10 @@ from repro.shard.config import (
 )
 from repro.shard.partition import partition_indices
 from repro.utils.exceptions import ConfigurationError, StaleGenerationError
-from repro.utils.logging import get_logger
 
 __all__ = ["ShardedExecutor"]
 
-_LOGGER = get_logger("shard.executor")
+logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -133,6 +135,12 @@ class ShardedExecutor:
         if generation_guard is not None:
             observed = generation_guard()
             if observed != expected:
+                logger.warning(
+                    "generation guard tripped mid-dispatch: %r -> %r across %d shard(s)",
+                    expected,
+                    observed,
+                    len(tasks),
+                )
                 raise StaleGenerationError(
                     f"generation changed from {expected!r} to {observed!r} during a "
                     f"fused {len(tasks)}-shard dispatch; the micro-batch would mix "
@@ -235,7 +243,7 @@ class ShardedExecutor:
         # results are bit-identical by the sharding contract, only the
         # parallelism is lost, and the log says why.
         if threading.active_count() > 1:
-            _LOGGER.warning(
+            logger.warning(
                 "process shard backend: %d other thread(s) alive at fork time; "
                 "running %d shard(s) in-thread instead (results are identical)",
                 threading.active_count() - 1,
@@ -282,18 +290,40 @@ class ShardedExecutor:
             if generation_guard is not None:
                 observed = generation_guard()
                 if observed != expected:
+                    logger.warning(
+                        "generation guard tripped mid-dispatch: %r -> %r "
+                        "(single-worker, %d item(s))",
+                        expected,
+                        observed,
+                        len(items),
+                    )
                     raise StaleGenerationError(
                         f"generation changed from {expected!r} to {observed!r} "
                         f"during a single-worker dispatch of {len(items)} item(s)"
                     )
             return results_inline
+        # A traced serving drain above installed a batch sink: record the
+        # partition step (scatter) and the result merge (gather) as
+        # batch-wide spans.  One thread-local read when untraced.
+        sink = current_sink()
+        scatter_started = time.perf_counter() if sink is not None else 0.0
         shards = partition_indices(keys, self.num_workers)
         tasks = [
             (shard, [items[i] for i in indices])
             for shard, indices in enumerate(shards)
             if indices
         ]
+        if sink is not None:
+            sink.batch_span(
+                "shard.scatter",
+                scatter_started,
+                time.perf_counter(),
+                items=len(items),
+                shards=len(tasks),
+                backend=self.backend,
+            )
         shard_results = self.run_shards(tasks, fn, generation_guard=generation_guard)
+        gather_started = time.perf_counter() if sink is not None else 0.0
         results: "list[R | None]" = [None] * len(items)
         for (shard, shard_items), returned in zip(tasks, shard_results):
             indices = shards[shard]
@@ -304,4 +334,13 @@ class ShardedExecutor:
                 )
             for position, result in zip(indices, returned):
                 results[position] = result
+        if sink is not None:
+            sink.batch_span(
+                "shard.gather",
+                gather_started,
+                time.perf_counter(),
+                items=len(items),
+                shards=len(tasks),
+                backend=self.backend,
+            )
         return results  # type: ignore[return-value]

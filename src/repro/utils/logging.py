@@ -1,16 +1,28 @@
 """Logging helpers.
 
-The package uses the standard :mod:`logging` module.  :func:`get_logger`
-returns namespaced loggers (``repro.<component>``) with a single stream
-handler attached to the root package logger, so applications embedding the
-library can reconfigure output as usual.
+The package uses the standard :mod:`logging` module.  Modules declare
+``logger = logging.getLogger(__name__)`` at module level — since every
+module lives under the ``repro`` package, those loggers inherit the single
+stream handler that :func:`_ensure_configured` attaches to the package
+root, and applications embedding the library can reconfigure output as
+usual.  (:func:`get_logger` remains for callers composing names by hand.)
+
+The package-wide level resolves through :func:`resolve_log_level` with the
+standard precedence (explicit argument > ``REPRO_LOG_LEVEL`` > ``INFO``);
+``repro-irs --log-level`` and the env hook both land in
+:func:`configure_logging`.
 """
 
 from __future__ import annotations
 
 import logging
+import os
+
+from repro.utils.exceptions import ConfigurationError
 
 _ROOT_NAME = "repro"
+_ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+DEFAULT_LOG_LEVEL = logging.INFO
 _configured = False
 
 
@@ -44,3 +56,40 @@ def set_verbosity(level: int) -> None:
     """Set the log level of the whole package (e.g. ``logging.DEBUG``)."""
     _ensure_configured()
     logging.getLogger(_ROOT_NAME).setLevel(level)
+
+
+def resolve_log_level(value: "str | int | None" = None) -> int:
+    """Package log level: explicit > ``REPRO_LOG_LEVEL`` > ``INFO``.
+
+    Accepts standard level names (``DEBUG`` … ``CRITICAL``, case-insensitive)
+    or numeric levels.
+    """
+
+    def parse(raw, source):
+        if isinstance(raw, int):
+            return raw
+        text = str(raw).strip()
+        if text.isdigit():
+            return int(text)
+        resolved = logging.getLevelName(text.upper())
+        if isinstance(resolved, int):
+            return resolved
+        raise ConfigurationError(
+            f"log level must be a standard level name or integer, got {raw!r} "
+            f"(from {source})"
+        )
+
+    if value is not None:
+        return parse(value, "argument")
+    env = os.environ.get(_ENV_LOG_LEVEL)
+    if env is not None and env != "":
+        return parse(env, f"${_ENV_LOG_LEVEL}")
+    return DEFAULT_LOG_LEVEL
+
+
+def configure_logging(level: "str | int | None" = None) -> int:
+    """Resolve the level (see :func:`resolve_log_level`) and apply it to the
+    package root.  Returns the numeric level applied."""
+    resolved = resolve_log_level(level)
+    set_verbosity(resolved)
+    return resolved

@@ -1,0 +1,47 @@
+"""Fixtures for the observability suite.
+
+The backbone and contexts are session-scoped (read-only); planners,
+tracers and registries are built per test — tracing retains state and the
+contracts under test are about fresh instruments anyway.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beam import BeamSearchPlanner
+from repro.core.irn import IRN
+from repro.evaluation.protocol import sample_objectives
+
+MAX_LENGTH = 5
+
+
+@pytest.fixture(scope="session")
+def obs_irn(tiny_split):
+    return IRN(
+        embedding_dim=16,
+        user_dim=4,
+        num_heads=2,
+        num_layers=1,
+        epochs=1,
+        batch_size=32,
+        max_sequence_length=50,
+        seed=0,
+    ).fit(tiny_split)
+
+
+@pytest.fixture(scope="session")
+def obs_contexts(tiny_split):
+    instances = sample_objectives(tiny_split, min_objective_interactions=2, max_instances=6)
+    return [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+
+
+@pytest.fixture()
+def make_planner(obs_irn, tiny_split):
+    """Factory for fresh planners sharing the package backbone."""
+
+    def build(**kwargs):
+        kwargs.setdefault("max_length", MAX_LENGTH)
+        return BeamSearchPlanner(obs_irn, **kwargs).fit(tiny_split)
+
+    return build

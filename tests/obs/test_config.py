@@ -1,0 +1,85 @@
+"""Config resolvers: trace switches, sampling rate, log level."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs.config import (
+    DEFAULT_TRACE_ENABLED,
+    DEFAULT_TRACE_SAMPLE_RATE,
+    resolve_trace_enabled,
+    resolve_trace_sample_rate,
+)
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.logging import resolve_log_level
+
+
+def test_trace_enabled_defaults_off(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert DEFAULT_TRACE_ENABLED is False
+    assert resolve_trace_enabled() is False
+
+
+@pytest.mark.parametrize("raw,expected", [
+    ("1", True), ("true", True), ("YES", True), ("on", True),
+    ("0", False), ("false", False), ("No", False), ("off", False),
+    (True, True), (False, False),
+])
+def test_trace_enabled_parses_switch_values(raw, expected):
+    assert resolve_trace_enabled(raw) is expected
+
+
+def test_trace_enabled_env_fallback(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    assert resolve_trace_enabled() is True
+    assert resolve_trace_enabled(False) is False  # explicit beats environment
+
+
+def test_trace_enabled_rejects_junk():
+    with pytest.raises(ConfigurationError, match="trace_enabled"):
+        resolve_trace_enabled("maybe")
+
+
+def test_sample_rate_defaults_to_full(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE_SAMPLE_RATE", raising=False)
+    assert resolve_trace_sample_rate() == DEFAULT_TRACE_SAMPLE_RATE == 1.0
+
+
+def test_sample_rate_env_and_explicit(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_SAMPLE_RATE", "0.25")
+    assert resolve_trace_sample_rate() == 0.25
+    assert resolve_trace_sample_rate("0.5") == 0.5
+
+
+@pytest.mark.parametrize("raw", ["-0.1", "1.5", "nan", "lots"])
+def test_sample_rate_rejects_out_of_range(raw):
+    with pytest.raises(ConfigurationError, match="trace_sample_rate"):
+        resolve_trace_sample_rate(raw)
+
+
+def test_log_level_defaults_to_info(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+    assert resolve_log_level() == logging.INFO
+
+
+@pytest.mark.parametrize("raw,expected", [
+    ("DEBUG", logging.DEBUG),
+    ("warning", logging.WARNING),
+    ("10", 10),
+    (logging.ERROR, logging.ERROR),
+])
+def test_log_level_parses_names_and_numbers(raw, expected):
+    assert resolve_log_level(raw) == expected
+
+
+def test_log_level_env_fallback(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+    assert resolve_log_level() == logging.DEBUG
+    assert resolve_log_level("ERROR") == logging.ERROR  # explicit beats env
+
+
+def test_log_level_rejects_junk():
+    with pytest.raises(ConfigurationError, match="log level"):
+        resolve_log_level("LOUD")

@@ -1,0 +1,69 @@
+"""Exporters: JSON and Prometheus text over one atomic snapshot."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    metrics_snapshot,
+    metrics_to_json,
+    metrics_to_prometheus,
+    traces_to_json,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve.loop.0.served").inc(12)
+    registry.gauge("serve.loop.0.queue0.depth").set(3)
+    histogram = registry.histogram("serve.loop.0.latency.latency_ms", buckets=(1.0, 10.0))
+    histogram.observe_many([0.5, 5.0, 50.0])
+    return registry
+
+
+def test_metrics_snapshot_prefix_filter():
+    registry = build_registry()
+    registry.counter("other.n").inc()
+    snapshot = metrics_snapshot(registry, prefix="serve.loop.0")
+    assert "other.n" not in snapshot["counters"]
+    assert snapshot["counters"]["serve.loop.0.served"] == 12
+
+
+def test_metrics_to_json_round_trips():
+    payload = json.loads(metrics_to_json(build_registry()))
+    assert payload["counters"]["serve.loop.0.served"] == 12
+    assert payload["gauges"]["serve.loop.0.queue0.depth"] == 3
+    assert payload["histograms"]["serve.loop.0.latency.latency_ms"]["count"] == 3
+
+
+def test_prometheus_text_format():
+    text = metrics_to_prometheus(build_registry())
+    lines = text.splitlines()
+    assert "# TYPE serve_loop_0_served_total counter" in lines
+    assert "serve_loop_0_served_total 12" in lines
+    assert "serve_loop_0_queue0_depth 3" in lines
+    # Histograms are cumulative with an explicit +Inf series.
+    assert 'serve_loop_0_latency_latency_ms_bucket{le="1.0"} 1' in lines
+    assert 'serve_loop_0_latency_latency_ms_bucket{le="10.0"} 2' in lines
+    assert 'serve_loop_0_latency_latency_ms_bucket{le="+Inf"} 3' in lines
+    assert "serve_loop_0_latency_latency_ms_count 3" in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_empty_registry_is_empty_text():
+    assert metrics_to_prometheus(MetricsRegistry()) == ""
+
+
+def test_traces_to_json_payload():
+    tracer = Tracer(enabled=True, sample_rate=1.0, registry=MetricsRegistry())
+    trace = tracer.begin(("history", 3, None), kind="next_step")
+    trace.span("serve.drain", 0.0, 0.005, shard=0)
+    tracer.finish(trace)
+    payload = json.loads(traces_to_json(tracer))
+    assert payload["sample_rate"] == 1.0
+    assert payload["counters"]["traces"] == 1
+    (exported,) = payload["traces"]
+    assert exported["trace_id"] == trace.trace_id
+    assert payload["summary"]["serve.drain"]["count"] == 1

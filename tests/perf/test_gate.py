@@ -52,6 +52,15 @@ def green_report() -> dict:
                 "refit": {"generation_from": 1, "generation_to": 2},
             },
         },
+        "observability": {
+            "disabled": {"p95_ms": 1.0, "allocation_delta": {}},
+            "enabled": {"p95_ms": 1.1},
+            "overhead": {"p95_delta_ms": 0.1, "budget_ms": 2.0, "within_budget": True},
+            "disabled_noop": True,
+            "deterministic_trace_ids": True,
+            "async_parity_with_tracing": True,
+            "replicated_parity_with_tracing": True,
+        },
     }
 
 
@@ -147,6 +156,35 @@ class TestCollectViolations:
         assert any(
             "did not refuse to run under grad" in v for v in collect_violations(report)
         )
+
+    def test_observability_disabled_allocation_fails(self):
+        report = green_report()
+        report["observability"]["disabled_noop"] = False
+        report["observability"]["disabled"]["allocation_delta"] = {"traces": 3}
+        violations = collect_violations(report)
+        assert any("zero-cost-when-off" in v and "'traces': 3" in v for v in violations)
+
+    def test_observability_overhead_over_budget_fails(self):
+        report = green_report()
+        report["observability"]["overhead"]["within_budget"] = False
+        assert any(
+            "overhead exceeded its budget" in v for v in collect_violations(report)
+        )
+
+    def test_observability_nondeterministic_trace_ids_fail(self):
+        report = green_report()
+        report["observability"]["deterministic_trace_ids"] = False
+        assert any(
+            "trace IDs differ" in v for v in collect_violations(report)
+        )
+
+    def test_observability_parity_bits_checked(self):
+        for bit in ("async_parity_with_tracing", "replicated_parity_with_tracing"):
+            report = green_report()
+            report["observability"][bit] = False
+            assert any(
+                "changed with tracing enabled" in v for v in collect_violations(report)
+            )
 
 
 class TestGateMain:
