@@ -197,6 +197,8 @@ def test_sections_filter_runs_subset():
         "sharded_evaluation",
         "async_serving",
         "replicated_serving",
+        "observability",
+        "two_stage_retrieval",
     )
     with pytest.raises(ConfigurationError, match="unknown bench section"):
         resolve_sections(["beam_planning", "quantum_planning"])
@@ -215,8 +217,49 @@ def test_every_section_records_cpu_count_and_backend(smoke_report):
         "sharded_evaluation",
         "async_serving",
         "replicated_serving",
+        "observability",
+        "two_stage_retrieval",
     )
     for name in sections:
         assert smoke_report[name]["cpu_count"] == smoke_report["machine"]["cpu_count"]
         assert "backend" in smoke_report[name]
     assert smoke_report["machine"]["platform"]
+
+
+def test_two_stage_retrieval_contract_bits(smoke_report):
+    """Retrieval-PR acceptance: full-vocabulary candidate sets plan
+    bit-identically to the exact planner, every candidate set contains its
+    objective, and both generator backends record overlap@k / plan regret
+    at every tier (the same bits repro.perf.gate enforces in CI)."""
+    section = smoke_report["two_stage_retrieval"]
+    assert section["full_vocab_parity"] is True
+    assert section["objective_in_candidates"] is True
+    assert section["tiers"]
+    for tier in section["tiers"]:
+        assert tier["exact"]["paths_per_sec"] > 0
+        assert tier["exact"]["step_p95_ms"] > 0
+        assert set(tier["generators"]) == {"cooccurrence", "ann"}
+        for row in tier["generators"].values():
+            assert 0.0 <= row["overlap_at_k"] <= 1.0
+            assert "mean_plan_regret" in row
+            assert row["paths_per_sec"] > 0
+            assert row["requests"] >= row["fallbacks"] >= 0
+            # +1: the objective is appended when the shortlist missed it.
+            assert 0 < row["mean_candidate_size"] <= section["num_candidates"] + 1
+
+
+def test_retrieval_sections_record_peak_rss(smoke_report):
+    """Satellite: the machine block and every section record peak RSS so
+    memory regressions show in the committed bench trajectory."""
+    import sys
+
+    if not sys.platform.startswith(("linux", "darwin")):
+        pytest.skip("ru_maxrss unavailable off-POSIX")
+    assert smoke_report["machine"]["peak_rss_kb"] > 0
+    assert smoke_report["two_stage_retrieval"]["peak_rss_kb"] > 0
+
+
+def test_retrieval_report_gates_green(smoke_report):
+    from repro.perf.gate import collect_violations
+
+    assert collect_violations(smoke_report, require=["two_stage_retrieval"]) == []

@@ -10,8 +10,10 @@ Examples
     repro-irs ablation-decoding --profile fast
     repro-irs ext-interactive --dataset lastfm
     repro-irs bench --profile fast
+    repro-irs bench --profile scale --sections two_stage_retrieval
     repro-irs bench --sections async_serving,irs_stepwise_replanning
     repro-irs serve-sim --profile fast --arrival-rate 200 --duration 1
+    repro-irs serve-sim --profile fast --retrieval cooccurrence --candidate-k 64
     repro-irs serve-sim --profile fast --replicas 2 --refit-at 0.5 --duration 2
     repro-irs serve-sim --profile fast --trace-sample-rate 0.5 --duration 1
     repro-irs trace --profile fast --output traces.json
@@ -23,11 +25,14 @@ future-work extensions (interactive simulation, knowledge graph, category
 objectives, path quality) and are run individually.  ``bench`` runs the
 :mod:`repro.perf.bench` harness (batched inference + cache subsystem +
 sharded execution + async serving) and prints cache hit rates and
-forwards/sec; ``--profile fast`` maps to the seconds-scale smoke profile,
-``--output`` overrides the JSON artefact path (default
-``BENCH_path_planning.json``) and ``--sections`` restricts the run to a
-comma-separated subset of sections (the full bench is slow; CI typically
-needs only the section under test).  ``--cprofile`` wraps the selected
+forwards/sec; ``--profile fast`` maps to the seconds-scale smoke profile
+and the bench/serving commands additionally accept the bench profile names
+directly (``smoke`` / ``default`` / ``scale`` — ``scale`` sweeps the
+two-stage retrieval section over 10^4/10^5-item corpora, opt-in larger
+tiers via ``REPRO_BENCH_SCALE_TIERS``).  ``--output`` overrides the JSON
+artefact path (default ``BENCH_path_planning.json``) and ``--sections``
+restricts the run to a comma-separated subset of sections (the full bench
+is slow; CI typically needs only the section under test).  ``--cprofile`` wraps the selected
 sections in :mod:`cProfile` and writes a pstats dump next to the JSON
 (named ``--cprofile`` because ``--profile`` already picks the corpus
 profile).
@@ -57,6 +62,13 @@ sharded section sweeps a fixed 1/2/4 worker grid); ``serve-sim`` honours
 ``--num-workers`` / ``--shard-backend`` / ``--vocab-shards`` and warns
 about ``--rollout-chunk-size`` (it drives ``next_step`` serving, not
 chunked evaluation rollouts).
+
+Two-stage retrieval (:mod:`repro.retrieval`): ``serve-sim --retrieval
+SPEC`` plugs a candidate generator (``none`` | ``full`` | ``ann`` |
+``cooccurrence``) into the serving planner so each plan scores exactly
+over a per-context shortlist instead of the full vocabulary;
+``--candidate-k`` sizes the shortlist (default 256).  The report gains a
+``retrieval`` block with the request/fallback/candidate counters.
 
 Observability (:mod:`repro.obs`): ``serve-sim --trace-sample-rate R``
 turns request tracing on for the run (deterministic sampling at rate
@@ -135,9 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dataset", choices=["movielens", "lastfm"], default="movielens")
     parser.add_argument(
         "--profile",
-        choices=["default", "fast"],
         default="default",
-        help="'fast' runs a seconds-scale smoke configuration",
+        help=(
+            "'fast' runs a seconds-scale smoke configuration; bench / serve-sim / "
+            "trace / metrics also accept the bench profiles directly "
+            "(smoke | default | scale)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=None, help="override the corpus scale")
@@ -260,6 +275,26 @@ def build_parser() -> argparse.ArgumentParser:
             "(default for 'trace': $REPRO_TRACE_SAMPLE_RATE or 1.0)"
         ),
     )
+    # Two-stage retrieval knobs (repro.retrieval) — raw strings validated
+    # through resolve_retrieval_spec / the generator constructors, same
+    # pattern as the serving flags above.
+    parser.add_argument(
+        "--retrieval",
+        default=None,
+        help=(
+            "serve-sim: candidate-generation backend for two-stage retrieval "
+            "(none | full | ann | cooccurrence; default: none = exact full-vocab "
+            "scoring)"
+        ),
+    )
+    parser.add_argument(
+        "--candidate-k",
+        default=None,
+        help=(
+            "serve-sim: candidate-set size per context for --retrieval "
+            "(default: 256; requires --retrieval)"
+        ),
+    )
     parser.add_argument(
         "--metrics-format",
         choices=["prometheus", "json"],
@@ -357,7 +392,59 @@ def _resolve_replica_args(args: argparse.Namespace, duration: float) -> dict:
     }
 
 
+def _resolve_bench_profile(value: str) -> str:
+    """Map the CLI ``--profile`` spelling onto a bench profile.
+
+    ``fast`` stays an alias of the smoke profile for the bench/serving
+    commands; anything else goes through
+    :func:`repro.perf.bench.resolve_profile`, which raises
+    ``ConfigurationError`` listing the known names — eagerly, before any
+    model trains.
+    """
+    from repro.perf.bench import resolve_profile
+
+    return resolve_profile("smoke" if value == "fast" else value)
+
+
+def _resolve_retrieval_args(args: argparse.Namespace):
+    """Validate the retrieval flags; returns ``(spec, candidate_k, generator)``.
+
+    ``generator`` is ``None`` for the exact (``none``) spec; the spec name
+    and shortlist size resolve through :mod:`repro.retrieval` so unknown
+    backends fail with the known-spec list before any model trains.
+    """
+    from repro.retrieval import make_generator, resolve_retrieval_spec
+    from repro.utils.exceptions import ConfigurationError
+
+    spec = resolve_retrieval_spec(args.retrieval)
+    candidate_k = args.candidate_k
+    if candidate_k is not None and spec == "none":
+        raise ConfigurationError(
+            "--candidate-k sizes the retrieval shortlist and requires "
+            "--retrieval (full | ann | cooccurrence)"
+        )
+    if candidate_k is None:
+        candidate_k = 256
+    else:
+        try:
+            candidate_k = int(candidate_k)
+        except ValueError:
+            raise ConfigurationError(
+                f"--candidate-k must be an integer, got {candidate_k!r}"
+            ) from None
+    generator = make_generator(spec, num_candidates=candidate_k)
+    return spec, candidate_k, generator
+
+
 def _make_config(args: argparse.Namespace) -> ExperimentConfig:
+    from repro.utils.exceptions import ConfigurationError
+
+    if args.profile not in ("default", "fast"):
+        raise ConfigurationError(
+            f"unknown profile {args.profile!r} for paper artefacts: choose "
+            "'default' or 'fast' (the bench profiles 'smoke'/'scale' apply "
+            "to the bench and serving commands only)"
+        )
     if args.profile == "fast":
         config = ExperimentConfig.fast(dataset=args.dataset, seed=args.seed)
     else:
@@ -495,7 +582,7 @@ def _run_bench(args: argparse.Namespace) -> int:
 
     sections = args.sections.split(",") if args.sections else None
     resolve_sections(sections)  # fail on typos before training the model
-    profile = "smoke" if args.profile == "fast" else "default"
+    profile = _resolve_bench_profile(args.profile)  # and on unknown profiles
     output = args.output or "BENCH_path_planning.json"
 
     def run() -> dict:
@@ -537,12 +624,14 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
     from repro.core.beam import BeamSearchPlanner
     from repro.core.irn import IRN
     from repro.evaluation.protocol import sample_objectives
-    from repro.perf.bench import build_bench_split, machine_info, smoke_config, default_config
+    from repro.perf.bench import build_bench_split, machine_info
+    from repro.perf.bench import bench_config as resolve_bench_config
     from repro.serve import ServingLoop, run_open_loop
 
     serve = _resolve_serve_args(args)
     replication = _resolve_replica_args(args, serve["duration"])
     num_workers, backend, vocab_shards, _ = _resolve_shard_args(args)
+    retrieval_spec, candidate_k, generator = _resolve_retrieval_args(args)
     tracer = None
     if args.trace_sample_rate is not None:
         from repro.obs import Tracer
@@ -557,7 +646,7 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
             "next_step serving traffic, not chunked evaluation rollouts",
             file=sys.stderr,
         )
-    bench_config = smoke_config() if args.profile == "fast" else default_config()
+    bench_config = resolve_bench_config(_resolve_bench_profile(args.profile))
     split = build_bench_split(bench_config)
     instances = sample_objectives(
         split,
@@ -568,6 +657,9 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
     contexts = [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
 
     def make_planner(backbone):
+        # The generator (when any) is shared across replicas/refits: the
+        # first fit trains it, later planner fits reuse it, so every
+        # generation serves from one identical shortlist index.
         return BeamSearchPlanner(
             backbone,
             beam_width=bench_config["beam_width"],
@@ -576,6 +668,7 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
             num_workers=num_workers,
             shard_backend=backend,
             vocab_shards=vocab_shards,
+            candidate_generator=generator,
         ).fit(split)
 
     replicated = replication["num_replicas"] > 1 or replication["refit_at"] is not None
@@ -643,6 +736,9 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         "num_queues": num_queues,
     }
     report["replication"] = {**replication, "enabled": replicated}
+    report["retrieval"] = {"spec": retrieval_spec, "candidate_k": candidate_k}
+    if generator is not None:
+        report["retrieval"]["metrics"] = planner.cache_info().get("retrieval")
     if tracer is not None:
         report["observability"] = {
             "sample_rate": tracer.sample_rate,
@@ -684,6 +780,13 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
                 f"{refit['inflight_at_flip']} request(s) in flight "
                 f"(completed during trace: {refit['completed_during_trace']})"
             )
+    if generator is not None:
+        metrics = report["retrieval"]["metrics"] or {}
+        print(
+            f"retrieval: {retrieval_spec} shortlists (k={candidate_k}), "
+            f"{metrics.get('requests', 0)} request(s), "
+            f"{metrics.get('fallbacks', 0)} fallback(s) to exact scoring"
+        )
     if tracer is not None:
         counters = report["observability"]["counters"]
         print(
@@ -713,12 +816,13 @@ def _drive_traced_workload(args: argparse.Namespace, sample_rate: "float | None"
     from repro.core.irn import IRN
     from repro.evaluation.protocol import sample_objectives
     from repro.obs import Tracer
-    from repro.perf.bench import build_bench_split, default_config, smoke_config
+    from repro.perf.bench import build_bench_split
+    from repro.perf.bench import bench_config as resolve_bench_config
     from repro.serve import ServingLoop, run_open_loop
     from repro.serve.config import resolve_arrival_rate
 
     num_workers, backend, vocab_shards, _ = _resolve_shard_args(args)
-    bench_config = smoke_config() if args.profile == "fast" else default_config()
+    bench_config = resolve_bench_config(_resolve_bench_profile(args.profile))
     split = build_bench_split(bench_config)
     instances = sample_objectives(
         split,

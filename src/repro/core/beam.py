@@ -176,6 +176,22 @@ class BeamSearchPlanner(InfluentialRecommender):
         candidate selection (:func:`~repro.shard.topk.sharded_topk`);
         ``None`` reads ``REPRO_VOCAB_SHARDS`` and falls back to 1.  Any
         value produces identical candidates.
+    candidate_generator:
+        Optional fitted (or fit-able) two-stage-retrieval generator
+        (:class:`~repro.retrieval.base.CandidateGenerator`).  When set,
+        each planned instance scores only over its per-context candidate
+        shortlist: the fused scoring call covers the union of the shard's
+        candidate sets (gathered output-projection rows when the backbone
+        advertises ``supports_candidate_scoring``), per-row masking then
+        restricts every hypothesis to its own instance's set, and plan /
+        step cache keys gain the generator's ``retrieval_key()`` so pruned
+        and exact plans can never alias.  ``None`` contexts (generator
+        fallback) score the full vocabulary and are counted in the
+        ``core.retrieval`` metric scope.  Decoding sessions are disabled
+        under pruning — the session path projects the full vocabulary,
+        which is exactly the cost pruning removes.  A full-coverage
+        generator (:class:`~repro.retrieval.base.FullVocabGenerator`)
+        produces plans bit-identical to exact planning.
     """
 
     name = "IRN-beam"
@@ -194,6 +210,7 @@ class BeamSearchPlanner(InfluentialRecommender):
         num_workers: "int | None" = None,
         shard_backend: "str | None" = None,
         vocab_shards: "int | None" = None,
+        candidate_generator=None,
     ) -> None:
         super().__init__()
         if not hasattr(backbone, "score_with_objective"):
@@ -208,12 +225,20 @@ class BeamSearchPlanner(InfluentialRecommender):
             raise ConfigurationError(f"max_length must be positive, got {max_length}")
         if step_cache_size < 1:
             raise ConfigurationError("step_cache_size must be at least 1")
+        if candidate_generator is not None and not hasattr(
+            candidate_generator, "candidates"
+        ):
+            raise ConfigurationError(
+                "candidate_generator must expose candidates(history, objective, "
+                "user_index) — see repro.retrieval.base.CandidateGenerator"
+            )
         self.backbone = backbone
         self.beam_width = beam_width
         self.branch_factor = branch_factor
         self.objective_bonus = objective_bonus
         self.fit_backbone = fit_backbone
         self.max_length = max_length
+        self.candidate_generator = candidate_generator
         self.use_decoding_sessions = use_decoding_sessions
         self._executor = ShardedExecutor(num_workers, shard_backend)
         self.num_workers = self._executor.num_workers
@@ -234,6 +259,17 @@ class BeamSearchPlanner(InfluentialRecommender):
         self._serving_metrics = MetricGroup(
             registry, registry.scope("core.serving"), counters=("hits", "replans")
         )
+        # Retrieval counters (requests / full-vocab fallbacks / total
+        # candidate items) surface in ``repro-irs metrics`` and the bench.
+        self._retrieval_metrics = (
+            MetricGroup(
+                registry,
+                registry.scope("core.retrieval"),
+                counters=("requests", "fallbacks", "candidate_items"),
+            )
+            if candidate_generator is not None
+            else None
+        )
         self._backbone_generation = getattr(backbone, "fit_generation", None)
         # Replicated-serving state: a pinned planner must never observe its
         # backbone retrained in place (the refit protocol swaps whole
@@ -252,6 +288,9 @@ class BeamSearchPlanner(InfluentialRecommender):
         backbone_corpus = getattr(self.backbone, "corpus", None)
         if backbone_corpus is None:
             raise ConfigurationError("the beam-search backbone must be fitted")
+        generator = self.candidate_generator
+        if generator is not None and not getattr(generator, "is_fitted", True):
+            generator.fit(split.corpus)
         # (Re)fitting invalidates every memoised plan unconditionally.
         self.invalidate_caches()
         return self
@@ -331,7 +370,7 @@ class BeamSearchPlanner(InfluentialRecommender):
             "served_from_plan": counts["hits"],
             "replans": counts["replans"],
         }
-        return {
+        info = {
             "plan_cache": self.plan_cache.cache_info(),
             "step_cache": self._step_cache.cache_info(),
             "serving": serving,
@@ -341,6 +380,32 @@ class BeamSearchPlanner(InfluentialRecommender):
                 "vocab_shards": self.vocab_shards,
             },
         }
+        if self._retrieval_metrics is not None:
+            retrieval = self._retrieval_metrics.values()
+            info["retrieval"] = {
+                "generator": getattr(
+                    self.candidate_generator, "name", type(self.candidate_generator).__name__
+                ),
+                "requests": retrieval["requests"],
+                "fallbacks": retrieval["fallbacks"],
+                "candidate_items": retrieval["candidate_items"],
+            }
+        return info
+
+    def _retrieval_key(self) -> "tuple | None":
+        """Cache-key component isolating pruned plans from exact ones.
+
+        ``None`` for exact planning; otherwise the generator's config +
+        fit-generation tuple, so plans pruned under a refitted (or
+        differently configured) generator never alias either.
+        """
+        generator = self.candidate_generator
+        if generator is None:
+            return None
+        key = getattr(generator, "retrieval_key", None)
+        if key is not None:
+            return key()
+        return (type(generator).__name__,)
 
     # ------------------------------------------------------------------ #
     def _log_softmax_rows(self, scores: np.ndarray) -> np.ndarray:
@@ -366,22 +431,86 @@ class BeamSearchPlanner(InfluentialRecommender):
         sequences: list[list[int]],
         objectives: list[int],
         user_indices: "list[int | None]",
+        candidate_items: "np.ndarray | None" = None,
     ) -> np.ndarray:
-        """Score every sequence against its objective, fused when possible."""
+        """Score every sequence against its objective, fused when possible.
+
+        ``candidate_items`` restricts scoring to a shortlist: backbones
+        advertising ``supports_candidate_scoring`` gather only those output
+        rows (the two-stage-retrieval fast path); any other backbone is
+        scored in full and masked to ``-inf`` outside the shortlist, which
+        is exact but gains no speed.
+        """
         scorer = getattr(self.backbone, "score_with_objective_batch", None)
         if scorer is not None:
-            return np.asarray(
+            if candidate_items is not None and getattr(
+                self.backbone, "supports_candidate_scoring", False
+            ):
+                return np.asarray(
+                    scorer(
+                        sequences,
+                        objectives,
+                        user_indices,
+                        candidate_items=candidate_items,
+                    ),
+                    dtype=np.float64,
+                ).copy()
+            scores = np.asarray(
                 scorer(sequences, objectives, user_indices), dtype=np.float64
             ).copy()
-        return np.stack(
-            [
-                np.asarray(
-                    self.backbone.score_with_objective(sequence, objective, user_index=user),
-                    dtype=np.float64,
-                )
-                for sequence, objective, user in zip(sequences, objectives, user_indices)
-            ]
-        )
+        else:
+            scores = np.stack(
+                [
+                    np.asarray(
+                        self.backbone.score_with_objective(
+                            sequence, objective, user_index=user
+                        ),
+                        dtype=np.float64,
+                    )
+                    for sequence, objective, user in zip(
+                        sequences, objectives, user_indices
+                    )
+                ]
+            )
+        if candidate_items is not None:
+            keep = np.zeros(scores.shape[1], dtype=bool)
+            keep[candidate_items] = True
+            scores[:, ~keep] = -np.inf
+        return scores
+
+    @staticmethod
+    def _restrict_rows_to_candidates(
+        scores: np.ndarray,
+        row_candidates: "list[np.ndarray | None]",
+        union: "np.ndarray | None",
+    ) -> None:
+        """Mask each row to its own instance's candidate set, in place.
+
+        ``scores`` was computed over ``union`` (or the full vocabulary when
+        ``union`` is ``None`` because some instance fell back); a row's
+        mask-out set is therefore ``union - own`` — usually tiny — or the
+        complement of its own set under a full-vocabulary fallback.  Rows
+        whose instance fell back (``None`` candidates) keep every column.
+        """
+        groups: "dict[int, list[int]]" = {}
+        arrays: "dict[int, np.ndarray]" = {}
+        for row, candidates in enumerate(row_candidates):
+            if candidates is None:
+                continue
+            key = id(candidates)
+            groups.setdefault(key, []).append(row)
+            arrays[key] = candidates
+        vocab = scores.shape[1]
+        for key, rows in groups.items():
+            candidates = arrays[key]
+            if union is None:
+                keep = np.zeros(vocab, dtype=bool)
+                keep[candidates] = True
+                masked_columns = np.flatnonzero(~keep)
+            else:
+                masked_columns = np.setdiff1d(union, candidates, assume_unique=True)
+            if masked_columns.size:
+                scores[np.ix_(rows, masked_columns)] = -np.inf
 
     def _expand_all(
         self,
@@ -390,6 +519,8 @@ class BeamSearchPlanner(InfluentialRecommender):
         objectives: list[int],
         user_indices: "list[int | None]",
         scores: np.ndarray | None = None,
+        row_candidates: "list[np.ndarray | None] | None" = None,
+        union_candidates: "np.ndarray | None" = None,
     ) -> list[list[_Hypothesis]]:
         """Expand many hypotheses with ONE batched scoring call.
 
@@ -398,10 +529,18 @@ class BeamSearchPlanner(InfluentialRecommender):
         broken by item index (the stable-``argsort`` order), non-finite
         candidates dropped.  ``scores`` may carry pre-computed backbone
         scores for the rows (the decoding-session path); otherwise one
-        batched scoring call is issued here.
+        batched scoring call is issued here.  Under candidate pruning,
+        ``union_candidates`` is the fused scoring shortlist and
+        ``row_candidates`` restricts each row to its own instance's set
+        before the log-softmax (probabilities renormalise over the
+        shortlist — the documented approximation).
         """
         if scores is None:
-            scores = self._batched_scores(sequences, objectives, user_indices)
+            scores = self._batched_scores(
+                sequences, objectives, user_indices, candidate_items=union_candidates
+            )
+        if row_candidates is not None:
+            self._restrict_rows_to_candidates(scores, row_candidates, union_candidates)
         mask_session_items(scores, sequences, objectives)
         log_probs = self._log_softmax_rows(scores)
         _, vocab = log_probs.shape
@@ -463,8 +602,10 @@ class BeamSearchPlanner(InfluentialRecommender):
 
         paths: list[list[int] | None] = [None] * count
         pending: list[int] = []
+        retrieval = self._retrieval_key()
         keys = [
-            (tuple(histories[i]), objectives[i], users[i], max_length) for i in range(count)
+            (tuple(histories[i]), objectives[i], users[i], max_length, retrieval)
+            for i in range(count)
         ]
         for i in range(count):
             cached = self.plan_cache.get(keys[i])
@@ -518,9 +659,41 @@ class BeamSearchPlanner(InfluentialRecommender):
         completes: dict[int, list[_Hypothesis]] = {i: [] for i in pending}
         running = list(pending)
         session = None
-        use_sessions = self.use_decoding_sessions and hasattr(
-            self.backbone, "begin_decoding_session"
+        # Decoding sessions project the FULL vocabulary per advanced token —
+        # exactly the cost candidate pruning removes — so pruning wins by
+        # re-encoding right-aligned windows against the shortlist instead.
+        use_sessions = (
+            self.use_decoding_sessions
+            and hasattr(self.backbone, "begin_decoding_session")
+            and self.candidate_generator is None
         )
+        # One candidate set per instance, computed once per plan from the
+        # initial context (the set is a property of the *planning context*,
+        # not of the partial path — keys must match the plan cache's).
+        candidate_sets: "dict[int, np.ndarray | None]" = {}
+        union: "np.ndarray | None" = None
+        if self.candidate_generator is not None:
+            fallbacks = 0
+            candidate_total = 0
+            for i in pending:
+                candidates = self.candidate_generator.candidates(
+                    histories[i], objectives[i], users[i]
+                )
+                candidate_sets[i] = candidates
+                if candidates is None:
+                    fallbacks += 1
+                else:
+                    candidate_total += int(candidates.size)
+            if self._retrieval_metrics is not None:
+                self._retrieval_metrics.record(
+                    add={
+                        "requests": len(pending),
+                        "fallbacks": fallbacks,
+                        "candidate_items": candidate_total,
+                    }
+                )
+            if fallbacks == 0:
+                union = np.unique(np.concatenate([candidate_sets[i] for i in pending]))
         # Per-depth expansion spans broadcast to every trace of the drained
         # micro-batch (depth work is fused across the whole shard subset, so
         # batch-level attribution is the honest granularity); None when the
@@ -565,8 +738,19 @@ class BeamSearchPlanner(InfluentialRecommender):
                         [hypothesis.parent_row for hypothesis in parents],
                     )
                 scores = np.asarray(scores, dtype=np.float64).copy()
+            row_candidates = (
+                [candidate_sets[i] for i in owners]
+                if self.candidate_generator is not None
+                else None
+            )
             expansions = self._expand_all(
-                parents, sequences, row_objectives, row_users, scores=scores
+                parents,
+                sequences,
+                row_objectives,
+                row_users,
+                scores=scores,
+                row_candidates=row_candidates,
+                union_candidates=union,
             )
             candidates: dict[int, list[_Hypothesis]] = {i: [] for i in running}
             for owner, children in zip(owners, expansions):
@@ -650,6 +834,10 @@ class BeamSearchPlanner(InfluentialRecommender):
         # traced): indices into `requests` and into the sink's trace list
         # coincide, so per-request cache decisions attach to the right trace.
         sink = current_sink()
+        # Step-cache keys carry the retrieval identity so pruned plans never
+        # alias exact ones (or plans from a differently-configured/refit
+        # generator); constant per call, computed once.
+        retrieval = self._retrieval_key()
         normalized: list[tuple] = []
         for request in requests:
             kind, history, objective, path_so_far, user = request[:5]
@@ -706,7 +894,7 @@ class BeamSearchPlanner(InfluentialRecommender):
                 if kind == "plan_paths":
                     misses.append(index)
                     continue
-                key = (tuple(history), objective, user, self.max_length)
+                key = (tuple(history), objective, user, self.max_length, retrieval)
                 consult_start = time.perf_counter() if sink is not None else 0.0
                 plan = self._step_cache.get(key)
                 if plan is not None and list(plan[: len(path_so_far)]) == path_so_far:
@@ -756,7 +944,7 @@ class BeamSearchPlanner(InfluentialRecommender):
                     if kind == "plan_paths":
                         results[index] = list(path)
                         continue
-                    key = (tuple(history), objective, user, self.max_length)
+                    key = (tuple(history), objective, user, self.max_length, retrieval)
                     plan = tuple(path_so_far + list(path))
                     self._step_cache.put(key, plan)
                     results[index] = (

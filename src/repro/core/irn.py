@@ -152,6 +152,7 @@ class _IRNModule(Module):
         positions: np.ndarray | None = None,
         state: "DecodingState | None" = None,
         persist: int | None = None,
+        output_items: np.ndarray | None = None,
     ) -> Tensor:
         """Return next-item logits of shape ``(batch, length, vocab_size)``.
 
@@ -163,6 +164,15 @@ class _IRNModule(Module):
         With ``state`` the decoder additionally populates per-layer K/V
         caches for the first ``persist`` columns (the growing prefix of an
         incremental decoding session); the returned logits are unchanged.
+
+        ``output_items`` restricts the tied output projection to the given
+        item indices: the returned logits are ``(batch, length,
+        len(output_items))``, computed by gathering just those rows of the
+        item-embedding weight instead of projecting onto the full
+        vocabulary — the two-stage-retrieval hook that makes the dominant
+        ``O(B·L·d·V)`` cost proportional to the candidate-set size.  The
+        gathered projection is inference-only (it bypasses the autograd
+        graph) and refuses to run under grad.
         """
         items = np.asarray(items, dtype=np.int64)
         batch, length = items.shape
@@ -174,6 +184,16 @@ class _IRNModule(Module):
         hidden = self.dropout(hidden)
         mask = self._pim(items, users, mask_type, objective_weight, history_weight)
         hidden = self.decoder(hidden, mask=mask, state=state, persist=persist)
+        if output_items is not None:
+            from repro.nn.tensor import is_grad_enabled
+
+            if is_grad_enabled():
+                raise ConfigurationError(
+                    "candidate-restricted projection (output_items) is "
+                    "inference-only; run it under no_grad"
+                )
+            gathered = self.item_embedding.weight.data[output_items]
+            return hidden.matmul(Tensor(gathered.T))
         return hidden.matmul(self.item_embedding.weight.transpose())
 
     def decode_step(
@@ -251,6 +271,9 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
     """
 
     name = "IRN"
+    #: the batched objective scorer accepts ``candidate_items`` (the
+    #: two-stage-retrieval gather path); planners feature-test this flag.
+    supports_candidate_scoring = True
 
     def __init__(
         self,
@@ -383,6 +406,7 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         sequences: Sequence[Sequence[int]],
         objectives: Sequence[int],
         user_indices: "Sequence[int | None] | None" = None,
+        candidate_items: "np.ndarray | None" = None,
     ) -> np.ndarray:
         """Objective-conditioned next-item scores for many sequences at once.
 
@@ -393,8 +417,36 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         last real non-objective position.  Returns a ``(batch, vocab)`` array;
         row ``b`` equals ``score_with_objective(sequences[b], objectives[b])``
         up to floating-point summation-order tolerance (~1e-8).
+
+        ``candidate_items`` (the two-stage-retrieval path) restricts the
+        output projection to the given item indices: returned rows are
+        ``-inf`` everywhere except those columns, whose logits are exact —
+        identical to slicing the full-vocabulary scores at the candidates.
+        A candidate set covering every real item short-circuits to the full
+        projection, so full-vocabulary candidate sets are *structurally*
+        bit-identical to unrestricted scoring.
         """
-        return self._score_objective_batch(sequences, objectives, user_indices)
+        return self._score_objective_batch(
+            sequences, objectives, user_indices, candidate_items=candidate_items
+        )
+
+    def _normalize_candidates(
+        self, candidate_items: "np.ndarray | None"
+    ) -> "np.ndarray | None":
+        """Validate + dedupe a candidate set; ``None`` means full vocabulary."""
+        if candidate_items is None:
+            return None
+        cands = np.unique(np.asarray(candidate_items, dtype=np.int64).ravel())
+        if cands.size == 0:
+            raise ConfigurationError("candidate_items must name at least one item")
+        if cands[0] < 1 or cands[-1] >= self.vocab_size:
+            raise ConfigurationError(
+                f"candidate_items must lie in [1, {self.vocab_size}); got range "
+                f"[{cands[0]}, {cands[-1]}]"
+            )
+        if cands.size >= self.vocab_size - 1:
+            return None  # full coverage: take the exact full-projection path
+        return cands
 
     def _score_objective_batch(
         self,
@@ -404,9 +456,11 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
         record: str = "full",
         state: "DecodingState | None" = None,
         persist: int | None = None,
+        candidate_items: "np.ndarray | None" = None,
     ) -> np.ndarray:
         self._require_fitted()
         assert self.module is not None
+        candidate_items = self._normalize_candidates(candidate_items)
         batch = len(sequences)
         objectives = list(objectives)
         check_batch_lengths(batch, objectives=objectives)
@@ -429,10 +483,18 @@ class IRN(NeuralSequentialRecommender, InfluentialRecommender):
                 positions=positions,
                 state=state,
                 persist=persist,
+                output_items=candidate_items,
             )
         self._record_tokens(record, items.size)
         width = items.shape[1]
         gather = np.where(lengths >= 2, width - 2, width - 1)
+        if candidate_items is not None:
+            gathered = logits.data[np.arange(batch), gather, :].astype(
+                np.float64, copy=False
+            )
+            scores = np.full((batch, self.vocab_size), -np.inf, dtype=np.float64)
+            scores[:, candidate_items] = gathered
+            return scores
         scores = logits.data[np.arange(batch), gather, :].astype(np.float64, copy=True)
         scores[:, PAD_INDEX] = -np.inf
         return scores

@@ -28,22 +28,34 @@ from repro.data.movielens import load_movielens_1m, synthetic_movielens
 from repro.data.padding import PAD_INDEX, pad_sequence, pre_pad, post_pad
 from repro.data.preprocessing import build_corpus
 from repro.data.splitting import DatasetSplit, TestInstance, UserSequence, split_corpus
+from repro.data.store import InteractionStore, StoredCorpus
+from repro.data.streaming import (
+    StreamingSyntheticConfig,
+    build_streaming_store,
+    iter_streaming_sequences,
+)
 from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
-from repro.data.vocab import Vocabulary
+from repro.data.vocab import RangeVocabulary, Vocabulary
 
 __all__ = [
     "DatasetSplit",
     "DatasetStatistics",
     "Interaction",
     "InteractionDataset",
+    "InteractionStore",
     "PAD_INDEX",
+    "RangeVocabulary",
     "SequenceCorpus",
+    "StoredCorpus",
+    "StreamingSyntheticConfig",
     "SyntheticConfig",
     "TestInstance",
     "UserSequence",
     "Vocabulary",
     "build_corpus",
+    "build_streaming_store",
     "generate_synthetic_dataset",
+    "iter_streaming_sequences",
     "iterate_batches",
     "load_lastfm",
     "load_movielens_1m",

@@ -10,9 +10,11 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Iterator
 
+import numpy as np
+
 from repro.utils.exceptions import DataError
 
-__all__ = ["Vocabulary", "PAD_TOKEN"]
+__all__ = ["Vocabulary", "RangeVocabulary", "PAD_TOKEN"]
 
 PAD_TOKEN = "<pad>"
 
@@ -79,4 +81,64 @@ class Vocabulary:
 
     def item_indices(self) -> range:
         """Indices of real items (``1 .. size-1``)."""
+        return range(1, self.size)
+
+
+class RangeVocabulary:
+    """A dict-free vocabulary whose raw ids *are* the indices ``1..num_items``.
+
+    Million-item corpora cannot afford :class:`Vocabulary`'s per-item dict
+    and list (hundreds of MB at ``V = 10**6``); synthetic scale corpora and
+    the memory-mapped :class:`repro.data.store.InteractionStore` already
+    speak contiguous integer ids, so the mapping is the identity.  Index
+    ``0`` stays the padding slot, exactly as in :class:`Vocabulary`.
+    """
+
+    __slots__ = ("_num_items",)
+
+    def __init__(self, num_items: int) -> None:
+        if num_items < 0:
+            raise DataError(f"num_items must be >= 0, got {num_items}")
+        self._num_items = int(num_items)
+
+    def add(self, item: Hashable) -> int:
+        raise DataError("RangeVocabulary is fixed-size; items cannot be added")
+
+    def index(self, item: Hashable) -> int:
+        if not isinstance(item, (int, np.integer)) or not 1 <= int(item) <= self._num_items:
+            raise DataError(f"unknown item {item!r}")
+        return int(item)
+
+    def item(self, index: int) -> Hashable:
+        if index == 0:
+            return PAD_TOKEN
+        if not 1 <= index <= self._num_items:
+            raise DataError(f"index {index} out of range (size {self.size})")
+        return int(index)
+
+    def encode(self, items: Iterable[Hashable]) -> list[int]:
+        return [self.index(item) for item in items]
+
+    def decode(self, indices: Iterable[int]) -> list[Hashable]:
+        return [self.item(index) for index in indices]
+
+    def __contains__(self, item: Hashable) -> bool:
+        return isinstance(item, (int, np.integer)) and 1 <= int(item) <= self._num_items
+
+    def __len__(self) -> int:
+        return self._num_items + 1
+
+    def __iter__(self) -> Iterator[Hashable]:
+        yield PAD_TOKEN
+        yield from range(1, self._num_items + 1)
+
+    @property
+    def size(self) -> int:
+        return self._num_items + 1
+
+    @property
+    def num_items(self) -> int:
+        return self._num_items
+
+    def item_indices(self) -> range:
         return range(1, self.size)

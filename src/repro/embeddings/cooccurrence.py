@@ -2,10 +2,30 @@
 
 A deterministic, closed-form alternative to item2vec (Levy & Goldberg showed
 SGNS implicitly factorises a shifted PMI matrix).  Used as a fast fallback
-for item distances and in tests where determinism matters.
+for item distances, in tests where determinism matters, and as the vector
+source for the embedding-ANN candidate generator in
+:mod:`repro.retrieval.ann`.
+
+Two solvers share one counting front-end:
+
+* ``dense`` — materialises the ``(V, V)`` co-occurrence matrix and runs an
+  exact full SVD.  Counting is vectorised with ``np.add.at`` over window
+  offsets and produces counts bit-identical to the reference per-pair loop.
+* ``sparse`` — never allocates a dense ``(V, V)`` intermediate: pairs are
+  aggregated into a scipy-free CSR triple (``indptr``/``indices``/``data``),
+  PPMI is computed on the nonzeros only, and the factorisation is a seeded
+  randomized truncated SVD whose matrix products stream over the CSR
+  nonzeros in bounded chunks.  At ``V = 10**6`` the dense matrix would be
+  8 TB; the sparse path is bounded by the number of *distinct* co-occurring
+  pairs.
+
+``solver="auto"`` (the default) picks ``sparse`` above
+``sparse_threshold`` vocabulary entries and ``dense`` below it.
 """
 
 from __future__ import annotations
+
+from typing import Iterator
 
 import numpy as np
 
@@ -14,30 +34,172 @@ from repro.utils.exceptions import ConfigurationError, NotFittedError
 
 __all__ = ["CooccurrenceEmbedding"]
 
+_SOLVERS = ("auto", "dense", "sparse")
+
+# Pair-array chunking keeps transient buffers bounded regardless of corpus
+# size; ~2**21 events per chunk is a few tens of MB of int64 scratch.
+_CHUNK_EVENTS = 1 << 21
+
+# Row-chunk budget for the streaming CSR @ dense product (entries of the
+# (nnz_chunk, k) contribution buffer).
+_MATMUL_CHUNK_ENTRIES = 1 << 22
+
+
+def _iter_offset_pairs(
+    corpus: SequenceCorpus, window: int
+) -> "Iterator[tuple[np.ndarray, np.ndarray]]":
+    """Yield ``(center, other)`` index arrays for every within-window pair.
+
+    Sequences are flattened in chunks; for each window offset ``d`` the
+    pairs are ``(flat[i], flat[i + d])`` restricted to positions where both
+    ends fall inside the same sequence.  Each yielded pair is directed
+    left-to-right; callers symmetrise.
+    """
+    buffer: "list[np.ndarray]" = []
+    buffered = 0
+    for sequence in corpus.user_sequences:
+        array = np.asarray(sequence, dtype=np.int64)
+        if array.size:
+            buffer.append(array)
+            buffered += array.size
+        if buffered >= _CHUNK_EVENTS:
+            yield from _chunk_offset_pairs(buffer, window)
+            buffer, buffered = [], 0
+    if buffer:
+        yield from _chunk_offset_pairs(buffer, window)
+
+
+def _chunk_offset_pairs(
+    sequences: "list[np.ndarray]", window: int
+) -> "Iterator[tuple[np.ndarray, np.ndarray]]":
+    flat = np.concatenate(sequences)
+    lengths = np.fromiter((s.size for s in sequences), dtype=np.int64)
+    owner = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+    for offset in range(1, window + 1):
+        if offset >= flat.size:
+            break
+        valid = owner[:-offset] == owner[offset:]
+        if not valid.any():
+            continue
+        yield flat[:-offset][valid], flat[offset:][valid]
+
+
+def _accumulate_pair_codes(
+    corpus: SequenceCorpus, window: int, size: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Aggregate symmetric pair counts as ``row * size + col`` codes.
+
+    Returns sorted unique codes with their float64 counts — the COO form of
+    the symmetric co-occurrence matrix, without ever densifying it.
+    """
+    code_chunks: "list[np.ndarray]" = []
+    count_chunks: "list[np.ndarray]" = []
+    for left, right in _iter_offset_pairs(corpus, window):
+        codes = np.concatenate([left * size + right, right * size + left])
+        unique, counts = np.unique(codes, return_counts=True)
+        code_chunks.append(unique)
+        count_chunks.append(counts.astype(np.float64))
+    if not code_chunks:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    codes = np.concatenate(code_chunks)
+    counts = np.concatenate(count_chunks)
+    order = np.argsort(codes, kind="stable")
+    codes, counts = codes[order], counts[order]
+    boundaries = np.flatnonzero(np.diff(codes)) + 1
+    starts = np.concatenate([[0], boundaries])
+    return codes[starts], np.add.reduceat(counts, starts)
+
+
+def _csr_matmul(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    dense: np.ndarray,
+) -> np.ndarray:
+    """``A @ dense`` for a CSR matrix ``A``, streaming over nonzero chunks."""
+    num_rows = indptr.size - 1
+    k = dense.shape[1]
+    out = np.zeros((num_rows, k), dtype=np.float64)
+    counts = np.diff(indptr)
+    nonempty = np.flatnonzero(counts)
+    if nonempty.size == 0:
+        return out
+    rows_per_chunk = max(1, _MATMUL_CHUNK_ENTRIES // max(1, int(counts.max()) * k))
+    for start in range(0, nonempty.size, rows_per_chunk):
+        rows = nonempty[start : start + rows_per_chunk]
+        lo, hi = indptr[rows[0]], indptr[rows[-1] + 1]
+        contrib = data[lo:hi, None] * dense[indices[lo:hi]]
+        out[rows] = np.add.reduceat(contrib, indptr[rows] - lo, axis=0)
+    return out
+
 
 class CooccurrenceEmbedding:
     """Embeddings from the positive pointwise mutual information matrix."""
 
-    def __init__(self, embedding_dim: int = 32, window: int = 3, shift: float = 1.0) -> None:
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        window: int = 3,
+        shift: float = 1.0,
+        solver: str = "auto",
+        sparse_threshold: int = 4096,
+        seed: int = 0,
+        oversample: int = 10,
+        power_iterations: int = 2,
+    ) -> None:
         if embedding_dim <= 0 or window <= 0:
             raise ConfigurationError("embedding_dim and window must be positive")
+        if shift <= 0:
+            raise ConfigurationError(
+                f"shift must be positive (PPMI subtracts log(shift)); got {shift}"
+            )
+        if solver not in _SOLVERS:
+            raise ConfigurationError(
+                f"unknown solver '{solver}'; expected one of {', '.join(_SOLVERS)}"
+            )
+        if oversample < 0 or power_iterations < 0:
+            raise ConfigurationError("oversample and power_iterations must be >= 0")
         self.embedding_dim = embedding_dim
         self.window = window
         self.shift = shift
+        self.solver = solver
+        self.sparse_threshold = sparse_threshold
+        self.seed = seed
+        self.oversample = oversample
+        self.power_iterations = power_iterations
+        self.solver_used: str | None = None
         self._vectors: np.ndarray | None = None
 
+    def _resolve_solver(self, size: int) -> str:
+        if self.solver == "auto":
+            return "sparse" if size > self.sparse_threshold else "dense"
+        return self.solver
+
     def fit(self, corpus: SequenceCorpus) -> "CooccurrenceEmbedding":
-        """Build the PPMI matrix from co-occurrence counts and factorise it."""
+        """Build the PPMI matrix from co-occurrence counts and factorise it.
+
+        ``corpus`` may be any corpus-like object exposing ``vocab.size`` and
+        an iterable ``user_sequences`` (including the memory-mapped
+        :class:`repro.data.store.InteractionStore` corpus facade).
+        """
         size = corpus.vocab.size
+        solver = self._resolve_solver(size)
+        if solver == "dense":
+            vectors = self._fit_dense(corpus, size)
+        else:
+            vectors = self._fit_sparse(corpus, size)
+        vectors[0] = 0.0  # padding row
+        self.solver_used = solver
+        self._vectors = vectors
+        return self
+
+    # -- dense solver ------------------------------------------------------
+
+    def _fit_dense(self, corpus: SequenceCorpus, size: int) -> np.ndarray:
         cooccurrence = np.zeros((size, size), dtype=np.float64)
-        for sequence in corpus.user_sequences:
-            length = len(sequence)
-            for pos, center in enumerate(sequence):
-                hi = min(length, pos + self.window + 1)
-                for other_pos in range(pos + 1, hi):
-                    other = sequence[other_pos]
-                    cooccurrence[center, other] += 1.0
-                    cooccurrence[other, center] += 1.0
+        for left, right in _iter_offset_pairs(corpus, self.window):
+            np.add.at(cooccurrence, (left, right), 1.0)
+            np.add.at(cooccurrence, (right, left), 1.0)
 
         total = cooccurrence.sum()
         if total <= 0:
@@ -47,16 +209,66 @@ class CooccurrenceEmbedding:
         with np.errstate(divide="ignore", invalid="ignore"):
             pmi = np.log(cooccurrence * total / (row @ col))
         pmi[~np.isfinite(pmi)] = 0.0
-        ppmi = np.maximum(pmi - np.log(self.shift) if self.shift > 1 else pmi, 0.0)
+        ppmi = np.maximum(pmi - np.log(self.shift), 0.0)
 
         rank = min(self.embedding_dim, size - 1)
         u, s, _ = np.linalg.svd(ppmi, full_matrices=False)
         vectors = u[:, :rank] * np.sqrt(s[:rank])[None, :]
         if rank < self.embedding_dim:
             vectors = np.pad(vectors, ((0, 0), (0, self.embedding_dim - rank)))
-        vectors[0] = 0.0  # padding row
-        self._vectors = vectors
-        return self
+        return vectors
+
+    # -- sparse solver -----------------------------------------------------
+
+    def _fit_sparse(self, corpus: SequenceCorpus, size: int) -> np.ndarray:
+        codes, counts = _accumulate_pair_codes(corpus, self.window, size)
+        total = float(counts.sum())
+        if total <= 0:
+            raise ConfigurationError("corpus has no co-occurrences")
+        rows = codes // size
+        cols = codes % size
+        # Marginals over the symmetric count matrix (row sums == col sums).
+        marginals = np.bincount(rows, weights=counts, minlength=size)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pmi = np.log(counts * total / (marginals[rows] * marginals[cols]))
+        pmi[~np.isfinite(pmi)] = 0.0
+        ppmi = pmi - np.log(self.shift)
+        keep = ppmi > 0
+        rows, cols, ppmi = rows[keep], cols[keep], ppmi[keep]
+
+        indptr = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=size), out=indptr[1:])
+        # ``codes`` were sorted, so (rows, cols) are already in CSR order.
+        indices = cols
+
+        rank = min(self.embedding_dim, size - 1)
+        vectors = self._randomized_svd(indptr, indices, ppmi, size, rank)
+        if rank < self.embedding_dim:
+            vectors = np.pad(vectors, ((0, 0), (0, self.embedding_dim - rank)))
+        return vectors
+
+    def _randomized_svd(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        size: int,
+        rank: int,
+    ) -> np.ndarray:
+        """Seeded Halko-style truncated SVD of the symmetric PPMI CSR matrix."""
+        k = min(size, rank + self.oversample)
+        rng = np.random.default_rng(self.seed)
+        basis = _csr_matmul(indptr, indices, data, rng.standard_normal((size, k)))
+        basis, _ = np.linalg.qr(basis)
+        for _ in range(self.power_iterations):
+            # PPMI is symmetric, so A.T @ (A @ Q) collapses to two identical
+            # streamed products with a QR re-orthonormalisation between them.
+            basis = _csr_matmul(indptr, indices, data, basis)
+            basis, _ = np.linalg.qr(basis)
+        projected = _csr_matmul(indptr, indices, data, basis).T  # = Q.T @ A
+        u_small, s, _ = np.linalg.svd(projected, full_matrices=False)
+        u = basis @ u_small
+        return u[:, :rank] * np.sqrt(s[:rank])[None, :]
 
     @property
     def vectors(self) -> np.ndarray:

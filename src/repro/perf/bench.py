@@ -56,6 +56,20 @@ and how the :mod:`repro.replica` replicated serving subsystem behaves:
   under the ``block`` policy) and latency percentiles split per generation
   around the flip.
 
+and how the :mod:`repro.retrieval` two-stage retrieval subsystem scales:
+
+* **two-stage retrieval** — per vocab-size tier (the ``scale`` profile
+  sweeps ``10**4``/``10**5`` items by default, ``10**6`` opt-in via
+  ``REPRO_BENCH_SCALE_TIERS``), exact full-vocabulary beam planning versus
+  candidate-pruned planning under each generator backend, reporting
+  paths/sec, p95 ``next_step`` latency, candidate-set sizes, overlap@k and
+  plan regret, plus two deterministic contract bits the perf gate
+  enforces: ``full_vocab_parity`` (full-coverage candidate sets plan
+  bit-identically to the exact planner) and ``objective_in_candidates``.
+  Corpora are built through the streaming synthetic generator into a
+  memory-mapped :class:`~repro.data.store.InteractionStore`, so no tier
+  materialises a dense event log.
+
 and how the tensor engine itself performs at the bottom of every stack:
 
 * **tensor ops** — per-op ns/call microbenchmarks at the micro-batch shapes
@@ -94,6 +108,11 @@ import sys
 import time
 from typing import Sequence
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
 import numpy as np
 
 from repro.cache.stats import DecodeStats
@@ -111,16 +130,35 @@ __all__ = [
     "ForwardCounter",
     "ScalarOnlyBackbone",
     "BENCH_SECTIONS",
+    "BENCH_PROFILES",
     "smoke_config",
     "default_config",
+    "scale_config",
+    "bench_config",
+    "resolve_profile",
     "build_bench_split",
     "machine_info",
+    "peak_rss_kb",
     "resolve_sections",
     "run_benchmarks",
     "profile_benchmarks",
     "format_summary",
     "main",
 ]
+
+
+def peak_rss_kb() -> "int | None":
+    """Peak resident set size of this process in KB (``None`` off-POSIX).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalised to
+    KB so the bench artefact is comparable across the CI matrix.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        peak //= 1024
+    return int(peak)
 
 
 def machine_info() -> dict:
@@ -134,6 +172,7 @@ def machine_info() -> dict:
         "cpu_count": os.cpu_count() or 1,
         "platform": platform.platform(),
         "python": platform.python_version(),
+        "peak_rss_kb": peak_rss_kb(),
     }
 
 
@@ -189,10 +228,67 @@ class ScalarOnlyBackbone:
         return getattr(self._inner, "fit_generation", None)
 
 
+def _retrieval_config(vocab_tiers: "list[int]", num_contexts: int) -> dict:
+    """Knobs of the ``two_stage_retrieval`` section, shared across profiles.
+
+    The section builds its own per-tier corpora (streaming store) and its
+    own small IRN per tier — exact full-vocabulary planning at ``V = 10**5``
+    allocates ``O(rows * window * V)`` logits, so the beam is kept narrow
+    and the model window short to bound the exact baseline's memory.
+    """
+    return dict(
+        vocab_tiers=list(vocab_tiers),
+        num_candidates=64,
+        overlap_k=10,
+        num_contexts=num_contexts,
+        num_users=64,
+        min_events=12,
+        max_events=24,
+        beam_width=2,
+        branch_factor=2,
+        plan_max_length=4,
+        irn=dict(
+            embedding_dim=16,
+            user_dim=4,
+            num_heads=2,
+            num_layers=1,
+            epochs=1,
+            batch_size=8,
+            max_sequence_length=16,
+            seed=0,
+        ),
+    )
+
+
+def _scale_tiers() -> "list[int]":
+    """Vocab tiers of the ``scale`` profile (``10**5`` default ceiling).
+
+    ``REPRO_BENCH_SCALE_TIERS`` overrides with a comma-separated item-count
+    list — the opt-in for the ``10**6`` tier, whose exact full-vocabulary
+    baseline needs several GB of transient logit memory.
+    """
+    override = os.environ.get("REPRO_BENCH_SCALE_TIERS", "").strip()
+    if override:
+        try:
+            tiers = [int(part) for part in override.split(",") if part.strip()]
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_BENCH_SCALE_TIERS must be a comma-separated list of "
+                f"item counts, got '{override}'"
+            ) from None
+        if not tiers or min(tiers) < 100:
+            raise ConfigurationError(
+                f"REPRO_BENCH_SCALE_TIERS must list item counts >= 100, got '{override}'"
+            )
+        return tiers
+    return [10_000, 100_000]
+
+
 def smoke_config() -> dict:
     """Seconds-scale profile used by the ``pytest -m perf`` smoke test."""
     return {
         "profile": "smoke",
+        "retrieval": _retrieval_config([500, 2000], num_contexts=4),
         "synthetic": dict(
             name="perf-smoke",
             num_users=40,
@@ -233,6 +329,7 @@ def default_config() -> dict:
     """The standard profile behind ``BENCH_path_planning.json``."""
     return {
         "profile": "default",
+        "retrieval": _retrieval_config([1_000, 10_000, 100_000], num_contexts=4),
         "synthetic": dict(
             name="perf-synthetic",
             num_users=120,
@@ -265,6 +362,45 @@ def default_config() -> dict:
         "tensor_ops_decode_steps": 12,
         "wall_repeats": 3,
     }
+
+
+def scale_config() -> dict:
+    """The ``scale`` profile: smoke-sized shared sections, scale-tier retrieval.
+
+    Everything except ``two_stage_retrieval`` runs at smoke size (the other
+    sections' scaling story lives in the default profile); the retrieval
+    section sweeps ``10**4`` / ``10**5`` items by default and ``10**6`` when
+    ``REPRO_BENCH_SCALE_TIERS`` opts in.
+    """
+    config = smoke_config()
+    config["profile"] = "scale"
+    config["retrieval"] = _retrieval_config(_scale_tiers(), num_contexts=4)
+    return config
+
+
+#: Profile registry for ``repro-irs bench --profile`` / ``run_benchmarks``.
+BENCH_PROFILES = ("smoke", "default", "scale")
+
+
+def resolve_profile(profile: "str | None") -> str:
+    """Validate a bench profile name eagerly (before any expensive setup)."""
+    name = str(profile or "default").strip().lower()
+    if name not in BENCH_PROFILES:
+        raise ConfigurationError(
+            f"unknown bench profile '{profile}'; known profiles: "
+            f"{', '.join(BENCH_PROFILES)}"
+        )
+    return name
+
+
+def bench_config(profile: "str | None") -> dict:
+    """Resolve ``profile`` to its config dict (:class:`ConfigurationError` on typos)."""
+    builders = {
+        "smoke": smoke_config,
+        "default": default_config,
+        "scale": scale_config,
+    }
+    return builders[resolve_profile(profile)]()
 
 
 def build_bench_split(config: dict) -> DatasetSplit:
@@ -1174,6 +1310,235 @@ def _bench_observability(
     }
 
 
+def _step_latency_p95_ms(planner, contexts, plan_max_length: int) -> float:
+    """p95 wall-clock latency of serial ``next_step`` calls over ``contexts``.
+
+    Default caches stay on: the sample mixes the first-call replan with the
+    subsequent served-from-plan hits — the serving distribution whose tail
+    the retrieval section is trying to move.
+    """
+    latencies: "list[float]" = []
+    for history, objective, user in contexts:
+        path: "list[int]" = []
+        for _ in range(plan_max_length):
+            started = time.perf_counter()
+            item = planner.next_step(history, objective, path, user_index=user)
+            latencies.append(time.perf_counter() - started)
+            if item is None:
+                break
+            path.append(item)
+    return round(float(np.percentile(np.asarray(latencies) * 1e3, 95)), 3)
+
+
+def _bench_two_stage_retrieval(config: dict) -> dict:
+    """Exact vs candidate-pruned planning across vocab-size tiers.
+
+    Per tier: a streaming-store corpus and a small single-layer IRN are
+    built from scratch (the tier IS the vocabulary size — nothing is shared
+    with the other sections), then one exact planner and one pruned planner
+    per generator backend plan the same contexts with plan memoisation off.
+    Reported per generator: paths/sec and speedup over the exact baseline,
+    p95 ``next_step`` latency, candidate-set sizes, fallback counts,
+    overlap@k of the candidate sets against the exact score rows, and mean
+    plan regret (exact-plan score minus pruned-plan score under exact
+    replay; ``None`` when no finite comparison exists).  Deterministic
+    bits: ``full_vocab_parity`` — at the smallest tier, planning through
+    the pruning machinery with :class:`~repro.retrieval.FullVocabGenerator`
+    must be bit-identical to the exact planner — and
+    ``objective_in_candidates`` across every context and backend.
+    """
+    import tempfile
+
+    from repro.data.streaming import StreamingSyntheticConfig, build_streaming_store
+    from repro.retrieval import (
+        FullVocabGenerator,
+        make_generator,
+        overlap_at_k,
+        plan_regret,
+    )
+
+    r = config["retrieval"]
+    repeats = config.get("wall_repeats", 1)
+    plan_length = r["plan_max_length"]
+    overlap_k = r["overlap_k"]
+    planner_kwargs = dict(
+        beam_width=r["beam_width"], branch_factor=r["branch_factor"]
+    )
+
+    full_vocab_parity = True
+    objective_in_candidates = True
+    tiers_report: "list[dict]" = []
+    for tier_index, num_items in enumerate(r["vocab_tiers"]):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-retrieval-") as tmp:
+            store = build_streaming_store(
+                StreamingSyntheticConfig(
+                    num_items=num_items,
+                    num_users=r["num_users"],
+                    min_events=r["min_events"],
+                    max_events=r["max_events"],
+                    seed=0,
+                ),
+                os.path.join(tmp, "store"),
+                name=f"retrieval-{num_items}",
+            )
+            corpus = store.as_corpus()
+            split = split_corpus(
+                corpus, l_min=6, l_max=12, validation_fraction=0.0, seed=0
+            )
+            irn = IRN(**r["irn"]).fit(split)
+            instances = sample_objectives(
+                split,
+                min_objective_interactions=1,
+                seed=0,
+                max_instances=r["num_contexts"],
+            )
+            contexts = [
+                ([int(item) for item in inst.history], inst.objective, inst.user_index)
+                for inst in instances
+            ]
+            args = (
+                [c[0] for c in contexts],
+                [c[1] for c in contexts],
+                [c[2] for c in contexts],
+            )
+
+            exact_planner = BeamSearchPlanner(
+                irn, plan_cache_size=0, **planner_kwargs
+            ).fit(split)
+            exact_paths, exact_seconds = _timed_best(
+                lambda: exact_planner.plan_paths_batch(*args, max_length=plan_length),
+                repeats,
+            )
+            exact_scores = irn.score_with_objective_batch(*args)
+            exact_step_p95 = _step_latency_p95_ms(
+                BeamSearchPlanner(irn, max_length=plan_length, **planner_kwargs).fit(split),
+                contexts,
+                plan_length,
+            )
+
+            generators_report: dict = {}
+            best_speedup = 0.0
+            for spec in ("cooccurrence", "ann"):
+                generator = make_generator(spec, num_candidates=r["num_candidates"])
+                _, fit_seconds = _timed(lambda: generator.fit(split.corpus))
+                candidate_sets = [
+                    generator.candidates(history, objective, user)
+                    for history, objective, user in contexts
+                ]
+                objective_in_candidates = objective_in_candidates and all(
+                    cands is None or objective in cands
+                    for cands, (_, objective, _) in zip(candidate_sets, contexts)
+                )
+                overlaps = [
+                    overlap_at_k(exact_scores[row], cands, overlap_k)
+                    for row, cands in enumerate(candidate_sets)
+                ]
+                sizes = [int(c.size) for c in candidate_sets if c is not None]
+                pruned_planner = BeamSearchPlanner(
+                    irn,
+                    candidate_generator=generator,
+                    plan_cache_size=0,
+                    **planner_kwargs,
+                ).fit(split)
+                pruned_paths, pruned_seconds = _timed_best(
+                    lambda: pruned_planner.plan_paths_batch(
+                        *args, max_length=plan_length
+                    ),
+                    repeats,
+                )
+                regrets = [
+                    plan_regret(irn, history, objective, exact, pruned, user)
+                    for (history, objective, user), exact, pruned in zip(
+                        contexts, exact_paths, pruned_paths
+                    )
+                ]
+                finite_regrets = [value for value in regrets if np.isfinite(value)]
+                retrieval_counters = pruned_planner.cache_info()["retrieval"]
+                speedup = (
+                    round(exact_seconds / pruned_seconds, 2)
+                    if pruned_seconds > 0
+                    else float("inf")
+                )
+                best_speedup = max(best_speedup, speedup)
+                generators_report[spec] = {
+                    "fit_seconds": round(fit_seconds, 4),
+                    "seconds": round(pruned_seconds, 4),
+                    "paths_per_sec": (
+                        round(len(pruned_paths) / pruned_seconds, 2)
+                        if pruned_seconds > 0
+                        else float("inf")
+                    ),
+                    "speedup_vs_exact": speedup,
+                    "step_p95_ms": _step_latency_p95_ms(
+                        BeamSearchPlanner(
+                            irn,
+                            candidate_generator=generator,
+                            max_length=plan_length,
+                            **planner_kwargs,
+                        ).fit(split),
+                        contexts,
+                        plan_length,
+                    ),
+                    "overlap_at_k": round(float(np.mean(overlaps)), 4),
+                    "mean_plan_regret": (
+                        round(float(np.mean(finite_regrets)), 4)
+                        if finite_regrets
+                        else None
+                    ),
+                    "mean_candidate_size": (
+                        round(float(np.mean(sizes)), 1) if sizes else None
+                    ),
+                    "fallbacks": retrieval_counters["fallbacks"],
+                    "requests": retrieval_counters["requests"],
+                }
+
+            if tier_index == 0:
+                parity_planner = BeamSearchPlanner(
+                    irn,
+                    candidate_generator=FullVocabGenerator(),
+                    plan_cache_size=0,
+                    **planner_kwargs,
+                ).fit(split)
+                parity_paths = parity_planner.plan_paths_batch(
+                    *args, max_length=plan_length
+                )
+                full_vocab_parity = full_vocab_parity and parity_paths == exact_paths
+
+            tiers_report.append(
+                {
+                    "num_items": num_items,
+                    "vocab_size": split.corpus.vocab.size,
+                    "num_events": store.num_events,
+                    "num_contexts": len(contexts),
+                    "exact": {
+                        "seconds": round(exact_seconds, 4),
+                        "paths_per_sec": (
+                            round(len(exact_paths) / exact_seconds, 2)
+                            if exact_seconds > 0
+                            else float("inf")
+                        ),
+                        "step_p95_ms": exact_step_p95,
+                    },
+                    "generators": generators_report,
+                    "best_speedup": best_speedup,
+                    "peak_rss_kb": peak_rss_kb(),
+                }
+            )
+
+    return {
+        "profile": config["profile"],
+        "num_candidates": r["num_candidates"],
+        "overlap_k": overlap_k,
+        "beam_width": r["beam_width"],
+        "branch_factor": r["branch_factor"],
+        "plan_max_length": plan_length,
+        "wall_repeats": repeats,
+        "full_vocab_parity": bool(full_vocab_parity),
+        "objective_in_candidates": bool(objective_in_candidates),
+        "tiers": tiers_report,
+    }
+
+
 #: Section registry: name -> builder(irn, split, instances, config, **knobs).
 #: ``run_benchmarks(sections=...)`` and ``repro-irs bench --sections`` filter
 #: against these names.
@@ -1188,6 +1553,7 @@ BENCH_SECTIONS = (
     "async_serving",
     "replicated_serving",
     "observability",
+    "two_stage_retrieval",
 )
 
 
@@ -1228,23 +1594,29 @@ def run_benchmarks(
     sections are simply absent from the report).
     """
     selected = resolve_sections(sections)
-    config = smoke_config() if profile == "smoke" else default_config()
-    split = build_bench_split(config)
-    irn = IRN(**config["irn"]).fit(split)
-    instances = sample_objectives(
-        split,
-        min_objective_interactions=2,
-        seed=0,
-        max_instances=config["num_instances"],
-    )
+    config = bench_config(profile)
+    # The retrieval section builds its own per-tier corpora/models; when it
+    # is the only selection (CI's scale-smoke leg), skip the shared setup
+    # entirely instead of training a model nothing will use.
+    needs_shared = any(name != "two_stage_retrieval" for name in selected)
+    split = irn = instances = None
+    if needs_shared:
+        split = build_bench_split(config)
+        irn = IRN(**config["irn"]).fit(split)
+        instances = sample_objectives(
+            split,
+            min_objective_interactions=2,
+            seed=0,
+            max_instances=config["num_instances"],
+        )
 
     machine = machine_info()
     report = {
         "benchmark": "path_planning",
         "profile": config["profile"],
         "dataset": config["synthetic"]["name"],
-        "vocab_size": split.corpus.vocab.size,
-        "num_users": split.corpus.num_users,
+        "vocab_size": split.corpus.vocab.size if split is not None else None,
+        "num_users": split.corpus.num_users if split is not None else None,
         "machine": machine,
         "sections": list(selected),
     }
@@ -1271,15 +1643,22 @@ def run_benchmarks(
             irn, split, instances, config,
             shard_backend=shard_backend, vocab_shards=vocab_shards,
         ),
+        "two_stage_retrieval": lambda: _bench_two_stage_retrieval(config),
     }
     for name in selected:
         report[name] = builders[name]()
+        # Peak RSS is monotone per process, so the per-section reading is
+        # an upper bound reached BY the end of that section — the reader
+        # can attribute a jump to the section that introduced it.
+        report[name]["peak_rss_kb"] = peak_rss_kb()
     # Every section records the CPU count and the execution backend it ran
     # on, so the perf trajectory stays comparable across machines: the
     # non-sharded sections run in-process serial NumPy.
     for name in selected:
         report[name].setdefault("backend", "serial")
         report[name]["cpu_count"] = machine["cpu_count"]
+    # Refresh the root machine block's peak after the sections ran.
+    machine["peak_rss_kb"] = peak_rss_kb()
     if output:
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=False)
@@ -1299,7 +1678,11 @@ def run_benchmarks(
 
 def main(argv: Sequence[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--profile", choices=["smoke", "default"], default="default")
+    parser.add_argument(
+        "--profile",
+        default="default",
+        help=f"bench profile ({' | '.join(BENCH_PROFILES)})",
+    )
     parser.add_argument("--output", default="BENCH_path_planning.json")
     parser.add_argument(
         "--shard-backend",
@@ -1332,6 +1715,7 @@ def main(argv: Sequence[str] | None = None) -> None:
     args = parser.parse_args(argv)
     sections = args.sections.split(",") if args.sections else None
     resolve_sections(sections)  # fail on typos BEFORE training the model
+    resolve_profile(args.profile)  # same eager validation for the profile
     # Fail on an unwritable output path BEFORE spending minutes benchmarking.
     with open(args.output, "a", encoding="utf-8"):
         pass
@@ -1473,6 +1857,21 @@ def format_summary(report: dict) -> str:
             f"({replicated['hot_refit']['errored_requests']} errored, "
             f"{replicated['hot_refit']['rejected_requests']} rejected), "
             f"generations served {replicated['hot_refit']['generations_served']}"
+        )
+    if "two_stage_retrieval" in report:
+        retrieval = report["two_stage_retrieval"]
+        top = retrieval["tiers"][-1]
+        best_name, best = max(
+            top["generators"].items(), key=lambda item: item[1]["speedup_vs_exact"]
+        )
+        lines.append(
+            f"two-stage retrieval (V={top['vocab_size']}): exact "
+            f"{top['exact']['paths_per_sec']} paths/sec (step p95 "
+            f"{top['exact']['step_p95_ms']} ms) -> {best['paths_per_sec']} paths/sec "
+            f"under '{best_name}' ({best['speedup_vs_exact']}x, step p95 "
+            f"{best['step_p95_ms']} ms), overlap@{retrieval['overlap_k']} "
+            f"{best['overlap_at_k']}, mean regret {best['mean_plan_regret']}, "
+            f"full-vocab parity: {retrieval['full_vocab_parity']}"
         )
     if "observability" in report:
         obs = report["observability"]

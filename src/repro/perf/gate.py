@@ -28,6 +28,12 @@ regresses instead of silently uploading a broken artefact:
   overhead stays inside the recorded p95 budget, trace IDs are identical
   across identically-seeded repeats, and the async/replicated lockstep
   parity bits hold with tracing enabled.
+* ``two_stage_retrieval`` — full-coverage candidate sets plan
+  bit-identically to the exact planner (``full_vocab_parity``), every
+  candidate set contains its objective, and every tier records its
+  approximation metrics (overlap@k per generator, with zero fallbacks
+  implying a finite overlap) — throughput and regret are machine-bound
+  trajectory numbers, reported but not gated.
 
 Only the sections present in the report are checked (subset runs gate on
 what they ran), but ``--require`` names sections that must be present —
@@ -131,6 +137,45 @@ def _check_observability(section: dict, violations: "list[str]") -> None:
         )
 
 
+def _check_two_stage_retrieval(section: dict, violations: "list[str]") -> None:
+    if not section.get("full_vocab_parity"):
+        violations.append(
+            "two_stage_retrieval: full-vocabulary candidate sets did not plan "
+            "bit-identically to the exact planner (full_vocab_parity false)"
+        )
+    if not section.get("objective_in_candidates"):
+        violations.append(
+            "two_stage_retrieval: a candidate set was missing its objective item"
+        )
+    tiers = section.get("tiers", [])
+    if not tiers:
+        violations.append("two_stage_retrieval: the section recorded no vocab tiers")
+    for tier in tiers:
+        label = f"tier V={tier.get('vocab_size')}"
+        generators = tier.get("generators", {})
+        if not generators:
+            violations.append(
+                f"two_stage_retrieval: {label} recorded no generator backends"
+            )
+        for name, row in generators.items():
+            overlap = row.get("overlap_at_k")
+            if overlap is None or not 0.0 <= float(overlap) <= 1.0:
+                violations.append(
+                    f"two_stage_retrieval: {label} generator '{name}' recorded "
+                    f"no valid overlap@k (got {overlap})"
+                )
+            if "mean_plan_regret" not in row:
+                violations.append(
+                    f"two_stage_retrieval: {label} generator '{name}' recorded "
+                    f"no plan-regret measurement"
+                )
+            if row.get("fallbacks", 0) > row.get("requests", 0):
+                violations.append(
+                    f"two_stage_retrieval: {label} generator '{name}' counted "
+                    f"more fallbacks than requests"
+                )
+
+
 def collect_violations(report: dict, require: "Sequence[str]" = ()) -> "list[str]":
     """Every violated contract bit in ``report`` (empty list means green)."""
     violations: "list[str]" = []
@@ -183,6 +228,8 @@ def collect_violations(report: dict, require: "Sequence[str]" = ()) -> "list[str
         _check_replicated(report["replicated_serving"], violations)
     if "observability" in report:
         _check_observability(report["observability"], violations)
+    if "two_stage_retrieval" in report:
+        _check_two_stage_retrieval(report["two_stage_retrieval"], violations)
     return violations
 
 

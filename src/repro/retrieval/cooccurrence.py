@@ -1,0 +1,132 @@
+"""Sparse co-occurrence neighbour-expansion candidate generation.
+
+Fitting aggregates within-window co-occurrence counts into a scipy-free
+CSR structure (shared counting front-end with
+:mod:`repro.embeddings.cooccurrence` — no dense ``(V, V)`` is ever built)
+and keeps, for every item, its ``neighbors_per_item`` strongest neighbours
+in (count desc, index asc) order.
+
+A query seeds a frontier with the recent history and the objective, then
+expands it hop by hop through the stored neighbour lists, scoring each
+touched item by its summed co-occurrence weight with the frontier.  The
+final candidate set is the stable top ``num_candidates`` by (weight desc,
+index asc) — deterministic for a fixed fit.  Contexts whose seeds have no
+recorded neighbours return ``None`` (full-vocabulary fallback) rather than
+an arbitrary shortlist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.cooccurrence import _accumulate_pair_codes
+from repro.retrieval.base import CandidateGenerator, retrieval_registry
+from repro.shard.topk import stable_topk
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["CooccurrenceNeighborGenerator"]
+
+
+@retrieval_registry.register("cooccurrence")
+class CooccurrenceNeighborGenerator(CandidateGenerator):
+    """Top co-occurrence neighbours of the recent history and objective."""
+
+    name = "cooccurrence"
+
+    def __init__(
+        self,
+        num_candidates: int = 256,
+        window: int = 3,
+        neighbors_per_item: int = 32,
+        expansion_hops: int = 2,
+        history_window: int = 8,
+    ) -> None:
+        super().__init__(num_candidates=num_candidates)
+        if window < 1 or neighbors_per_item < 1:
+            raise ConfigurationError("window and neighbors_per_item must be >= 1")
+        if expansion_hops < 1 or history_window < 1:
+            raise ConfigurationError("expansion_hops and history_window must be >= 1")
+        self.window = window
+        self.neighbors_per_item = neighbors_per_item
+        self.expansion_hops = expansion_hops
+        self.history_window = history_window
+        self._neighbors: "np.ndarray | None" = None  # (V, m) item indices, 0-padded
+        self._weights: "np.ndarray | None" = None  # (V, m) co-occurrence counts
+
+    def _config_extras(self) -> tuple:
+        return (
+            self.window,
+            self.neighbors_per_item,
+            self.expansion_hops,
+            self.history_window,
+        )
+
+    def _fit(self, corpus, vocab_size: int) -> None:
+        codes, counts = _accumulate_pair_codes(corpus, self.window, vocab_size)
+        if codes.size == 0:
+            raise ConfigurationError("corpus has no co-occurrences")
+        rows = codes // vocab_size
+        cols = codes % vocab_size
+        m = self.neighbors_per_item
+        # Keep each row's strongest m neighbours: sort all nonzeros by
+        # (row asc, count desc, col asc) and take the first m per row.
+        order = np.lexsort((cols, -counts, rows))
+        sorted_rows = rows[order]
+        sorted_cols = cols[order]
+        sorted_counts = counts[order]
+        row_start_count = np.bincount(sorted_rows, minlength=vocab_size)
+        row_starts = np.zeros(vocab_size, dtype=np.int64)
+        np.cumsum(row_start_count[:-1], out=row_starts[1:])
+        within = np.arange(sorted_rows.size, dtype=np.int64) - row_starts[sorted_rows]
+        keep = within < m
+        neighbors = np.zeros((vocab_size, m), dtype=np.int64)
+        weights = np.zeros((vocab_size, m), dtype=np.float64)
+        neighbors[sorted_rows[keep], within[keep]] = sorted_cols[keep]
+        weights[sorted_rows[keep], within[keep]] = sorted_counts[keep]
+        self._neighbors = neighbors
+        self._weights = weights
+
+    def _candidates(self, history, objective, user_index):
+        assert self._neighbors is not None and self._weights is not None
+        vocab = self._neighbors.shape[0]
+        recent = [int(item) for item in history[-self.history_window :]]
+        seeds = {item for item in recent if 1 <= item < vocab}
+        seeds.add(int(objective))
+        frontier = np.fromiter(sorted(seeds), dtype=np.int64)
+
+        scores = {}
+        for hop in range(self.expansion_hops):
+            hop_weight = 1.0 / (hop + 1)  # later hops count less
+            neighbor_ids = self._neighbors[frontier].ravel()
+            neighbor_weights = self._weights[frontier].ravel()
+            live = neighbor_weights > 0
+            neighbor_ids = neighbor_ids[live]
+            neighbor_weights = neighbor_weights[live] * hop_weight
+            if neighbor_ids.size == 0:
+                break
+            unique, inverse = np.unique(neighbor_ids, return_inverse=True)
+            summed = np.bincount(
+                inverse, weights=neighbor_weights, minlength=unique.size
+            )
+            next_frontier: "list[int]" = []
+            for item, weight in zip(unique, summed):
+                item = int(item)
+                if item not in scores:
+                    next_frontier.append(item)
+                scores[item] = scores.get(item, 0.0) + float(weight)
+            if len(scores) >= self.num_candidates:
+                break
+            frontier = np.asarray(next_frontier, dtype=np.int64)
+            if frontier.size == 0:
+                break
+
+        if not scores:
+            return None  # cold seeds: fall back to the full vocabulary
+        items = np.fromiter(scores.keys(), dtype=np.int64)
+        weights = np.fromiter(scores.values(), dtype=np.float64)
+        item_order = np.argsort(items, kind="stable")
+        items, weights = items[item_order], weights[item_order]
+        k = min(self.num_candidates, items.size)
+        # (weight desc, position asc) over index-sorted items == index-asc ties.
+        top, _ = stable_topk(weights[None, :], k)
+        return items[top[0]]

@@ -61,6 +61,32 @@ def green_report() -> dict:
             "async_parity_with_tracing": True,
             "replicated_parity_with_tracing": True,
         },
+        "two_stage_retrieval": {
+            "full_vocab_parity": True,
+            "objective_in_candidates": True,
+            "tiers": [
+                {
+                    "num_items": 500,
+                    "vocab_size": 501,
+                    "generators": {
+                        "cooccurrence": {
+                            "overlap_at_k": 0.8,
+                            "mean_plan_regret": 0.02,
+                            "requests": 4,
+                            "fallbacks": 0,
+                        },
+                        "ann": {
+                            "overlap_at_k": 0.6,
+                            # None = no finite exact/pruned comparison — a
+                            # legal measurement, distinct from a missing key.
+                            "mean_plan_regret": None,
+                            "requests": 4,
+                            "fallbacks": 1,
+                        },
+                    },
+                }
+            ],
+        },
     }
 
 
@@ -185,6 +211,73 @@ class TestCollectViolations:
             assert any(
                 "changed with tracing enabled" in v for v in collect_violations(report)
             )
+
+
+class TestTwoStageRetrievalGate:
+    def test_parity_bit_false_fails(self):
+        report = green_report()
+        report["two_stage_retrieval"]["full_vocab_parity"] = False
+        assert any(
+            "full_vocab_parity false" in v for v in collect_violations(report)
+        )
+
+    def test_missing_objective_fails(self):
+        report = green_report()
+        report["two_stage_retrieval"]["objective_in_candidates"] = False
+        assert any(
+            "missing its objective" in v for v in collect_violations(report)
+        )
+
+    def test_empty_tiers_fail(self):
+        report = green_report()
+        report["two_stage_retrieval"]["tiers"] = []
+        assert any("no vocab tiers" in v for v in collect_violations(report))
+
+    def test_tier_without_generators_fails(self):
+        report = green_report()
+        report["two_stage_retrieval"]["tiers"][0]["generators"] = {}
+        assert any(
+            "no generator backends" in v for v in collect_violations(report)
+        )
+
+    def test_missing_or_out_of_range_overlap_fails(self):
+        for bad in (None, 1.5, -0.1):
+            report = green_report()
+            generators = report["two_stage_retrieval"]["tiers"][0]["generators"]
+            generators["ann"]["overlap_at_k"] = bad
+            assert any(
+                "no valid overlap@k" in v and "'ann'" in v
+                for v in collect_violations(report)
+            )
+
+    def test_missing_regret_key_fails_but_none_value_passes(self):
+        # None regret (no finite comparison) is a recorded measurement and
+        # must pass; a MISSING key means the bench never measured it.
+        assert collect_violations(green_report()) == []
+        report = green_report()
+        del report["two_stage_retrieval"]["tiers"][0]["generators"]["cooccurrence"][
+            "mean_plan_regret"
+        ]
+        assert any(
+            "no plan-regret measurement" in v and "'cooccurrence'" in v
+            for v in collect_violations(report)
+        )
+
+    def test_more_fallbacks_than_requests_fails(self):
+        report = green_report()
+        generators = report["two_stage_retrieval"]["tiers"][0]["generators"]
+        generators["ann"]["fallbacks"] = 9
+        assert any(
+            "more fallbacks than requests" in v for v in collect_violations(report)
+        )
+
+    def test_require_two_stage_retrieval_flags_missing_section(self):
+        violations = collect_violations(
+            {"machine": {}}, require=["two_stage_retrieval"]
+        )
+        assert violations == [
+            "two_stage_retrieval: required section missing from the report"
+        ]
 
 
 class TestGateMain:

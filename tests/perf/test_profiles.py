@@ -1,0 +1,86 @@
+"""Bench profile resolution and the scale profile's shape (no benchmarking).
+
+The ``--profile`` flag resolves through :func:`repro.perf.bench.resolve_profile`
+eagerly — unknown names must fail with the known-profile list before any
+model trains — and the ``scale`` profile's retrieval tiers are env-tunable
+via ``REPRO_BENCH_SCALE_TIERS``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.bench import (
+    BENCH_PROFILES,
+    bench_config,
+    default_config,
+    machine_info,
+    peak_rss_kb,
+    resolve_profile,
+    scale_config,
+    smoke_config,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestResolveProfile:
+    def test_known_profiles(self):
+        assert BENCH_PROFILES == ("smoke", "default", "scale")
+        for name in BENCH_PROFILES:
+            assert resolve_profile(name) == name
+
+    def test_whitespace_and_case_normalised(self):
+        assert resolve_profile(" Scale ") == "scale"
+
+    def test_unknown_profile_lists_known(self):
+        with pytest.raises(ConfigurationError, match="smoke, default, scale"):
+            resolve_profile("quantum")
+
+    def test_bench_config_dispatch(self):
+        assert bench_config("smoke")["profile"] == "smoke"
+        assert bench_config("default")["profile"] == "default"
+        assert bench_config("scale")["profile"] == "scale"
+
+
+class TestProfileShapes:
+    def test_every_profile_carries_a_retrieval_config(self):
+        for config in (smoke_config(), default_config(), scale_config()):
+            retrieval = config["retrieval"]
+            assert retrieval["vocab_tiers"]
+            assert retrieval["num_candidates"] >= retrieval["overlap_k"]
+            assert retrieval["beam_width"] >= 1
+
+    def test_scale_profile_defaults_to_1e4_and_1e5_tiers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE_TIERS", raising=False)
+        assert scale_config()["retrieval"]["vocab_tiers"] == [10_000, 100_000]
+
+    def test_scale_tiers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE_TIERS", "1000, 1000000")
+        assert scale_config()["retrieval"]["vocab_tiers"] == [1_000, 1_000_000]
+
+    def test_scale_tiers_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE_TIERS", "ten")
+        with pytest.raises(ConfigurationError, match="REPRO_BENCH_SCALE_TIERS"):
+            scale_config()
+        monkeypatch.setenv("REPRO_BENCH_SCALE_TIERS", "50")
+        with pytest.raises(ConfigurationError, match="REPRO_BENCH_SCALE_TIERS"):
+            scale_config()
+
+    def test_scale_profile_shares_the_smoke_corpus_for_other_sections(self):
+        scale, smoke = scale_config(), smoke_config()
+        assert scale["synthetic"] == smoke["synthetic"]
+        assert scale["irn"] == smoke["irn"]
+
+
+class TestPeakRss:
+    def test_machine_info_records_peak_rss(self):
+        info = machine_info()
+        assert "peak_rss_kb" in info
+
+    def test_peak_rss_positive_on_posix(self):
+        import sys
+
+        if not sys.platform.startswith(("linux", "darwin")):
+            pytest.skip("ru_maxrss unavailable off-POSIX")
+        rss = peak_rss_kb()
+        assert rss is not None and rss > 0

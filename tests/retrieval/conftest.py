@@ -1,0 +1,38 @@
+"""Fixtures for the two-stage retrieval subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.irn import IRN
+from repro.evaluation.protocol import sample_objectives
+
+
+@pytest.fixture(scope="module")
+def retrieval_irn(tiny_split):
+    return IRN(
+        embedding_dim=16,
+        user_dim=4,
+        num_heads=2,
+        num_layers=1,
+        epochs=1,
+        batch_size=32,
+        max_sequence_length=50,
+        seed=0,
+    ).fit(tiny_split)
+
+
+@pytest.fixture(scope="module")
+def contexts(tiny_split):
+    instances = sample_objectives(
+        tiny_split, min_objective_interactions=2, max_instances=6
+    )
+    return [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+
+
+def plan_args(contexts):
+    return (
+        [c[0] for c in contexts],
+        [c[1] for c in contexts],
+        [c[2] for c in contexts],
+    )

@@ -1,0 +1,153 @@
+"""The exactness property behind two-stage retrieval.
+
+Candidate-pruned top-k selection is identical to
+:func:`repro.shard.topk.stable_topk` over the full scores whenever the
+candidate set covers the true top-k — including under heavy ties, where
+the deterministic (value desc, index asc) order is what makes the claim
+well-defined.  Checked both on synthetic score matrices (pure masking
+semantics) and through the IRN's gathered candidate projection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.shard.topk import stable_topk
+
+
+def _mask_outside(row: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    masked = np.full_like(row, -np.inf)
+    masked[candidates] = row[candidates]
+    return masked
+
+
+class TestMaskedTopkIdentity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_covering_candidates_reproduce_exact_topk(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=(3, 64))
+        scores[:, 0] = -np.inf
+        k = 8
+        top, values = stable_topk(scores, k)
+        for row in range(scores.shape[0]):
+            extras = rng.choice(np.arange(1, 64), size=12, replace=False)
+            cover = np.unique(np.concatenate([top[row], extras]))
+            masked = _mask_outside(scores[row], cover)
+            pruned_top, pruned_values = stable_topk(masked[None, :], k)
+            assert np.array_equal(pruned_top[0], top[row])
+            assert np.array_equal(pruned_values[0], values[row])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tie_heavy_vocabulary(self, seed):
+        # Integer-valued scores force massive ties; the stable order breaks
+        # them by index, and a covering candidate set must reproduce that
+        # exact selection (an excluded tied item always has a HIGHER index
+        # than every selected one, so masking it cannot change winners).
+        rng = np.random.default_rng(100 + seed)
+        scores = rng.integers(0, 4, size=(2, 40)).astype(np.float64)
+        scores[:, 0] = -np.inf
+        k = 10
+        top, values = stable_topk(scores, k)
+        for row in range(scores.shape[0]):
+            extras = rng.choice(np.arange(1, 40), size=10, replace=False)
+            cover = np.unique(np.concatenate([top[row], extras]))
+            masked = _mask_outside(scores[row], cover)
+            pruned_top, pruned_values = stable_topk(masked[None, :], k)
+            assert np.array_equal(pruned_top[0], top[row])
+            assert np.array_equal(pruned_values[0], values[row])
+
+    def test_non_covering_candidates_differ_visibly(self):
+        # The counter-example guarding the property's precondition: drop the
+        # argmax from the candidate set and the pruned top-k must NOT match.
+        scores = np.array([[-np.inf, 5.0, 4.0, 3.0, 2.0]])
+        top, _ = stable_topk(scores, 2)
+        cover = np.array([2, 3, 4])  # argmax (1) excluded
+        masked = _mask_outside(scores[0], cover)
+        pruned_top, _ = stable_topk(masked[None, :], 2)
+        assert not np.array_equal(pruned_top[0], top[0])
+
+
+class TestIRNCandidateScoring:
+    def test_candidate_columns_match_full_scores(self, retrieval_irn, contexts):
+        histories = [c[0] for c in contexts]
+        objectives = [c[1] for c in contexts]
+        users = [c[2] for c in contexts]
+        full = retrieval_irn.score_with_objective_batch(histories, objectives, users)
+        rng = np.random.default_rng(0)
+        candidates = np.unique(
+            np.concatenate(
+                [
+                    rng.choice(
+                        np.arange(1, retrieval_irn.vocab_size), size=20, replace=False
+                    ),
+                    np.asarray(objectives, dtype=np.int64),
+                ]
+            )
+        )
+        pruned = retrieval_irn.score_with_objective_batch(
+            histories, objectives, users, candidate_items=candidates
+        )
+        keep = np.zeros(retrieval_irn.vocab_size, dtype=bool)
+        keep[candidates] = True
+        assert np.all(np.isneginf(pruned[:, ~keep]))
+        np.testing.assert_allclose(
+            pruned[:, keep], full[:, keep], rtol=0, atol=1e-9
+        )
+
+    def test_pruned_topk_equals_exact_under_coverage(self, retrieval_irn, contexts):
+        k = 5
+        for history, objective, user in contexts:
+            full = retrieval_irn.score_with_objective_batch(
+                [history], [objective], [user]
+            )
+            top, values = stable_topk(full, k)
+            finite = np.isfinite(values[0])
+            exact_top = top[0][finite]
+            rng = np.random.default_rng(int(objective))
+            extras = rng.choice(
+                np.arange(1, retrieval_irn.vocab_size), size=15, replace=False
+            )
+            cover = np.unique(
+                np.concatenate([exact_top, extras, [objective]])
+            )
+            pruned = retrieval_irn.score_with_objective_batch(
+                [history], [objective], [user], candidate_items=cover
+            )
+            pruned_top, pruned_values = stable_topk(pruned, k)
+            pruned_finite = np.isfinite(pruned_values[0])
+            assert np.array_equal(pruned_top[0][pruned_finite], exact_top)
+
+    def test_full_coverage_short_circuits_to_exact(self, retrieval_irn, contexts):
+        histories = [c[0] for c in contexts]
+        objectives = [c[1] for c in contexts]
+        users = [c[2] for c in contexts]
+        full = retrieval_irn.score_with_objective_batch(histories, objectives, users)
+        covered = retrieval_irn.score_with_objective_batch(
+            histories,
+            objectives,
+            users,
+            candidate_items=np.arange(1, retrieval_irn.vocab_size),
+        )
+        # Structural bit-identity: full coverage takes the exact code path.
+        assert np.array_equal(full, covered)
+
+    def test_invalid_candidate_sets_rejected(self, retrieval_irn, contexts):
+        from repro.utils.exceptions import ConfigurationError
+
+        history, objective, user = contexts[0]
+        with pytest.raises(ConfigurationError):
+            retrieval_irn.score_with_objective_batch(
+                [history], [objective], [user], candidate_items=np.array([], dtype=np.int64)
+            )
+        with pytest.raises(ConfigurationError):
+            retrieval_irn.score_with_objective_batch(
+                [history], [objective], [user], candidate_items=np.array([0, 3])
+            )
+        with pytest.raises(ConfigurationError):
+            retrieval_irn.score_with_objective_batch(
+                [history],
+                [objective],
+                [user],
+                candidate_items=np.array([retrieval_irn.vocab_size]),
+            )

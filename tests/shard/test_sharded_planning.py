@@ -107,7 +107,7 @@ class TestShardedPlannerParity:
         planner = BeamSearchPlanner(shard_irn, num_workers=4).fit(tiny_split)
         planner.plan_paths_batch(*_plan_args(contexts), max_length=5)
         for history, objective, user in contexts:
-            key = (tuple(history), objective, user, 5)
+            key = (tuple(history), objective, user, 5, planner._retrieval_key())
             owner = planner.plan_cache.shards[shard_index(key, 4)]
             assert key in owner
 

@@ -361,3 +361,130 @@ class TestReplicationFlags:
         }
         with pytest.raises(ConfigurationError, match="strictly inside"):
             _resolve_replica_args(args, duration=0.2)
+
+
+class TestProfileResolution:
+    """Satellite of the retrieval PR: --profile is validated eagerly, with
+    the bench profile names (smoke/default/scale) accepted by the bench and
+    serving commands and rejected — with a clear error — by the paper
+    artefacts."""
+
+    def test_bench_unknown_profile_raises_before_training(self):
+        with pytest.raises(ConfigurationError, match="smoke, default, scale"):
+            main(["bench", "--profile", "quantum"])
+
+    def test_bench_accepts_bench_profile_names(self):
+        from repro.cli import _resolve_bench_profile
+
+        assert _resolve_bench_profile("fast") == "smoke"
+        assert _resolve_bench_profile("smoke") == "smoke"
+        assert _resolve_bench_profile("default") == "default"
+        assert _resolve_bench_profile("scale") == "scale"
+
+    def test_paper_artefacts_reject_bench_only_profiles(self):
+        for profile in ("scale", "smoke", "quantum"):
+            with pytest.raises(ConfigurationError, match="paper artefacts"):
+                main(["table6", "--profile", profile])
+
+    def test_run_exits_2_on_unknown_profile(self, capsys):
+        from repro.cli import run
+
+        assert run(["bench", "--profile", "quantum"]) == 2
+        assert "known profiles" in capsys.readouterr().err
+
+
+class TestServeSimRetrievalFlags:
+    """Satellite of the retrieval PR: serve-sim plugs a candidate generator
+    into the serving planner via --retrieval / --candidate-k."""
+
+    def test_flags_parsed_with_defaults(self):
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.retrieval is None
+        assert args.candidate_k is None
+
+    def test_unknown_retrieval_spec_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown retrieval spec"):
+            main(["serve-sim", "--profile", "fast", "--retrieval", "quantum"])
+
+    def test_candidate_k_requires_retrieval(self):
+        with pytest.raises(ConfigurationError, match="requires --retrieval"):
+            main(["serve-sim", "--profile", "fast", "--candidate-k", "64"])
+
+    def test_invalid_candidate_k_raises(self):
+        with pytest.raises(ConfigurationError, match="candidate-k"):
+            main(
+                [
+                    "serve-sim",
+                    "--profile",
+                    "fast",
+                    "--retrieval",
+                    "cooccurrence",
+                    "--candidate-k",
+                    "many",
+                ]
+            )
+        with pytest.raises(ConfigurationError, match="num_candidates"):
+            main(
+                [
+                    "serve-sim",
+                    "--profile",
+                    "fast",
+                    "--retrieval",
+                    "cooccurrence",
+                    "--candidate-k",
+                    "0",
+                ]
+            )
+
+    def test_serve_sim_with_cooccurrence_retrieval(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "serve_retrieval.json"
+        code = main(
+            [
+                "serve-sim",
+                "--profile",
+                "fast",
+                "--arrival-rate",
+                "100",
+                "--duration",
+                "0.3",
+                "--retrieval",
+                "cooccurrence",
+                "--candidate-k",
+                "16",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "retrieval: cooccurrence shortlists (k=16)" in out
+        report = json.loads(output.read_text())
+        assert report["retrieval"]["spec"] == "cooccurrence"
+        assert report["retrieval"]["candidate_k"] == 16
+        metrics = report["retrieval"]["metrics"]
+        assert metrics["generator"] == "cooccurrence"
+        assert metrics["requests"] > 0
+        assert metrics["fallbacks"] <= metrics["requests"]
+
+    def test_serve_sim_without_retrieval_reports_exact_spec(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "serve_exact.json"
+        code = main(
+            [
+                "serve-sim",
+                "--profile",
+                "fast",
+                "--arrival-rate",
+                "100",
+                "--duration",
+                "0.3",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        report = json.loads(output.read_text())
+        assert report["retrieval"] == {"spec": "none", "candidate_k": 256}
