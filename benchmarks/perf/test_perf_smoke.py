@@ -168,12 +168,44 @@ def test_replicated_hot_refit_never_pauses_serving(smoke_report):
     )
 
 
+def test_distributed_serving_parity_and_chaos_bits(smoke_report):
+    """Distributed-PR acceptance: multi-process responses bit-identical to
+    sequential serving at every worker count, codec timed per envelope, and
+    the SIGKILL chaos run dropped nothing and detected the dead worker
+    inside the missed-heartbeat budget (the bits repro.perf.gate enforces)."""
+    distributed = smoke_report["distributed_serving"]
+    codec = distributed["codec"]
+    assert codec["request_encode_ns"] > 0
+    assert codec["request_decode_ns"] > 0
+    assert codec["heartbeat_frame_bytes"] > 0
+    if not distributed["fork_available"]:  # pragma: no cover - non-fork platforms
+        pytest.skip("process transport needs fork")
+    assert [row["num_workers"] for row in distributed["workers"]] == [1, 2, 4]
+    for row in distributed["workers"]:
+        assert row["responses_match_sequential"]
+        assert row["burst_answers_match"]
+        assert row["remote"]["paths_per_sec"] > 0
+        sojourn = row["remote"]["sojourn_ms"]
+        assert 0 <= sojourn["p50"] <= sojourn["p95"] <= sojourn["p99"]
+    chaos = distributed["chaos"]
+    assert chaos["zero_dropped"] is True
+    assert chaos["answers_match"] is True
+    assert chaos["unhealthy_within_budget"] is True
+    assert distributed["heartbeat"]["observed_per_worker_per_sec"] > 0
+
+
 def test_replicated_serving_report_gates_green(smoke_report):
     """The smoke report itself must pass the CI perf gate."""
     from repro.perf.gate import collect_violations
 
     assert collect_violations(
-        smoke_report, require=["tensor_ops", "async_serving", "replicated_serving"]
+        smoke_report,
+        require=[
+            "tensor_ops",
+            "async_serving",
+            "replicated_serving",
+            "distributed_serving",
+        ],
     ) == []
 
 
@@ -197,6 +229,7 @@ def test_sections_filter_runs_subset():
         "sharded_evaluation",
         "async_serving",
         "replicated_serving",
+        "distributed_serving",
         "observability",
         "two_stage_retrieval",
     )
@@ -217,6 +250,7 @@ def test_every_section_records_cpu_count_and_backend(smoke_report):
         "sharded_evaluation",
         "async_serving",
         "replicated_serving",
+        "distributed_serving",
         "observability",
         "two_stage_retrieval",
     )

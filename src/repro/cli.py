@@ -15,6 +15,7 @@ Examples
     repro-irs serve-sim --profile fast --arrival-rate 200 --duration 1
     repro-irs serve-sim --profile fast --retrieval cooccurrence --candidate-k 64
     repro-irs serve-sim --profile fast --replicas 2 --refit-at 0.5 --duration 2
+    repro-irs serve-sim --profile fast --transport process --replicas 2 --duration 1
     repro-irs serve-sim --profile fast --trace-sample-rate 0.5 --duration 1
     repro-irs trace --profile fast --output traces.json
     repro-irs metrics --profile fast --metrics-format json --output metrics.json
@@ -49,9 +50,14 @@ replicas behind the least-loaded dispatcher — and ``--refit-at T`` (or
 ``REPRO_REFIT_AT``) arms a hot refit ``T`` seconds into the trace: fresh
 replicas train off-path and the generation flips atomically, so the report
 additionally carries the refit timings, per-generation latency and the
-no-pause bit.  Bad knob combinations (``--replicas 0``, ``--refit-at``
-at/past ``--duration``) exit nonzero with a clear ``ConfigurationError``
-before any model trains.
+no-pause bit.  ``--transport process`` (or ``REPRO_TRANSPORT``) moves the
+replicas into forked worker processes behind the binary wire protocol
+(:mod:`repro.distributed`): one :class:`~repro.distributed.RemoteReplicaSet`
+front-end keeps the same dispatcher surface, heartbeats feed the load
+signals (``--heartbeat-interval``), and a refit ships versioned artifacts
+to standby workers instead of retraining in-process.  Bad knob
+combinations (``--replicas 0``, ``--refit-at`` at/past ``--duration``)
+exit nonzero with a clear ``ConfigurationError`` before any model trains.
 
 Scaling knobs (``--num-workers``, ``--shard-backend``, ``--vocab-shards``,
 ``--rollout-chunk-size``) configure the sharded execution subsystem
@@ -254,6 +260,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "serve-sim: least_loaded | round_robin replica routing "
             "(default: $REPRO_DISPATCH_POLICY or least_loaded)"
+        ),
+    )
+    # Distributed-transport knobs (repro.distributed) — raw strings
+    # validated by the distributed config resolvers.
+    parser.add_argument(
+        "--transport",
+        default=None,
+        help=(
+            "serve-sim: inproc | process replica transport; 'process' forks one "
+            "worker per replica behind the binary wire protocol "
+            "(default: $REPRO_TRANSPORT or inproc)"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        default=None,
+        help=(
+            "serve-sim: seconds between worker heartbeats under --transport "
+            "process (default: $REPRO_HEARTBEAT_INTERVAL or 0.05)"
         ),
     )
     # Observability knobs (repro.obs) — raw strings validated by the obs
@@ -630,6 +655,18 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
 
     serve = _resolve_serve_args(args)
     replication = _resolve_replica_args(args, serve["duration"])
+    # Transport knobs validate eagerly (before any model trains), same as
+    # every other serve-sim flag.
+    from repro.distributed.config import resolve_heartbeat_interval, resolve_transport
+
+    transport = resolve_transport(args.transport)
+    heartbeat_interval = resolve_heartbeat_interval(args.heartbeat_interval)
+    if args.heartbeat_interval is not None and transport != "process":
+        print(
+            "warning: --heartbeat-interval only applies under --transport "
+            "process; the in-process fleet has no heartbeats",
+            file=sys.stderr,
+        )
     num_workers, backend, vocab_shards, _ = _resolve_shard_args(args)
     retrieval_spec, candidate_k, generator = _resolve_retrieval_args(args)
     tracer = None
@@ -671,29 +708,54 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
             candidate_generator=generator,
         ).fit(split)
 
-    replicated = replication["num_replicas"] > 1 or replication["refit_at"] is not None
+    replicated = (
+        replication["num_replicas"] > 1
+        or replication["refit_at"] is not None
+        or transport == "process"
+    )
     if replicated:
         from repro.replica import ReplicaSet, run_replicated_open_loop
 
         def planner_factory():
             # One independently fitted backbone per replica (and per refit):
             # deterministic config + seed, so every generation's weights are
-            # identical and routing stays bit-exact.
+            # identical and routing stays bit-exact.  Under the process
+            # transport the factory runs ONCE per generation — fork hands
+            # every worker its copy and refits ship versioned artifacts.
             return make_planner(IRN(**bench_config["irn"]).fit(split))
 
-        print(
-            f"training {replication['num_replicas']} replica backbone(s)...",
-            file=sys.stderr,
-        )
-        replica_set = ReplicaSet(
-            planner_factory,
-            num_replicas=replication["num_replicas"],
-            max_queue_depth=serve["max_queue_depth"],
-            admission_policy=serve["admission_policy"],
-            drain_deadline=serve["drain_deadline"],
-            dispatch_policy=replication["dispatch_policy"],
-            tracer=tracer,
-        )
+        if transport == "process":
+            from repro.distributed import RemoteReplicaSet
+
+            print(
+                f"spawning {replication['num_replicas']} worker process(es) "
+                f"over the binary transport...",
+                file=sys.stderr,
+            )
+            replica_set = RemoteReplicaSet(
+                planner_factory,
+                num_replicas=replication["num_replicas"],
+                max_queue_depth=serve["max_queue_depth"],
+                admission_policy=serve["admission_policy"],
+                drain_deadline=serve["drain_deadline"],
+                dispatch_policy=replication["dispatch_policy"],
+                tracer=tracer,
+                heartbeat_interval=heartbeat_interval,
+            )
+        else:
+            print(
+                f"training {replication['num_replicas']} replica backbone(s)...",
+                file=sys.stderr,
+            )
+            replica_set = ReplicaSet(
+                planner_factory,
+                num_replicas=replication["num_replicas"],
+                max_queue_depth=serve["max_queue_depth"],
+                admission_policy=serve["admission_policy"],
+                drain_deadline=serve["drain_deadline"],
+                dispatch_policy=replication["dispatch_policy"],
+                tracer=tracer,
+            )
         with replica_set:
             report = run_replicated_open_loop(
                 replica_set,
@@ -736,8 +798,14 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         "num_queues": num_queues,
     }
     report["replication"] = {**replication, "enabled": replicated}
+    report["transport"] = {"kind": transport}
+    if transport == "process":
+        report["transport"]["heartbeat_interval"] = heartbeat_interval
+        report["transport"].update(replica_set.stats()["transport"])
     report["retrieval"] = {"spec": retrieval_spec, "candidate_k": candidate_k}
-    if generator is not None:
+    if generator is not None and hasattr(planner, "cache_info"):
+        # Worker-process planners keep their caches remote; the proxy has
+        # no cache_info, so the retrieval metrics stay worker-side there.
         report["retrieval"]["metrics"] = planner.cache_info().get("retrieval")
     if tracer is not None:
         report["observability"] = {
@@ -780,8 +848,17 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
                 f"{refit['inflight_at_flip']} request(s) in flight "
                 f"(completed during trace: {refit['completed_during_trace']})"
             )
+    if transport == "process":
+        transport_stats = report["transport"]
+        print(
+            f"transport: process ({replication['num_replicas']} worker(s), "
+            f"heartbeat every {heartbeat_interval}s), "
+            f"{transport_stats.get('requests_sent', 0)} request(s) shipped, "
+            f"{transport_stats.get('heartbeats', 0)} heartbeat(s), "
+            f"{transport_stats.get('redispatched', 0)} re-dispatched"
+        )
     if generator is not None:
-        metrics = report["retrieval"]["metrics"] or {}
+        metrics = report["retrieval"].get("metrics") or {}
         print(
             f"retrieval: {retrieval_spec} shortlists (k={candidate_k}), "
             f"{metrics.get('requests', 0)} request(s), "

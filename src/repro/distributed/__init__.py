@@ -1,0 +1,53 @@
+"""Multi-process serving: forked replica workers behind a binary wire protocol.
+
+The package splits the in-process :class:`~repro.replica.set.ReplicaSet`
+across OS processes while keeping its exact surface:
+
+* :mod:`repro.distributed.wire` — length-prefixed binary codec for request/
+  response/heartbeat frames (struct-packed hot path, JSON control plane).
+* :mod:`repro.distributed.worker` — the forked worker process: a full
+  :class:`~repro.serve.loop.ServingLoop` behind an ``AF_UNIX`` socketpair.
+* :mod:`repro.distributed.remote` — the parent front-end
+  (:class:`RemoteReplicaSet`), heartbeat-fed dispatch, the failure
+  detector and the artifact-shipping refit coordinator.
+* :mod:`repro.distributed.artifacts` — the ``(name, generation)``-versioned
+  artifact registry refits publish to and workers install from.
+* :mod:`repro.distributed.config` — transport knobs
+  (``REPRO_TRANSPORT`` / ``REPRO_HEARTBEAT_INTERVAL`` /
+  ``REPRO_HEARTBEAT_MISSES`` / ``REPRO_PROBATION_BEATS``).
+"""
+
+from repro.distributed.artifacts import (
+    Artifact,
+    ArtifactRegistry,
+    artifacts_from_planner,
+)
+from repro.distributed.config import (
+    VALID_TRANSPORTS,
+    resolve_heartbeat_interval,
+    resolve_heartbeat_misses,
+    resolve_probation_beats,
+    resolve_transport,
+)
+from repro.distributed.remote import (
+    RemoteRefitCoordinator,
+    RemoteReplica,
+    RemoteReplicaSet,
+)
+from repro.distributed.worker import ReplicaWorker, spawn_worker
+
+__all__ = [
+    "Artifact",
+    "ArtifactRegistry",
+    "RemoteRefitCoordinator",
+    "RemoteReplica",
+    "RemoteReplicaSet",
+    "ReplicaWorker",
+    "VALID_TRANSPORTS",
+    "artifacts_from_planner",
+    "resolve_heartbeat_interval",
+    "resolve_heartbeat_misses",
+    "resolve_probation_beats",
+    "resolve_transport",
+    "spawn_worker",
+]

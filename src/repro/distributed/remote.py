@@ -1,0 +1,1077 @@
+"""Multi-process replica serving behind the in-process ``ReplicaSet`` surface.
+
+:class:`RemoteReplicaSet` keeps the exact submission surface of
+:class:`~repro.replica.set.ReplicaSet` (``submit`` / ``submit_next_step`` /
+``submit_plan_paths`` / ``enqueue`` / ``stats`` / ``refit`` / context
+manager), so every traffic driver — ``replay_lockstep``,
+``run_open_loop``, ``run_replicated_open_loop`` — runs against it
+unchanged.  Behind the surface each replica is a forked
+:class:`~repro.distributed.worker.ReplicaWorker` *process* (its own GIL,
+plan-cache shards and K/V arenas) reached over an ``AF_UNIX`` socketpair
+speaking the :mod:`repro.distributed.wire` protocol.
+
+What replaces the shared-memory signals of the in-process set:
+
+* **Heartbeat-fed dispatch** — the existing
+  :class:`~repro.replica.dispatch.Dispatcher` is reused verbatim;
+  :class:`RemoteReplica` duck-types the replica scoring surface
+  (``healthy`` / ``cold()`` / ``score()``) from the latest HEARTBEAT
+  frame's EWMA in-flight depth and recent p95 instead of locking shared
+  counters.
+* **A real failure detector** — ``healthy`` is now a verdict, not a flag:
+  a worker that misses ``heartbeat_misses`` consecutive heartbeat
+  intervals (hung, stopped, or livelocked) is *suspected* and leaves the
+  dispatch pool; a worker whose socket hits EOF (killed, crashed) is
+  *dead*.  Either way its registered in-flight requests re-dispatch to the
+  survivors through the normal ``enqueue`` path — the same futures, never
+  dropped — and duplicate late answers are discarded by the pending-table
+  discipline.  A suspected worker that resumes heartbeating rejoins after
+  ``probation_beats`` consecutive beats (dead workers never rejoin).
+* **A versioned-artifact refit** — :class:`RemoteRefitCoordinator` trains
+  the next generation off-path in the parent, publishes its model weights
+  and retrieval-generator state to the :class:`ArtifactRegistry` keyed by
+  ``(name, generation)``, forks standby workers, ships and verifies the
+  artifacts over INSTALL_ARTIFACT frames (checksummed; the wire copy is
+  authoritatively loaded into each standby's backbone), then performs the
+  same atomic dispatcher flip and zero-drop drain-dry retirement as the
+  in-process coordinator.
+
+Clock discipline (the cross-process timestamp fix): the parent stamps
+``enqueued_at`` at send time and ``completed_at`` at response receipt —
+both on ITS ``perf_counter`` clock, so driver latencies are always
+non-negative — while queue-wait/service durations are measured inside the
+owning worker on the worker's clock and cross the wire as durations only.
+
+Exactness contract: with every worker at one shared generation (the
+deterministic factory + the artifact registry), responses are
+bit-identical to the in-process ``ReplicaSet`` for the same request trace
+at any worker count — the parity suite in ``tests/distributed`` mirrors
+``tests/replica``'s, and the ``remote_parity`` gate bit enforces it in CI.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Sequence
+
+from repro.distributed import wire
+from repro.distributed.artifacts import ArtifactRegistry, artifacts_from_planner
+from repro.distributed.config import (
+    resolve_heartbeat_interval,
+    resolve_heartbeat_misses,
+    resolve_probation_beats,
+)
+from repro.distributed.wire import FrameType
+from repro.distributed.worker import HELLO_TIMEOUT, ReplicaWorker, spawn_worker
+from repro.obs.registry import MetricGroup, get_registry
+from repro.obs.trace import NULL_TRACER
+from repro.replica.config import resolve_num_replicas
+from repro.replica.dispatch import Dispatcher
+from repro.replica.replica import LATENCY_WEIGHT, MIN_WARM_SAMPLES
+from repro.serve.admission import AdmissionController
+from repro.serve.request import ServeRequest
+from repro.shard.config import fork_available
+from repro.utils.exceptions import ConfigurationError, ServingError
+
+__all__ = ["RemoteReplica", "RemoteReplicaSet", "RemoteRefitCoordinator"]
+
+logger = logging.getLogger(__name__)
+
+#: Seconds to wait for a worker's loop/admission stats round-trip before
+#: falling back to the last cached snapshot.
+STATS_TIMEOUT = 5.0
+#: Seconds to wait for an artifact-install ACK during a refit.
+ARTIFACT_TIMEOUT = 60.0
+#: Seconds a graceful retirement waits for a draining worker's pending
+#: table to empty before re-dispatching the leftovers.
+DRAIN_TIMEOUT = 30.0
+
+
+class _PlannerProxy:
+    """The few planner attributes traffic drivers read, served from HELLO."""
+
+    def __init__(self, hello: "dict | None") -> None:
+        hello = hello or {}
+        self.max_length = int(hello.get("max_length", 20))
+        self.num_workers = int(hello.get("num_workers", 1))
+        self.shard_backend = hello.get("shard_backend") or "serial"
+        self.vocab_shards = int(hello.get("vocab_shards") or 1)
+        self.name = hello.get("planner", "remote")
+
+
+class _RemoteAdmission:
+    """Fleet admission view over the workers' controllers (duck-types
+    ``describe``/``counters`` like the in-process ``_FleetAdmission``)."""
+
+    def __init__(self, remote_set: "RemoteReplicaSet", template: AdmissionController) -> None:
+        self._set = remote_set
+        self._template = template
+
+    def describe(self) -> dict:
+        return self._template.describe()
+
+    def counters(self) -> dict:
+        return self._set._admission_counters()
+
+
+class RemoteReplica:
+    """Parent-side view of one worker: pending table + heartbeat signals.
+
+    Duck-types the :class:`~repro.replica.replica.Replica` surface the
+    :class:`~repro.replica.dispatch.Dispatcher` scores and routes by —
+    fed by HEARTBEAT frames instead of shared-memory counters.
+    """
+
+    def __init__(self, worker: ReplicaWorker) -> None:
+        self.worker = worker
+        self.index = worker.index
+        self.generation = worker.generation
+        self.spawned_at = time.perf_counter()
+        self._lock = threading.Lock()
+        self._pending: "dict[int, ServeRequest]" = {}
+        self._dead = False
+        self._suspected = False
+        self._retiring = False
+        self._probation = 0
+        self._heartbeats = 0
+        self._last_heartbeat_at: "float | None" = None
+        self._hb: "wire.HeartbeatRecord | None" = None
+        self._dispatched = 0
+        self._completed = 0
+        self.hello_event = threading.Event()
+        self.hello: "dict | None" = None
+        self._stats_serial = threading.Lock()
+        self._stats_event = threading.Event()
+        self._stats_cache: "dict | None" = None
+        self.ack_queue: "queue.Queue[dict]" = queue.Queue()
+
+    # ----------------------------- dispatcher surface ------------------ #
+    @property
+    def healthy(self) -> bool:
+        with self._lock:
+            return not (self._dead or self._suspected or self._retiring)
+
+    def cold(self) -> bool:
+        with self._lock:
+            hb = self._hb
+        return hb is None or hb.latency_samples < MIN_WARM_SAMPLES
+
+    def score(self) -> float:
+        with self._lock:
+            hb = self._hb
+        if hb is None:
+            return 0.0
+        return hb.ewma_depth + LATENCY_WEIGHT * (hb.p95_ms / 1000.0)
+
+    def on_dispatch(self) -> None:
+        with self._lock:
+            self._dispatched += 1
+
+    def on_dispatch_failed(self) -> None:
+        with self._lock:
+            self._dispatched -= 1
+
+    def on_complete(self) -> None:
+        with self._lock:
+            self._completed += 1
+
+    # ----------------------------- pending table ----------------------- #
+    def register(self, request_id: int, request: ServeRequest) -> None:
+        with self._lock:
+            self._pending[request_id] = request
+
+    def unregister(self, request_id: int) -> "ServeRequest | None":
+        with self._lock:
+            return self._pending.pop(request_id, None)
+
+    def drain_pending(self) -> "list[ServeRequest]":
+        """Remove and return every in-flight request (the re-dispatch set)."""
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        return pending
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # ----------------------------- health transitions ------------------ #
+    def mark_dead(self) -> bool:
+        """Transition to dead (terminal); True if this call transitioned."""
+        with self._lock:
+            if self._dead:
+                return False
+            self._dead = True
+            self._suspected = False
+            return True
+
+    def mark_suspected(self) -> bool:
+        with self._lock:
+            if self._dead or self._suspected or self._retiring:
+                return False
+            self._suspected = True
+            self._probation = 0
+            return True
+
+    def mark_retiring(self) -> None:
+        with self._lock:
+            self._retiring = True
+
+    @property
+    def dead(self) -> bool:
+        with self._lock:
+            return self._dead
+
+    @property
+    def suspected(self) -> bool:
+        with self._lock:
+            return self._suspected
+
+    @property
+    def retiring(self) -> bool:
+        with self._lock:
+            return self._retiring
+
+    def record_heartbeat(self, hb: "wire.HeartbeatRecord", now: float, probation_beats: int) -> bool:
+        """Fold one heartbeat in; True when a suspected worker just
+        completed probation and rejoins dispatch."""
+        with self._lock:
+            self._hb = hb
+            self._heartbeats += 1
+            self._last_heartbeat_at = now
+            if self._suspected and not self._dead:
+                self._probation += 1
+                if self._probation >= probation_beats:
+                    self._suspected = False
+                    self._probation = 0
+                    return True
+            return False
+
+    def heartbeat_age(self, now: float) -> float:
+        with self._lock:
+            last = self._last_heartbeat_at
+        return now - (last if last is not None else self.spawned_at)
+
+    # ----------------------------- transport helpers ------------------- #
+    def send_requests(self, entries: "list[tuple[int, ServeRequest]]") -> int:
+        return wire.send_frame(
+            self.worker.sock,
+            FrameType.REQUEST_BATCH,
+            wire.encode_request_batch(entries),
+            lock=self.worker.send_lock,
+        )
+
+    def send_control(self, frame_type: int, payload: bytes = b"") -> None:
+        wire.send_frame(
+            self.worker.sock, frame_type, payload, lock=self.worker.send_lock
+        )
+
+    def fetch_stats(self, timeout: float = STATS_TIMEOUT) -> "dict | None":
+        """One STATS round-trip; the cached snapshot when the worker is
+        dead/unresponsive (retired workers keep their last numbers)."""
+        if self.dead:
+            return self._stats_cache
+        with self._stats_serial:
+            self._stats_event.clear()
+            try:
+                self.send_control(FrameType.STATS_REQUEST)
+            except OSError:
+                return self._stats_cache
+            self._stats_event.wait(timeout)
+            return self._stats_cache
+
+    def _on_stats_response(self, payload: dict) -> None:
+        self._stats_cache = payload
+        self._stats_event.set()
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        now = time.perf_counter()
+        with self._lock:
+            hb = self._hb
+            snapshot = {
+                "index": self.index,
+                "generation": self.generation,
+                "pid": self.worker.pid,
+                "healthy": not (self._dead or self._suspected or self._retiring),
+                "dead": self._dead,
+                "suspected": self._suspected,
+                "retiring": self._retiring,
+                "dispatched": self._dispatched,
+                "completed": self._completed,
+                "pending": len(self._pending),
+                "heartbeats": self._heartbeats,
+                "last_heartbeat_age_ms": round(
+                    1000.0
+                    * (
+                        now
+                        - (
+                            self._last_heartbeat_at
+                            if self._last_heartbeat_at is not None
+                            else self.spawned_at
+                        )
+                    ),
+                    3,
+                ),
+            }
+        snapshot["inflight"] = hb.inflight if hb else 0
+        snapshot["ewma_depth"] = round(hb.ewma_depth, 3) if hb else 0.0
+        snapshot["recent_p95_ms"] = round(hb.p95_ms, 3) if hb else 0.0
+        snapshot["latency_samples"] = hb.latency_samples if hb else 0
+        snapshot["queued"] = hb.queued if hb else 0
+        return snapshot
+
+
+class RemoteReplicaSet:
+    """N worker *processes* behind the ``ReplicaSet``/``Dispatcher`` surface.
+
+    Parameters mirror :class:`~repro.replica.set.ReplicaSet` plus the
+    transport knobs (``heartbeat_interval`` / ``heartbeat_misses`` /
+    ``probation_beats``, each with a ``REPRO_*`` environment default).
+    ``planner_factory`` is called ONCE per deployed generation — the fork's
+    copy-on-write pages hand every worker its own copy, and a refit ships
+    the next generation's fitted state through the artifact registry
+    instead of retraining per worker (the distributed deployment model:
+    one versioned artifact, N installs).
+    """
+
+    _MAX_DISPATCH_ATTEMPTS = 8
+
+    def __init__(
+        self,
+        planner_factory: "Callable[[], object]",
+        num_replicas: "int | None" = None,
+        num_queues: "int | None" = None,
+        max_queue_depth: "int | None" = None,
+        admission_policy: "str | None" = None,
+        drain_deadline: "float | None" = None,
+        dispatch_policy: "str | None" = None,
+        tracer: "object | None" = None,
+        heartbeat_interval: "float | None" = None,
+        heartbeat_misses: "int | None" = None,
+        probation_beats: "int | None" = None,
+    ) -> None:
+        if not callable(planner_factory):
+            raise ConfigurationError(
+                "RemoteReplicaSet needs a zero-arg planner_factory returning a "
+                "fitted planner (deployed to every worker via fork + artifacts)"
+            )
+        if not fork_available():
+            raise ConfigurationError(
+                "the process transport needs the 'fork' start method (fitted "
+                "planners are shipped to workers by copy-on-write); use the "
+                "in-process ReplicaSet on this platform"
+            )
+        self._factory = planner_factory
+        self.num_replicas = resolve_num_replicas(num_replicas)
+        self.heartbeat_interval = resolve_heartbeat_interval(heartbeat_interval)
+        self.heartbeat_misses = resolve_heartbeat_misses(heartbeat_misses)
+        self.probation_beats = resolve_probation_beats(probation_beats)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._loop_kwargs = dict(
+            num_queues=num_queues,
+            max_queue_depth=max_queue_depth,
+            admission_policy=admission_policy,
+            drain_deadline=drain_deadline,
+        )
+        self._admission_template = AdmissionController(
+            max_queue_depth=max_queue_depth,
+            policy=admission_policy,
+            drain_deadline=drain_deadline,
+        )
+        self.admission = _RemoteAdmission(self, self._admission_template)
+        self.registry = ArtifactRegistry()
+        self._flip_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._generation = 1
+        self._next_worker_index = 0
+        self._request_ids = itertools.count(1)
+        self._reader_threads: "dict[int, threading.Thread]" = {}
+        self._retired_snapshots: "list[dict]" = []
+        registry = get_registry()
+        self._metrics = MetricGroup(
+            registry,
+            registry.scope("distributed.transport"),
+            counters=(
+                "requests_sent",
+                "responses",
+                "duplicate_responses",
+                "redispatched",
+                "heartbeats",
+                "marked_unhealthy",
+                "rejoined",
+                "send_errors",
+                "bytes_sent",
+            ),
+        )
+        # Lists and dispatcher must exist BEFORE the first fork: each
+        # spawned worker's reader thread may touch them immediately (a
+        # worker that dies at startup reaches _on_worker_eof right away).
+        self._active: "list[RemoteReplica]" = []
+        self._retiring: "list[RemoteReplica]" = []
+        self.dispatcher = Dispatcher([], policy=dispatch_policy)
+        self.refit_coordinator = RemoteRefitCoordinator(self)
+        # Train the first generation once and deploy it to every worker by
+        # fork; its artifacts are versioned from the start so the registry
+        # answers "what does generation 1 serve?" from day one.
+        planner = self._factory()
+        if not hasattr(planner, "plan_for_requests"):
+            raise ConfigurationError(
+                "planner_factory must return a planner with plan_for_requests() "
+                f"(got {type(planner).__name__})"
+            )
+        for artifact in artifacts_from_planner(planner, self._generation):
+            self.registry.publish(artifact)
+        for _ in range(self.num_replicas):
+            replica = self._spawn_replica(planner, self._generation)
+            with self._flip_lock:
+                self._active.append(replica)
+        self.dispatcher.reset(self._active)
+        self._await_hellos(self._active)
+        self._detector_stop = threading.Event()
+        self._detector = threading.Thread(
+            target=self._failure_detector, name="repro-failure-detector", daemon=True
+        )
+        self._detector.start()
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn_replica(self, planner, generation: int) -> RemoteReplica:
+        with self._state_lock:
+            index = self._next_worker_index
+            self._next_worker_index += 1
+        inherited = [
+            replica.worker.sock.fileno()
+            for replica in self._known_replicas()
+            if not replica.dead
+        ]
+        worker = spawn_worker(
+            planner,
+            index,
+            generation,
+            loop_kwargs=self._loop_kwargs,
+            heartbeat_interval=self.heartbeat_interval,
+            inherited_fds=inherited,
+        )
+        replica = RemoteReplica(worker)
+        thread = threading.Thread(
+            target=self._reader_loop,
+            args=(replica,),
+            name=f"repro-remote-reader-{index}",
+            daemon=True,
+        )
+        self._reader_threads[index] = thread
+        thread.start()
+        return replica
+
+    def _known_replicas(self) -> "list[RemoteReplica]":
+        with self._flip_lock:
+            return list(self._active) + list(self._retiring)
+
+    def _await_hellos(self, replicas: "list[RemoteReplica]") -> None:
+        for replica in replicas:
+            if not replica.hello_event.wait(HELLO_TIMEOUT):
+                raise ServingError(
+                    f"worker {replica.index} sent no HELLO within "
+                    f"{HELLO_TIMEOUT:.0f}s (startup failed?)"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Reader: everything a worker says arrives here
+    # ------------------------------------------------------------------ #
+    def _reader_loop(self, replica: RemoteReplica) -> None:
+        sock = replica.worker.sock
+        while True:
+            try:
+                frame = wire.recv_frame(sock)
+            except (ServingError, OSError):
+                frame = None
+            if frame is None:
+                self._on_worker_eof(replica)
+                return
+            frame_type, payload = frame
+            if frame_type == FrameType.RESPONSE_BATCH:
+                for record in wire.decode_response_batch(payload):
+                    self._complete(replica, record)
+            elif frame_type == FrameType.HEARTBEAT:
+                self._on_heartbeat(replica, wire.decode_heartbeat(payload))
+            elif frame_type == FrameType.HELLO:
+                replica.hello = wire.decode_json(payload)
+                replica.worker.hello = replica.hello
+                replica.hello_event.set()
+            elif frame_type == FrameType.STATS_RESPONSE:
+                replica._on_stats_response(wire.decode_json(payload))
+            elif frame_type == FrameType.ARTIFACT_ACK:
+                replica.ack_queue.put(wire.decode_json(payload))
+            else:
+                logger.warning(
+                    "unexpected frame type %s from worker %d",
+                    FrameType.NAMES.get(frame_type, frame_type),
+                    replica.index,
+                )
+
+    def _complete(self, replica: RemoteReplica, record: "wire.ResponseRecord") -> None:
+        request = replica.unregister(record.request_id)
+        if request is None or request.future.done():
+            # A request this parent re-dispatched after suspecting the
+            # worker: the survivor's answer won (or will win) — this late
+            # copy is discarded, which is what makes re-dispatch safe.
+            self._metrics.record(add={"duplicate_responses": 1})
+            return
+        replica.on_complete()
+        self._metrics.record(add={"responses": 1})
+        # Parent-clock completion stamp: driver latencies subtract two
+        # parent-clock instants and can never go negative, however far the
+        # worker's perf_counter epoch sits from ours (the satellite-1 fix).
+        done = time.perf_counter()
+        request.completed_at = done
+        request.replica_index = replica.index
+        if record.ok:
+            request.served_generation = record.served_generation
+            request.batch_tag = record.batch_tag
+            request.remote_queue_wait_s = record.queue_wait_s
+            request.remote_service_s = record.service_s
+            trace = request.trace
+            if trace is not None:
+                # Re-base the worker-measured durations onto the parent
+                # clock, anchored at the response receipt: the spans cross
+                # the wire as duration fields, never as raw timestamps.
+                drain_start = done - max(record.service_s - record.queue_wait_s, 0.0)
+                trace.span(
+                    "remote.queue.wait",
+                    drain_start - record.queue_wait_s,
+                    drain_start,
+                    replica=replica.index,
+                )
+                trace.span(
+                    "remote.serve.drain",
+                    drain_start,
+                    done,
+                    replica=replica.index,
+                    batch_tag=record.batch_tag,
+                    served_generation=record.served_generation,
+                )
+                self.tracer.finish(trace)
+            request.future.set_result(record.answer)
+        else:
+            if request.trace is not None:
+                self.tracer.finish(request.trace)
+            request.future.set_exception(wire.exception_from_record(record))
+
+    def _on_heartbeat(self, replica: RemoteReplica, hb: "wire.HeartbeatRecord") -> None:
+        rejoined = replica.record_heartbeat(
+            hb, time.perf_counter(), self.probation_beats
+        )
+        self._metrics.record(
+            add={"heartbeats": 1, "rejoined": 1} if rejoined else {"heartbeats": 1}
+        )
+        if rejoined:
+            logger.info(
+                "worker %d completed probation (%d beats) and rejoined dispatch",
+                replica.index,
+                self.probation_beats,
+            )
+
+    def _on_worker_eof(self, replica: RemoteReplica) -> None:
+        transitioned = replica.mark_dead()
+        graceful = replica.retiring or self.closed
+        if transitioned and not graceful:
+            self._metrics.record(add={"marked_unhealthy": 1})
+            logger.warning(
+                "worker %d (pid %s) connection lost; re-dispatching its pending work",
+                replica.index,
+                replica.worker.pid,
+            )
+        self.dispatcher.forget(replica)
+        pending = replica.drain_pending()
+        replica.worker.close()
+        if pending:
+            self._redispatch(pending, reason="eof")
+
+    # ------------------------------------------------------------------ #
+    # Failure detector (heartbeat timeouts; EOF is handled by the readers)
+    # ------------------------------------------------------------------ #
+    def _failure_detector(self) -> None:
+        budget = self.heartbeat_misses * self.heartbeat_interval
+        while not self._detector_stop.wait(self.heartbeat_interval):
+            now = time.perf_counter()
+            for replica in self.active_replicas():
+                if replica.dead or replica.retiring or replica.suspected:
+                    continue
+                # Workers get one HELLO-to-first-beat grace interval on top
+                # of the budget (the first beat lands one interval in).
+                if replica.heartbeat_age(now) <= budget + self.heartbeat_interval:
+                    continue
+                if replica.mark_suspected():
+                    self._metrics.record(add={"marked_unhealthy": 1})
+                    logger.warning(
+                        "worker %d missed %d heartbeat(s) (> %.0f ms): suspected; "
+                        "re-dispatching its pending work",
+                        replica.index,
+                        self.heartbeat_misses,
+                        1000.0 * budget,
+                    )
+                    self.dispatcher.forget(replica)
+                    self._redispatch(replica.drain_pending(), reason="heartbeat")
+
+    def _redispatch(self, requests: "list[ServeRequest]", reason: str) -> None:
+        """Re-enqueue a failed worker's in-flight requests (same futures)."""
+        for request in requests:
+            if request.future.done():
+                continue
+            self._metrics.record(add={"redispatched": 1})
+            try:
+                self.enqueue(request)
+            except BaseException as exc:  # noqa: BLE001 - delivered via the future
+                if not request.future.done():
+                    request.future.set_exception(exc)
+        if requests:
+            logger.info("re-dispatched %d request(s) after %s", len(requests), reason)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "RemoteReplicaSet":
+        """Idempotent; the workers' drain threads are live from the fork,
+        so start only arms the surface flag (parity with ReplicaSet)."""
+        with self._state_lock:
+            if self._closed:
+                raise ServingError("cannot restart a closed remote replica set")
+            self._started = True
+        return self
+
+    def close(self) -> None:
+        """Graceful fleet shutdown: drain every worker dry, join processes.
+
+        Idempotent; accepted futures always resolve — a worker that dies
+        mid-drain has its leftovers failed with ``ServingError`` (there is
+        no survivor pool to re-dispatch to during close)."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._detector_stop.set()
+        self._detector.join(timeout=5.0)
+        replicas = self._known_replicas()
+        for replica in replicas:
+            replica.mark_retiring()
+            if replica.dead:
+                continue
+            try:
+                replica.send_control(FrameType.SHUTDOWN)
+            except OSError:
+                pass
+        deadline = time.perf_counter() + DRAIN_TIMEOUT
+        for replica in replicas:
+            while (
+                replica.pending_count()
+                and not replica.dead
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.005)
+            replica.worker.join(timeout=max(deadline - time.perf_counter(), 0.1))
+            for request in replica.drain_pending():
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServingError(
+                            f"worker {replica.index} failed to drain this request "
+                            "before the replica set closed"
+                        )
+                    )
+            replica.worker.close()
+        for thread in self._reader_threads.values():
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "RemoteReplicaSet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def started(self) -> bool:
+        with self._state_lock:
+            return self._started
+
+    @property
+    def closed(self) -> bool:
+        with self._state_lock:
+            return self._closed
+
+    # ------------------------------------------------------------------ #
+    # Generation bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def fit_generation(self) -> int:
+        with self._flip_lock:
+            return self._generation
+
+    def active_replicas(self) -> "list[RemoteReplica]":
+        with self._flip_lock:
+            return list(self._active)
+
+    def all_replicas(self) -> "list[RemoteReplica]":
+        return self._known_replicas()
+
+    def _flip_to(
+        self, standby: "list[RemoteReplica]", generation: int
+    ) -> "list[RemoteReplica]":
+        """Atomically make ``standby`` the serving fleet (pointer swaps
+        only — the flip window stays microseconds)."""
+        with self._flip_lock:
+            with self._state_lock:
+                if self._closed:
+                    raise ServingError(
+                        "remote replica set closed while the standby generation "
+                        "was training; the flip is abandoned"
+                    )
+            previous = self._active
+            self._active = list(standby)
+            self._generation = generation
+            self._retiring.extend(previous)
+            self.dispatcher.reset(self._active)
+        logger.info(
+            "remote refit flip: generation %d active on %d worker(s); "
+            "%d worker(s) retiring",
+            generation,
+            len(standby),
+            len(previous),
+        )
+        return previous
+
+    def _archive_retired(self, replicas: "list[RemoteReplica]") -> None:
+        snapshots = [
+            {"replica": replica.stats(), "worker": replica.fetch_stats(timeout=0.0)}
+            for replica in replicas
+        ]
+        with self._flip_lock:
+            self._retiring = [
+                replica for replica in self._retiring if replica not in replicas
+            ]
+            self._retired_snapshots.extend(snapshots)
+
+    def refit(self) -> dict:
+        return self.refit_coordinator.refit()
+
+    # ------------------------------------------------------------------ #
+    # Submission (the ServingLoop-compatible surface)
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        kind: str,
+        history: Sequence[int],
+        objective: int,
+        path_so_far: Sequence[int] = (),
+        user_index: "int | None" = None,
+        max_length: "int | None" = None,
+    ) -> Future:
+        return self.enqueue(
+            ServeRequest.create(
+                kind,
+                history,
+                objective,
+                path_so_far=path_so_far,
+                user_index=user_index,
+                max_length=max_length,
+            )
+        )
+
+    def submit_next_step(
+        self,
+        history: Sequence[int],
+        objective: int,
+        path_so_far: Sequence[int] = (),
+        user_index: "int | None" = None,
+    ) -> Future:
+        return self.submit(
+            "next_step", history, objective, path_so_far=path_so_far, user_index=user_index
+        )
+
+    def submit_plan_paths(
+        self,
+        history: Sequence[int],
+        objective: int,
+        user_index: "int | None" = None,
+        max_length: "int | None" = None,
+    ) -> Future:
+        return self.submit(
+            "plan_paths", history, objective, user_index=user_index, max_length=max_length
+        )
+
+    def enqueue(self, request: ServeRequest) -> Future:
+        """Dispatch one request to a healthy worker over the wire.
+
+        The pending-table registration happens BEFORE the send so a fast
+        response can never race its own bookkeeping; a send failure
+        unregisters, marks the worker dead and re-picks — the request was
+        never accepted anywhere, so no duplicate can exist.
+        """
+        if self.closed:
+            raise ServingError("remote replica set is closed; no new requests accepted")
+        if self.tracer.enabled and request.trace is None:
+            request.trace = self.tracer.begin(request.routing_key(), kind=request.kind)
+        for _ in range(self._MAX_DISPATCH_ATTEMPTS):
+            replica = self.dispatcher.pick(request)
+            replica.on_dispatch()
+            request_id = next(self._request_ids)
+            replica.register(request_id, request)
+            # Parent-clock admission stamp (the satellite-1 fix): paired
+            # with the parent-clock completed_at the reader writes.
+            request.enqueued_at = time.perf_counter()
+            try:
+                sent = replica.send_requests([(request_id, request)])
+            except (OSError, ServingError):
+                replica.unregister(request_id)
+                replica.on_dispatch_failed()
+                self._metrics.record(add={"send_errors": 1})
+                if replica.mark_dead():
+                    self._metrics.record(add={"marked_unhealthy": 1})
+                self.dispatcher.forget(replica)
+                self._redispatch(replica.drain_pending(), reason="send failure")
+                continue
+            self._metrics.record(add={"requests_sent": 1, "bytes_sent": sent})
+            if request.trace is not None:
+                request.trace.span(
+                    "admission",
+                    request.enqueued_at,
+                    time.perf_counter(),
+                    replica=replica.index,
+                )
+            return request.future
+        raise ServingError(
+            f"could not place request after {self._MAX_DISPATCH_ATTEMPTS} dispatch "
+            "attempts (workers kept failing under the dispatcher)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def planner(self):
+        """Driver-facing planner attributes, served from the workers' HELLO
+        (the planner object itself lives in the worker processes)."""
+        actives = self.active_replicas()
+        return _PlannerProxy(actives[0].hello if actives else None)
+
+    def _worker_loop_stats(self) -> "list[dict]":
+        reports = []
+        for replica in self._known_replicas():
+            stats = replica.fetch_stats()
+            if stats is not None:
+                reports.append(stats)
+        for snapshot in self._retired_snapshots:
+            if snapshot.get("worker") is not None:
+                reports.append(snapshot["worker"])
+        return reports
+
+    def _admission_counters(self) -> dict:
+        totals = {"admitted": 0, "rejected": 0, "blocked": 0}
+        per_replica = []
+        for report in self._worker_loop_stats():
+            counters = report.get("loop", {}).get("admission", {})
+            for key in totals:
+                totals[key] += counters.get(key, 0)
+            per_replica.append(counters)
+        totals["per_replica"] = per_replica
+        return totals
+
+    def stats(self) -> dict:
+        """Fleet stats shaped like ``ReplicaSet.stats()`` plus a
+        ``transport`` section (wire counters, failure-detector verdicts,
+        artifact registry history)."""
+        worker_reports = self._worker_loop_stats()
+        loop_stats = [report["loop"] for report in worker_reports if "loop" in report]
+        per_queue = [queue for stats in loop_stats for queue in stats["per_queue"]]
+        depth_samples = sum(q["depth_samples"] for q in per_queue)
+        batches = sum(q["micro_batches"] for q in per_queue)
+        batch_requests = sum(q["micro_batch_requests"] for q in per_queue)
+        admission = self._admission_counters()
+        transport = self._metrics.values()
+        replicas = self._known_replicas()
+        active = self.active_replicas()
+        return {
+            "num_replicas": self.num_replicas,
+            "transport_kind": "process",
+            "generation": self.fit_generation,
+            "served": sum(stats["served"] for stats in loop_stats),
+            **self.admission.describe(),
+            "admission": admission,
+            "queue_depth": {
+                "max": max((q["depth_max"] for q in per_queue), default=0),
+                "mean": (
+                    round(sum(q["depth_sum"] for q in per_queue) / depth_samples, 3)
+                    if depth_samples
+                    else 0.0
+                ),
+            },
+            "micro_batches": {
+                "count": batches,
+                "mean_size": round(batch_requests / batches, 3) if batches else 0.0,
+                "max_size": max((q["micro_batch_max"] for q in per_queue), default=0),
+            },
+            "dispatch": self.dispatcher.stats(),
+            "replicas": [replica.stats() for replica in replicas],
+            "retired_replicas": len(replicas) - len(active) + len(self._retired_snapshots),
+            "refits": self.refit_coordinator.history(),
+            "transport": {
+                "heartbeat_interval": self.heartbeat_interval,
+                "heartbeat_misses": self.heartbeat_misses,
+                "probation_beats": self.probation_beats,
+                **{key: int(value) for key, value in transport.items()},
+                "artifacts": self.registry.history(),
+            },
+        }
+
+
+class RemoteRefitCoordinator:
+    """The hot-refit protocol across the transport (train -> version ->
+    ship -> verify -> flip -> drain), serialised like the in-process one."""
+
+    def __init__(self, remote_set: RemoteReplicaSet) -> None:
+        self._set = remote_set
+        self._refit_lock = threading.Lock()
+        self._history_lock = threading.Lock()
+        self._history: "list[dict]" = []
+
+    @property
+    def refitting(self) -> bool:
+        locked = self._refit_lock.acquire(blocking=False)
+        if locked:
+            self._refit_lock.release()
+        return not locked
+
+    def history(self) -> "list[dict]":
+        with self._history_lock:
+            return [dict(report) for report in self._history]
+
+    # ------------------------------------------------------------------ #
+    def refit(self) -> dict:
+        if not self._refit_lock.acquire(blocking=False):
+            raise ServingError("a refit is already in progress on this replica set")
+        try:
+            remote_set = self._set
+            if remote_set.closed:
+                raise ServingError("cannot refit a closed remote replica set")
+            generation_from = remote_set.fit_generation
+            generation_to = generation_from + 1
+            logger.info(
+                "remote refit: training generation %d off-path", generation_to
+            )
+            # 1. Train off-path in the parent (the active workers keep
+            # serving in their own processes, untouched).
+            train_started = time.perf_counter()
+            standby_planner = remote_set._factory()
+            artifacts = artifacts_from_planner(standby_planner, generation_to)
+            for artifact in artifacts:
+                remote_set.registry.publish(artifact)
+            train_seconds = time.perf_counter() - train_started
+
+            # 2. Fork standby workers and ship the versioned artifacts.
+            # The wire copy is authoritative: each standby loads the
+            # checksummed weights/generator state from the INSTALL frame
+            # into its own backbone before taking any traffic.
+            standby = [
+                remote_set._spawn_replica(standby_planner, generation_to)
+                for _ in range(remote_set.num_replicas)
+            ]
+            try:
+                remote_set._await_hellos(standby)
+                for replica in standby:
+                    for artifact in artifacts:
+                        self._install(replica, artifact)
+            except BaseException:
+                for replica in standby:
+                    replica.mark_retiring()
+                    try:
+                        replica.send_control(FrameType.SHUTDOWN)
+                    except OSError:
+                        pass
+                raise
+
+            # 3. Atomic flip: one pointer swap, affinity clears, every
+            # arrival after it lands on the new generation.
+            flip_started = time.perf_counter()
+            previous = remote_set._flip_to(standby, generation_to)
+            flip_seconds = time.perf_counter() - flip_started
+
+            # 4. Drain-dry retirement: in-flight requests finish on the
+            # generation that admitted them; anything a dying worker fails
+            # to answer re-dispatches (zero admitted requests dropped).
+            inflight_at_flip = sum(replica.pending_count() for replica in previous)
+            retire_started = time.perf_counter()
+            for replica in previous:
+                replica.mark_retiring()
+                try:
+                    replica.send_control(FrameType.SHUTDOWN)
+                except OSError:
+                    pass
+            deadline = time.perf_counter() + DRAIN_TIMEOUT
+            for replica in previous:
+                while (
+                    replica.pending_count()
+                    and not replica.dead
+                    and time.perf_counter() < deadline
+                ):
+                    time.sleep(0.002)
+                leftovers = replica.drain_pending()
+                if leftovers:
+                    remote_set._redispatch(leftovers, reason="retirement")
+                replica.worker.join(timeout=max(deadline - time.perf_counter(), 0.1))
+            retire_seconds = time.perf_counter() - retire_started
+            retired_served = sum(replica.stats()["completed"] for replica in previous)
+            remote_set._archive_retired(previous)
+
+            report = {
+                "generation_from": generation_from,
+                "generation_to": generation_to,
+                "num_replicas": len(standby),
+                "train_seconds": round(train_seconds, 4),
+                "flip_seconds": round(flip_seconds, 6),
+                "retire_seconds": round(retire_seconds, 4),
+                "inflight_at_flip": inflight_at_flip,
+                "retired_served": retired_served,
+                "artifacts": [artifact.meta() for artifact in artifacts],
+            }
+            with self._history_lock:
+                self._history.append(report)
+            logger.info(
+                "remote refit: generation %d -> %d flipped in %.1f us "
+                "(%d request(s) in flight finished on the old generation)",
+                generation_from,
+                generation_to,
+                1e6 * flip_seconds,
+                inflight_at_flip,
+            )
+            return dict(report)
+        finally:
+            self._refit_lock.release()
+
+    def _install(self, replica: RemoteReplica, artifact) -> None:
+        meta = wire.encode_json(artifact.meta())
+        payload = wire._COUNT.pack(len(meta)) + meta + artifact.payload
+        replica.send_control(FrameType.INSTALL_ARTIFACT, payload)
+        try:
+            ack = replica.ack_queue.get(timeout=ARTIFACT_TIMEOUT)
+        except queue.Empty:
+            raise ServingError(
+                f"worker {replica.index} did not acknowledge artifact "
+                f"{artifact.name!r} within {ARTIFACT_TIMEOUT:.0f}s"
+            ) from None
+        if not ack.get("ok"):
+            raise ServingError(
+                f"worker {replica.index} rejected artifact {artifact.name!r}: "
+                f"{ack.get('error')}"
+            )
+        if ack.get("sha256") != artifact.sha256:
+            raise ServingError(
+                f"worker {replica.index} installed artifact {artifact.name!r} "
+                "with a mismatched checksum"
+            )

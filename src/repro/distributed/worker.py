@@ -1,0 +1,446 @@
+"""The replica worker: one serving process behind the socket transport.
+
+A :class:`ReplicaWorker` is the parent-side handle of one forked child
+process.  The child (:func:`worker_main`) runs a complete single-replica
+serving stack — the generation-pinned planner with its own GIL, plan-cache
+shards and arena-backed K/V caches, a full
+:class:`~repro.serve.loop.ServingLoop` (sharded queues, admission scope
+``worker-<index>``, optional tracing) and a
+:class:`~repro.replica.replica.Replica` for load accounting — and speaks
+the :mod:`repro.distributed.wire` protocol over an ``AF_UNIX``
+``socketpair`` created before the fork.
+
+Thread layout inside the child:
+
+* **reader** (the main thread) — decodes REQUEST_BATCH frames into
+  envelopes and enqueues them; handles STATS / INSTALL_ARTIFACT /
+  SHUTDOWN control frames.  Under the ``block`` admission policy a full
+  queue stalls this thread — back-pressure propagates to the parent
+  through the socket buffer, exactly like a blocked in-process producer.
+* **writer** — drains an outbox of answered requests, packing every
+  record available at wake-up into ONE RESPONSE_BATCH frame (the batched
+  encode the codec bench measures).
+* **heartbeat** — ships the replica's load signals (EWMA in-flight depth,
+  recent p95, queue depth) every ``heartbeat_interval`` seconds; the
+  parent's dispatcher scores workers from these instead of shared memory.
+
+All latency math happens on the child's own ``perf_counter`` clock and
+crosses the wire as *durations* (queue-wait, service) — never as raw
+timestamps, which are not comparable between processes.
+
+Fork discipline: the child installs a **fresh**
+:class:`~repro.obs.registry.MetricsRegistry` before constructing anything
+(an inherited registry lock could have been mid-acquisition at fork), and
+closes every inherited parent-side socket fd so EOF detection stays crisp.
+The child exits via ``os._exit`` — parent-inherited atexit handlers must
+not run twice.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import queue
+import socket
+import threading
+import time
+
+from repro.distributed import wire
+from repro.distributed.artifacts import (
+    GENERATOR_STATE,
+    MODEL_WEIGHTS,
+    unpack_generator,
+    unpack_state_dict,
+)
+from repro.distributed.wire import FrameType, ResponseRecord
+from repro.obs.registry import MetricsRegistry, set_registry
+from repro.replica.replica import Replica
+from repro.serve.loop import ServingLoop
+from repro.serve.request import ServeRequest
+from repro.utils.exceptions import ServingError
+
+__all__ = ["ReplicaWorker", "spawn_worker", "worker_main"]
+
+logger = logging.getLogger(__name__)
+
+#: Seconds the parent waits for a worker's HELLO (covers the child's
+#: planner construction, which may train a model).
+HELLO_TIMEOUT = 120.0
+
+
+class ReplicaWorker:
+    """Parent-side handle of one worker process: the socket + the process."""
+
+    def __init__(self, process, sock: socket.socket, index: int, generation: int) -> None:
+        self.process = process
+        self.sock = sock
+        self.index = index
+        self.generation = generation
+        self.send_lock = threading.Lock()
+        self.hello: "dict | None" = None
+
+    @property
+    def pid(self) -> "int | None":
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def join(self, timeout: "float | None" = None) -> None:
+        self.process.join(timeout)
+
+    def kill(self) -> None:
+        """SIGKILL the child (the chaos suite's worker-death injector)."""
+        self.process.kill()
+
+
+def spawn_worker(
+    planner,
+    index: int,
+    generation: int,
+    loop_kwargs: "dict | None" = None,
+    heartbeat_interval: float = 0.05,
+    inherited_fds: "list[int] | None" = None,
+    mp_context=None,
+) -> ReplicaWorker:
+    """Fork one worker process serving ``planner`` and return its handle.
+
+    The socketpair is created *before* the fork so both ends exist in both
+    processes; each side closes the end it does not own.  ``planner`` is a
+    fitted planner object — the fork's copy-on-write page sharing is the
+    "ship the model to the worker" mechanism for the initial deploy (a
+    refit re-ships weights explicitly through the artifact registry).
+    ``inherited_fds`` lists parent-side fds of *other* workers' sockets the
+    child should close (a later fork inherits every earlier socket).
+    """
+    if mp_context is None:
+        import multiprocessing
+
+        mp_context = multiprocessing.get_context("fork")
+    parent_sock, child_sock = socket.socketpair()
+    process = mp_context.Process(
+        target=worker_main,
+        args=(
+            child_sock,
+            parent_sock,
+            planner,
+            index,
+            generation,
+            dict(loop_kwargs or {}),
+            heartbeat_interval,
+            list(inherited_fds or []),
+        ),
+        name=f"repro-worker-{index}",
+        daemon=True,
+    )
+    process.start()
+    child_sock.close()
+    return ReplicaWorker(process, parent_sock, index, generation)
+
+
+# --------------------------------------------------------------------- #
+# Child process
+# --------------------------------------------------------------------- #
+def worker_main(
+    sock: socket.socket,
+    parent_sock: socket.socket,
+    planner,
+    index: int,
+    generation: int,
+    loop_kwargs: dict,
+    heartbeat_interval: float,
+    inherited_fds: "list[int]",
+) -> None:
+    """Entry point of the child process (runs until SHUTDOWN or EOF)."""
+    try:
+        _Worker(
+            sock,
+            parent_sock,
+            planner,
+            index,
+            generation,
+            loop_kwargs,
+            heartbeat_interval,
+            inherited_fds,
+        ).run()
+    except BaseException:
+        logger.exception("worker %d died", index)
+        os._exit(1)
+    os._exit(0)
+
+
+class _Worker:
+    """Child-process state: loop + replica + reader/writer/heartbeat threads."""
+
+    def __init__(
+        self,
+        sock,
+        parent_sock,
+        planner,
+        index,
+        generation,
+        loop_kwargs,
+        heartbeat_interval,
+        inherited_fds,
+    ) -> None:
+        # Fresh registry FIRST: every MetricGroup built below must bind to a
+        # lock this process created, not one forked mid-acquisition.
+        set_registry(MetricsRegistry())
+        parent_sock.close()
+        for fd in inherited_fds:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self.sock = sock
+        self.index = index
+        self.generation = generation
+        self.heartbeat_interval = float(heartbeat_interval)
+        pin = getattr(planner, "pin_generation", None)
+        if pin is not None:
+            pin(serving_generation=generation)
+        else:
+            planner.serving_generation = generation
+        self.planner = planner
+        self.loop = ServingLoop(
+            planner, admission_scope=f"worker-{index}", **loop_kwargs
+        )
+        self.replica = Replica(index, planner, self.loop, generation)
+        self.send_lock = threading.Lock()
+        self.outbox: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._stop = threading.Event()
+        self._heartbeat_seq = 0
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        self.loop.start()
+        writer = threading.Thread(target=self._writer, name="repro-worker-writer", daemon=True)
+        heartbeat = threading.Thread(
+            target=self._heartbeat, name="repro-worker-heartbeat", daemon=True
+        )
+        writer.start()
+        heartbeat.start()
+        wire.send_frame(
+            self.sock,
+            FrameType.HELLO,
+            wire.encode_json(
+                {
+                    "index": self.index,
+                    "pid": os.getpid(),
+                    "generation": self.generation,
+                    "num_queues": self.loop.num_queues,
+                    "max_length": int(getattr(self.planner, "max_length", 20)),
+                    "num_workers": int(getattr(self.planner, "num_workers", 1) or 1),
+                    "shard_backend": getattr(self.planner, "shard_backend", None),
+                    "vocab_shards": getattr(self.planner, "vocab_shards", None),
+                    "planner": getattr(self.planner, "name", type(self.planner).__name__),
+                }
+            ),
+            lock=self.send_lock,
+        )
+        try:
+            self._reader()
+        finally:
+            # Drain dry: close() resolves every accepted future, each
+            # resolution lands a record in the outbox via _on_done.
+            self._stop.set()
+            self.loop.close()
+            self.outbox.put(None)  # writer sentinel — flushes, then exits
+            writer.join(timeout=10.0)
+            heartbeat.join(timeout=2.0 * self.heartbeat_interval + 1.0)
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    def _reader(self) -> None:
+        while True:
+            frame = wire.recv_frame(self.sock)
+            if frame is None:
+                logger.info("worker %d: parent closed the transport", self.index)
+                return
+            frame_type, payload = frame
+            if frame_type == FrameType.REQUEST_BATCH:
+                self._handle_requests(payload)
+            elif frame_type == FrameType.STATS_REQUEST:
+                wire.send_frame(
+                    self.sock,
+                    FrameType.STATS_RESPONSE,
+                    wire.encode_json(self._stats()),
+                    lock=self.send_lock,
+                )
+            elif frame_type == FrameType.INSTALL_ARTIFACT:
+                self._handle_install(payload)
+            elif frame_type == FrameType.SHUTDOWN:
+                logger.info("worker %d: shutdown requested, draining", self.index)
+                return
+            else:
+                raise ServingError(
+                    f"worker {self.index}: unexpected frame type {frame_type}"
+                )
+
+    def _handle_requests(self, payload: bytes) -> None:
+        for request_id, request in wire.decode_request_batch(payload):
+            self.replica.on_dispatch()
+            request.replica_index = self.index
+            request.future.add_done_callback(
+                lambda future, rid=request_id, req=request: self._on_done(rid, req)
+            )
+            try:
+                # Enqueue stamps enqueued_at on THIS process's clock; the
+                # block policy may stall here (back-pressure to the parent).
+                self.loop.enqueue(request)
+            except BaseException as exc:  # noqa: BLE001 - shipped as an error record
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
+    def _on_done(self, request_id: int, request: ServeRequest) -> None:
+        self.replica.on_complete(request)
+        exc = request.future.exception()
+        if exc is not None:
+            record = ResponseRecord(
+                request_id,
+                False,
+                error_name=type(exc).__name__,
+                error_message=str(exc),
+            )
+        else:
+            answer = request.future.result()
+            if answer is not None and not isinstance(answer, (list, tuple)):
+                answer = int(answer)
+            completed = request.completed_at or time.perf_counter()
+            drain_started = request.drain_started_at or completed
+            record = ResponseRecord(
+                request_id,
+                True,
+                answer=answer,
+                served_generation=request.served_generation,
+                batch_tag=request.batch_tag,
+                queue_wait_s=max(drain_started - request.enqueued_at, 0.0),
+                service_s=max(completed - request.enqueued_at, 0.0),
+            )
+        self.outbox.put(record)
+
+    # ------------------------------------------------------------------ #
+    def _writer(self) -> None:
+        while True:
+            record = self.outbox.get()
+            if record is None:
+                return
+            records = [record]
+            # Batch every record already waiting into one frame: under load
+            # a whole drained micro-batch ships as a single encode+sendall.
+            while True:
+                try:
+                    extra = self.outbox.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:
+                    self._send_responses(records)
+                    return
+                records.append(extra)
+            self._send_responses(records)
+
+    def _send_responses(self, records) -> None:
+        try:
+            wire.send_frame(
+                self.sock,
+                FrameType.RESPONSE_BATCH,
+                wire.encode_response_batch(records),
+                lock=self.send_lock,
+            )
+        except OSError:
+            logger.warning(
+                "worker %d: parent gone, dropping %d response(s)",
+                self.index,
+                len(records),
+            )
+
+    def _heartbeat(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            stats = self.replica.stats()
+            self._heartbeat_seq += 1
+            try:
+                wire.send_frame(
+                    self.sock,
+                    FrameType.HEARTBEAT,
+                    wire.encode_heartbeat(
+                        self.index,
+                        self._heartbeat_seq,
+                        self.generation,
+                        stats["healthy"],
+                        stats["inflight"],
+                        stats["dispatched"],
+                        stats["completed"],
+                        stats["queued"],
+                        stats["latency_samples"],
+                        stats["ewma_depth"],
+                        stats["recent_p95_ms"],
+                    ),
+                    lock=self.send_lock,
+                )
+            except OSError:
+                return
+
+    # ------------------------------------------------------------------ #
+    def _stats(self) -> dict:
+        return {
+            "index": self.index,
+            "generation": self.generation,
+            "loop": self.loop.stats(),
+            "replica": self.replica.stats(),
+        }
+
+    def _handle_install(self, payload: bytes) -> None:
+        (meta_len,) = wire._COUNT.unpack_from(payload, 0)
+        meta = wire.decode_json(payload[wire._COUNT.size : wire._COUNT.size + meta_len])
+        blob = payload[wire._COUNT.size + meta_len :]
+        outcome = {"name": meta["name"], "generation": meta["generation"], "ok": True}
+        try:
+            import hashlib
+
+            digest = hashlib.sha256(blob).hexdigest()
+            if digest != meta["sha256"]:
+                raise ServingError(
+                    f"artifact {meta['name']} checksum mismatch "
+                    f"({digest[:12]} != {meta['sha256'][:12]})"
+                )
+            outcome["sha256"] = digest
+            if meta["name"] == MODEL_WEIGHTS:
+                module = getattr(getattr(self.planner, "backbone", None), "module", None)
+                if module is None:
+                    raise ServingError("planner backbone has no module to load weights into")
+                # Loading through the Module (not warm_start) leaves the
+                # backbone's fit_generation untouched — the pinned planner
+                # must not observe a generation change — so the caches are
+                # invalidated explicitly instead.
+                module.load_state_dict(unpack_state_dict(blob))
+            elif meta["name"] == GENERATOR_STATE:
+                generator = unpack_generator(blob)
+                if repr(generator.retrieval_key()) != meta["identity"]:
+                    raise ServingError(
+                        "generator artifact identity drifted in transit: "
+                        f"{meta['identity']} != {generator.retrieval_key()!r}"
+                    )
+                self.planner.candidate_generator = generator
+            else:
+                raise ServingError(f"unknown artifact kind {meta['name']!r}")
+            invalidate = getattr(self.planner, "invalidate_caches", None)
+            if invalidate is not None:
+                invalidate()
+        except BaseException as exc:  # noqa: BLE001 - shipped in the ACK
+            outcome["ok"] = False
+            outcome["error"] = f"{type(exc).__name__}: {exc}"
+        wire.send_frame(
+            self.sock,
+            FrameType.ARTIFACT_ACK,
+            wire.encode_json(outcome),
+            lock=self.send_lock,
+        )

@@ -322,6 +322,10 @@ def smoke_config() -> dict:
         "tensor_ops_repeats": 30,
         "tensor_ops_decode_steps": 8,
         "wall_repeats": 2,
+        "distributed_worker_counts": [1, 2, 4],
+        "distributed_burst_requests": 48,
+        "distributed_codec_repeats": 60,
+        "distributed_heartbeat_interval": 0.05,
     }
 
 
@@ -361,6 +365,10 @@ def default_config() -> dict:
         "tensor_ops_repeats": 200,
         "tensor_ops_decode_steps": 12,
         "wall_repeats": 3,
+        "distributed_worker_counts": [1, 2, 4],
+        "distributed_burst_requests": 96,
+        "distributed_codec_repeats": 300,
+        "distributed_heartbeat_interval": 0.05,
     }
 
 
@@ -991,6 +999,254 @@ def _bench_replicated_serving(
     }
 
 
+def _bench_distributed_serving(
+    irn: IRN, split: DatasetSplit, instances: list[EvaluationInstance], config: dict,
+    shard_backend: "str | None" = None, vocab_shards: "int | None" = None,
+) -> dict:
+    """Multi-process serving over the binary transport vs in-process fleets.
+
+    Four experiments:
+
+    * **Codec** — ns/request to encode and decode request/response batches
+      and the heartbeat frame, pure in-memory (no sockets): the fixed tax
+      the wire protocol adds to every envelope.
+    * **Workers** — at each worker count, the lockstep stepwise trace
+      replayed through a :class:`~repro.distributed.RemoteReplicaSet`
+      (checked bit-identical against sequential serving — the acceptance
+      contract of the distributed rung), then a burst of distinct
+      ``plan_paths`` requests timed end to end, against an in-process
+      :class:`~repro.replica.set.ReplicaSet` burst at the same count.
+      Sojourn percentiles are parent-clock (enqueue-to-resolve), so the
+      remote numbers include codec + socket + re-plan inside the worker.
+    * **Heartbeat** — observed beat rate and frame bytes on an idle fleet:
+      the standing overhead of the failure detector's load signals.
+    * **Chaos** — SIGKILL one of two workers mid-burst: every admitted
+      future must still resolve bit-identically (re-dispatch to the
+      survivor), and the victim must flip unhealthy within the
+      missed-heartbeat budget.  The gate enforces these bits.
+
+    The burst histories are rotated per request so each envelope is a
+    distinct plan (``history[r:] + history[:r]``); short histories can
+    repeat a rotation, which hits the plan cache identically for the
+    remote and in-process fleets and so cancels out of the comparison.
+    On platforms without ``fork`` the section records the codec numbers
+    only and stamps ``fork_available: false`` (the gate skips it).
+    """
+    import signal
+
+    from repro.distributed import RemoteReplicaSet, wire
+    from repro.distributed.config import resolve_heartbeat_misses
+    from repro.replica import ReplicaSet
+    from repro.serve import latency_percentiles, replay_lockstep
+    from repro.serve.request import ServeRequest
+
+    contexts = [(list(inst.history), inst.objective, inst.user_index) for inst in instances]
+    max_length = config["max_path_length"]
+    worker_counts = list(config["distributed_worker_counts"])
+    heartbeat_interval = config["distributed_heartbeat_interval"]
+    codec_repeats = config["distributed_codec_repeats"]
+    kwargs = dict(
+        beam_width=config["beam_width"],
+        branch_factor=config["branch_factor"],
+        vocab_shards=resolve_vocab_shards(vocab_shards),
+    )
+    backend = resolve_shard_backend(shard_backend, num_workers=1)
+
+    # ---- codec: ns per envelope, no processes involved ---- #
+    codec_batch = 64
+    entries = []
+    for i in range(codec_batch):
+        history, objective, user = contexts[i % len(contexts)]
+        entries.append(
+            (i, ServeRequest.create("plan_paths", history, objective, user_index=user))
+        )
+    request_payload = wire.encode_request_batch(entries)
+    records = [
+        wire.ResponseRecord(
+            i,
+            True,
+            answer=list(range(max_length)),
+            served_generation=1,
+            batch_tag=i,
+            queue_wait_s=0.0005,
+            service_s=0.002,
+        )
+        for i in range(codec_batch)
+    ]
+    response_payload = wire.encode_response_batch(records)
+    heartbeat_payload = wire.encode_heartbeat(0, 1, 1, True, 2, 100, 98, 1, 64, 1.5, 8.25)
+    codec = {
+        "batch_size": codec_batch,
+        "request_encode_ns": round(
+            _ns_per_call(lambda: wire.encode_request_batch(entries), codec_repeats)
+            / codec_batch, 1,
+        ),
+        "request_decode_ns": round(
+            _ns_per_call(lambda: wire.decode_request_batch(request_payload), codec_repeats)
+            / codec_batch, 1,
+        ),
+        "response_encode_ns": round(
+            _ns_per_call(lambda: wire.encode_response_batch(records), codec_repeats)
+            / codec_batch, 1,
+        ),
+        "response_decode_ns": round(
+            _ns_per_call(lambda: wire.decode_response_batch(response_payload), codec_repeats)
+            / codec_batch, 1,
+        ),
+        "heartbeat_roundtrip_ns": round(
+            _ns_per_call(
+                lambda: wire.decode_heartbeat(
+                    wire.encode_heartbeat(0, 1, 1, True, 2, 100, 98, 1, 64, 1.5, 8.25)
+                ),
+                codec_repeats,
+            ), 1,
+        ),
+        "request_bytes_per_envelope": len(request_payload) // codec_batch,
+        "response_bytes_per_envelope": len(response_payload) // codec_batch,
+        "heartbeat_frame_bytes": wire.FRAME_HEADER.size + len(heartbeat_payload),
+    }
+
+    section = {
+        "max_path_length": max_length,
+        "num_contexts": len(contexts),
+        "backend": backend,
+        "vocab_shards": kwargs["vocab_shards"],
+        "transport": "process",
+        "fork_available": fork_available(),
+        "heartbeat_interval": heartbeat_interval,
+        "codec": codec,
+    }
+    if not section["fork_available"]:  # pragma: no cover - POSIX CI always forks
+        return section
+
+    def shared_factory():
+        return BeamSearchPlanner(
+            irn, max_length=max_length, shard_backend=backend, **kwargs
+        ).fit(split)
+
+    reference = shared_factory()
+    sequential_paths = rollout_next_step(reference, contexts, max_length)
+
+    # Distinct plans per burst envelope: rotate each context's history so
+    # the plan-cache key changes request to request.
+    burst = int(config["distributed_burst_requests"])
+    burst_contexts = []
+    for j in range(burst):
+        history, objective, user = contexts[j % len(contexts)]
+        rotation = (j // len(contexts)) % len(history)
+        burst_contexts.append((history[rotation:] + history[:rotation], objective, user))
+    expected_burst = [
+        reference.plan_path(history, objective, user_index=user)
+        for history, objective, user in burst_contexts
+    ]
+
+    def run_burst(serving_set) -> "tuple[dict, list]":
+        requests = [
+            ServeRequest.create("plan_paths", history, objective, user_index=user)
+            for history, objective, user in burst_contexts
+        ]
+        start = time.perf_counter()
+        for request in requests:
+            serving_set.enqueue(request)
+        answers = [request.future.result(timeout=300) for request in requests]
+        wall = time.perf_counter() - start
+        sojourn_ms = [
+            1000.0 * (request.completed_at - request.enqueued_at) for request in requests
+        ]
+        return {
+            "requests": len(requests),
+            "seconds": round(wall, 4),
+            "paths_per_sec": round(len(requests) / wall, 2) if wall > 0 else float("inf"),
+            "sojourn_ms": latency_percentiles(sojourn_ms),
+        }, answers
+
+    workers_report = []
+    for num_workers in worker_counts:
+        with RemoteReplicaSet(
+            shared_factory,
+            num_replicas=num_workers,
+            heartbeat_interval=heartbeat_interval,
+        ) as remote_set:
+            served_paths, replay_seconds = _timed(
+                lambda: replay_lockstep(remote_set, contexts, max_length)
+            )
+            remote_burst, remote_answers = run_burst(remote_set)
+        with ReplicaSet(shared_factory, num_replicas=num_workers) as local_set:
+            local_burst, _local_answers = run_burst(local_set)
+        workers_report.append(
+            {
+                "num_workers": num_workers,
+                "responses_match_sequential": served_paths == sequential_paths,
+                "burst_answers_match": remote_answers == expected_burst,
+                "replay_seconds": round(replay_seconds, 4),
+                "remote": remote_burst,
+                "in_process": local_burst,
+                "remote_vs_in_process": (
+                    round(remote_burst["paths_per_sec"] / local_burst["paths_per_sec"], 3)
+                    if local_burst["paths_per_sec"] > 0
+                    else float("inf")
+                ),
+            }
+        )
+
+    # ---- heartbeat overhead + SIGKILL chaos on one 2-worker fleet ---- #
+    heartbeat_misses = resolve_heartbeat_misses(None)
+    with RemoteReplicaSet(
+        shared_factory, num_replicas=2, heartbeat_interval=heartbeat_interval
+    ) as chaos_set:
+        beats_before = chaos_set.stats()["transport"]["heartbeats"]
+        observe_started = time.perf_counter()
+        time.sleep(10 * heartbeat_interval)
+        observe_seconds = time.perf_counter() - observe_started
+        beats = chaos_set.stats()["transport"]["heartbeats"] - beats_before
+        heartbeat = {
+            "interval_s": heartbeat_interval,
+            "expected_per_worker_per_sec": round(1.0 / heartbeat_interval, 2),
+            "observed_per_worker_per_sec": round(beats / 2 / observe_seconds, 2),
+            "frame_bytes": codec["heartbeat_frame_bytes"],
+            "bytes_per_sec": round(beats * codec["heartbeat_frame_bytes"] / observe_seconds, 1),
+        }
+
+        requests = [
+            ServeRequest.create("plan_paths", history, objective, user_index=user)
+            for history, objective, user in burst_contexts
+        ]
+        for request in requests:
+            chaos_set.enqueue(request)
+        victim = chaos_set.active_replicas()[0]
+        os.kill(victim.worker.pid, signal.SIGKILL)
+        killed_at = time.perf_counter()
+        while victim.healthy and time.perf_counter() - killed_at < 30.0:
+            time.sleep(0.001)
+        detect_seconds = time.perf_counter() - killed_at
+        answers = [request.future.result(timeout=300) for request in requests]
+        chaos_stats = chaos_set.stats()["transport"]
+    # Budget: K missed beats plus one interval of detector granularity.
+    budget_seconds = heartbeat_misses * heartbeat_interval + heartbeat_interval
+    chaos = {
+        "num_workers": 2,
+        "requests": len(requests),
+        "zero_dropped": len(answers) == len(requests)
+        and all(request.future.done() for request in requests),
+        "answers_match": answers == expected_burst,
+        "redispatched": chaos_stats["redispatched"],
+        "duplicate_responses": chaos_stats["duplicate_responses"],
+        "detect_seconds": round(detect_seconds, 4),
+        "budget_seconds": round(budget_seconds, 4),
+        "unhealthy_within_budget": detect_seconds <= budget_seconds,
+    }
+
+    section.update(
+        {
+            "burst_requests": burst,
+            "workers": workers_report,
+            "heartbeat": heartbeat,
+            "chaos": chaos,
+        }
+    )
+    return section
+
+
 def _ns_per_call(fn, repeats: int) -> float:
     """Average wall-clock nanoseconds per call over ``repeats`` timed calls."""
     fn()  # warm caches / BLAS thread pools outside the timed window
@@ -1552,6 +1808,7 @@ BENCH_SECTIONS = (
     "sharded_evaluation",
     "async_serving",
     "replicated_serving",
+    "distributed_serving",
     "observability",
     "two_stage_retrieval",
 )
@@ -1636,6 +1893,10 @@ def run_benchmarks(
             shard_backend=shard_backend, vocab_shards=vocab_shards,
         ),
         "replicated_serving": lambda: _bench_replicated_serving(
+            irn, split, instances, config,
+            shard_backend=shard_backend, vocab_shards=vocab_shards,
+        ),
+        "distributed_serving": lambda: _bench_distributed_serving(
             irn, split, instances, config,
             shard_backend=shard_backend, vocab_shards=vocab_shards,
         ),
@@ -1858,6 +2119,32 @@ def format_summary(report: dict) -> str:
             f"{replicated['hot_refit']['rejected_requests']} rejected), "
             f"generations served {replicated['hot_refit']['generations_served']}"
         )
+    if "distributed_serving" in report:
+        distributed = report["distributed_serving"]
+        codec = distributed["codec"]
+        if distributed.get("workers"):
+            fastest = max(
+                distributed["workers"], key=lambda row: row["remote"]["paths_per_sec"]
+            )
+            sojourn = fastest["remote"]["sojourn_ms"]
+            chaos = distributed["chaos"]
+            lines.append(
+                f"distributed serving (process transport, {distributed['cpu_count']} cpu): "
+                f"{fastest['remote']['paths_per_sec']} paths/sec at "
+                f"{fastest['num_workers']} workers "
+                f"({fastest['remote_vs_in_process']}x in-process), sojourn p50 "
+                f"{sojourn['p50']} / p95 {sojourn['p95']} / p99 {sojourn['p99']} ms, "
+                f"codec {codec['request_encode_ns']}+{codec['request_decode_ns']} ns/req, "
+                f"parity: {all(row['responses_match_sequential'] for row in distributed['workers'])}, "
+                f"chaos zero-drop: {chaos['zero_dropped']} "
+                f"(detected in {round(1e3 * chaos['detect_seconds'], 1)} ms, budget "
+                f"{round(1e3 * chaos['budget_seconds'], 1)} ms)"
+            )
+        else:  # pragma: no cover - non-fork platforms
+            lines.append(
+                f"distributed serving: fork unavailable, codec only "
+                f"({codec['request_encode_ns']}+{codec['request_decode_ns']} ns/req)"
+            )
     if "two_stage_retrieval" in report:
         retrieval = report["two_stage_retrieval"]
         top = retrieval["tiers"][-1]

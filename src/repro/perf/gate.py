@@ -23,6 +23,12 @@ regresses instead of silently uploading a broken artefact:
   single-replica serving; the hot refit errored zero admitted requests and
   rejected zero requests under the ``block`` policy (``no_pause``); the
   refit completed and flipped exactly one generation forward.
+* ``distributed_serving`` — multi-process responses bit-identical to
+  sequential serving at every worker count (lockstep replay AND the
+  distinct-plan burst); the SIGKILL chaos run dropped zero admitted
+  requests, kept answers bit-identical, and flipped the victim unhealthy
+  within the missed-heartbeat budget.  Skipped wholesale when the platform
+  recorded ``fork_available: false`` (codec numbers only).
 * ``observability`` — disabled tracing is a structural no-op (zero
   trace/span allocations during the untraced run), enabled full-sampling
   overhead stays inside the recorded p95 budget, trace IDs are identical
@@ -105,6 +111,48 @@ def _check_tensor_ops(section: dict, violations: "list[str]") -> None:
     if not section.get("inplace_guard_raises"):
         violations.append(
             "tensor_ops: in-place tensor ops did not refuse to run under grad"
+        )
+
+
+def _check_distributed(section: dict, violations: "list[str]") -> None:
+    if section.get("fork_available") is False:
+        # Codec-only report: there is no process transport to gate.
+        return
+    workers = section.get("workers", [])
+    if not workers:
+        violations.append(
+            "distributed_serving: the section recorded no worker counts"
+        )
+    for row in workers:
+        label = f"{row.get('num_workers')} worker(s)"
+        if not row.get("responses_match_sequential"):
+            violations.append(
+                f"distributed_serving: lockstep responses at {label} differ "
+                f"from sequential serving"
+            )
+        if not row.get("burst_answers_match"):
+            violations.append(
+                f"distributed_serving: burst answers at {label} differ from "
+                f"the reference planner"
+            )
+    chaos = section.get("chaos")
+    if chaos is None:
+        violations.append("distributed_serving: the section recorded no chaos run")
+        return
+    if not chaos.get("zero_dropped"):
+        violations.append(
+            "distributed_serving: the SIGKILL chaos run dropped admitted "
+            "request(s) (zero_dropped bit false)"
+        )
+    if not chaos.get("answers_match"):
+        violations.append(
+            "distributed_serving: answers changed under the SIGKILL chaos run"
+        )
+    if not chaos.get("unhealthy_within_budget"):
+        violations.append(
+            f"distributed_serving: the killed worker flipped unhealthy in "
+            f"{chaos.get('detect_seconds')} s, over the missed-heartbeat "
+            f"budget of {chaos.get('budget_seconds')} s"
         )
 
 
@@ -226,6 +274,8 @@ def collect_violations(report: dict, require: "Sequence[str]" = ()) -> "list[str
                 )
     if "replicated_serving" in report:
         _check_replicated(report["replicated_serving"], violations)
+    if "distributed_serving" in report:
+        _check_distributed(report["distributed_serving"], violations)
     if "observability" in report:
         _check_observability(report["observability"], violations)
     if "two_stage_retrieval" in report:

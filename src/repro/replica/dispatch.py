@@ -109,10 +109,21 @@ class Dispatcher:
                 )
             if key is not None:
                 owner = self._affinity.get(key)
-                if owner is not None and owner.healthy and owner in self._replicas:
-                    self._affinity.move_to_end(key)
-                    self._metrics.record(add={"picks_affinity": 1})
-                    return owner
+                if owner is not None:
+                    if owner.healthy and owner in self._replicas:
+                        self._affinity.move_to_end(key)
+                        self._metrics.record(add={"picks_affinity": 1})
+                        return owner
+                    # The owning replica went unhealthy (failure detector) or
+                    # retired under this session: evict the pin NOW so the
+                    # session re-homes below — and counts as an eviction even
+                    # if the owner later recovers, because the re-homed
+                    # replica replans the context and owns it from here on.
+                    del self._affinity[key]
+                    self._metrics.record(
+                        add={"sessions_evicted": 1},
+                        set_={"sessions_pinned": len(self._affinity)},
+                    )
             if self.policy == "round_robin" or any(r.cold() for r in healthy):
                 choice = healthy[self._rr_position % len(healthy)]
                 self._rr_position += 1

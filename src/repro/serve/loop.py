@@ -346,6 +346,7 @@ class ServingLoop:
         latency_sum = 0.0
         latency_max = 0.0
         for request in batch:
+            request.drain_started_at = drain_started
             request.completed_at = done
             request.served_generation = generation
             request.batch_tag = batch_tag

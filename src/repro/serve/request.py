@@ -49,6 +49,20 @@ class ServeRequest:
     #: by ``future.result()`` reads a complete timestamp (the traffic
     #: driver's per-request latency samples rely on this ordering).
     completed_at: "float | None" = None
+    #: ``time.perf_counter()`` when the drain that answered this request
+    #: began — stamped by the serving loop next to :attr:`completed_at`.
+    #: ``completed_at - drain_started_at`` is pure service time and
+    #: ``drain_started_at - enqueued_at`` pure queue wait, both durations
+    #: within ONE process's clock, which is what the distributed transport
+    #: ships across the wire (perf_counter epochs differ per process, so
+    #: raw timestamps must never cross a process boundary).
+    drain_started_at: "float | None" = None
+    #: Worker-measured queue-wait / service durations (seconds), set by
+    #: :class:`~repro.distributed.remote.RemoteReplicaSet` on requests that
+    #: were served in another process.  ``None`` for in-process serving —
+    #: there the caller derives both from the timestamps directly.
+    remote_queue_wait_s: "float | None" = None
+    remote_service_s: "float | None" = None
     #: The ``serving_generation`` of the planner that answered — read ONCE
     #: per drained micro-batch and stamped on every request of the batch, so
     #: a micro-batch can never report a torn (mixed-generation) answer set.

@@ -1,0 +1,113 @@
+"""Unit coverage of the versioned-artifact registry and packers."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.distributed.artifacts import (
+    GENERATOR_STATE,
+    MODEL_WEIGHTS,
+    Artifact,
+    ArtifactRegistry,
+    artifacts_from_planner,
+    pack_generator,
+    pack_state_dict,
+    unpack_generator,
+    unpack_state_dict,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestArtifact:
+    def test_checksum_and_meta(self):
+        artifact = Artifact("model_weights", 3, identity="('irn', 1)", payload=b"abc")
+        assert artifact.sha256 == hashlib.sha256(b"abc").hexdigest()
+        assert artifact.meta() == {
+            "name": "model_weights",
+            "generation": 3,
+            "identity": "('irn', 1)",
+            "sha256": artifact.sha256,
+            "nbytes": 3,
+        }
+
+
+class TestArtifactRegistry:
+    def test_publish_get_and_history_order(self):
+        registry = ArtifactRegistry()
+        first = registry.publish(Artifact("model_weights", 1, "a", b"1"))
+        second = registry.publish(Artifact("generator_state", 1, "b", b"2"))
+        third = registry.publish(Artifact("model_weights", 2, "c", b"3"))
+        assert registry.get("model_weights", 1) is first
+        assert registry.get("model_weights", 2) is third
+        assert registry.for_generation(1) == [first, second]
+        assert [meta["name"] for meta in registry.history()] == [
+            "model_weights",
+            "generator_state",
+            "model_weights",
+        ]
+        assert len(registry) == 3
+
+    def test_published_versions_are_immutable(self):
+        registry = ArtifactRegistry()
+        registry.publish(Artifact("model_weights", 1, "a", b"1"))
+        with pytest.raises(ConfigurationError, match="immutable"):
+            registry.publish(Artifact("model_weights", 1, "a", b"different"))
+
+    def test_missing_version_is_loud(self):
+        registry = ArtifactRegistry()
+        with pytest.raises(ConfigurationError, match="no artifact"):
+            registry.get("model_weights", 7)
+
+
+class TestPacking:
+    def test_state_dict_roundtrip_is_bit_exact(self):
+        state = {
+            "layer.weight": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "layer.bias": np.array([1.5, -2.5]),
+        }
+        unpacked = unpack_state_dict(pack_state_dict(state))
+        assert sorted(unpacked) == sorted(state)
+        for name, array in state.items():
+            np.testing.assert_array_equal(unpacked[name], array)
+            assert unpacked[name].dtype == array.dtype
+
+    def test_generator_roundtrip(self):
+        from repro.retrieval.cooccurrence import CooccurrenceNeighborGenerator
+
+        generator = CooccurrenceNeighborGenerator(num_candidates=8)
+        unpacked = unpack_generator(pack_generator(generator))
+        assert unpacked.retrieval_key() == generator.retrieval_key()
+
+
+class TestArtifactsFromPlanner:
+    def test_neural_retrieval_planner_ships_both_kinds(
+        self, tiny_split, remote_irn
+    ):
+        from repro.core.beam import BeamSearchPlanner
+        from repro.retrieval.cooccurrence import CooccurrenceNeighborGenerator
+
+        planner = BeamSearchPlanner(
+            remote_irn,
+            max_length=5,
+            candidate_generator=CooccurrenceNeighborGenerator(num_candidates=8),
+        ).fit(tiny_split)
+        artifacts = artifacts_from_planner(planner, 2)
+        by_name = {artifact.name: artifact for artifact in artifacts}
+        assert set(by_name) == {MODEL_WEIGHTS, GENERATOR_STATE}
+        assert all(artifact.generation == 2 for artifact in artifacts)
+        weights = unpack_state_dict(by_name[MODEL_WEIGHTS].payload)
+        reference = planner.backbone.module.state_dict()
+        assert sorted(weights) == sorted(reference)
+        for name in reference:
+            np.testing.assert_array_equal(weights[name], reference[name])
+        generator = unpack_generator(by_name[GENERATOR_STATE].payload)
+        assert generator.retrieval_key() == planner.candidate_generator.retrieval_key()
+
+    def test_stub_planner_ships_nothing(self):
+        class _Stub:
+            pass
+
+        assert artifacts_from_planner(_Stub(), 1) == []

@@ -1,0 +1,126 @@
+"""The versioned-artifact refit across the transport.
+
+Mirrors ``tests/replica/test_refit_race.py``'s contract at the process
+boundary: train off-path, publish ``(name, generation)`` artifacts, ship
+and checksum-verify them on every standby worker, flip atomically, retire
+the old fleet drain-dry with zero admitted requests dropped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import RemoteReplicaSet
+from repro.utils.exceptions import ServingError
+
+from tests.distributed.conftest import HEARTBEAT_INTERVAL
+
+
+class TestRemoteRefit:
+    def test_refit_ships_artifacts_and_flips_generation(
+        self, make_factory, remote_contexts
+    ):
+        reference = make_factory()()
+        expected = [
+            reference.plan_path(history, objective, user_index=user)
+            for history, objective, user in remote_contexts
+        ]
+        with RemoteReplicaSet(
+            make_factory(), num_replicas=2, heartbeat_interval=HEARTBEAT_INTERVAL
+        ) as remote_set:
+            before = [
+                remote_set.submit_plan_paths(history, objective, user_index=user)
+                for history, objective, user in remote_contexts
+            ]
+            report = remote_set.refit()
+            after = [
+                remote_set.submit_plan_paths(history, objective, user_index=user)
+                for history, objective, user in remote_contexts
+            ]
+            # Zero drops: every future from both sides of the flip resolves.
+            answers_before = [future.result(timeout=30) for future in before]
+            answers_after = [future.result(timeout=30) for future in after]
+            stats = remote_set.stats()
+
+        assert answers_before == expected
+        # The deterministic factory makes generation 2 bit-identical to 1,
+        # so parity across the flip is exact (what a real redeploy of the
+        # same config must guarantee).
+        assert answers_after == expected
+        assert report["generation_from"] == 1
+        assert report["generation_to"] == 2
+        assert report["num_replicas"] == 2
+        assert report["train_seconds"] >= 0.0
+        assert report["flip_seconds"] < 1.0
+        assert [a["name"] for a in report["artifacts"]] == ["model_weights"]
+        assert all(a["generation"] == 2 for a in report["artifacts"])
+        assert stats["generation"] == 2
+        assert stats["retired_replicas"] == 2
+        assert stats["refits"] == [report]
+
+    def test_refit_versions_generator_state_for_retrieval_planners(
+        self, make_factory, remote_contexts
+    ):
+        from repro.retrieval.cooccurrence import CooccurrenceNeighborGenerator
+
+        factory = make_factory(
+            candidate_generator=CooccurrenceNeighborGenerator(num_candidates=8)
+        )
+        reference = factory()
+        expected = [
+            reference.plan_path(history, objective, user_index=user)
+            for history, objective, user in remote_contexts[:4]
+        ]
+        with RemoteReplicaSet(
+            factory, num_replicas=2, heartbeat_interval=HEARTBEAT_INTERVAL
+        ) as remote_set:
+            report = remote_set.refit()
+            answers = [
+                remote_set.submit_plan_paths(history, objective, user_index=user)
+                .result(timeout=30)
+                for history, objective, user in remote_contexts[:4]
+            ]
+            registry_names = [
+                (meta["name"], meta["generation"])
+                for meta in remote_set.registry.history()
+            ]
+        assert answers == expected
+        assert [a["name"] for a in report["artifacts"]] == [
+            "model_weights",
+            "generator_state",
+        ]
+        # Both generations' artifacts stay addressable after the flip.
+        assert registry_names == [
+            ("model_weights", 1),
+            ("generator_state", 1),
+            ("model_weights", 2),
+            ("generator_state", 2),
+        ]
+
+    def test_served_generation_is_monotone_across_the_flip(
+        self, make_factory, remote_contexts
+    ):
+        history, objective, user = remote_contexts[0]
+        with RemoteReplicaSet(
+            make_factory(), num_replicas=2, heartbeat_interval=HEARTBEAT_INTERVAL
+        ) as remote_set:
+            first = remote_set.submit_plan_paths(
+                history, objective, user_index=user
+            )
+            first.result(timeout=30)
+            remote_set.refit()
+            from repro.serve.request import ServeRequest
+
+            request = ServeRequest.create(
+                "plan_paths", history, objective, user_index=user
+            )
+            remote_set.enqueue(request).result(timeout=30)
+        assert request.served_generation == 2
+
+    def test_refit_after_close_raises(self, make_factory):
+        remote_set = RemoteReplicaSet(
+            make_factory(), num_replicas=1, heartbeat_interval=HEARTBEAT_INTERVAL
+        )
+        remote_set.close()
+        with pytest.raises(ServingError, match="closed"):
+            remote_set.refit()

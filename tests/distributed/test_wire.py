@@ -1,0 +1,186 @@
+"""Unit coverage of the binary wire codec (no processes involved)."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.distributed import wire
+from repro.distributed.wire import FrameType
+from repro.serve.request import ServeRequest
+from repro.utils.exceptions import (
+    ConfigurationError,
+    QueueFullError,
+    ServingError,
+    StaleGenerationError,
+)
+
+
+def _request(kind="next_step", **kwargs):
+    kwargs.setdefault("history", (1, 2, 3))
+    kwargs.setdefault("objective", 7)
+    return ServeRequest.create(kind, kwargs.pop("history"), kwargs.pop("objective"), **kwargs)
+
+
+class TestRequestCodec:
+    def test_roundtrip_preserves_every_field(self):
+        requests = [
+            _request(path_so_far=(4, 5), user_index=2),
+            _request(kind="plan_paths", history=(9,), objective=1, max_length=4),
+            _request(user_index=None),
+        ]
+        payload = wire.encode_request_batch(list(enumerate(requests, start=10)))
+        decoded = wire.decode_request_batch(payload)
+        assert [rid for rid, _ in decoded] == [10, 11, 12]
+        for (_, got), sent in zip(decoded, requests):
+            assert got.kind == sent.kind
+            assert got.history == sent.history
+            assert got.objective == sent.objective
+            assert got.path_so_far == sent.path_so_far
+            assert got.user_index == sent.user_index
+            assert got.max_length == sent.max_length
+
+    def test_decoded_envelope_owns_a_fresh_future(self):
+        request = _request()
+        payload = wire.encode_request_batch([(1, request)])
+        [(_, decoded)] = wire.decode_request_batch(payload)
+        assert decoded.future is not request.future
+        assert not decoded.future.done()
+
+
+class TestResponseCodec:
+    def test_ok_roundtrip_for_both_answer_kinds(self):
+        payload = wire.encode_response_batch(
+            [
+                wire.ResponseRecord(
+                    5,
+                    True,
+                    answer=[3, 1, 2],
+                    served_generation=4,
+                    batch_tag=9,
+                    queue_wait_s=0.25,
+                    service_s=0.5,
+                ),
+                wire.ResponseRecord(
+                    6, True, answer=17, served_generation=4, batch_tag=10,
+                    queue_wait_s=0.0, service_s=0.125,
+                ),
+                wire.ResponseRecord(7, True, answer=None),
+            ]
+        )
+        records = wire.decode_response_batch(payload)
+        assert [r.request_id for r in records] == [5, 6, 7]
+        assert records[0].answer == [3, 1, 2]
+        assert isinstance(records[0].answer, list)
+        assert records[0].served_generation == 4
+        assert records[0].batch_tag == 9
+        assert records[0].queue_wait_s == pytest.approx(0.25)
+        assert records[0].service_s == pytest.approx(0.5)
+        assert records[1].answer == 17
+        assert isinstance(records[1].answer, int)
+        assert records[2].answer is None
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError("bad knob"),
+            QueueFullError("queue 0 full"),
+            ServingError("loop closed"),
+            StaleGenerationError("generation 1 < 2"),
+        ],
+    )
+    def test_known_exceptions_roundtrip_to_same_type(self, exc):
+        record = wire.ResponseRecord(
+            3, False, error_name=type(exc).__name__, error_message=str(exc)
+        )
+        [decoded] = wire.decode_response_batch(wire.encode_response_batch([record]))
+        assert not decoded.ok
+        rebuilt = wire.exception_from_record(decoded)
+        assert type(rebuilt) is type(exc)
+        assert str(exc) in str(rebuilt)
+
+    def test_unknown_exception_degrades_to_serving_error_naming_it(self):
+        record = wire.ResponseRecord(
+            3, False, error_name="KeyError", error_message="whoops"
+        )
+        [decoded] = wire.decode_response_batch(wire.encode_response_batch([record]))
+        rebuilt = wire.exception_from_record(decoded)
+        assert isinstance(rebuilt, ServingError)
+        assert "KeyError" in str(rebuilt)
+
+
+class TestHeartbeatCodec:
+    def test_roundtrip(self):
+        hb = wire.encode_heartbeat(
+            index=3,
+            seq=42,
+            generation=2,
+            healthy=True,
+            inflight=5,
+            dispatched=100,
+            completed=95,
+            queued=4,
+            latency_samples=64,
+            ewma_depth=1.5,
+            p95_ms=12.25,
+        )
+        decoded = wire.decode_heartbeat(hb)
+        assert decoded.index == 3
+        assert decoded.seq == 42
+        assert decoded.generation == 2
+        assert decoded.healthy is True
+        assert decoded.inflight == 5
+        assert decoded.queued == 4
+        assert decoded.latency_samples == 64
+        assert decoded.ewma_depth == pytest.approx(1.5)
+        assert decoded.p95_ms == pytest.approx(12.25)
+
+
+class TestFraming:
+    def test_send_recv_roundtrip_over_a_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            sent = wire.send_frame(a, FrameType.HEARTBEAT, b"payload")
+            assert sent == wire.FRAME_HEADER.size + len("payload")
+            frame_type, payload = wire.recv_frame(b)
+            assert frame_type == FrameType.HEARTBEAT
+            assert payload == b"payload"
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert wire.recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(wire.FRAME_HEADER.pack(100, FrameType.REQUEST_BATCH) + b"short")
+            a.close()
+            with pytest.raises(ServingError, match="mid-frame"):
+                wire.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected_at_both_ends(self, monkeypatch):
+        monkeypatch.setattr(wire, "MAX_PAYLOAD_BYTES", 64)
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ServingError, match="wire bound"):
+                wire.send_frame(a, FrameType.REQUEST_BATCH, b"x" * 65)
+            a.sendall(wire.FRAME_HEADER.pack(65, FrameType.REQUEST_BATCH))
+            with pytest.raises(ServingError, match="desynchronized"):
+                wire.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_json_frames_roundtrip(self):
+        payload = wire.encode_json({"b": 2, "a": [1, None, "x"]})
+        assert wire.decode_json(payload) == {"a": [1, None, "x"], "b": 2}

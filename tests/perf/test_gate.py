@@ -52,6 +52,28 @@ def green_report() -> dict:
                 "refit": {"generation_from": 1, "generation_to": 2},
             },
         },
+        "distributed_serving": {
+            "fork_available": True,
+            "workers": [
+                {
+                    "num_workers": 1,
+                    "responses_match_sequential": True,
+                    "burst_answers_match": True,
+                },
+                {
+                    "num_workers": 2,
+                    "responses_match_sequential": True,
+                    "burst_answers_match": True,
+                },
+            ],
+            "chaos": {
+                "zero_dropped": True,
+                "answers_match": True,
+                "detect_seconds": 0.003,
+                "budget_seconds": 0.3,
+                "unhealthy_within_budget": True,
+            },
+        },
         "observability": {
             "disabled": {"p95_ms": 1.0, "allocation_delta": {}},
             "enabled": {"p95_ms": 1.1},
@@ -211,6 +233,78 @@ class TestCollectViolations:
             assert any(
                 "changed with tracing enabled" in v for v in collect_violations(report)
             )
+
+
+class TestDistributedServingGate:
+    def test_lockstep_mismatch_fails(self):
+        report = green_report()
+        report["distributed_serving"]["workers"][1]["responses_match_sequential"] = False
+        assert any(
+            "lockstep responses at 2 worker(s) differ" in v
+            for v in collect_violations(report)
+        )
+
+    def test_burst_mismatch_fails(self):
+        report = green_report()
+        report["distributed_serving"]["workers"][0]["burst_answers_match"] = False
+        assert any(
+            "burst answers at 1 worker(s) differ" in v
+            for v in collect_violations(report)
+        )
+
+    def test_empty_workers_fail(self):
+        report = green_report()
+        report["distributed_serving"]["workers"] = []
+        assert any(
+            "recorded no worker counts" in v for v in collect_violations(report)
+        )
+
+    def test_missing_chaos_run_fails(self):
+        report = green_report()
+        del report["distributed_serving"]["chaos"]
+        assert any("recorded no chaos run" in v for v in collect_violations(report))
+
+    def test_dropped_requests_fail(self):
+        report = green_report()
+        report["distributed_serving"]["chaos"]["zero_dropped"] = False
+        assert any(
+            "zero_dropped bit false" in v for v in collect_violations(report)
+        )
+
+    def test_chaos_answer_drift_fails(self):
+        report = green_report()
+        report["distributed_serving"]["chaos"]["answers_match"] = False
+        assert any(
+            "changed under the SIGKILL chaos run" in v
+            for v in collect_violations(report)
+        )
+
+    def test_detection_over_budget_fails(self):
+        report = green_report()
+        chaos = report["distributed_serving"]["chaos"]
+        chaos["unhealthy_within_budget"] = False
+        chaos["detect_seconds"] = 0.9
+        assert any(
+            "over the missed-heartbeat budget" in v
+            for v in collect_violations(report)
+        )
+
+    def test_codec_only_report_without_fork_passes(self):
+        # A non-fork platform records codec numbers only; nothing to gate.
+        report = green_report()
+        report["distributed_serving"] = {
+            "fork_available": False,
+            "codec": {"request_encode_ns": 1200.0},
+        }
+        assert collect_violations(report) == []
+
+    def test_require_distributed_serving_flags_missing_section(self):
+        violations = collect_violations(
+            {"machine": {}}, require=["distributed_serving"]
+        )
+        assert violations == [
+            "distributed_serving: required section missing from the report"
+        ]
 
 
 class TestTwoStageRetrievalGate:
