@@ -91,6 +91,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.config import add_config_arguments
 from repro.experiments import ablations as ablation_functions
 from repro.experiments import extensions as extension_functions
 from repro.experiments import figures as figure_functions
@@ -168,27 +169,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="path to a real MovieLens-1M / Lastfm dump (otherwise synthetic data is used)",
     )
     parser.add_argument("--output", default=None, help="write the report to this file as well")
-    # Scaling knobs of the sharded execution subsystem (repro.shard).  They
-    # are parsed as raw strings and validated through the shard config
-    # resolvers so mistakes surface as ConfigurationError with a clear
-    # message (and so the REPRO_* environment defaults keep applying when a
-    # flag is omitted).
-    parser.add_argument(
-        "--num-workers",
-        default=None,
-        help="worker shards for planning/evaluation (default: $REPRO_NUM_WORKERS or 1)",
-    )
-    parser.add_argument(
-        "--shard-backend",
-        default=None,
-        help="serial | thread | process (default: $REPRO_SHARD_BACKEND, else "
-        "'thread' when --num-workers > 1)",
-    )
-    parser.add_argument(
-        "--vocab-shards",
-        default=None,
-        help="column shards of the item axis for top-k (default: $REPRO_VOCAB_SHARDS or 1)",
-    )
     parser.add_argument(
         "--rollout-chunk-size",
         default=None,
@@ -208,79 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--cprofile because --profile already selects the corpus profile."
         ),
     )
-    # Serving knobs (repro.serve) — parsed as raw strings and validated by
-    # the serve config resolvers, same pattern as the sharding flags above,
-    # so the REPRO_* environment defaults apply when a flag is omitted.
-    parser.add_argument(
-        "--arrival-rate",
-        default=None,
-        help="serve-sim: mean Poisson arrivals/sec (default: $REPRO_ARRIVAL_RATE or 100)",
-    )
-    parser.add_argument(
-        "--duration",
-        default=None,
-        help="serve-sim: seconds of synthetic traffic (default: $REPRO_SERVE_DURATION or 2)",
-    )
-    parser.add_argument(
-        "--max-queue-depth",
-        default=None,
-        help="serve-sim: per-shard request queue bound (default: $REPRO_MAX_QUEUE_DEPTH or 64)",
-    )
-    parser.add_argument(
-        "--drain-deadline",
-        default=None,
-        help=(
-            "serve-sim: seconds a drain holds a queue open to widen the micro-batch "
-            "(default: $REPRO_DRAIN_DEADLINE or 0.002)"
-        ),
-    )
-    parser.add_argument(
-        "--admission-policy",
-        default=None,
-        help="serve-sim: block | reject on a full queue (default: $REPRO_ADMISSION_POLICY or block)",
-    )
-    # Replication knobs (repro.replica) — raw strings validated by the
-    # replica config resolvers, same pattern as the serving flags above.
-    parser.add_argument(
-        "--replicas",
-        default=None,
-        help="serve-sim: backbone replicas behind the dispatcher (default: $REPRO_REPLICAS or 1)",
-    )
-    parser.add_argument(
-        "--refit-at",
-        default=None,
-        help=(
-            "serve-sim: seconds into the trace to trigger a hot refit; must fall "
-            "strictly inside --duration (default: $REPRO_REFIT_AT or no refit)"
-        ),
-    )
-    parser.add_argument(
-        "--dispatch-policy",
-        default=None,
-        help=(
-            "serve-sim: least_loaded | round_robin replica routing "
-            "(default: $REPRO_DISPATCH_POLICY or least_loaded)"
-        ),
-    )
-    # Distributed-transport knobs (repro.distributed) — raw strings
-    # validated by the distributed config resolvers.
-    parser.add_argument(
-        "--transport",
-        default=None,
-        help=(
-            "serve-sim: inproc | process replica transport; 'process' forks one "
-            "worker per replica behind the binary wire protocol "
-            "(default: $REPRO_TRANSPORT or inproc)"
-        ),
-    )
-    parser.add_argument(
-        "--heartbeat-interval",
-        default=None,
-        help=(
-            "serve-sim: seconds between worker heartbeats under --transport "
-            "process (default: $REPRO_HEARTBEAT_INTERVAL or 0.05)"
-        ),
-    )
+    # The resolver-table knobs (repro.config): one argparse group per
+    # subsystem — traffic, sharding, replication, transport, retrieval,
+    # tenancy — generated from the same declarative table the resolve_*
+    # functions and $REPRO_* environment fallbacks read, so a knob's flag,
+    # env var, default and help text can never drift apart.
+    add_config_arguments(parser)
     # Observability knobs (repro.obs) — raw strings validated by the obs
     # config resolvers; --log-level applies to every command.
     parser.add_argument(
@@ -298,26 +211,6 @@ def build_parser() -> argparse.ArgumentParser:
             "serve-sim / trace: turn request tracing on and sample this "
             "fraction of requests, deterministically, in [0, 1] "
             "(default for 'trace': $REPRO_TRACE_SAMPLE_RATE or 1.0)"
-        ),
-    )
-    # Two-stage retrieval knobs (repro.retrieval) — raw strings validated
-    # through resolve_retrieval_spec / the generator constructors, same
-    # pattern as the serving flags above.
-    parser.add_argument(
-        "--retrieval",
-        default=None,
-        help=(
-            "serve-sim: candidate-generation backend for two-stage retrieval "
-            "(none | full | ann | cooccurrence; default: none = exact full-vocab "
-            "scoring)"
-        ),
-    )
-    parser.add_argument(
-        "--candidate-k",
-        default=None,
-        help=(
-            "serve-sim: candidate-set size per context for --retrieval "
-            "(default: 256; requires --retrieval)"
         ),
     )
     parser.add_argument(
@@ -631,6 +524,168 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_sim_ab(args: argparse.Namespace, tenant_count: int) -> int:
+    """``serve-sim --tenants 2``: the online A/B harness over one fleet.
+
+    Fits one IRN backbone, binds two tenants to the serving fleet — the
+    ``control`` arm serves the backbone's objective-blind top-1
+    recommendations, the ``treatment`` arm serves the beam planner's
+    objective-aware steps — and drives identical simulated user cohorts
+    (:mod:`repro.simulation`) through the typed ``serve`` surface, one
+    tenanted request per session step.  Prints per-arm interactive
+    metrics, the treatment's uplift, and each tenant's p50/p95 serving
+    latency graded against ``--slo-p95``.
+    """
+    import json
+
+    from repro.config import resolve_cohort_sessions, resolve_slo_p95
+    from repro.core.beam import BeamSearchPlanner
+    from repro.core.irn import IRN
+    from repro.distributed.config import resolve_heartbeat_interval, resolve_transport
+    from repro.evaluation.evaluator import IRSEvaluator
+    from repro.evaluation.protocol import sample_objectives
+    from repro.perf.bench import build_bench_split, machine_info
+    from repro.perf.bench import bench_config as resolve_bench_config
+    from repro.tenant import TenantRegistry
+    from repro.tenant.ab import TenantArm, run_ab
+    from repro.utils.exceptions import ConfigurationError
+
+    if tenant_count != 2:
+        raise ConfigurationError(
+            f"--tenants {tenant_count} is not supported: the A/B harness "
+            "compares exactly 2 tenants (1 = single-tenant serve-sim)"
+        )
+    serve = _resolve_serve_args(args)
+    replication = _resolve_replica_args(args, serve["duration"])
+    transport = resolve_transport(args.transport)
+    heartbeat_interval = resolve_heartbeat_interval(args.heartbeat_interval)
+    cohort_sessions = resolve_cohort_sessions(args.cohort_sessions)
+    slo_p95_ms = 1000.0 * resolve_slo_p95(args.slo_p95)
+    num_workers, backend, vocab_shards, _ = _resolve_shard_args(args)
+    retrieval_spec, candidate_k, generator = _resolve_retrieval_args(args)
+    if args.arrival_rate is not None or args.duration is not None:
+        print(
+            "warning: the A/B harness drives closed-loop session traffic; "
+            "--arrival-rate/--duration do not apply under --tenants 2",
+            file=sys.stderr,
+        )
+
+    bench_config = resolve_bench_config(_resolve_bench_profile(args.profile))
+    split = build_bench_split(bench_config)
+    instances = sample_objectives(
+        split,
+        min_objective_interactions=2,
+        seed=args.seed,
+        max_instances=cohort_sessions,
+    )
+    print(
+        f"training the shared IRN backbone and fitting two tenants "
+        f"({len(instances)} sessions per cohort)...",
+        file=sys.stderr,
+    )
+    backbone = IRN(**bench_config["irn"]).fit(split)
+    evaluator = IRSEvaluator(backbone)
+
+    def make_planner():
+        # The treatment arm plans over retrieval shortlists when --retrieval
+        # is given; the shared generator is fit once and reused per planner.
+        return BeamSearchPlanner(
+            backbone,
+            beam_width=bench_config["beam_width"],
+            branch_factor=bench_config["branch_factor"],
+            max_length=bench_config["max_path_length"],
+            num_workers=num_workers,
+            shard_backend=backend,
+            vocab_shards=vocab_shards,
+            candidate_generator=generator,
+        ).fit(split)
+
+    def tenant_factory():
+        registry = TenantRegistry()
+        registry.add("control", backbone)
+        registry.add("treatment", make_planner())
+        return registry
+
+    replicated = replication["num_replicas"] > 1 or transport == "process"
+    fleet_kwargs = dict(
+        max_queue_depth=serve["max_queue_depth"],
+        admission_policy=serve["admission_policy"],
+        drain_deadline=serve["drain_deadline"],
+    )
+    if transport == "process":
+        from repro.distributed import RemoteReplicaSet
+
+        front_end = RemoteReplicaSet(
+            make_planner,
+            num_replicas=replication["num_replicas"],
+            dispatch_policy=replication["dispatch_policy"],
+            heartbeat_interval=heartbeat_interval,
+            tenant_factory=tenant_factory,
+            **fleet_kwargs,
+        )
+    elif replicated:
+        from repro.replica import ReplicaSet
+
+        front_end = ReplicaSet(
+            make_planner,
+            num_replicas=replication["num_replicas"],
+            dispatch_policy=replication["dispatch_policy"],
+            tenant_factory=tenant_factory,
+            **fleet_kwargs,
+        )
+    else:
+        from repro.serve import ServingLoop
+
+        front_end = ServingLoop(make_planner(), tenants=tenant_factory(), **fleet_kwargs)
+
+    with front_end:
+        ab_report = run_ab(
+            front_end,
+            TenantArm("control"),
+            TenantArm("treatment"),
+            instances,
+            evaluator,
+            max_steps=2 * bench_config["max_path_length"],
+            seed=args.seed,
+            slo_p95_ms=slo_p95_ms,
+        )
+        fleet_stats = front_end.stats()
+
+    report = {
+        "harness": "ab",
+        "machine": machine_info(),
+        "tenants": tenant_count,
+        "cohort_sessions": len(instances),
+        "transport": {"kind": transport},
+        "replication": {**replication, "enabled": replicated},
+        "retrieval": {"spec": retrieval_spec, "candidate_k": candidate_k},
+        "ab": ab_report.summary(),
+        "fleet_tenants": fleet_stats.get("tenants", {}),
+    }
+    for row in ab_report.rows():
+        slo = (
+            f", p95 {'within' if row.get('slo_met') else 'OVER'} "
+            f"SLO {row['slo_p95_ms']:.0f}ms"
+            if "slo_met" in row
+            else ""
+        )
+        print(
+            f"{row['framework']:>9} (tenant {row['tenant']}): interactive SR "
+            f"{row['interactive_SR']:.4f}, acceptance {row['acceptance_rate']:.4f} "
+            f"over {row['requests']} requests | latency ms p50 {row['p50_ms']} "
+            f"p95 {row['p95_ms']}{slo}"
+        )
+    print(
+        f"uplift (treatment - control interactive SR): {ab_report.uplift:+.4f} "
+        f"across {len(instances)} identically-seeded sessions per arm"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _run_serve_sim(args: argparse.Namespace) -> int:
     """The ``serve-sim`` artefact: synthetic traffic through the serving loop.
 
@@ -652,6 +707,12 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
     from repro.perf.bench import build_bench_split, machine_info
     from repro.perf.bench import bench_config as resolve_bench_config
     from repro.serve import ServingLoop, run_open_loop
+
+    from repro.config import resolve_tenants
+
+    tenant_count = resolve_tenants(args.tenants)
+    if tenant_count > 1:
+        return _run_serve_sim_ab(args, tenant_count)
 
     serve = _resolve_serve_args(args)
     replication = _resolve_replica_args(args, serve["duration"])

@@ -1,0 +1,576 @@
+"""One declarative resolver table for every ``REPRO_*`` configuration knob.
+
+Before this module existed, four packages (``serve/``, ``replica/``,
+``distributed/``, ``shard/`` — plus ``retrieval/``'s spec strings) each
+hand-rolled the same three-step resolution dance: explicit argument beats
+``$REPRO_*`` environment variable beats built-in default, with a
+:class:`~repro.utils.exceptions.ConfigurationError` naming the offending
+source on bad input.  The dance was identical; the boilerplate was not —
+every package re-implemented the integer/float/choice parsers and their
+error wording drifted one adjective at a time.
+
+Now there is one table.  Each knob is a :class:`ConfigField` row declaring
+its typed parser, its environment variable (derived from the field name
+unless history says otherwise — ``num_replicas`` reads ``REPRO_REPLICAS``),
+its CLI flag spelling, its argparse group, and its help text.  Everything
+downstream is generated from the rows:
+
+* the ``resolve_<knob>()`` functions the packages re-export (signatures and
+  error messages unchanged — the per-package ``config`` modules are now
+  thin compatibility shims over this table);
+* the grouped ``repro-irs`` flag sections
+  (:func:`add_config_arguments` builds one ``argparse`` argument group per
+  knob group, so a new knob is one table row, not another entry in a flat
+  flag list);
+* the single ConfigurationError format:
+  ``"<knob> must be <expectation>, got <value!r> (from <source>)"`` where
+  the source is ``argument`` or ``$REPRO_<NAME>``.
+
+The tenancy rows (``tenants``, ``cohort_sessions``, ``slo_p95``) configure
+the multi-tenant serving surface (:mod:`repro.tenant`): how many tenants
+``serve-sim`` binds, how many simulated sessions each A/B cohort runs, and
+the per-tenant p95 latency SLO the report grades against.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "ConfigField",
+    "CONFIG_FIELDS",
+    "CONFIG_GROUPS",
+    "GROUP_TITLES",
+    "resolve",
+    "fields_in_group",
+    "add_config_arguments",
+    # valid-choice tuples (historically exported by the package configs)
+    "VALID_ADMISSION_POLICIES",
+    "VALID_DISPATCH_POLICIES",
+    "VALID_TRANSPORTS",
+    "VALID_BACKENDS",
+    "RETRIEVAL_SPECS",
+    # typed resolvers, one per table row
+    "resolve_max_queue_depth",
+    "resolve_admission_policy",
+    "resolve_drain_deadline",
+    "resolve_arrival_rate",
+    "resolve_serve_duration",
+    "resolve_num_workers",
+    "resolve_shard_backend_name",
+    "resolve_vocab_shards",
+    "resolve_num_replicas",
+    "resolve_refit_at",
+    "resolve_dispatch_policy",
+    "resolve_transport",
+    "resolve_heartbeat_interval",
+    "resolve_heartbeat_misses",
+    "resolve_probation_beats",
+    "resolve_retrieval_spec",
+    "resolve_candidate_k",
+    "resolve_tenants",
+    "resolve_cohort_sessions",
+    "resolve_slo_p95",
+]
+
+VALID_ADMISSION_POLICIES = ("block", "reject")
+VALID_DISPATCH_POLICIES = ("least_loaded", "round_robin")
+VALID_TRANSPORTS = ("inproc", "process")
+VALID_BACKENDS = ("serial", "thread", "process")
+RETRIEVAL_SPECS = ("none", "full", "ann", "cooccurrence")
+
+
+# --------------------------------------------------------------------- #
+# Typed parsers.  Each returns a ``(raw, source) -> value`` closure whose
+# error wording matches the historical per-package resolvers exactly —
+# the table centralises the logic without breaking a single test that
+# greps for a knob name or a ``$REPRO_*`` source in the message.
+# --------------------------------------------------------------------- #
+def int_at_least(name: str, minimum: int = 1, hint: str = "") -> Callable:
+    def parse(raw, source):
+        try:
+            parsed = int(raw)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"{name} must be an integer, got {raw!r} (from {source})"
+            ) from None
+        if parsed < minimum:
+            raise ConfigurationError(
+                f"{name} must be at least {minimum}, got {parsed} (from {source}){hint}"
+            )
+        return parsed
+
+    return parse
+
+
+def choice_of(name: str, choices: tuple) -> Callable:
+    def parse(raw, source):
+        value = str(raw).lower()
+        if value not in choices:
+            raise ConfigurationError(
+                f"{name} must be one of {', '.join(choices)}, got {raw!r} (from {source})"
+            )
+        return value
+
+    return parse
+
+
+def _finite_float(raw, name: str, source: str, noun: str = "a number") -> float:
+    try:
+        parsed = float(raw)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"{name} must be {noun}, got {raw!r} (from {source})"
+        ) from None
+    return parsed
+
+
+def float_with(name: str, noun: str, check: Callable) -> Callable:
+    """A float parser with a per-knob range ``check(parsed, source)``."""
+
+    def parse(raw, source):
+        parsed = _finite_float(raw, name, source, noun)
+        return check(parsed, source)
+
+    return parse
+
+
+def _drain_deadline_check(parsed: float, source: str) -> float:
+    if parsed != parsed or parsed in (float("inf"), float("-inf")):
+        raise ConfigurationError(
+            f"drain_deadline must be finite, got {parsed} (from {source})"
+        )
+    if parsed < 0:
+        raise ConfigurationError(
+            f"drain_deadline must be non-negative seconds, got {parsed} "
+            f"(from {source}); use 0 to drain immediately"
+        )
+    return parsed
+
+
+def _positive_finite_check(name: str, what: str) -> Callable:
+    def check(parsed: float, source: str) -> float:
+        if parsed != parsed or parsed in (float("inf"), float("-inf")):
+            raise ConfigurationError(f"{name} must be finite, got {parsed} (from {source})")
+        if parsed <= 0:
+            raise ConfigurationError(f"{name} must be {what}, got {parsed} (from {source})")
+        return parsed
+
+    return check
+
+
+def _positive_finite_seconds_check(name: str) -> Callable:
+    """The combined wording used by ``refit_at`` and ``heartbeat_interval``."""
+
+    def check(parsed: float, source: str) -> float:
+        if parsed != parsed or parsed in (float("inf"), float("-inf")) or parsed <= 0:
+            raise ConfigurationError(
+                f"{name} must be positive finite seconds, got {parsed} (from {source})"
+            )
+        return parsed
+
+    return check
+
+
+def _retrieval_spec_parse(raw, source):
+    spec = (str(raw) if raw is not None else "none").strip().lower() or "none"
+    if spec not in RETRIEVAL_SPECS:
+        raise ConfigurationError(
+            f"unknown retrieval spec '{raw}'; known: {', '.join(RETRIEVAL_SPECS)}"
+        )
+    return spec
+
+
+def _candidate_k_parse(raw, source):
+    try:
+        parsed = int(raw)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"--candidate-k must be an integer, got {raw!r}"
+        ) from None
+    return parsed
+
+
+# --------------------------------------------------------------------- #
+# The table.
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ConfigField:
+    """One knob: its group, parser, env hook, CLI flag and documentation."""
+
+    name: str
+    group: str
+    default: Any
+    parse: Callable
+    help: str
+    #: environment variable; derived ``REPRO_<NAME>`` unless overridden
+    env: "str | None" = None
+    #: CLI flag; derived ``--<name-with-dashes>`` unless overridden
+    flag: "str | None" = None
+    #: whether :func:`add_config_arguments` emits a flag for this knob
+    cli: bool = True
+
+    @property
+    def env_var(self) -> str:
+        return self.env if self.env is not None else "REPRO_" + self.name.upper()
+
+    @property
+    def flag_name(self) -> str:
+        return self.flag if self.flag is not None else "--" + self.name.replace("_", "-")
+
+    @property
+    def dest(self) -> str:
+        return self.flag_name.lstrip("-").replace("-", "_")
+
+
+GROUP_TITLES = {
+    "traffic": "traffic (repro.serve)",
+    "sharding": "sharding (repro.shard)",
+    "replication": "replication (repro.replica)",
+    "transport": "transport (repro.distributed)",
+    "retrieval": "retrieval (repro.retrieval)",
+    "tenancy": "tenancy (repro.tenant)",
+}
+
+_TABLE = (
+    # ------------------------------ traffic ------------------------------ #
+    ConfigField(
+        "arrival_rate",
+        "traffic",
+        100.0,
+        float_with(
+            "arrival_rate",
+            "a number",
+            _positive_finite_check("arrival_rate", "positive requests/second"),
+        ),
+        "serve-sim: mean Poisson arrivals/sec (default: $REPRO_ARRIVAL_RATE or 100)",
+    ),
+    ConfigField(
+        "serve_duration",
+        "traffic",
+        2.0,
+        float_with(
+            "serve_duration",
+            "a number",
+            _positive_finite_check("serve_duration", "positive seconds"),
+        ),
+        "serve-sim: seconds of synthetic traffic (default: $REPRO_SERVE_DURATION or 2)",
+        flag="--duration",
+    ),
+    ConfigField(
+        "max_queue_depth",
+        "traffic",
+        64,
+        int_at_least("max_queue_depth"),
+        "serve-sim: per-shard request queue bound (default: $REPRO_MAX_QUEUE_DEPTH or 64)",
+    ),
+    ConfigField(
+        "drain_deadline",
+        "traffic",
+        0.002,
+        float_with("drain_deadline", "a number", _drain_deadline_check),
+        "serve-sim: seconds a drain holds a queue open to widen the micro-batch "
+        "(default: $REPRO_DRAIN_DEADLINE or 0.002)",
+    ),
+    ConfigField(
+        "admission_policy",
+        "traffic",
+        "block",
+        choice_of("admission_policy", VALID_ADMISSION_POLICIES),
+        "serve-sim: block | reject on a full queue (default: $REPRO_ADMISSION_POLICY or block)",
+    ),
+    # ----------------------------- sharding ------------------------------ #
+    ConfigField(
+        "num_workers",
+        "sharding",
+        1,
+        int_at_least("num_workers", hint="; use 1 to disable sharding"),
+        "worker shards for planning/evaluation (default: $REPRO_NUM_WORKERS or 1)",
+    ),
+    ConfigField(
+        "shard_backend",
+        "sharding",
+        None,  # dynamic: 'thread' when num_workers > 1, else 'serial'
+        choice_of("shard_backend", VALID_BACKENDS),
+        "serial | thread | process (default: $REPRO_SHARD_BACKEND, else "
+        "'thread' when --num-workers > 1)",
+    ),
+    ConfigField(
+        "vocab_shards",
+        "sharding",
+        1,
+        int_at_least("vocab_shards", hint="; use 1 to disable sharding"),
+        "column shards of the item axis for top-k (default: $REPRO_VOCAB_SHARDS or 1)",
+    ),
+    # ---------------------------- replication ---------------------------- #
+    ConfigField(
+        "num_replicas",
+        "replication",
+        1,
+        int_at_least("num_replicas"),
+        "serve-sim: backbone replicas behind the dispatcher (default: $REPRO_REPLICAS or 1)",
+        env="REPRO_REPLICAS",
+        flag="--replicas",
+    ),
+    ConfigField(
+        "refit_at",
+        "replication",
+        None,
+        float_with(
+            "refit_at", "a number of seconds", _positive_finite_seconds_check("refit_at")
+        ),
+        "serve-sim: seconds into the trace to trigger a hot refit; must fall "
+        "strictly inside --duration (default: $REPRO_REFIT_AT or no refit)",
+    ),
+    ConfigField(
+        "dispatch_policy",
+        "replication",
+        "least_loaded",
+        choice_of("dispatch_policy", VALID_DISPATCH_POLICIES),
+        "serve-sim: least_loaded | round_robin replica routing "
+        "(default: $REPRO_DISPATCH_POLICY or least_loaded)",
+    ),
+    # ----------------------------- transport ----------------------------- #
+    ConfigField(
+        "transport",
+        "transport",
+        "inproc",
+        choice_of("transport", VALID_TRANSPORTS),
+        "serve-sim: inproc | process replica transport; 'process' forks one "
+        "worker per replica behind the binary wire protocol "
+        "(default: $REPRO_TRANSPORT or inproc)",
+    ),
+    ConfigField(
+        "heartbeat_interval",
+        "transport",
+        0.05,
+        float_with(
+            "heartbeat_interval",
+            "a number of seconds",
+            _positive_finite_seconds_check("heartbeat_interval"),
+        ),
+        "serve-sim: seconds between worker heartbeats under --transport "
+        "process (default: $REPRO_HEARTBEAT_INTERVAL or 0.05)",
+    ),
+    ConfigField(
+        "heartbeat_misses",
+        "transport",
+        5,
+        int_at_least("heartbeat_misses"),
+        "serve-sim: consecutive missed heartbeats before a worker is suspected "
+        "(default: $REPRO_HEARTBEAT_MISSES or 5)",
+    ),
+    ConfigField(
+        "probation_beats",
+        "transport",
+        3,
+        int_at_least("probation_beats"),
+        "serve-sim: heartbeats a suspected worker must deliver to rejoin "
+        "dispatch (default: $REPRO_PROBATION_BEATS or 3)",
+    ),
+    # ----------------------------- retrieval ----------------------------- #
+    ConfigField(
+        "retrieval_spec",
+        "retrieval",
+        "none",
+        _retrieval_spec_parse,
+        "serve-sim: candidate-generation backend for two-stage retrieval "
+        "(none | full | ann | cooccurrence; default: none = exact full-vocab "
+        "scoring)",
+        env="REPRO_RETRIEVAL",
+        flag="--retrieval",
+    ),
+    ConfigField(
+        "candidate_k",
+        "retrieval",
+        256,
+        _candidate_k_parse,
+        "serve-sim: candidate-set size per context for --retrieval "
+        "(default: 256; requires --retrieval)",
+        env="REPRO_CANDIDATE_K",
+        flag="--candidate-k",
+    ),
+    # ------------------------------ tenancy ------------------------------ #
+    ConfigField(
+        "tenants",
+        "tenancy",
+        1,
+        int_at_least("tenants"),
+        "serve-sim: tenant bindings behind the serving fleet; 2 runs the "
+        "two-tenant A/B harness over simulated cohorts "
+        "(default: $REPRO_TENANTS or 1)",
+    ),
+    ConfigField(
+        "cohort_sessions",
+        "tenancy",
+        24,
+        int_at_least("cohort_sessions"),
+        "serve-sim: simulated user sessions per tenant cohort in the A/B "
+        "harness (default: $REPRO_COHORT_SESSIONS or 24)",
+    ),
+    ConfigField(
+        "slo_p95",
+        "tenancy",
+        0.25,
+        float_with(
+            "slo_p95", "a number of seconds", _positive_finite_seconds_check("slo_p95")
+        ),
+        "serve-sim: per-tenant p95 latency SLO in seconds, graded in the "
+        "A/B report (default: $REPRO_SLO_P95 or 0.25)",
+    ),
+)
+
+CONFIG_FIELDS: "dict[str, ConfigField]" = {row.name: row for row in _TABLE}
+CONFIG_GROUPS: "tuple[str, ...]" = tuple(GROUP_TITLES)
+
+
+def fields_in_group(group: str) -> "tuple[ConfigField, ...]":
+    return tuple(row for row in _TABLE if row.group == group)
+
+
+def resolve(name: str, value: Any = None) -> Any:
+    """Resolve one knob: explicit argument > ``$REPRO_*`` env > default."""
+    row = CONFIG_FIELDS[name]
+    if value is not None:
+        return row.parse(value, "argument")
+    env = os.environ.get(row.env_var)
+    if env is not None and env != "":
+        return row.parse(env, f"${row.env_var}")
+    return row.default
+
+
+def add_config_arguments(parser, groups: "tuple[str, ...]" = CONFIG_GROUPS) -> None:
+    """Emit one argparse argument group per knob group, from the table.
+
+    Flags are collected as raw strings (``default=None``) and validated by
+    the ``resolve_*`` functions, so a mistyped value surfaces as a
+    :class:`~repro.utils.exceptions.ConfigurationError` naming the source
+    and the ``$REPRO_*`` environment defaults keep applying when a flag is
+    omitted — exactly the behaviour of the historical flat flag list.
+    """
+    for group in groups:
+        section = parser.add_argument_group(GROUP_TITLES[group])
+        for row in fields_in_group(group):
+            if row.cli:
+                section.add_argument(row.flag_name, dest=row.dest, default=None, help=row.help)
+
+
+# --------------------------------------------------------------------- #
+# Typed resolvers.  One per row; the per-package config modules re-export
+# these names so historical imports keep working.
+# --------------------------------------------------------------------- #
+def resolve_max_queue_depth(value: "int | None" = None) -> int:
+    """Queue bound: explicit > ``REPRO_MAX_QUEUE_DEPTH`` > 64."""
+    return resolve("max_queue_depth", value)
+
+
+def resolve_admission_policy(value: "str | None" = None) -> str:
+    """Back-pressure policy: explicit > ``REPRO_ADMISSION_POLICY`` > block."""
+    return resolve("admission_policy", value)
+
+
+def resolve_drain_deadline(value: "float | None" = None) -> float:
+    """Micro-batch window: explicit > ``REPRO_DRAIN_DEADLINE`` > 0.002 s."""
+    return resolve("drain_deadline", value)
+
+
+def resolve_arrival_rate(value: "float | None" = None) -> float:
+    """Poisson arrival rate: explicit > ``REPRO_ARRIVAL_RATE`` > 100 req/s."""
+    return resolve("arrival_rate", value)
+
+
+def resolve_serve_duration(value: "float | None" = None) -> float:
+    """Simulated traffic duration: explicit > ``REPRO_SERVE_DURATION`` > 2 s."""
+    return resolve("serve_duration", value)
+
+
+def resolve_num_workers(value: "int | None" = None) -> int:
+    """Worker count: explicit > ``REPRO_NUM_WORKERS`` > 1."""
+    return resolve("num_workers", value)
+
+
+def resolve_shard_backend_name(value: "str | None" = None, num_workers: int = 1) -> str:
+    """Backend *name* resolution (the fork-availability check stays in
+    :mod:`repro.shard.config`, whose ``fork_available`` tests monkeypatch)."""
+    resolved = resolve("shard_backend", value)
+    if resolved is None:
+        return "thread" if num_workers > 1 else "serial"
+    return resolved
+
+
+def resolve_vocab_shards(value: "int | None" = None) -> int:
+    """Vocabulary shard count: explicit > ``REPRO_VOCAB_SHARDS`` > 1."""
+    return resolve("vocab_shards", value)
+
+
+def resolve_num_replicas(value: "int | None" = None) -> int:
+    """Replica count: explicit > ``REPRO_REPLICAS`` > 1."""
+    return resolve("num_replicas", value)
+
+
+def resolve_refit_at(value: "float | None" = None) -> "float | None":
+    """Hot-refit trigger offset: explicit > ``REPRO_REFIT_AT`` > no refit."""
+    return resolve("refit_at", value)
+
+
+def resolve_dispatch_policy(value: "str | None" = None) -> str:
+    """Routing policy: explicit > ``REPRO_DISPATCH_POLICY`` > least_loaded."""
+    return resolve("dispatch_policy", value)
+
+
+def resolve_transport(value: "str | None" = None) -> str:
+    """Serving transport: explicit > ``REPRO_TRANSPORT`` > ``inproc``."""
+    return resolve("transport", value)
+
+
+def resolve_heartbeat_interval(value: "float | None" = None) -> float:
+    """Heartbeat period: explicit > ``REPRO_HEARTBEAT_INTERVAL`` > 0.05 s."""
+    return resolve("heartbeat_interval", value)
+
+
+def resolve_heartbeat_misses(value: "int | None" = None) -> int:
+    """Missed-heartbeat budget: explicit > ``REPRO_HEARTBEAT_MISSES`` > 5."""
+    return resolve("heartbeat_misses", value)
+
+
+def resolve_probation_beats(value: "int | None" = None) -> int:
+    """Probation window: explicit > ``REPRO_PROBATION_BEATS`` > 3 beats."""
+    return resolve("probation_beats", value)
+
+
+def resolve_retrieval_spec(value: "str | None" = None) -> str:
+    """Retrieval spec: explicit > ``REPRO_RETRIEVAL`` > ``none``.
+
+    Historically ``None`` meant "no pruning", so an explicit ``None`` (and
+    blank strings) normalise to ``none`` rather than falling through to the
+    environment hook with a changed meaning for existing callers passing
+    ``None`` literally — the env var only applies when no argument is given
+    at a call site that opted into it via the CLI path.
+    """
+    if value is None:
+        return "none"
+    return resolve("retrieval_spec", value)
+
+
+def resolve_candidate_k(value: "int | None" = None) -> int:
+    """Shortlist size: explicit > ``REPRO_CANDIDATE_K`` > 256."""
+    return resolve("candidate_k", value)
+
+
+def resolve_tenants(value: "int | None" = None) -> int:
+    """Tenant count: explicit > ``REPRO_TENANTS`` > 1."""
+    return resolve("tenants", value)
+
+
+def resolve_cohort_sessions(value: "int | None" = None) -> int:
+    """A/B cohort size: explicit > ``REPRO_COHORT_SESSIONS`` > 24."""
+    return resolve("cohort_sessions", value)
+
+
+def resolve_slo_p95(value: "float | None" = None) -> float:
+    """Per-tenant p95 latency SLO: explicit > ``REPRO_SLO_P95`` > 0.25 s."""
+    return resolve("slo_p95", value)

@@ -1,34 +1,26 @@
 """Configuration surface of the distributed (multi-process) serving layer.
 
-Four knobs, resolved with the established precedence rule (explicit
-argument > environment variable > built-in default):
-
-* ``transport`` (``REPRO_TRANSPORT``) — ``inproc`` (the in-process
-  :class:`~repro.replica.ReplicaSet`, the default) or ``process`` (a
-  :class:`~repro.distributed.remote.RemoteReplicaSet` of forked
-  :class:`~repro.distributed.worker.ReplicaWorker` processes behind the
-  socket transport).
-* ``heartbeat_interval`` (``REPRO_HEARTBEAT_INTERVAL``) — seconds between
-  a worker's load-signal heartbeats.  The dispatcher's EWMA-depth/p95
-  scores are only as fresh as this, and the failure detector's clock ticks
-  in units of it.
-* ``heartbeat_misses`` (``REPRO_HEARTBEAT_MISSES``) — consecutive missed
-  heartbeat intervals before the failure detector marks a worker
-  unhealthy and re-dispatches its pending work to the survivors.
-* ``probation_beats`` (``REPRO_PROBATION_BEATS``) — consecutive heartbeats
-  a suspected worker must deliver before it rejoins dispatch (the
-  probation window: a worker that flaps in and out of responsiveness must
-  not oscillate back into the healthy pool on its first sign of life).
+The four knobs (``transport`` / ``REPRO_TRANSPORT``, ``heartbeat_interval``
+/ ``REPRO_HEARTBEAT_INTERVAL``, ``heartbeat_misses`` /
+``REPRO_HEARTBEAT_MISSES``, ``probation_beats`` / ``REPRO_PROBATION_BEATS``)
+are rows of the declarative resolver table in :mod:`repro.config`; this
+module re-exports their resolvers for compatibility.
 """
 
 from __future__ import annotations
 
-import os
-
-from repro.utils.exceptions import ConfigurationError
+from repro.config import (
+    CONFIG_FIELDS,
+    VALID_TRANSPORTS,
+    resolve_heartbeat_interval,
+    resolve_heartbeat_misses,
+    resolve_probation_beats,
+    resolve_transport,
+)
 
 __all__ = [
     "VALID_TRANSPORTS",
+    "DEFAULT_TRANSPORT",
     "DEFAULT_HEARTBEAT_INTERVAL",
     "DEFAULT_HEARTBEAT_MISSES",
     "DEFAULT_PROBATION_BEATS",
@@ -38,88 +30,7 @@ __all__ = [
     "resolve_probation_beats",
 ]
 
-VALID_TRANSPORTS = ("inproc", "process")
-
-_ENV_TRANSPORT = "REPRO_TRANSPORT"
-_ENV_HEARTBEAT_INTERVAL = "REPRO_HEARTBEAT_INTERVAL"
-_ENV_HEARTBEAT_MISSES = "REPRO_HEARTBEAT_MISSES"
-_ENV_PROBATION_BEATS = "REPRO_PROBATION_BEATS"
-
-DEFAULT_TRANSPORT = "inproc"
-DEFAULT_HEARTBEAT_INTERVAL = 0.05
-DEFAULT_HEARTBEAT_MISSES = 5
-DEFAULT_PROBATION_BEATS = 3
-
-
-def resolve_transport(value: "str | None" = None) -> str:
-    """Serving transport: explicit > ``REPRO_TRANSPORT`` > ``inproc``."""
-    source = "argument"
-    if value is None:
-        env = os.environ.get(_ENV_TRANSPORT)
-        if env is None or env == "":
-            return DEFAULT_TRANSPORT
-        value, source = env, f"${_ENV_TRANSPORT}"
-    transport = str(value).lower()
-    if transport not in VALID_TRANSPORTS:
-        raise ConfigurationError(
-            f"transport must be one of {', '.join(VALID_TRANSPORTS)}, "
-            f"got {value!r} (from {source})"
-        )
-    return transport
-
-
-def resolve_heartbeat_interval(value: "float | None" = None) -> float:
-    """Heartbeat period: explicit > ``REPRO_HEARTBEAT_INTERVAL`` > 0.05 s."""
-    source = "argument"
-    if value is None:
-        env = os.environ.get(_ENV_HEARTBEAT_INTERVAL)
-        if env is None or env == "":
-            return DEFAULT_HEARTBEAT_INTERVAL
-        value, source = env, f"${_ENV_HEARTBEAT_INTERVAL}"
-    try:
-        parsed = float(value)
-    except (TypeError, ValueError):
-        raise ConfigurationError(
-            f"heartbeat_interval must be a number of seconds, got {value!r} "
-            f"(from {source})"
-        ) from None
-    if parsed != parsed or parsed in (float("inf"), float("-inf")) or parsed <= 0:
-        raise ConfigurationError(
-            f"heartbeat_interval must be positive finite seconds, got {parsed} "
-            f"(from {source})"
-        )
-    return parsed
-
-
-def _resolve_positive_int(value, env_name: str, default: int, knob: str) -> int:
-    source = "argument"
-    if value is None:
-        env = os.environ.get(env_name)
-        if env is None or env == "":
-            return default
-        value, source = env, f"${env_name}"
-    try:
-        parsed = int(value)
-    except (TypeError, ValueError):
-        raise ConfigurationError(
-            f"{knob} must be an integer, got {value!r} (from {source})"
-        ) from None
-    if parsed < 1:
-        raise ConfigurationError(
-            f"{knob} must be at least 1, got {parsed} (from {source})"
-        )
-    return parsed
-
-
-def resolve_heartbeat_misses(value: "int | None" = None) -> int:
-    """Missed-heartbeat budget: explicit > ``REPRO_HEARTBEAT_MISSES`` > 5."""
-    return _resolve_positive_int(
-        value, _ENV_HEARTBEAT_MISSES, DEFAULT_HEARTBEAT_MISSES, "heartbeat_misses"
-    )
-
-
-def resolve_probation_beats(value: "int | None" = None) -> int:
-    """Probation window: explicit > ``REPRO_PROBATION_BEATS`` > 3 beats."""
-    return _resolve_positive_int(
-        value, _ENV_PROBATION_BEATS, DEFAULT_PROBATION_BEATS, "probation_beats"
-    )
+DEFAULT_TRANSPORT = CONFIG_FIELDS["transport"].default
+DEFAULT_HEARTBEAT_INTERVAL = CONFIG_FIELDS["heartbeat_interval"].default
+DEFAULT_HEARTBEAT_MISSES = CONFIG_FIELDS["heartbeat_misses"].default
+DEFAULT_PROBATION_BEATS = CONFIG_FIELDS["probation_beats"].default

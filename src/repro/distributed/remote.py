@@ -74,6 +74,7 @@ from repro.replica.config import resolve_num_replicas
 from repro.replica.dispatch import Dispatcher
 from repro.replica.replica import LATENCY_WEIGHT, MIN_WARM_SAMPLES
 from repro.serve.admission import AdmissionController
+from repro.serve.api import Response, TypedServingSurface, warn_positional_submit
 from repro.serve.request import ServeRequest
 from repro.shard.config import fork_available
 from repro.utils.exceptions import ConfigurationError, ServingError
@@ -127,10 +128,14 @@ class RemoteReplica:
     fed by HEARTBEAT frames instead of shared-memory counters.
     """
 
-    def __init__(self, worker: ReplicaWorker) -> None:
+    def __init__(self, worker: ReplicaWorker, slot: "int | None" = None) -> None:
         self.worker = worker
         self.index = worker.index
         self.generation = worker.generation
+        #: Stable fleet slot (0..num_replicas-1), preserved across refits —
+        #: tenant placement maps tenants to slots, not to worker indices
+        #: (which grow monotonically as generations are spawned).
+        self.slot = slot if slot is not None else worker.index
         self.spawned_at = time.perf_counter()
         self._lock = threading.Lock()
         self._pending: "dict[int, ServeRequest]" = {}
@@ -327,7 +332,7 @@ class RemoteReplica:
         return snapshot
 
 
-class RemoteReplicaSet:
+class RemoteReplicaSet(TypedServingSurface):
     """N worker *processes* behind the ``ReplicaSet``/``Dispatcher`` surface.
 
     Parameters mirror :class:`~repro.replica.set.ReplicaSet` plus the
@@ -338,6 +343,16 @@ class RemoteReplicaSet:
     the next generation's fitted state through the artifact registry
     instead of retraining per worker (the distributed deployment model:
     one versioned artifact, N installs).
+
+    Multi-tenant fleets add two knobs.  ``tenant_factory`` (zero-arg, runs
+    *inside each forked child* after its fresh metrics registry) gives
+    every worker its own :class:`~repro.tenant.registry.TenantRegistry`.
+    ``tenant_placement`` maps tenant id -> fleet *slots* (0..N-1; slots
+    survive refits, worker indices do not): a tenant's requests dispatch
+    only to its slots' workers, and a tenant-scoped refit ships artifacts
+    only to those workers — the process boundary becomes the tenant
+    isolation boundary.  Unplaced tenants (and untenanted requests) use
+    the whole fleet.
     """
 
     _MAX_DISPATCH_ATTEMPTS = 8
@@ -355,6 +370,8 @@ class RemoteReplicaSet:
         heartbeat_interval: "float | None" = None,
         heartbeat_misses: "int | None" = None,
         probation_beats: "int | None" = None,
+        tenant_factory: "Callable[[], object] | None" = None,
+        tenant_placement: "dict | None" = None,
     ) -> None:
         if not callable(planner_factory):
             raise ConfigurationError(
@@ -369,6 +386,18 @@ class RemoteReplicaSet:
             )
         self._factory = planner_factory
         self.num_replicas = resolve_num_replicas(num_replicas)
+        if tenant_factory is not None and not callable(tenant_factory):
+            raise ConfigurationError(
+                "tenant_factory must be a zero-arg callable returning a "
+                "TenantRegistry (it runs inside each forked worker)"
+            )
+        self._tenant_factory = tenant_factory
+        self.tenant_placement = self._validate_placement(tenant_placement)
+        #: Per-tenant dispatchers over the tenant's placed slots; rebuilt on
+        #: every fleet change (spawn, flip).  Tenants without placement are
+        #: absent and fall through to the fleet-wide dispatcher.
+        self._tenant_dispatchers: "dict[str, Dispatcher]" = {}
+        self._dispatch_policy = dispatch_policy
         self.heartbeat_interval = resolve_heartbeat_interval(heartbeat_interval)
         self.heartbeat_misses = resolve_heartbeat_misses(heartbeat_misses)
         self.probation_beats = resolve_probation_beats(probation_beats)
@@ -429,11 +458,12 @@ class RemoteReplicaSet:
             )
         for artifact in artifacts_from_planner(planner, self._generation):
             self.registry.publish(artifact)
-        for _ in range(self.num_replicas):
-            replica = self._spawn_replica(planner, self._generation)
+        for slot in range(self.num_replicas):
+            replica = self._spawn_replica(planner, self._generation, slot=slot)
             with self._flip_lock:
                 self._active.append(replica)
         self.dispatcher.reset(self._active)
+        self._rebuild_tenant_dispatchers(self._active)
         self._await_hellos(self._active)
         self._detector_stop = threading.Event()
         self._detector = threading.Thread(
@@ -444,7 +474,62 @@ class RemoteReplicaSet:
     # ------------------------------------------------------------------ #
     # Worker lifecycle
     # ------------------------------------------------------------------ #
-    def _spawn_replica(self, planner, generation: int) -> RemoteReplica:
+    def _validate_placement(self, placement: "dict | None") -> "dict | None":
+        if placement is None:
+            return None
+        validated: "dict[str, tuple[int, ...]]" = {}
+        for tenant, slots in placement.items():
+            if not isinstance(tenant, str) or not tenant:
+                raise ConfigurationError(
+                    f"tenant placement keys must be tenant ids, got {tenant!r}"
+                )
+            slot_tuple = tuple(int(slot) for slot in slots)
+            if not slot_tuple:
+                raise ConfigurationError(
+                    f"tenant {tenant!r} placement must name at least one fleet slot"
+                )
+            for slot in slot_tuple:
+                if not 0 <= slot < self.num_replicas:
+                    raise ConfigurationError(
+                        f"tenant {tenant!r} placement slot {slot} is outside the "
+                        f"fleet (0..{self.num_replicas - 1})"
+                    )
+            validated[tenant] = slot_tuple
+        return validated
+
+    def _rebuild_tenant_dispatchers(self, active: "list[RemoteReplica]") -> None:
+        """One dispatcher per placed tenant, over its slots' live workers."""
+        if not self.tenant_placement:
+            return
+        by_slot = {replica.slot: replica for replica in active}
+        dispatchers: "dict[str, Dispatcher]" = {}
+        for tenant, slots in self.tenant_placement.items():
+            members = [by_slot[slot] for slot in slots if slot in by_slot]
+            dispatchers[tenant] = Dispatcher(members, policy=self._dispatch_policy)
+        self._tenant_dispatchers = dispatchers
+
+    def _forget_everywhere(self, replica: RemoteReplica) -> None:
+        """Drop a failed worker from the fleet dispatcher AND every tenant
+        dispatcher it was placed in."""
+        self.dispatcher.forget(replica)
+        for dispatcher in self._tenant_dispatchers.values():
+            dispatcher.forget(replica)
+
+    def _replicas_for_tenants(
+        self, replicas: "list[RemoteReplica]", tenants: "Sequence[str] | None"
+    ) -> "list[RemoteReplica]":
+        """The subset of ``replicas`` serving any of ``tenants`` under the
+        placement map (everything, when unscoped or no placement applies)."""
+        if tenants is None or not self.tenant_placement:
+            return list(replicas)
+        slots: "set[int]" = set()
+        for tenant in tenants:
+            slots.update(self.tenant_placement.get(tenant, ()))
+        return [replica for replica in replicas if replica.slot in slots]
+
+    def _spawn_replica(
+        self, planner, generation: int, slot: "int | None" = None
+    ) -> RemoteReplica:
         with self._state_lock:
             index = self._next_worker_index
             self._next_worker_index += 1
@@ -460,8 +545,9 @@ class RemoteReplicaSet:
             loop_kwargs=self._loop_kwargs,
             heartbeat_interval=self.heartbeat_interval,
             inherited_fds=inherited,
+            tenant_factory=self._tenant_factory,
         )
-        replica = RemoteReplica(worker)
+        replica = RemoteReplica(worker, slot=slot)
         thread = threading.Thread(
             target=self._reader_loop,
             args=(replica,),
@@ -532,19 +618,21 @@ class RemoteReplicaSet:
         # parent-clock instants and can never go negative, however far the
         # worker's perf_counter epoch sits from ours (the satellite-1 fix).
         done = time.perf_counter()
-        request.completed_at = done
-        request.replica_index = replica.index
         if record.ok:
-            request.served_generation = record.served_generation
-            request.batch_tag = record.batch_tag
-            request.remote_queue_wait_s = record.queue_wait_s
-            request.remote_service_s = record.service_s
+            drain_start = Response.stamp(
+                request,
+                completed_at=done,
+                served_generation=record.served_generation,
+                batch_tag=record.batch_tag,
+                replica_index=replica.index,
+                remote_queue_wait_s=record.queue_wait_s,
+                remote_service_s=record.service_s,
+            )
             trace = request.trace
             if trace is not None:
-                # Re-base the worker-measured durations onto the parent
-                # clock, anchored at the response receipt: the spans cross
-                # the wire as duration fields, never as raw timestamps.
-                drain_start = done - max(record.service_s - record.queue_wait_s, 0.0)
+                # The worker-measured durations are re-based onto the parent
+                # clock by ``Response.stamp`` (anchored at response receipt):
+                # spans cross the wire as duration fields, never timestamps.
                 trace.span(
                     "remote.queue.wait",
                     drain_start - record.queue_wait_s,
@@ -562,6 +650,8 @@ class RemoteReplicaSet:
                 self.tracer.finish(trace)
             request.future.set_result(record.answer)
         else:
+            request.completed_at = done
+            request.replica_index = replica.index
             if request.trace is not None:
                 self.tracer.finish(request.trace)
             request.future.set_exception(wire.exception_from_record(record))
@@ -590,7 +680,7 @@ class RemoteReplicaSet:
                 replica.index,
                 replica.worker.pid,
             )
-        self.dispatcher.forget(replica)
+        self._forget_everywhere(replica)
         pending = replica.drain_pending()
         replica.worker.close()
         if pending:
@@ -619,7 +709,7 @@ class RemoteReplicaSet:
                         self.heartbeat_misses,
                         1000.0 * budget,
                     )
-                    self.dispatcher.forget(replica)
+                    self._forget_everywhere(replica)
                     self._redispatch(replica.drain_pending(), reason="heartbeat")
 
     def _redispatch(self, requests: "list[ServeRequest]", reason: str) -> None:
@@ -738,6 +828,7 @@ class RemoteReplicaSet:
             self._generation = generation
             self._retiring.extend(previous)
             self.dispatcher.reset(self._active)
+            self._rebuild_tenant_dispatchers(self._active)
         logger.info(
             "remote refit flip: generation %d active on %d worker(s); "
             "%d worker(s) retiring",
@@ -758,8 +849,8 @@ class RemoteReplicaSet:
             ]
             self._retired_snapshots.extend(snapshots)
 
-    def refit(self) -> dict:
-        return self.refit_coordinator.refit()
+    def refit(self, tenants: "Sequence[str] | None" = None) -> dict:
+        return self.refit_coordinator.refit(tenants=tenants)
 
     # ------------------------------------------------------------------ #
     # Submission (the ServingLoop-compatible surface)
@@ -773,6 +864,8 @@ class RemoteReplicaSet:
         user_index: "int | None" = None,
         max_length: "int | None" = None,
     ) -> Future:
+        """Deprecated positional submission; use :meth:`serve` instead."""
+        warn_positional_submit()
         return self.enqueue(
             ServeRequest.create(
                 kind,
@@ -816,10 +909,22 @@ class RemoteReplicaSet:
         """
         if self.closed:
             raise ServingError("remote replica set is closed; no new requests accepted")
+        if request.deadline is not None:
+            now = time.perf_counter()
+            if now >= request.deadline:
+                self._admission_template.on_expired(now - request.deadline)
         if self.tracer.enabled and request.trace is None:
-            request.trace = self.tracer.begin(request.routing_key(), kind=request.kind)
+            attrs = {"kind": request.kind}
+            if request.tenant is not None:
+                attrs["tenant"] = request.tenant
+            request.trace = self.tracer.begin(request.routing_key(), **attrs)
+        # Tenant placement makes this set the isolation boundary: a placed
+        # tenant's requests only ever reach its own slots' workers.
+        dispatcher = self.dispatcher
+        if request.tenant is not None:
+            dispatcher = self._tenant_dispatchers.get(request.tenant, self.dispatcher)
         for _ in range(self._MAX_DISPATCH_ATTEMPTS):
-            replica = self.dispatcher.pick(request)
+            replica = dispatcher.pick(request)
             replica.on_dispatch()
             request_id = next(self._request_ids)
             replica.register(request_id, request)
@@ -834,7 +939,7 @@ class RemoteReplicaSet:
                 self._metrics.record(add={"send_errors": 1})
                 if replica.mark_dead():
                     self._metrics.record(add={"marked_unhealthy": 1})
-                self.dispatcher.forget(replica)
+                self._forget_everywhere(replica)
                 self._redispatch(replica.drain_pending(), reason="send failure")
                 continue
             self._metrics.record(add={"requests_sent": 1, "bytes_sent": sent})
@@ -883,6 +988,29 @@ class RemoteReplicaSet:
         totals["per_replica"] = per_replica
         return totals
 
+    def _tenant_stats(self, loop_stats: "list[dict]") -> dict:
+        """Fleet tenant view: workers' per-tenant counters summed by tenant
+        id, plus the placement map and per-tenant dispatcher health."""
+        tenants: "dict[str, dict]" = {}
+        for stats in loop_stats:
+            for name, tenant_stats in stats.get("tenants", {}).items():
+                merged = tenants.setdefault(
+                    name, {"tenant": name, "served": 0, "failed": 0}
+                )
+                merged["served"] += tenant_stats["served"]
+                merged["failed"] += tenant_stats["failed"]
+                merged["kinds"] = tenant_stats["kinds"]
+        if self.tenant_placement:
+            for name, slots in self.tenant_placement.items():
+                entry = tenants.setdefault(
+                    name, {"tenant": name, "served": 0, "failed": 0}
+                )
+                entry["placement"] = list(slots)
+                dispatcher = self._tenant_dispatchers.get(name)
+                if dispatcher is not None:
+                    entry["dispatch"] = dispatcher.stats()
+        return {"tenants": tenants} if tenants else {}
+
     def stats(self) -> dict:
         """Fleet stats shaped like ``ReplicaSet.stats()`` plus a
         ``transport`` section (wire counters, failure-detector verdicts,
@@ -918,6 +1046,7 @@ class RemoteReplicaSet:
                 "max_size": max((q["micro_batch_max"] for q in per_queue), default=0),
             },
             "dispatch": self.dispatcher.stats(),
+            **self._tenant_stats(loop_stats),
             "replicas": [replica.stats() for replica in replicas],
             "retired_replicas": len(replicas) - len(active) + len(self._retired_snapshots),
             "refits": self.refit_coordinator.history(),
@@ -953,13 +1082,30 @@ class RemoteRefitCoordinator:
             return [dict(report) for report in self._history]
 
     # ------------------------------------------------------------------ #
-    def refit(self) -> dict:
+    def refit(self, tenants: "Sequence[str] | None" = None) -> dict:
+        """Train the next generation, ship artifacts, flip, retire.
+
+        With ``tenants`` given (and a tenant placement configured on the
+        set), the artifact installs are *scoped*: only the standby workers
+        on those tenants' placed slots receive INSTALL frames — a tenant's
+        refit never ships bytes to its neighbours' workers.  Every slot
+        still forks a standby (the fleet flips as one), so unscoped slots
+        simply come up from the factory planner without a wire install.
+        """
         if not self._refit_lock.acquire(blocking=False):
             raise ServingError("a refit is already in progress on this replica set")
         try:
             remote_set = self._set
             if remote_set.closed:
                 raise ServingError("cannot refit a closed remote replica set")
+            if tenants is not None:
+                placement = remote_set.tenant_placement or {}
+                unknown = [name for name in tenants if name not in placement]
+                if unknown:
+                    raise ServingError(
+                        f"cannot scope refit to unplaced tenant(s) {unknown}; "
+                        f"placed tenants: {sorted(placement)}"
+                    )
             generation_from = remote_set.fit_generation
             generation_to = generation_from + 1
             logger.info(
@@ -979,12 +1125,13 @@ class RemoteRefitCoordinator:
             # checksummed weights/generator state from the INSTALL frame
             # into its own backbone before taking any traffic.
             standby = [
-                remote_set._spawn_replica(standby_planner, generation_to)
-                for _ in range(remote_set.num_replicas)
+                remote_set._spawn_replica(standby_planner, generation_to, slot=slot)
+                for slot in range(remote_set.num_replicas)
             ]
+            install_targets = remote_set._replicas_for_tenants(standby, tenants)
             try:
                 remote_set._await_hellos(standby)
-                for replica in standby:
+                for replica in install_targets:
                     for artifact in artifacts:
                         self._install(replica, artifact)
             except BaseException:
@@ -1039,6 +1186,8 @@ class RemoteRefitCoordinator:
                 "inflight_at_flip": inflight_at_flip,
                 "retired_served": retired_served,
                 "artifacts": [artifact.meta() for artifact in artifacts],
+                "installed_slots": sorted(r.slot for r in install_targets),
+                **({"tenants": sorted(tenants)} if tenants is not None else {}),
             }
             with self._history_lock:
                 self._history.append(report)

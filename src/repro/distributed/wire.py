@@ -91,10 +91,16 @@ FRAME_HEADER = struct.Struct("!IB")
 MAX_PAYLOAD_BYTES = 1 << 30
 
 # Request record: id(u64) kind(u8) objective(q) user(q, -1=None)
-# max_length(i, -1=None) hist_len(I) path_len(I); items follow as i64.
-_REQUEST_FIXED = struct.Struct("!QBqqiII")
-_KIND_CODES = {"next_step": 0, "plan_paths": 1}
-_KIND_NAMES = {0: "next_step", 1: "plan_paths"}
+# max_length(i, -1=None) hist_len(I) path_len(I) tenant_len(H); items
+# follow as i64, then the utf-8 tenant id (tenant_len 0 = untenanted —
+# tenant names are validated non-empty at registration, so 0 is unambiguous).
+_REQUEST_FIXED = struct.Struct("!QBqqiIIH")
+#: Open enum of request kinds on the wire.  ``rank`` and ``kg_path`` reuse
+#: the positional slots the way the typed API lowers them (k in the
+#: objective slot / exclusions in the path slot; source as the history's
+#: last item / target in the objective slot), so no new record shapes.
+_KIND_CODES = {"next_step": 0, "plan_paths": 1, "rank": 2, "kg_path": 3}
+_KIND_NAMES = {code: name for name, code in _KIND_CODES.items()}
 
 # Response record (ok): id(u64) status(u8=0) answer_kind(u8)
 # generation(q, -1=None) batch_tag(q, -1=None) queue_wait_s(d) service_s(d)
@@ -251,6 +257,7 @@ def encode_request_batch(entries: "list[tuple[int, ServeRequest]]") -> bytes:
     for request_id, request in entries:
         history = request.history
         path = request.path_so_far
+        tenant = b"" if request.tenant is None else request.tenant.encode("utf-8")
         parts.append(
             _REQUEST_FIXED.pack(
                 request_id,
@@ -260,12 +267,15 @@ def encode_request_batch(entries: "list[tuple[int, ServeRequest]]") -> bytes:
                 -1 if request.max_length is None else request.max_length,
                 len(history),
                 len(path),
+                len(tenant),
             )
         )
         if history:
             parts.append(struct.pack(f"!{len(history)}q", *history))
         if path:
             parts.append(struct.pack(f"!{len(path)}q", *path))
+        if tenant:
+            parts.append(tenant)
     return b"".join(parts)
 
 
@@ -284,12 +294,15 @@ def decode_request_batch(payload: bytes) -> "list[tuple[int, ServeRequest]]":
             max_length,
             hist_len,
             path_len,
+            tenant_len,
         ) = _REQUEST_FIXED.unpack_from(payload, offset)
         offset += _REQUEST_FIXED.size
         history = struct.unpack_from(f"!{hist_len}q", payload, offset)
         offset += 8 * hist_len
         path = struct.unpack_from(f"!{path_len}q", payload, offset)
         offset += 8 * path_len
+        tenant = payload[offset : offset + tenant_len].decode("utf-8") or None
+        offset += tenant_len
         entries.append(
             (
                 request_id,
@@ -300,6 +313,7 @@ def decode_request_batch(payload: bytes) -> "list[tuple[int, ServeRequest]]":
                     path_so_far=path,
                     user_index=None if user_index < 0 else user_index,
                     max_length=None if max_length < 0 else max_length,
+                    tenant=tenant,
                 ),
             )
         )

@@ -108,6 +108,7 @@ def spawn_worker(
     heartbeat_interval: float = 0.05,
     inherited_fds: "list[int] | None" = None,
     mp_context=None,
+    tenant_factory=None,
 ) -> ReplicaWorker:
     """Fork one worker process serving ``planner`` and return its handle.
 
@@ -118,6 +119,10 @@ def spawn_worker(
     refit re-ships weights explicitly through the artifact registry).
     ``inherited_fds`` lists parent-side fds of *other* workers' sockets the
     child should close (a later fork inherits every earlier socket).
+    ``tenant_factory`` (optional) is called *inside the child* AFTER its
+    fresh metrics registry is installed, so a multi-tenant worker's
+    :class:`~repro.tenant.registry.TenantRegistry` binds child-owned locks
+    and counters — never objects forked mid-acquisition.
     """
     if mp_context is None:
         import multiprocessing
@@ -135,6 +140,7 @@ def spawn_worker(
             dict(loop_kwargs or {}),
             heartbeat_interval,
             list(inherited_fds or []),
+            tenant_factory,
         ),
         name=f"repro-worker-{index}",
         daemon=True,
@@ -156,6 +162,7 @@ def worker_main(
     loop_kwargs: dict,
     heartbeat_interval: float,
     inherited_fds: "list[int]",
+    tenant_factory=None,
 ) -> None:
     """Entry point of the child process (runs until SHUTDOWN or EOF)."""
     try:
@@ -168,6 +175,7 @@ def worker_main(
             loop_kwargs,
             heartbeat_interval,
             inherited_fds,
+            tenant_factory,
         ).run()
     except BaseException:
         logger.exception("worker %d died", index)
@@ -188,6 +196,7 @@ class _Worker:
         loop_kwargs,
         heartbeat_interval,
         inherited_fds,
+        tenant_factory=None,
     ) -> None:
         # Fresh registry FIRST: every MetricGroup built below must bind to a
         # lock this process created, not one forked mid-acquisition.
@@ -208,8 +217,14 @@ class _Worker:
         else:
             planner.serving_generation = generation
         self.planner = planner
+        # The tenant registry is built HERE, after the fresh metrics
+        # registry: its bindings' admission controllers and latency groups
+        # must be child-owned (the parent keeps its own registry instance).
+        tenants = None if tenant_factory is None else tenant_factory()
+        if tenants is not None:
+            tenants.pin_generation(generation)
         self.loop = ServingLoop(
-            planner, admission_scope=f"worker-{index}", **loop_kwargs
+            planner, admission_scope=f"worker-{index}", tenants=tenants, **loop_kwargs
         )
         self.replica = Replica(index, planner, self.loop, generation)
         self.send_lock = threading.Lock()
@@ -240,6 +255,9 @@ class _Worker:
                     "shard_backend": getattr(self.planner, "shard_backend", None),
                     "vocab_shards": getattr(self.planner, "vocab_shards", None),
                     "planner": getattr(self.planner, "name", type(self.planner).__name__),
+                    "tenants": (
+                        [] if self.loop.tenants is None else list(self.loop.tenants.names)
+                    ),
                 }
             ),
             lock=self.send_lock,

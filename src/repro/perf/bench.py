@@ -1795,6 +1795,240 @@ def _bench_two_stage_retrieval(config: dict) -> dict:
     }
 
 
+def _bench_multi_tenant(
+    irn: IRN, split: DatasetSplit, instances: list[EvaluationInstance], config: dict,
+) -> dict:
+    """Multi-tenant serving: per-kind parity, isolation, A/B determinism.
+
+    Three deterministic gate contracts over one in-process tenanted fleet
+    (a :class:`~repro.serve.loop.ServingLoop` holding a planner tenant, a
+    recommender tenant and a knowledge-graph tenant):
+
+    * **Per-kind parity** — every typed request kind (``next_step`` /
+      ``plan_paths`` / ``rank`` / ``kg_path``) served through the tenant
+      registry must answer bit-identically to calling the tenant's model
+      directly (the multiplexed drain changes *where* the call happens,
+      never what it returns).  Per kind: the parity bit and the mean
+      serve-latency in microseconds.
+    * **Tenant isolation** — a tenant bounded at ``max_inflight`` under
+      the reject policy overflows while the drains are held; every reject
+      must land on the noisy tenant's own admission scope, and a
+      neighbouring unbounded tenant enqueued through the same loop must
+      serve its full cohort with zero rejects.
+    * **A/B determinism** — two identically-seeded runs of the online A/B
+      harness (:func:`repro.tenant.ab.run_ab`, simulated cohorts against
+      the control/treatment tenants) must produce identical experiment
+      summaries, latency percentiles excluded (wall-clock is the one
+      nondeterministic field).
+    """
+    from repro.evaluation.evaluator import IRSEvaluator
+    from repro.kg.graph import ItemKnowledgeGraph
+    from repro.models.markov import MarkovChainRecommender
+    from repro.serve import ServingLoop
+    from repro.serve.api import (
+        KGPathRequest,
+        NextStepRequest,
+        PlanRequest,
+        RankRequest,
+    )
+    from repro.tenant import TenantRegistry
+    from repro.tenant.ab import TenantArm, run_ab
+    from repro.utils.exceptions import QueueFullError
+
+    max_length = config["max_path_length"]
+    planner = BeamSearchPlanner(
+        irn,
+        beam_width=config["beam_width"],
+        branch_factor=config["branch_factor"],
+        max_length=max_length,
+    ).fit(split)
+    markov = MarkovChainRecommender().fit(split)
+    graph = ItemKnowledgeGraph().build(split.corpus)
+
+    def registry() -> TenantRegistry:
+        reg = TenantRegistry()
+        reg.add("irs", planner)
+        reg.add("zoo", markov)
+        reg.add("kg", graph)
+        return reg
+
+    # ---- per-kind parity + serve latency through the tenanted loop ---- #
+    contexts = [
+        (list(inst.history), inst.objective, inst.user_index) for inst in instances[:8]
+    ]
+    kg_pairs = [(history[-1], objective) for history, objective, _ in contexts]
+    per_kind: "dict[str, dict]" = {}
+    with ServingLoop(None, tenants=registry()) as loop:
+        kind_traffic = {
+            "next_step": (
+                [
+                    NextStepRequest(
+                        history=h, objective=o, user_index=u, tenant="irs"
+                    )
+                    for h, o, u in contexts
+                ],
+                [
+                    planner.plan_for_requests([("next_step", tuple(h), o, (), u, None)])[0]
+                    for h, o, u in contexts
+                ],
+            ),
+            "plan_paths": (
+                [
+                    PlanRequest(
+                        history=h, objective=o, user_index=u,
+                        max_length=max_length, tenant="irs",
+                    )
+                    for h, o, u in contexts
+                ],
+                [
+                    planner.plan_for_requests(
+                        [("plan_paths", tuple(h), o, (), u, max_length)]
+                    )[0]
+                    for h, o, u in contexts
+                ],
+            ),
+            "rank": (
+                [
+                    RankRequest(history=h, k=10, user_index=u, tenant="zoo")
+                    for h, _, u in contexts
+                ],
+                [
+                    markov.top_k(list(h), 10, user_index=u) for h, _, u in contexts
+                ],
+            ),
+            "kg_path": (
+                [
+                    KGPathRequest(source=s, target=t, tenant="kg")
+                    for s, t in kg_pairs
+                ],
+                [graph.shortest_item_path(s, t) for s, t in kg_pairs],
+            ),
+        }
+        for kind, (requests, expected) in kind_traffic.items():
+            started = time.perf_counter()
+            answers = [loop.serve(request).result().answer for request in requests]
+            elapsed = time.perf_counter() - started
+            per_kind[kind] = {
+                "requests": len(requests),
+                "parity": answers == expected,
+                "mean_us": round(1e6 * elapsed / len(requests), 1),
+            }
+
+    # ---- isolation: a noisy tenant's rejects never touch its neighbour -- #
+    bound = 2
+    noisy_attempts = 6
+    isolation_registry = TenantRegistry()
+    isolation_registry.add("noisy", planner, max_inflight=bound, admission_policy="reject")
+    isolation_registry.add("neighbour", markov)
+    loop = ServingLoop(None, tenants=isolation_registry)
+    history, objective, user = contexts[0]
+    noisy_rejects = 0
+    futures = []
+    # The loop is built but NOT started: admitted envelopes sit in the
+    # shard queue holding their tenant's in-flight slots, so the bounded
+    # tenant overflows deterministically at its max_inflight.
+    for _ in range(noisy_attempts):
+        try:
+            futures.append(
+                loop.enqueue(
+                    NextStepRequest(
+                        history=history, objective=objective, user_index=user,
+                        tenant="noisy",
+                    ).to_envelope()
+                )
+            )
+        except QueueFullError:
+            noisy_rejects += 1
+    for _ in range(noisy_attempts):
+        futures.append(
+            loop.enqueue(
+                RankRequest(history=history, k=5, user_index=user, tenant="neighbour")
+                .to_envelope()
+            )
+        )
+    with loop:  # start the drains; every admitted future must resolve
+        for future in futures:
+            future.result()
+    tenant_stats = loop.stats()["tenants"]
+    isolation = {
+        "max_inflight": bound,
+        "noisy_attempts": noisy_attempts,
+        "noisy_rejects": noisy_rejects,
+        "noisy_served": tenant_stats["noisy"]["served"],
+        "neighbour_served": tenant_stats["neighbour"]["served"],
+        "isolated": (
+            noisy_rejects == noisy_attempts - bound
+            and tenant_stats["noisy"]["served"] == bound
+            and tenant_stats["noisy"]["admission"]["rejected"] == noisy_rejects
+            and tenant_stats["neighbour"]["served"] == noisy_attempts
+        ),
+    }
+
+    # ---- A/B determinism: identical seeds => identical summaries ---- #
+    evaluator = IRSEvaluator(irn)
+    ab_instances = instances[: min(len(instances), 6)]
+
+    def ab_registry() -> TenantRegistry:
+        # A fresh treatment planner per run: plan-cache affinity carried
+        # over from a previous run's sessions would change which steps get
+        # replanned — the determinism contract is per *fleet lifetime*,
+        # exactly what one CLI invocation or one registry build sees.
+        reg = TenantRegistry()
+        reg.add("control", markov)
+        reg.add(
+            "treatment",
+            BeamSearchPlanner(
+                irn,
+                beam_width=config["beam_width"],
+                branch_factor=config["branch_factor"],
+                max_length=max_length,
+            ).fit(split),
+        )
+        return reg
+
+    def strip_latency(summary: dict) -> dict:
+        cleaned = {}
+        for arm in ("control", "treatment"):
+            cleaned[arm] = {
+                key: value
+                for key, value in summary[arm].items()
+                if key not in ("p50_ms", "p95_ms", "slo_met")
+            }
+        cleaned["uplift"] = summary["uplift"]
+        return cleaned
+
+    summaries = []
+    ab_started = time.perf_counter()
+    for _ in range(2):
+        with ServingLoop(None, tenants=ab_registry()) as ab_loop:
+            report = run_ab(
+                ab_loop,
+                TenantArm("control"),
+                TenantArm("treatment"),
+                ab_instances,
+                evaluator,
+                max_steps=2 * max_length,
+                seed=0,
+            )
+        summaries.append(strip_latency(report.summary()))
+    ab_seconds = time.perf_counter() - ab_started
+
+    return {
+        "max_path_length": max_length,
+        "num_contexts": len(contexts),
+        "tenants": ["irs", "zoo", "kg"],
+        "per_kind": per_kind,
+        "isolation": isolation,
+        "ab": {
+            "sessions_per_cohort": len(ab_instances),
+            "runs": 2,
+            "seconds": round(ab_seconds, 3),
+            "deterministic": summaries[0] == summaries[1],
+            "uplift": summaries[0]["uplift"],
+        },
+    }
+
+
 #: Section registry: name -> builder(irn, split, instances, config, **knobs).
 #: ``run_benchmarks(sections=...)`` and ``repro-irs bench --sections`` filter
 #: against these names.
@@ -1811,6 +2045,7 @@ BENCH_SECTIONS = (
     "distributed_serving",
     "observability",
     "two_stage_retrieval",
+    "multi_tenant",
 )
 
 
@@ -1905,6 +2140,7 @@ def run_benchmarks(
             shard_backend=shard_backend, vocab_shards=vocab_shards,
         ),
         "two_stage_retrieval": lambda: _bench_two_stage_retrieval(config),
+        "multi_tenant": lambda: _bench_multi_tenant(irn, split, instances, config),
     }
     for name in selected:
         report[name] = builders[name]()

@@ -224,6 +224,28 @@ def _check_two_stage_retrieval(section: dict, violations: "list[str]") -> None:
                 )
 
 
+def _check_multi_tenant(section: dict, violations: "list[str]") -> None:
+    per_kind = section.get("per_kind", {})
+    if not per_kind:
+        violations.append("multi_tenant: the section recorded no request kinds")
+    for kind, row in per_kind.items():
+        if not row.get("parity"):
+            violations.append(
+                f"multi_tenant: '{kind}' answers served through the tenant "
+                "registry differ from direct model calls"
+            )
+    if not section.get("isolation", {}).get("isolated"):
+        violations.append(
+            "multi_tenant: a bounded tenant's admission rejects leaked outside "
+            "its own scope (isolation bit false)"
+        )
+    if not section.get("ab", {}).get("deterministic"):
+        violations.append(
+            "multi_tenant: identically-seeded A/B harness runs produced "
+            "different experiment summaries"
+        )
+
+
 def collect_violations(report: dict, require: "Sequence[str]" = ()) -> "list[str]":
     """Every violated contract bit in ``report`` (empty list means green)."""
     violations: "list[str]" = []
@@ -280,6 +302,8 @@ def collect_violations(report: dict, require: "Sequence[str]" = ()) -> "list[str
         _check_observability(report["observability"], violations)
     if "two_stage_retrieval" in report:
         _check_two_stage_retrieval(report["two_stage_retrieval"], violations)
+    if "multi_tenant" in report:
+        _check_multi_tenant(report["multi_tenant"], violations)
     return violations
 
 

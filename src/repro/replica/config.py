@@ -1,102 +1,29 @@
 """Configuration surface of the replicated serving subsystem.
 
-Three knobs, resolved with the established precedence rule (explicit
-argument > environment variable > built-in default):
-
-* ``num_replicas`` (``REPRO_REPLICAS``) — backbone replicas behind the
-  dispatcher.  ``1`` reproduces the single-loop serving of :mod:`repro.serve`
-  exactly (the dispatcher degenerates to a pass-through); CI forces ``2`` on
-  one matrix leg so replicated parity runs on every PR.
-* ``refit_at`` (``REPRO_REFIT_AT``) — seconds into a ``serve-sim`` traffic
-  window at which a hot refit is triggered.  Unset (or an empty string)
-  means no refit; the CLI additionally requires the value to fall strictly
-  inside ``--duration``.
-* ``dispatch_policy`` (``REPRO_DISPATCH_POLICY``) — ``least_loaded`` (EWMA
-  in-flight depth + recent p95 drain latency, the default) or
-  ``round_robin`` (the cold-start fallback, forced always-on).
+The three knobs (``num_replicas`` / ``REPRO_REPLICAS``, ``refit_at`` /
+``REPRO_REFIT_AT``, ``dispatch_policy`` / ``REPRO_DISPATCH_POLICY``) are
+rows of the declarative resolver table in :mod:`repro.config`; this module
+re-exports their resolvers for compatibility.
 """
 
 from __future__ import annotations
 
-import os
-
-from repro.utils.exceptions import ConfigurationError
+from repro.config import (
+    CONFIG_FIELDS,
+    VALID_DISPATCH_POLICIES,
+    resolve_dispatch_policy,
+    resolve_num_replicas,
+    resolve_refit_at,
+)
 
 __all__ = [
     "VALID_DISPATCH_POLICIES",
+    "DEFAULT_NUM_REPLICAS",
+    "DEFAULT_DISPATCH_POLICY",
     "resolve_num_replicas",
     "resolve_refit_at",
     "resolve_dispatch_policy",
 ]
 
-VALID_DISPATCH_POLICIES = ("least_loaded", "round_robin")
-
-_ENV_REPLICAS = "REPRO_REPLICAS"
-_ENV_REFIT_AT = "REPRO_REFIT_AT"
-_ENV_DISPATCH_POLICY = "REPRO_DISPATCH_POLICY"
-
-DEFAULT_NUM_REPLICAS = 1
-DEFAULT_DISPATCH_POLICY = "least_loaded"
-
-
-def resolve_num_replicas(value: "int | None" = None) -> int:
-    """Replica count: explicit > ``REPRO_REPLICAS`` > 1."""
-    source = "argument"
-    if value is None:
-        env = os.environ.get(_ENV_REPLICAS)
-        if env is None or env == "":
-            return DEFAULT_NUM_REPLICAS
-        value, source = env, f"${_ENV_REPLICAS}"
-    try:
-        parsed = int(value)
-    except (TypeError, ValueError):
-        raise ConfigurationError(
-            f"num_replicas must be an integer, got {value!r} (from {source})"
-        ) from None
-    if parsed < 1:
-        raise ConfigurationError(
-            f"num_replicas must be at least 1, got {parsed} (from {source})"
-        )
-    return parsed
-
-
-def resolve_refit_at(value: "float | None" = None) -> "float | None":
-    """Hot-refit trigger offset: explicit > ``REPRO_REFIT_AT`` > no refit.
-
-    ``None`` (and an unset/empty environment variable) means "never refit";
-    any resolved value must be a positive finite number of seconds.
-    """
-    source = "argument"
-    if value is None:
-        env = os.environ.get(_ENV_REFIT_AT)
-        if env is None or env == "":
-            return None
-        value, source = env, f"${_ENV_REFIT_AT}"
-    try:
-        parsed = float(value)
-    except (TypeError, ValueError):
-        raise ConfigurationError(
-            f"refit_at must be a number of seconds, got {value!r} (from {source})"
-        ) from None
-    if parsed != parsed or parsed in (float("inf"), float("-inf")) or parsed <= 0:
-        raise ConfigurationError(
-            f"refit_at must be positive finite seconds, got {parsed} (from {source})"
-        )
-    return parsed
-
-
-def resolve_dispatch_policy(value: "str | None" = None) -> str:
-    """Routing policy: explicit > ``REPRO_DISPATCH_POLICY`` > least_loaded."""
-    source = "argument"
-    if value is None:
-        env = os.environ.get(_ENV_DISPATCH_POLICY)
-        if env is None or env == "":
-            return DEFAULT_DISPATCH_POLICY
-        value, source = env, f"${_ENV_DISPATCH_POLICY}"
-    policy = str(value).lower()
-    if policy not in VALID_DISPATCH_POLICIES:
-        raise ConfigurationError(
-            f"dispatch_policy must be one of {', '.join(VALID_DISPATCH_POLICIES)}, "
-            f"got {value!r} (from {source})"
-        )
-    return policy
+DEFAULT_NUM_REPLICAS = CONFIG_FIELDS["num_replicas"].default
+DEFAULT_DISPATCH_POLICY = CONFIG_FIELDS["dispatch_policy"].default

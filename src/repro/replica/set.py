@@ -40,6 +40,7 @@ from repro.replica.dispatch import Dispatcher
 from repro.replica.refit import RefitCoordinator
 from repro.replica.replica import Replica
 from repro.serve.admission import AdmissionController
+from repro.serve.api import TypedServingSurface, warn_positional_submit
 from repro.serve.loop import ServingLoop
 from repro.serve.request import ServeRequest
 from repro.utils.exceptions import ConfigurationError, QueueFullError, ServingError
@@ -79,7 +80,7 @@ class _FleetAdmission:
         return totals
 
 
-class ReplicaSet:
+class ReplicaSet(TypedServingSurface):
     """N independently fitted serving replicas behind one dispatcher.
 
     Parameters
@@ -103,6 +104,14 @@ class ReplicaSet:
     tracer:
         Optional :class:`~repro.obs.trace.Tracer` shared by every replica's
         serving loop; ``None`` leaves tracing off (the zero-cost default).
+    tenant_factory:
+        Optional zero-arg callable returning a *fresh*
+        :class:`~repro.tenant.registry.TenantRegistry` — called once per
+        replica (and again per replica on every refit, mirroring
+        ``planner_factory``), so each replica serves its own copies of the
+        tenants' models and a refit re-fits every tenant.  ``None`` keeps
+        the replicas single-tenant (or lets ``REPRO_TENANTS`` synthesize a
+        degenerate registry inside each loop).
     """
 
     #: Dispatch retries across a concurrent generation flip: an enqueue can
@@ -120,13 +129,20 @@ class ReplicaSet:
         drain_deadline: "float | None" = None,
         dispatch_policy: "str | None" = None,
         tracer: "object | None" = None,
+        tenant_factory: "Callable[[], object] | None" = None,
     ) -> None:
         if not callable(planner_factory):
             raise ConfigurationError(
                 "ReplicaSet needs a zero-arg planner_factory returning a fitted "
                 "planner (one independently fitted backbone per call)"
             )
+        if tenant_factory is not None and not callable(tenant_factory):
+            raise ConfigurationError(
+                "tenant_factory must be a zero-arg callable returning a "
+                "TenantRegistry (one fresh set of tenant models per replica)"
+            )
         self._factory = planner_factory
+        self._tenant_factory = tenant_factory
         self.num_replicas = resolve_num_replicas(num_replicas)
         # One tracer is shared by every replica's loop (including standby
         # generations built mid-refit), so a request traced across a flip
@@ -184,8 +200,14 @@ class ReplicaSet:
             pin(serving_generation=generation)
         else:
             planner.serving_generation = generation
+        tenants = None if self._tenant_factory is None else self._tenant_factory()
+        if tenants is not None:
+            tenants.pin_generation(generation)
         loop = ServingLoop(
-            planner, admission_scope=f"replica-{index}", **self._loop_kwargs
+            planner,
+            admission_scope=f"replica-{index}",
+            tenants=tenants,
+            **self._loop_kwargs,
         )
         return Replica(index, planner, loop, generation)
 
@@ -343,6 +365,9 @@ class ReplicaSet:
         user_index: "int | None" = None,
         max_length: "int | None" = None,
     ) -> Future:
+        """Positional submission (deprecated — see
+        :meth:`~repro.serve.api.TypedServingSurface.serve`)."""
+        warn_positional_submit()
         return self.enqueue(
             ServeRequest.create(
                 kind,
@@ -442,8 +467,20 @@ class ReplicaSet:
         batches = sum(q["micro_batches"] for q in per_queue)
         batch_requests = sum(q["micro_batch_requests"] for q in per_queue)
         admission = self.admission.counters()
+        # Fleet-wide tenant view: per-replica loops each carry their own
+        # binding counters; sum the volume fields per tenant id.
+        tenants: "dict[str, dict]" = {}
+        for stats in loop_stats:
+            for name, tenant_stats in stats.get("tenants", {}).items():
+                merged = tenants.setdefault(
+                    name, {"tenant": name, "served": 0, "failed": 0}
+                )
+                merged["served"] += tenant_stats["served"]
+                merged["failed"] += tenant_stats["failed"]
+                merged["kinds"] = tenant_stats["kinds"]
         return {
             "num_replicas": self.num_replicas,
+            **({"tenants": tenants} if tenants else {}),
             "generation": self.fit_generation,
             "served": sum(stats["served"] for stats in loop_stats),
             **self.admission.describe(),

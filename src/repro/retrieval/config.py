@@ -3,29 +3,24 @@
 ``--retrieval`` on ``repro-irs serve-sim`` (and the bench's generator
 construction) speaks short names: ``none`` (exact planning, the default),
 ``full`` (full-vocabulary candidate sets — the parity oracle), ``ann``
-and ``cooccurrence``.  :func:`resolve_retrieval_spec` validates eagerly
-with a :class:`~repro.utils.exceptions.ConfigurationError` naming the
-known specs; :func:`make_generator` instantiates through the registry.
+and ``cooccurrence``.  The spec and shortlist-size knobs are rows of the
+declarative resolver table in :mod:`repro.config`
+(:func:`resolve_retrieval_spec` validates eagerly with a
+:class:`~repro.utils.exceptions.ConfigurationError` naming the known
+specs); :func:`make_generator` instantiates through the registry.
 """
 
 from __future__ import annotations
 
+from repro.config import RETRIEVAL_SPECS, resolve_candidate_k, resolve_retrieval_spec
 from repro.retrieval.base import CandidateGenerator, retrieval_registry
-from repro.utils.exceptions import ConfigurationError
 
-__all__ = ["resolve_retrieval_spec", "make_generator", "RETRIEVAL_SPECS"]
-
-RETRIEVAL_SPECS = ("none", "full", "ann", "cooccurrence")
-
-
-def resolve_retrieval_spec(value: "str | None") -> str:
-    """Normalise and validate a retrieval spec string (``None`` -> ``none``)."""
-    spec = (value or "none").strip().lower()
-    if spec not in RETRIEVAL_SPECS:
-        raise ConfigurationError(
-            f"unknown retrieval spec '{value}'; known: {', '.join(RETRIEVAL_SPECS)}"
-        )
-    return spec
+__all__ = [
+    "resolve_retrieval_spec",
+    "resolve_candidate_k",
+    "make_generator",
+    "RETRIEVAL_SPECS",
+]
 
 
 def make_generator(

@@ -13,6 +13,13 @@ bit-identical to sequential serving, measured by the traffic drivers in
 """
 
 from repro.serve.admission import AdmissionController
+from repro.serve.api import (
+    KGPathRequest,
+    NextStepRequest,
+    PlanRequest,
+    RankRequest,
+    Response,
+)
 from repro.serve.driver import (
     latency_percentiles,
     poisson_arrival_offsets,
@@ -25,7 +32,12 @@ from repro.serve.request import ServeRequest
 
 __all__ = [
     "AdmissionController",
+    "KGPathRequest",
+    "NextStepRequest",
+    "PlanRequest",
+    "RankRequest",
     "RequestQueue",
+    "Response",
     "ServeRequest",
     "ServingLoop",
     "latency_percentiles",

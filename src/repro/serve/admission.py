@@ -87,6 +87,20 @@ class AdmissionController:
                 f"retry later or use admission_policy='block'"
             )
 
+    def on_expired(self, lateness_s: float) -> None:
+        """A request arrived after its own deadline: reject, never enqueue.
+
+        Expired requests count as rejections on this controller's scope —
+        spending a queue slot and a drain share on an answer nobody wants
+        would let one late tenant's backlog crowd out live traffic.
+        """
+        self._metrics.record(add={"rejected": 1})
+        where = f"{self.scope}: " if self.scope else ""
+        raise QueueFullError(
+            f"{where}request deadline expired {1000.0 * lateness_s:.1f}ms "
+            "before admission; not enqueuing an answer nobody wants"
+        )
+
     def on_blocked(self) -> None:
         """One request entered the blocked state (counted once per request)."""
         self._metrics.record(add={"blocked": 1})

@@ -1,0 +1,341 @@
+"""The typed request/response API of the serving stack.
+
+Every serving front-end (:class:`~repro.serve.loop.ServingLoop`,
+:class:`~repro.replica.set.ReplicaSet`,
+:class:`~repro.distributed.remote.RemoteReplicaSet`) speaks one surface:
+
+    ``serve(request) -> Future[Response]``
+
+where ``request`` is one of four frozen dataclasses sharing a common
+envelope (tenant id, deadline, and the derived routing key):
+
+* :class:`NextStepRequest` — the next item of an evolving influence plan
+  (the stepwise serving workload of PRs 4–9);
+* :class:`PlanRequest` — a full influence path to an objective;
+* :class:`RankRequest` — top-``k`` next-item ranking from any
+  :mod:`repro.models` recommender (the objective slot of the positional
+  protocol carries ``k``, the path slot carries the exclusion set);
+* :class:`KGPathRequest` — a knowledge-graph-constrained item path from a
+  source to a target item (:mod:`repro.kg`).
+
+Each typed request lowers to the positional
+:class:`~repro.serve.request.ServeRequest` envelope (the queueable unit
+the drains micro-batch), and the answered envelope lifts back into a
+typed :class:`Response` carrying the answer, the tenant, the
+``served_generation``/``batch_tag`` stamps and both latency endpoints.
+
+:meth:`Response.stamp` is the one place completion timestamps are
+written.  The in-process drain and the process transport historically
+duplicated this logic (``loop.py`` stamped ``drain_started_at`` /
+``completed_at`` directly; ``remote.py`` stamped a parent-clock
+``completed_at`` and re-based the worker-shipped durations with its own
+``max(..., 0.0)`` clamps) — both now call :meth:`Response.stamp`, and the
+never-negative regression tests live alongside it in
+``tests/serve/test_response_stamp.py``.
+
+The old positional ``submit(kind, history, objective, ...)`` path remains
+as a deprecation shim for one release; new call sites construct typed
+requests.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import ClassVar, Sequence
+
+from repro.serve.request import ServeRequest
+
+__all__ = [
+    "Request",
+    "NextStepRequest",
+    "PlanRequest",
+    "RankRequest",
+    "KGPathRequest",
+    "Response",
+    "TypedServingSurface",
+    "REQUEST_TYPES",
+    "warn_positional_submit",
+]
+
+#: the positional-``submit`` deprecation fires once per process, not once
+#: per request — the shim sits on serving hot paths
+_POSITIONAL_SUBMIT_WARNED = False
+
+
+def warn_positional_submit() -> None:
+    """Emit the one-per-process deprecation warning for ``submit(kind, ...)``."""
+    global _POSITIONAL_SUBMIT_WARNED
+    if not _POSITIONAL_SUBMIT_WARNED:
+        _POSITIONAL_SUBMIT_WARNED = True
+        warnings.warn(
+            "positional submit(kind, ...) is deprecated; construct a typed "
+            "request (repro.serve.api) and call serve(request) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
+@dataclass(frozen=True)
+class Request:
+    """The common envelope of every typed serving request.
+
+    ``tenant`` routes the request to its tenant's model, objective policy
+    and admission scope (``None`` = the single-tenant surface);
+    ``deadline`` is an optional absolute ``time.perf_counter()`` instant
+    after which the caller no longer wants the answer — admission rejects
+    already-expired requests instead of wasting a drain slot on them.
+    """
+
+    tenant: "str | None" = field(default=None, kw_only=True)
+    deadline: "float | None" = field(default=None, kw_only=True)
+
+    #: the positional-protocol kind this request lowers to
+    kind: ClassVar[str] = ""
+
+    def to_envelope(self) -> ServeRequest:
+        raise NotImplementedError
+
+    def routing_key(self) -> tuple:
+        """The stable shard/dispatch routing key (tenant-prefixed)."""
+        return self.to_envelope().routing_key()
+
+
+@dataclass(frozen=True)
+class NextStepRequest(Request):
+    """Serve the next item of the current influence plan for one context."""
+
+    history: Sequence[int] = ()
+    objective: int = 0
+    path_so_far: Sequence[int] = ()
+    user_index: "int | None" = None
+
+    kind: ClassVar[str] = "next_step"
+
+    def to_envelope(self) -> ServeRequest:
+        return ServeRequest.create(
+            "next_step",
+            self.history,
+            self.objective,
+            self.path_so_far,
+            self.user_index,
+            None,
+            tenant=self.tenant,
+            deadline=self.deadline,
+        )
+
+
+@dataclass(frozen=True)
+class PlanRequest(Request):
+    """Plan one full influence path to ``objective``."""
+
+    history: Sequence[int] = ()
+    objective: int = 0
+    user_index: "int | None" = None
+    max_length: "int | None" = None
+
+    kind: ClassVar[str] = "plan_paths"
+
+    def to_envelope(self) -> ServeRequest:
+        return ServeRequest.create(
+            "plan_paths",
+            self.history,
+            self.objective,
+            (),
+            self.user_index,
+            self.max_length,
+            tenant=self.tenant,
+            deadline=self.deadline,
+        )
+
+
+@dataclass(frozen=True)
+class RankRequest(Request):
+    """Rank the top-``k`` next items for a history (the model-zoo workload).
+
+    Lowers onto the positional protocol with ``k`` in the objective slot
+    and the exclusion set in the path slot, so the same wire rows and
+    dedup/wave machinery serve it unchanged.
+    """
+
+    history: Sequence[int] = ()
+    k: int = 10
+    user_index: "int | None" = None
+    exclude: Sequence[int] = ()
+
+    kind: ClassVar[str] = "rank"
+
+    def to_envelope(self) -> ServeRequest:
+        return ServeRequest.create(
+            "rank",
+            self.history,
+            self.k,
+            self.exclude,
+            self.user_index,
+            None,
+            tenant=self.tenant,
+            deadline=self.deadline,
+        )
+
+
+@dataclass(frozen=True)
+class KGPathRequest(Request):
+    """A knowledge-graph-constrained item path from ``source`` to ``target``."""
+
+    source: int = 0
+    target: int = 0
+
+    kind: ClassVar[str] = "kg_path"
+
+    def to_envelope(self) -> ServeRequest:
+        return ServeRequest.create(
+            "kg_path",
+            (self.source,),
+            self.target,
+            (),
+            None,
+            None,
+            tenant=self.tenant,
+            deadline=self.deadline,
+        )
+
+
+REQUEST_TYPES = (NextStepRequest, PlanRequest, RankRequest, KGPathRequest)
+
+
+@dataclass
+class Response:
+    """One answered serving request, with its stamps and latency endpoints."""
+
+    kind: str
+    answer: object
+    tenant: "str | None" = None
+    served_generation: "int | None" = None
+    batch_tag: "int | None" = None
+    replica_index: "int | None" = None
+    enqueued_at: float = 0.0
+    drain_started_at: "float | None" = None
+    completed_at: "float | None" = None
+    #: worker-measured durations for requests served across the process
+    #: boundary (``None`` in-process — both derive from the stamps there)
+    remote_queue_wait_s: "float | None" = None
+    remote_service_s: "float | None" = None
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end sojourn on the caller's clock (never negative: both
+        endpoints are stamped by the same process)."""
+        if self.completed_at is None:
+            return 0.0
+        return max(self.completed_at - self.enqueued_at, 0.0)
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time between admission and the answering drain's start."""
+        if self.remote_queue_wait_s is not None:
+            return self.remote_queue_wait_s
+        if self.drain_started_at is None:
+            return 0.0
+        return max(self.drain_started_at - self.enqueued_at, 0.0)
+
+    @property
+    def service_s(self) -> float:
+        """Time inside the answering drain."""
+        if self.remote_service_s is not None:
+            return max(self.remote_service_s - (self.remote_queue_wait_s or 0.0), 0.0)
+        if self.completed_at is None or self.drain_started_at is None:
+            return 0.0
+        return max(self.completed_at - self.drain_started_at, 0.0)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def stamp(
+        request: ServeRequest,
+        *,
+        completed_at: "float | None" = None,
+        drain_started_at: "float | None" = None,
+        served_generation: "int | None" = None,
+        batch_tag: "int | None" = None,
+        replica_index: "int | None" = None,
+        remote_queue_wait_s: "float | None" = None,
+        remote_service_s: "float | None" = None,
+    ) -> float:
+        """Write the completion stamps of one envelope, in one place.
+
+        Rules enforced here (previously duplicated between the in-process
+        drain and the process transport, and easy to drift):
+
+        * both latency endpoints are instants of the *caller's* clock —
+          worker processes ship durations, never timestamps, so a latency
+          subtraction can never go negative however far apart the
+          ``perf_counter`` epochs sit;
+        * remote durations re-base onto the caller's clock anchored at the
+          response receipt, clamped at zero (``drain_started_at = done -
+          max(service - queue_wait, 0)``), so derived spans are sane even
+          when a worker measured a shorter service than queue wait;
+        * stamps are written BEFORE the future resolves (the callers'
+          contract), so any thread woken by ``future.result()`` reads a
+          complete envelope.
+
+        Returns the effective ``drain_started_at`` (the trace-span anchor).
+        """
+        done = time.perf_counter() if completed_at is None else completed_at
+        if remote_service_s is not None:
+            queue_wait = remote_queue_wait_s or 0.0
+            drain_started_at = done - max(remote_service_s - queue_wait, 0.0)
+            request.remote_queue_wait_s = remote_queue_wait_s
+            request.remote_service_s = remote_service_s
+        request.completed_at = done
+        if drain_started_at is not None:
+            request.drain_started_at = drain_started_at
+        request.served_generation = served_generation
+        request.batch_tag = batch_tag
+        if replica_index is not None:
+            request.replica_index = replica_index
+        return drain_started_at if drain_started_at is not None else done
+
+    @classmethod
+    def from_envelope(cls, request: ServeRequest, answer: object) -> "Response":
+        """Lift one answered envelope into the typed response."""
+        return cls(
+            kind=request.kind,
+            answer=answer,
+            tenant=request.tenant,
+            served_generation=request.served_generation,
+            batch_tag=request.batch_tag,
+            replica_index=request.replica_index,
+            enqueued_at=request.enqueued_at,
+            drain_started_at=request.drain_started_at,
+            completed_at=request.completed_at,
+            remote_queue_wait_s=request.remote_queue_wait_s,
+            remote_service_s=request.remote_service_s,
+        )
+
+
+class TypedServingSurface:
+    """The one ``serve(request) -> Future[Response]`` entrypoint.
+
+    Mixed into every serving front-end; requires only the host's
+    ``enqueue(envelope)`` method, so the three transports stay identical
+    from the caller's side.
+    """
+
+    def serve(self, request: Request) -> "Future[Response]":
+        """Admit one typed request; the future resolves to a :class:`Response`."""
+        envelope = request.to_envelope()
+        response_future: "Future[Response]" = Future()
+
+        def _lift(inner: Future) -> None:
+            exc = inner.exception()
+            if exc is not None:
+                response_future.set_exception(exc)
+            else:
+                response_future.set_result(
+                    Response.from_envelope(envelope, inner.result())
+                )
+
+        envelope.future.add_done_callback(_lift)
+        self.enqueue(envelope)
+        return response_future

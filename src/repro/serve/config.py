@@ -1,38 +1,34 @@
 """Configuration surface of the asynchronous serving subsystem.
 
-Five knobs, resolved with the sharding subsystem's precedence rule
-(explicit argument > environment variable > built-in default):
-
-* ``max_queue_depth`` (``REPRO_MAX_QUEUE_DEPTH``) — bound of each worker
-  shard's request queue; the admission controller's back-pressure trips at
-  this depth.
-* ``admission_policy`` (``REPRO_ADMISSION_POLICY``) — what a full queue
-  does to a new request: ``block`` (the producer waits for a drain to free
-  space) or ``reject`` (raise :class:`~repro.utils.exceptions.QueueFullError`
-  immediately).
-* ``drain_deadline`` (``REPRO_DRAIN_DEADLINE``) — seconds a drain waits
-  after the first enqueue for more requests to join the micro-batch before
-  planning.  ``0`` drains whatever is queued immediately; larger values
-  trade first-request latency for wider fused planning calls.  A full queue
-  always drains without waiting out the deadline.
-* ``arrival_rate`` (``REPRO_ARRIVAL_RATE``) — mean requests/second of the
-  synthetic open-loop Poisson traffic driver.
-* ``serve_duration`` (``REPRO_SERVE_DURATION``) — seconds of synthetic
-  traffic the ``repro-irs serve-sim`` simulation generates.
-
-The environment hooks mirror the ``REPRO_NUM_WORKERS`` family: CI and fleet
-operators can reshape serving behaviour without touching any call site, and
-every constructor defaulting a knob to ``None`` picks the forced value up.
+The five knobs (``max_queue_depth`` / ``REPRO_MAX_QUEUE_DEPTH``,
+``admission_policy`` / ``REPRO_ADMISSION_POLICY``, ``drain_deadline`` /
+``REPRO_DRAIN_DEADLINE``, ``arrival_rate`` / ``REPRO_ARRIVAL_RATE``,
+``serve_duration`` / ``REPRO_SERVE_DURATION``) now live as rows of the
+declarative resolver table in :mod:`repro.config` — precedence (explicit
+argument > environment variable > built-in default), parsing and error
+wording are table-driven and shared with every other subsystem.  This
+module re-exports the serving rows' resolvers for compatibility.
 """
 
 from __future__ import annotations
 
-import os
-
-from repro.utils.exceptions import ConfigurationError
+from repro.config import (
+    CONFIG_FIELDS,
+    VALID_ADMISSION_POLICIES,
+    resolve_admission_policy,
+    resolve_arrival_rate,
+    resolve_drain_deadline,
+    resolve_max_queue_depth,
+    resolve_serve_duration,
+)
 
 __all__ = [
     "VALID_ADMISSION_POLICIES",
+    "DEFAULT_MAX_QUEUE_DEPTH",
+    "DEFAULT_ADMISSION_POLICY",
+    "DEFAULT_DRAIN_DEADLINE",
+    "DEFAULT_ARRIVAL_RATE",
+    "DEFAULT_SERVE_DURATION",
     "resolve_max_queue_depth",
     "resolve_admission_policy",
     "resolve_drain_deadline",
@@ -40,117 +36,8 @@ __all__ = [
     "resolve_serve_duration",
 ]
 
-VALID_ADMISSION_POLICIES = ("block", "reject")
-
-_ENV_MAX_QUEUE_DEPTH = "REPRO_MAX_QUEUE_DEPTH"
-_ENV_ADMISSION_POLICY = "REPRO_ADMISSION_POLICY"
-_ENV_DRAIN_DEADLINE = "REPRO_DRAIN_DEADLINE"
-_ENV_ARRIVAL_RATE = "REPRO_ARRIVAL_RATE"
-_ENV_SERVE_DURATION = "REPRO_SERVE_DURATION"
-
-DEFAULT_MAX_QUEUE_DEPTH = 64
-DEFAULT_ADMISSION_POLICY = "block"
-DEFAULT_DRAIN_DEADLINE = 0.002
-DEFAULT_ARRIVAL_RATE = 100.0
-DEFAULT_SERVE_DURATION = 2.0
-
-
-def _positive_int(value, name: str, source: str) -> int:
-    try:
-        parsed = int(value)
-    except (TypeError, ValueError):
-        raise ConfigurationError(
-            f"{name} must be an integer, got {value!r} (from {source})"
-        ) from None
-    if parsed < 1:
-        raise ConfigurationError(f"{name} must be at least 1, got {parsed} (from {source})")
-    return parsed
-
-
-def _finite_float(value, name: str, source: str) -> float:
-    try:
-        parsed = float(value)
-    except (TypeError, ValueError):
-        raise ConfigurationError(
-            f"{name} must be a number, got {value!r} (from {source})"
-        ) from None
-    if parsed != parsed or parsed in (float("inf"), float("-inf")):
-        raise ConfigurationError(f"{name} must be finite, got {parsed} (from {source})")
-    return parsed
-
-
-def _resolve(value, env_var: str, default, parse):
-    if value is not None:
-        return parse(value, "argument")
-    env = os.environ.get(env_var)
-    if env is not None and env != "":
-        return parse(env, f"${env_var}")
-    return default
-
-
-def resolve_max_queue_depth(value: "int | None" = None) -> int:
-    """Queue bound: explicit > ``REPRO_MAX_QUEUE_DEPTH`` > 64."""
-    return _resolve(
-        value,
-        _ENV_MAX_QUEUE_DEPTH,
-        DEFAULT_MAX_QUEUE_DEPTH,
-        lambda raw, source: _positive_int(raw, "max_queue_depth", source),
-    )
-
-
-def resolve_admission_policy(value: "str | None" = None) -> str:
-    """Back-pressure policy: explicit > ``REPRO_ADMISSION_POLICY`` > block."""
-
-    def parse(raw, source):
-        policy = str(raw).lower()
-        if policy not in VALID_ADMISSION_POLICIES:
-            raise ConfigurationError(
-                f"admission_policy must be one of {', '.join(VALID_ADMISSION_POLICIES)}, "
-                f"got {raw!r} (from {source})"
-            )
-        return policy
-
-    return _resolve(value, _ENV_ADMISSION_POLICY, DEFAULT_ADMISSION_POLICY, parse)
-
-
-def resolve_drain_deadline(value: "float | None" = None) -> float:
-    """Micro-batch window: explicit > ``REPRO_DRAIN_DEADLINE`` > 0.002 s."""
-
-    def parse(raw, source):
-        deadline = _finite_float(raw, "drain_deadline", source)
-        if deadline < 0:
-            raise ConfigurationError(
-                f"drain_deadline must be non-negative seconds, got {deadline} "
-                f"(from {source}); use 0 to drain immediately"
-            )
-        return deadline
-
-    return _resolve(value, _ENV_DRAIN_DEADLINE, DEFAULT_DRAIN_DEADLINE, parse)
-
-
-def resolve_arrival_rate(value: "float | None" = None) -> float:
-    """Poisson arrival rate: explicit > ``REPRO_ARRIVAL_RATE`` > 100 req/s."""
-
-    def parse(raw, source):
-        rate = _finite_float(raw, "arrival_rate", source)
-        if rate <= 0:
-            raise ConfigurationError(
-                f"arrival_rate must be positive requests/second, got {rate} (from {source})"
-            )
-        return rate
-
-    return _resolve(value, _ENV_ARRIVAL_RATE, DEFAULT_ARRIVAL_RATE, parse)
-
-
-def resolve_serve_duration(value: "float | None" = None) -> float:
-    """Simulated traffic duration: explicit > ``REPRO_SERVE_DURATION`` > 2 s."""
-
-    def parse(raw, source):
-        duration = _finite_float(raw, "serve_duration", source)
-        if duration <= 0:
-            raise ConfigurationError(
-                f"serve_duration must be positive seconds, got {duration} (from {source})"
-            )
-        return duration
-
-    return _resolve(value, _ENV_SERVE_DURATION, DEFAULT_SERVE_DURATION, parse)
+DEFAULT_MAX_QUEUE_DEPTH = CONFIG_FIELDS["max_queue_depth"].default
+DEFAULT_ADMISSION_POLICY = CONFIG_FIELDS["admission_policy"].default
+DEFAULT_DRAIN_DEADLINE = CONFIG_FIELDS["drain_deadline"].default
+DEFAULT_ARRIVAL_RATE = CONFIG_FIELDS["arrival_rate"].default
+DEFAULT_SERVE_DURATION = CONFIG_FIELDS["serve_duration"].default

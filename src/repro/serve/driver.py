@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.serve.api import NextStepRequest
 from repro.serve.config import resolve_arrival_rate, resolve_serve_duration
 from repro.serve.loop import ServingLoop
 from repro.serve.request import ServeRequest
@@ -63,16 +64,18 @@ def replay_lockstep(
         if not live:
             break
         futures = {
-            index: loop.submit_next_step(
-                contexts[index][0],
-                contexts[index][1],
-                paths[index],
-                user_index=contexts[index][2],
+            index: loop.serve(
+                NextStepRequest(
+                    history=tuple(contexts[index][0]),
+                    objective=int(contexts[index][1]),
+                    path_so_far=tuple(paths[index]),
+                    user_index=contexts[index][2],
+                )
             )
             for index in sorted(live)
         }
         for index in sorted(live):
-            item = futures[index].result()
+            item = futures[index].result().answer
             if item is None:
                 live.discard(index)
                 continue

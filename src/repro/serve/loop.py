@@ -42,15 +42,20 @@ import logging
 import threading
 import time
 from concurrent.futures import Future
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
+from repro.config import resolve_tenants
 from repro.obs.registry import MetricGroup, get_registry
 from repro.obs.trace import NULL_TRACER, BatchSink, Tracer, use_sink
 from repro.serve.admission import AdmissionController
+from repro.serve.api import Response, TypedServingSurface, warn_positional_submit
 from repro.serve.queue import RequestQueue
 from repro.serve.request import ServeRequest
 from repro.shard.partition import shard_index
 from repro.utils.exceptions import ConfigurationError, ServingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: repro.tenant imports serve
+    from repro.tenant.registry import TenantRegistry
 
 __all__ = ["ServingLoop"]
 
@@ -77,7 +82,7 @@ _QUEUE_STAT_FIELDS = (
 )
 
 
-class ServingLoop:
+class ServingLoop(TypedServingSurface):
     """Queue, micro-batch and answer planner requests asynchronously.
 
     Parameters
@@ -103,6 +108,15 @@ class ServingLoop:
         A :class:`~repro.obs.trace.Tracer` to begin per-request traces
         with.  Defaults to the disabled :data:`~repro.obs.trace.NULL_TRACER`
         — one boolean check per request, no allocation.
+    tenants:
+        A :class:`~repro.tenant.registry.TenantRegistry` turning this loop
+        into a multi-tenant surface: drained micro-batches group per
+        tenant, each tenant's admission scope and generation stamps apply
+        independently, and untenanted requests are assigned
+        deterministically.  ``None`` (the default) serves the single
+        ``planner``; when ``REPRO_TENANTS`` asks for more than one tenant,
+        a degenerate registry sharing ``planner`` is synthesized so the
+        tier-1 leg exercises the grouped drain path on every workload.
     """
 
     def __init__(
@@ -114,12 +128,20 @@ class ServingLoop:
         drain_deadline: "float | None" = None,
         admission_scope: "str | None" = None,
         tracer: "Tracer | None" = None,
+        tenants: "TenantRegistry | None" = None,
     ) -> None:
-        if not hasattr(planner, "plan_for_requests"):
+        if tenants is None and hasattr(planner, "plan_for_requests"):
+            default_tenants = resolve_tenants(None)
+            if default_tenants > 1:
+                from repro.tenant.registry import TenantRegistry
+
+                tenants = TenantRegistry.uniform(planner, default_tenants)
+        if tenants is None and not hasattr(planner, "plan_for_requests"):
             raise ConfigurationError(
                 "ServingLoop needs a planner with plan_for_requests() "
-                "(e.g. a fitted BeamSearchPlanner)"
+                "(e.g. a fitted BeamSearchPlanner) or a TenantRegistry"
             )
+        self.tenants = tenants
         if num_queues is None:
             num_queues = int(getattr(planner, "num_workers", 1) or 1)
         if not isinstance(num_queues, int) or num_queues < 1:
@@ -226,11 +248,18 @@ class ServingLoop:
     ) -> Future:
         """Route one request to its shard queue; returns its future.
 
+        .. deprecated:: this positional path remains for one release as a
+           shim over the typed API — construct a
+           :class:`~repro.serve.api.Request` and call :meth:`serve`
+           instead (the future then resolves to a typed
+           :class:`~repro.serve.api.Response` rather than a bare answer).
+
         Raises :class:`~repro.utils.exceptions.QueueFullError` when the
         shard queue is full under the ``reject`` policy (the ``block``
         policy waits for a drain instead), and
         :class:`~repro.utils.exceptions.ServingError` after :meth:`close`.
         """
+        warn_positional_submit()
         return self.enqueue(
             ServeRequest.create(
                 kind,
@@ -245,26 +274,58 @@ class ServingLoop:
     def enqueue(self, request: ServeRequest) -> Future:
         """Admit a pre-built request envelope (the traffic driver's entry
         point — it keeps the envelope to read ``completed_at`` afterwards)."""
+        binding = None
+        if self.tenants is not None:
+            # Assigns a tenant to untenanted requests BEFORE the routing key
+            # is hashed, so a tenant's traffic shards within its own key space.
+            binding = self.tenants.resolve(request)
+        if request.deadline is not None:
+            now = time.perf_counter()
+            if now > request.deadline:
+                admission = binding.admission if (
+                    binding is not None and binding.admission is not None
+                ) else self.admission
+                admission.on_expired(now - request.deadline)
         shard = shard_index(request.routing_key(), self.num_queues)
         # Hot-path guard: with tracing disabled this is one attribute check
         # and no allocation (the overhead contract's structural no-op).
         if self.tracer.enabled and request.trace is None:
-            request.trace = self.tracer.begin(
-                request.routing_key(), kind=request.kind
-            )
+            if request.tenant is not None:
+                request.trace = self.tracer.begin(
+                    request.routing_key(), kind=request.kind, tenant=request.tenant
+                )
+            else:
+                request.trace = self.tracer.begin(
+                    request.routing_key(), kind=request.kind
+                )
+        if binding is not None:
+            binding.admit(shard)
         trace = request.trace
-        if trace is not None:
-            admit_start = time.perf_counter()
-            self.queues[shard].put(request)
-            trace.span(
-                "admission",
-                admit_start,
-                time.perf_counter(),
-                shard=shard,
-                replica=request.replica_index,
-            )
-        else:
-            self.queues[shard].put(request)
+        try:
+            if trace is not None:
+                admit_start = time.perf_counter()
+                self.queues[shard].put(request)
+                trace.span(
+                    "admission",
+                    admit_start,
+                    time.perf_counter(),
+                    shard=shard,
+                    replica=request.replica_index,
+                )
+            else:
+                self.queues[shard].put(request)
+        except BaseException:
+            # The queue refused the envelope (reject policy / closed loop):
+            # its future will never resolve, so hand the tenant slot back
+            # here instead of via the completion callback below.
+            if binding is not None:
+                binding.release()
+            raise
+        if binding is not None:
+            # Safe after put(): a callback added to an already-resolved
+            # future fires immediately, so the slot is never leaked even if
+            # the drain beat us here.
+            request.future.add_done_callback(lambda _future, b=binding: b.release())
         return request.future
 
     def submit_next_step(
@@ -306,11 +367,6 @@ class ServingLoop:
         if not batch:
             return
         drain_started = time.perf_counter()
-        # Read the planner's generation tag ONCE, before planning: a pinned
-        # planner raises on any mid-batch generation change, so this single
-        # read is the generation every answer in the batch was computed at —
-        # stamping it batch-wide is what makes a torn micro-batch impossible.
-        generation = getattr(self.planner, "serving_generation", None)
         batch_tag = next(_BATCH_TAGS)
         # The sink carries the batch's traces to the planner/executor layers
         # below (beam depths, shard scatter/gather, cache decisions); None
@@ -321,35 +377,64 @@ class ServingLoop:
             candidate = BatchSink([request.trace for request in batch])
             if candidate:
                 sink = candidate
-        try:
-            with use_sink(sink):
-                answers = self.planner.plan_for_requests(
-                    [request.plan_tuple() for request in batch]
-                )
-        except BaseException as exc:  # noqa: BLE001 - delivered via the futures
-            logger.exception(
-                "serving drain failed for %d request(s) on shard %d",
+        failures: "dict[int, BaseException]" = {}
+        generations: "dict | None" = None
+        if self.tenants is None:
+            # Read the planner's generation tag ONCE, before planning: a
+            # pinned planner raises on any mid-batch generation change, so
+            # this single read is the generation every answer in the batch
+            # was computed at — stamping it batch-wide is what makes a torn
+            # micro-batch impossible.
+            generation = getattr(self.planner, "serving_generation", None)
+            try:
+                with use_sink(sink):
+                    answers = self.planner.plan_for_requests(
+                        [request.plan_tuple() for request in batch]
+                    )
+            except BaseException as exc:  # noqa: BLE001 - delivered via the futures
+                answers = [None] * len(batch)
+                failures = {index: exc for index in range(len(batch))}
+        else:
+            # Tenant mode: the registry splits the batch per tenant, reads
+            # each tenant's generation before its own planning call (the
+            # torn-batch discipline, per tenant), and confines a tenant's
+            # planning failure to that tenant's indices — the isolation
+            # boundary a shared drain thread must preserve.  plan_batch
+            # scopes its own per-tenant trace sinks, so a tenant's spans
+            # never land on a drain neighbour's trace.
+            generation = None
+            answers, generations, failures = self.tenants.plan_batch(batch)
+        if failures:
+            logger.error(
+                "serving drain failed for %d of %d request(s) on shard %s",
+                len(failures),
                 len(batch),
                 self._shard_of(batch[0]) if shard is None else shard,
+                exc_info=next(iter(failures.values())),
             )
-            for request in batch:
-                self.tracer.finish(request.trace)
-                request.future.set_exception(exc)
-            return
         done = time.perf_counter()
-        # completed_at (and the generation/tag stamps) are written BEFORE the
-        # future resolves, so any thread woken by future.result() reads a
-        # complete envelope; the latency sums accumulate locally and land in
-        # the registry in ONE locked record call per batch.
+        # completed_at (and the generation/tag stamps) are written via
+        # Response.stamp BEFORE the future resolves, so any thread woken by
+        # future.result() reads a complete envelope; the latency sums
+        # accumulate locally and land in the registry in ONE locked record
+        # call per batch.
         wait_sum = 0.0
         wait_max = 0.0
         latency_sum = 0.0
         latency_max = 0.0
-        for request in batch:
-            request.drain_started_at = drain_started
-            request.completed_at = done
-            request.served_generation = generation
-            request.batch_tag = batch_tag
+        per_tenant: "dict[str, list[float]]" = {}
+        for index, request in enumerate(batch):
+            if index in failures:
+                continue
+            Response.stamp(
+                request,
+                completed_at=done,
+                drain_started_at=drain_started,
+                served_generation=(
+                    generation if generations is None else generations.get(request.tenant)
+                ),
+                batch_tag=batch_tag,
+            )
             wait = drain_started - request.enqueued_at
             latency = done - request.enqueued_at
             wait_sum += wait
@@ -358,24 +443,52 @@ class ServingLoop:
                 wait_max = wait
             if latency > latency_max:
                 latency_max = latency
-        self._latency.record(
-            add={
-                "served": len(batch),
-                "wait_sum_s": wait_sum,
-                "latency_sum_s": latency_sum,
-            },
-            max_={"wait_max_s": wait_max, "latency_max_s": latency_max},
-        )
-        self._latency_hist.observe_many(
-            1000.0 * (done - request.enqueued_at) for request in batch
-        )
-        self._wait_hist.observe_many(
-            1000.0 * (drain_started - request.enqueued_at) for request in batch
-        )
+            if generations is not None:
+                bucket = per_tenant.setdefault(request.tenant, [0, 0.0, 0.0, 0.0, 0.0])
+                bucket[0] += 1
+                bucket[1] += wait
+                bucket[2] = max(bucket[2], wait)
+                bucket[3] += latency
+                bucket[4] = max(bucket[4], latency)
+        served = len(batch) - len(failures)
+        if served:
+            self._latency.record(
+                add={
+                    "served": served,
+                    "wait_sum_s": wait_sum,
+                    "latency_sum_s": latency_sum,
+                },
+                max_={"wait_max_s": wait_max, "latency_max_s": latency_max},
+            )
+            self._latency_hist.observe_many(
+                1000.0 * (done - request.enqueued_at)
+                for index, request in enumerate(batch)
+                if index not in failures
+            )
+            self._wait_hist.observe_many(
+                1000.0 * (drain_started - request.enqueued_at)
+                for index, request in enumerate(batch)
+                if index not in failures
+            )
+        if self.tenants is not None:
+            failed_by_tenant: "dict[str, int]" = {}
+            for index in failures:
+                tenant = batch[index].tenant
+                failed_by_tenant[tenant] = failed_by_tenant.get(tenant, 0) + 1
+            for tenant in set(per_tenant) | set(failed_by_tenant):
+                counts = per_tenant.get(tenant, [0, 0.0, 0.0, 0.0, 0.0])
+                self.tenants.get(tenant).observe(
+                    served=counts[0],
+                    failed=failed_by_tenant.get(tenant, 0),
+                    wait_sum=counts[1],
+                    wait_max=counts[2],
+                    latency_sum=counts[3],
+                    latency_max=counts[4],
+                )
         if sink is not None:
-            for request in batch:
+            for index, request in enumerate(batch):
                 trace = request.trace
-                if trace is not None:
+                if trace is not None and index not in failures:
                     trace.span("queue.wait", request.enqueued_at, drain_started, shard=shard)
                     trace.span(
                         "serve.drain",
@@ -384,11 +497,16 @@ class ServingLoop:
                         shard=shard,
                         batch_tag=batch_tag,
                         batch_size=len(batch),
-                        served_generation=generation,
+                        served_generation=request.served_generation,
+                        **({"tenant": request.tenant} if request.tenant is not None else {}),
                     )
-        for request, answer in zip(batch, answers):
+        for index, (request, answer) in enumerate(zip(batch, answers)):
             self.tracer.finish(request.trace)
-            request.future.set_result(answer)
+            exc = failures.get(index)
+            if exc is not None:
+                request.future.set_exception(exc)
+            else:
+                request.future.set_result(answer)
 
     def _shard_of(self, request: ServeRequest) -> int:
         return shard_index(request.routing_key(), self.num_queues)
@@ -447,8 +565,10 @@ class ServingLoop:
         depth_samples = sum(q["depth_samples"] for q in per_queue)
         batches = sum(q["micro_batches"] for q in per_queue)
         batch_requests = sum(q["micro_batch_requests"] for q in per_queue)
+        tenants = {} if self.tenants is None else {"tenants": self.tenants.stats()}
         return {
             "num_queues": self.num_queues,
+            **tenants,
             **self.admission.describe(),
             "admission": admission,
             "served": served,

@@ -1,17 +1,26 @@
 """Serving request envelopes.
 
-A :class:`ServeRequest` is one ``next_step`` or ``plan_paths`` call frozen
-into a queueable envelope: the planning context, the
-:class:`concurrent.futures.Future` the caller holds, and the timestamps the
-latency accounting reads.  The envelope knows two projections of itself:
+A :class:`ServeRequest` is one positional serving call frozen into a
+queueable envelope: the planning context, the tenant/deadline envelope
+fields, the :class:`concurrent.futures.Future` the caller holds, and the
+timestamps the latency accounting reads.  Four kinds exist — the
+``next_step`` / ``plan_paths`` planning calls of PRs 4–9 plus the
+model-zoo kinds ``rank`` (top-k next-item ranking; the objective slot
+carries ``k`` and the path slot the exclusion set) and ``kg_path``
+(knowledge-graph-constrained source→target item path).  Typed
+construction lives in :mod:`repro.serve.api`; the envelope knows two
+projections of itself:
 
 * :meth:`ServeRequest.routing_key` — the ``(history, objective, user)``
   context key the serving loop hashes to pick the worker-shard queue
   (:func:`repro.shard.partition.stable_hash` under the hood, so routing is
   identical across interpreters and matches the planner's own sharding).
+  Tenanted requests prefix the tenant id, so one tenant's traffic forms
+  its own stable routing-key space for the dispatcher.
 * :meth:`ServeRequest.plan_tuple` — the positional tuple
-  :meth:`repro.core.beam.BeamSearchPlanner.plan_for_requests` consumes when
-  a drain micro-batches the queue.
+  :meth:`repro.core.beam.BeamSearchPlanner.plan_for_requests` (and the
+  tenant registry's kind adapters) consume when a drain micro-batches the
+  queue.
 """
 
 from __future__ import annotations
@@ -22,9 +31,13 @@ from dataclasses import dataclass, field
 from repro.shard.partition import context_key
 from repro.utils.exceptions import ConfigurationError
 
-__all__ = ["ServeRequest", "REQUEST_KINDS"]
+__all__ = ["ServeRequest", "REQUEST_KINDS", "KIND_ALIASES"]
 
-REQUEST_KINDS = ("next_step", "plan_paths")
+REQUEST_KINDS = ("next_step", "plan_paths", "rank", "kg_path")
+
+#: accepted spellings that normalise onto a canonical kind (``plan_path``
+#: is the ISSUE-facing singular of the batch-shaped ``plan_paths``)
+KIND_ALIASES = {"plan_path": "plan_paths"}
 
 
 @dataclass
@@ -37,6 +50,15 @@ class ServeRequest:
     path_so_far: tuple[int, ...] = ()
     user_index: "int | None" = None
     max_length: "int | None" = None
+    #: tenant id this request is served under (``None`` = the
+    #: single-tenant surface); selects the tenant's model, objective policy
+    #: and admission scope, and prefixes the routing key
+    tenant: "str | None" = None
+    #: optional absolute ``time.perf_counter()`` instant after which the
+    #: caller no longer wants the answer; admission rejects expired
+    #: requests instead of spending a drain slot on them.  Deadlines are
+    #: caller-clock instants and never cross a process boundary.
+    deadline: "float | None" = None
     future: Future = field(default_factory=Future)
     #: ``time.perf_counter()`` at queue admission — stamped by
     #: :meth:`repro.serve.queue.RequestQueue.put` once space exists, NOT at
@@ -45,12 +67,13 @@ class ServeRequest:
     #: queue wait.
     enqueued_at: float = 0.0
     #: ``time.perf_counter()`` when the drain produced the answer — written
-    #: by the serving loop BEFORE the future resolves, so any thread woken
-    #: by ``future.result()`` reads a complete timestamp (the traffic
-    #: driver's per-request latency samples rely on this ordering).
+    #: via :meth:`repro.serve.api.Response.stamp` BEFORE the future
+    #: resolves, so any thread woken by ``future.result()`` reads a
+    #: complete timestamp (the traffic driver's per-request latency samples
+    #: rely on this ordering).
     completed_at: "float | None" = None
     #: ``time.perf_counter()`` when the drain that answered this request
-    #: began — stamped by the serving loop next to :attr:`completed_at`.
+    #: began — stamped next to :attr:`completed_at`.
     #: ``completed_at - drain_started_at`` is pure service time and
     #: ``drain_started_at - enqueued_at`` pure queue wait, both durations
     #: within ONE process's clock, which is what the distributed transport
@@ -92,8 +115,11 @@ class ServeRequest:
         path_so_far=(),
         user_index: "int | None" = None,
         max_length: "int | None" = None,
+        tenant: "str | None" = None,
+        deadline: "float | None" = None,
     ) -> "ServeRequest":
         """Validate and freeze one request (the submit-side constructor)."""
+        kind = KIND_ALIASES.get(kind, kind)
         if kind not in REQUEST_KINDS:
             raise ConfigurationError(
                 f"request kind must be one of {', '.join(REQUEST_KINDS)}, got {kind!r}"
@@ -106,6 +132,11 @@ class ServeRequest:
                 "next_step requests cannot override max_length; the planner's "
                 "constructor-level horizon keys the serving cache"
             )
+        if kind in ("rank", "kg_path") and max_length is not None:
+            raise ConfigurationError(
+                f"{kind} requests do not take max_length (rank sizes its answer "
+                "via k in the objective slot; kg_path returns the shortest path)"
+            )
         if max_length is not None:
             if not isinstance(max_length, int) or isinstance(max_length, bool):
                 raise ConfigurationError(
@@ -115,18 +146,36 @@ class ServeRequest:
                 raise ConfigurationError(
                     f"max_length must be positive, got {max_length}"
                 )
+        history = tuple(int(item) for item in history)
+        if kind == "rank" and int(objective) < 1:
+            raise ConfigurationError(
+                f"rank requests need k >= 1 in the objective slot, got {objective}"
+            )
+        if kind == "kg_path" and not history:
+            raise ConfigurationError(
+                "kg_path requests need a non-empty history (the last item is "
+                "the path source)"
+            )
+        if deadline is not None:
+            deadline = float(deadline)
         return cls(
             kind=kind,
-            history=tuple(int(item) for item in history),
+            history=history,
             objective=int(objective),
             path_so_far=tuple(int(item) for item in (path_so_far or ())),
             user_index=None if user_index is None else int(user_index),
             max_length=max_length,
+            tenant=None if tenant is None else str(tenant),
+            deadline=deadline,
         )
 
     def routing_key(self) -> tuple:
-        """The stable ``(history, objective, user)`` shard-routing key."""
-        return context_key(self.history, self.objective, self.user_index)
+        """The stable shard-routing key; tenanted requests prefix the tenant
+        so each tenant owns a disjoint, stable routing-key space."""
+        key = context_key(self.history, self.objective, self.user_index)
+        if self.tenant is None:
+            return key
+        return (self.tenant,) + key
 
     def plan_tuple(self) -> tuple:
         """The positional request ``plan_for_requests`` consumes."""

@@ -1,30 +1,24 @@
 """Configuration surface of the sharded execution subsystem.
 
-Three knobs, resolved with one shared precedence rule (explicit argument >
-environment variable > built-in default):
-
-* ``num_workers`` (``REPRO_NUM_WORKERS``) — how many worker shards the
-  executor partitions planning/evaluation requests across.
-* ``shard_backend`` (``REPRO_SHARD_BACKEND``) — ``serial`` (partition but
-  run shards in one thread; the parity reference), ``thread`` (a thread
-  pool; NumPy releases the GIL inside BLAS so independent shard batches
-  overlap) or ``process`` (a fork-based process pool; full interpreter
-  parallelism, worker state is discarded after each dispatch).
-* ``vocab_shards`` (``REPRO_VOCAB_SHARDS``) — how many column shards the
-  item axis of fused logits tensors is split into for top-k selection.
-
-The environment hooks exist so CI can force the parallel path across the
-entire tier-1 suite (``REPRO_NUM_WORKERS=2 pytest``) without touching any
-call site: every constructor defaulting a knob to ``None`` picks up the
-forced value, and sharded results are bit-identical to serial, so the whole
-suite doubles as a parity harness.
+The three knobs (``num_workers`` / ``REPRO_NUM_WORKERS``, ``shard_backend``
+/ ``REPRO_SHARD_BACKEND``, ``vocab_shards`` / ``REPRO_VOCAB_SHARDS``) are
+rows of the declarative resolver table in :mod:`repro.config`.  The
+platform check (:func:`fork_available`) stays here — it is an environment
+probe, not a knob, and tests monkeypatch it on this module — so
+:func:`resolve_shard_backend` composes the table-driven name resolution
+with the local fork check.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import os
 
+from repro.config import (
+    VALID_BACKENDS,
+    resolve_num_workers,
+    resolve_shard_backend_name,
+    resolve_vocab_shards,
+)
 from repro.utils.exceptions import ConfigurationError
 
 __all__ = [
@@ -35,41 +29,10 @@ __all__ = [
     "fork_available",
 ]
 
-VALID_BACKENDS = ("serial", "thread", "process")
-
-_ENV_NUM_WORKERS = "REPRO_NUM_WORKERS"
-_ENV_BACKEND = "REPRO_SHARD_BACKEND"
-_ENV_VOCAB_SHARDS = "REPRO_VOCAB_SHARDS"
-
-
-def _positive_int(value, name: str, source: str) -> int:
-    try:
-        parsed = int(value)
-    except (TypeError, ValueError):
-        raise ConfigurationError(
-            f"{name} must be an integer, got {value!r} (from {source})"
-        ) from None
-    if parsed < 1:
-        raise ConfigurationError(
-            f"{name} must be at least 1, got {parsed} (from {source}); "
-            f"use 1 to disable sharding"
-        )
-    return parsed
-
 
 def fork_available() -> bool:
     """Whether the ``process`` backend's fork start method exists on this OS."""
     return "fork" in multiprocessing.get_all_start_methods()
-
-
-def resolve_num_workers(value: "int | None" = None) -> int:
-    """Resolve the worker count: explicit value > ``REPRO_NUM_WORKERS`` > 1."""
-    if value is not None:
-        return _positive_int(value, "num_workers", "argument")
-    env = os.environ.get(_ENV_NUM_WORKERS)
-    if env is not None and env != "":
-        return _positive_int(env, "num_workers", f"${_ENV_NUM_WORKERS}")
-    return 1
 
 
 def resolve_shard_backend(value: "str | None" = None, num_workers: int = 1) -> str:
@@ -80,32 +43,10 @@ def resolve_shard_backend(value: "str | None" = None, num_workers: int = 1) -> s
     ``serial`` otherwise.  A ``process`` request on a platform without the
     fork start method is a configuration error, not a silent fallback.
     """
-    source = "argument"
-    if value is None:
-        env = os.environ.get(_ENV_BACKEND)
-        if env is not None and env != "":
-            value, source = env, f"${_ENV_BACKEND}"
-        else:
-            value = "thread" if num_workers > 1 else "serial"
-    backend = str(value).lower()
-    if backend not in VALID_BACKENDS:
-        raise ConfigurationError(
-            f"shard_backend must be one of {', '.join(VALID_BACKENDS)}, "
-            f"got {value!r} (from {source})"
-        )
+    backend = resolve_shard_backend_name(value, num_workers=num_workers)
     if backend == "process" and not fork_available():
         raise ConfigurationError(
             "the 'process' shard backend needs the fork start method, which "
             "this platform does not provide; use shard_backend='thread'"
         )
     return backend
-
-
-def resolve_vocab_shards(value: "int | None" = None) -> int:
-    """Resolve the vocabulary shard count: explicit > ``REPRO_VOCAB_SHARDS`` > 1."""
-    if value is not None:
-        return _positive_int(value, "vocab_shards", "argument")
-    env = os.environ.get(_ENV_VOCAB_SHARDS)
-    if env is not None and env != "":
-        return _positive_int(env, "vocab_shards", f"${_ENV_VOCAB_SHARDS}")
-    return 1

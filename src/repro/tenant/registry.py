@@ -1,0 +1,298 @@
+"""The tenant registry: model zoo, admission scopes and batch grouping.
+
+A :class:`TenantRegistry` binds tenant ids to served models
+(:class:`TenantBinding` = adapter + optional per-tenant admission +
+per-tenant latency metrics).  A :class:`~repro.serve.loop.ServingLoop`
+constructed with a registry becomes a multi-tenant surface:
+
+* **admission isolation** — a binding may carry its own
+  :class:`~repro.serve.admission.AdmissionController` (scope
+  ``tenant-<name>``, the same mechanism the distributed layer uses for
+  ``worker-<i>`` scopes) bounding that tenant's *in-flight* requests
+  fleet-wide; a noisy tenant's rejects land on its own counters and its
+  own callers, never on a neighbour's;
+* **batch grouping** — a drained micro-batch may mix tenants; the
+  registry splits it per tenant, reads each tenant's model generation
+  ONCE before planning (the torn-batch discipline, now per tenant), and
+  scopes a tenant's planning failure to that tenant's futures only;
+* **routing** — untenanted requests entering a tenanted loop are assigned
+  deterministically by context-key hash, so the REPRO_TENANTS tier-1 leg
+  exercises grouping on unmodified workloads.
+
+:meth:`TenantRegistry.uniform` builds the degenerate registry (every
+tenant shares one planner, no per-tenant admission) that leg uses;
+real multi-tenant setups declare one model per tenant via :meth:`add`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.registry import MetricGroup, get_registry
+from repro.obs.trace import BatchSink, use_sink
+from repro.serve.admission import AdmissionController
+from repro.shard.partition import stable_hash
+from repro.tenant.adapters import KindAdapter, adapt
+from repro.utils.exceptions import ConfigurationError, ServingError
+
+__all__ = ["TenantBinding", "TenantRegistry"]
+
+_LATENCY_COUNTERS = ("served", "failed", "wait_sum_s", "latency_sum_s")
+_LATENCY_GAUGES = ("wait_max_s", "latency_max_s")
+
+
+class TenantBinding:
+    """One tenant: its adapter, admission scope and latency accounting."""
+
+    def __init__(
+        self,
+        name: str,
+        adapter: KindAdapter,
+        max_inflight: "int | None" = None,
+        admission_policy: "str | None" = None,
+    ) -> None:
+        self.name = name
+        self.adapter = adapter
+        registry = get_registry()
+        #: registry namespace of this tenant's counters (auto-indexed, so
+        #: replicated loops wrapping per-replica registries never collide)
+        self.metrics_scope = registry.scope(f"serve.tenant.{name}")
+        self._latency = MetricGroup(
+            registry,
+            f"{self.metrics_scope}.latency",
+            counters=_LATENCY_COUNTERS,
+            gauges=_LATENCY_GAUGES,
+        )
+        #: per-tenant admission: ``None`` = unbounded (the tenant rides the
+        #: loop's own queue bounds only).  When set, it bounds the tenant's
+        #: in-flight requests (queued + mid-drain) across every shard.
+        self.admission: "AdmissionController | None" = None
+        if max_inflight is not None or admission_policy is not None:
+            self.admission = AdmissionController(
+                max_queue_depth=max_inflight,
+                policy=admission_policy,
+                drain_deadline=0.0,
+                scope=f"tenant-{name}",
+                metrics_scope=f"{self.metrics_scope}.admission",
+            )
+        self._cond = threading.Condition()
+        self._inflight = 0
+
+    # ------------------------------------------------------------------ #
+    def admit(self, shard: int) -> None:
+        """Count one request against the tenant's in-flight bound.
+
+        Raises :class:`~repro.utils.exceptions.QueueFullError` at the bound
+        under ``reject``; blocks until a release under ``block``.  No-op
+        for unbounded tenants.
+        """
+        if self.admission is None:
+            return
+        with self._cond:
+            if self._inflight >= self.admission.max_queue_depth:
+                # Raises under reject; returning means block-and-recheck
+                # (timed waits guard against lost notifies on shutdown).
+                self.admission.on_full(-1, self._inflight)
+                self.admission.on_blocked()
+                while self._inflight >= self.admission.max_queue_depth:
+                    self._cond.wait(0.05)
+            self._inflight += 1
+        self.admission.on_admitted()
+
+    def release(self) -> None:
+        """One admitted request resolved (called as its future completes)."""
+        if self.admission is None:
+            return
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    # ------------------------------------------------------------------ #
+    def observe(
+        self,
+        served: int,
+        failed: int,
+        wait_sum: float,
+        wait_max: float,
+        latency_sum: float,
+        latency_max: float,
+    ) -> None:
+        """Fold one drained batch's per-tenant latency into the registry."""
+        self._latency.record(
+            add={
+                "served": served,
+                "failed": failed,
+                "wait_sum_s": wait_sum,
+                "latency_sum_s": latency_sum,
+            },
+            max_={"wait_max_s": wait_max, "latency_max_s": latency_max},
+        )
+
+    def stats(self) -> dict:
+        """This tenant's served/latency/admission counters (atomic read)."""
+        values = self._latency.values()
+        served = values.get("served", 0)
+        report = {
+            "tenant": self.name,
+            "kinds": list(self.adapter.kinds),
+            "served": served,
+            "failed": values.get("failed", 0),
+            "latency": {
+                "mean_ms": (
+                    round(1000.0 * values.get("latency_sum_s", 0.0) / served, 3)
+                    if served
+                    else 0.0
+                ),
+                "max_ms": round(1000.0 * values.get("latency_max_s", 0.0), 3),
+            },
+        }
+        if self.admission is not None:
+            report["admission"] = self.admission.counters()
+            report["max_inflight"] = self.admission.max_queue_depth
+        return report
+
+
+class TenantRegistry:
+    """Tenant id -> :class:`TenantBinding`, plus batch grouping."""
+
+    def __init__(self) -> None:
+        self._bindings: "dict[str, TenantBinding]" = {}
+        self._order: "list[str]" = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(
+        self,
+        name: str,
+        model,
+        max_inflight: "int | None" = None,
+        admission_policy: "str | None" = None,
+    ) -> TenantBinding:
+        """Bind ``name`` to ``model`` (adapted via
+        :func:`~repro.tenant.adapters.adapt`); optionally bound its
+        in-flight depth with its own admission scope."""
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(f"tenant name must be a non-empty string, got {name!r}")
+        if name in self._bindings:
+            raise ConfigurationError(f"tenant {name!r} is already registered")
+        binding = TenantBinding(
+            name,
+            adapt(model),
+            max_inflight=max_inflight,
+            admission_policy=admission_policy,
+        )
+        self._bindings[name] = binding
+        self._order.append(name)
+        return binding
+
+    @classmethod
+    def uniform(cls, planner, count: int, prefix: str = "tenant") -> "TenantRegistry":
+        """``count`` tenants sharing one planner, no per-tenant bounds —
+        the synthesized registry of the ``REPRO_TENANTS`` tier-1 leg."""
+        if not isinstance(count, int) or count < 1:
+            raise ConfigurationError(f"tenant count must be a positive integer, got {count!r}")
+        registry = cls()
+        for index in range(count):
+            registry.add(f"{prefix}-{index}", planner)
+        return registry
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def names(self) -> "tuple[str, ...]":
+        return tuple(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._bindings
+
+    def get(self, name: "str | None") -> TenantBinding:
+        if name not in self._bindings:
+            raise ServingError(
+                f"unknown tenant {name!r}; registered tenants: "
+                f"{', '.join(self._order) or '(none)'}"
+            )
+        return self._bindings[name]
+
+    def bindings(self) -> "tuple[TenantBinding, ...]":
+        return tuple(self._bindings[name] for name in self._order)
+
+    def pin_generation(self, generation: int) -> None:
+        """Stamp every versionable tenant model with the fleet generation.
+
+        Replica hosts (in-process and forked workers) call this with the
+        generation their fleet serves, so each tenant's answers carry the
+        same ``served_generation`` tag the refit protocol bumps.  Models
+        without a ``pin_generation`` hook (stateless graphs, recommenders
+        reporting their own ``fit_generation``) are left alone.
+        """
+        for binding in self.bindings():
+            pin = getattr(binding.adapter.model(), "pin_generation", None)
+            if callable(pin):
+                pin(serving_generation=generation)
+
+    def assign(self, routing_key) -> str:
+        """Deterministic tenant for an untenanted request (stable hash of
+        its context key — identical across interpreters and reruns)."""
+        return self._order[stable_hash(routing_key) % len(self._order)]
+
+    def resolve(self, request) -> TenantBinding:
+        """Binding for one envelope, assigning a tenant if it has none."""
+        if request.tenant is None:
+            request.tenant = self.assign(request.routing_key())
+        return self.get(request.tenant)
+
+    # ------------------------------------------------------------------ #
+    # Batch grouping
+    # ------------------------------------------------------------------ #
+    def plan_batch(self, batch) -> "tuple[list, dict, dict]":
+        """Answer one mixed-tenant micro-batch.
+
+        Splits the batch per tenant (preserving submission order within
+        each group), reads each tenant's ``serving_generation`` BEFORE its
+        planning call, and confines a tenant's planning failure to its own
+        requests.  Returns ``(answers, generations, failures)`` where
+        ``answers[i]`` aligns with ``batch[i]``, ``generations`` maps
+        tenant -> the generation stamped on its answers, and ``failures``
+        maps batch index -> the exception to deliver on that future.
+        """
+        groups: "dict[str, list[int]]" = {}
+        for index, request in enumerate(batch):
+            groups.setdefault(request.tenant, []).append(index)
+        answers: "list" = [None] * len(batch)
+        generations: "dict[str, int | None]" = {}
+        failures: "dict[int, BaseException]" = {}
+        for tenant, indices in groups.items():
+            binding = self.get(tenant)
+            generations[tenant] = binding.adapter.serving_generation
+            # Scope the trace sink to this tenant's slice of the batch:
+            # batch-level spans emitted below the adapter (cache decisions,
+            # beam depths, shard scatter/gather) land only on this tenant's
+            # traces, never a drain neighbour's.
+            sink = BatchSink([batch[index].trace for index in indices])
+            try:
+                with use_sink(sink if sink else None):
+                    group_answers = binding.adapter.plan_for_requests(
+                        [batch[index].plan_tuple() for index in indices]
+                    )
+            except BaseException as exc:  # noqa: BLE001 - delivered via the futures
+                for index in indices:
+                    failures[index] = exc
+                continue
+            for index, answer in zip(indices, group_answers):
+                answers[index] = answer
+        return answers, generations, failures
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Per-tenant counters, keyed by tenant id."""
+        return {name: self._bindings[name].stats() for name in self._order}

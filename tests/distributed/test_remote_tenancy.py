@@ -1,0 +1,219 @@
+"""Multi-tenant serving across the process transport.
+
+The tenant contract of the multi-tenancy PR, exercised end-to-end over
+real forked workers:
+
+* every request kind (``next_step`` / ``plan_paths`` / ``rank`` /
+  ``kg_path``) round-trips the wire bit-identically to calling the
+  tenant's model directly in-process;
+* tenant placement makes :class:`RemoteReplicaSet` the isolation
+  boundary — a placed tenant's requests only ever reach its own slots'
+  workers, and a tenant-scoped refit ships artifacts only to those slots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import RemoteReplicaSet
+from repro.kg.graph import ItemKnowledgeGraph
+from repro.models.markov import MarkovChainRecommender
+from repro.serve.api import KGPathRequest, NextStepRequest, PlanRequest, RankRequest
+from repro.tenant import TenantRegistry
+from repro.utils.exceptions import ServingError
+
+from tests.distributed.conftest import HEARTBEAT_INTERVAL, MAX_LENGTH
+
+
+@pytest.fixture(scope="module")
+def zoo_markov(tiny_split):
+    return MarkovChainRecommender().fit(tiny_split)
+
+
+@pytest.fixture(scope="module")
+def zoo_graph(tiny_corpus):
+    return ItemKnowledgeGraph().build(tiny_corpus)
+
+
+@pytest.fixture()
+def make_tenant_factory(make_factory, zoo_markov, zoo_graph):
+    """A deterministic three-tenant registry factory (forked per worker)."""
+
+    def build():
+        planner_factory = make_factory()
+
+        def factory():
+            registry = TenantRegistry()
+            registry.add("irs", planner_factory())
+            registry.add("zoo", zoo_markov)
+            registry.add("kg", zoo_graph)
+            return registry
+
+        return factory
+
+    return build
+
+
+def _tenant_traffic(remote_contexts):
+    """One typed request of each kind, aimed at its tenant's model."""
+    history, objective, user = remote_contexts[0]
+    kg_source, kg_target = remote_contexts[1][0][-1], remote_contexts[1][1]
+    return [
+        NextStepRequest(
+            history=history, objective=objective, user_index=user, tenant="irs"
+        ),
+        PlanRequest(
+            history=history,
+            objective=objective,
+            user_index=user,
+            max_length=MAX_LENGTH,
+            tenant="irs",
+        ),
+        RankRequest(history=history, k=5, user_index=user, tenant="zoo"),
+        KGPathRequest(source=kg_source, target=kg_target, tenant="kg"),
+    ]
+
+
+class TestRemoteTenantParity:
+    def test_four_kinds_round_trip_bit_identical(
+        self, make_tenant_factory, make_factory, zoo_markov, zoo_graph, remote_contexts
+    ):
+        requests = _tenant_traffic(remote_contexts)
+        history, objective, user = remote_contexts[0]
+        reference = make_factory()()
+        expected = [
+            reference.plan_for_requests(
+                [("next_step", tuple(history), objective, (), user, None)]
+            )[0],
+            reference.plan_for_requests(
+                [("plan_paths", tuple(history), objective, (), user, MAX_LENGTH)]
+            )[0],
+            zoo_markov.top_k(list(history), 5, user_index=user),
+            zoo_graph.shortest_item_path(requests[3].source, requests[3].target),
+        ]
+        tenant_factory = make_tenant_factory()
+        with RemoteReplicaSet(
+            make_factory(),
+            num_replicas=2,
+            heartbeat_interval=HEARTBEAT_INTERVAL,
+            tenant_factory=tenant_factory,
+        ) as remote_set:
+            responses = [remote_set.serve(request).result() for request in requests]
+            fleet_generation = remote_set.fit_generation
+        assert [response.answer for response in responses] == expected
+        assert [response.tenant for response in responses] == ["irs", "irs", "zoo", "kg"]
+        # Parent-clock stamps: latencies never negative across the boundary.
+        assert all(response.latency_s >= 0.0 for response in responses)
+        assert all(response.replica_index is not None for response in responses)
+        # The planner tenant carries the fleet generation its worker was
+        # pinned to; the stateless KG tenant has none to report.
+        assert responses[0].served_generation == fleet_generation
+        assert responses[3].served_generation is None
+
+    def test_workers_announce_their_tenants(
+        self, make_tenant_factory, make_factory
+    ):
+        with RemoteReplicaSet(
+            make_factory(),
+            num_replicas=1,
+            heartbeat_interval=HEARTBEAT_INTERVAL,
+            tenant_factory=make_tenant_factory(),
+        ) as remote_set:
+            [replica] = remote_set.active_replicas()
+            assert replica.hello["tenants"] == ["irs", "zoo", "kg"]
+
+
+class TestTenantPlacement:
+    def test_placed_tenants_only_reach_their_slots(
+        self, make_tenant_factory, make_factory, remote_contexts
+    ):
+        history, objective, user = remote_contexts[0]
+        with RemoteReplicaSet(
+            make_factory(),
+            num_replicas=2,
+            heartbeat_interval=HEARTBEAT_INTERVAL,
+            tenant_factory=make_tenant_factory(),
+            tenant_placement={"irs": (0,), "zoo": (1,), "kg": (1,)},
+        ) as remote_set:
+            futures = []
+            for _ in range(6):
+                futures.append(
+                    remote_set.serve(
+                        NextStepRequest(
+                            history=history,
+                            objective=objective,
+                            user_index=user,
+                            tenant="irs",
+                        )
+                    )
+                )
+            for future in futures:
+                future.result()
+            by_slot = {
+                replica.slot: replica.stats()["completed"]
+                for replica in remote_set.active_replicas()
+            }
+            # Every irs request landed on slot 0; its neighbour saw none.
+            assert by_slot[0] == 6
+            assert by_slot[1] == 0
+            stats = remote_set.stats()
+            assert stats["tenants"]["irs"]["placement"] == [0]
+            assert stats["tenants"]["irs"]["served"] == 6
+            assert stats["tenants"]["zoo"]["served"] == 0
+
+    def test_invalid_placement_is_rejected(self, make_factory, make_tenant_factory):
+        from repro.utils.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="outside the fleet"):
+            RemoteReplicaSet(
+                make_factory(),
+                num_replicas=2,
+                heartbeat_interval=HEARTBEAT_INTERVAL,
+                tenant_factory=make_tenant_factory(),
+                tenant_placement={"irs": (5,)},
+            )
+
+
+class TestTenantScopedRefit:
+    def test_refit_ships_artifacts_only_to_placed_slots(
+        self, make_tenant_factory, make_factory, remote_contexts
+    ):
+        history, objective, user = remote_contexts[0]
+        with RemoteReplicaSet(
+            make_factory(),
+            num_replicas=2,
+            heartbeat_interval=HEARTBEAT_INTERVAL,
+            tenant_factory=make_tenant_factory(),
+            tenant_placement={"irs": (0,), "zoo": (1,)},
+        ) as remote_set:
+            report = remote_set.refit(tenants=["irs"])
+            assert report["installed_slots"] == [0]
+            assert report["tenants"] == ["irs"]
+            # The fleet flipped as one; traffic still lands on live workers.
+            answer = remote_set.serve(
+                NextStepRequest(
+                    history=history, objective=objective, user_index=user, tenant="irs"
+                )
+            ).result()
+            assert answer.served_generation is not None
+
+    def test_refit_rejects_unplaced_tenants(self, make_tenant_factory, make_factory):
+        with RemoteReplicaSet(
+            make_factory(),
+            num_replicas=2,
+            heartbeat_interval=HEARTBEAT_INTERVAL,
+            tenant_factory=make_tenant_factory(),
+            tenant_placement={"irs": (0, 1)},
+        ) as remote_set:
+            with pytest.raises(ServingError, match="unplaced tenant"):
+                remote_set.refit(tenants=["nope"])
+
+    def test_unscoped_refit_installs_everywhere(self, make_factory):
+        with RemoteReplicaSet(
+            make_factory(),
+            num_replicas=2,
+            heartbeat_interval=HEARTBEAT_INTERVAL,
+        ) as remote_set:
+            report = remote_set.refit()
+            assert report["installed_slots"] == [0, 1]
+            assert "tenants" not in report

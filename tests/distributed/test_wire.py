@@ -41,6 +41,22 @@ class TestRequestCodec:
             assert got.user_index == sent.user_index
             assert got.max_length == sent.max_length
 
+    def test_tenant_and_new_kinds_round_trip(self):
+        requests = [
+            _request(kind="rank", history=(1, 2), objective=5, path_so_far=(9,), tenant="zoo"),
+            _request(kind="kg_path", history=(4,), objective=11, tenant="kg-tenant"),
+            _request(tenant=None),
+            _request(kind="plan_paths", max_length=3, tenant="a"),
+        ]
+        payload = wire.encode_request_batch(list(enumerate(requests)))
+        decoded = wire.decode_request_batch(payload)
+        for (_, got), sent in zip(decoded, requests):
+            assert got.kind == sent.kind
+            assert got.tenant == sent.tenant
+            assert got.history == sent.history
+            assert got.objective == sent.objective
+            assert got.path_so_far == sent.path_so_far
+
     def test_decoded_envelope_owns_a_fresh_future(self):
         request = _request()
         payload = wire.encode_request_batch([(1, request)])

@@ -1,0 +1,162 @@
+"""The in-process multi-tenant surface: parity, isolation, refit opacity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.replica.set import ReplicaSet
+from repro.serve import ServingLoop
+from repro.serve.api import (
+    KGPathRequest,
+    NextStepRequest,
+    PlanRequest,
+    RankRequest,
+)
+from repro.tenant import TenantRegistry
+from repro.utils.exceptions import QueueFullError
+
+from tests.tenant.conftest import MAX_LENGTH
+
+
+@pytest.fixture()
+def zoo_registry(make_planner, fitted_markov, tenant_graph):
+    def build() -> TenantRegistry:
+        registry = TenantRegistry()
+        registry.add("irs", make_planner())
+        registry.add("zoo", fitted_markov)
+        registry.add("kg", tenant_graph)
+        return registry
+
+    return build
+
+
+class TestFourKindParity:
+    def test_every_kind_matches_its_direct_model_oracle(
+        self, zoo_registry, make_planner, fitted_markov, tenant_graph, tenant_contexts
+    ):
+        reference = make_planner()
+        contexts = tenant_contexts[:6]
+        with ServingLoop(None, tenants=zoo_registry()) as loop:
+            for history, objective, user in contexts:
+                responses = [
+                    loop.serve(request).result()
+                    for request in (
+                        NextStepRequest(
+                            history=history, objective=objective,
+                            user_index=user, tenant="irs",
+                        ),
+                        PlanRequest(
+                            history=history, objective=objective, user_index=user,
+                            max_length=MAX_LENGTH, tenant="irs",
+                        ),
+                        RankRequest(history=history, k=5, user_index=user, tenant="zoo"),
+                        KGPathRequest(
+                            source=history[-1], target=objective, tenant="kg"
+                        ),
+                    )
+                ]
+                expected = [
+                    reference.plan_for_requests(
+                        [("next_step", tuple(history), objective, (), user, None)]
+                    )[0],
+                    reference.plan_for_requests(
+                        [("plan_paths", tuple(history), objective, (), user, MAX_LENGTH)]
+                    )[0],
+                    [
+                        int(item)
+                        for item in fitted_markov.top_k(history, 5, user_index=user)
+                    ],
+                    [
+                        int(item)
+                        for item in tenant_graph.shortest_item_path(
+                            history[-1], objective
+                        )
+                    ],
+                ]
+                assert [response.answer for response in responses] == expected
+                assert [response.tenant for response in responses] == [
+                    "irs", "irs", "zoo", "kg",
+                ]
+                assert all(response.latency_s >= 0.0 for response in responses)
+
+    def test_tenant_stats_key_by_tenant_id(self, zoo_registry, tenant_contexts):
+        history, objective, user = tenant_contexts[0]
+        with ServingLoop(None, tenants=zoo_registry()) as loop:
+            loop.serve(
+                RankRequest(history=history, k=5, user_index=user, tenant="zoo")
+            ).result()
+            stats = loop.stats()
+        assert set(stats["tenants"]) == {"irs", "zoo", "kg"}
+        assert stats["tenants"]["zoo"]["served"] == 1
+        assert stats["tenants"]["irs"]["served"] == 0
+        assert stats["tenants"]["zoo"]["kinds"] == ["rank", "next_step"]
+
+
+class TestCrossTenantIsolation:
+    def test_bounded_tenant_overflow_never_touches_its_neighbour(
+        self, make_planner, fitted_markov, tenant_contexts
+    ):
+        bound, attempts = 2, 6
+        registry = TenantRegistry()
+        registry.add("noisy", make_planner(), max_inflight=bound, admission_policy="reject")
+        registry.add("neighbour", fitted_markov)
+        loop = ServingLoop(None, tenants=registry)
+        history, objective, user = tenant_contexts[0]
+        futures, rejects = [], 0
+        # Not started: admitted envelopes hold their tenant's in-flight
+        # slots, so the bounded tenant overflows deterministically.
+        for _ in range(attempts):
+            try:
+                futures.append(
+                    loop.enqueue(
+                        NextStepRequest(
+                            history=history, objective=objective,
+                            user_index=user, tenant="noisy",
+                        ).to_envelope()
+                    )
+                )
+            except QueueFullError:
+                rejects += 1
+        for _ in range(attempts):
+            futures.append(
+                loop.enqueue(
+                    RankRequest(
+                        history=history, k=5, user_index=user, tenant="neighbour"
+                    ).to_envelope()
+                )
+            )
+        with loop:
+            for future in futures:
+                future.result()
+        stats = loop.stats()["tenants"]
+        assert rejects == attempts - bound
+        assert stats["noisy"]["served"] == bound
+        assert stats["noisy"]["admission"]["rejected"] == rejects
+        # The neighbour's full cohort served, zero rejects anywhere near it.
+        assert stats["neighbour"]["served"] == attempts
+        assert "admission" not in stats["neighbour"]
+
+
+class TestRefitOpacity:
+    def test_refit_is_invisible_to_a_static_tenant(
+        self, make_planner, fitted_markov, tenant_contexts
+    ):
+        """A fleet refit flips every replica's planner generation; a tenant
+        bound to a static recommender keeps answering identically."""
+
+        def tenant_factory() -> TenantRegistry:
+            registry = TenantRegistry()
+            registry.add("zoo", fitted_markov)
+            return registry
+
+        history, objective, user = tenant_contexts[0]
+        request = RankRequest(history=history, k=5, user_index=user, tenant="zoo")
+        with ReplicaSet(
+            make_planner, num_replicas=2, tenant_factory=tenant_factory
+        ) as replica_set:
+            before = replica_set.serve(request).result()
+            report = replica_set.refit()
+            after = replica_set.serve(request).result()
+        assert report["generation_to"] == 2
+        assert after.answer == before.answer
+        assert after.tenant == before.tenant == "zoo"

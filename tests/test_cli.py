@@ -225,6 +225,10 @@ class TestServeSimSubcommand:
                 "0.3",
                 "--num-workers",
                 "2",
+                # Pin the plain latency sim: the REPRO_TENANTS=2 tier-1 leg
+                # would otherwise flip serve-sim into the A/B harness.
+                "--tenants",
+                "1",
                 "--output",
                 str(output),
             ]
@@ -329,6 +333,8 @@ class TestReplicationFlags:
                 "0.4",
                 "--replicas",
                 "2",
+                "--tenants",
+                "1",
                 "--output",
                 str(output),
             ]
@@ -453,6 +459,8 @@ class TestServeSimRetrievalFlags:
                 "cooccurrence",
                 "--candidate-k",
                 "16",
+                "--tenants",
+                "1",
                 "--output",
                 str(output),
             ]
@@ -468,6 +476,46 @@ class TestServeSimRetrievalFlags:
         assert metrics["requests"] > 0
         assert metrics["fallbacks"] <= metrics["requests"]
 
+    def test_serve_sim_ab_harness_reports_uplift_and_slo(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "ab_report.json"
+        code = main(
+            [
+                "serve-sim",
+                "--profile",
+                "fast",
+                "--tenants",
+                "2",
+                "--cohort-sessions",
+                "6",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tenant control" in out
+        assert "tenant treatment" in out
+        assert "uplift (treatment - control interactive SR)" in out
+        assert "SLO" in out
+        report = json.loads(output.read_text())
+        assert report["harness"] == "ab"
+        assert report["tenants"] == 2
+        assert report["cohort_sessions"] == 6
+        summary = report["ab"]
+        assert set(summary) == {"control", "treatment", "uplift"}
+        for arm in ("control", "treatment"):
+            assert summary[arm]["requests"] > 0
+            assert summary[arm]["p50_ms"] <= summary[arm]["p95_ms"]
+        assert set(report["fleet_tenants"]) == {"control", "treatment"}
+
+    def test_serve_sim_rejects_more_than_two_tenants(self):
+        with pytest.raises(ConfigurationError, match="exactly 2 tenants"):
+            main(["serve-sim", "--profile", "fast", "--tenants", "3"])
+        with pytest.raises(ConfigurationError, match="tenants"):
+            main(["serve-sim", "--profile", "fast", "--tenants", "0"])
+
     def test_serve_sim_without_retrieval_reports_exact_spec(self, capsys, tmp_path):
         import json
 
@@ -481,6 +529,8 @@ class TestServeSimRetrievalFlags:
                 "100",
                 "--duration",
                 "0.3",
+                "--tenants",
+                "1",
                 "--output",
                 str(output),
             ]
